@@ -1,0 +1,149 @@
+// Command gmmcs-bench regenerates the paper's evaluation:
+//
+//   - "-exp fig3": Figure 3 — per-packet delay and jitter for 12 of 400
+//     video clients, NaradaBrokering-substitute broker vs JMF-style
+//     reflector (writes the four series as TSV for plotting).
+//   - "-exp audiocap": the §3.2 claim that one broker supports >1000
+//     audio clients.
+//   - "-exp videocap": the §3.2 claim that one broker supports >400
+//     video clients.
+//
+// Full paper-scale runs take a few minutes (they are paced in real time
+// like the original testbed); -scale shrinks them for a quick look.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/globalmmcs/globalmmcs/internal/bench"
+	"github.com/globalmmcs/globalmmcs/internal/metrics"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		exp    = flag.String("exp", "fig3", "experiment: fig3, audiocap, videocap, all")
+		scale  = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper scale)")
+		outDir = flag.String("out", "bench-out", "directory for TSV series dumps")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	switch *exp {
+	case "fig3":
+		return runFig3(*scale, *outDir)
+	case "audiocap":
+		return runCapacity(bench.MediaAudio, *scale)
+	case "videocap":
+		return runCapacity(bench.MediaVideo, *scale)
+	case "all":
+		if err := runFig3(*scale, *outDir); err != nil {
+			return err
+		}
+		if err := runCapacity(bench.MediaAudio, *scale); err != nil {
+			return err
+		}
+		return runCapacity(bench.MediaVideo, *scale)
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+}
+
+func runFig3(scale float64, outDir string) error {
+	receivers := scaled(400, scale)
+	packets := scaled(2000, scale)
+	measured := min(12, receivers)
+	fmt.Printf("=== Figure 3: %d receivers (%d measured), %d packets, 600 Kbps video ===\n",
+		receivers, measured, packets)
+	fmt.Println("paper: NaradaBrokering avg delay 80.76 ms, jitter 13.38 ms")
+	fmt.Println("paper: JMF reflector   avg delay 229.23 ms, jitter 15.55 ms")
+
+	for _, system := range []bench.System{bench.SystemBroker, bench.SystemReflector} {
+		res, err := bench.RunFig3(bench.Fig3Config{
+			System:    system,
+			Receivers: receivers,
+			Measured:  measured,
+			Packets:   packets,
+		})
+		if err != nil {
+			return fmt.Errorf("fig3 %s: %w", system, err)
+		}
+		fmt.Printf("%-18s avg delay %8.2f ms   avg jitter %6.2f ms   received %6d   lost %d   (%.1fs)\n",
+			system, res.MeanDelayMs, res.MeanJitterMs, res.Received, res.Lost, res.Elapsed.Seconds())
+		base := strings.ToLower(strings.ReplaceAll(system.String(), "-", ""))
+		if err := dumpSeries(filepath.Join(outDir, "fig3_delay_"+base+".tsv"), res.Delay); err != nil {
+			return err
+		}
+		if err := dumpSeries(filepath.Join(outDir, "fig3_jitter_"+base+".tsv"), res.Jitter); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("series written to %s/fig3_*.tsv (packet-number vs milliseconds)\n", outDir)
+	return nil
+}
+
+func runCapacity(kind bench.MediaKind, scale float64) error {
+	var sweep []int
+	var packets int
+	if kind == bench.MediaAudio {
+		sweep = []int{250, 500, 750, 1000, 1250}
+		packets = 400 // 8s of audio
+		fmt.Println("=== Capacity: audio clients on one broker (paper claim: >1000 with good quality) ===")
+	} else {
+		sweep = []int{100, 200, 400, 500}
+		packets = 600 // ~8s of video
+		fmt.Println("=== Capacity: video clients on one broker (paper claim: >400 with good quality) ===")
+	}
+	fmt.Printf("quality gate: delay < %.0f ms, jitter < %.0f ms, loss < %.0f%%\n",
+		bench.QualityMaxDelayMs, bench.QualityMaxJitterMs, bench.QualityMaxLoss*100)
+	fmt.Printf("%8s %14s %14s %14s %10s %8s\n", "clients", "mean delay", "p99 delay", "mean jitter", "loss", "quality")
+	for _, n := range sweep {
+		clients := scaled(n, scale)
+		res, err := bench.RunCapacity(bench.CapacityConfig{
+			Kind:    kind,
+			Clients: clients,
+			Packets: scaled(packets, scale),
+		})
+		if err != nil {
+			return fmt.Errorf("capacity %s/%d: %w", kind, clients, err)
+		}
+		quality := "GOOD"
+		if !res.GoodQuality {
+			quality = "degraded"
+		}
+		fmt.Printf("%8d %11.2f ms %11.2f ms %11.2f ms %9.2f%% %8s\n",
+			res.Clients, res.MeanDelayMs, res.P99DelayMs, res.MeanJitterMs, res.LossRate*100, quality)
+	}
+	return nil
+}
+
+func dumpSeries(path string, s *metrics.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.WriteTSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func scaled(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}

@@ -1,0 +1,86 @@
+// Command gmmcs-broker runs a standalone broker node of the messaging
+// middleware. Nodes link into a distributed network with -peer.
+//
+// Usage:
+//
+//	gmmcs-broker -id b1 -listen tcp://127.0.0.1:9041
+//	gmmcs-broker -id b2 -listen tcp://127.0.0.1:9042 -peer tcp://127.0.0.1:9041
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/broker"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		id     = flag.String("id", "broker-1", "broker identity (unique per network)")
+		listen = flag.String("listen", "tcp://127.0.0.1:9041", "comma-separated listen URLs")
+		peers  = flag.String("peer", "", "comma-separated peer broker URLs to link to")
+		mode   = flag.String("mode", "client-server", "routing mode: client-server or p2p")
+		stats  = flag.Duration("stats", 30*time.Second, "stats print interval (0 = off)")
+	)
+	flag.Parse()
+
+	m := broker.ModeClientServer
+	if *mode == "p2p" {
+		m = broker.ModePeerToPeer
+	}
+	b := broker.New(broker.Config{ID: *id, Mode: m})
+	defer b.Stop()
+
+	for _, url := range splitList(*listen) {
+		l, err := b.Listen(url)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("broker %s listening on %s (%s mode)\n", *id, l.Addr(), m)
+	}
+	for _, url := range splitList(*peers) {
+		if err := b.ConnectPeer(url); err != nil {
+			return fmt.Errorf("linking to %s: %w", url, err)
+		}
+		fmt.Printf("linked to peer %s\n", url)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if *stats <= 0 {
+		<-sig
+		return nil
+	}
+	ticker := time.NewTicker(*stats)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sig:
+			return nil
+		case <-ticker.C:
+			fmt.Printf("sessions=%d peers=%d\n%s", b.SessionCount(), b.PeerCount(), b.Metrics().Report())
+		}
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

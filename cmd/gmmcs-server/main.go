@@ -1,0 +1,72 @@
+// Command gmmcs-server runs a complete Global-MMCS node: broker, XGSP
+// session and web servers, directory, SIP and H.323 gateways, RTSP
+// streaming and IM services.
+//
+// Usage:
+//
+//	gmmcs-server -web 127.0.0.1:8070 -broker tcp://127.0.0.1:9040
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/globalmmcs/globalmmcs/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		webAddr   = flag.String("web", "127.0.0.1:8070", "XGSP web server HTTP address")
+		brokerURL = flag.String("broker", "tcp://127.0.0.1:9040", "broker listen URL (tcp:// or udp://)")
+		domain    = flag.String("domain", "mmcs.local", "SIP domain")
+		noSIP     = flag.Bool("no-sip", false, "disable the SIP servers")
+		noH323    = flag.Bool("no-h323", false, "disable the H.323 servers")
+		noRTSP    = flag.Bool("no-rtsp", false, "disable the streaming server")
+		noIM      = flag.Bool("no-im", false, "disable the IM service")
+	)
+	flag.Parse()
+
+	srv, err := core.Start(core.Config{
+		BrokerListenURLs: []string{*brokerURL},
+		WebAddr:          *webAddr,
+		Domain:           *domain,
+		DisableSIP:       *noSIP,
+		DisableH323:      *noH323,
+		DisableRTSP:      *noRTSP,
+		DisableIM:        *noIM,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Stop()
+
+	fmt.Printf("Global-MMCS node up\n")
+	fmt.Printf("  web (SOAP):   %s/ws\n", srv.WebAddr())
+	fmt.Printf("  broker:       %s\n", *brokerURL)
+	if srv.SIP != nil {
+		fmt.Printf("  sip:          %s (domain %s)\n", srv.SIP.Addr(), *domain)
+	}
+	if srv.Gatekeeper != nil {
+		fmt.Printf("  h323 ras:     %s\n", srv.Gatekeeper.Addr())
+		fmt.Printf("  h323 signal:  %s\n", srv.H323Gateway.Addr())
+	}
+	if srv.RTSP != nil {
+		fmt.Printf("  rtsp:         %s\n", srv.RTSP.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}

@@ -1,0 +1,163 @@
+// Community bridge: the paper's global-collaboration scenario — a
+// Global-MMCS session in the US linked with an Admire conference in
+// China (over its rendezvous web service) and an Access Grid venue, so
+// participants of three heterogeneous systems share one media space.
+//
+// Run with:
+//
+//	go run ./examples/community-bridge
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs"
+	"github.com/globalmmcs/globalmmcs/internal/accessgrid"
+	"github.com/globalmmcs/globalmmcs/internal/admire"
+	"github.com/globalmmcs/globalmmcs/internal/media"
+	"github.com/globalmmcs/globalmmcs/internal/rtp"
+	"github.com/globalmmcs/globalmmcs/internal/wsci"
+	"github.com/globalmmcs/globalmmcs/internal/xgsp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	srv, err := globalmmcs.Start(globalmmcs.Config{})
+	if err != nil {
+		return err
+	}
+	defer srv.Stop()
+
+	// --- The Admire community (Beihang side) runs its own server and
+	// publishes its collaboration interface as a WSDL-CI web service.
+	adm := admire.NewServer()
+	defer adm.Stop()
+	admHTTP := &http.Server{Handler: adm.WebService()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { _ = admHTTP.Serve(ln) }()
+	defer admHTTP.Close()
+	admireEndpoint := "http://" + ln.Addr().String()
+	fmt.Println("Admire community service at", admireEndpoint)
+	fmt.Println("Admire WSDL:")
+	fmt.Println(indent(adm.WebService().WSDL(admireEndpoint), "  "))
+
+	// Create the Admire conference over SOAP, as the XGSP web server
+	// would.
+	ws := wsci.NewClient(admireEndpoint)
+	var conf admire.CreateConferenceResponse
+	if err := ws.Call(&admire.CreateConferenceRequest{Name: "us-china-seminar"}, &conf); err != nil {
+		return err
+	}
+
+	// --- An Access Grid venue server with one venue.
+	venues := accessgrid.NewVenueServer()
+	defer venues.Stop()
+	if _, err := venues.CreateVenue("pacific-room"); err != nil {
+		return err
+	}
+
+	// --- The Global-MMCS session that glues them together.
+	host, err := srv.Client("gcf")
+	if err != nil {
+		return err
+	}
+	defer host.Close()
+	session, err := host.CreateSession("us-china-seminar")
+	if err != nil {
+		return err
+	}
+	if _, err := srv.LinkAdmire(session.ID, conf.ID, admireEndpoint); err != nil {
+		return err
+	}
+	if _, err := srv.LinkAccessGrid(session.ID, venues, "pacific-room"); err != nil {
+		return err
+	}
+	fmt.Printf("session %s bridged to Admire conference %s and AG venue pacific-room\n",
+		session.ID, conf.ID)
+
+	// Participants in each community.
+	admUser, err := adm.Join(conf.ID, "wang-beihang")
+	if err != nil {
+		return err
+	}
+	agUser, err := venues.Enter("pacific-room", "anl-node")
+	if err != nil {
+		return err
+	}
+	mmcsSub, err := host.SubscribeMedia(session, xgsp.MediaAudio, 256)
+	if err != nil {
+		return err
+	}
+
+	// The Admire participant speaks; both the MMCS user and the AG venue
+	// hear it.
+	src := media.NewAudioSource(media.AudioConfig{})
+	raw, err := src.NextPacket().Marshal()
+	if err != nil {
+		return err
+	}
+	admUser.Send(raw)
+
+	select {
+	case e := <-mmcsSub.C():
+		var p rtp.Packet
+		if err := p.Unmarshal(e.Payload); err != nil {
+			return err
+		}
+		fmt.Printf("MMCS user heard Admire audio (seq %d)\n", p.SequenceNumber)
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("admire audio never reached MMCS")
+	}
+	select {
+	case data := <-agUser.Audio.Recv():
+		var p rtp.Packet
+		if err := p.Unmarshal(data); err != nil {
+			return err
+		}
+		fmt.Printf("AG venue heard Admire audio (seq %d)\n", p.SequenceNumber)
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("admire audio never reached the AG venue")
+	}
+
+	// And back: the AG participant answers; Admire hears it.
+	raw2, err := src.NextPacket().Marshal()
+	if err != nil {
+		return err
+	}
+	agUser.Audio.Send(raw2)
+	select {
+	case data := <-admUser.Recv():
+		var p rtp.Packet
+		if err := p.Unmarshal(data); err != nil {
+			return err
+		}
+		fmt.Printf("Admire participant heard AG audio (seq %d)\n", p.SequenceNumber)
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("AG audio never reached Admire")
+	}
+	fmt.Println("three communities, one session — bridge example complete")
+	return nil
+}
+
+func indent(s, prefix string) string {
+	out := prefix
+	for _, r := range s {
+		out += string(r)
+		if r == '\n' {
+			out += prefix
+		}
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+// Distance lecture: the streaming scenario the paper motivates — a
+// lecturer publishes audio into a session, remote students watch through
+// Real/Windows-Media-style RTSP players (no conferencing client needed),
+// ask questions over the session chat room, and the whole lecture is
+// archived and replayed.
+//
+// Run with:
+//
+//	go run ./examples/distance-lecture
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs"
+	"github.com/globalmmcs/globalmmcs/internal/im"
+	"github.com/globalmmcs/globalmmcs/internal/media"
+	"github.com/globalmmcs/globalmmcs/internal/streaming"
+	"github.com/globalmmcs/globalmmcs/internal/xgsp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	srv, err := globalmmcs.Start(globalmmcs.Config{})
+	if err != nil {
+		return err
+	}
+	defer srv.Stop()
+
+	lecturer, err := srv.Client("lecturer")
+	if err != nil {
+		return err
+	}
+	defer lecturer.Close()
+	session, err := lecturer.CreateSession("distributed-systems-101")
+	if err != nil {
+		return err
+	}
+	if _, err := lecturer.Join(session.ID, "lecture-hall"); err != nil {
+		return err
+	}
+	fmt.Printf("lecture session %s at %s\n", session.ID, srv.RTSP.URL(session.ID))
+
+	// The archiver records everything on the audio channel.
+	recorder, err := srv.Client("recorder")
+	if err != nil {
+		return err
+	}
+	defer recorder.Close()
+	audioSub, err := recorder.SubscribeMedia(session, xgsp.MediaAudio, 1024)
+	if err != nil {
+		return err
+	}
+	var archive bytes.Buffer
+	var arch streaming.Archiver
+	recDone := make(chan struct{})
+	recCount := make(chan int, 1)
+	go func() {
+		n, err := arch.Record(&archive, audioSub, recDone)
+		if err != nil {
+			log.Printf("archiver: %v", err)
+		}
+		recCount <- n
+	}()
+
+	// Two students tune in with RTSP players.
+	players := make([]*streaming.Player, 0, 2)
+	tracks := make([]*streaming.PlayerTrack, 0, 2)
+	for i := range 2 {
+		p, err := streaming.DialPlayer(srv.RTSP.URL(session.ID))
+		if err != nil {
+			return err
+		}
+		defer p.Close()
+		desc, err := p.Describe()
+		if err != nil {
+			return err
+		}
+		track, err := p.Setup("audio", desc["audio"])
+		if err != nil {
+			return err
+		}
+		if err := p.Play(); err != nil {
+			return err
+		}
+		players = append(players, p)
+		tracks = append(tracks, track)
+		fmt.Printf("student %d playing via RTSP\n", i+1)
+	}
+
+	// A student asks a question in the chat room; the lecturer sees it.
+	student, err := srv.Client("student-zhang")
+	if err != nil {
+		return err
+	}
+	defer student.Close()
+	lecturerRoom, err := lecturer.Chat.JoinRoom(session.ID)
+	if err != nil {
+		return err
+	}
+	if err := student.Chat.Send(session.ID, "could you repeat the CAP theorem part?"); err != nil {
+		return err
+	}
+	select {
+	case e := <-lecturerRoom.C():
+		q, err := im.ParseChat(e)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("question from %s: %s\n", q.From, q.Body)
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("question never arrived")
+	}
+
+	// The lecturer speaks for two seconds.
+	sender, err := lecturer.MediaSender(session, xgsp.MediaAudio)
+	if err != nil {
+		return err
+	}
+	if _, err := sender.SendAudio(media.NewAudioSource(media.AudioConfig{}), 100, nil); err != nil {
+		return err
+	}
+	time.Sleep(300 * time.Millisecond) // drain tails
+
+	for i, track := range tracks {
+		fmt.Printf("student %d received %d packets (payload type %d, re-encoded by producer)\n",
+			i+1, track.Received(), track.LastPayloadType())
+	}
+	for _, p := range players {
+		if err := p.Teardown(); err != nil {
+			return err
+		}
+	}
+	close(recDone)
+	recorded := <-recCount
+	fmt.Printf("archived %d packets (%d bytes)\n", recorded, archive.Len())
+
+	// Replay the archive into a fresh session — a student who missed the
+	// lecture watches it later.
+	replaySession, err := lecturer.CreateSession("distributed-systems-101-replay")
+	if err != nil {
+		return err
+	}
+	var replayTopic string
+	for _, m := range replaySession.Media {
+		if m.Type == xgsp.MediaAudio {
+			replayTopic = m.Topic
+		}
+	}
+	lateSub, err := student.SubscribeMedia(replaySession, xgsp.MediaAudio, 1024)
+	if err != nil {
+		return err
+	}
+	replayed, err := arch.Replay(&archive, recorder.BC, false, func(string) string { return replayTopic })
+	if err != nil {
+		return err
+	}
+	got := 0
+	deadline := time.After(5 * time.Second)
+drain:
+	for got < replayed {
+		select {
+		case <-lateSub.C():
+			got++
+		case <-deadline:
+			break drain
+		}
+	}
+	fmt.Printf("replayed %d packets; late student received %d\n", replayed, got)
+	fmt.Println("distance lecture complete")
+	return nil
+}

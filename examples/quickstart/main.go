@@ -1,0 +1,113 @@
+// Quickstart: start a Global-MMCS node in-process, create a session, have
+// two users join, exchange chat and a short burst of audio.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs"
+	"github.com/globalmmcs/globalmmcs/internal/im"
+	"github.com/globalmmcs/globalmmcs/internal/media"
+	"github.com/globalmmcs/globalmmcs/internal/rtp"
+	"github.com/globalmmcs/globalmmcs/internal/xgsp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// One call brings up the whole middleware: broker, XGSP session and
+	// web servers, SIP/H.323 gateways, RTSP, IM.
+	srv, err := globalmmcs.Start(globalmmcs.Config{})
+	if err != nil {
+		return err
+	}
+	defer srv.Stop()
+	fmt.Println("Global-MMCS node started; web service at", srv.WebAddr()+"/ws")
+
+	alice, err := srv.Client("alice")
+	if err != nil {
+		return err
+	}
+	defer alice.Close()
+	bob, err := srv.Client("bob")
+	if err != nil {
+		return err
+	}
+	defer bob.Close()
+
+	// Alice creates an ad-hoc session; both join.
+	session, err := alice.CreateSession("quickstart-demo")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("session %s (%s) created with media channels:\n", session.ID, session.Name)
+	for _, m := range session.Media {
+		fmt.Printf("  %-7s -> %s\n", m.Type, m.Topic)
+	}
+	if _, err := alice.Join(session.ID, "alice-desktop"); err != nil {
+		return err
+	}
+	if _, err := bob.Join(session.ID, "bob-laptop"); err != nil {
+		return err
+	}
+
+	// Chat: bob joins the room, alice greets.
+	room, err := bob.Chat.JoinRoom(session.ID)
+	if err != nil {
+		return err
+	}
+	if err := alice.Chat.Send(session.ID, "hi bob — testing the new middleware"); err != nil {
+		return err
+	}
+	select {
+	case e := <-room.C():
+		msg, err := im.ParseChat(e)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("chat: <%s> %s\n", msg.From, msg.Body)
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("chat message never arrived")
+	}
+
+	// Media: alice streams one second of audio; bob receives and measures.
+	audioSub, err := bob.SubscribeMedia(session, xgsp.MediaAudio, 256)
+	if err != nil {
+		return err
+	}
+	recv := media.NewReceiver(media.ReceiverConfig{ClockRate: rtp.AudioClockRate})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		recv.Drain(audioSub.C(), nil)
+	}()
+
+	sender, err := alice.MediaSender(session, xgsp.MediaAudio)
+	if err != nil {
+		return err
+	}
+	if _, err := sender.SendAudio(media.NewAudioSource(media.AudioConfig{}), 50, nil); err != nil {
+		return err
+	}
+	time.Sleep(200 * time.Millisecond) // let the tail drain
+	if err := audioSub.Cancel(); err != nil {
+		return err
+	}
+	<-done
+
+	snap := recv.Snapshot()
+	fmt.Printf("media: bob received %d packets (%d bytes), mean delay %.2f ms, jitter %.2f ms, lost %d\n",
+		snap.Received, snap.Bytes, snap.MeanDelayMs, snap.JitterMs, snap.Lost)
+	fmt.Println("quickstart complete")
+	return nil
+}

@@ -1,0 +1,165 @@
+// Videoconference: the paper's core scenario — heterogeneous endpoints in
+// one session. A native client publishes video, a SIP endpoint and an
+// H.323 terminal join through their respective gateways, and everybody's
+// media meets on the session topics. Floor control arbitrates who may
+// send.
+//
+// Run with:
+//
+//	go run ./examples/videoconference
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs"
+	"github.com/globalmmcs/globalmmcs/internal/h323"
+	"github.com/globalmmcs/globalmmcs/internal/media"
+	"github.com/globalmmcs/globalmmcs/internal/sip"
+	"github.com/globalmmcs/globalmmcs/internal/xgsp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	srv, err := globalmmcs.Start(globalmmcs.Config{})
+	if err != nil {
+		return err
+	}
+	defer srv.Stop()
+
+	// The conference owner creates the session.
+	host, err := srv.Client("prof-fox")
+	if err != nil {
+		return err
+	}
+	defer host.Close()
+	session, err := host.CreateSession("grid-computing-seminar")
+	if err != nil {
+		return err
+	}
+	if _, err := host.Join(session.ID, "podium"); err != nil {
+		return err
+	}
+	fmt.Printf("seminar session %s created\n", session.ID)
+
+	// --- A SIP endpoint joins through the SIP gateway. ----------------
+	sipEP, err := sip.NewEndpoint("wenjun", srv.SIP.Addr())
+	if err != nil {
+		return err
+	}
+	defer sipEP.Close()
+	if err := sipEP.Register(srv.SIP.Domain(), time.Hour); err != nil {
+		return err
+	}
+	sipAudio, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer sipAudio.Close()
+	sipCall, err := sipEP.Invite(srv.SIP.Domain(), session.ID,
+		sipAudio.LocalAddr().(*net.UDPAddr).Port, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("SIP endpoint wenjun joined via gateway")
+
+	// --- An H.323 terminal joins through gatekeeper + gateway. --------
+	h323EP, err := h323.NewEndpoint("auyar", srv.Gatekeeper.Addr())
+	if err != nil {
+		return err
+	}
+	defer h323EP.Close()
+	if err := h323EP.Discover(); err != nil {
+		return err
+	}
+	if err := h323EP.Register(); err != nil {
+		return err
+	}
+	h323Audio, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer h323Audio.Close()
+	h323Call, err := h323EP.PlaceCall(session.ID, map[string]string{
+		"audio": h323Audio.LocalAddr().String(),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("H.323 terminal auyar joined via gatekeeper/gateway")
+
+	// Membership now spans three communities.
+	info := srv.XGSP.Lookup(session.ID)
+	fmt.Printf("members: %v\n", info.Members)
+
+	// --- Floor control. ------------------------------------------------
+	if err := host.XGSP.RequestFloor(session.ID, xgsp.MediaVideo); err != nil {
+		return err
+	}
+	fmt.Println("prof-fox holds the video floor; streaming 2 seconds of video")
+
+	sender, err := host.MediaSender(session, xgsp.MediaVideo)
+	if err != nil {
+		return err
+	}
+	src := media.NewVideoSource(media.VideoConfig{})
+	sent, err := sender.SendVideo(src, 150, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("published %d video packets at ~600 Kbps\n", sent)
+
+	// The SIP endpoint sends audio through its gateway port; the H.323
+	// endpoint hears it on its own RTP socket.
+	gwAudio, ok := sipCall.AudioAddr()
+	if !ok {
+		return fmt.Errorf("sip answer lacks audio")
+	}
+	gwAddr, err := net.ResolveUDPAddr("udp", gwAudio)
+	if err != nil {
+		return err
+	}
+	audioSrc := media.NewAudioSource(media.AudioConfig{})
+	for range 25 {
+		raw, err := audioSrc.NextPacket().Marshal()
+		if err != nil {
+			return err
+		}
+		if _, err := sipAudio.WriteTo(raw, gwAddr); err != nil {
+			return err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := h323Audio.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		return err
+	}
+	buf := make([]byte, 2048)
+	n, _, err := h323Audio.ReadFrom(buf)
+	if err != nil {
+		return fmt.Errorf("h323 endpoint heard nothing: %w", err)
+	}
+	fmt.Printf("H.323 endpoint received SIP endpoint's audio (%d bytes RTP) — cross-community media works\n", n)
+
+	// Tidy teardown.
+	if err := host.XGSP.ReleaseFloor(session.ID, xgsp.MediaVideo); err != nil {
+		return err
+	}
+	if err := sipEP.Hangup(sipCall); err != nil {
+		return err
+	}
+	if err := h323Call.Hangup(); err != nil {
+		return err
+	}
+	info = srv.XGSP.Lookup(session.ID)
+	fmt.Printf("members after hangups: %v\n", info.Members)
+	fmt.Println("videoconference example complete")
+	return nil
+}

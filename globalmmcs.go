@@ -1,0 +1,47 @@
+// Package globalmmcs is the public API of the Global Multimedia
+// Collaboration System (Global-MMCS) — a from-scratch Go reproduction of
+// the system described in "Global Multimedia Collaboration System" (Fox,
+// Wu, Uyar, Bulut, Pallickara; Community Grids Lab).
+//
+// A Server assembles the full middleware stack: the
+// NaradaBrokering-substitute publish/subscribe broker, the XGSP session
+// server and web-services (WSDL-CI) frontend, the naming & directory
+// service, SIP and H.323 gateways with RTP proxies, the RTSP streaming
+// service, instant messaging and presence, and bridges to Admire and
+// Access Grid communities:
+//
+//	srv, err := globalmmcs.Start(globalmmcs.Config{})
+//	if err != nil { ... }
+//	defer srv.Stop()
+//
+//	alice, err := srv.Client("alice")
+//	if err != nil { ... }
+//	defer alice.Close()
+//	session, err := alice.CreateSession("standup")
+//
+// See the examples/ directory for complete programs and DESIGN.md for
+// the architecture.
+package globalmmcs
+
+import (
+	"github.com/globalmmcs/globalmmcs/internal/core"
+)
+
+// Version is the release version of this reproduction.
+const Version = "1.0.0"
+
+// Config parameterises a Global-MMCS node. The zero value starts every
+// service on loopback with ephemeral ports.
+type Config = core.Config
+
+// Server is a running Global-MMCS node.
+type Server = core.Server
+
+// Client is a user's collaboration endpoint (session control, chat,
+// presence, media).
+type Client = core.Client
+
+// Start assembles and starts a Global-MMCS node.
+func Start(cfg Config) (*Server, error) {
+	return core.Start(cfg)
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/media"
+)
+
+// scaledTestbed shrinks the experiment so unit tests finish in seconds
+// while preserving the saturation relationship: 32 receivers at 400µs
+// per-send ≈ 12.8 ms serialized fan-out versus ~12-15 ms packet spacing.
+func scaledTestbed() Testbed {
+	return Testbed{
+		PerSendCost:       400 * time.Microsecond,
+		EgressBytesPerSec: 35_000_000,
+		LocalDelay:        200 * time.Microsecond,
+		RemoteDelay:       time.Millisecond,
+		LocalJitter:       300 * time.Microsecond,
+		RemoteJitter:      2 * time.Millisecond,
+	}
+}
+
+func scaledFig3(system System) Fig3Config {
+	return Fig3Config{
+		System:    system,
+		Receivers: 32,
+		Measured:  6,
+		Packets:   120,
+		Video:     media.VideoConfig{},
+		Testbed:   scaledTestbed(),
+	}
+}
+
+func TestFig3BrokerRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time experiment")
+	}
+	res, err := RunFig3(scaledFig3(SystemBroker))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Received == 0 {
+		t.Fatal("no packets measured")
+	}
+	if res.MeanDelayMs <= 0 {
+		t.Fatalf("mean delay = %v", res.MeanDelayMs)
+	}
+	if res.Delay.Len() == 0 || res.Jitter.Len() == 0 {
+		t.Fatal("series empty")
+	}
+	t.Logf("broker: delay=%.2fms jitter=%.2fms received=%d lost=%d",
+		res.MeanDelayMs, res.MeanJitterMs, res.Received, res.Lost)
+}
+
+func TestFig3ShapeBrokerBeatsReflector(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time experiment")
+	}
+	broker, err := RunFig3(scaledFig3(SystemBroker))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reflector, err := RunFig3(scaledFig3(SystemReflector))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("broker    delay=%.2fms jitter=%.2fms", broker.MeanDelayMs, broker.MeanJitterMs)
+	t.Logf("reflector delay=%.2fms jitter=%.2fms", reflector.MeanDelayMs, reflector.MeanJitterMs)
+	// The paper's headline shape: the broker's delay is a small fraction
+	// of the reflector's. Use a conservative 1.5x to avoid CI flake; the
+	// real margin is larger.
+	if reflector.MeanDelayMs < broker.MeanDelayMs*1.5 {
+		t.Errorf("reflector delay %.2fms not clearly above broker %.2fms",
+			reflector.MeanDelayMs, broker.MeanDelayMs)
+	}
+}
+
+func TestCapacityAudioSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time experiment")
+	}
+	res, err := RunCapacity(CapacityConfig{
+		Kind:    MediaAudio,
+		Clients: 50,
+		Packets: 100,
+		Testbed: scaledTestbed(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.GoodQuality {
+		t.Errorf("50 audio clients should be good quality: %+v", res)
+	}
+	t.Logf("audio cap 50: %+v", res)
+}
+
+func TestSystemString(t *testing.T) {
+	if SystemBroker.String() != "NaradaBrokering" || SystemReflector.String() != "JMF-reflector" {
+		t.Error("system names")
+	}
+	if MediaAudio.String() != "audio" || MediaVideo.String() != "video" {
+		t.Error("media names")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Fig3Config{}.withDefaults()
+	if cfg.Receivers != 400 || cfg.Measured != 12 || cfg.Packets != 2000 {
+		t.Errorf("paper defaults wrong: %+v", cfg)
+	}
+	if cfg.System != SystemBroker {
+		t.Error("default system should be broker")
+	}
+	cc := CapacityConfig{}.withDefaults()
+	if cc.Kind != MediaAudio || cc.Measured != 12 {
+		t.Errorf("capacity defaults wrong: %+v", cc)
+	}
+	// Measured clamps to Clients.
+	cc2 := CapacityConfig{Clients: 4}.withDefaults()
+	if cc2.Measured != 4 {
+		t.Errorf("measured not clamped: %d", cc2.Measured)
+	}
+}
+
+func TestRunFig3UnknownSystem(t *testing.T) {
+	if _, err := RunFig3(Fig3Config{System: System(99)}); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/event"
+	"github.com/globalmmcs/globalmmcs/internal/transport"
+)
+
+// Testbed models the paper's 2003 measurement setup as explicit emulation
+// constants (DESIGN.md §5). The same testbed shapes both systems, so the
+// comparison isolates the architectural difference: the reflector pays
+// every per-send cost in one dispatch thread, the broker spreads it over
+// per-client writer goroutines, and both share the sending host's egress
+// link.
+type Testbed struct {
+	// PerSendCost is the host CPU time consumed per packet send
+	// (JVM-era serialization + syscall on 2003 hardware). It blocks
+	// whichever goroutine performs the send.
+	PerSendCost time.Duration
+	// JMFExtraCost is the reflector baseline's additional per-send
+	// processing overhead (see the calibration note below). Applied only
+	// to the JMF reflector, never to the broker.
+	JMFExtraCost time.Duration
+	// EgressBytesPerSec is the sending host's NIC rate, shared by all
+	// fan-out traffic of the system under test.
+	EgressBytesPerSec int64
+	// LocalDelay is the one-way propagation to co-located (measured)
+	// receivers.
+	LocalDelay time.Duration
+	// RemoteDelay is the one-way propagation to the 388 remote receivers.
+	RemoteDelay time.Duration
+	// LocalJitter/RemoteJitter add uniform random extra delay.
+	LocalJitter  time.Duration
+	RemoteJitter time.Duration
+
+	egress *transport.SharedLimiter
+}
+
+// Calibrated default constants.
+//
+// Packet rate of the paper's 600 Kbps stream at a 1200-byte MTU is
+// ~83 pps (mean inter-packet gap ~12 ms), arriving in per-frame bursts.
+//
+//   - PerSendCost is the baseline host cost both systems pay per
+//     receiver-send (copy + syscall on period hardware).
+//   - JMFExtraCost is the additional per-receiver-send overhead of the
+//     JMF RTPManager path (object churn, synchronized buffers, GC) that
+//     the broker's optimized pipeline eliminated — the paper explicitly
+//     credits "some optimizations on the message transmission" for
+//     NaradaBrokering's advantage. Together they put the reflector's
+//     single-thread fan-out (400 × ~28 µs ≈ 11.5 ms/packet) right at the
+//     saturation knee, reproducing the oscillating 100-400 ms delays of
+//     Figure 3, while the broker pays the same costs across parallel
+//     per-client writers and stays bounded by egress queueing.
+//   - EgressRate is GigE-class: the paper's 400-receiver test pushes
+//     240 Mbps aggregate, impossible on Fast Ethernet, so the testbed
+//     link must have been ~1 Gbps.
+const (
+	defaultPerSendCost  = 25 * time.Microsecond
+	defaultJMFExtraCost = 2 * time.Microsecond
+	defaultEgressRate   = int64(100_000_000) // ≈800 Mbps host NIC
+	defaultLocalDelay   = 200 * time.Microsecond
+	defaultRemoteDelay  = time.Millisecond
+	defaultLocalJitter  = 300 * time.Microsecond
+	defaultRemoteJitter = 2 * time.Millisecond
+)
+
+func (tb Testbed) withDefaults() Testbed {
+	if tb.PerSendCost == 0 {
+		tb.PerSendCost = defaultPerSendCost
+	}
+	if tb.JMFExtraCost == 0 {
+		tb.JMFExtraCost = defaultJMFExtraCost
+	}
+	if tb.EgressBytesPerSec == 0 {
+		tb.EgressBytesPerSec = defaultEgressRate
+	}
+	if tb.LocalDelay == 0 {
+		tb.LocalDelay = defaultLocalDelay
+	}
+	if tb.RemoteDelay == 0 {
+		tb.RemoteDelay = defaultRemoteDelay
+	}
+	if tb.LocalJitter == 0 {
+		tb.LocalJitter = defaultLocalJitter
+	}
+	if tb.RemoteJitter == 0 {
+		tb.RemoteJitter = defaultRemoteJitter
+	}
+	if tb.egress == nil && tb.EgressBytesPerSec > 0 {
+		tb.egress = transport.NewSharedLimiter(tb.EgressBytesPerSec)
+	}
+	return tb
+}
+
+// receiverProfile builds the link profile for one receiver.
+func (tb Testbed) receiverProfile(colocated bool) transport.LinkProfile {
+	p := transport.LinkProfile{
+		SendCost: tb.PerSendCost,
+		Egress:   tb.egress,
+	}
+	if colocated {
+		p.PropDelay = tb.LocalDelay
+		p.Jitter = tb.LocalJitter
+	} else {
+		p.PropDelay = tb.RemoteDelay
+		p.Jitter = tb.RemoteJitter
+	}
+	return p
+}
+
+// drain discards events from ch until it or done closes.
+func drain(ch <-chan *event.Event, done <-chan struct{}) {
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				return
+			}
+		case <-done:
+			return
+		}
+	}
+}
+
+// drainConn consumes events from a conn until it closes, passing each to
+// handle when non-nil.
+func drainConn(c transport.Conn, handle func(*event.Event)) {
+	for {
+		e, err := c.Recv()
+		if err != nil {
+			return
+		}
+		if handle != nil {
+			handle(e)
+		}
+	}
+}

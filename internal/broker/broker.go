@@ -1,0 +1,724 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/event"
+	"github.com/globalmmcs/globalmmcs/internal/metrics"
+	"github.com/globalmmcs/globalmmcs/internal/topic"
+	"github.com/globalmmcs/globalmmcs/internal/transport"
+)
+
+// Mode selects how a broker network routes events.
+type Mode int
+
+// Routing modes. Enums start at 1 so the zero value is invalid and the
+// constructor can default it.
+const (
+	// ModeClientServer routes along subscription advertisements (the
+	// paper's "client-server mode like JMS").
+	ModeClientServer Mode = iota + 1
+	// ModePeerToPeer floods events to all peers with TTL and duplicate
+	// suppression (the paper's "JXTA-like peer-to-peer mode").
+	ModePeerToPeer
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeClientServer:
+		return "client-server"
+	case ModePeerToPeer:
+		return "peer-to-peer"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config parameterises a Broker. The zero value is usable: New fills
+// defaults.
+type Config struct {
+	// ID uniquely names the broker in the network. Default "broker-1".
+	ID string
+	// Mode selects the routing mode. Default ModeClientServer.
+	Mode Mode
+	// QueueDepth bounds each session's best-effort lane. Default 512.
+	QueueDepth int
+	// DedupCapacity sizes the duplicate-suppression cache. Default 65536.
+	DedupCapacity int
+	// ReliableWindow bounds unacked reliable events per session before the
+	// broker disconnects the laggard. Default 4096.
+	ReliableWindow int
+	// RetransmitInterval is the reliable-delivery RTO. Default 200ms.
+	RetransmitInterval time.Duration
+	// MaxRetransmits bounds delivery attempts per reliable event.
+	// Default 10.
+	MaxRetransmits int
+	// AdvRefreshInterval is the soft-state refresh period for
+	// subscription advertisements between brokers. Default 2s.
+	AdvRefreshInterval time.Duration
+	// DisableRouteCache turns off per-topic match memoisation — an
+	// ablation knob for the "optimizations on the message transmission"
+	// the paper credits for the broker's media performance.
+	DisableRouteCache bool
+	// Metrics receives broker counters; nil allocates a private registry.
+	Metrics *metrics.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.ID == "" {
+		c.ID = "broker-1"
+	}
+	if c.Mode == 0 {
+		c.Mode = ModeClientServer
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 512
+	}
+	if c.DedupCapacity <= 0 {
+		c.DedupCapacity = 65536
+	}
+	if c.ReliableWindow <= 0 {
+		c.ReliableWindow = 4096
+	}
+	if c.RetransmitInterval <= 0 {
+		c.RetransmitInterval = 200 * time.Millisecond
+	}
+	if c.MaxRetransmits <= 0 {
+		c.MaxRetransmits = 10
+	}
+	if c.AdvRefreshInterval <= 0 {
+		c.AdvRefreshInterval = 2 * time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = &metrics.Registry{}
+	}
+	return c
+}
+
+// Broker is one node of the messaging middleware.
+type Broker struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	closed   bool
+	subs     *topic.Trie[*session]
+	sessions map[*session]struct{}
+	peers    map[*session]struct{}
+	ids      map[string]*session
+	// patternRefs counts local client subscriptions per pattern; the
+	// 0→1 and 1→0 edges trigger advertisements to peers.
+	patternRefs map[string]int
+	// advApplied records the newest advertisement sequence applied per
+	// (origin, pattern), so replays and loops are ignored.
+	advApplied map[string]map[string]uint64
+	// routeCache memoises trie matches per concrete topic until any
+	// subscription change bumps the version.
+	routeCache   map[string][]*session
+	routeVersion uint64
+
+	advSeq    uint64
+	dedup     *dedupCache
+	listeners []transport.Listener
+
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// New creates a broker and starts its housekeeping loop.
+func New(cfg Config) *Broker {
+	cfg = cfg.withDefaults()
+	b := &Broker{
+		cfg:         cfg,
+		subs:        topic.NewTrie[*session](),
+		sessions:    make(map[*session]struct{}),
+		peers:       make(map[*session]struct{}),
+		ids:         make(map[string]*session),
+		patternRefs: make(map[string]int),
+		advApplied:  make(map[string]map[string]uint64),
+		routeCache:  make(map[string][]*session),
+		dedup:       newDedupCache(cfg.DedupCapacity),
+		done:        make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.housekeeping()
+	return b
+}
+
+// ID returns the broker's identity.
+func (b *Broker) ID() string { return b.cfg.ID }
+
+// Mode returns the routing mode.
+func (b *Broker) Mode() Mode { return b.cfg.Mode }
+
+// Metrics returns the broker's metrics registry.
+func (b *Broker) Metrics() *metrics.Registry { return b.cfg.Metrics }
+
+func (b *Broker) metrics() *metrics.Registry { return b.cfg.Metrics }
+
+// Serve accepts connections from l until the listener or broker closes.
+// The listener is closed by Stop.
+func (b *Broker) Serve(l transport.Listener) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		l.Close()
+		return
+	}
+	b.listeners = append(b.listeners, l)
+	b.mu.Unlock()
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			b.wg.Add(1)
+			go func() {
+				defer b.wg.Done()
+				b.handshake(conn)
+			}()
+		}
+	}()
+}
+
+// Listen starts a listener on the URL and serves it.
+func (b *Broker) Listen(url string) (transport.Listener, error) {
+	l, err := transport.Listen(url)
+	if err != nil {
+		return nil, err
+	}
+	b.Serve(l)
+	return l, nil
+}
+
+// handshake reads the first event on a new conn to learn whether the
+// remote is a client or a peer broker, then attaches a session.
+func (b *Broker) handshake(conn transport.Conn) {
+	first, err := conn.Recv()
+	if err != nil {
+		conn.Close()
+		return
+	}
+	id := first.Headers[hdrID]
+	switch {
+	case first.Topic == topicHello && id != "":
+		if _, err := b.attach(conn, id, false); err != nil {
+			conn.Close()
+		}
+	case first.Topic == topicPeer && id != "":
+		modeStr := first.Headers[hdrMode]
+		m, _ := strconv.Atoi(modeStr)
+		if Mode(m) != b.cfg.Mode {
+			conn.Close()
+			return
+		}
+		s, err := b.attach(conn, id, true)
+		if err != nil {
+			conn.Close()
+			return
+		}
+		// Reply so the dialer learns our identity, then share soft state.
+		s.queue.pushReliable(peerHelloEvent(b.cfg.ID, b.cfg.Mode))
+		b.sendAdvertisementSnapshot(s)
+	default:
+		conn.Close()
+	}
+}
+
+// attach registers a session for conn and starts its goroutines.
+func (b *Broker) attach(conn transport.Conn, id string, isPeer bool) (*session, error) {
+	s := newSession(b, conn, id, isPeer)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, errors.New("broker: closed")
+	}
+	if old, exists := b.ids[id]; exists {
+		b.mu.Unlock()
+		// A reconnecting client supersedes its old session.
+		old.close()
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			return nil, errors.New("broker: closed")
+		}
+	}
+	b.ids[id] = s
+	b.sessions[s] = struct{}{}
+	if isPeer {
+		b.peers[s] = struct{}{}
+	}
+	b.mu.Unlock()
+	s.start()
+	b.metrics().Counter("broker.sessions_attached").Inc()
+	return s, nil
+}
+
+// detach removes a session after its conn closed.
+func (b *Broker) detach(s *session) {
+	b.mu.Lock()
+	if _, ok := b.sessions[s]; !ok {
+		b.mu.Unlock()
+		return
+	}
+	delete(b.sessions, s)
+	delete(b.peers, s)
+	if b.ids[s.id] == s {
+		delete(b.ids, s.id)
+	}
+	b.subs.RemoveAll(s)
+	b.routeVersion++
+	clear(b.routeCache)
+	// Release this client's pattern refcounts; collect 1→0 edges.
+	var removals []string
+	for p := range s.localPatterns {
+		b.patternRefs[p]--
+		if b.patternRefs[p] <= 0 {
+			delete(b.patternRefs, p)
+			removals = append(removals, p)
+		}
+	}
+	peers := b.peerList(nil)
+	b.mu.Unlock()
+	if b.cfg.Mode == ModeClientServer {
+		for _, p := range removals {
+			b.advertise(peers, advRemove, p)
+		}
+	}
+	b.metrics().Counter("broker.sessions_detached").Inc()
+}
+
+// subscribe registers a client pattern and advertises the 0→1 edge.
+func (b *Broker) subscribe(s *session, pattern string) error {
+	if err := topic.ValidatePattern(pattern); err != nil {
+		return err
+	}
+	if isControlTopic(pattern) {
+		return fmt.Errorf("broker: pattern %q is in the reserved namespace", pattern)
+	}
+	b.mu.Lock()
+	if _, dup := s.localPatterns[pattern]; dup {
+		b.mu.Unlock()
+		return nil
+	}
+	s.localPatterns[pattern] = struct{}{}
+	if err := b.subs.Add(pattern, s); err != nil {
+		b.mu.Unlock()
+		return err
+	}
+	b.routeVersion++
+	clear(b.routeCache)
+	b.patternRefs[pattern]++
+	isNew := b.patternRefs[pattern] == 1
+	peers := b.peerList(nil)
+	b.mu.Unlock()
+	if isNew && b.cfg.Mode == ModeClientServer {
+		b.advertise(peers, advAdd, pattern)
+	}
+	return nil
+}
+
+// unsubscribe removes a client pattern and advertises the 1→0 edge.
+func (b *Broker) unsubscribe(s *session, pattern string) {
+	b.mu.Lock()
+	if _, ok := s.localPatterns[pattern]; !ok {
+		b.mu.Unlock()
+		return
+	}
+	delete(s.localPatterns, pattern)
+	b.subs.Remove(pattern, s)
+	b.routeVersion++
+	clear(b.routeCache)
+	b.patternRefs[pattern]--
+	wasLast := b.patternRefs[pattern] <= 0
+	if wasLast {
+		delete(b.patternRefs, pattern)
+	}
+	peers := b.peerList(nil)
+	b.mu.Unlock()
+	if wasLast && b.cfg.Mode == ModeClientServer {
+		b.advertise(peers, advRemove, pattern)
+	}
+}
+
+// advertise sends one local-pattern advertisement to the given peers.
+func (b *Broker) advertise(peers []*session, op advOp, pattern string) {
+	b.mu.Lock()
+	b.advSeq++
+	seq := b.advSeq
+	b.mu.Unlock()
+	adv := subAdvEvent(op, pattern, b.cfg.ID, seq)
+	for _, p := range peers {
+		p.sendReliable(adv)
+	}
+}
+
+// sendAdvertisementSnapshot brings a new peer link up to date with every
+// pattern this broker can reach: its own local patterns and those learned
+// from other peers.
+func (b *Broker) sendAdvertisementSnapshot(to *session) {
+	if b.cfg.Mode != ModeClientServer {
+		return
+	}
+	type adv struct {
+		pattern, origin string
+		seq             uint64
+	}
+	var advs []adv
+	b.mu.Lock()
+	for p := range b.patternRefs {
+		b.advSeq++
+		advs = append(advs, adv{p, b.cfg.ID, b.advSeq})
+	}
+	for peer := range b.peers {
+		if peer == to {
+			continue
+		}
+		for pattern, origins := range peer.remotePatterns {
+			for origin := range origins {
+				seq := b.advApplied[origin][pattern]
+				advs = append(advs, adv{pattern, origin, seq})
+			}
+		}
+	}
+	b.mu.Unlock()
+	for _, a := range advs {
+		to.sendReliable(subAdvEvent(advAdd, a.pattern, a.origin, a.seq))
+	}
+}
+
+// handleAdvertisement applies a peer's subscription advertisement and
+// re-propagates it to other peers.
+func (b *Broker) handleAdvertisement(from *session, e *event.Event) {
+	pattern := e.Headers[hdrPattern]
+	origin := e.Headers[hdrOrigin]
+	op := advOp(e.Headers[hdrOp])
+	seq, err := headerUint(e, hdrSeq)
+	if err != nil || pattern == "" || origin == "" {
+		return
+	}
+	if origin == b.cfg.ID {
+		return // our own advertisement echoed back
+	}
+	b.mu.Lock()
+	applied := b.advApplied[origin]
+	if applied == nil {
+		applied = make(map[string]uint64)
+		b.advApplied[origin] = applied
+	}
+	if seq < applied[pattern] {
+		b.mu.Unlock()
+		return
+	}
+	refresh := seq == applied[pattern] && op == advAdd
+	applied[pattern] = seq
+	switch op {
+	case advAdd:
+		origins := from.remotePatterns[pattern]
+		if origins == nil {
+			origins = make(map[string]time.Time)
+			from.remotePatterns[pattern] = origins
+		}
+		origins[origin] = time.Now()
+		if err := b.subs.Add(pattern, from); err != nil {
+			b.mu.Unlock()
+			return
+		}
+		b.routeVersion++
+		clear(b.routeCache)
+	case advRemove:
+		if origins, ok := from.remotePatterns[pattern]; ok {
+			delete(origins, origin)
+			if len(origins) == 0 {
+				delete(from.remotePatterns, pattern)
+				b.subs.Remove(pattern, from)
+				b.routeVersion++
+				clear(b.routeCache)
+			}
+		}
+	default:
+		b.mu.Unlock()
+		return
+	}
+	peers := b.peerList(from)
+	b.mu.Unlock()
+	if refresh {
+		return // periodic refresh already propagated once
+	}
+	for _, p := range peers {
+		p.sendReliable(e)
+	}
+}
+
+// peerList snapshots current peers, excluding one. Callers hold b.mu.
+func (b *Broker) peerList(except *session) []*session {
+	out := make([]*session, 0, len(b.peers))
+	for p := range b.peers {
+		if p != except {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// route delivers an event to matching local sessions and forwards it to
+// peers according to the routing mode. from is nil for loopback publishes.
+func (b *Broker) route(e *event.Event, from *session) {
+	fromPeer := from != nil && from.isPeer
+	if fromPeer || b.cfg.Mode == ModePeerToPeer {
+		if b.dedup.seen(e.Key()) {
+			b.metrics().Counter("broker.duplicates").Inc()
+			return
+		}
+	}
+	targets := b.matchSessions(e.Topic)
+	var peerCopy *event.Event
+	delivered := 0
+	for _, t := range targets {
+		if t == from && t.isPeer {
+			continue // split horizon: never echo back along the inbound link
+		}
+		if t.isPeer {
+			if e.TTL == 0 {
+				continue
+			}
+			if peerCopy == nil {
+				c := *e
+				c.TTL--
+				peerCopy = &c
+			}
+			t.deliver(peerCopy)
+		} else {
+			t.deliver(e)
+		}
+		delivered++
+	}
+	if b.cfg.Mode == ModePeerToPeer && e.TTL > 0 {
+		c := *e
+		c.TTL--
+		b.mu.RLock()
+		peers := make([]*session, 0, len(b.peers))
+		for p := range b.peers {
+			if p != from {
+				peers = append(peers, p)
+			}
+		}
+		b.mu.RUnlock()
+		for _, p := range peers {
+			p.deliver(&c)
+			delivered++
+		}
+	}
+	b.metrics().Counter("broker.events_routed").Inc()
+	if delivered == 0 {
+		b.metrics().Counter("broker.events_unroutable").Inc()
+	}
+}
+
+// matchSessions resolves the sessions subscribed to a concrete topic,
+// using the route cache when no subscription has changed.
+func (b *Broker) matchSessions(t string) []*session {
+	if b.cfg.DisableRouteCache {
+		b.mu.RLock()
+		defer b.mu.RUnlock()
+		return b.subs.Match(t, nil)
+	}
+	b.mu.RLock()
+	if cached, ok := b.routeCache[t]; ok {
+		b.mu.RUnlock()
+		return cached
+	}
+	b.mu.RUnlock()
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if cached, ok := b.routeCache[t]; ok {
+		return cached
+	}
+	matched := b.subs.Match(t, nil)
+	if len(b.routeCache) < 4096 { // bound the cache
+		b.routeCache[t] = matched
+	}
+	return matched
+}
+
+// Publish injects an event into the broker as if a local client had sent
+// it. The event must have Source and ID set for duplicate suppression.
+func (b *Broker) Publish(e *event.Event) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	if err := topic.ValidateTopic(e.Topic); err != nil {
+		return err
+	}
+	if isControlTopic(e.Topic) {
+		return fmt.Errorf("broker: cannot publish to reserved topic %q", e.Topic)
+	}
+	b.route(e, nil)
+	return nil
+}
+
+// AcceptConn serves one conn established out-of-band, running the same
+// handshake as a listener-accepted connection (client hello or peer
+// hello). It returns once the session is attached or rejected.
+func (b *Broker) AcceptConn(conn transport.Conn) {
+	b.handshake(conn)
+}
+
+// ConnectPeer dials url and links this broker to the remote broker.
+func (b *Broker) ConnectPeer(url string) error {
+	conn, err := transport.Dial(url)
+	if err != nil {
+		return err
+	}
+	return b.ConnectPeerConn(conn)
+}
+
+// ConnectPeerConn links this broker to a remote broker over an
+// established conn. The handshake exchanges broker IDs and advertisement
+// snapshots.
+func (b *Broker) ConnectPeerConn(conn transport.Conn) error {
+	if err := conn.Send(peerHelloEvent(b.cfg.ID, b.cfg.Mode)); err != nil {
+		conn.Close()
+		return fmt.Errorf("broker: peer hello: %w", err)
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("broker: waiting for peer hello reply: %w", err)
+	}
+	// The reply may be tagged reliable; honour its rseq by acking later
+	// through the session. Identity is all that matters here.
+	if reply.Topic != topicPeer || reply.Headers[hdrID] == "" {
+		conn.Close()
+		return fmt.Errorf("broker: unexpected first event %q from peer", reply.Topic)
+	}
+	s, err := b.attach(conn, reply.Headers[hdrID], true)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if rseqStr, ok := reply.Headers[hdrRSeq]; ok {
+		if rseq, err := parseUint(rseqStr); err == nil {
+			cum, _ := s.acceptReliable(rseq)
+			s.queue.pushReliable(ackEvent(cum))
+		}
+	}
+	b.sendAdvertisementSnapshot(s)
+	return nil
+}
+
+// housekeeping drives reliable retransmission and advertisement refresh.
+func (b *Broker) housekeeping() {
+	defer b.wg.Done()
+	retrans := time.NewTicker(b.cfg.RetransmitInterval)
+	defer retrans.Stop()
+	refresh := time.NewTicker(b.cfg.AdvRefreshInterval)
+	defer refresh.Stop()
+	for {
+		select {
+		case <-b.done:
+			return
+		case now := <-retrans.C:
+			b.mu.RLock()
+			sessions := make([]*session, 0, len(b.sessions))
+			for s := range b.sessions {
+				sessions = append(sessions, s)
+			}
+			b.mu.RUnlock()
+			for _, s := range sessions {
+				if s.retransmit(now, b.cfg.RetransmitInterval, b.cfg.MaxRetransmits) {
+					s.close()
+				}
+			}
+		case <-refresh.C:
+			if b.cfg.Mode != ModeClientServer {
+				continue
+			}
+			b.mu.Lock()
+			patterns := make([]string, 0, len(b.patternRefs))
+			for p := range b.patternRefs {
+				patterns = append(patterns, p)
+			}
+			peers := b.peerList(nil)
+			b.mu.Unlock()
+			for _, p := range patterns {
+				b.advertise(peers, advAdd, p)
+			}
+			b.pruneStaleAdvertisements()
+		}
+	}
+}
+
+// pruneStaleAdvertisements drops remote patterns that have not been
+// refreshed within three refresh intervals (soft-state expiry).
+func (b *Broker) pruneStaleAdvertisements() {
+	cutoff := time.Now().Add(-3 * b.cfg.AdvRefreshInterval)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for peer := range b.peers {
+		for pattern, origins := range peer.remotePatterns {
+			for origin, last := range origins {
+				if last.Before(cutoff) {
+					delete(origins, origin)
+				}
+			}
+			if len(origins) == 0 {
+				delete(peer.remotePatterns, pattern)
+				b.subs.Remove(pattern, peer)
+				b.routeVersion++
+				clear(b.routeCache)
+			}
+		}
+	}
+}
+
+// SessionCount returns the number of attached sessions (clients + peers).
+func (b *Broker) SessionCount() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.sessions)
+}
+
+// PeerCount returns the number of attached peer links.
+func (b *Broker) PeerCount() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.peers)
+}
+
+// Stop closes all listeners and sessions and waits for every goroutine.
+func (b *Broker) Stop() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	listeners := b.listeners
+	b.listeners = nil
+	sessions := make([]*session, 0, len(b.sessions))
+	for s := range b.sessions {
+		sessions = append(sessions, s)
+	}
+	b.mu.Unlock()
+	close(b.done)
+	for _, l := range listeners {
+		l.Close()
+	}
+	for _, s := range sessions {
+		s.stop()
+	}
+	b.wg.Wait()
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func parseUint(s string) (uint64, error) { return strconv.ParseUint(s, 10, 64) }

@@ -1,0 +1,422 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/event"
+	"github.com/globalmmcs/globalmmcs/internal/topic"
+	"github.com/globalmmcs/globalmmcs/internal/transport"
+)
+
+// ErrClientClosed is returned by operations on a closed Client.
+var ErrClientClosed = errors.New("broker: client closed")
+
+// subscribeTimeout bounds the control-plane round trip of Subscribe and
+// Unsubscribe.
+const subscribeTimeout = 10 * time.Second
+
+// Subscription is a client-side subscription delivering matched events on
+// a channel.
+type Subscription struct {
+	client  *Client
+	pattern string
+	drops   atomic.Uint64
+
+	// sendMu serialises channel sends against close so that cancelling a
+	// subscription while traffic is in flight is safe.
+	sendMu sync.Mutex
+	closed bool
+	ch     chan *event.Event
+}
+
+// C returns the delivery channel. It is closed when the subscription is
+// cancelled or the client closes.
+func (s *Subscription) C() <-chan *event.Event { return s.ch }
+
+// Pattern returns the subscription pattern.
+func (s *Subscription) Pattern() string { return s.pattern }
+
+// Drops returns how many best-effort events were discarded because the
+// consumer was slow.
+func (s *Subscription) Drops() uint64 { return s.drops.Load() }
+
+// Cancel unsubscribes. Equivalent to Client.Unsubscribe.
+func (s *Subscription) Cancel() error { return s.client.Unsubscribe(s) }
+
+func (s *Subscription) closeChan() {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+}
+
+// deliver hands an event to the subscription channel. Best-effort events
+// displace the oldest buffered event when the consumer lags; reliable
+// events retry until delivered, the subscription closes, or the client
+// shuts down. The channel send itself is always non-blocking under
+// sendMu, so closeChan can never race a send.
+func (s *Subscription) deliver(e *event.Event, done <-chan struct{}) {
+	for {
+		s.sendMu.Lock()
+		if s.closed {
+			s.sendMu.Unlock()
+			return
+		}
+		select {
+		case s.ch <- e:
+			s.sendMu.Unlock()
+			return
+		default:
+		}
+		if !e.Reliable {
+			// Make room by discarding the oldest buffered event.
+			select {
+			case <-s.ch:
+				s.drops.Add(1)
+			default:
+			}
+			select {
+			case s.ch <- e:
+			default:
+				s.drops.Add(1)
+			}
+			s.sendMu.Unlock()
+			return
+		}
+		s.sendMu.Unlock()
+		select {
+		case <-done:
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Client is the publish/subscribe endpoint used by every Global-MMCS
+// component that talks to the broker network.
+type Client struct {
+	id   string
+	conn transport.Conn
+
+	mu     sync.Mutex
+	closed bool
+	subs   *topic.Trie[*Subscription]
+	subSet map[*Subscription]struct{}
+	// waiters maps ping tokens to response channels for control fencing.
+	waiters map[string]chan struct{}
+
+	nextEventID atomic.Uint64
+	nextToken   atomic.Uint64
+
+	// Reliable receive state (rseq from the broker).
+	recvMu  sync.Mutex
+	recvCum uint64
+	ahead   map[uint64]struct{}
+
+	wg   sync.WaitGroup
+	done chan struct{}
+	once sync.Once
+}
+
+// Dial connects a new client with the given identity to a broker URL.
+func Dial(url, id string) (*Client, error) {
+	conn, err := transport.Dial(url)
+	if err != nil {
+		return nil, err
+	}
+	return Attach(conn, id)
+}
+
+// Attach runs the client handshake over an established conn.
+func Attach(conn transport.Conn, id string) (*Client, error) {
+	if id == "" {
+		return nil, errors.New("broker: client id must not be empty")
+	}
+	if err := conn.Send(helloEvent(id)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("broker: hello: %w", err)
+	}
+	c := &Client{
+		id:      id,
+		conn:    conn,
+		subs:    topic.NewTrie[*Subscription](),
+		subSet:  make(map[*Subscription]struct{}),
+		waiters: make(map[string]chan struct{}),
+		ahead:   make(map[uint64]struct{}),
+		done:    make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// LocalClient attaches an in-process client directly to the broker,
+// shaping the broker→client direction with profile. It is the fast path
+// used by gateways, examples and the benchmark harness.
+func (b *Broker) LocalClient(id string, profile transport.LinkProfile) (*Client, error) {
+	clientEnd, serverEnd := transport.Pipe("mem:"+b.cfg.ID, "mem:"+id)
+	shaped := transport.Shape(serverEnd, profile)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		clientEnd.Close()
+		shaped.Close()
+		return nil, errors.New("broker: closed")
+	}
+	b.wg.Add(1)
+	b.mu.Unlock()
+	go func() {
+		defer b.wg.Done()
+		b.handshake(shaped)
+	}()
+	return Attach(clientEnd, id)
+}
+
+// ID returns the client identity.
+func (c *Client) ID() string { return c.id }
+
+// Done is closed when the client's connection terminates.
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+// Subscribe registers a pattern and returns a Subscription whose channel
+// buffers depth events (default 256 if depth <= 0). It blocks until the
+// broker has applied the subscription.
+func (c *Client) Subscribe(pattern string, depth int) (*Subscription, error) {
+	if err := topic.ValidatePattern(pattern); err != nil {
+		return nil, err
+	}
+	if isControlTopic(pattern) {
+		return nil, fmt.Errorf("broker: pattern %q is reserved", pattern)
+	}
+	if depth <= 0 {
+		depth = 256
+	}
+	sub := &Subscription{client: c, pattern: pattern, ch: make(chan *event.Event, depth)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if err := c.subs.Add(pattern, sub); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.subSet[sub] = struct{}{}
+	c.mu.Unlock()
+
+	if err := c.conn.Send(subEvent(pattern, BestEffort)); err != nil {
+		c.dropSub(sub)
+		return nil, fmt.Errorf("broker: sending subscribe: %w", err)
+	}
+	if err := c.fence(); err != nil {
+		c.dropSub(sub)
+		return nil, err
+	}
+	return sub, nil
+}
+
+// Unsubscribe cancels a subscription and closes its channel.
+func (c *Client) Unsubscribe(sub *Subscription) error {
+	c.mu.Lock()
+	if _, ok := c.subSet[sub]; !ok {
+		c.mu.Unlock()
+		return nil
+	}
+	delete(c.subSet, sub)
+	c.subs.Remove(sub.pattern, sub)
+	stillUsed := false
+	for other := range c.subSet {
+		if other.pattern == sub.pattern {
+			stillUsed = true
+			break
+		}
+	}
+	closed := c.closed
+	c.mu.Unlock()
+	sub.closeChan()
+	if closed || stillUsed {
+		return nil
+	}
+	if err := c.conn.Send(unsubEvent(sub.pattern)); err != nil {
+		return fmt.Errorf("broker: sending unsubscribe: %w", err)
+	}
+	return c.fence()
+}
+
+func (c *Client) dropSub(sub *Subscription) {
+	c.mu.Lock()
+	delete(c.subSet, sub)
+	c.subs.Remove(sub.pattern, sub)
+	c.mu.Unlock()
+	sub.closeChan()
+}
+
+// fence sends a ping and waits for its echo, guaranteeing all prior
+// control requests on this connection have been applied by the broker.
+func (c *Client) fence() error {
+	token := strconv.FormatUint(c.nextToken.Add(1), 10)
+	ch := make(chan struct{}, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClientClosed
+	}
+	c.waiters[token] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiters, token)
+		c.mu.Unlock()
+	}()
+	ping := event.New(topicPing, event.KindControl, nil)
+	ping.Headers = map[string]string{hdrSeq: token}
+	if err := c.conn.Send(ping); err != nil {
+		return fmt.Errorf("broker: sending ping: %w", err)
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-c.done:
+		return ErrClientClosed
+	case <-time.After(subscribeTimeout):
+		return errors.New("broker: control fence timed out")
+	}
+}
+
+// Publish sends a best-effort event to a topic.
+func (c *Client) Publish(t string, kind event.Kind, payload []byte) error {
+	e := event.New(t, kind, payload)
+	return c.PublishEvent(e)
+}
+
+// PublishReliable sends a reliable event to a topic.
+func (c *Client) PublishReliable(t string, kind event.Kind, payload []byte) error {
+	e := event.New(t, kind, payload)
+	e.Reliable = true
+	return c.PublishEvent(e)
+}
+
+// PublishEvent stamps identity onto e and sends it. The event must not be
+// mutated afterwards.
+func (c *Client) PublishEvent(e *event.Event) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	if err := topic.ValidateTopic(e.Topic); err != nil {
+		return err
+	}
+	if isControlTopic(e.Topic) {
+		return fmt.Errorf("broker: topic %q is reserved", e.Topic)
+	}
+	e.Source = c.id
+	e.ID = c.nextEventID.Add(1)
+	if err := c.conn.Send(e); err != nil {
+		return fmt.Errorf("broker: publish: %w", err)
+	}
+	return nil
+}
+
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	defer c.teardown()
+	for {
+		e, err := c.conn.Recv()
+		if err != nil {
+			return
+		}
+		if rseqStr, ok := e.Headers[hdrRSeq]; ok && e.Topic != topicAck {
+			rseq, err := parseUint(rseqStr)
+			if err != nil {
+				continue
+			}
+			cum, fresh := c.acceptReliable(rseq)
+			_ = c.conn.Send(ackEvent(cum))
+			if !fresh {
+				continue
+			}
+			e = e.Clone()
+			delete(e.Headers, hdrRSeq)
+		}
+		if isControlTopic(e.Topic) {
+			if e.Topic == topicPing {
+				c.mu.Lock()
+				ch := c.waiters[e.Headers[hdrSeq]]
+				c.mu.Unlock()
+				if ch != nil {
+					select {
+					case ch <- struct{}{}:
+					default:
+					}
+				}
+			}
+			continue
+		}
+		c.dispatch(e)
+	}
+}
+
+// dispatch fans an event out to matching local subscriptions. Best-effort
+// events are dropped when a consumer lags; reliable events apply
+// backpressure.
+func (c *Client) dispatch(e *event.Event) {
+	c.mu.Lock()
+	var targets []*Subscription
+	c.subs.MatchFunc(e.Topic, func(s *Subscription) {
+		targets = append(targets, s)
+	})
+	c.mu.Unlock()
+	for _, s := range targets {
+		s.deliver(e, c.done)
+	}
+}
+
+func (c *Client) acceptReliable(rseq uint64) (cum uint64, fresh bool) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	if rseq <= c.recvCum {
+		return c.recvCum, false
+	}
+	if _, dup := c.ahead[rseq]; dup {
+		return c.recvCum, false
+	}
+	c.ahead[rseq] = struct{}{}
+	for {
+		if _, ok := c.ahead[c.recvCum+1]; !ok {
+			break
+		}
+		delete(c.ahead, c.recvCum+1)
+		c.recvCum++
+	}
+	return c.recvCum, true
+}
+
+// teardown closes every subscription channel after the conn dies.
+func (c *Client) teardown() {
+	c.once.Do(func() { close(c.done) })
+	c.mu.Lock()
+	c.closed = true
+	subs := make([]*Subscription, 0, len(c.subSet))
+	for s := range c.subSet {
+		subs = append(subs, s)
+	}
+	clear(c.subSet)
+	c.subs = topic.NewTrie[*Subscription]()
+	c.mu.Unlock()
+	for _, s := range subs {
+		s.closeChan()
+	}
+}
+
+// Close disconnects the client and closes all subscription channels.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}

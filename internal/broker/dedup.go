@@ -1,0 +1,51 @@
+package broker
+
+import (
+	"sync"
+
+	"github.com/globalmmcs/globalmmcs/internal/event"
+)
+
+// dedupCache remembers recently seen event keys so that events flooded
+// through cyclic broker topologies are forwarded once. It is a fixed-size
+// FIFO set: the (capacity+1)-th distinct key evicts the oldest.
+type dedupCache struct {
+	mu   sync.Mutex
+	set  map[event.Key]struct{}
+	ring []event.Key
+	head int
+}
+
+func newDedupCache(capacity int) *dedupCache {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &dedupCache{
+		set:  make(map[event.Key]struct{}, capacity),
+		ring: make([]event.Key, capacity),
+	}
+}
+
+// seen records k and reports whether it was already present.
+func (d *dedupCache) seen(k event.Key) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.set[k]; ok {
+		return true
+	}
+	if len(d.set) == len(d.ring) {
+		old := d.ring[d.head]
+		delete(d.set, old)
+	}
+	d.ring[d.head] = k
+	d.set[k] = struct{}{}
+	d.head = (d.head + 1) % len(d.ring)
+	return false
+}
+
+// len returns the number of cached keys (for tests).
+func (d *dedupCache) len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.set)
+}

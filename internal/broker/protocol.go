@@ -1,0 +1,147 @@
+// Package broker implements the NaradaBrokering-substitute messaging
+// middleware of Global-MMCS: topic-based publish/subscribe brokers that
+// can be linked into a distributed network, carrying best-effort media
+// events and reliable signalling events over any transport.Conn.
+//
+// Routing operates in one of two modes, mirroring the paper's
+// "client-server like JMS" and "distributed JXTA-like peer-to-peer"
+// descriptions:
+//
+//   - ModeClientServer: brokers exchange subscription advertisements and
+//     forward events only along links with matching downstream interest.
+//   - ModePeerToPeer: brokers flood events to all peers, bounded by TTL
+//     and suppressed by a duplicate cache.
+package broker
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/globalmmcs/globalmmcs/internal/event"
+)
+
+// Control topics. The "/_nb" prefix is reserved; client subscriptions to
+// it are rejected.
+const (
+	controlPrefix = "/_nb"
+
+	topicHello  = "/_nb/hello"  // first event on any conn: identify client
+	topicPeer   = "/_nb/peer"   // first event on a broker-broker link
+	topicSub    = "/_nb/sub"    // subscribe request
+	topicUnsub  = "/_nb/unsub"  // unsubscribe request
+	topicAck    = "/_nb/ack"    // cumulative reliable ack
+	topicSubAdv = "/_nb/subadv" // broker-broker subscription advertisement
+	topicPing   = "/_nb/ping"   // keepalive
+)
+
+// Control headers.
+const (
+	hdrID      = "id"      // client or broker identity
+	hdrPattern = "pattern" // subscription pattern
+	hdrProfile = "profile" // "reliable" or "besteffort"
+	hdrOp      = "op"      // "add" or "remove" for advertisements
+	hdrOrigin  = "origin"  // originating broker of an advertisement
+	hdrSeq     = "seq"     // advertisement sequence number
+	hdrRSeq    = "rseq"    // reliable delivery sequence number
+	hdrMode    = "mode"    // routing mode carried on peer hello
+)
+
+// Profile selects the delivery guarantees of a subscription.
+type Profile uint8
+
+// Delivery profiles. Enums start at 1 so the zero value is invalid.
+const (
+	// BestEffort delivery may drop events under backpressure (media).
+	BestEffort Profile = iota + 1
+	// Reliable delivery acknowledges and retransmits events (signalling).
+	Reliable
+)
+
+// String implements fmt.Stringer.
+func (p Profile) String() string {
+	switch p {
+	case BestEffort:
+		return "besteffort"
+	case Reliable:
+		return "reliable"
+	default:
+		return fmt.Sprintf("profile(%d)", uint8(p))
+	}
+}
+
+func parseProfile(s string) (Profile, error) {
+	switch s {
+	case "besteffort", "":
+		return BestEffort, nil
+	case "reliable":
+		return Reliable, nil
+	default:
+		return 0, fmt.Errorf("broker: unknown profile %q", s)
+	}
+}
+
+// isControlTopic reports whether t belongs to the reserved namespace.
+func isControlTopic(t string) bool {
+	return len(t) >= len(controlPrefix) && t[:len(controlPrefix)] == controlPrefix
+}
+
+func helloEvent(id string) *event.Event {
+	e := event.New(topicHello, event.KindControl, nil)
+	e.Headers = map[string]string{hdrID: id}
+	return e
+}
+
+func peerHelloEvent(id string, mode Mode) *event.Event {
+	e := event.New(topicPeer, event.KindControl, nil)
+	e.Headers = map[string]string{hdrID: id, hdrMode: strconv.Itoa(int(mode))}
+	return e
+}
+
+func subEvent(pattern string, profile Profile) *event.Event {
+	e := event.New(topicSub, event.KindControl, nil)
+	e.Headers = map[string]string{hdrPattern: pattern, hdrProfile: profile.String()}
+	return e
+}
+
+func unsubEvent(pattern string) *event.Event {
+	e := event.New(topicUnsub, event.KindControl, nil)
+	e.Headers = map[string]string{hdrPattern: pattern}
+	return e
+}
+
+func ackEvent(cum uint64) *event.Event {
+	e := event.New(topicAck, event.KindControl, nil)
+	e.Headers = map[string]string{hdrRSeq: strconv.FormatUint(cum, 10)}
+	return e
+}
+
+// advOp is the operation carried by a subscription advertisement.
+type advOp string
+
+const (
+	advAdd    advOp = "add"
+	advRemove advOp = "remove"
+)
+
+func subAdvEvent(op advOp, pattern, origin string, seq uint64) *event.Event {
+	e := event.New(topicSubAdv, event.KindControl, nil)
+	e.Headers = map[string]string{
+		hdrOp:      string(op),
+		hdrPattern: pattern,
+		hdrOrigin:  origin,
+		hdrSeq:     strconv.FormatUint(seq, 10),
+	}
+	return e
+}
+
+func headerUint(e *event.Event, key string) (uint64, error) {
+	s, ok := e.Headers[key]
+	if !ok {
+		return 0, fmt.Errorf("broker: missing %q header on %s", key, e.Topic)
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("broker: bad %q header: %w", key, err)
+	}
+	return v, nil
+}

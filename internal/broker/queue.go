@@ -1,0 +1,116 @@
+package broker
+
+import (
+	"sync"
+
+	"github.com/globalmmcs/globalmmcs/internal/event"
+)
+
+// sendQueue is the per-session outbound queue. It has two lanes:
+//
+//   - a reliable lane that is never dropped (bounded by the reliable
+//     window; the session disconnects the peer before it overflows), and
+//   - a bounded best-effort lane that drops its oldest entry on overflow,
+//     which is the correct policy for real-time media.
+//
+// pop returns reliable events first.
+type sendQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	rel    []*event.Event
+	be     []*event.Event // ring storage
+	beHead int
+	beLen  int
+	closed bool
+	drops  uint64
+}
+
+func newSendQueue(bestEffortDepth int) *sendQueue {
+	if bestEffortDepth <= 0 {
+		bestEffortDepth = 1
+	}
+	q := &sendQueue{be: make([]*event.Event, bestEffortDepth)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// pushBestEffort enqueues e, dropping the oldest queued event if full.
+// It reports whether the queue accepted the event without dropping.
+func (q *sendQueue) pushBestEffort(e *event.Event) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	dropped := false
+	if q.beLen == len(q.be) {
+		// Drop oldest.
+		q.beHead = (q.beHead + 1) % len(q.be)
+		q.beLen--
+		q.drops++
+		dropped = true
+	}
+	q.be[(q.beHead+q.beLen)%len(q.be)] = e
+	q.beLen++
+	q.cond.Signal()
+	return !dropped
+}
+
+// pushReliable enqueues e on the never-dropped lane.
+func (q *sendQueue) pushReliable(e *event.Event) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.rel = append(q.rel, e)
+	q.cond.Signal()
+}
+
+// pop blocks until an event is available or the queue closes. The second
+// return is false once the queue is closed and drained.
+func (q *sendQueue) pop() (*event.Event, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if len(q.rel) > 0 {
+			e := q.rel[0]
+			q.rel[0] = nil
+			q.rel = q.rel[1:]
+			return e, true
+		}
+		if q.beLen > 0 {
+			e := q.be[q.beHead]
+			q.be[q.beHead] = nil
+			q.beHead = (q.beHead + 1) % len(q.be)
+			q.beLen--
+			return e, true
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// close wakes all poppers; pop drains remaining events first.
+func (q *sendQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// dropCount returns how many best-effort events have been dropped.
+func (q *sendQueue) dropCount() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.drops
+}
+
+// depth returns the total queued events (both lanes).
+func (q *sendQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.rel) + q.beLen
+}

@@ -1,0 +1,208 @@
+package broker
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/event"
+)
+
+func qe(id uint64) *event.Event {
+	return &event.Event{ID: id, Topic: "/q", Kind: event.KindData}
+}
+
+func TestSendQueueFIFO(t *testing.T) {
+	q := newSendQueue(8)
+	for i := range 5 {
+		q.pushBestEffort(qe(uint64(i)))
+	}
+	for i := range 5 {
+		e, ok := q.pop()
+		if !ok || e.ID != uint64(i) {
+			t.Fatalf("pop %d = %v, %v", i, e, ok)
+		}
+	}
+}
+
+func TestSendQueueDropOldest(t *testing.T) {
+	q := newSendQueue(3)
+	for i := range 5 {
+		q.pushBestEffort(qe(uint64(i)))
+	}
+	if q.dropCount() != 2 {
+		t.Fatalf("drops = %d, want 2", q.dropCount())
+	}
+	// Oldest two (0,1) dropped; expect 2,3,4.
+	for _, want := range []uint64{2, 3, 4} {
+		e, ok := q.pop()
+		if !ok || e.ID != want {
+			t.Fatalf("pop = %v, %v; want id %d", e, ok, want)
+		}
+	}
+}
+
+func TestSendQueueReliablePriority(t *testing.T) {
+	q := newSendQueue(8)
+	q.pushBestEffort(qe(1))
+	q.pushReliable(qe(100))
+	e, _ := q.pop()
+	if e.ID != 100 {
+		t.Fatalf("pop = %d, want reliable event 100 first", e.ID)
+	}
+	e, _ = q.pop()
+	if e.ID != 1 {
+		t.Fatalf("pop = %d, want best-effort 1 second", e.ID)
+	}
+}
+
+func TestSendQueueReliableNeverDropped(t *testing.T) {
+	q := newSendQueue(1)
+	for i := range 100 {
+		q.pushReliable(qe(uint64(i)))
+	}
+	if q.depth() != 100 {
+		t.Fatalf("depth = %d, want 100", q.depth())
+	}
+	if q.dropCount() != 0 {
+		t.Fatalf("drops = %d, want 0", q.dropCount())
+	}
+}
+
+func TestSendQueuePopBlocksUntilPush(t *testing.T) {
+	q := newSendQueue(4)
+	got := make(chan uint64, 1)
+	go func() {
+		e, ok := q.pop()
+		if ok {
+			got <- e.ID
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.pushBestEffort(qe(7))
+	select {
+	case id := <-got:
+		if id != 7 {
+			t.Fatalf("got %d, want 7", id)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pop never unblocked")
+	}
+}
+
+func TestSendQueueCloseDrains(t *testing.T) {
+	q := newSendQueue(4)
+	q.pushBestEffort(qe(1))
+	q.close()
+	if e, ok := q.pop(); !ok || e.ID != 1 {
+		t.Fatalf("pop after close = %v, %v; want queued event", e, ok)
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop after drain should report closed")
+	}
+}
+
+func TestSendQueueCloseUnblocksPop(t *testing.T) {
+	q := newSendQueue(4)
+	done := make(chan struct{})
+	go func() {
+		q.pop()
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.close()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("pop did not unblock on close")
+	}
+}
+
+func TestSendQueuePushAfterCloseIgnored(t *testing.T) {
+	q := newSendQueue(4)
+	q.close()
+	if q.pushBestEffort(qe(1)) {
+		t.Fatal("push accepted after close")
+	}
+	q.pushReliable(qe(2))
+	if _, ok := q.pop(); ok {
+		t.Fatal("event queued after close")
+	}
+}
+
+func TestSendQueueConcurrentProducersConsumer(t *testing.T) {
+	q := newSendQueue(100000)
+	const producers, per = 8, 1000
+	var wg sync.WaitGroup
+	for range producers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range per {
+				q.pushBestEffort(qe(uint64(i)))
+			}
+		}()
+	}
+	received := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for received < producers*per {
+			if _, ok := q.pop(); !ok {
+				return
+			}
+			received++
+		}
+	}()
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("consumer stalled at %d", received)
+	}
+	if received != producers*per {
+		t.Fatalf("received %d, want %d", received, producers*per)
+	}
+}
+
+func TestDedupCache(t *testing.T) {
+	d := newDedupCache(3)
+	k := func(i uint64) event.Key { return event.Key{Source: "s", ID: i} }
+	if d.seen(k(1)) {
+		t.Fatal("fresh key reported seen")
+	}
+	if !d.seen(k(1)) {
+		t.Fatal("repeated key not reported seen")
+	}
+	d.seen(k(2))
+	d.seen(k(3))
+	// Capacity 3; adding a 4th evicts key 1.
+	d.seen(k(4))
+	if d.seen(k(1)) {
+		t.Fatal("evicted key still reported seen")
+	}
+	if !d.seen(k(4)) {
+		t.Fatal("recent key lost")
+	}
+	if d.len() > 3 {
+		t.Fatalf("cache grew to %d, capacity 3", d.len())
+	}
+}
+
+func TestDedupCacheConcurrent(t *testing.T) {
+	d := newDedupCache(1024)
+	var wg sync.WaitGroup
+	for g := range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range 1000 {
+				d.seen(event.Key{Source: "s", ID: uint64(g*1000 + i)})
+			}
+		}()
+	}
+	wg.Wait()
+	if d.len() > 1024 {
+		t.Fatalf("cache exceeded capacity: %d", d.len())
+	}
+}

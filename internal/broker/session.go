@@ -1,0 +1,259 @@
+package broker
+
+import (
+	"sync"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/event"
+	"github.com/globalmmcs/globalmmcs/internal/transport"
+)
+
+// relEntry tracks one reliable event awaiting acknowledgement.
+type relEntry struct {
+	e        *event.Event
+	lastSend time.Time
+	attempts int
+}
+
+// session is the broker-side state for one attached remote: either a
+// client or a peer broker link.
+type session struct {
+	b      *Broker
+	conn   transport.Conn
+	id     string
+	isPeer bool
+	queue  *sendQueue
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	// Reliable sender state: events sent with e.Reliable await cumulative
+	// acks; the housekeeping loop retransmits stragglers.
+	relMu    sync.Mutex
+	nextRSeq uint64
+	unacked  map[uint64]*relEntry
+
+	// Reliable receiver state: rseq-tagged events arriving on this
+	// session are deduplicated and cumulatively acknowledged.
+	recvMu  sync.Mutex
+	recvCum uint64              // highest contiguous rseq delivered
+	ahead   map[uint64]struct{} // delivered above the contiguous point
+
+	// remotePatterns is peer-link soft state: pattern → origin broker →
+	// last refresh time. Guarded by the broker mutex.
+	remotePatterns map[string]map[string]time.Time
+
+	// localPatterns tracks a client's own subscriptions so disconnect can
+	// release refcounts. Guarded by the broker mutex.
+	localPatterns map[string]struct{}
+}
+
+func newSession(b *Broker, conn transport.Conn, id string, isPeer bool) *session {
+	return &session{
+		b:              b,
+		conn:           conn,
+		id:             id,
+		isPeer:         isPeer,
+		queue:          newSendQueue(b.cfg.QueueDepth),
+		unacked:        make(map[uint64]*relEntry),
+		ahead:          make(map[uint64]struct{}),
+		remotePatterns: make(map[string]map[string]time.Time),
+		localPatterns:  make(map[string]struct{}),
+	}
+}
+
+// start launches the reader and writer goroutines.
+func (s *session) start() {
+	s.wg.Add(2)
+	go s.readLoop()
+	go s.writeLoop()
+}
+
+// deliver routes one event to this session respecting its reliability.
+func (s *session) deliver(e *event.Event) {
+	if e.Reliable {
+		s.sendReliable(e)
+		return
+	}
+	if !s.queue.pushBestEffort(e) {
+		s.b.metrics().Counter("broker.queue_drops").Inc()
+	}
+}
+
+// sendReliable clones e, tags it with this session's next rseq and
+// enqueues it on the never-dropped lane.
+func (s *session) sendReliable(e *event.Event) {
+	s.relMu.Lock()
+	if len(s.unacked) >= s.b.cfg.ReliableWindow {
+		// The remote stopped acking; disconnecting is the only safe move
+		// that doesn't grow memory without bound.
+		s.relMu.Unlock()
+		s.b.metrics().Counter("broker.reliable_overflow").Inc()
+		s.close()
+		return
+	}
+	s.nextRSeq++
+	rseq := s.nextRSeq
+	c := e.Clone()
+	if c.Headers == nil {
+		c.Headers = make(map[string]string, 1)
+	}
+	c.Headers[hdrRSeq] = formatUint(rseq)
+	s.unacked[rseq] = &relEntry{e: c, lastSend: time.Now(), attempts: 1}
+	s.relMu.Unlock()
+	s.queue.pushReliable(c)
+}
+
+// handleAck applies a cumulative acknowledgement.
+func (s *session) handleAck(cum uint64) {
+	s.relMu.Lock()
+	defer s.relMu.Unlock()
+	for rseq := range s.unacked {
+		if rseq <= cum {
+			delete(s.unacked, rseq)
+		}
+	}
+}
+
+// retransmit re-enqueues unacked reliable events older than rto. It
+// reports whether the session should be closed (too many attempts).
+func (s *session) retransmit(now time.Time, rto time.Duration, maxAttempts int) bool {
+	s.relMu.Lock()
+	defer s.relMu.Unlock()
+	for _, entry := range s.unacked {
+		if now.Sub(entry.lastSend) < rto {
+			continue
+		}
+		if entry.attempts >= maxAttempts {
+			return true
+		}
+		entry.attempts++
+		entry.lastSend = now
+		s.queue.pushReliable(entry.e)
+		s.b.metrics().Counter("broker.retransmits").Inc()
+	}
+	return false
+}
+
+// acceptReliable performs receiver-side dedup for an rseq-tagged event.
+// It returns the cumulative ack to send and whether the event is new.
+func (s *session) acceptReliable(rseq uint64) (cum uint64, fresh bool) {
+	s.recvMu.Lock()
+	defer s.recvMu.Unlock()
+	if rseq <= s.recvCum {
+		return s.recvCum, false
+	}
+	if _, dup := s.ahead[rseq]; dup {
+		return s.recvCum, false
+	}
+	s.ahead[rseq] = struct{}{}
+	for {
+		if _, ok := s.ahead[s.recvCum+1]; !ok {
+			break
+		}
+		delete(s.ahead, s.recvCum+1)
+		s.recvCum++
+	}
+	return s.recvCum, true
+}
+
+func (s *session) readLoop() {
+	defer s.wg.Done()
+	defer s.close()
+	for {
+		e, err := s.conn.Recv()
+		if err != nil {
+			return
+		}
+		s.b.metrics().Counter("broker.events_in").Inc()
+		// Hop-by-hop reliability: rseq-tagged events (control or data) are
+		// deduplicated and cumulatively acknowledged before processing.
+		if rseqStr, ok := e.Headers[hdrRSeq]; ok && e.Topic != topicAck {
+			rseq, err := parseUint(rseqStr)
+			if err != nil {
+				continue
+			}
+			cum, fresh := s.acceptReliable(rseq)
+			s.queue.pushReliable(ackEvent(cum))
+			if !fresh {
+				continue
+			}
+			// Strip the per-hop sequence before re-routing.
+			e = e.Clone()
+			delete(e.Headers, hdrRSeq)
+		}
+		if isControlTopic(e.Topic) {
+			s.handleControl(e)
+			continue
+		}
+		if e.Validate() != nil {
+			s.b.metrics().Counter("broker.invalid_events").Inc()
+			continue
+		}
+		s.b.route(e, s)
+	}
+}
+
+func (s *session) handleControl(e *event.Event) {
+	switch e.Topic {
+	case topicSub:
+		pattern := e.Headers[hdrPattern]
+		if err := s.b.subscribe(s, pattern); err != nil {
+			s.b.metrics().Counter("broker.bad_subscribes").Inc()
+		}
+	case topicUnsub:
+		s.b.unsubscribe(s, e.Headers[hdrPattern])
+	case topicAck:
+		if cum, err := headerUint(e, hdrRSeq); err == nil {
+			s.handleAck(cum)
+		}
+	case topicSubAdv:
+		if s.isPeer {
+			s.b.handleAdvertisement(s, e)
+		}
+	case topicPing:
+		// Echo so clients can fence control-plane ordering: once the pong
+		// arrives, every prior request on this session has been applied.
+		// The echo rides the reliable machinery so it survives lossy links.
+		s.sendReliable(e)
+	default:
+		s.b.metrics().Counter("broker.unknown_control").Inc()
+	}
+}
+
+func (s *session) writeLoop() {
+	defer s.wg.Done()
+	for {
+		e, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		if err := s.conn.Send(e); err != nil {
+			s.close()
+			// Drain remaining queue so close() can complete.
+			for {
+				if _, ok := s.queue.pop(); !ok {
+					return
+				}
+			}
+		}
+		s.b.metrics().Counter("broker.events_out").Inc()
+	}
+}
+
+// close tears the session down and detaches it from the broker. Safe to
+// call multiple times and from any goroutine.
+func (s *session) close() {
+	s.closeOnce.Do(func() {
+		_ = s.conn.Close()
+		s.queue.close()
+		s.b.detach(s)
+	})
+}
+
+// stop closes and waits for the session goroutines (not callable from
+// within those goroutines).
+func (s *session) stop() {
+	s.close()
+	s.wg.Wait()
+}

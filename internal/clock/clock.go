@@ -1,0 +1,103 @@
+// Package clock provides an injectable time source so that schedulers,
+// expiry logic and tests can run against either the wall clock or a
+// deterministic fake.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the subset of package time used across the system.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the time after d has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks for d.
+	Sleep(d time.Duration)
+}
+
+// System is the wall-clock implementation backed by package time.
+type System struct{}
+
+var _ Clock = System{}
+
+// Now implements Clock.
+func (System) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (System) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep implements Clock.
+func (System) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Fake is a manually advanced clock for deterministic tests. The zero value
+// starts at the Unix epoch; use NewFake to pick a start time.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*fakeWaiter
+}
+
+type fakeWaiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+var _ Clock = (*Fake)(nil)
+
+// NewFake returns a Fake clock whose current time is start.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// After implements Clock. The returned channel fires when Advance moves the
+// clock at or past the deadline.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	w := &fakeWaiter{deadline: f.now.Add(d), ch: ch}
+	if d <= 0 {
+		ch <- f.now
+		return ch
+	}
+	f.waiters = append(f.waiters, w)
+	return ch
+}
+
+// Sleep implements Clock. On a Fake clock Sleep returns only when another
+// goroutine advances time past the deadline.
+func (f *Fake) Sleep(d time.Duration) {
+	<-f.After(d)
+}
+
+// Advance moves the clock forward by d and fires any waiters whose deadline
+// has been reached.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	now := f.now
+	remaining := f.waiters[:0]
+	var fired []*fakeWaiter
+	for _, w := range f.waiters {
+		if !w.deadline.After(now) {
+			fired = append(fired, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	f.waiters = remaining
+	f.mu.Unlock()
+	for _, w := range fired {
+		w.ch <- now
+	}
+}

@@ -1,0 +1,106 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSystemNow(t *testing.T) {
+	c := System{}
+	before := time.Now().Add(-time.Second)
+	if got := c.Now(); got.Before(before) {
+		t.Fatalf("System.Now() = %v, too far in the past", got)
+	}
+}
+
+func TestSystemAfterFires(t *testing.T) {
+	c := System{}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(2 * time.Second):
+		t.Fatal("System.After never fired")
+	}
+}
+
+func TestFakeAdvanceFiresWaiters(t *testing.T) {
+	start := time.Unix(1000, 0)
+	f := NewFake(start)
+	ch := f.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before Advance")
+	default:
+	}
+	f.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired too early")
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case got := <-ch:
+		if want := start.Add(10 * time.Second); !got.Equal(want) {
+			t.Fatalf("fired at %v, want %v", got, want)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("After never fired after Advance")
+	}
+}
+
+func TestFakeAfterNonPositiveFiresImmediately(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	select {
+	case <-f.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestFakeSleepUnblocksOnAdvance(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(5 * time.Second)
+		close(done)
+	}()
+	// Give the sleeper a moment to register.
+	time.Sleep(10 * time.Millisecond)
+	f.Advance(5 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep never returned")
+	}
+}
+
+func TestFakeMultipleWaiters(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	a := f.After(time.Second)
+	b := f.After(3 * time.Second)
+	f.Advance(2 * time.Second)
+	select {
+	case <-a:
+	default:
+		t.Fatal("first waiter not fired")
+	}
+	select {
+	case <-b:
+		t.Fatal("second waiter fired early")
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case <-b:
+	default:
+		t.Fatal("second waiter not fired")
+	}
+}
+
+func TestFakeNowAdvances(t *testing.T) {
+	f := NewFake(time.Unix(100, 0))
+	f.Advance(time.Minute)
+	if got, want := f.Now(), time.Unix(160, 0); !got.Equal(want) {
+		t.Fatalf("Now = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/globalmmcs/globalmmcs/internal/broker"
+	"github.com/globalmmcs/globalmmcs/internal/im"
+	"github.com/globalmmcs/globalmmcs/internal/media"
+	"github.com/globalmmcs/globalmmcs/internal/xgsp"
+)
+
+// Client is a user's collaboration endpoint: session control (XGSP),
+// chat and presence (IM), and media publish/subscribe, all over one
+// broker connection.
+type Client struct {
+	userID string
+	// BC is the underlying broker client for direct pub/sub.
+	BC *broker.Client
+	// XGSP issues session requests.
+	XGSP *xgsp.Client
+	// Chat sends room messages and presence.
+	Chat *im.Chatter
+}
+
+// NewClient wraps an attached broker client into a collaboration client.
+func NewClient(bc *broker.Client, userID string) (*Client, error) {
+	xc, err := xgsp.NewClient(bc, userID)
+	if err != nil {
+		return nil, fmt.Errorf("core: xgsp client: %w", err)
+	}
+	chat, err := im.NewChatter(bc, userID)
+	if err != nil {
+		xc.Close()
+		return nil, fmt.Errorf("core: chatter: %w", err)
+	}
+	return &Client{userID: userID, BC: bc, XGSP: xc, Chat: chat}, nil
+}
+
+// UserID returns the client identity.
+func (c *Client) UserID() string { return c.userID }
+
+// Close releases the client and its broker connection.
+func (c *Client) Close() error {
+	c.XGSP.Close()
+	return c.BC.Close()
+}
+
+// CreateSession creates an ad-hoc session.
+func (c *Client) CreateSession(name string) (*xgsp.SessionInfo, error) {
+	return c.XGSP.Create(xgsp.CreateSession{Name: name})
+}
+
+// Join joins a session with a logical terminal name.
+func (c *Client) Join(sessionID, terminal string) (*xgsp.SessionInfo, error) {
+	return c.XGSP.Join(sessionID, terminal, nil)
+}
+
+// Leave leaves a session.
+func (c *Client) Leave(sessionID string) error {
+	return c.XGSP.Leave(sessionID)
+}
+
+// MediaSender returns a paced sender publishing onto one of the
+// session's media topics ("audio" or "video").
+func (c *Client) MediaSender(info *xgsp.SessionInfo, kind xgsp.MediaType) (*media.Sender, error) {
+	for _, m := range info.Media {
+		if m.Type == kind {
+			return media.NewSender(c.BC, m.Topic), nil
+		}
+	}
+	return nil, fmt.Errorf("core: session %s has no %s channel", info.ID, kind)
+}
+
+// SubscribeMedia subscribes to one of the session's media topics.
+func (c *Client) SubscribeMedia(info *xgsp.SessionInfo, kind xgsp.MediaType, depth int) (*broker.Subscription, error) {
+	for _, m := range info.Media {
+		if m.Type == kind {
+			return c.BC.Subscribe(m.Topic, depth)
+		}
+	}
+	return nil, fmt.Errorf("core: session %s has no %s channel", info.ID, kind)
+}

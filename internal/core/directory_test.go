@@ -1,0 +1,85 @@
+package core
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/directory"
+	"github.com/globalmmcs/globalmmcs/internal/h323"
+	"github.com/globalmmcs/globalmmcs/internal/sip"
+)
+
+// TestRegistrationsPopulateDirectory verifies the user↔terminal binding
+// flow of §2.2: registering with the SIP registrar or the H.323
+// gatekeeper records the endpoint as the user's active media terminal.
+func TestRegistrationsPopulateDirectory(t *testing.T) {
+	s := startServer(t, Config{})
+
+	// SIP registration.
+	sipEP, err := sip.NewEndpoint("wenjun", s.SIP.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sipEP.Close()
+	if err := sipEP.Register(s.SIP.Domain(), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	term, err := s.Directory.ActiveTerminal("wenjun")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term.Kind != directory.TerminalSIP || !term.Active {
+		t.Fatalf("terminal = %+v", term)
+	}
+	user, err := s.Directory.User("wenjun")
+	if err != nil || user.Community != "sip" {
+		t.Fatalf("user = %+v, %v", user, err)
+	}
+
+	// H.323 registration.
+	h323EP, err := h323.NewEndpoint("auyar", s.Gatekeeper.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h323EP.Close()
+	if err := h323EP.Discover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h323EP.Register(); err != nil {
+		t.Fatal(err)
+	}
+	term, err = s.Directory.ActiveTerminal("auyar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term.Kind != directory.TerminalH323 {
+		t.Fatalf("terminal = %+v", term)
+	}
+	if _, _, err := net.SplitHostPort(term.Address); err != nil {
+		t.Fatalf("terminal address %q not host:port", term.Address)
+	}
+
+	// A user registering from a second device moves the active binding.
+	sipEP2, err := sip.NewEndpoint("wenjun", s.SIP.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sipEP2.Close()
+	if err := sipEP2.Register(s.SIP.Domain(), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	terms := s.Directory.UserTerminals("wenjun")
+	if len(terms) == 0 {
+		t.Fatal("no terminals recorded")
+	}
+	active := 0
+	for _, tm := range terms {
+		if tm.Active {
+			active++
+		}
+	}
+	if active != 1 {
+		t.Fatalf("active terminals = %d, want exactly 1", active)
+	}
+}

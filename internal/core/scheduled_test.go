@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/clock"
+	"github.com/globalmmcs/globalmmcs/internal/wsci"
+	"github.com/globalmmcs/globalmmcs/internal/xgsp"
+)
+
+// TestScheduledMeetingOverWeb exercises the paper's "scheduled mode":
+// reserve a meeting through the web portal, confirm it is inaccessible
+// until its start time, then watch the scheduler activate it.
+func TestScheduledMeetingOverWeb(t *testing.T) {
+	fake := clock.NewFake(time.Date(2003, 9, 1, 8, 0, 0, 0, time.UTC))
+	s := startServer(t, Config{Clock: fake})
+	client := wsci.NewClient(s.WebAddr() + "/ws")
+
+	start := fake.Now().Add(30 * time.Minute)
+	end := start.Add(time.Hour)
+	var created WSSessionResponse
+	if err := client.Call(&WSCreateSession{
+		Creator: "organizer",
+		Name:    "scheduled-demo",
+		Start:   xgsp.FormatTime(start),
+		End:     xgsp.FormatTime(end),
+	}, &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.Active {
+		t.Fatal("scheduled session active before start")
+	}
+
+	// Not listed among active sessions...
+	var list WSListSessionsResponse
+	if err := client.Call(&WSListSessions{}, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Sessions) != 0 {
+		t.Fatalf("inactive session listed: %+v", list)
+	}
+	// ...but visible with the scheduled flag.
+	if err := client.Call(&WSListSessions{IncludeScheduled: true}, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Sessions) != 1 || list.Sessions[0].Active {
+		t.Fatalf("scheduled listing wrong: %+v", list)
+	}
+
+	// Joining before activation is refused.
+	alice, err := s.Client("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alice.Close()
+	if _, err := alice.Join(created.ID, "t"); err == nil {
+		t.Fatal("joined a session that has not started")
+	}
+
+	// The meeting time arrives.
+	fake.Advance(31 * time.Minute)
+	waitFor(t, 5*time.Second, func() bool {
+		info := s.XGSP.Lookup(created.ID)
+		return info != nil && info.Active
+	})
+	if _, err := alice.Join(created.ID, "t"); err != nil {
+		t.Fatalf("join after activation: %v", err)
+	}
+
+	// And ends on schedule.
+	fake.Advance(2 * time.Hour)
+	waitFor(t, 5*time.Second, func() bool {
+		return s.XGSP.Lookup(created.ID) == nil
+	})
+}
+
+// TestHybridAdHocAndScheduled runs both collaboration patterns side by
+// side, the paper's "hybrid collaboration pattern".
+func TestHybridAdHocAndScheduled(t *testing.T) {
+	fake := clock.NewFake(time.Date(2003, 9, 1, 8, 0, 0, 0, time.UTC))
+	s := startServer(t, Config{Clock: fake})
+	alice, err := s.Client("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alice.Close()
+
+	adhoc, err := alice.CreateSession("hallway-chat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adhoc.Active {
+		t.Fatal("ad-hoc session must activate immediately")
+	}
+	scheduled, err := alice.XGSP.Create(xgsp.CreateSession{
+		Name:  "board-meeting",
+		Start: xgsp.FormatTime(fake.Now().Add(time.Hour)),
+		End:   xgsp.FormatTime(fake.Now().Add(2 * time.Hour)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheduled.Active {
+		t.Fatal("scheduled session active early")
+	}
+	// Both coexist; the ad-hoc one is usable now.
+	if _, err := alice.Join(adhoc.ID, "t"); err != nil {
+		t.Fatal(err)
+	}
+	list, err := alice.XGSP.List(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("list = %+v", list)
+	}
+}

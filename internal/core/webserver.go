@@ -1,0 +1,208 @@
+package core
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+
+	"github.com/globalmmcs/globalmmcs/internal/directory"
+	"github.com/globalmmcs/globalmmcs/internal/wsci"
+	"github.com/globalmmcs/globalmmcs/internal/xgsp"
+)
+
+// SOAP payloads of the XGSP web server — the WSDL-CI frontend through
+// which web portals and other communities drive Global-MMCS (§2.2).
+type (
+	// WSCreateSession creates a session on behalf of a user.
+	WSCreateSession struct {
+		XMLName xml.Name `xml:"CreateSession"`
+		Creator string   `xml:"creator"`
+		Name    string   `xml:"name"`
+		// Start/End (RFC 3339) make the session scheduled.
+		Start string `xml:"start,omitempty"`
+		End   string `xml:"end,omitempty"`
+	}
+	// WSSessionResponse returns the session's catalogue entry.
+	WSSessionResponse struct {
+		XMLName xml.Name `xml:"CreateSessionResponse"`
+		ID      string   `xml:"id"`
+		Name    string   `xml:"name"`
+		Active  bool     `xml:"active"`
+		Control string   `xml:"controlTopic"`
+	}
+	// WSListSessions lists sessions.
+	WSListSessions struct {
+		XMLName          xml.Name `xml:"ListSessions"`
+		IncludeScheduled bool     `xml:"includeScheduled"`
+	}
+	// WSListSessionsResponse carries the catalogue.
+	WSListSessionsResponse struct {
+		XMLName  xml.Name         `xml:"ListSessionsResponse"`
+		Sessions []WSSessionEntry `xml:"session"`
+	}
+	// WSSessionEntry is one catalogue row.
+	WSSessionEntry struct {
+		ID      string `xml:"id,attr"`
+		Name    string `xml:"name,attr"`
+		Active  bool   `xml:"active,attr"`
+		Members int    `xml:"members,attr"`
+	}
+	// WSAddUser registers a user in the directory.
+	WSAddUser struct {
+		XMLName   xml.Name `xml:"AddUser"`
+		ID        string   `xml:"id"`
+		Name      string   `xml:"name"`
+		Community string   `xml:"community"`
+	}
+	// WSOKResponse is a generic acknowledgement.
+	WSOKResponse struct {
+		XMLName xml.Name `xml:"OKResponse"`
+		OK      bool     `xml:"ok"`
+	}
+	// WSRegisterCommunity registers a community collaboration service.
+	WSRegisterCommunity struct {
+		XMLName  xml.Name `xml:"RegisterCommunity"`
+		Name     string   `xml:"name"`
+		Kind     string   `xml:"kind"`
+		Endpoint string   `xml:"endpoint"`
+	}
+	// WSLinkAdmire bridges a session to an Admire conference.
+	WSLinkAdmire struct {
+		XMLName    xml.Name `xml:"LinkAdmire"`
+		SessionID  string   `xml:"session"`
+		Conference string   `xml:"conference"`
+		Endpoint   string   `xml:"endpoint"`
+	}
+)
+
+// webUserID is the identity the web frontend acts under in XGSP.
+const webUserID = "xgsp-web-server"
+
+func (s *Server) startWebServer() error {
+	webBC, err := s.localClient(webUserID)
+	if err != nil {
+		return err
+	}
+	xc, err := xgsp.NewClient(webBC, webUserID)
+	if err != nil {
+		return fmt.Errorf("core: web xgsp client: %w", err)
+	}
+	s.gwXGSP = append(s.gwXGSP, xc)
+
+	svc := wsci.NewService("GlobalMMCS")
+	svc.Register(wsci.Operation{
+		Name: "CreateSession", Doc: "create an ad-hoc or scheduled session",
+		Input: "CreateSession", Output: "CreateSessionResponse",
+	}, func(action []byte) (any, error) {
+		var req WSCreateSession
+		if err := xml.Unmarshal(action, &req); err != nil {
+			return nil, err
+		}
+		// Sessions created over the web act under the web server's
+		// identity but record the human creator in the description.
+		info, err := xc.Create(xgsp.CreateSession{
+			Name:        req.Name,
+			Description: "created via web by " + req.Creator,
+			Start:       req.Start,
+			End:         req.End,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &WSSessionResponse{
+			ID: info.ID, Name: info.Name, Active: info.Active, Control: info.ControlTopic,
+		}, nil
+	})
+	svc.Register(wsci.Operation{
+		Name: "ListSessions", Doc: "list active (and scheduled) sessions",
+		Input: "ListSessions", Output: "ListSessionsResponse",
+	}, func(action []byte) (any, error) {
+		var req WSListSessions
+		if err := xml.Unmarshal(action, &req); err != nil {
+			return nil, err
+		}
+		list, err := xc.List(req.IncludeScheduled)
+		if err != nil {
+			return nil, err
+		}
+		resp := &WSListSessionsResponse{}
+		for _, info := range list {
+			resp.Sessions = append(resp.Sessions, WSSessionEntry{
+				ID: info.ID, Name: info.Name, Active: info.Active, Members: len(info.Members),
+			})
+		}
+		return resp, nil
+	})
+	svc.Register(wsci.Operation{
+		Name: "AddUser", Doc: "register a user account",
+		Input: "AddUser", Output: "OKResponse",
+	}, func(action []byte) (any, error) {
+		var req WSAddUser
+		if err := xml.Unmarshal(action, &req); err != nil {
+			return nil, err
+		}
+		if err := s.Directory.AddUser(directory.User{
+			ID: req.ID, Name: req.Name, Community: req.Community,
+		}); err != nil {
+			return nil, err
+		}
+		return &WSOKResponse{OK: true}, nil
+	})
+	svc.Register(wsci.Operation{
+		Name: "RegisterCommunity", Doc: "register a community collaboration service",
+		Input: "RegisterCommunity", Output: "OKResponse",
+	}, func(action []byte) (any, error) {
+		var req WSRegisterCommunity
+		if err := xml.Unmarshal(action, &req); err != nil {
+			return nil, err
+		}
+		if err := s.Communities.Register(wsci.ServiceEntry{
+			Community: req.Name, Kind: req.Kind, Endpoint: req.Endpoint,
+		}); err != nil {
+			return nil, err
+		}
+		if err := s.Directory.AddCommunity(directory.Community{
+			Name: req.Name, ControlEndpoint: req.Endpoint,
+		}); err != nil && !isExists(err) {
+			return nil, err
+		}
+		return &WSOKResponse{OK: true}, nil
+	})
+	svc.Register(wsci.Operation{
+		Name: "LinkAdmire", Doc: "bridge a session to an Admire conference",
+		Input: "LinkAdmire", Output: "OKResponse",
+	}, func(action []byte) (any, error) {
+		var req WSLinkAdmire
+		if err := xml.Unmarshal(action, &req); err != nil {
+			return nil, err
+		}
+		if _, err := s.LinkAdmire(req.SessionID, req.Conference, req.Endpoint); err != nil {
+			return nil, err
+		}
+		return &WSOKResponse{OK: true}, nil
+	})
+
+	ln, err := net.Listen("tcp", s.cfg.WebAddr)
+	if err != nil {
+		return fmt.Errorf("core: binding web server: %w", err)
+	}
+	s.webLn = ln
+	mux := http.NewServeMux()
+	mux.Handle("/ws", svc)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.webSrv = &http.Server{Handler: mux}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = s.webSrv.Serve(ln)
+	}()
+	return nil
+}
+
+func isExists(err error) bool {
+	return errors.Is(err, directory.ErrExists)
+}

@@ -1,0 +1,194 @@
+package event
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire-format limits. They bound memory allocated while decoding input
+// from untrusted connections.
+const (
+	// MaxTopicLen bounds the topic string on the wire.
+	MaxTopicLen = 512
+	// MaxSourceLen bounds the source identifier on the wire.
+	MaxSourceLen = 256
+	// MaxHeaders bounds the number of header pairs.
+	MaxHeaders = 32
+	// MaxHeaderStrLen bounds each header key or value.
+	MaxHeaderStrLen = 1024
+	// MaxPayloadLen bounds the payload (64 KiB fits a UDP datagram budget
+	// comfortably above any RTP packet we generate).
+	MaxPayloadLen = 1 << 20
+	// MaxWireLen bounds a whole encoded event.
+	MaxWireLen = MaxPayloadLen + MaxTopicLen + MaxSourceLen +
+		MaxHeaders*(2*MaxHeaderStrLen+4) + 64
+)
+
+// wireMagic guards against framing desync; wireVersion allows evolution.
+const (
+	wireMagic   = 0xE5
+	wireVersion = 1
+)
+
+// Codec errors.
+var (
+	ErrTruncated  = errors.New("event: truncated wire data")
+	ErrBadMagic   = errors.New("event: bad magic byte")
+	ErrBadVersion = errors.New("event: unsupported wire version")
+)
+
+// flag bits in the header byte.
+const (
+	flagReliable = 1 << 0
+	flagHeaders  = 1 << 1
+)
+
+// AppendMarshal appends the wire encoding of e to dst and returns the
+// extended slice. The layout is:
+//
+//	magic(1) version(1) kind(1) ttl(1) flags(1)
+//	id(8) timestamp(8)
+//	sourceLen(varint) source
+//	topicLen(varint) topic
+//	[nHeaders(varint) (kLen k vLen v)*]
+//	payloadLen(varint) payload
+func AppendMarshal(dst []byte, e *Event) []byte {
+	var flags byte
+	if e.Reliable {
+		flags |= flagReliable
+	}
+	if len(e.Headers) > 0 {
+		flags |= flagHeaders
+	}
+	dst = append(dst, wireMagic, wireVersion, byte(e.Kind), e.TTL, flags)
+	dst = binary.BigEndian.AppendUint64(dst, e.ID)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(e.Timestamp))
+	dst = appendString(dst, e.Source)
+	dst = appendString(dst, e.Topic)
+	if flags&flagHeaders != 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(e.Headers)))
+		for k, v := range e.Headers {
+			dst = appendString(dst, k)
+			dst = appendString(dst, v)
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(e.Payload)))
+	dst = append(dst, e.Payload...)
+	return dst
+}
+
+// Marshal returns the wire encoding of e.
+func Marshal(e *Event) []byte {
+	return AppendMarshal(make([]byte, 0, 64+len(e.Topic)+len(e.Source)+len(e.Payload)), e)
+}
+
+// Unmarshal decodes one event from b, which must contain exactly one
+// encoded event. The returned event's Payload aliases b; callers that
+// retain the event beyond the life of b must Clone it.
+func Unmarshal(b []byte) (*Event, error) {
+	e, rest, err := consume(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("event: %d trailing bytes after event", len(rest))
+	}
+	return e, nil
+}
+
+// consume decodes one event from the front of b and returns the remainder.
+func consume(b []byte) (*Event, []byte, error) {
+	if len(b) < 21 {
+		return nil, nil, ErrTruncated
+	}
+	if b[0] != wireMagic {
+		return nil, nil, ErrBadMagic
+	}
+	if b[1] != wireVersion {
+		return nil, nil, ErrBadVersion
+	}
+	e := &Event{
+		Kind: Kind(b[2]),
+		TTL:  b[3],
+	}
+	flags := b[4]
+	e.Reliable = flags&flagReliable != 0
+	e.ID = binary.BigEndian.Uint64(b[5:13])
+	e.Timestamp = int64(binary.BigEndian.Uint64(b[13:21]))
+	b = b[21:]
+
+	var err error
+	if e.Source, b, err = readString(b, MaxSourceLen, "source"); err != nil {
+		return nil, nil, err
+	}
+	if e.Topic, b, err = readString(b, MaxTopicLen, "topic"); err != nil {
+		return nil, nil, err
+	}
+	if flags&flagHeaders != 0 {
+		n, rest, err := readUvarint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		if n > MaxHeaders {
+			return nil, nil, fmt.Errorf("event: %d headers exceed %d", n, MaxHeaders)
+		}
+		b = rest
+		e.Headers = make(map[string]string, n)
+		for range n {
+			var k, v string
+			if k, b, err = readString(b, MaxHeaderStrLen, "header key"); err != nil {
+				return nil, nil, err
+			}
+			if v, b, err = readString(b, MaxHeaderStrLen, "header value"); err != nil {
+				return nil, nil, err
+			}
+			e.Headers[k] = v
+		}
+	}
+	plen, rest, err := readUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if plen > MaxPayloadLen {
+		return nil, nil, fmt.Errorf("event: payload length %d exceeds %d", plen, MaxPayloadLen)
+	}
+	b = rest
+	if uint64(len(b)) < plen {
+		return nil, nil, ErrTruncated
+	}
+	if plen > 0 {
+		e.Payload = b[:plen:plen]
+	}
+	if !e.Kind.Valid() {
+		return nil, nil, fmt.Errorf("event: invalid kind %d on wire", e.Kind)
+	}
+	return e, b[plen:], nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, ErrTruncated
+	}
+	return v, b[n:], nil
+}
+
+func readString(b []byte, maxLen int, what string) (string, []byte, error) {
+	n, rest, err := readUvarint(b)
+	if err != nil {
+		return "", nil, fmt.Errorf("event: reading %s length: %w", what, err)
+	}
+	if n > uint64(maxLen) {
+		return "", nil, fmt.Errorf("event: %s length %d exceeds %d", what, n, maxLen)
+	}
+	if uint64(len(rest)) < n {
+		return "", nil, fmt.Errorf("event: reading %s: %w", what, ErrTruncated)
+	}
+	return string(rest[:n]), rest[n:], nil
+}

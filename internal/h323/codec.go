@@ -1,0 +1,270 @@
+// Package h323 implements the H.323 subset Global-MMCS gateways: RAS
+// (gatekeeper discovery, registration, admission) over UDP, Q.931/H.225
+// call signalling over TCP, and an H.245 subset (capability exchange,
+// master/slave determination, logical channels) tunnelled in the call
+// signalling connection, as H.323v2 fast-connect deployments did.
+//
+// Substitution note (DESIGN.md §5): real H.323 encodes messages with
+// ASN.1 PER. This package uses a tag-length-value binary coding with the
+// same message and field structure; the experiments never measure PER
+// bit-efficiency, and gateways translate message *semantics*.
+package h323
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MsgType identifies an H.323 message.
+type MsgType uint8
+
+// RAS message types (H.225.0 §7).
+const (
+	MsgGRQ MsgType = iota + 1 // GatekeeperRequest
+	MsgGCF                    // GatekeeperConfirm
+	MsgGRJ                    // GatekeeperReject
+	MsgRRQ                    // RegistrationRequest
+	MsgRCF                    // RegistrationConfirm
+	MsgRRJ                    // RegistrationReject
+	MsgARQ                    // AdmissionRequest
+	MsgACF                    // AdmissionConfirm
+	MsgARJ                    // AdmissionReject
+	MsgDRQ                    // DisengageRequest
+	MsgDCF                    // DisengageConfirm
+
+	// Q.931 / H.225 call signalling.
+	MsgSetup
+	MsgCallProceeding
+	MsgAlerting
+	MsgConnect
+	MsgReleaseComplete
+
+	// H.245 (tunnelled).
+	MsgTerminalCapabilitySet
+	MsgTerminalCapabilitySetAck
+	MsgMasterSlaveDetermination
+	MsgMasterSlaveDeterminationAck
+	MsgOpenLogicalChannel
+	MsgOpenLogicalChannelAck
+	MsgCloseLogicalChannel
+	MsgEndSessionCommand
+
+	msgTypeMax
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	names := map[MsgType]string{
+		MsgGRQ: "GRQ", MsgGCF: "GCF", MsgGRJ: "GRJ",
+		MsgRRQ: "RRQ", MsgRCF: "RCF", MsgRRJ: "RRJ",
+		MsgARQ: "ARQ", MsgACF: "ACF", MsgARJ: "ARJ",
+		MsgDRQ: "DRQ", MsgDCF: "DCF",
+		MsgSetup: "Setup", MsgCallProceeding: "CallProceeding",
+		MsgAlerting: "Alerting", MsgConnect: "Connect",
+		MsgReleaseComplete:             "ReleaseComplete",
+		MsgTerminalCapabilitySet:       "TCS",
+		MsgTerminalCapabilitySetAck:    "TCSAck",
+		MsgMasterSlaveDetermination:    "MSD",
+		MsgMasterSlaveDeterminationAck: "MSDAck",
+		MsgOpenLogicalChannel:          "OLC",
+		MsgOpenLogicalChannelAck:       "OLCAck",
+		MsgCloseLogicalChannel:         "CLC",
+		MsgEndSessionCommand:           "EndSession",
+	}
+	if n, ok := names[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("h323-msg(%d)", uint8(t))
+}
+
+// Valid reports whether t is a defined message type.
+func (t MsgType) Valid() bool { return t >= MsgGRQ && t < msgTypeMax }
+
+// Field tags.
+const (
+	tagEndpointID uint8 = iota + 1
+	tagGatekeeperID
+	tagAlias
+	tagCallID
+	tagConference
+	tagDestAlias
+	tagReason
+	tagChannel
+	tagMediaKind
+	tagRTPAddr
+	tagRTCPAddr
+	tagCapability
+	tagBandwidth
+	tagSignalAddr
+	tagMaster
+)
+
+// Message is the flat representation of any H.323 message in this
+// subset; unset fields are omitted on the wire.
+type Message struct {
+	Type MsgType
+
+	EndpointID   string
+	GatekeeperID string
+	// Alias is the endpoint's H.323 alias (user name).
+	Alias string
+	// CallID correlates signalling across RAS and Q.931.
+	CallID string
+	// Conference carries the XGSP session id in this deployment.
+	Conference string
+	// DestAlias is the called party (a session id for gateway calls).
+	DestAlias string
+	// Reason describes rejects and releases.
+	Reason string
+	// Channel is the H.245 logical channel number.
+	Channel uint32
+	// MediaKind is "audio" or "video" for logical channels.
+	MediaKind string
+	// RTPAddr / RTCPAddr carry media transport addresses.
+	RTPAddr  string
+	RTCPAddr string
+	// Capabilities lists codec names in a TerminalCapabilitySet.
+	Capabilities []string
+	// Bandwidth is the requested bandwidth in units of 100 bit/s (ARQ).
+	Bandwidth uint32
+	// SignalAddr is a call-signalling TCP address (GCF/ACF).
+	SignalAddr string
+	// Master reports the master/slave determination outcome.
+	Master bool
+}
+
+// Codec limits.
+const (
+	maxFieldLen = 1024
+	maxWireLen  = 16 << 10
+)
+
+// Codec errors.
+var (
+	ErrTruncated = errors.New("h323: truncated message")
+	ErrBadType   = errors.New("h323: invalid message type")
+)
+
+func appendField(dst []byte, tag uint8, val []byte) []byte {
+	dst = append(dst, tag)
+	dst = binary.AppendUvarint(dst, uint64(len(val)))
+	return append(dst, val...)
+}
+
+func appendStringField(dst []byte, tag uint8, s string) []byte {
+	if s == "" {
+		return dst
+	}
+	return appendField(dst, tag, []byte(s))
+}
+
+func appendUint32Field(dst []byte, tag uint8, v uint32) []byte {
+	if v == 0 {
+		return dst
+	}
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], v)
+	return appendField(dst, tag, buf[:])
+}
+
+// Marshal encodes the message.
+func (m *Message) Marshal() ([]byte, error) {
+	if !m.Type.Valid() {
+		return nil, fmt.Errorf("%w: %d", ErrBadType, m.Type)
+	}
+	dst := []byte{byte(m.Type)}
+	dst = appendStringField(dst, tagEndpointID, m.EndpointID)
+	dst = appendStringField(dst, tagGatekeeperID, m.GatekeeperID)
+	dst = appendStringField(dst, tagAlias, m.Alias)
+	dst = appendStringField(dst, tagCallID, m.CallID)
+	dst = appendStringField(dst, tagConference, m.Conference)
+	dst = appendStringField(dst, tagDestAlias, m.DestAlias)
+	dst = appendStringField(dst, tagReason, m.Reason)
+	dst = appendUint32Field(dst, tagChannel, m.Channel)
+	dst = appendStringField(dst, tagMediaKind, m.MediaKind)
+	dst = appendStringField(dst, tagRTPAddr, m.RTPAddr)
+	dst = appendStringField(dst, tagRTCPAddr, m.RTCPAddr)
+	for _, c := range m.Capabilities {
+		dst = appendStringField(dst, tagCapability, c)
+	}
+	dst = appendUint32Field(dst, tagBandwidth, m.Bandwidth)
+	dst = appendStringField(dst, tagSignalAddr, m.SignalAddr)
+	if m.Master {
+		dst = appendField(dst, tagMaster, []byte{1})
+	}
+	if len(dst) > maxWireLen {
+		return nil, fmt.Errorf("h323: message too large (%d bytes)", len(dst))
+	}
+	return dst, nil
+}
+
+// Unmarshal decodes a message.
+func Unmarshal(b []byte) (*Message, error) {
+	if len(b) == 0 {
+		return nil, ErrTruncated
+	}
+	if len(b) > maxWireLen {
+		return nil, fmt.Errorf("h323: message too large (%d bytes)", len(b))
+	}
+	m := &Message{Type: MsgType(b[0])}
+	if !m.Type.Valid() {
+		return nil, fmt.Errorf("%w: %d", ErrBadType, b[0])
+	}
+	b = b[1:]
+	for len(b) > 0 {
+		tag := b[0]
+		b = b[1:]
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return nil, ErrTruncated
+		}
+		b = b[sz:]
+		if n > maxFieldLen || uint64(len(b)) < n {
+			return nil, ErrTruncated
+		}
+		val := b[:n]
+		b = b[n:]
+		switch tag {
+		case tagEndpointID:
+			m.EndpointID = string(val)
+		case tagGatekeeperID:
+			m.GatekeeperID = string(val)
+		case tagAlias:
+			m.Alias = string(val)
+		case tagCallID:
+			m.CallID = string(val)
+		case tagConference:
+			m.Conference = string(val)
+		case tagDestAlias:
+			m.DestAlias = string(val)
+		case tagReason:
+			m.Reason = string(val)
+		case tagChannel:
+			if len(val) == 4 {
+				m.Channel = binary.BigEndian.Uint32(val)
+			}
+		case tagMediaKind:
+			m.MediaKind = string(val)
+		case tagRTPAddr:
+			m.RTPAddr = string(val)
+		case tagRTCPAddr:
+			m.RTCPAddr = string(val)
+		case tagCapability:
+			if len(m.Capabilities) < 64 {
+				m.Capabilities = append(m.Capabilities, string(val))
+			}
+		case tagBandwidth:
+			if len(val) == 4 {
+				m.Bandwidth = binary.BigEndian.Uint32(val)
+			}
+		case tagSignalAddr:
+			m.SignalAddr = string(val)
+		case tagMaster:
+			m.Master = len(val) == 1 && val[0] == 1
+		default:
+			// Unknown fields are skipped for forward compatibility.
+		}
+	}
+	return m, nil
+}

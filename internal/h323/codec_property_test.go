@@ -1,0 +1,95 @@
+package h323
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestCodecPropertyRoundtrip verifies marshal→unmarshal is the identity
+// for arbitrary field contents within wire limits.
+func TestCodecPropertyRoundtrip(t *testing.T) {
+	f := func(typ8 uint8, epID, gkID, alias, callID, conf, dest, reason string,
+		channel uint32, kindSel bool, rtpAddr, sigAddr string, bw uint32, master bool) bool {
+		clip := func(s string) string {
+			if len(s) > 200 {
+				s = s[:200]
+			}
+			return s
+		}
+		m := &Message{
+			Type:         MsgType(typ8%uint8(msgTypeMax-1)) + 1,
+			EndpointID:   clip(epID),
+			GatekeeperID: clip(gkID),
+			Alias:        clip(alias),
+			CallID:       clip(callID),
+			Conference:   clip(conf),
+			DestAlias:    clip(dest),
+			Reason:       clip(reason),
+			Channel:      channel,
+			RTPAddr:      clip(rtpAddr),
+			SignalAddr:   clip(sigAddr),
+			Bandwidth:    bw,
+			Master:       master,
+		}
+		if kindSel {
+			m.MediaKind = "audio"
+		}
+		b, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCodecPropertyCapabilities checks the repeated-field path.
+func TestCodecPropertyCapabilities(t *testing.T) {
+	f := func(caps []string) bool {
+		if len(caps) > 32 {
+			caps = caps[:32]
+		}
+		clean := make([]string, 0, len(caps))
+		for _, c := range caps {
+			if len(c) > 0 && len(c) <= 64 {
+				clean = append(clean, c)
+			}
+		}
+		m := &Message{Type: MsgTerminalCapabilitySet, Capabilities: clean}
+		if len(clean) == 0 {
+			m.Capabilities = nil
+		}
+		b, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(m.Capabilities, got.Capabilities)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCodecOversizedFieldRejected bounds decoder memory.
+func TestCodecOversizedFieldRejected(t *testing.T) {
+	m := &Message{Type: MsgRRQ, Alias: strings.Repeat("x", maxFieldLen+1)}
+	b, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err) // marshal allows it; decode must reject
+	}
+	if _, err := Unmarshal(b); err == nil {
+		t.Fatal("oversized field accepted by decoder")
+	}
+}

@@ -1,0 +1,236 @@
+package h323
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/clock"
+	"github.com/globalmmcs/globalmmcs/internal/directory"
+	"github.com/globalmmcs/globalmmcs/internal/metrics"
+)
+
+// maxRASDatagram bounds RAS datagrams.
+const maxRASDatagram = 16 << 10
+
+// registrationTTL is how long an endpoint registration lives without
+// refresh.
+const registrationTTL = time.Hour
+
+// GatekeeperConfig parameterises the gatekeeper.
+type GatekeeperConfig struct {
+	// ListenAddr is the RAS UDP address (e.g. "127.0.0.1:0").
+	ListenAddr string
+	// ID is the gatekeeper identifier announced in GCF.
+	ID string
+	// SignalAddr is the call-signalling (gateway) TCP address handed out
+	// in GCF/ACF.
+	SignalAddr string
+	// Directory, when set, records registered endpoints as the user's
+	// active media terminal.
+	Directory *directory.Store
+	// Clock drives expiry; nil = system.
+	Clock clock.Clock
+	// Metrics receives counters; nil allocates a private registry.
+	Metrics *metrics.Registry
+}
+
+func (c GatekeeperConfig) withDefaults() GatekeeperConfig {
+	if c.ListenAddr == "" {
+		c.ListenAddr = "127.0.0.1:0"
+	}
+	if c.ID == "" {
+		c.ID = "gmmcs-gk"
+	}
+	if c.Clock == nil {
+		c.Clock = clock.System{}
+	}
+	if c.Metrics == nil {
+		c.Metrics = &metrics.Registry{}
+	}
+	return c
+}
+
+// registration is one registered endpoint.
+type registration struct {
+	endpointID string
+	alias      string
+	addr       net.Addr
+	expires    time.Time
+}
+
+// admission is one granted call admission.
+type admission struct {
+	alias      string
+	conference string
+}
+
+// Gatekeeper implements the H.225 RAS side of the paper's "H.323
+// Gatekeeper": endpoint discovery, registration, admission control and
+// disengage, creating the new H.323 administrative domain for individual
+// endpoints.
+type Gatekeeper struct {
+	cfg GatekeeperConfig
+	pc  net.PacketConn
+
+	mu         sync.Mutex
+	byAlias    map[string]*registration
+	byID       map[string]*registration
+	admissions map[string]*admission // callID → admission
+	nextEPID   uint64
+
+	wg   sync.WaitGroup
+	done chan struct{}
+	once sync.Once
+}
+
+// NewGatekeeper binds the RAS socket and starts serving.
+func NewGatekeeper(cfg GatekeeperConfig) (*Gatekeeper, error) {
+	cfg = cfg.withDefaults()
+	if cfg.SignalAddr == "" {
+		return nil, errors.New("h323: gatekeeper needs the gateway signal address")
+	}
+	pc, err := net.ListenPacket("udp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("h323: binding RAS socket: %w", err)
+	}
+	gk := &Gatekeeper{
+		cfg:        cfg,
+		pc:         pc,
+		byAlias:    make(map[string]*registration),
+		byID:       make(map[string]*registration),
+		admissions: make(map[string]*admission),
+		done:       make(chan struct{}),
+	}
+	gk.wg.Add(1)
+	go gk.readLoop()
+	return gk, nil
+}
+
+// Addr returns the RAS UDP address.
+func (gk *Gatekeeper) Addr() string { return gk.pc.LocalAddr().String() }
+
+// Stop closes the socket and waits.
+func (gk *Gatekeeper) Stop() {
+	gk.once.Do(func() { close(gk.done) })
+	gk.pc.Close()
+	gk.wg.Wait()
+}
+
+// Registered reports whether an alias is currently registered.
+func (gk *Gatekeeper) Registered(alias string) bool {
+	gk.mu.Lock()
+	defer gk.mu.Unlock()
+	r, ok := gk.byAlias[alias]
+	return ok && r.expires.After(gk.cfg.Clock.Now())
+}
+
+// Admission looks up a granted admission by call id.
+func (gk *Gatekeeper) Admission(callID string) (alias, conference string, ok bool) {
+	gk.mu.Lock()
+	defer gk.mu.Unlock()
+	a, ok := gk.admissions[callID]
+	if !ok {
+		return "", "", false
+	}
+	return a.alias, a.conference, true
+}
+
+func (gk *Gatekeeper) readLoop() {
+	defer gk.wg.Done()
+	buf := make([]byte, maxRASDatagram)
+	for {
+		n, raddr, err := gk.pc.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		msg, err := Unmarshal(buf[:n:n])
+		if err != nil {
+			gk.cfg.Metrics.Counter("h323.ras_malformed").Inc()
+			continue
+		}
+		gk.cfg.Metrics.Counter("h323.ras_in").Inc()
+		if resp := gk.handle(msg, raddr); resp != nil {
+			if b, err := resp.Marshal(); err == nil {
+				_, _ = gk.pc.WriteTo(b, raddr)
+				gk.cfg.Metrics.Counter("h323.ras_out").Inc()
+			}
+		}
+	}
+}
+
+func (gk *Gatekeeper) handle(msg *Message, raddr net.Addr) *Message {
+	switch msg.Type {
+	case MsgGRQ:
+		return &Message{
+			Type:         MsgGCF,
+			GatekeeperID: gk.cfg.ID,
+			SignalAddr:   gk.cfg.SignalAddr,
+		}
+	case MsgRRQ:
+		if msg.Alias == "" {
+			return &Message{Type: MsgRRJ, Reason: "alias required"}
+		}
+		gk.mu.Lock()
+		defer gk.mu.Unlock()
+		gk.nextEPID++
+		r := &registration{
+			endpointID: fmt.Sprintf("ep-%d", gk.nextEPID),
+			alias:      msg.Alias,
+			addr:       raddr,
+			expires:    gk.cfg.Clock.Now().Add(registrationTTL),
+		}
+		gk.byAlias[msg.Alias] = r
+		gk.byID[r.endpointID] = r
+		gk.cfg.Metrics.Counter("h323.registrations").Inc()
+		if dir := gk.cfg.Directory; dir != nil {
+			if _, err := dir.User(msg.Alias); err != nil {
+				_ = dir.AddUser(directory.User{
+					ID: msg.Alias, Name: msg.Alias, Community: "h323",
+					AudioCapable: true, VideoCapable: true,
+				})
+			}
+			_ = dir.BindTerminal(directory.Terminal{
+				ID:      "h323:" + msg.Alias,
+				UserID:  msg.Alias,
+				Kind:    directory.TerminalH323,
+				Address: raddr.String(),
+				Active:  true,
+			})
+		}
+		return &Message{
+			Type:         MsgRCF,
+			GatekeeperID: gk.cfg.ID,
+			EndpointID:   r.endpointID,
+		}
+	case MsgARQ:
+		gk.mu.Lock()
+		defer gk.mu.Unlock()
+		r, ok := gk.byID[msg.EndpointID]
+		if !ok || !r.expires.After(gk.cfg.Clock.Now()) {
+			return &Message{Type: MsgARJ, Reason: "not registered"}
+		}
+		if msg.CallID == "" || msg.DestAlias == "" {
+			return &Message{Type: MsgARJ, Reason: "callID and destination required"}
+		}
+		gk.admissions[msg.CallID] = &admission{alias: r.alias, conference: msg.DestAlias}
+		gk.cfg.Metrics.Counter("h323.admissions").Inc()
+		return &Message{
+			Type:       MsgACF,
+			CallID:     msg.CallID,
+			SignalAddr: gk.cfg.SignalAddr,
+			Bandwidth:  msg.Bandwidth,
+		}
+	case MsgDRQ:
+		gk.mu.Lock()
+		delete(gk.admissions, msg.CallID)
+		gk.mu.Unlock()
+		gk.cfg.Metrics.Counter("h323.disengages").Inc()
+		return &Message{Type: MsgDCF, CallID: msg.CallID}
+	default:
+		gk.cfg.Metrics.Counter("h323.ras_unexpected").Inc()
+		return nil
+	}
+}

@@ -1,0 +1,340 @@
+package h323
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/globalmmcs/globalmmcs/internal/metrics"
+	"github.com/globalmmcs/globalmmcs/internal/rtpproxy"
+	"github.com/globalmmcs/globalmmcs/internal/xgsp"
+)
+
+// GatewayConfig parameterises the H.323→XGSP gateway.
+type GatewayConfig struct {
+	// ListenAddr is the call-signalling TCP address.
+	ListenAddr string
+	// XGSP joins/leaves sessions on behalf of endpoints.
+	XGSP *xgsp.Client
+	// Proxy allocates RTP bindings for logical channels.
+	Proxy *rtpproxy.Proxy
+	// Gatekeeper validates admissions when set.
+	Gatekeeper *Gatekeeper
+	// Metrics receives counters; nil allocates a private registry.
+	Metrics *metrics.Registry
+}
+
+// Gateway terminates H.225 call signalling and tunnelled H.245,
+// translating calls into XGSP session membership and logical channels
+// into RTP-proxy bindings on session topics — the paper's "H.323
+// gateway ... redirect their RTP channels to the NaradaBrokering
+// servers".
+type Gateway struct {
+	cfg GatewayConfig
+	ln  net.Listener
+
+	mu    sync.Mutex
+	calls map[net.Conn]*gwCall
+
+	wg   sync.WaitGroup
+	done chan struct{}
+	once sync.Once
+}
+
+// gwCall is per-connection call state.
+type gwCall struct {
+	callID    string
+	alias     string
+	session   *xgsp.SessionInfo
+	joined    bool
+	channels  map[uint32]*rtpproxy.Binding
+	nextLocal uint32
+}
+
+// NewGateway binds the signalling listener and starts serving.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	if cfg.XGSP == nil || cfg.Proxy == nil {
+		return nil, errors.New("h323: gateway requires xgsp client and rtp proxy")
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = &metrics.Registry{}
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("h323: binding signalling listener: %w", err)
+	}
+	g := &Gateway{
+		cfg:   cfg,
+		ln:    ln,
+		calls: make(map[net.Conn]*gwCall),
+		done:  make(chan struct{}),
+	}
+	g.wg.Add(1)
+	go g.acceptLoop()
+	return g, nil
+}
+
+// Addr returns the signalling TCP address.
+func (g *Gateway) Addr() string { return g.ln.Addr().String() }
+
+// ActiveCalls returns the number of connected calls.
+func (g *Gateway) ActiveCalls() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.calls)
+}
+
+// Stop closes the listener and all calls.
+func (g *Gateway) Stop() {
+	g.once.Do(func() { close(g.done) })
+	g.ln.Close()
+	g.mu.Lock()
+	conns := make([]net.Conn, 0, len(g.calls))
+	for c := range g.calls {
+		conns = append(conns, c)
+	}
+	g.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	g.wg.Wait()
+}
+
+func (g *Gateway) acceptLoop() {
+	defer g.wg.Done()
+	for {
+		conn, err := g.ln.Accept()
+		if err != nil {
+			return
+		}
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			g.serveConn(conn)
+		}()
+	}
+}
+
+func (g *Gateway) serveConn(conn net.Conn) {
+	call := &gwCall{channels: make(map[uint32]*rtpproxy.Binding)}
+	g.mu.Lock()
+	g.calls[conn] = call
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		delete(g.calls, conn)
+		g.mu.Unlock()
+		g.teardown(call)
+		conn.Close()
+	}()
+	for {
+		msg, err := readFramed(conn)
+		if err != nil {
+			return
+		}
+		g.cfg.Metrics.Counter("h323.signalling_in").Inc()
+		resp, final := g.handleCall(call, msg)
+		for _, r := range resp {
+			if err := writeFramed(conn, r); err != nil {
+				return
+			}
+			g.cfg.Metrics.Counter("h323.signalling_out").Inc()
+		}
+		if final {
+			return
+		}
+	}
+}
+
+// handleCall processes one signalling message, returning replies and
+// whether the connection should close.
+func (g *Gateway) handleCall(call *gwCall, msg *Message) (resp []*Message, final bool) {
+	switch msg.Type {
+	case MsgSetup:
+		return g.handleSetup(call, msg)
+	case MsgTerminalCapabilitySet:
+		// Accept any capability set; echo ours.
+		return []*Message{
+			{Type: MsgTerminalCapabilitySetAck},
+			{Type: MsgTerminalCapabilitySet, Capabilities: []string{"PCMU", "H261"}},
+		}, false
+	case MsgTerminalCapabilitySetAck:
+		return nil, false
+	case MsgMasterSlaveDetermination:
+		// The gateway is always master (it owns the MCU side).
+		return []*Message{{Type: MsgMasterSlaveDeterminationAck, Master: false}}, false
+	case MsgOpenLogicalChannel:
+		return g.handleOLC(call, msg)
+	case MsgCloseLogicalChannel:
+		g.closeChannel(call, msg.Channel)
+		return nil, false
+	case MsgEndSessionCommand:
+		return []*Message{{Type: MsgReleaseComplete, CallID: call.callID}}, true
+	case MsgReleaseComplete:
+		return nil, true
+	default:
+		g.cfg.Metrics.Counter("h323.signalling_unexpected").Inc()
+		return []*Message{{Type: MsgReleaseComplete, Reason: "unexpected " + msg.Type.String()}}, true
+	}
+}
+
+func (g *Gateway) handleSetup(call *gwCall, msg *Message) ([]*Message, bool) {
+	reject := func(reason string) ([]*Message, bool) {
+		g.cfg.Metrics.Counter("h323.setup_rejected").Inc()
+		return []*Message{{Type: MsgReleaseComplete, Reason: reason}}, true
+	}
+	if msg.CallID == "" || msg.Alias == "" {
+		return reject("callID and alias required")
+	}
+	sessionID := msg.Conference
+	if sessionID == "" {
+		sessionID = msg.DestAlias
+	}
+	if sessionID == "" {
+		return reject("no conference addressed")
+	}
+	// Admission control: the gatekeeper must have granted this call.
+	if gk := g.cfg.Gatekeeper; gk != nil {
+		alias, conf, ok := gk.Admission(msg.CallID)
+		if !ok || alias != msg.Alias || conf != sessionID {
+			return reject("no admission for call")
+		}
+	}
+	info, err := g.cfg.XGSP.Lookup(sessionID)
+	if err != nil || info == nil || !info.Active {
+		return reject("no active session " + sessionID)
+	}
+	if _, err := g.cfg.XGSP.JoinAs(sessionID, msg.Alias, "h323:"+msg.Alias, "h323", nil); err != nil {
+		return reject("join failed")
+	}
+	call.callID = msg.CallID
+	call.alias = msg.Alias
+	call.session = info
+	call.joined = true
+	g.cfg.Metrics.Counter("h323.calls_connected").Inc()
+	return []*Message{
+		{Type: MsgCallProceeding, CallID: msg.CallID},
+		{Type: MsgConnect, CallID: msg.CallID, Conference: info.ID},
+	}, false
+}
+
+// handleOLC opens a logical channel: the endpoint tells us where it
+// receives RTP; we bind a proxy port on the session topic, point the
+// binding at the endpoint, and return our receive address in the ack.
+func (g *Gateway) handleOLC(call *gwCall, msg *Message) ([]*Message, bool) {
+	if !call.joined {
+		return []*Message{{Type: MsgReleaseComplete, Reason: "no call"}}, true
+	}
+	kind := msg.MediaKind
+	if kind != "audio" && kind != "video" {
+		return []*Message{{Type: MsgCloseLogicalChannel, Channel: msg.Channel, Reason: "unsupported media"}}, false
+	}
+	var topic string
+	for _, m := range call.session.Media {
+		if string(m.Type) == kind {
+			topic = m.Topic
+		}
+	}
+	if topic == "" {
+		return []*Message{{Type: MsgCloseLogicalChannel, Channel: msg.Channel, Reason: "session lacks " + kind}}, false
+	}
+	b, err := g.cfg.Proxy.Bind(topic, "127.0.0.1:0")
+	if err != nil {
+		return []*Message{{Type: MsgCloseLogicalChannel, Channel: msg.Channel, Reason: "no ports"}}, false
+	}
+	if msg.RTPAddr != "" {
+		if err := b.SetRemote(msg.RTPAddr); err != nil {
+			b.Close()
+			return []*Message{{Type: MsgCloseLogicalChannel, Channel: msg.Channel, Reason: "bad rtp address"}}, false
+		}
+	}
+	ch := msg.Channel
+	if ch == 0 {
+		call.nextLocal++
+		ch = call.nextLocal
+	}
+	call.channels[ch] = b
+	g.cfg.Metrics.Counter("h323.channels_opened").Inc()
+	return []*Message{{
+		Type:      MsgOpenLogicalChannelAck,
+		Channel:   ch,
+		MediaKind: kind,
+		RTPAddr:   b.LocalAddr(),
+		RTCPAddr:  rtcpAddrOf(b.LocalAddr()),
+	}}, false
+}
+
+func (g *Gateway) closeChannel(call *gwCall, ch uint32) {
+	if b, ok := call.channels[ch]; ok {
+		b.Close()
+		delete(call.channels, ch)
+		g.cfg.Metrics.Counter("h323.channels_closed").Inc()
+	}
+}
+
+func (g *Gateway) teardown(call *gwCall) {
+	for ch, b := range call.channels {
+		b.Close()
+		delete(call.channels, ch)
+	}
+	if call.joined {
+		_ = g.cfg.XGSP.LeaveAs(call.session.ID, call.alias)
+		call.joined = false
+	}
+}
+
+// rtcpAddrOf derives the conventional RTCP port (RTP+1).
+func rtcpAddrOf(rtpAddr string) string {
+	host, portStr, found := strings.Cut(rtpAddr, ":")
+	if !found {
+		return ""
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return ""
+	}
+	return fmt.Sprintf("%s:%d", host, port+1)
+}
+
+// Framing: 4-byte big-endian length + message, the TPKT-like framing all
+// H.225 call signalling uses over TCP.
+
+func writeFramed(w io.Writer, m *Message) error {
+	b, err := m.Marshal()
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("h323: writing frame: %w", err)
+	}
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("h323: writing frame: %w", err)
+	}
+	return nil
+}
+
+func readFramed(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxWireLen {
+		return nil, fmt.Errorf("h323: frame length %d out of range", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return Unmarshal(buf)
+}

@@ -1,0 +1,119 @@
+// Package mcast emulates IP multicast groups in-process. The paper's
+// community systems (Admire on NSFCNET/CERNET, Access Grid venues)
+// distribute media over multicast, which "seems to have a long time to
+// become ubiquitously available" (§2.3) — and is equally unavailable in
+// this reproduction environment, so a Bus gives each group the same
+// all-members-receive semantics over channels.
+package mcast
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Bus is one emulated multicast group. Every packet sent by a member is
+// delivered to all other members (no self-delivery, matching a socket
+// with IP_MULTICAST_LOOP off).
+type Bus struct {
+	mu      sync.Mutex
+	members map[*Member]struct{}
+	closed  bool
+
+	packets atomic.Uint64
+}
+
+// Member is one joined endpoint.
+type Member struct {
+	bus   *Bus
+	recv  chan []byte
+	once  sync.Once
+	drops atomic.Uint64
+}
+
+// NewBus creates an empty group.
+func NewBus() *Bus {
+	return &Bus{members: make(map[*Member]struct{})}
+}
+
+// Join adds a member whose receive buffer holds depth packets
+// (default 256).
+func (b *Bus) Join(depth int) (*Member, error) {
+	if depth <= 0 {
+		depth = 256
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, errors.New("mcast: bus closed")
+	}
+	m := &Member{bus: b, recv: make(chan []byte, depth)}
+	b.members[m] = struct{}{}
+	return m, nil
+}
+
+// MemberCount returns the current group size.
+func (b *Bus) MemberCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.members)
+}
+
+// Packets returns the number of packets sent through the group.
+func (b *Bus) Packets() uint64 { return b.packets.Load() }
+
+// Close removes all members and closes their channels.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	members := make([]*Member, 0, len(b.members))
+	for m := range b.members {
+		members = append(members, m)
+	}
+	clear(b.members)
+	b.closed = true
+	b.mu.Unlock()
+	for _, m := range members {
+		m.closeChan()
+	}
+}
+
+// Send delivers data to every other member. The slice is shared; members
+// must not mutate it.
+func (m *Member) Send(data []byte) {
+	b := m.bus
+	b.packets.Add(1)
+	b.mu.Lock()
+	members := make([]*Member, 0, len(b.members))
+	for other := range b.members {
+		if other != m {
+			members = append(members, other)
+		}
+	}
+	b.mu.Unlock()
+	for _, other := range members {
+		select {
+		case other.recv <- data:
+		default:
+			other.drops.Add(1) // slow member: drop like UDP multicast
+		}
+	}
+}
+
+// Recv returns the member's delivery channel.
+func (m *Member) Recv() <-chan []byte { return m.recv }
+
+// Drops returns packets dropped because this member was slow.
+func (m *Member) Drops() uint64 { return m.drops.Load() }
+
+// Leave removes the member from the group.
+func (m *Member) Leave() {
+	b := m.bus
+	b.mu.Lock()
+	delete(b.members, m)
+	b.mu.Unlock()
+	m.closeChan()
+}
+
+func (m *Member) closeChan() {
+	m.once.Do(func() { close(m.recv) })
+}

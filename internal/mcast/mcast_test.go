@@ -1,0 +1,119 @@
+package mcast
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBusFanout(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	a, err := b.Join(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Join(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := b.Join(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Send([]byte("hello"))
+	for i, m := range []*Member{c, d} {
+		select {
+		case got := <-m.Recv():
+			if string(got) != "hello" {
+				t.Fatalf("member %d got %q", i, got)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("member %d got nothing", i)
+		}
+	}
+	// No self-delivery.
+	select {
+	case got := <-a.Recv():
+		t.Fatalf("sender received own packet %q", got)
+	default:
+	}
+	if b.Packets() != 1 {
+		t.Fatalf("packets = %d", b.Packets())
+	}
+}
+
+func TestBusLeave(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	a, _ := b.Join(0)
+	c, _ := b.Join(0)
+	if b.MemberCount() != 2 {
+		t.Fatal(b.MemberCount())
+	}
+	c.Leave()
+	if b.MemberCount() != 1 {
+		t.Fatal(b.MemberCount())
+	}
+	a.Send([]byte("x"))
+	if _, ok := <-c.Recv(); ok {
+		t.Fatal("left member received data")
+	}
+}
+
+func TestBusSlowMemberDrops(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	a, _ := b.Join(0)
+	slow, _ := b.Join(2)
+	for range 10 {
+		a.Send([]byte("x"))
+	}
+	if slow.Drops() != 8 {
+		t.Fatalf("drops = %d, want 8", slow.Drops())
+	}
+}
+
+func TestBusCloseClosesMembers(t *testing.T) {
+	b := NewBus()
+	m, _ := b.Join(0)
+	b.Close()
+	if _, ok := <-m.Recv(); ok {
+		t.Fatal("channel open after close")
+	}
+	if _, err := b.Join(0); err == nil {
+		t.Fatal("join after close succeeded")
+	}
+}
+
+func TestBusConcurrentSenders(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	recv, _ := b.Join(100000)
+	var wg sync.WaitGroup
+	const senders, per = 8, 100
+	for range senders {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m, err := b.Join(0)
+			if err != nil {
+				return
+			}
+			for range per {
+				m.Send([]byte("p"))
+			}
+		}()
+	}
+	wg.Wait()
+	got := 0
+	timeout := time.After(2 * time.Second)
+	for got < senders*per {
+		select {
+		case <-recv.Recv():
+			got++
+		case <-timeout:
+			t.Fatalf("received %d/%d", got, senders*per)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package media
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/event"
+)
+
+// Publisher is the sink a Sender publishes wrapped RTP events into.
+// broker.Client satisfies it.
+type Publisher interface {
+	PublishEvent(e *event.Event) error
+}
+
+// Sender paces a media source onto a topic in real time, wrapping each
+// RTP packet in a KindRTP event whose Timestamp carries the send
+// wall-clock instant used for one-way delay measurement downstream.
+type Sender struct {
+	pub   Publisher
+	topic string
+}
+
+// NewSender creates a sender publishing to topic.
+func NewSender(pub Publisher, topic string) *Sender {
+	return &Sender{pub: pub, topic: topic}
+}
+
+// SendVideo streams frames from v until the requested number of packets
+// have been sent or done closes. It returns the number sent.
+func (s *Sender) SendVideo(v *VideoSource, packets int, done <-chan struct{}) (int, error) {
+	interval := time.Duration(v.FrameIntervalNanos())
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	sent := 0
+	for sent < packets {
+		for _, p := range v.NextFrame() {
+			if sent >= packets {
+				break
+			}
+			if err := s.publishRTP(p.Marshal()); err != nil {
+				return sent, err
+			}
+			sent++
+		}
+		select {
+		case <-ticker.C:
+		case <-done:
+			return sent, nil
+		}
+	}
+	return sent, nil
+}
+
+// SendAudio streams packets from a until count packets are sent or done
+// closes. It returns the number sent.
+func (s *Sender) SendAudio(a *AudioSource, packets int, done <-chan struct{}) (int, error) {
+	ticker := time.NewTicker(time.Duration(a.FrameIntervalNanos()))
+	defer ticker.Stop()
+	sent := 0
+	for sent < packets {
+		if err := s.publishRTP(a.NextPacket().Marshal()); err != nil {
+			return sent, err
+		}
+		sent++
+		select {
+		case <-ticker.C:
+		case <-done:
+			return sent, nil
+		}
+	}
+	return sent, nil
+}
+
+func (s *Sender) publishRTP(b []byte, err error) error {
+	if err != nil {
+		return fmt.Errorf("media: marshalling rtp: %w", err)
+	}
+	e := event.New(s.topic, event.KindRTP, b)
+	return s.pub.PublishEvent(e)
+}

@@ -1,0 +1,271 @@
+// Package metrics provides the measurement primitives used by the
+// Global-MMCS benchmark harness and by the runtime components themselves:
+// counters, gauges, streaming mean/variance, histograms with percentile
+// queries, and bounded time series for per-packet traces such as the
+// Figure 3 delay/jitter curves.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter safe for concurrent use.
+// The zero value is ready to use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value safe for concurrent use.
+// The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Welford accumulates streaming mean and variance using Welford's
+// algorithm. The zero value is ready to use. Not safe for concurrent use;
+// guard externally or use one per goroutine.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Observe adds a sample.
+func (w *Welford) Observe(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of samples observed.
+func (w *Welford) Count() uint64 { return w.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance, or 0 with fewer than two
+// samples.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest observed sample, or 0 with no samples.
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observed sample, or 0 with no samples.
+func (w *Welford) Max() float64 { return w.max }
+
+// Merge folds other into w so that w summarises both sample sets.
+func (w *Welford) Merge(other *Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *other
+		return
+	}
+	n := w.n + other.n
+	delta := other.mean - w.mean
+	w.m2 += other.m2 + delta*delta*float64(w.n)*float64(other.n)/float64(n)
+	w.mean += delta * float64(other.n) / float64(n)
+	if other.min < w.min {
+		w.min = other.min
+	}
+	if other.max > w.max {
+		w.max = other.max
+	}
+	w.n = n
+}
+
+// Histogram records float64 samples into exponential buckets and answers
+// approximate percentile queries. It is safe for concurrent observation.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // upper bounds, ascending; implicit +Inf final bucket
+	counts  []uint64  // len(bounds)+1
+	welford Welford
+}
+
+// NewHistogram creates a histogram with exponential bucket upper bounds
+// start, start*factor, ... for n buckets. start must be > 0 and factor > 1.
+func NewHistogram(start, factor float64, n int) *Histogram {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic(fmt.Sprintf("metrics: invalid histogram shape start=%v factor=%v n=%d", start, factor, n))
+	}
+	bounds := make([]float64, n)
+	b := start
+	for i := range bounds {
+		bounds[i] = b
+		b *= factor
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, n+1)}
+}
+
+// NewLatencyHistogram returns a histogram tuned for latencies in
+// milliseconds, spanning 10µs..~160s.
+func NewLatencyHistogram() *Histogram {
+	return NewHistogram(0.01, 1.35, 48)
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i]++
+	h.welford.Observe(x)
+}
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.welford.Count()
+}
+
+// Mean returns the exact sample mean.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.welford.Mean()
+}
+
+// Stddev returns the exact sample standard deviation.
+func (h *Histogram) Stddev() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.welford.Stddev()
+}
+
+// Min returns the smallest sample.
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.welford.Min()
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.welford.Max()
+}
+
+// Quantile returns an approximation of the q-quantile (0 <= q <= 1) using
+// linear interpolation inside the containing bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	total := h.welford.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.welford.Max()
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - cum) / float64(c)
+			}
+			v := lo + frac*(hi-lo)
+			if v > h.welford.Max() {
+				v = h.welford.Max()
+			}
+			if v < h.welford.Min() {
+				v = h.welford.Min()
+			}
+			return v
+		}
+		cum = next
+	}
+	return h.welford.Max()
+}
+
+// Snapshot summarises the histogram.
+type Snapshot struct {
+	Count               uint64
+	Mean, Stddev        float64
+	Min, Max            float64
+	P50, P90, P99, P999 float64
+}
+
+// Snapshot returns a point-in-time summary.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count:  h.Count(),
+		Mean:   h.Mean(),
+		Stddev: h.Stddev(),
+		Min:    h.Min(),
+		Max:    h.Max(),
+		P50:    h.Quantile(0.50),
+		P90:    h.Quantile(0.90),
+		P99:    h.Quantile(0.99),
+		P999:   h.Quantile(0.999),
+	}
+}
+
+// String renders the snapshot compactly.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f",
+		s.Count, s.Mean, s.Stddev, s.Min, s.P50, s.P90, s.P99, s.Max)
+}

@@ -1,0 +1,274 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if got := c.Value(); got != 0 {
+		t.Fatalf("zero counter = %d, want 0", got)
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range 1000 {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Observe(x)
+	}
+	if got, want := w.Mean(), 5.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if got, want := w.Variance(), 32.0/7.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("variance = %v, want %v", got, want)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	var all, a, b Welford
+	for i := range 1000 {
+		x := rng.NormFloat64()*10 + 50
+		all.Observe(x)
+		if i%2 == 0 {
+			a.Observe(x)
+		} else {
+			b.Observe(x)
+		}
+	}
+	a.Merge(&b)
+	if math.Abs(a.Mean()-all.Mean()) > 1e-9 {
+		t.Errorf("merged mean = %v, want %v", a.Mean(), all.Mean())
+	}
+	if math.Abs(a.Variance()-all.Variance()) > 1e-6 {
+		t.Errorf("merged variance = %v, want %v", a.Variance(), all.Variance())
+	}
+	if a.Count() != all.Count() {
+		t.Errorf("merged count = %d, want %d", a.Count(), all.Count())
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Observe(3)
+	a.Merge(&b) // merging empty is a no-op
+	if a.Count() != 1 || a.Mean() != 3 {
+		t.Fatalf("merge with empty changed stats: n=%d mean=%v", a.Count(), a.Mean())
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.Count() != 1 || b.Mean() != 3 {
+		t.Fatalf("merge into empty: n=%d mean=%v", b.Count(), b.Mean())
+	}
+}
+
+func TestHistogramMeanExact(t *testing.T) {
+	h := NewLatencyHistogram()
+	for _, x := range []float64{1, 2, 3, 4} {
+		h.Observe(x)
+	}
+	if got := h.Mean(); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("mean = %v, want 2.5", got)
+	}
+	if got := h.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	h := NewLatencyHistogram()
+	rng := rand.New(rand.NewPCG(7, 7))
+	for range 10000 {
+		h.Observe(rng.Float64() * 100)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 35 || p50 > 65 {
+		t.Errorf("p50 = %v, want within [35,65] for uniform(0,100)", p50)
+	}
+	if q0 := h.Quantile(0); q0 < h.Min() {
+		t.Errorf("q0 = %v < min %v", q0, h.Min())
+	}
+	if q1 := h.Quantile(1); q1 > h.Max() {
+		t.Errorf("q1 = %v > max %v", q1, h.Max())
+	}
+	// Out-of-range q is clamped.
+	if h.Quantile(-1) > h.Quantile(2) {
+		t.Error("clamped quantiles out of order")
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewLatencyHistogram()
+	rng := rand.New(rand.NewPCG(3, 9))
+	for range 5000 {
+		h.Observe(math.Abs(rng.NormFloat64()) * 20)
+	}
+	prev := -1.0
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile(%v) = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram with bad shape did not panic")
+		}
+	}()
+	NewHistogram(0, 2, 10)
+}
+
+// Property: for any set of samples, count equals observations and
+// min <= mean <= max.
+func TestHistogramPropertyMeanBetweenMinMax(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewLatencyHistogram()
+		for _, r := range raw {
+			h.Observe(float64(r) / 16)
+		}
+		if h.Count() != uint64(len(raw)) {
+			return false
+		}
+		return h.Min() <= h.Mean()+1e-9 && h.Mean() <= h.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(5)
+	s := h.Snapshot().String()
+	if !strings.Contains(s, "n=1") {
+		t.Errorf("snapshot string %q missing count", s)
+	}
+}
+
+func TestSeriesAveragesAtIndex(t *testing.T) {
+	s := NewSeries("delay", 100)
+	s.Record(3, 10)
+	s.Record(3, 20)
+	s.Record(5, 7)
+	avgs, present := s.Values()
+	if len(avgs) != 6 {
+		t.Fatalf("len = %d, want 6", len(avgs))
+	}
+	if !present[3] || avgs[3] != 15 {
+		t.Errorf("index 3 = %v (present=%v), want 15", avgs[3], present[3])
+	}
+	if present[4] {
+		t.Error("index 4 should be absent")
+	}
+	if !present[5] || avgs[5] != 7 {
+		t.Errorf("index 5 = %v, want 7", avgs[5])
+	}
+}
+
+func TestSeriesIgnoresOutOfRange(t *testing.T) {
+	s := NewSeries("x", 4)
+	s.Record(-1, 5)
+	s.Record(4, 5)
+	s.Record(100, 5)
+	if s.Len() != 0 {
+		t.Fatalf("series recorded out-of-range samples: len=%d", s.Len())
+	}
+}
+
+func TestSeriesMean(t *testing.T) {
+	s := NewSeries("x", 10)
+	s.Record(0, 1)
+	s.Record(1, 2)
+	s.Record(1, 4) // grand mean over samples: (1+2+4)/3
+	if got, want := s.Mean(), 7.0/3.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+}
+
+func TestSeriesWriteTSV(t *testing.T) {
+	s := NewSeries("x", 10)
+	s.Record(0, 1.5)
+	s.Record(2, 2.25)
+	var buf bytes.Buffer
+	if err := s.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "0\t1.5000\n2\t2.2500\n"
+	if buf.String() != want {
+		t.Fatalf("tsv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestRegistryReusesInstruments(t *testing.T) {
+	var r Registry
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("counter not reused")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Error("histogram not reused")
+	}
+	if r.Series("s", 10) != r.Series("s", 99) {
+		t.Error("series not reused")
+	}
+}
+
+func TestRegistryReport(t *testing.T) {
+	var r Registry
+	r.Counter("pkts").Add(3)
+	r.Histogram("delay").Observe(1)
+	r.Series("trace", 8).Record(0, 1)
+	rep := r.Report()
+	for _, want := range []string{"pkts", "delay", "trace"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

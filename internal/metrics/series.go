@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Series is an indexed sequence of float64 samples, used for per-packet
+// traces such as "delay of packet #k averaged over 12 receivers". Samples
+// recorded at the same index are averaged. Series is safe for concurrent
+// use.
+type Series struct {
+	mu    sync.Mutex
+	name  string
+	sums  []float64
+	cnts  []uint32
+	limit int
+}
+
+// NewSeries creates a named series holding at most limit indexed points
+// (indices >= limit are dropped). limit must be positive.
+func NewSeries(name string, limit int) *Series {
+	if limit <= 0 {
+		panic("metrics: series limit must be positive")
+	}
+	return &Series{name: name, limit: limit}
+}
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Record adds a sample for index i. Samples with negative indices or
+// indices at or beyond the limit are ignored.
+func (s *Series) Record(i int, v float64) {
+	if i < 0 || i >= s.limit {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i >= len(s.sums) {
+		grow := i + 1
+		ns := make([]float64, grow)
+		copy(ns, s.sums)
+		s.sums = ns
+		nc := make([]uint32, grow)
+		copy(nc, s.cnts)
+		s.cnts = nc
+	}
+	s.sums[i] += v
+	s.cnts[i]++
+}
+
+// Len returns the number of indices with at least one sample slot allocated.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sums)
+}
+
+// Values returns the per-index averages. Indices with no samples yield NaN-free
+// zeros and are reported in the second return as false.
+func (s *Series) Values() (avgs []float64, present []bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	avgs = make([]float64, len(s.sums))
+	present = make([]bool, len(s.sums))
+	for i := range s.sums {
+		if s.cnts[i] > 0 {
+			avgs[i] = s.sums[i] / float64(s.cnts[i])
+			present[i] = true
+		}
+	}
+	return avgs, present
+}
+
+// Mean returns the grand mean over all recorded samples (not over indices).
+func (s *Series) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sum float64
+	var n uint64
+	for i := range s.sums {
+		sum += s.sums[i]
+		n += uint64(s.cnts[i])
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// WriteTSV writes "index<TAB>value" lines for every index that has samples,
+// suitable for gnuplot.
+func (s *Series) WriteTSV(w io.Writer) error {
+	avgs, present := s.Values()
+	for i, ok := range present {
+		if !ok {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%d\t%.4f\n", i, avgs[i]); err != nil {
+			return fmt.Errorf("metrics: writing series %q: %w", s.name, err)
+		}
+	}
+	return nil
+}
+
+// Registry is a named collection of metrics used to assemble reports.
+// The zero value is ready to use.
+type Registry struct {
+	mu     sync.Mutex
+	hists  map[string]*Histogram
+	counts map[string]*Counter
+	series map[string]*Series
+}
+
+// Histogram returns the named latency histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hists == nil {
+		r.hists = make(map[string]*Histogram)
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewLatencyHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counts == nil {
+		r.counts = make(map[string]*Counter)
+	}
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Series returns the named series, creating it with the given limit on
+// first use. Subsequent calls ignore limit.
+func (r *Registry) Series(name string, limit int) *Series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.series == nil {
+		r.series = make(map[string]*Series)
+	}
+	s, ok := r.series[name]
+	if !ok {
+		s = NewSeries(name, limit)
+		r.series[name] = s
+	}
+	return s
+}
+
+// Report renders all registered metrics as a human-readable block.
+func (r *Registry) Report() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	names := make([]string, 0, len(r.counts))
+	for n := range r.counts {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "counter %-32s %d\n", n, r.counts[n].Value())
+	}
+	names = names[:0]
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "hist    %-32s %s\n", n, r.hists[n].Snapshot())
+	}
+	names = names[:0]
+	for n := range r.series {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "series  %-32s points=%d mean=%.2f\n", n, r.series[n].Len(), r.series[n].Mean())
+	}
+	return b.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package rtp
+
+// JitterBuffer reorders RTP packets into sequence order. It buffers up to
+// Capacity out-of-order packets; when a gap blocks delivery and the
+// buffer is full, the gap is declared lost and delivery skips ahead.
+// Deterministic (no timers), so playout pacing is the caller's concern.
+// Not safe for concurrent use.
+type JitterBuffer struct {
+	capacity int
+	started  bool
+	next     uint16 // next expected sequence number
+	buf      map[uint16]*Packet
+}
+
+// NewJitterBuffer creates a buffer holding at most capacity out-of-order
+// packets (default 64 if capacity <= 0).
+func NewJitterBuffer(capacity int) *JitterBuffer {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &JitterBuffer{
+		capacity: capacity,
+		buf:      make(map[uint16]*Packet, capacity),
+	}
+}
+
+// Push inserts a packet. Packets older than the delivery point and
+// duplicates are discarded; Push reports whether the packet was kept.
+func (j *JitterBuffer) Push(p *Packet) bool {
+	if !j.started {
+		j.started = true
+		j.next = p.SequenceNumber
+	}
+	if SeqLess(p.SequenceNumber, j.next) {
+		return false // too late
+	}
+	if _, dup := j.buf[p.SequenceNumber]; dup {
+		return false
+	}
+	j.buf[p.SequenceNumber] = p
+	return true
+}
+
+// Pop returns the next packet in sequence order. When the expected packet
+// is missing but the buffer has reached capacity, the gap is skipped to
+// the oldest buffered packet. Returns nil when nothing is deliverable.
+func (j *JitterBuffer) Pop() *Packet {
+	if len(j.buf) == 0 {
+		return nil
+	}
+	if p, ok := j.buf[j.next]; ok {
+		delete(j.buf, j.next)
+		j.next++
+		return p
+	}
+	if len(j.buf) < j.capacity {
+		return nil // wait for the gap to fill
+	}
+	// Skip to the oldest buffered packet.
+	oldest := j.oldestSeq()
+	p := j.buf[oldest]
+	delete(j.buf, oldest)
+	j.next = oldest + 1
+	return p
+}
+
+// Len returns the number of buffered packets.
+func (j *JitterBuffer) Len() int { return len(j.buf) }
+
+// NextSeq returns the next expected sequence number.
+func (j *JitterBuffer) NextSeq() uint16 { return j.next }
+
+func (j *JitterBuffer) oldestSeq() uint16 {
+	var oldest uint16
+	first := true
+	for seq := range j.buf {
+		if first || SeqLess(seq, oldest) {
+			oldest = seq
+			first = false
+		}
+	}
+	return oldest
+}

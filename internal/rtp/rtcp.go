@@ -1,0 +1,322 @@
+package rtp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// RTCP packet types (RFC 3550 §12.1).
+const (
+	TypeSenderReport   = 200
+	TypeReceiverReport = 201
+	TypeSourceDesc     = 202
+	TypeBye            = 203
+)
+
+// SDES item types.
+const sdesCNAME = 1
+
+// ReportBlock is one reception report block (RFC 3550 §6.4.1).
+type ReportBlock struct {
+	// SSRC identifies the source this block reports on.
+	SSRC uint32
+	// FractionLost is the fraction of packets lost since the previous
+	// report, as a fixed-point number with the binary point at the left.
+	FractionLost uint8
+	// CumulativeLost is the total packets lost (24-bit, clamped).
+	CumulativeLost uint32
+	// HighestSeq is the extended highest sequence number received.
+	HighestSeq uint32
+	// Jitter is the interarrival jitter in timestamp units.
+	Jitter uint32
+	// LastSR and DelaySinceLastSR support round-trip estimation.
+	LastSR           uint32
+	DelaySinceLastSR uint32
+}
+
+// SenderReport is an RTCP SR packet.
+type SenderReport struct {
+	SSRC        uint32
+	NTPTime     uint64
+	RTPTime     uint32
+	PacketCount uint32
+	OctetCount  uint32
+	Reports     []ReportBlock
+}
+
+// ReceiverReport is an RTCP RR packet.
+type ReceiverReport struct {
+	SSRC    uint32
+	Reports []ReportBlock
+}
+
+// SourceDescription carries a CNAME for one source.
+type SourceDescription struct {
+	SSRC  uint32
+	CNAME string
+}
+
+// Bye announces that sources are leaving the session.
+type Bye struct {
+	SSRCs  []uint32
+	Reason string
+}
+
+// RTCP codec errors.
+var (
+	ErrShortRTCP   = errors.New("rtcp: packet too short")
+	ErrBadRTCPType = errors.New("rtcp: unexpected packet type")
+)
+
+const maxReportBlocks = 31
+
+func appendRTCPHeader(dst []byte, count int, typ uint8, words int) []byte {
+	dst = append(dst, byte(Version<<6)|byte(count&0x1F), typ)
+	return binary.BigEndian.AppendUint16(dst, uint16(words))
+}
+
+func appendReportBlock(dst []byte, rb *ReportBlock) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, rb.SSRC)
+	cum := rb.CumulativeLost
+	if cum > 0xFFFFFF {
+		cum = 0xFFFFFF
+	}
+	dst = append(dst, rb.FractionLost, byte(cum>>16), byte(cum>>8), byte(cum))
+	dst = binary.BigEndian.AppendUint32(dst, rb.HighestSeq)
+	dst = binary.BigEndian.AppendUint32(dst, rb.Jitter)
+	dst = binary.BigEndian.AppendUint32(dst, rb.LastSR)
+	return binary.BigEndian.AppendUint32(dst, rb.DelaySinceLastSR)
+}
+
+func parseReportBlock(b []byte) (ReportBlock, error) {
+	if len(b) < 24 {
+		return ReportBlock{}, ErrShortRTCP
+	}
+	return ReportBlock{
+		SSRC:             binary.BigEndian.Uint32(b[0:4]),
+		FractionLost:     b[4],
+		CumulativeLost:   uint32(b[5])<<16 | uint32(b[6])<<8 | uint32(b[7]),
+		HighestSeq:       binary.BigEndian.Uint32(b[8:12]),
+		Jitter:           binary.BigEndian.Uint32(b[12:16]),
+		LastSR:           binary.BigEndian.Uint32(b[16:20]),
+		DelaySinceLastSR: binary.BigEndian.Uint32(b[20:24]),
+	}, nil
+}
+
+// Marshal encodes the sender report.
+func (sr *SenderReport) Marshal() ([]byte, error) {
+	if len(sr.Reports) > maxReportBlocks {
+		return nil, fmt.Errorf("rtcp: %d report blocks exceed %d", len(sr.Reports), maxReportBlocks)
+	}
+	words := 6 + 6*len(sr.Reports)
+	dst := make([]byte, 0, 4+4*words)
+	dst = appendRTCPHeader(dst, len(sr.Reports), TypeSenderReport, words)
+	dst = binary.BigEndian.AppendUint32(dst, sr.SSRC)
+	dst = binary.BigEndian.AppendUint64(dst, sr.NTPTime)
+	dst = binary.BigEndian.AppendUint32(dst, sr.RTPTime)
+	dst = binary.BigEndian.AppendUint32(dst, sr.PacketCount)
+	dst = binary.BigEndian.AppendUint32(dst, sr.OctetCount)
+	for i := range sr.Reports {
+		dst = appendReportBlock(dst, &sr.Reports[i])
+	}
+	return dst, nil
+}
+
+// Unmarshal decodes a sender report.
+func (sr *SenderReport) Unmarshal(b []byte) error {
+	count, typ, body, err := parseRTCPHeader(b)
+	if err != nil {
+		return err
+	}
+	if typ != TypeSenderReport {
+		return fmt.Errorf("%w: %d", ErrBadRTCPType, typ)
+	}
+	if len(body) < 24 {
+		return ErrShortRTCP
+	}
+	sr.SSRC = binary.BigEndian.Uint32(body[0:4])
+	sr.NTPTime = binary.BigEndian.Uint64(body[4:12])
+	sr.RTPTime = binary.BigEndian.Uint32(body[12:16])
+	sr.PacketCount = binary.BigEndian.Uint32(body[16:20])
+	sr.OctetCount = binary.BigEndian.Uint32(body[20:24])
+	return parseBlocks(body[24:], count, &sr.Reports)
+}
+
+// Marshal encodes the receiver report.
+func (rr *ReceiverReport) Marshal() ([]byte, error) {
+	if len(rr.Reports) > maxReportBlocks {
+		return nil, fmt.Errorf("rtcp: %d report blocks exceed %d", len(rr.Reports), maxReportBlocks)
+	}
+	words := 1 + 6*len(rr.Reports)
+	dst := make([]byte, 0, 4+4*words)
+	dst = appendRTCPHeader(dst, len(rr.Reports), TypeReceiverReport, words)
+	dst = binary.BigEndian.AppendUint32(dst, rr.SSRC)
+	for i := range rr.Reports {
+		dst = appendReportBlock(dst, &rr.Reports[i])
+	}
+	return dst, nil
+}
+
+// Unmarshal decodes a receiver report.
+func (rr *ReceiverReport) Unmarshal(b []byte) error {
+	count, typ, body, err := parseRTCPHeader(b)
+	if err != nil {
+		return err
+	}
+	if typ != TypeReceiverReport {
+		return fmt.Errorf("%w: %d", ErrBadRTCPType, typ)
+	}
+	if len(body) < 4 {
+		return ErrShortRTCP
+	}
+	rr.SSRC = binary.BigEndian.Uint32(body[0:4])
+	return parseBlocks(body[4:], count, &rr.Reports)
+}
+
+func parseBlocks(b []byte, count int, out *[]ReportBlock) error {
+	*out = nil
+	for range count {
+		rb, err := parseReportBlock(b)
+		if err != nil {
+			return err
+		}
+		*out = append(*out, rb)
+		b = b[24:]
+	}
+	return nil
+}
+
+// Marshal encodes a one-chunk SDES packet carrying the CNAME.
+func (sd *SourceDescription) Marshal() ([]byte, error) {
+	if len(sd.CNAME) > 255 {
+		return nil, errors.New("rtcp: cname too long")
+	}
+	// Chunk: SSRC + item(type,len,text) + terminating zero, padded to 32 bits.
+	itemLen := 2 + len(sd.CNAME) + 1
+	pad := (4 - itemLen%4) % 4
+	words := 1 + (itemLen+pad)/4
+	dst := make([]byte, 0, 4+4*words)
+	dst = appendRTCPHeader(dst, 1, TypeSourceDesc, words)
+	dst = binary.BigEndian.AppendUint32(dst, sd.SSRC)
+	dst = append(dst, sdesCNAME, byte(len(sd.CNAME)))
+	dst = append(dst, sd.CNAME...)
+	dst = append(dst, 0)
+	for range pad {
+		dst = append(dst, 0)
+	}
+	return dst, nil
+}
+
+// Unmarshal decodes a one-chunk SDES packet.
+func (sd *SourceDescription) Unmarshal(b []byte) error {
+	_, typ, body, err := parseRTCPHeader(b)
+	if err != nil {
+		return err
+	}
+	if typ != TypeSourceDesc {
+		return fmt.Errorf("%w: %d", ErrBadRTCPType, typ)
+	}
+	if len(body) < 4 {
+		return ErrShortRTCP
+	}
+	sd.SSRC = binary.BigEndian.Uint32(body[0:4])
+	items := body[4:]
+	for len(items) >= 2 {
+		typ, n := items[0], int(items[1])
+		if typ == 0 {
+			break
+		}
+		if len(items) < 2+n {
+			return ErrShortRTCP
+		}
+		if typ == sdesCNAME {
+			sd.CNAME = string(items[2 : 2+n])
+			return nil
+		}
+		items = items[2+n:]
+	}
+	return nil
+}
+
+// Marshal encodes a BYE packet.
+func (by *Bye) Marshal() ([]byte, error) {
+	if len(by.SSRCs) == 0 || len(by.SSRCs) > 31 {
+		return nil, errors.New("rtcp: bye needs 1..31 ssrcs")
+	}
+	if len(by.Reason) > 255 {
+		return nil, errors.New("rtcp: bye reason too long")
+	}
+	words := len(by.SSRCs)
+	reasonLen := 0
+	if by.Reason != "" {
+		reasonLen = 1 + len(by.Reason)
+		words += (reasonLen + 3) / 4
+	}
+	dst := make([]byte, 0, 4+4*words)
+	dst = appendRTCPHeader(dst, len(by.SSRCs), TypeBye, words)
+	for _, s := range by.SSRCs {
+		dst = binary.BigEndian.AppendUint32(dst, s)
+	}
+	if by.Reason != "" {
+		dst = append(dst, byte(len(by.Reason)))
+		dst = append(dst, by.Reason...)
+		for len(dst)%4 != 0 {
+			dst = append(dst, 0)
+		}
+	}
+	return dst, nil
+}
+
+// Unmarshal decodes a BYE packet.
+func (by *Bye) Unmarshal(b []byte) error {
+	count, typ, body, err := parseRTCPHeader(b)
+	if err != nil {
+		return err
+	}
+	if typ != TypeBye {
+		return fmt.Errorf("%w: %d", ErrBadRTCPType, typ)
+	}
+	if len(body) < 4*count {
+		return ErrShortRTCP
+	}
+	by.SSRCs = make([]uint32, count)
+	for i := range by.SSRCs {
+		by.SSRCs[i] = binary.BigEndian.Uint32(body[4*i:])
+	}
+	rest := body[4*count:]
+	if len(rest) > 0 {
+		n := int(rest[0])
+		if len(rest) < 1+n {
+			return ErrShortRTCP
+		}
+		by.Reason = string(rest[1 : 1+n])
+	}
+	return nil
+}
+
+// parseRTCPHeader validates the common header and returns the count
+// field, packet type and body (without the 4-byte header).
+func parseRTCPHeader(b []byte) (count int, typ uint8, body []byte, err error) {
+	if len(b) < 4 {
+		return 0, 0, nil, ErrShortRTCP
+	}
+	if v := b[0] >> 6; v != Version {
+		return 0, 0, nil, fmt.Errorf("%w: version %d", ErrBadVersion, v)
+	}
+	count = int(b[0] & 0x1F)
+	typ = b[1]
+	words := int(binary.BigEndian.Uint16(b[2:4]))
+	if len(b) < 4+4*words {
+		return 0, 0, nil, ErrShortRTCP
+	}
+	return count, typ, b[4 : 4+4*words], nil
+}
+
+// TypeOf peeks at the RTCP packet type without a full parse.
+func TypeOf(b []byte) (uint8, error) {
+	if len(b) < 2 {
+		return 0, ErrShortRTCP
+	}
+	return b[1], nil
+}

@@ -1,0 +1,265 @@
+package sip
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func TestParseRequest(t *testing.T) {
+	raw := "INVITE sip:s1@mmcs.local SIP/2.0\r\n" +
+		"Via: SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK776\r\n" +
+		"From: <sip:alice@mmcs.local>;tag=1\r\n" +
+		"To: <sip:s1@mmcs.local>\r\n" +
+		"Call-ID: abc@10.0.0.1\r\n" +
+		"CSeq: 1 INVITE\r\n" +
+		"Content-Type: application/sdp\r\n" +
+		"Content-Length: 5\r\n\r\nhello"
+	m, err := Parse([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsRequest() || m.Method != MethodInvite || m.RequestURI != "sip:s1@mmcs.local" {
+		t.Fatalf("start line: %+v", m)
+	}
+	if m.CallID() != "abc@10.0.0.1" {
+		t.Fatalf("call-id = %q", m.CallID())
+	}
+	cseq, method, err := m.CSeq()
+	if err != nil || cseq != 1 || method != MethodInvite {
+		t.Fatalf("cseq = %d %s %v", cseq, method, err)
+	}
+	if string(m.Body) != "hello" {
+		t.Fatalf("body = %q", m.Body)
+	}
+}
+
+func TestParseResponse(t *testing.T) {
+	raw := "SIP/2.0 200 OK\r\nVia: SIP/2.0/UDP h:5060\r\nCall-ID: x\r\nCSeq: 2 BYE\r\nContent-Length: 0\r\n\r\n"
+	m, err := Parse([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IsRequest() || m.StatusCode != 200 || m.ReasonPhrase != "OK" {
+		t.Fatalf("%+v", m)
+	}
+}
+
+func TestParseToleratesBareLF(t *testing.T) {
+	raw := "OPTIONS sip:x@h SIP/2.0\nCall-ID: y\nCSeq: 1 OPTIONS\n\n"
+	m, err := Parse([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Method != MethodOptions {
+		t.Fatal(m.Method)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"INVITE\r\n\r\n",
+		"NOT A SIP LINE AT ALL\r\n\r\n",
+		"SIP/2.0 xyz Bad\r\n\r\n",
+		"INVITE sip:x SIP/2.0\r\nheader-without-colon\r\n\r\n",
+		"INVITE sip:x SIP/2.0\r\nContent-Length: 99\r\n\r\nshort",
+		"INVITE sip:x SIP/2.0\r\nContent-Length: -1\r\n\r\n",
+	}
+	for _, raw := range bad {
+		if _, err := Parse([]byte(raw)); err == nil {
+			t.Errorf("Parse(%q) succeeded", raw)
+		}
+	}
+}
+
+func TestMarshalRoundtrip(t *testing.T) {
+	m := NewRequest(MethodMessage, "sip:bob@h", "<sip:alice@h>;tag=9", "<sip:bob@h>", "cid-1", 3)
+	m.Set("Content-Type", "text/plain")
+	m.Body = []byte("hi bob")
+	got, err := Parse(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method != MethodMessage || got.Get("From") != "<sip:alice@h>;tag=9" {
+		t.Fatalf("%+v", got)
+	}
+	if string(got.Body) != "hi bob" {
+		t.Fatalf("body = %q", got.Body)
+	}
+	if got.Get("Content-Length") != "6" {
+		t.Fatalf("content-length = %q", got.Get("Content-Length"))
+	}
+}
+
+func TestHeaderOps(t *testing.T) {
+	m := &Message{}
+	m.Add("Via", "a")
+	m.Add("Via", "b")
+	m.Set("To", "x")
+	if got := m.GetAll("via"); len(got) != 2 || got[0] != "a" {
+		t.Fatalf("GetAll = %v", got)
+	}
+	m.Set("Via", "c") // replaces first
+	if m.Get("Via") != "c" {
+		t.Fatal("Set did not replace")
+	}
+	m.Del("Via")
+	if m.Get("Via") != "" {
+		t.Fatal("Del left values")
+	}
+	if m.Get("to") != "x" {
+		t.Fatal("case-insensitive Get failed")
+	}
+}
+
+func TestParseURI(t *testing.T) {
+	cases := []struct {
+		in   string
+		want URI
+		ok   bool
+	}{
+		{"sip:alice@host", URI{User: "alice", Host: "host"}, true},
+		{"sip:alice@host:5070", URI{User: "alice", Host: "host", Port: 5070}, true},
+		{"<sip:bob@h>;tag=77", URI{User: "bob", Host: "h"}, true},
+		{`"Bob B" <sip:bob@h:9>`, URI{User: "bob", Host: "h", Port: 9}, true},
+		{"sip:host-only", URI{Host: "host-only"}, true},
+		{"sip:u@h;transport=udp", URI{User: "u", Host: "h"}, true},
+		{"http://nope", URI{}, false},
+		{"sip:", URI{}, false},
+		{"sip:u@h:notaport", URI{}, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseURI(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseURI(%q) err = %v", tc.in, err)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseURI(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestURIStringAndAddress(t *testing.T) {
+	u := URI{User: "a", Host: "h", Port: 5070}
+	if u.String() != "sip:a@h:5070" {
+		t.Fatal(u.String())
+	}
+	if u.Address() != "h:5070" {
+		t.Fatal(u.Address())
+	}
+	u2 := URI{Host: "h"}
+	if u2.Address() != "h:5060" {
+		t.Fatal(u2.Address())
+	}
+	if u2.String() != "sip:h" {
+		t.Fatal(u2.String())
+	}
+}
+
+func TestStatusText(t *testing.T) {
+	if StatusText(200) != "OK" || StatusText(404) != "Not Found" {
+		t.Fatal("status text")
+	}
+	if StatusText(299) != "Unknown" {
+		t.Fatal("unknown code")
+	}
+}
+
+func TestParseFuzzNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 33))
+	corpus := []string{
+		"INVITE sip:x@y SIP/2.0\r\nCSeq: 1 INVITE\r\n\r\n",
+		"SIP/2.0 200 OK\r\n\r\n",
+	}
+	for range 3000 {
+		base := []byte(corpus[rng.IntN(len(corpus))])
+		// Random mutations.
+		for range 1 + rng.IntN(5) {
+			i := rng.IntN(len(base))
+			base[i] = byte(rng.UintN(256))
+		}
+		_, _ = Parse(base)
+	}
+}
+
+func TestSDPRoundtrip(t *testing.T) {
+	s := &SDP{
+		Origin:      "alice",
+		SessionName: "seminar",
+		Connection:  "10.1.2.3:0",
+		Media: []SDPMedia{
+			{Kind: "audio", Port: 49170, PayloadTypes: []int{0}},
+			{Kind: "video", Port: 51372, PayloadTypes: []int{31}, Connection: "10.9.9.9"},
+		},
+	}
+	b := s.Marshal()
+	got, err := ParseSDP(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Origin != "alice" || got.SessionName != "seminar" || got.Connection != "10.1.2.3" {
+		t.Fatalf("%+v", got)
+	}
+	if len(got.Media) != 2 || got.Media[0].Port != 49170 || got.Media[1].Connection != "10.9.9.9" {
+		t.Fatalf("media = %+v", got.Media)
+	}
+	addr, ok := got.MediaAddress("audio")
+	if !ok || addr != "10.1.2.3:49170" {
+		t.Fatalf("audio addr = %q %v", addr, ok)
+	}
+	addr, ok = got.MediaAddress("video")
+	if !ok || addr != "10.9.9.9:51372" {
+		t.Fatalf("video addr = %q %v", addr, ok)
+	}
+	if _, ok := got.MediaAddress("application"); ok {
+		t.Fatal("phantom media")
+	}
+}
+
+func TestSDPIgnoresUnknownLines(t *testing.T) {
+	raw := "v=0\r\no=x 0 0 IN IP4 1.2.3.4\r\ns=s\r\nb=AS:256\r\na=sendrecv\r\nc=IN IP4 1.2.3.4\r\nm=audio 4000 RTP/AVP 0 8\r\n"
+	s, err := ParseSDP([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Media) != 1 || len(s.Media[0].PayloadTypes) != 2 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestSDPErrors(t *testing.T) {
+	if _, err := ParseSDP([]byte("m=audio\r\n")); err == nil {
+		t.Error("short m= accepted")
+	}
+	if _, err := ParseSDP([]byte("m=audio notaport RTP/AVP 0\r\n")); err == nil {
+		t.Error("bad port accepted")
+	}
+}
+
+func TestViaAddr(t *testing.T) {
+	if got := viaAddr("SIP/2.0/UDP 1.2.3.4:5060;branch=x"); got != "1.2.3.4:5060" {
+		t.Fatal(got)
+	}
+	if got := viaAddr("SIP/2.0/UDP 1.2.3.4;branch=x"); got != "1.2.3.4:5060" {
+		t.Fatal(got)
+	}
+	if got := viaAddr("garbage"); got != "" {
+		t.Fatal(got)
+	}
+}
+
+func TestMarshalOmitsStaleContentLength(t *testing.T) {
+	m := NewRequest(MethodInfo, "sip:x@h", "<sip:a@h>", "<sip:x@h>", "c", 1)
+	m.Add("Content-Length", "999")
+	m.Body = []byte("xy")
+	out := m.Marshal()
+	if bytes.Count(out, []byte("Content-Length")) != 1 {
+		t.Fatalf("duplicate content-length:\n%s", out)
+	}
+	if !strings.Contains(string(out), "Content-Length: 2") {
+		t.Fatalf("wrong content-length:\n%s", out)
+	}
+}

@@ -1,0 +1,129 @@
+package sip
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// sanitizeToken restricts quick-generated strings to header-safe tokens.
+func sanitizeToken(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r > ' ' && r < 127 && r != ':' && r != ';' && r != '<' && r != '>' && r != '@' {
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() == 0 {
+		return "x"
+	}
+	out := b.String()
+	if len(out) > 64 {
+		out = out[:64]
+	}
+	return out
+}
+
+// TestMessagePropertyRoundtrip: marshal→parse preserves start line,
+// headers and body for token-safe inputs.
+func TestMessagePropertyRoundtrip(t *testing.T) {
+	f := func(user, host, callID string, cseq uint32, body []byte) bool {
+		user, host, callID = sanitizeToken(user), sanitizeToken(host), sanitizeToken(callID)
+		if cseq == 0 {
+			cseq = 1
+		}
+		if len(body) > 2048 {
+			body = body[:2048]
+		}
+		uri := "sip:" + user + "@" + host
+		m := NewRequest(MethodMessage, uri, "<"+uri+">;tag=1", "<"+uri+">", callID, cseq)
+		if len(body) > 0 {
+			m.Body = body
+		}
+		got, err := Parse(m.Marshal())
+		if err != nil {
+			return false
+		}
+		if got.Method != MethodMessage || got.RequestURI != uri || got.CallID() != callID {
+			return false
+		}
+		gotSeq, method, err := got.CSeq()
+		if err != nil || gotSeq != cseq || method != MethodMessage {
+			return false
+		}
+		return string(got.Body) == string(body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestURIPropertyRoundtrip: String→ParseURI is the identity for valid
+// URIs.
+func TestURIPropertyRoundtrip(t *testing.T) {
+	f := func(user, host string, port16 uint16) bool {
+		u := URI{User: sanitizeToken(user), Host: sanitizeToken(host), Port: int(port16)}
+		got, err := ParseURI(u.String())
+		if err != nil {
+			return false
+		}
+		return got == u
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSDPPropertyRoundtrip: Marshal→ParseSDP preserves media sections.
+func TestSDPPropertyRoundtrip(t *testing.T) {
+	f := func(aPort, vPort uint16, host4 [4]byte) bool {
+		host := hostString(host4)
+		s := &SDP{
+			Origin:      "o",
+			SessionName: "s",
+			Connection:  host,
+		}
+		if aPort > 0 {
+			s.Media = append(s.Media, SDPMedia{Kind: "audio", Port: int(aPort), PayloadTypes: []int{0}})
+		}
+		if vPort > 0 {
+			s.Media = append(s.Media, SDPMedia{Kind: "video", Port: int(vPort), PayloadTypes: []int{31}})
+		}
+		got, err := ParseSDP(s.Marshal())
+		if err != nil {
+			return false
+		}
+		if len(got.Media) != len(s.Media) || got.Connection != host {
+			return false
+		}
+		for i := range s.Media {
+			if got.Media[i].Kind != s.Media[i].Kind || got.Media[i].Port != s.Media[i].Port {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func hostString(b [4]byte) string {
+	parts := make([]string, 4)
+	for i, v := range b {
+		parts[i] = itoa(int(v))
+	}
+	return strings.Join(parts, ".")
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,143 @@
+package sip
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SDPMedia is one m= section of a session description.
+type SDPMedia struct {
+	// Kind is "audio" or "video".
+	Kind string
+	// Port is the RTP port.
+	Port int
+	// PayloadTypes lists the offered RTP payload types.
+	PayloadTypes []int
+	// Connection overrides the session-level connection address.
+	Connection string
+}
+
+// SDP is the subset of a session description Global-MMCS exchanges:
+// origin, session name, connection address and media sections.
+type SDP struct {
+	// Origin is the o= username.
+	Origin string
+	// SessionName is the s= line.
+	SessionName string
+	// Connection is the session-level c= address.
+	Connection string
+	// Media lists m= sections.
+	Media []SDPMedia
+}
+
+// Marshal renders the description.
+func (s *SDP) Marshal() []byte {
+	var b strings.Builder
+	b.WriteString("v=0\r\n")
+	origin := s.Origin
+	if origin == "" {
+		origin = "-"
+	}
+	fmt.Fprintf(&b, "o=%s 0 0 IN IP4 %s\r\n", origin, hostOf(s.Connection))
+	name := s.SessionName
+	if name == "" {
+		name = "-"
+	}
+	fmt.Fprintf(&b, "s=%s\r\n", name)
+	if s.Connection != "" {
+		fmt.Fprintf(&b, "c=IN IP4 %s\r\n", hostOf(s.Connection))
+	}
+	b.WriteString("t=0 0\r\n")
+	for _, m := range s.Media {
+		pts := make([]string, len(m.PayloadTypes))
+		for i, pt := range m.PayloadTypes {
+			pts[i] = strconv.Itoa(pt)
+		}
+		fmt.Fprintf(&b, "m=%s %d RTP/AVP %s\r\n", m.Kind, m.Port, strings.Join(pts, " "))
+		if m.Connection != "" {
+			fmt.Fprintf(&b, "c=IN IP4 %s\r\n", hostOf(m.Connection))
+		}
+	}
+	return []byte(b.String())
+}
+
+func hostOf(addr string) string {
+	if addr == "" {
+		return "0.0.0.0"
+	}
+	if host, _, found := strings.Cut(addr, ":"); found && host != "" {
+		return host
+	}
+	return addr
+}
+
+// ParseSDP decodes the subset we emit. Unknown lines are ignored, as RFC
+// 4566 requires.
+func ParseSDP(b []byte) (*SDP, error) {
+	s := &SDP{}
+	var cur *SDPMedia
+	for _, raw := range strings.Split(string(b), "\n") {
+		line := strings.TrimRight(raw, "\r")
+		if len(line) < 2 || line[1] != '=' {
+			continue
+		}
+		val := line[2:]
+		switch line[0] {
+		case 'o':
+			fields := strings.Fields(val)
+			if len(fields) > 0 {
+				s.Origin = fields[0]
+			}
+		case 's':
+			s.SessionName = val
+		case 'c':
+			fields := strings.Fields(val)
+			if len(fields) == 3 {
+				if cur != nil {
+					cur.Connection = fields[2]
+				} else {
+					s.Connection = fields[2]
+				}
+			}
+		case 'm':
+			fields := strings.Fields(val)
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("sip: malformed m= line %q", line)
+			}
+			port, err := strconv.Atoi(fields[1])
+			if err != nil || port < 0 || port > 65535 {
+				return nil, fmt.Errorf("sip: malformed m= port %q", fields[1])
+			}
+			m := SDPMedia{Kind: fields[0], Port: port}
+			for _, pt := range fields[3:] {
+				n, err := strconv.Atoi(pt)
+				if err == nil {
+					m.PayloadTypes = append(m.PayloadTypes, n)
+				}
+			}
+			s.Media = append(s.Media, m)
+			cur = &s.Media[len(s.Media)-1]
+		}
+	}
+	return s, nil
+}
+
+// MediaAddress returns the host:port an offerer expects RTP for the
+// given media kind, resolving connection precedence.
+func (s *SDP) MediaAddress(kind string) (string, bool) {
+	for _, m := range s.Media {
+		if m.Kind != kind || m.Port == 0 {
+			continue
+		}
+		conn := m.Connection
+		if conn == "" {
+			conn = s.Connection
+		}
+		if conn == "" {
+			return "", false
+		}
+		return fmt.Sprintf("%s:%d", hostOf(conn), m.Port), true
+	}
+	return "", false
+}

@@ -1,0 +1,624 @@
+package sip
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/clock"
+	"github.com/globalmmcs/globalmmcs/internal/directory"
+	"github.com/globalmmcs/globalmmcs/internal/metrics"
+	"github.com/globalmmcs/globalmmcs/internal/rtpproxy"
+	"github.com/globalmmcs/globalmmcs/internal/xgsp"
+)
+
+// maxSIPDatagram bounds datagrams read from the socket.
+const maxSIPDatagram = 64 << 10
+
+// defaultExpires is the registration lifetime when a REGISTER does not
+// carry an Expires header.
+const defaultExpires = 3600 * time.Second
+
+// ChatPublisher posts instant messages into session chat rooms; the IM
+// service implements it.
+type ChatPublisher interface {
+	// PublishChat posts body from user into the session's chat room.
+	PublishChat(sessionID, from, body string) error
+}
+
+// ServerConfig parameterises the SIP server.
+type ServerConfig struct {
+	// ListenAddr is the UDP address to bind (e.g. "127.0.0.1:0").
+	ListenAddr string
+	// Domain is the SIP domain this server is authoritative for.
+	Domain string
+	// XGSP, when set, enables the gateway: INVITEs to sip:<session>@domain
+	// join the XGSP session and get RTP redirected through Proxy.
+	XGSP *xgsp.Client
+	// Proxy allocates RTP bindings for gatewayed calls. Required with
+	// XGSP.
+	Proxy *rtpproxy.Proxy
+	// Chat, when set, receives MESSAGEs addressed to sessions.
+	Chat ChatPublisher
+	// Directory, when set, records registered endpoints as the user's
+	// active media terminal (the paper's user↔terminal binding).
+	Directory *directory.Store
+	// Clock drives registration expiry; nil = system clock.
+	Clock clock.Clock
+	// Metrics receives counters; nil allocates a private registry.
+	Metrics *metrics.Registry
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.ListenAddr == "" {
+		c.ListenAddr = "127.0.0.1:0"
+	}
+	if c.Domain == "" {
+		c.Domain = "mmcs.local"
+	}
+	if c.Clock == nil {
+		c.Clock = clock.System{}
+	}
+	if c.Metrics == nil {
+		c.Metrics = &metrics.Registry{}
+	}
+	return c
+}
+
+// binding is one registrar entry.
+type binding struct {
+	contact URI
+	addr    net.Addr // source address of the REGISTER, used for routing
+	expires time.Time
+}
+
+// call is an active gatewayed call.
+type call struct {
+	sessionID string
+	user      string
+	audio     *rtpproxy.Binding
+	video     *rtpproxy.Binding
+}
+
+// Server is the Global-MMCS SIP server: registrar, stateless proxy,
+// presence agent and XGSP gateway in one UDP listener.
+type Server struct {
+	cfg ServerConfig
+	pc  net.PacketConn
+
+	mu       sync.Mutex
+	bindings map[string]*binding // AOR user -> binding
+	calls    map[string]*call    // Call-ID -> call
+	watchers map[string][]watch  // presence target user -> watchers
+	closed   bool
+
+	wg   sync.WaitGroup
+	done chan struct{}
+	once sync.Once
+}
+
+// watch is one presence subscription.
+type watch struct {
+	watcher string
+	addr    net.Addr
+	callID  string
+	from    string
+	to      string
+}
+
+// NewServer binds the socket and starts serving.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.XGSP != nil && cfg.Proxy == nil {
+		return nil, errors.New("sip: gateway requires an rtp proxy")
+	}
+	pc, err := net.ListenPacket("udp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("sip: binding %s: %w", cfg.ListenAddr, err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		pc:       pc,
+		bindings: make(map[string]*binding),
+		calls:    make(map[string]*call),
+		watchers: make(map[string][]watch),
+		done:     make(chan struct{}),
+	}
+	s.wg.Add(2)
+	go s.readLoop()
+	go s.expiryLoop()
+	return s, nil
+}
+
+// Addr returns the server's UDP address.
+func (s *Server) Addr() string { return s.pc.LocalAddr().String() }
+
+// Domain returns the configured SIP domain.
+func (s *Server) Domain() string { return s.cfg.Domain }
+
+// Stop closes the socket, ends all gatewayed calls and waits for the
+// server goroutines.
+func (s *Server) Stop() {
+	s.once.Do(func() { close(s.done) })
+	s.pc.Close()
+	s.mu.Lock()
+	s.closed = true
+	calls := make([]*call, 0, len(s.calls))
+	for _, c := range s.calls {
+		calls = append(calls, c)
+	}
+	clear(s.calls)
+	s.mu.Unlock()
+	for _, c := range calls {
+		s.teardownCall(c)
+	}
+	s.wg.Wait()
+}
+
+// RegisteredContact looks up a user's current contact.
+func (s *Server) RegisteredContact(user string) (URI, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.bindings[user]
+	if !ok || !b.expires.After(s.cfg.Clock.Now()) {
+		return URI{}, false
+	}
+	return b.contact, true
+}
+
+// ActiveCalls returns the number of gatewayed calls.
+func (s *Server) ActiveCalls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.calls)
+}
+
+func (s *Server) readLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, maxSIPDatagram)
+	for {
+		n, raddr, err := s.pc.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		msg, err := Parse(buf[:n:n])
+		if err != nil {
+			s.cfg.Metrics.Counter("sip.malformed").Inc()
+			continue
+		}
+		s.cfg.Metrics.Counter("sip.messages_in").Inc()
+		if msg.IsRequest() {
+			s.handleRequest(msg, raddr)
+		} else {
+			s.forwardResponse(msg)
+		}
+	}
+}
+
+func (s *Server) expiryLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.cfg.Clock.After(time.Second):
+			now := s.cfg.Clock.Now()
+			var expired []string
+			s.mu.Lock()
+			for user, b := range s.bindings {
+				if !b.expires.After(now) {
+					delete(s.bindings, user)
+					expired = append(expired, user)
+				}
+			}
+			s.mu.Unlock()
+			for _, user := range expired {
+				s.notifyPresence(user, false)
+			}
+		}
+	}
+}
+
+func (s *Server) handleRequest(req *Message, raddr net.Addr) {
+	switch req.Method {
+	case MethodRegister:
+		s.handleRegister(req, raddr)
+	case MethodInvite:
+		s.handleInvite(req, raddr)
+	case MethodAck:
+		// 2xx ACKs terminate the INVITE transaction; nothing to do.
+	case MethodBye:
+		s.handleBye(req, raddr)
+	case MethodMessage:
+		s.handleMessage(req, raddr)
+	case MethodSubscribe:
+		s.handleSubscribe(req, raddr)
+	case MethodOptions:
+		resp := NewResponse(req, StatusOK)
+		resp.Set("Allow", strings.Join([]string{
+			MethodInvite, MethodAck, MethodBye, MethodRegister,
+			MethodMessage, MethodSubscribe, MethodOptions,
+		}, ", "))
+		s.send(resp, raddr)
+	default:
+		s.send(NewResponse(req, StatusMethodNotAllowed), raddr)
+	}
+}
+
+func (s *Server) handleRegister(req *Message, raddr net.Addr) {
+	to, err := ParseURI(req.Get("To"))
+	if err != nil {
+		s.send(NewResponse(req, StatusBadRequest), raddr)
+		return
+	}
+	contactHdr := req.Get("Contact")
+	expires := defaultExpires
+	if v := req.Get("Expires"); v != "" {
+		secs, err := strconv.Atoi(v)
+		if err != nil || secs < 0 {
+			s.send(NewResponse(req, StatusBadRequest), raddr)
+			return
+		}
+		expires = time.Duration(secs) * time.Second
+	}
+	if expires == 0 || contactHdr == "*" {
+		// De-registration.
+		s.mu.Lock()
+		delete(s.bindings, to.User)
+		s.mu.Unlock()
+		s.notifyPresence(to.User, false)
+		s.send(NewResponse(req, StatusOK), raddr)
+		s.cfg.Metrics.Counter("sip.deregistrations").Inc()
+		return
+	}
+	contact, err := ParseURI(contactHdr)
+	if err != nil {
+		s.send(NewResponse(req, StatusBadRequest), raddr)
+		return
+	}
+	s.mu.Lock()
+	s.bindings[to.User] = &binding{
+		contact: contact,
+		addr:    raddr,
+		expires: s.cfg.Clock.Now().Add(expires),
+	}
+	s.mu.Unlock()
+	s.recordTerminal(to.User, contact)
+	s.notifyPresence(to.User, true)
+	resp := NewResponse(req, StatusOK)
+	resp.Set("Contact", contactHdr)
+	resp.Set("Expires", strconv.Itoa(int(expires/time.Second)))
+	s.send(resp, raddr)
+	s.cfg.Metrics.Counter("sip.registrations").Inc()
+}
+
+// recordTerminal mirrors a registration into the naming & directory
+// service, creating the user account on first sight.
+func (s *Server) recordTerminal(user string, contact URI) {
+	dir := s.cfg.Directory
+	if dir == nil {
+		return
+	}
+	if _, err := dir.User(user); err != nil {
+		_ = dir.AddUser(directory.User{ID: user, Name: user, Community: "sip", AudioCapable: true})
+	}
+	_ = dir.BindTerminal(directory.Terminal{
+		ID:      "sip:" + user,
+		UserID:  user,
+		Kind:    directory.TerminalSIP,
+		Address: contact.String(),
+		Active:  true,
+	})
+}
+
+func (s *Server) handleInvite(req *Message, raddr net.Addr) {
+	to, err := ParseURI(req.RequestURI)
+	if err != nil {
+		s.send(NewResponse(req, StatusBadRequest), raddr)
+		return
+	}
+	// Gateway: INVITE addressed to an XGSP session id.
+	if s.cfg.XGSP != nil && strings.HasPrefix(to.User, "s") {
+		if info, err := s.lookupSession(to.User); err == nil && info != nil {
+			s.gatewayInvite(req, raddr, info)
+			return
+		}
+	}
+	// Proxy: INVITE to a registered user.
+	if b, ok := s.lookupBinding(to.User); ok {
+		s.forwardRequest(req, b)
+		return
+	}
+	s.send(NewResponse(req, StatusNotFound), raddr)
+}
+
+func (s *Server) lookupSession(id string) (*xgsp.SessionInfo, error) {
+	info, err := s.cfg.XGSP.Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	if info == nil || !info.Active {
+		return nil, fmt.Errorf("sip: no active session %s", id)
+	}
+	return info, nil
+}
+
+func (s *Server) lookupBinding(user string) (*binding, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.bindings[user]
+	if !ok || !b.expires.After(s.cfg.Clock.Now()) {
+		return nil, false
+	}
+	return b, true
+}
+
+// gatewayInvite joins the caller into an XGSP session and answers with
+// SDP that points the endpoint's RTP at freshly bound proxy ports.
+func (s *Server) gatewayInvite(req *Message, raddr net.Addr, info *xgsp.SessionInfo) {
+	from, err := ParseURI(req.Get("From"))
+	if err != nil {
+		s.send(NewResponse(req, StatusBadRequest), raddr)
+		return
+	}
+	offer, err := ParseSDP(req.Body)
+	if err != nil || len(req.Body) == 0 {
+		s.send(NewResponse(req, StatusBadRequest), raddr)
+		return
+	}
+	callID := req.CallID()
+	if callID == "" {
+		s.send(NewResponse(req, StatusBadRequest), raddr)
+		return
+	}
+	s.send(NewResponse(req, StatusTrying), raddr)
+
+	user := "sip:" + from.User + "@" + from.Host
+	if _, err := s.joinSession(info.ID, from.User, user); err != nil {
+		s.cfg.Metrics.Counter("sip.gateway_join_failures").Inc()
+		s.send(NewResponse(req, StatusTemporarilyUnavail), raddr)
+		return
+	}
+
+	c := &call{sessionID: info.ID, user: from.User}
+	host := hostOf(s.Addr())
+	var answer SDP
+	answer.Origin = "globalmmcs"
+	answer.SessionName = info.Name
+	answer.Connection = host
+	bindMedia := func(kind string, topic string, pt int) (*rtpproxy.Binding, error) {
+		b, err := s.cfg.Proxy.Bind(topic, host+":0")
+		if err != nil {
+			return nil, err
+		}
+		if remote, ok := offer.MediaAddress(kind); ok {
+			if err := b.SetRemote(remote); err != nil {
+				b.Close()
+				return nil, err
+			}
+		}
+		_, portStr, _ := strings.Cut(b.LocalAddr(), ":")
+		port, _ := strconv.Atoi(portStr)
+		answer.Media = append(answer.Media, SDPMedia{Kind: kind, Port: port, PayloadTypes: []int{pt}})
+		return b, nil
+	}
+	for _, m := range info.Media {
+		switch m.Type {
+		case xgsp.MediaAudio:
+			if _, ok := offer.MediaAddress("audio"); ok {
+				if c.audio, err = bindMedia("audio", m.Topic, 0); err != nil {
+					break
+				}
+			}
+		case xgsp.MediaVideo:
+			if _, ok := offer.MediaAddress("video"); ok {
+				if c.video, err = bindMedia("video", m.Topic, 31); err != nil {
+					break
+				}
+			}
+		}
+	}
+	if err != nil {
+		s.teardownCall(c)
+		s.send(NewResponse(req, StatusServerError), raddr)
+		return
+	}
+	s.mu.Lock()
+	s.calls[callID] = c
+	s.mu.Unlock()
+
+	resp := NewResponse(req, StatusOK)
+	resp.Set("Contact", "<sip:"+info.ID+"@"+s.cfg.Domain+">")
+	resp.Set("Content-Type", "application/sdp")
+	resp.Body = answer.Marshal()
+	s.send(resp, raddr)
+	s.cfg.Metrics.Counter("sip.gateway_calls").Inc()
+}
+
+func (s *Server) joinSession(sessionID, userID, terminal string) (*xgsp.SessionInfo, error) {
+	return s.cfg.XGSP.JoinAs(sessionID, userID, terminal, "sip", nil)
+}
+
+func (s *Server) handleBye(req *Message, raddr net.Addr) {
+	callID := req.CallID()
+	s.mu.Lock()
+	c, ok := s.calls[callID]
+	delete(s.calls, callID)
+	s.mu.Unlock()
+	if !ok {
+		s.send(NewResponse(req, StatusNotFound), raddr)
+		return
+	}
+	s.teardownCall(c)
+	s.send(NewResponse(req, StatusOK), raddr)
+	s.cfg.Metrics.Counter("sip.gateway_byes").Inc()
+}
+
+func (s *Server) teardownCall(c *call) {
+	if c.audio != nil {
+		c.audio.Close()
+	}
+	if c.video != nil {
+		c.video.Close()
+	}
+	if s.cfg.XGSP != nil && c.user != "" {
+		_ = s.cfg.XGSP.LeaveAs(c.sessionID, c.user)
+	}
+}
+
+func (s *Server) handleMessage(req *Message, raddr net.Addr) {
+	to, err := ParseURI(req.RequestURI)
+	if err != nil {
+		s.send(NewResponse(req, StatusBadRequest), raddr)
+		return
+	}
+	from, err := ParseURI(req.Get("From"))
+	if err != nil {
+		s.send(NewResponse(req, StatusBadRequest), raddr)
+		return
+	}
+	// Session chat: MESSAGE to a session id lands in the chat room.
+	if s.cfg.Chat != nil && strings.HasPrefix(to.User, "s") {
+		if err := s.cfg.Chat.PublishChat(to.User, from.User, string(req.Body)); err == nil {
+			s.send(NewResponse(req, StatusOK), raddr)
+			s.cfg.Metrics.Counter("sip.chat_messages").Inc()
+			return
+		}
+	}
+	// Pager-mode IM to a registered user: forward.
+	if b, ok := s.lookupBinding(to.User); ok {
+		s.forwardRequest(req, b)
+		return
+	}
+	s.send(NewResponse(req, StatusNotFound), raddr)
+}
+
+func (s *Server) handleSubscribe(req *Message, raddr net.Addr) {
+	target, err := ParseURI(req.RequestURI)
+	if err != nil {
+		s.send(NewResponse(req, StatusBadRequest), raddr)
+		return
+	}
+	from, err := ParseURI(req.Get("From"))
+	if err != nil {
+		s.send(NewResponse(req, StatusBadRequest), raddr)
+		return
+	}
+	w := watch{
+		watcher: from.User,
+		addr:    raddr,
+		callID:  req.CallID(),
+		from:    req.Get("To"),
+		to:      req.Get("From"),
+	}
+	s.mu.Lock()
+	s.watchers[target.User] = append(s.watchers[target.User], w)
+	s.mu.Unlock()
+	resp := NewResponse(req, StatusOK)
+	resp.Set("Expires", "3600")
+	s.send(resp, raddr)
+	// Immediate NOTIFY with current state (RFC 6665 behaviour).
+	_, online := s.RegisteredContact(target.User)
+	s.sendNotify(w, target.User, online)
+	s.cfg.Metrics.Counter("sip.subscriptions").Inc()
+}
+
+// notifyPresence informs all watchers of a user's new state.
+func (s *Server) notifyPresence(user string, online bool) {
+	s.mu.Lock()
+	ws := append([]watch(nil), s.watchers[user]...)
+	s.mu.Unlock()
+	for _, w := range ws {
+		s.sendNotify(w, user, online)
+	}
+}
+
+func (s *Server) sendNotify(w watch, user string, online bool) {
+	state := "closed"
+	if online {
+		state = "open"
+	}
+	ntf := NewRequest(MethodNotify, "sip:"+w.watcher+"@"+s.cfg.Domain, w.from, w.to, w.callID, 1)
+	ntf.Set("Event", "presence")
+	ntf.Set("Subscription-State", "active")
+	ntf.Set("Content-Type", "application/pidf+xml")
+	ntf.Body = []byte(fmt.Sprintf(
+		`<presence entity="sip:%s@%s"><tuple id="t1"><status><basic>%s</basic></status></tuple></presence>`,
+		user, s.cfg.Domain, state))
+	s.send(ntf, w.addr)
+}
+
+// forwardRequest relays a request to a registered binding, adding our Via.
+func (s *Server) forwardRequest(req *Message, b *binding) {
+	fwd := &Message{
+		Method:     req.Method,
+		RequestURI: b.contact.String(),
+		Body:       req.Body,
+	}
+	fwd.Headers = append([]Header(nil), req.Headers...)
+	fwd.Headers = append([]Header{{Name: "Via", Value: "SIP/2.0/UDP " + s.Addr() + ";branch=z9hG4bKfwd"}}, fwd.Headers...)
+	s.sendTo(fwd, b.addr)
+	s.cfg.Metrics.Counter("sip.forwarded_requests").Inc()
+}
+
+// forwardResponse pops our Via and relays toward the next one.
+func (s *Server) forwardResponse(resp *Message) {
+	vias := resp.GetAll("Via")
+	if len(vias) < 2 {
+		return // response to us or unroutable; nothing to relay
+	}
+	// Pop the first Via (ours), route on the next.
+	next := vias[1]
+	addr := viaAddr(next)
+	if addr == "" {
+		return
+	}
+	out := &Message{
+		StatusCode:   resp.StatusCode,
+		ReasonPhrase: resp.ReasonPhrase,
+		Body:         resp.Body,
+	}
+	popped := false
+	for _, h := range resp.Headers {
+		if strings.EqualFold(h.Name, "Via") && !popped {
+			popped = true
+			continue
+		}
+		out.Headers = append(out.Headers, h)
+	}
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return
+	}
+	s.sendTo(out, ua)
+	s.cfg.Metrics.Counter("sip.forwarded_responses").Inc()
+}
+
+// viaAddr extracts host:port from a Via header value.
+func viaAddr(via string) string {
+	fields := strings.Fields(via)
+	if len(fields) < 2 {
+		return ""
+	}
+	addr, _, _ := strings.Cut(fields[1], ";")
+	if !strings.Contains(addr, ":") {
+		addr += ":5060"
+	}
+	return addr
+}
+
+func (s *Server) send(m *Message, addr net.Addr) {
+	s.sendTo(m, addr)
+}
+
+func (s *Server) sendTo(m *Message, addr net.Addr) {
+	if _, err := s.pc.WriteTo(m.Marshal(), addr); err != nil {
+		s.cfg.Metrics.Counter("sip.send_errors").Inc()
+		return
+	}
+	s.cfg.Metrics.Counter("sip.messages_out").Inc()
+}

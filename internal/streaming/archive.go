@@ -1,0 +1,94 @@
+package streaming
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/broker"
+	"github.com/globalmmcs/globalmmcs/internal/event"
+)
+
+// Archiver records a session's media events to a writer and replays them
+// later with original pacing — the "conference archiving service" the
+// Admire system provides and Global-MMCS adopts.
+type Archiver struct{}
+
+// Record consumes events from sub until it closes or done closes,
+// writing length-framed encoded events to w. It returns the number of
+// events recorded.
+func (Archiver) Record(w io.Writer, sub *broker.Subscription, done <-chan struct{}) (int, error) {
+	count := 0
+	var hdr [4]byte
+	for {
+		select {
+		case e, ok := <-sub.C():
+			if !ok {
+				return count, nil
+			}
+			b := event.Marshal(e)
+			binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+			if _, err := w.Write(hdr[:]); err != nil {
+				return count, fmt.Errorf("streaming: writing archive frame: %w", err)
+			}
+			if _, err := w.Write(b); err != nil {
+				return count, fmt.Errorf("streaming: writing archive frame: %w", err)
+			}
+			count++
+		case <-done:
+			return count, nil
+		}
+	}
+}
+
+// Publisher abstracts the replay sink (a broker client).
+type Publisher interface {
+	PublishEvent(e *event.Event) error
+}
+
+// Replay reads an archive and republishes its events. With pace=true the
+// original inter-event gaps (from event timestamps) are reproduced;
+// topicSuffix, when non-empty, is appended to each event's topic so a
+// replay can feed a different session. Returns events replayed.
+func (Archiver) Replay(r io.Reader, pub Publisher, pace bool, rewriteTopic func(string) string) (int, error) {
+	count := 0
+	var hdr [4]byte
+	var prevTS int64
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return count, nil
+			}
+			return count, fmt.Errorf("streaming: reading archive frame: %w", err)
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 || n > event.MaxWireLen {
+			return count, fmt.Errorf("streaming: archive frame length %d out of range", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return count, fmt.Errorf("streaming: reading archive frame: %w", err)
+		}
+		e, err := event.Unmarshal(buf)
+		if err != nil {
+			return count, fmt.Errorf("streaming: decoding archived event: %w", err)
+		}
+		if pace && prevTS != 0 {
+			if gap := time.Duration(e.Timestamp - prevTS); gap > 0 && gap < 10*time.Second {
+				time.Sleep(gap)
+			}
+		}
+		prevTS = e.Timestamp
+		out := e.Clone()
+		if rewriteTopic != nil {
+			out.Topic = rewriteTopic(out.Topic)
+		}
+		out.Timestamp = time.Now().UnixNano()
+		if err := pub.PublishEvent(out); err != nil {
+			return count, fmt.Errorf("streaming: republishing archived event: %w", err)
+		}
+		count++
+	}
+}

@@ -1,0 +1,245 @@
+package streaming
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/textproto"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/globalmmcs/globalmmcs/internal/rtp"
+)
+
+// Player is a minimal RTSP client standing in for the Real and Windows
+// Media players of §2.1: it DESCRIBEs a session, SETUPs tracks onto
+// local UDP ports, PLAYs, and counts received RTP packets per track.
+type Player struct {
+	conn   net.Conn
+	tp     *textproto.Reader
+	url    string
+	cseq   atomic.Uint32
+	sessID string
+
+	mu     sync.Mutex
+	tracks map[int]*PlayerTrack
+
+	wg sync.WaitGroup
+}
+
+// PlayerTrack is one receiving track.
+type PlayerTrack struct {
+	// ID is the RTSP track id.
+	ID int
+	// Kind is "audio" or "video".
+	Kind string
+	pc   net.PacketConn
+
+	packets atomic.Uint64
+	lastPT  atomic.Uint32
+}
+
+// Received returns the packets received so far.
+func (t *PlayerTrack) Received() uint64 { return t.packets.Load() }
+
+// LastPayloadType returns the payload type of the last packet.
+func (t *PlayerTrack) LastPayloadType() uint8 { return uint8(t.lastPT.Load()) }
+
+// DialPlayer connects to an rtsp:// URL of the form
+// rtsp://host:port/sessionID.
+func DialPlayer(url string) (*Player, error) {
+	rest, ok := strings.CutPrefix(url, "rtsp://")
+	if !ok {
+		return nil, fmt.Errorf("streaming: not an rtsp url: %q", url)
+	}
+	hostport, _, _ := strings.Cut(rest, "/")
+	conn, err := net.Dial("tcp", hostport)
+	if err != nil {
+		return nil, fmt.Errorf("streaming: dialling %s: %w", hostport, err)
+	}
+	return &Player{
+		conn:   conn,
+		tp:     textproto.NewReader(bufio.NewReader(conn)),
+		url:    url,
+		tracks: make(map[int]*PlayerTrack),
+	}, nil
+}
+
+// request performs one RTSP transaction.
+func (p *Player) request(method, url string, headers map[string]string) (int, textproto.MIMEHeader, string, error) {
+	cseq := p.cseq.Add(1)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s %s\r\nCSeq: %d\r\n", method, url, rtspVersion, cseq)
+	for k, v := range headers {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, v)
+	}
+	b.WriteString("\r\n")
+	if _, err := p.conn.Write([]byte(b.String())); err != nil {
+		return 0, nil, "", fmt.Errorf("streaming: sending %s: %w", method, err)
+	}
+	statusLine, err := p.tp.ReadLine()
+	if err != nil {
+		return 0, nil, "", fmt.Errorf("streaming: reading status: %w", err)
+	}
+	parts := strings.SplitN(statusLine, " ", 3)
+	if len(parts) < 2 || parts[0] != rtspVersion {
+		return 0, nil, "", fmt.Errorf("streaming: bad status line %q", statusLine)
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, nil, "", fmt.Errorf("streaming: bad status code in %q", statusLine)
+	}
+	hdrs, err := p.tp.ReadMIMEHeader()
+	if err != nil {
+		return 0, nil, "", fmt.Errorf("streaming: reading headers: %w", err)
+	}
+	body := ""
+	if cl := hdrs.Get("Content-Length"); cl != "" {
+		n, err := strconv.Atoi(cl)
+		if err != nil || n < 0 {
+			return 0, nil, "", fmt.Errorf("streaming: bad content-length %q", cl)
+		}
+		buf := make([]byte, n)
+		if _, err := readFull(p.tp.R, buf); err != nil {
+			return 0, nil, "", fmt.Errorf("streaming: reading body: %w", err)
+		}
+		body = string(buf)
+	}
+	return code, hdrs, body, nil
+}
+
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Describe fetches the session description and returns the advertised
+// track ids by kind.
+func (p *Player) Describe() (map[string]int, error) {
+	code, _, body, err := p.request("DESCRIBE", p.url, map[string]string{"Accept": "application/sdp"})
+	if err != nil {
+		return nil, err
+	}
+	if code != 200 {
+		return nil, fmt.Errorf("streaming: describe failed: %d", code)
+	}
+	tracks := make(map[string]int)
+	kind := ""
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if m, ok := strings.CutPrefix(line, "m="); ok {
+			kind, _, _ = strings.Cut(m, " ")
+		}
+		if ctl, ok := strings.CutPrefix(line, "a=control:trackID="); ok && kind != "" {
+			if id, err := strconv.Atoi(ctl); err == nil {
+				tracks[kind] = id
+			}
+		}
+	}
+	if len(tracks) == 0 {
+		return nil, fmt.Errorf("streaming: no tracks in description:\n%s", body)
+	}
+	return tracks, nil
+}
+
+// Setup prepares one track for reception on a fresh local UDP port.
+func (p *Player) Setup(kind string, trackID int) (*PlayerTrack, error) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("streaming: allocating player port: %w", err)
+	}
+	_, portStr, _ := net.SplitHostPort(pc.LocalAddr().String())
+	headers := map[string]string{
+		"Transport": fmt.Sprintf("RTP/AVP;unicast;client_port=%s-%s", portStr, portStr),
+	}
+	if p.sessID != "" {
+		headers["Session"] = p.sessID
+	}
+	code, hdrs, _, err := p.request("SETUP", p.url+"/trackID="+strconv.Itoa(trackID), headers)
+	if err != nil {
+		pc.Close()
+		return nil, err
+	}
+	if code != 200 {
+		pc.Close()
+		return nil, fmt.Errorf("streaming: setup failed: %d", code)
+	}
+	p.sessID = hdrs.Get("Session")
+	t := &PlayerTrack{ID: trackID, Kind: kind, pc: pc}
+	p.mu.Lock()
+	p.tracks[trackID] = t
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		t.receiveLoop()
+	}()
+	return t, nil
+}
+
+func (t *PlayerTrack) receiveLoop() {
+	buf := make([]byte, 64<<10)
+	for {
+		n, _, err := t.pc.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		var pkt rtp.Packet
+		if err := pkt.Unmarshal(buf[:n]); err != nil {
+			continue
+		}
+		t.lastPT.Store(uint32(pkt.PayloadType))
+		t.packets.Add(1)
+	}
+}
+
+// Play starts delivery on all set-up tracks.
+func (p *Player) Play() error {
+	code, _, _, err := p.request("PLAY", p.url, map[string]string{"Session": p.sessID})
+	if err != nil {
+		return err
+	}
+	if code != 200 {
+		return fmt.Errorf("streaming: play failed: %d", code)
+	}
+	return nil
+}
+
+// Pause suspends delivery.
+func (p *Player) Pause() error {
+	code, _, _, err := p.request("PAUSE", p.url, map[string]string{"Session": p.sessID})
+	if err != nil {
+		return err
+	}
+	if code != 200 {
+		return fmt.Errorf("streaming: pause failed: %d", code)
+	}
+	return nil
+}
+
+// Teardown ends the RTSP session and closes all tracks.
+func (p *Player) Teardown() error {
+	_, _, _, err := p.request("TEARDOWN", p.url, map[string]string{"Session": p.sessID})
+	p.Close()
+	return err
+}
+
+// Close releases the player's sockets without an RTSP exchange.
+func (p *Player) Close() {
+	p.conn.Close()
+	p.mu.Lock()
+	for _, t := range p.tracks {
+		t.pc.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

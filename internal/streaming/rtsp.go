@@ -1,0 +1,430 @@
+package streaming
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"net/textproto"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/globalmmcs/globalmmcs/internal/broker"
+	"github.com/globalmmcs/globalmmcs/internal/metrics"
+	"github.com/globalmmcs/globalmmcs/internal/xgsp"
+)
+
+// rtspVersion is the protocol version spoken.
+const rtspVersion = "RTSP/1.0"
+
+// ServerConfig parameterises the RTSP server.
+type ServerConfig struct {
+	// ListenAddr is the RTSP TCP address (e.g. "127.0.0.1:0").
+	ListenAddr string
+	// XGSP resolves session ids from request URLs.
+	XGSP *xgsp.Client
+	// Broker attaches producers to session topics.
+	Broker *broker.Client
+	// Metrics receives counters; nil allocates a private registry.
+	Metrics *metrics.Registry
+}
+
+// Server is the Helix-substitute RTSP server: players DESCRIBE a
+// Global-MMCS session, SETUP tracks onto their UDP ports, and PLAY.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+
+	mu        sync.Mutex
+	producers map[string]*Producer    // session id → producer
+	sessions  map[string]*rtspSession // RTSP session id → state
+	nextSess  uint64
+
+	wg   sync.WaitGroup
+	done chan struct{}
+	once sync.Once
+}
+
+// rtspSession is one player's state.
+type rtspSession struct {
+	id       string
+	producer *Producer
+	pc       net.PacketConn
+	tracks   map[int]*Output
+}
+
+// NewServer binds the RTSP listener.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.XGSP == nil || cfg.Broker == nil {
+		return nil, errors.New("streaming: rtsp server requires xgsp and broker clients")
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = &metrics.Registry{}
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("streaming: binding rtsp listener: %w", err)
+	}
+	s := &Server{
+		cfg:       cfg,
+		ln:        ln,
+		producers: make(map[string]*Producer),
+		sessions:  make(map[string]*rtspSession),
+		done:      make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the RTSP TCP address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the rtsp:// URL for a session.
+func (s *Server) URL(sessionID string) string {
+	return "rtsp://" + s.Addr() + "/" + sessionID
+}
+
+// Stop closes the listener, sessions and producers.
+func (s *Server) Stop() {
+	s.once.Do(func() { close(s.done) })
+	s.ln.Close()
+	s.mu.Lock()
+	sessions := make([]*rtspSession, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	clear(s.sessions)
+	producers := make([]*Producer, 0, len(s.producers))
+	for _, p := range s.producers {
+		producers = append(producers, p)
+	}
+	clear(s.producers)
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		s.teardown(sess)
+	}
+	for _, p := range producers {
+		p.Stop()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// rtspRequest is one parsed request.
+type rtspRequest struct {
+	method  string
+	url     string
+	headers textproto.MIMEHeader
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	reader := textproto.NewReader(bufio.NewReader(conn))
+	for {
+		line, err := reader.ReadLine()
+		if err != nil {
+			return
+		}
+		if line == "" {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 3 || parts[2] != rtspVersion {
+			s.reply(conn, "", 400, nil, "")
+			return
+		}
+		headers, err := reader.ReadMIMEHeader()
+		if err != nil {
+			return
+		}
+		req := &rtspRequest{method: parts[0], url: parts[1], headers: headers}
+		s.cfg.Metrics.Counter("streaming.rtsp_requests").Inc()
+		if !s.handle(conn, req) {
+			return
+		}
+	}
+}
+
+// handle processes one request; returns false to close the connection.
+func (s *Server) handle(conn net.Conn, req *rtspRequest) bool {
+	cseq := req.headers.Get("CSeq")
+	switch req.method {
+	case "OPTIONS":
+		s.reply(conn, cseq, 200, map[string]string{
+			"Public": "OPTIONS, DESCRIBE, SETUP, PLAY, PAUSE, TEARDOWN",
+		}, "")
+	case "DESCRIBE":
+		s.handleDescribe(conn, req, cseq)
+	case "SETUP":
+		s.handleSetup(conn, req, cseq)
+	case "PLAY":
+		s.handlePlayPause(conn, req, cseq, false)
+	case "PAUSE":
+		s.handlePlayPause(conn, req, cseq, true)
+	case "TEARDOWN":
+		s.handleTeardown(conn, req, cseq)
+		return false
+	default:
+		s.reply(conn, cseq, 405, nil, "")
+	}
+	return true
+}
+
+// sessionIDFromURL extracts the session id from rtsp://host/<id>[/track].
+func sessionIDFromURL(url string) (sessionID string, trackID int, hasTrack bool) {
+	rest := url
+	if i := strings.Index(rest, "://"); i >= 0 {
+		rest = rest[i+3:]
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[i+1:]
+	} else {
+		return "", 0, false
+	}
+	parts := strings.Split(rest, "/")
+	sessionID = parts[0]
+	trackID = -1
+	if len(parts) > 1 && strings.HasPrefix(parts[1], "trackID=") {
+		if n, err := strconv.Atoi(strings.TrimPrefix(parts[1], "trackID=")); err == nil {
+			return sessionID, n, true
+		}
+	}
+	return sessionID, trackID, false
+}
+
+// producerFor returns (creating if needed) the producer of a session.
+func (s *Server) producerFor(sessionID string) (*Producer, error) {
+	s.mu.Lock()
+	if p, ok := s.producers[sessionID]; ok {
+		s.mu.Unlock()
+		return p, nil
+	}
+	s.mu.Unlock()
+
+	info, err := s.cfg.XGSP.Lookup(sessionID)
+	if err != nil {
+		return nil, err
+	}
+	if info == nil || !info.Active {
+		return nil, fmt.Errorf("streaming: no active session %s", sessionID)
+	}
+	p, err := NewProducer(s.cfg.Broker, info, s.cfg.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	existing, raced := s.producers[sessionID]
+	if !raced {
+		s.producers[sessionID] = p
+	}
+	s.mu.Unlock()
+	if raced {
+		p.Stop()
+		return existing, nil
+	}
+	return p, nil
+}
+
+func (s *Server) handleDescribe(conn net.Conn, req *rtspRequest, cseq string) {
+	sessionID, _, _ := sessionIDFromURL(req.url)
+	p, err := s.producerFor(sessionID)
+	if err != nil {
+		s.reply(conn, cseq, 404, nil, "")
+		return
+	}
+	var sdp strings.Builder
+	sdp.WriteString("v=0\r\no=- 0 0 IN IP4 0.0.0.0\r\ns=" + sessionID + "\r\nt=0 0\r\n")
+	for _, tr := range p.Tracks() {
+		pt := payloadStreamAudio
+		if tr.Kind == "video" {
+			pt = payloadStreamVideo
+		}
+		fmt.Fprintf(&sdp, "m=%s 0 RTP/AVP %d\r\na=control:trackID=%d\r\n", tr.Kind, pt, tr.ID)
+	}
+	s.reply(conn, cseq, 200, map[string]string{
+		"Content-Type": "application/sdp",
+	}, sdp.String())
+}
+
+func (s *Server) handleSetup(conn net.Conn, req *rtspRequest, cseq string) {
+	sessionID, trackID, hasTrack := sessionIDFromURL(req.url)
+	if !hasTrack {
+		s.reply(conn, cseq, 400, nil, "")
+		return
+	}
+	transport := req.headers.Get("Transport")
+	clientPort := parseClientPort(transport)
+	if clientPort == 0 {
+		s.reply(conn, cseq, 461, nil, "") // unsupported transport
+		return
+	}
+	p, err := s.producerFor(sessionID)
+	if err != nil {
+		s.reply(conn, cseq, 404, nil, "")
+		return
+	}
+	if _, ok := p.TrackByID(trackID); !ok {
+		s.reply(conn, cseq, 404, nil, "")
+		return
+	}
+	clientHost, _, err := net.SplitHostPort(conn.RemoteAddr().String())
+	if err != nil {
+		s.reply(conn, cseq, 500, nil, "")
+		return
+	}
+	// Reuse (or create) the RTSP session.
+	sessID := req.headers.Get("Session")
+	s.mu.Lock()
+	sess, ok := s.sessions[sessID]
+	if !ok {
+		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			s.mu.Unlock()
+			s.reply(conn, cseq, 500, nil, "")
+			return
+		}
+		s.nextSess++
+		sess = &rtspSession{
+			id:       strconv.FormatUint(s.nextSess*7919, 10),
+			producer: p,
+			pc:       pc,
+			tracks:   make(map[int]*Output),
+		}
+		s.sessions[sess.id] = sess
+	}
+	s.mu.Unlock()
+	dst, err := net.ResolveUDPAddr("udp", net.JoinHostPort(clientHost, strconv.Itoa(clientPort)))
+	if err != nil {
+		s.reply(conn, cseq, 500, nil, "")
+		return
+	}
+	out, err := p.Attach(trackID, sess.pc, dst)
+	if err != nil {
+		s.reply(conn, cseq, 500, nil, "")
+		return
+	}
+	s.mu.Lock()
+	sess.tracks[trackID] = out
+	s.mu.Unlock()
+	_, serverPort, _ := net.SplitHostPort(sess.pc.LocalAddr().String())
+	s.reply(conn, cseq, 200, map[string]string{
+		"Session":   sess.id,
+		"Transport": fmt.Sprintf("%s;server_port=%s-%s", transport, serverPort, serverPort),
+	}, "")
+	s.cfg.Metrics.Counter("streaming.setups").Inc()
+}
+
+func parseClientPort(transport string) int {
+	for _, part := range strings.Split(transport, ";") {
+		if v, ok := strings.CutPrefix(part, "client_port="); ok {
+			lo, _, _ := strings.Cut(v, "-")
+			if n, err := strconv.Atoi(lo); err == nil {
+				return n
+			}
+		}
+	}
+	return 0
+}
+
+func (s *Server) handlePlayPause(conn net.Conn, req *rtspRequest, cseq string, pause bool) {
+	sessID := req.headers.Get("Session")
+	s.mu.Lock()
+	sess, ok := s.sessions[sessID]
+	s.mu.Unlock()
+	if !ok {
+		s.reply(conn, cseq, 454, nil, "") // session not found
+		return
+	}
+	for _, out := range sess.tracks {
+		if pause {
+			out.Pause()
+		} else {
+			out.Resume()
+		}
+	}
+	s.reply(conn, cseq, 200, map[string]string{"Session": sess.id}, "")
+	if pause {
+		s.cfg.Metrics.Counter("streaming.pauses").Inc()
+	} else {
+		s.cfg.Metrics.Counter("streaming.plays").Inc()
+	}
+}
+
+func (s *Server) handleTeardown(conn net.Conn, req *rtspRequest, cseq string) {
+	sessID := req.headers.Get("Session")
+	s.mu.Lock()
+	sess, ok := s.sessions[sessID]
+	delete(s.sessions, sessID)
+	s.mu.Unlock()
+	if ok {
+		s.teardown(sess)
+	}
+	s.reply(conn, cseq, 200, nil, "")
+}
+
+func (s *Server) teardown(sess *rtspSession) {
+	for trackID, out := range sess.tracks {
+		sess.producer.Detach(trackID, out)
+	}
+	sess.pc.Close()
+}
+
+// SessionCount returns the number of active RTSP sessions.
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+func (s *Server) reply(conn net.Conn, cseq string, code int, headers map[string]string, body string) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %d %s\r\n", rtspVersion, code, rtspStatusText(code))
+	if cseq != "" {
+		fmt.Fprintf(&b, "CSeq: %s\r\n", cseq)
+	}
+	for k, v := range headers {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, v)
+	}
+	fmt.Fprintf(&b, "Content-Length: %d\r\n\r\n%s", len(body), body)
+	if _, err := conn.Write([]byte(b.String())); err != nil {
+		s.cfg.Metrics.Counter("streaming.reply_errors").Inc()
+	}
+}
+
+func rtspStatusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 405:
+		return "Method Not Allowed"
+	case 454:
+		return "Session Not Found"
+	case 461:
+		return "Unsupported Transport"
+	default:
+		return "Error"
+	}
+}

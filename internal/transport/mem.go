@@ -1,0 +1,167 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/globalmmcs/globalmmcs/internal/event"
+)
+
+// memQueueDepth is the per-direction buffer of an in-process pipe. Deep
+// enough to absorb fan-out bursts; senders block beyond it (backpressure),
+// mirroring a kernel socket buffer.
+const memQueueDepth = 1024
+
+// Network is an in-process namespace for mem:// listeners. The zero value
+// is ready to use. Tests create isolated Networks; production code uses
+// DefaultNetwork via Dial/Listen.
+type Network struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+}
+
+// DefaultNetwork backs the package-level Dial and Listen for mem://
+// addresses.
+var DefaultNetwork = &Network{}
+
+func (n *Network) listenMem(name string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.listeners == nil {
+		n.listeners = make(map[string]*memListener)
+	}
+	if _, exists := n.listeners[name]; exists {
+		return nil, fmt.Errorf("transport: mem address %q already in use", name)
+	}
+	l := &memListener{
+		net:     n,
+		name:    name,
+		backlog: make(chan Conn, 64),
+		done:    make(chan struct{}),
+	}
+	n.listeners[name] = l
+	return l, nil
+}
+
+func (n *Network) dialMem(name string) (Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[name]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no mem listener at %q", name)
+	}
+	client, server := Pipe("mem:"+name, "mem:client")
+	select {
+	case l.backlog <- server:
+		return client, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (n *Network) remove(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.listeners, name)
+}
+
+type memListener struct {
+	net     *Network
+	name    string
+	backlog chan Conn
+	done    chan struct{}
+	once    sync.Once
+}
+
+var _ Listener = (*memListener)(nil)
+
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.remove(l.name)
+	})
+	return nil
+}
+
+func (l *memListener) Addr() string { return "mem://" + l.name }
+
+// memConn is one end of an in-process pipe.
+type memConn struct {
+	label string
+	send  chan *event.Event
+	recv  chan *event.Event
+	// done is shared by both ends: closing either end closes the pipe.
+	done *pipeDone
+}
+
+type pipeDone struct {
+	ch   chan struct{}
+	once sync.Once
+}
+
+func (d *pipeDone) close() { d.once.Do(func() { close(d.ch) }) }
+
+var _ Conn = (*memConn)(nil)
+
+// Pipe returns a connected pair of in-process conns. aLabel names the
+// remote seen from the first conn and vice versa.
+func Pipe(aLabel, bLabel string) (Conn, Conn) {
+	ab := make(chan *event.Event, memQueueDepth)
+	ba := make(chan *event.Event, memQueueDepth)
+	done := &pipeDone{ch: make(chan struct{})}
+	a := &memConn{label: aLabel, send: ab, recv: ba, done: done}
+	b := &memConn{label: bLabel, send: ba, recv: ab, done: done}
+	return a, b
+}
+
+func (c *memConn) Send(e *event.Event) error {
+	select {
+	case <-c.done.ch:
+		return ErrClosed
+	default:
+	}
+	select {
+	case c.send <- e:
+		return nil
+	case <-c.done.ch:
+		return ErrClosed
+	}
+}
+
+func (c *memConn) Recv() (*event.Event, error) {
+	// Drain buffered events even after close so in-flight traffic is not
+	// lost on graceful shutdown.
+	select {
+	case e := <-c.recv:
+		return e, nil
+	default:
+	}
+	select {
+	case e := <-c.recv:
+		return e, nil
+	case <-c.done.ch:
+		// Race: an event may have been buffered concurrently with close.
+		select {
+		case e := <-c.recv:
+			return e, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (c *memConn) Close() error {
+	c.done.close()
+	return nil
+}
+
+func (c *memConn) Label() string { return c.label }

@@ -1,0 +1,304 @@
+package transport
+
+import (
+	"container/heap"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/event"
+)
+
+// LinkProfile describes the emulated properties of a link direction. The
+// zero value is a perfect link. Profiles substitute for the paper's 2003
+// testbed (LAN propagation, JVM-era per-send host cost); see DESIGN.md §5.
+type LinkProfile struct {
+	// PropDelay is the fixed one-way propagation delay added to every
+	// delivery.
+	PropDelay time.Duration
+	// Jitter adds a uniformly distributed extra delay in [0, Jitter).
+	Jitter time.Duration
+	// Loss is the probability in [0,1] that an event is silently dropped.
+	Loss float64
+	// Bandwidth, in bytes per second, serializes deliveries through a
+	// token bucket. Zero means unlimited.
+	Bandwidth int64
+	// SendCost blocks the *sender* for the given duration per event,
+	// emulating per-send host service time (marshalling, syscall, copy on
+	// period hardware). This is the knob that reproduces the JMF
+	// reflector's saturation behaviour.
+	SendCost time.Duration
+	// Egress, if non-nil, serializes deliveries through a limiter shared
+	// with other conns, emulating a host NIC that all fan-out traffic
+	// leaves through.
+	Egress *SharedLimiter
+	// Seed makes loss and jitter deterministic; 0 derives a fixed default.
+	Seed uint64
+}
+
+// SharedLimiter is a token-bucket serializer shared across conns,
+// modelling a common egress link (e.g. the sending host's NIC). The zero
+// value is unusable; create with NewSharedLimiter.
+type SharedLimiter struct {
+	mu       sync.Mutex
+	byteTime float64 // seconds per byte
+	nextFree time.Time
+}
+
+// NewSharedLimiter creates a limiter with the given rate in bytes/second.
+func NewSharedLimiter(bytesPerSecond int64) *SharedLimiter {
+	if bytesPerSecond <= 0 {
+		panic("transport: shared limiter rate must be positive")
+	}
+	return &SharedLimiter{byteTime: 1 / float64(bytesPerSecond)}
+}
+
+// reserve books size bytes on the link and returns the time the last byte
+// leaves.
+func (l *SharedLimiter) reserve(now time.Time, size int) time.Time {
+	tx := time.Duration(float64(size) * l.byteTime * float64(time.Second))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	start := l.nextFree
+	if start.Before(now) {
+		start = now
+	}
+	l.nextFree = start.Add(tx)
+	return l.nextFree
+}
+
+// Backlog reports how far into the future the link is booked.
+func (l *SharedLimiter) Backlog(now time.Time) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.nextFree.Before(now) {
+		return 0
+	}
+	return l.nextFree.Sub(now)
+}
+
+// zero reports whether the profile requires any shaping at all.
+func (p LinkProfile) zero() bool {
+	return p.PropDelay == 0 && p.Jitter == 0 && p.Loss == 0 && p.Bandwidth == 0 &&
+		p.SendCost == 0 && p.Egress == nil
+}
+
+// needsDelayLine reports whether deliveries must be scheduled in time.
+func (p LinkProfile) needsDelayLine() bool {
+	return p.PropDelay > 0 || p.Jitter > 0 || p.Bandwidth > 0 || p.Egress != nil
+}
+
+// Shape wraps c so that events sent through it experience the profile.
+// Receiving is unaffected; wrap both ends for a symmetric link. If the
+// profile is zero the conn is returned unchanged.
+func Shape(c Conn, p LinkProfile) Conn {
+	if p.zero() {
+		return c
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	s := &shapedConn{
+		inner:   c,
+		profile: p,
+		rng:     rand.New(rand.NewPCG(seed, seed^0xDEADBEEF)),
+	}
+	if p.needsDelayLine() {
+		s.line = newDelayLine(c)
+	}
+	return s
+}
+
+type shapedConn struct {
+	inner   Conn
+	profile LinkProfile
+	line    *delayLine
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	nextFree time.Time // token-bucket head for bandwidth serialization
+}
+
+var _ Conn = (*shapedConn)(nil)
+
+func (s *shapedConn) Send(e *event.Event) error {
+	p := s.profile
+	if p.Loss > 0 {
+		s.mu.Lock()
+		drop := s.rng.Float64() < p.Loss
+		s.mu.Unlock()
+		if drop {
+			return nil
+		}
+	}
+	if p.SendCost > 0 {
+		spinWait(p.SendCost)
+	}
+	if s.line == nil {
+		return s.inner.Send(e)
+	}
+	now := time.Now()
+	due := now
+	size := len(e.Payload) + 64
+	if p.Bandwidth > 0 {
+		tx := time.Duration(float64(size) / float64(p.Bandwidth) * float64(time.Second))
+		s.mu.Lock()
+		start := s.nextFree
+		if start.Before(now) {
+			start = now
+		}
+		s.nextFree = start.Add(tx)
+		due = s.nextFree
+		s.mu.Unlock()
+	}
+	if p.Egress != nil {
+		if t := p.Egress.reserve(now, size); t.After(due) {
+			due = t
+		}
+	}
+	due = due.Add(p.PropDelay)
+	if p.Jitter > 0 {
+		s.mu.Lock()
+		j := time.Duration(s.rng.Int64N(int64(p.Jitter)))
+		s.mu.Unlock()
+		due = due.Add(j)
+	}
+	return s.line.push(e, due)
+}
+
+func (s *shapedConn) Recv() (*event.Event, error) { return s.inner.Recv() }
+
+func (s *shapedConn) Close() error {
+	if s.line != nil {
+		s.line.stop()
+	}
+	return s.inner.Close()
+}
+
+func (s *shapedConn) Label() string { return s.inner.Label() }
+
+// delayLine delivers events to an inner conn at their due time, preserving
+// due-time order (ties broken by arrival order).
+type delayLine struct {
+	inner Conn
+	in    chan timedEvent
+	done  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+	seq   atomic.Uint64
+}
+
+type timedEvent struct {
+	e   *event.Event
+	due time.Time
+	seq uint64
+}
+
+func newDelayLine(inner Conn) *delayLine {
+	l := &delayLine{
+		inner: inner,
+		in:    make(chan timedEvent, 4096),
+		done:  make(chan struct{}),
+	}
+	l.wg.Add(1)
+	go l.run()
+	return l
+}
+
+func (l *delayLine) push(e *event.Event, due time.Time) error {
+	te := timedEvent{e: e, due: due, seq: l.seq.Add(1)}
+	select {
+	case l.in <- te:
+		return nil
+	case <-l.done:
+		return ErrClosed
+	}
+}
+
+func (l *delayLine) stop() {
+	l.once.Do(func() { close(l.done) })
+	l.wg.Wait()
+}
+
+func (l *delayLine) run() {
+	defer l.wg.Done()
+	var q timedHeap
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		// Deliver everything due.
+		now := time.Now()
+		for q.Len() > 0 && !q[0].due.After(now) {
+			te := heap.Pop(&q).(timedEvent)
+			if err := l.inner.Send(te.e); err != nil {
+				return // downstream closed
+			}
+			now = time.Now()
+		}
+		if q.Len() == 0 {
+			select {
+			case te := <-l.in:
+				heap.Push(&q, te)
+			case <-l.done:
+				return
+			}
+			continue
+		}
+		wait := time.Until(q[0].due)
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case te := <-l.in:
+			heap.Push(&q, te)
+		case <-timer.C:
+		case <-l.done:
+			return
+		}
+	}
+}
+
+type timedHeap []timedEvent
+
+func (h timedHeap) Len() int { return len(h) }
+func (h timedHeap) Less(i, j int) bool {
+	if h[i].due.Equal(h[j].due) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].due.Before(h[j].due)
+}
+func (h timedHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timedHeap) Push(x any)   { *h = append(*h, x.(timedEvent)) }
+func (h *timedHeap) Pop() any {
+	old := *h
+	n := len(old)
+	te := old[n-1]
+	*h = old[:n-1]
+	return te
+}
+
+// spinWait blocks for approximately d. Durations below the sleep
+// granularity are busy-waited so that the emulated host cost actually
+// occupies the calling goroutine (and a CPU), as the modelled 2003-era
+// send path did.
+const sleepGranularity = 200 * time.Microsecond
+
+func spinWait(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	if d > sleepGranularity {
+		time.Sleep(d - sleepGranularity/2)
+	}
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,132 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/globalmmcs/globalmmcs/internal/event"
+)
+
+// tcpConn carries length-framed events over a stream socket. Frames are a
+// 4-byte big-endian length followed by one encoded event.
+type tcpConn struct {
+	nc net.Conn
+	br *bufio.Reader
+
+	writeMu sync.Mutex
+	bw      *bufio.Writer
+	wbuf    []byte
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+var _ Conn = (*tcpConn)(nil)
+
+func newTCPConn(nc net.Conn) *tcpConn {
+	return &tcpConn{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 64<<10),
+		bw: bufio.NewWriterSize(nc, 64<<10),
+	}
+}
+
+func dialTCP(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing tcp %s: %w", addr, err)
+	}
+	return newTCPConn(nc), nil
+}
+
+func (c *tcpConn) Send(e *event.Event) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.wbuf = event.AppendMarshal(c.wbuf[:0], e)
+	if len(c.wbuf) > event.MaxWireLen {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(c.wbuf))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(c.wbuf)))
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return c.sendErr(err)
+	}
+	if _, err := c.bw.Write(c.wbuf); err != nil {
+		return c.sendErr(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return c.sendErr(err)
+	}
+	return nil
+}
+
+func (c *tcpConn) sendErr(err error) error {
+	return fmt.Errorf("transport: tcp send to %s: %w", c.Label(), err)
+}
+
+func (c *tcpConn) Recv() (*event.Event, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return nil, c.recvErr(err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > event.MaxWireLen {
+		return nil, fmt.Errorf("transport: tcp frame length %d out of range", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		return nil, c.recvErr(err)
+	}
+	e, err := event.Unmarshal(buf)
+	if err != nil {
+		return nil, fmt.Errorf("transport: tcp decoding frame: %w", err)
+	}
+	return e, nil
+}
+
+func (c *tcpConn) recvErr(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return ErrClosed
+	}
+	return fmt.Errorf("transport: tcp recv from %s: %w", c.Label(), err)
+}
+
+func (c *tcpConn) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.nc.Close() })
+	return c.closeErr
+}
+
+func (c *tcpConn) Label() string { return "tcp:" + c.nc.RemoteAddr().String() }
+
+type tcpListener struct {
+	nl net.Listener
+}
+
+var _ Listener = (*tcpListener)(nil)
+
+func listenTCP(addr string) (Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listening tcp %s: %w", addr, err)
+	}
+	return &tcpListener{nl: nl}, nil
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && !ne.Timeout() {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("transport: tcp accept: %w", err)
+	}
+	return newTCPConn(nc), nil
+}
+
+func (l *tcpListener) Close() error { return l.nl.Close() }
+
+func (l *tcpListener) Addr() string { return "tcp://" + l.nl.Addr().String() }

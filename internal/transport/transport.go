@@ -1,0 +1,122 @@
+// Package transport provides the links the broker network and its clients
+// communicate over. Three transports are implemented, selected by URL
+// scheme:
+//
+//   - mem://name — in-process pipes through a Network registry
+//   - tcp://host:port — length-framed events over TCP
+//   - udp://host:port — one event per datagram
+//
+// A Shaper can wrap any Conn to emulate link properties (propagation
+// delay, jitter, loss, bandwidth) and per-send host service cost. The
+// Figure 3 experiment uses shaped mem links so that both the broker and
+// the JMF-reflector baseline run over identical emulated conditions.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"strings"
+
+	"github.com/globalmmcs/globalmmcs/internal/event"
+)
+
+// Transport errors.
+var (
+	// ErrClosed is returned by operations on a closed Conn or Listener.
+	ErrClosed = errors.New("transport: closed")
+	// ErrTooLarge is returned when an event exceeds the transport's
+	// datagram or frame budget.
+	ErrTooLarge = errors.New("transport: event too large")
+)
+
+// Conn is a bidirectional, message-oriented link carrying events.
+// Send may be called concurrently; Recv must be called from one goroutine.
+type Conn interface {
+	// Send transmits one event. It may block for backpressure or shaping.
+	Send(e *event.Event) error
+	// Recv blocks until an event arrives or the conn closes (ErrClosed).
+	Recv() (*event.Event, error)
+	// Close releases the conn; pending and future operations fail with
+	// ErrClosed. Close is idempotent.
+	Close() error
+	// Label describes the remote end for logs ("mem:b1", "tcp:1.2.3.4:5").
+	Label() string
+}
+
+// Listener accepts inbound conns.
+type Listener interface {
+	// Accept blocks until a conn arrives or the listener closes.
+	Accept() (Conn, error)
+	// Close stops the listener. Idempotent.
+	Close() error
+	// Addr returns the listener's dialable URL.
+	Addr() string
+}
+
+// Dial connects to a transport URL using the default in-process Network
+// for mem:// addresses.
+func Dial(rawURL string) (Conn, error) {
+	return DefaultNetwork.Dial(rawURL)
+}
+
+// Listen starts a listener on a transport URL using the default
+// in-process Network for mem:// addresses.
+func Listen(rawURL string) (Listener, error) {
+	return DefaultNetwork.Listen(rawURL)
+}
+
+// Dial connects to a transport URL.
+func (n *Network) Dial(rawURL string) (Conn, error) {
+	scheme, rest, err := splitURL(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	switch scheme {
+	case "mem":
+		return n.dialMem(rest)
+	case "tcp":
+		return dialTCP(rest)
+	case "udp":
+		return dialUDP(rest)
+	default:
+		return nil, fmt.Errorf("transport: unknown scheme %q in %q", scheme, rawURL)
+	}
+}
+
+// Listen starts a listener on a transport URL.
+func (n *Network) Listen(rawURL string) (Listener, error) {
+	scheme, rest, err := splitURL(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	switch scheme {
+	case "mem":
+		return n.listenMem(rest)
+	case "tcp":
+		return listenTCP(rest)
+	case "udp":
+		return listenUDP(rest)
+	default:
+		return nil, fmt.Errorf("transport: unknown scheme %q in %q", scheme, rawURL)
+	}
+}
+
+func splitURL(rawURL string) (scheme, rest string, err error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return "", "", fmt.Errorf("transport: parsing %q: %w", rawURL, err)
+	}
+	if u.Scheme == "" {
+		return "", "", fmt.Errorf("transport: missing scheme in %q", rawURL)
+	}
+	rest = u.Host
+	if rest == "" {
+		// mem://name parses name as host; mem:name parses as opaque.
+		rest = strings.TrimPrefix(u.Opaque, "//")
+	}
+	if rest == "" {
+		return "", "", fmt.Errorf("transport: missing address in %q", rawURL)
+	}
+	return u.Scheme, rest, nil
+}

@@ -1,0 +1,260 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/globalmmcs/globalmmcs/internal/event"
+)
+
+// maxDatagram is the largest event datagram we send. RTP media packets are
+// packetized well under a WAN-safe MTU; 60 KiB leaves room for control
+// events while staying inside a single UDP datagram.
+const maxDatagram = 60 << 10
+
+// udpDialConn is the client end of a UDP association: a connected socket
+// exchanging one event per datagram with a udpListener.
+type udpDialConn struct {
+	pc        *net.UDPConn
+	writeMu   sync.Mutex
+	wbuf      []byte
+	closeOnce sync.Once
+	closeErr  error
+}
+
+var _ Conn = (*udpDialConn)(nil)
+
+func dialUDP(addr string) (Conn, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolving udp %s: %w", addr, err)
+	}
+	pc, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing udp %s: %w", addr, err)
+	}
+	return &udpDialConn{pc: pc}, nil
+}
+
+func (c *udpDialConn) Send(e *event.Event) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.wbuf = event.AppendMarshal(c.wbuf[:0], e)
+	if len(c.wbuf) > maxDatagram {
+		return fmt.Errorf("%w: %d bytes over udp", ErrTooLarge, len(c.wbuf))
+	}
+	if _, err := c.pc.Write(c.wbuf); err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return ErrClosed
+		}
+		return fmt.Errorf("transport: udp send: %w", err)
+	}
+	return nil
+}
+
+func (c *udpDialConn) Recv() (*event.Event, error) {
+	buf := make([]byte, maxDatagram)
+	for {
+		n, err := c.pc.Read(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil, ErrClosed
+			}
+			return nil, fmt.Errorf("transport: udp recv: %w", err)
+		}
+		e, err := event.Unmarshal(buf[:n:n])
+		if err != nil {
+			continue // drop malformed datagrams, as a real media port would
+		}
+		buf = make([]byte, maxDatagram)
+		return e, nil
+	}
+}
+
+func (c *udpDialConn) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.pc.Close() })
+	return c.closeErr
+}
+
+func (c *udpDialConn) Label() string { return "udp:" + c.pc.RemoteAddr().String() }
+
+// udpListener demultiplexes datagrams from one socket into per-remote
+// virtual conns, surfacing each new remote through Accept.
+type udpListener struct {
+	pc      *net.UDPConn
+	backlog chan Conn
+	done    chan struct{}
+	once    sync.Once
+
+	mu    sync.Mutex
+	conns map[string]*udpServerConn
+
+	wg sync.WaitGroup
+}
+
+var _ Listener = (*udpListener)(nil)
+
+func listenUDP(addr string) (Listener, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolving udp %s: %w", addr, err)
+	}
+	pc, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listening udp %s: %w", addr, err)
+	}
+	l := &udpListener{
+		pc:      pc,
+		backlog: make(chan Conn, 64),
+		done:    make(chan struct{}),
+		conns:   make(map[string]*udpServerConn),
+	}
+	l.wg.Add(1)
+	go l.readLoop()
+	return l, nil
+}
+
+func (l *udpListener) readLoop() {
+	defer l.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, raddr, err := l.pc.ReadFromUDP(buf)
+		if err != nil {
+			l.closeAllConns()
+			return
+		}
+		e, err := event.Unmarshal(buf[:n:n])
+		if err != nil {
+			continue
+		}
+		// The decode aliases buf; copy out before reuse.
+		e = e.Clone()
+		key := raddr.String()
+		l.mu.Lock()
+		c, ok := l.conns[key]
+		if !ok {
+			c = &udpServerConn{
+				listener: l,
+				raddr:    raddr,
+				recvCh:   make(chan *event.Event, 256),
+				done:     make(chan struct{}),
+			}
+			l.conns[key] = c
+			l.mu.Unlock()
+			select {
+			case l.backlog <- c:
+			case <-l.done:
+				return
+			}
+		} else {
+			l.mu.Unlock()
+		}
+		select {
+		case c.recvCh <- e:
+		default:
+			// Receiver is slow; drop like a kernel socket buffer would.
+		}
+	}
+}
+
+func (l *udpListener) closeAllConns() {
+	l.mu.Lock()
+	conns := make([]*udpServerConn, 0, len(l.conns))
+	for _, c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.closeLocal()
+	}
+}
+
+func (l *udpListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *udpListener) Close() error {
+	var err error
+	l.once.Do(func() {
+		close(l.done)
+		err = l.pc.Close()
+		l.wg.Wait()
+	})
+	return err
+}
+
+func (l *udpListener) Addr() string { return "udp://" + l.pc.LocalAddr().String() }
+
+func (l *udpListener) removeConn(key string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.conns, key)
+}
+
+// udpServerConn is the server-side virtual conn for one remote address.
+type udpServerConn struct {
+	listener *udpListener
+	raddr    *net.UDPAddr
+	recvCh   chan *event.Event
+	done     chan struct{}
+	once     sync.Once
+
+	writeMu sync.Mutex
+	wbuf    []byte
+}
+
+var _ Conn = (*udpServerConn)(nil)
+
+func (c *udpServerConn) Send(e *event.Event) error {
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.wbuf = event.AppendMarshal(c.wbuf[:0], e)
+	if len(c.wbuf) > maxDatagram {
+		return fmt.Errorf("%w: %d bytes over udp", ErrTooLarge, len(c.wbuf))
+	}
+	if _, err := c.listener.pc.WriteToUDP(c.wbuf, c.raddr); err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return ErrClosed
+		}
+		return fmt.Errorf("transport: udp send to %s: %w", c.raddr, err)
+	}
+	return nil
+}
+
+func (c *udpServerConn) Recv() (*event.Event, error) {
+	select {
+	case e := <-c.recvCh:
+		return e, nil
+	case <-c.done:
+		select {
+		case e := <-c.recvCh:
+			return e, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (c *udpServerConn) Close() error {
+	c.closeLocal()
+	c.listener.removeConn(c.raddr.String())
+	return nil
+}
+
+func (c *udpServerConn) closeLocal() {
+	c.once.Do(func() { close(c.done) })
+}
+
+func (c *udpServerConn) Label() string { return "udp:" + c.raddr.String() }

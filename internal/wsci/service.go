@@ -1,0 +1,231 @@
+package wsci
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Handler processes one SOAP action: it decodes the raw action element
+// and returns a response value to be wrapped in the reply envelope.
+type Handler func(action []byte) (response any, err error)
+
+// Service hosts WSDL-CI operations over HTTP. It implements
+// http.Handler; mount it on any mux. The zero value is unusable; create
+// with NewService.
+type Service struct {
+	name string
+
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	ops      map[string]Operation
+}
+
+// Operation describes one WSDL-CI operation for the interface document.
+type Operation struct {
+	// Name is the action element's local name.
+	Name string
+	// Doc is a one-line description rendered into the WSDL.
+	Doc string
+	// Input/Output name the message element types.
+	Input, Output string
+}
+
+// NewService creates an empty service with the given name.
+func NewService(name string) *Service {
+	return &Service{
+		name:     name,
+		handlers: make(map[string]Handler),
+		ops:      make(map[string]Operation),
+	}
+}
+
+// Register binds a handler to an operation. Registering the same name
+// twice replaces the previous handler.
+func (s *Service) Register(op Operation, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[op.Name] = h
+	s.ops[op.Name] = op
+}
+
+// Operations lists registered operations sorted by name.
+func (s *Service) Operations() []Operation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Operation, 0, len(s.ops))
+	for _, op := range s.ops {
+		out = append(out, op)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ServeHTTP implements http.Handler: POST = SOAP call, GET with ?wsdl =
+// interface document.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodGet:
+		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+		_, _ = io.WriteString(w, s.WSDL(requestBaseURL(r)))
+	case r.Method == http.MethodPost:
+		s.serveCall(w, r)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func requestBaseURL(r *http.Request) string {
+	scheme := "http"
+	if r.TLS != nil {
+		scheme = "https"
+	}
+	return scheme + "://" + r.Host + r.URL.Path
+}
+
+func (s *Service) serveCall(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSOAPBody))
+	if err != nil {
+		s.fault(w, "Client", "reading request", err)
+		return
+	}
+	inner, err := UnmarshalEnvelope(body)
+	if err != nil {
+		s.fault(w, "Client", "malformed envelope", err)
+		return
+	}
+	name, err := actionName(inner)
+	if err != nil {
+		s.fault(w, "Client", "missing action element", err)
+		return
+	}
+	s.mu.RLock()
+	h, ok := s.handlers[name]
+	s.mu.RUnlock()
+	if !ok {
+		s.fault(w, "Client", "unknown operation "+name, nil)
+		return
+	}
+	resp, err := h(inner)
+	if err != nil {
+		s.fault(w, "Server", "operation "+name+" failed", err)
+		return
+	}
+	out, err := MarshalEnvelope(resp)
+	if err != nil {
+		s.fault(w, "Server", "encoding response", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	_, _ = w.Write(out)
+}
+
+func (s *Service) fault(w http.ResponseWriter, code, msg string, err error) {
+	detail := ""
+	if err != nil {
+		detail = err.Error()
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.WriteHeader(http.StatusInternalServerError)
+	_, _ = w.Write(MarshalFault(code, msg, detail))
+}
+
+// WSDL renders a simplified WSDL 1.1 interface document for the service —
+// the WSDL-CI descriptor a community publishes so Global-MMCS can
+// generate an interface component for it.
+func (s *Service) WSDL(endpoint string) string {
+	ops := s.Operations()
+	var b strings.Builder
+	b.WriteString(xml.Header)
+	fmt.Fprintf(&b, `<definitions name=%q targetNamespace=%q xmlns:tns=%q xmlns="http://schemas.xmlsoap.org/wsdl/">`+"\n", s.name, ServiceNS, ServiceNS)
+	for _, op := range ops {
+		fmt.Fprintf(&b, "  <message name=%q><part name=\"body\" element=\"tns:%s\"/></message>\n", op.Name+"Input", op.Input)
+		fmt.Fprintf(&b, "  <message name=%q><part name=\"body\" element=\"tns:%s\"/></message>\n", op.Name+"Output", op.Output)
+	}
+	fmt.Fprintf(&b, "  <portType name=%q>\n", s.name+"PortType")
+	for _, op := range ops {
+		fmt.Fprintf(&b, "    <operation name=%q>\n", op.Name)
+		if op.Doc != "" {
+			fmt.Fprintf(&b, "      <documentation>%s</documentation>\n", op.Doc)
+		}
+		fmt.Fprintf(&b, "      <input message=\"tns:%sInput\"/>\n      <output message=\"tns:%sOutput\"/>\n    </operation>\n", op.Name, op.Name)
+	}
+	b.WriteString("  </portType>\n")
+	fmt.Fprintf(&b, "  <service name=%q><port name=%q><address location=%q/></port></service>\n", s.name, s.name+"Port", endpoint)
+	b.WriteString("</definitions>\n")
+	return b.String()
+}
+
+// Registry tracks community collaboration services by name — the
+// "directory of different communities and collaboration servers" of
+// §2.2. Safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	services map[string]ServiceEntry
+}
+
+// ServiceEntry describes one registered community service.
+type ServiceEntry struct {
+	// Community names the autonomous collaboration community.
+	Community string
+	// Kind describes the server ("admire", "h323-mcu", "helix", ...).
+	Kind string
+	// Endpoint is the WSDL-CI SOAP URL.
+	Endpoint string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{services: make(map[string]ServiceEntry)}
+}
+
+// Register adds or replaces a community service entry.
+func (r *Registry) Register(e ServiceEntry) error {
+	if e.Community == "" || e.Endpoint == "" {
+		return fmt.Errorf("wsci: registry entry needs community and endpoint, got %+v", e)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.services[e.Community] = e
+	return nil
+}
+
+// Lookup finds a community's service entry.
+func (r *Registry) Lookup(community string) (ServiceEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.services[community]
+	return e, ok
+}
+
+// Remove deletes a community's entry.
+func (r *Registry) Remove(community string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.services, community)
+}
+
+// List returns all entries sorted by community.
+func (r *Registry) List() []ServiceEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]ServiceEntry, 0, len(r.services))
+	for _, e := range r.services {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Community < out[j].Community })
+	return out
+}
+
+// Client returns a SOAP client for a community's service.
+func (r *Registry) Client(community string) (*Client, error) {
+	e, ok := r.Lookup(community)
+	if !ok {
+		return nil, fmt.Errorf("wsci: community %q not registered", community)
+	}
+	return NewClient(e.Endpoint), nil
+}

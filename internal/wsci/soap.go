@@ -1,0 +1,180 @@
+// Package wsci implements WSDL-CI, the paper's web-services collaboration
+// interface: a SOAP 1.1-style envelope over HTTP, a service host that
+// dispatches actions to registered handlers, a client for invoking remote
+// community services, interface descriptors rendered as simplified WSDL,
+// and a registry of community collaboration servers.
+//
+// Through WSDL-CI the XGSP web server schedules third-party collaboration
+// servers (an H.323 MCU, the Admire system, a streaming server) into
+// active sessions, as described in §2.2 of the paper.
+package wsci
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Envelope namespaces (SOAP 1.1 style).
+const (
+	soapNS = "http://schemas.xmlsoap.org/soap/envelope/"
+	// ServiceNS is the namespace of Global-MMCS collaboration bodies.
+	ServiceNS = "http://globalmmcs.org/wsci"
+)
+
+// maxSOAPBody bounds request/response bodies read from the network.
+const maxSOAPBody = 1 << 20
+
+// Envelope is a SOAP message: exactly one body payload, optionally a
+// fault.
+type Envelope struct {
+	XMLName xml.Name `xml:"Envelope"`
+	Body    Body     `xml:"Body"`
+}
+
+// Body wraps the action payload or a fault.
+type Body struct {
+	Fault *Fault `xml:"Fault,omitempty"`
+	// Inner is the raw action element.
+	Inner []byte `xml:",innerxml"`
+}
+
+// Fault is a SOAP fault.
+type Fault struct {
+	XMLName xml.Name `xml:"Fault"`
+	Code    string   `xml:"faultcode"`
+	String  string   `xml:"faultstring"`
+	Detail  string   `xml:"detail,omitempty"`
+}
+
+// Error implements error so faults can be returned directly.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("wsci: fault %s: %s", f.Code, f.String)
+}
+
+// MarshalEnvelope wraps an action value in a SOAP envelope. action must
+// marshal to a single XML element.
+func MarshalEnvelope(action any) ([]byte, error) {
+	inner, err := xml.Marshal(action)
+	if err != nil {
+		return nil, fmt.Errorf("wsci: marshalling action: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	buf.WriteString(`<soap:Envelope xmlns:soap="` + soapNS + `" xmlns:m="` + ServiceNS + `"><soap:Body>`)
+	buf.Write(inner)
+	buf.WriteString(`</soap:Body></soap:Envelope>`)
+	return buf.Bytes(), nil
+}
+
+// MarshalFault wraps a fault in a SOAP envelope.
+func MarshalFault(code, msg, detail string) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	buf.WriteString(`<soap:Envelope xmlns:soap="` + soapNS + `"><soap:Body><soap:Fault>`)
+	writeEscaped := func(tag, val string) {
+		buf.WriteString("<" + tag + ">")
+		_ = xml.EscapeText(&buf, []byte(val))
+		buf.WriteString("</" + tag + ">")
+	}
+	writeEscaped("faultcode", code)
+	writeEscaped("faultstring", msg)
+	if detail != "" {
+		writeEscaped("detail", detail)
+	}
+	buf.WriteString(`</soap:Fault></soap:Body></soap:Envelope>`)
+	return buf.Bytes()
+}
+
+// UnmarshalEnvelope parses a SOAP envelope and returns the raw inner body
+// XML. A fault in the body is returned as *Fault error.
+func UnmarshalEnvelope(b []byte) ([]byte, error) {
+	var env Envelope
+	if err := xml.Unmarshal(b, &env); err != nil {
+		return nil, fmt.Errorf("wsci: parsing envelope: %w", err)
+	}
+	if env.Body.Fault != nil {
+		return nil, env.Body.Fault
+	}
+	inner := bytes.TrimSpace(env.Body.Inner)
+	if len(inner) == 0 {
+		return nil, errors.New("wsci: empty SOAP body")
+	}
+	return inner, nil
+}
+
+// actionName extracts the local name of the first element in body XML.
+func actionName(inner []byte) (string, error) {
+	dec := xml.NewDecoder(bytes.NewReader(inner))
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return "", fmt.Errorf("wsci: reading action element: %w", err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			return se.Name.Local, nil
+		}
+	}
+}
+
+// Client invokes SOAP operations on a remote WSDL-CI service.
+type Client struct {
+	// Endpoint is the service URL.
+	Endpoint string
+	// HTTPClient overrides the default client (e.g. for tests).
+	HTTPClient *http.Client
+}
+
+// NewClient creates a client for a service endpoint.
+func NewClient(endpoint string) *Client {
+	return &Client{Endpoint: endpoint}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 15 * time.Second}
+}
+
+// Call invokes the operation carried by request and decodes the response
+// body element into response (a pointer to an XML-taggable struct).
+func (c *Client) Call(request, response any) error {
+	body, err := MarshalEnvelope(request)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.Endpoint, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("wsci: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "text/xml; charset=utf-8")
+	action, err := actionName(body[len(xml.Header):])
+	if err == nil {
+		req.Header.Set("SOAPAction", ServiceNS+"#"+action)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("wsci: calling %s: %w", c.Endpoint, err)
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxSOAPBody))
+	if err != nil {
+		return fmt.Errorf("wsci: reading response: %w", err)
+	}
+	inner, err := UnmarshalEnvelope(respBody)
+	if err != nil {
+		return err
+	}
+	if response == nil {
+		return nil
+	}
+	if err := xml.Unmarshal(inner, response); err != nil {
+		return fmt.Errorf("wsci: decoding response body: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package wsci
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// Echo is a test operation payload.
+type Echo struct {
+	XMLName xml.Name `xml:"Echo"`
+	Text    string   `xml:"text"`
+}
+
+// EchoResponse is its reply.
+type EchoResponse struct {
+	XMLName xml.Name `xml:"EchoResponse"`
+	Text    string   `xml:"text"`
+}
+
+func echoService() *Service {
+	s := NewService("EchoService")
+	s.Register(Operation{Name: "Echo", Doc: "echoes text", Input: "Echo", Output: "EchoResponse"},
+		func(action []byte) (any, error) {
+			var req Echo
+			if err := xml.Unmarshal(action, &req); err != nil {
+				return nil, err
+			}
+			if req.Text == "fail" {
+				return nil, errors.New("requested failure")
+			}
+			return &EchoResponse{Text: req.Text}, nil
+		})
+	return s
+}
+
+func TestEnvelopeRoundtrip(t *testing.T) {
+	b, err := MarshalEnvelope(&Echo{Text: "hello"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := UnmarshalEnvelope(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Echo
+	if err := xml.Unmarshal(inner, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Text != "hello" {
+		t.Fatalf("text = %q", got.Text)
+	}
+}
+
+func TestEnvelopeFault(t *testing.T) {
+	b := MarshalFault("Server", "boom", "detail <here>")
+	_, err := UnmarshalEnvelope(b)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want *Fault", err)
+	}
+	if f.Code != "Server" || f.String != "boom" || f.Detail != "detail <here>" {
+		t.Fatalf("fault = %+v", f)
+	}
+	if !strings.Contains(f.Error(), "boom") {
+		t.Fatal("fault error string")
+	}
+}
+
+func TestEnvelopeErrors(t *testing.T) {
+	if _, err := UnmarshalEnvelope([]byte("not xml <")); err == nil {
+		t.Error("garbage accepted")
+	}
+	empty := []byte(`<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body> </Body></Envelope>`)
+	if _, err := UnmarshalEnvelope(empty); err == nil {
+		t.Error("empty body accepted")
+	}
+}
+
+func TestServiceCallOverHTTP(t *testing.T) {
+	ts := httptest.NewServer(echoService())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	var resp EchoResponse
+	if err := c.Call(&Echo{Text: "round trip"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text != "round trip" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestServiceFaultPropagates(t *testing.T) {
+	ts := httptest.NewServer(echoService())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	var resp EchoResponse
+	err := c.Call(&Echo{Text: "fail"}, &resp)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want fault", err)
+	}
+	if f.Code != "Server" {
+		t.Fatalf("fault = %+v", f)
+	}
+}
+
+func TestServiceUnknownOperation(t *testing.T) {
+	ts := httptest.NewServer(echoService())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	type Bogus struct {
+		XMLName xml.Name `xml:"Bogus"`
+	}
+	err := c.Call(&Bogus{}, nil)
+	var f *Fault
+	if !errors.As(err, &f) || !strings.Contains(f.String, "unknown operation") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestServiceRejectsGarbagePost(t *testing.T) {
+	ts := httptest.NewServer(echoService())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL, "text/xml", strings.NewReader("<<<"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestServiceMethodNotAllowed(t *testing.T) {
+	ts := httptest.NewServer(echoService())
+	defer ts.Close()
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestWSDLDocument(t *testing.T) {
+	ts := httptest.NewServer(echoService())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "?wsdl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	if _, err := fmt.Fprint(&buf, readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	for _, want := range []string{"EchoService", `operation name="Echo"`, "echoes text", "portType"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("wsdl missing %q:\n%s", want, doc)
+		}
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+func TestOperationsSorted(t *testing.T) {
+	s := NewService("S")
+	s.Register(Operation{Name: "Zeta"}, func([]byte) (any, error) { return nil, nil })
+	s.Register(Operation{Name: "Alpha"}, func([]byte) (any, error) { return nil, nil })
+	ops := s.Operations()
+	if len(ops) != 2 || ops[0].Name != "Alpha" || ops[1].Name != "Zeta" {
+		t.Fatalf("ops = %v", ops)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(ServiceEntry{}); err == nil {
+		t.Fatal("empty entry accepted")
+	}
+	entries := []ServiceEntry{
+		{Community: "admire", Kind: "admire", Endpoint: "http://beihang/ws"},
+		{Community: "h323", Kind: "h323-mcu", Endpoint: "http://mcu/ws"},
+	}
+	for _, e := range entries {
+		if err := r.Register(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok := r.Lookup("admire")
+	if !ok || got.Endpoint != "http://beihang/ws" {
+		t.Fatalf("lookup = %+v, %v", got, ok)
+	}
+	if _, ok := r.Lookup("nowhere"); ok {
+		t.Fatal("phantom lookup")
+	}
+	if list := r.List(); len(list) != 2 || list[0].Community != "admire" {
+		t.Fatalf("list = %v", list)
+	}
+	c, err := r.Client("h323")
+	if err != nil || c.Endpoint != "http://mcu/ws" {
+		t.Fatalf("client = %+v, %v", c, err)
+	}
+	r.Remove("h323")
+	if _, err := r.Client("h323"); err == nil {
+		t.Fatal("client for removed community")
+	}
+}

@@ -1,0 +1,291 @@
+// Package xgsp implements the XML-based General Session Protocol — the
+// paper's primary contribution. XGSP is the neutral session protocol that
+// every community gateway (H.323, SIP, Admire, Access Grid) translates
+// into: one vocabulary for creating sessions, managing membership,
+// describing media, and arbitrating the floor.
+//
+// Messages travel as XML payloads of reliable broker events: requests on
+// the server's request topic, responses on the requester's inbox topic,
+// and notifications on each session's control topic.
+package xgsp
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ProtocolVersion is the XGSP revision emitted and accepted.
+const ProtocolVersion = "1.0"
+
+// Topic layout. All XGSP traffic lives under /xgsp.
+const (
+	// RequestTopic receives all client requests to the session server.
+	RequestTopic = "/xgsp/server/requests"
+	// inboxPrefix + user id is a requester's response topic.
+	inboxPrefix = "/xgsp/inbox/"
+)
+
+// InboxTopic returns the response topic for a user.
+func InboxTopic(userID string) string { return inboxPrefix + userID }
+
+// SessionTopic returns the topic for one media channel of a session.
+// channel is one of "audio", "video", "chat", "control".
+func SessionTopic(sessionID, channel string) string {
+	return "/xgsp/session/" + sessionID + "/" + channel
+}
+
+// MediaType enumerates session media channels.
+type MediaType string
+
+// Media types.
+const (
+	MediaAudio   MediaType = "audio"
+	MediaVideo   MediaType = "video"
+	MediaChat    MediaType = "chat"
+	MediaControl MediaType = "control"
+)
+
+// MediaDesc describes one media channel of a session.
+type MediaDesc struct {
+	Type      MediaType `xml:"type,attr"`
+	Codec     string    `xml:"codec,attr,omitempty"`
+	ClockRate int       `xml:"clock-rate,attr,omitempty"`
+	// Topic is the broker topic carrying this channel; assigned by the
+	// session server and echoed in responses/notifications.
+	Topic string `xml:"topic,attr,omitempty"`
+}
+
+// Status codes carried in responses.
+const (
+	StatusOK           = "ok"
+	StatusDenied       = "denied"
+	StatusNotFound     = "not-found"
+	StatusBadRequest   = "bad-request"
+	StatusConflict     = "conflict"
+	StatusFloorBusy    = "floor-busy"
+	StatusNotScheduled = "not-active"
+)
+
+// Message is the XGSP envelope. Exactly one body pointer is non-nil.
+type Message struct {
+	XMLName xml.Name `xml:"xgsp"`
+	Version string   `xml:"version,attr"`
+	// Seq correlates responses with requests per requester.
+	Seq uint64 `xml:"seq,attr"`
+	// From identifies the requesting user or community gateway.
+	From string `xml:"from,attr,omitempty"`
+
+	CreateSession    *CreateSession    `xml:"create-session,omitempty"`
+	TerminateSession *TerminateSession `xml:"terminate-session,omitempty"`
+	JoinSession      *JoinSession      `xml:"join-session,omitempty"`
+	LeaveSession     *LeaveSession     `xml:"leave-session,omitempty"`
+	ListSessions     *ListSessions     `xml:"list-sessions,omitempty"`
+	InviteUser       *InviteUser       `xml:"invite-user,omitempty"`
+	FloorRequest     *FloorRequest     `xml:"floor-request,omitempty"`
+	FloorRelease     *FloorRelease     `xml:"floor-release,omitempty"`
+	Response         *Response         `xml:"response,omitempty"`
+	Notify           *Notify           `xml:"notify,omitempty"`
+}
+
+// CreateSession asks the server to create a session. Ad-hoc sessions
+// (zero Start) activate immediately; scheduled sessions activate at
+// Start and expire at End — the paper's hybrid collaboration pattern.
+type CreateSession struct {
+	Name        string      `xml:"name,attr"`
+	Description string      `xml:"description,omitempty"`
+	Community   string      `xml:"community,attr,omitempty"`
+	Media       []MediaDesc `xml:"media"`
+	// Start/End as RFC 3339; empty means ad-hoc.
+	Start string `xml:"start,attr,omitempty"`
+	End   string `xml:"end,attr,omitempty"`
+}
+
+// TerminateSession ends a session; only the creator may terminate.
+type TerminateSession struct {
+	SessionID string `xml:"session,attr"`
+	Reason    string `xml:"reason,omitempty"`
+}
+
+// JoinSession adds a user (via a terminal) to a session.
+type JoinSession struct {
+	SessionID string `xml:"session,attr"`
+	UserID    string `xml:"user,attr"`
+	// Terminal identifies the media endpoint (H.323 terminal, SIP UA,
+	// player...) the user attends with.
+	Terminal string `xml:"terminal,attr,omitempty"`
+	// Community names the collaboration community the user comes from.
+	Community string `xml:"community,attr,omitempty"`
+	// Media lists the channels the terminal can handle.
+	Media []MediaDesc `xml:"media"`
+}
+
+// LeaveSession removes a user from a session.
+type LeaveSession struct {
+	SessionID string `xml:"session,attr"`
+	UserID    string `xml:"user,attr"`
+}
+
+// ListSessions asks for the catalogue of active (and optionally
+// scheduled) sessions.
+type ListSessions struct {
+	IncludeScheduled bool `xml:"include-scheduled,attr,omitempty"`
+}
+
+// InviteUser asks the server to notify a user of a session invitation.
+type InviteUser struct {
+	SessionID string `xml:"session,attr"`
+	UserID    string `xml:"user,attr"`
+	Message   string `xml:",chardata"`
+}
+
+// FloorRequest asks for the floor on one media channel.
+type FloorRequest struct {
+	SessionID string    `xml:"session,attr"`
+	UserID    string    `xml:"user,attr"`
+	Media     MediaType `xml:"media,attr"`
+}
+
+// FloorRelease gives the floor back.
+type FloorRelease struct {
+	SessionID string    `xml:"session,attr"`
+	UserID    string    `xml:"user,attr"`
+	Media     MediaType `xml:"media,attr"`
+}
+
+// SessionInfo describes one session in responses and notifications.
+type SessionInfo struct {
+	ID           string      `xml:"id,attr"`
+	Name         string      `xml:"name,attr"`
+	Creator      string      `xml:"creator,attr"`
+	Community    string      `xml:"community,attr,omitempty"`
+	Active       bool        `xml:"active,attr"`
+	Start        string      `xml:"start,attr,omitempty"`
+	End          string      `xml:"end,attr,omitempty"`
+	Media        []MediaDesc `xml:"media"`
+	Members      []string    `xml:"member,omitempty"`
+	ControlTopic string      `xml:"control-topic,attr,omitempty"`
+}
+
+// Response answers a request.
+type Response struct {
+	Status   string        `xml:"status,attr"`
+	Reason   string        `xml:"reason,omitempty"`
+	Session  *SessionInfo  `xml:"session,omitempty"`
+	Sessions []SessionInfo `xml:"sessions>session,omitempty"`
+}
+
+// Notify kinds.
+const (
+	NotifyJoined        = "joined"
+	NotifyLeft          = "left"
+	NotifyTerminated    = "terminated"
+	NotifyActivated     = "activated"
+	NotifyInvited       = "invited"
+	NotifyFloorGranted  = "floor-granted"
+	NotifyFloorReleased = "floor-released"
+)
+
+// Notify is an unsolicited server → members message on a session's
+// control topic (or a user's inbox for invitations).
+type Notify struct {
+	Kind      string       `xml:"kind,attr"`
+	SessionID string       `xml:"session,attr"`
+	UserID    string       `xml:"user,attr,omitempty"`
+	Media     MediaType    `xml:"media,attr,omitempty"`
+	Reason    string       `xml:"reason,omitempty"`
+	Session   *SessionInfo `xml:"session-info,omitempty"`
+}
+
+// Marshal encodes m as XGSP XML, stamping the protocol version.
+func Marshal(m *Message) ([]byte, error) {
+	m.Version = ProtocolVersion
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return xml.Marshal(m)
+}
+
+// Unmarshal decodes and validates an XGSP message.
+func Unmarshal(b []byte) (*Message, error) {
+	var m Message
+	if err := xml.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("xgsp: parsing message: %w", err)
+	}
+	if m.Version != ProtocolVersion {
+		return nil, fmt.Errorf("xgsp: unsupported version %q", m.Version)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// validate checks that exactly one body is present.
+func (m *Message) validate() error {
+	n := 0
+	for _, present := range []bool{
+		m.CreateSession != nil,
+		m.TerminateSession != nil,
+		m.JoinSession != nil,
+		m.LeaveSession != nil,
+		m.ListSessions != nil,
+		m.InviteUser != nil,
+		m.FloorRequest != nil,
+		m.FloorRelease != nil,
+		m.Response != nil,
+		m.Notify != nil,
+	} {
+		if present {
+			n++
+		}
+	}
+	if n != 1 {
+		return fmt.Errorf("xgsp: message must carry exactly one body, has %d", n)
+	}
+	return nil
+}
+
+// Kind names the populated body, for logging and dispatch.
+func (m *Message) Kind() string {
+	switch {
+	case m.CreateSession != nil:
+		return "create-session"
+	case m.TerminateSession != nil:
+		return "terminate-session"
+	case m.JoinSession != nil:
+		return "join-session"
+	case m.LeaveSession != nil:
+		return "leave-session"
+	case m.ListSessions != nil:
+		return "list-sessions"
+	case m.InviteUser != nil:
+		return "invite-user"
+	case m.FloorRequest != nil:
+		return "floor-request"
+	case m.FloorRelease != nil:
+		return "floor-release"
+	case m.Response != nil:
+		return "response"
+	case m.Notify != nil:
+		return "notify"
+	default:
+		return "empty"
+	}
+}
+
+// ParseTime parses the RFC 3339 timestamps used in scheduled sessions.
+func ParseTime(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, errors.New("xgsp: empty time")
+	}
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("xgsp: parsing time %q: %w", s, err)
+	}
+	return t, nil
+}
+
+// FormatTime renders a scheduled-session timestamp.
+func FormatTime(t time.Time) string { return t.Format(time.RFC3339) }
