@@ -1,0 +1,146 @@
+package globalmmcs
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/bench"
+)
+
+// Benchmark quality gates: the §3.2 thresholds under which a client
+// counts as receiving "good quality" media.
+const (
+	QualityMaxDelayMs  = bench.QualityMaxDelayMs
+	QualityMaxJitterMs = bench.QualityMaxJitterMs
+	QualityMaxLoss     = bench.QualityMaxLoss
+)
+
+// BenchSystem selects which media-distribution system a benchmark
+// exercises.
+type BenchSystem int
+
+// Systems compared by the paper's Figure 3.
+const (
+	// BenchBroker is the NaradaBrokering-substitute broker.
+	BenchBroker BenchSystem = iota + 1
+	// BenchReflector is the JMF-style unicast reflector baseline.
+	BenchReflector
+)
+
+// String implements fmt.Stringer.
+func (s BenchSystem) String() string { return bench.System(s).String() }
+
+// BenchSeries is one per-packet measurement series (delay or jitter in
+// milliseconds, indexed by packet number).
+type BenchSeries struct {
+	s interface{ WriteTSV(w io.Writer) error }
+}
+
+// WriteTSV dumps the series as packet-number/milliseconds rows.
+func (s *BenchSeries) WriteTSV(w io.Writer) error { return s.s.WriteTSV(w) }
+
+// Fig3Options parameterises the Figure 3 experiment. Zero values run
+// the paper-scale defaults.
+type Fig3Options struct {
+	// Receivers is the number of video clients (paper: 400).
+	Receivers int
+	// Measured is how many receivers record per-packet series (paper: 12).
+	Measured int
+	// Packets is the number of video packets streamed (paper: 2000).
+	Packets int
+}
+
+// Fig3Report is the outcome of one Figure 3 run.
+type Fig3Report struct {
+	System       BenchSystem
+	MeanDelayMs  float64
+	MeanJitterMs float64
+	Received     uint64
+	Lost         uint64
+	Elapsed      time.Duration
+	// Delay and Jitter are the two panels of Figure 3.
+	Delay  *BenchSeries
+	Jitter *BenchSeries
+}
+
+// RunFig3 regenerates the paper's Figure 3 for one system: per-packet
+// delay and jitter of a 600 Kbps video stream fanned out to Receivers
+// clients.
+func RunFig3(system BenchSystem, opt Fig3Options) (*Fig3Report, error) {
+	res, err := bench.RunFig3(bench.Fig3Config{
+		System:    bench.System(system),
+		Receivers: opt.Receivers,
+		Measured:  opt.Measured,
+		Packets:   opt.Packets,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig3Report{
+		System:       BenchSystem(res.System),
+		MeanDelayMs:  res.MeanDelayMs,
+		MeanJitterMs: res.MeanJitterMs,
+		Received:     res.Received,
+		Lost:         res.Lost,
+		Elapsed:      res.Elapsed,
+		Delay:        &BenchSeries{s: res.Delay},
+		Jitter:       &BenchSeries{s: res.Jitter},
+	}, nil
+}
+
+// CapacityOptions parameterises one capacity measurement point.
+type CapacityOptions struct {
+	// Kind selects the stream (Audio or Video).
+	Kind MediaKind
+	// Clients is the number of receivers on the broker.
+	Clients int
+	// Packets is the number of packets streamed.
+	Packets int
+}
+
+// CapacityReport is the outcome of one capacity point.
+type CapacityReport struct {
+	Clients      int
+	MeanDelayMs  float64
+	P99DelayMs   float64
+	MeanJitterMs float64
+	LossRate     float64
+	// GoodQuality reports whether the point passed the §3.2 quality
+	// gates.
+	GoodQuality bool
+	Elapsed     time.Duration
+}
+
+// RunCapacity measures one capacity point: one sender streaming to
+// Clients receivers through a single broker — the experiment behind the
+// paper's ">1000 audio / >400 video clients" claims. Kind must be Audio
+// or Video.
+func RunCapacity(opt CapacityOptions) (*CapacityReport, error) {
+	var kind bench.MediaKind
+	switch opt.Kind {
+	case Audio:
+		kind = bench.MediaAudio
+	case Video:
+		kind = bench.MediaVideo
+	default:
+		return nil, fmt.Errorf("globalmmcs: capacity kind %q: %w", opt.Kind, ErrNoSuchMedia)
+	}
+	res, err := bench.RunCapacity(bench.CapacityConfig{
+		Kind:    kind,
+		Clients: opt.Clients,
+		Packets: opt.Packets,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CapacityReport{
+		Clients:      res.Clients,
+		MeanDelayMs:  res.MeanDelayMs,
+		P99DelayMs:   res.P99DelayMs,
+		MeanJitterMs: res.MeanJitterMs,
+		LossRate:     res.LossRate,
+		GoodQuality:  res.GoodQuality,
+		Elapsed:      res.Elapsed,
+	}, nil
+}

@@ -1,0 +1,66 @@
+package globalmmcs
+
+import (
+	"github.com/globalmmcs/globalmmcs/internal/broker"
+)
+
+// BrokerMode selects how a standalone broker network routes events.
+type BrokerMode int
+
+// Routing modes.
+const (
+	// BrokerClientServer routes along subscription advertisements (the
+	// paper's "client-server mode like JMS").
+	BrokerClientServer BrokerMode = iota + 1
+	// BrokerPeerToPeer floods events to all peers with TTL and duplicate
+	// suppression (the paper's "JXTA-like peer-to-peer mode").
+	BrokerPeerToPeer
+)
+
+// String implements fmt.Stringer.
+func (m BrokerMode) String() string { return broker.Mode(m).String() }
+
+// Broker is a standalone node of the messaging middleware, for running
+// a distributed broker network outside a full Server (cmd/gmmcs-broker).
+type Broker struct {
+	b       *broker.Broker
+	metrics *Metrics
+}
+
+// NewBroker creates a standalone broker. mode 0 defaults to
+// BrokerClientServer.
+func NewBroker(id string, mode BrokerMode) *Broker {
+	m := NewMetrics()
+	return &Broker{
+		b:       broker.New(broker.Config{ID: id, Mode: broker.Mode(mode), Metrics: m.reg}),
+		metrics: m,
+	}
+}
+
+// Listen accepts clients and peer brokers on a transport URL (tcp:// or
+// udp://) and returns the bound address.
+func (b *Broker) Listen(url string) (string, error) {
+	l, err := b.b.Listen(url)
+	if err != nil {
+		return "", err
+	}
+	return l.Addr(), nil
+}
+
+// ConnectPeer links this broker to a peer broker's listen URL.
+func (b *Broker) ConnectPeer(url string) error { return b.b.ConnectPeer(url) }
+
+// SessionCount returns the number of attached clients and peers.
+func (b *Broker) SessionCount() int { return b.b.SessionCount() }
+
+// PeerCount returns the number of linked peer brokers.
+func (b *Broker) PeerCount() int { return b.b.PeerCount() }
+
+// Mode returns the routing mode.
+func (b *Broker) Mode() BrokerMode { return BrokerMode(b.b.Mode()) }
+
+// MetricsReport renders the broker's counters as text.
+func (b *Broker) MetricsReport() string { return b.metrics.Report() }
+
+// Stop shuts the broker down.
+func (b *Broker) Stop() { b.b.Stop() }

@@ -20,8 +20,7 @@ import (
 	"path/filepath"
 	"strings"
 
-	"github.com/globalmmcs/globalmmcs/internal/bench"
-	"github.com/globalmmcs/globalmmcs/internal/metrics"
+	"github.com/globalmmcs/globalmmcs"
 )
 
 func main() {
@@ -44,17 +43,17 @@ func run() error {
 	case "fig3":
 		return runFig3(*scale, *outDir)
 	case "audiocap":
-		return runCapacity(bench.MediaAudio, *scale)
+		return runCapacity(globalmmcs.Audio, *scale)
 	case "videocap":
-		return runCapacity(bench.MediaVideo, *scale)
+		return runCapacity(globalmmcs.Video, *scale)
 	case "all":
 		if err := runFig3(*scale, *outDir); err != nil {
 			return err
 		}
-		if err := runCapacity(bench.MediaAudio, *scale); err != nil {
+		if err := runCapacity(globalmmcs.Audio, *scale); err != nil {
 			return err
 		}
-		return runCapacity(bench.MediaVideo, *scale)
+		return runCapacity(globalmmcs.Video, *scale)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
@@ -69,9 +68,8 @@ func runFig3(scale float64, outDir string) error {
 	fmt.Println("paper: NaradaBrokering avg delay 80.76 ms, jitter 13.38 ms")
 	fmt.Println("paper: JMF reflector   avg delay 229.23 ms, jitter 15.55 ms")
 
-	for _, system := range []bench.System{bench.SystemBroker, bench.SystemReflector} {
-		res, err := bench.RunFig3(bench.Fig3Config{
-			System:    system,
+	for _, system := range []globalmmcs.BenchSystem{globalmmcs.BenchBroker, globalmmcs.BenchReflector} {
+		res, err := globalmmcs.RunFig3(system, globalmmcs.Fig3Options{
 			Receivers: receivers,
 			Measured:  measured,
 			Packets:   packets,
@@ -93,10 +91,10 @@ func runFig3(scale float64, outDir string) error {
 	return nil
 }
 
-func runCapacity(kind bench.MediaKind, scale float64) error {
+func runCapacity(kind globalmmcs.MediaKind, scale float64) error {
 	var sweep []int
 	var packets int
-	if kind == bench.MediaAudio {
+	if kind == globalmmcs.Audio {
 		sweep = []int{250, 500, 750, 1000, 1250}
 		packets = 400 // 8s of audio
 		fmt.Println("=== Capacity: audio clients on one broker (paper claim: >1000 with good quality) ===")
@@ -106,11 +104,11 @@ func runCapacity(kind bench.MediaKind, scale float64) error {
 		fmt.Println("=== Capacity: video clients on one broker (paper claim: >400 with good quality) ===")
 	}
 	fmt.Printf("quality gate: delay < %.0f ms, jitter < %.0f ms, loss < %.0f%%\n",
-		bench.QualityMaxDelayMs, bench.QualityMaxJitterMs, bench.QualityMaxLoss*100)
+		globalmmcs.QualityMaxDelayMs, globalmmcs.QualityMaxJitterMs, globalmmcs.QualityMaxLoss*100)
 	fmt.Printf("%8s %14s %14s %14s %10s %8s\n", "clients", "mean delay", "p99 delay", "mean jitter", "loss", "quality")
 	for _, n := range sweep {
 		clients := scaled(n, scale)
-		res, err := bench.RunCapacity(bench.CapacityConfig{
+		res, err := globalmmcs.RunCapacity(globalmmcs.CapacityOptions{
 			Kind:    kind,
 			Clients: clients,
 			Packets: scaled(packets, scale),
@@ -128,7 +126,7 @@ func runCapacity(kind bench.MediaKind, scale float64) error {
 	return nil
 }
 
-func dumpSeries(path string, s *metrics.Series) error {
+func dumpSeries(path string, s *globalmmcs.BenchSeries) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

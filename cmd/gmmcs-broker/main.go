@@ -8,16 +8,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
-	"github.com/globalmmcs/globalmmcs/internal/broker"
+	"github.com/globalmmcs/globalmmcs"
 )
 
 func main() {
@@ -36,19 +36,19 @@ func run() error {
 	)
 	flag.Parse()
 
-	m := broker.ModeClientServer
+	m := globalmmcs.BrokerClientServer
 	if *mode == "p2p" {
-		m = broker.ModePeerToPeer
+		m = globalmmcs.BrokerPeerToPeer
 	}
-	b := broker.New(broker.Config{ID: *id, Mode: m})
+	b := globalmmcs.NewBroker(*id, m)
 	defer b.Stop()
 
 	for _, url := range splitList(*listen) {
-		l, err := b.Listen(url)
+		addr, err := b.Listen(url)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("broker %s listening on %s (%s mode)\n", *id, l.Addr(), m)
+		fmt.Printf("broker %s listening on %s (%s mode)\n", *id, addr, m)
 	}
 	for _, url := range splitList(*peers) {
 		if err := b.ConnectPeer(url); err != nil {
@@ -57,20 +57,20 @@ func run() error {
 		fmt.Printf("linked to peer %s\n", url)
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 	if *stats <= 0 {
-		<-sig
+		<-ctx.Done()
 		return nil
 	}
 	ticker := time.NewTicker(*stats)
 	defer ticker.Stop()
 	for {
 		select {
-		case <-sig:
+		case <-ctx.Done():
 			return nil
 		case <-ticker.C:
-			fmt.Printf("sessions=%d peers=%d\n%s", b.SessionCount(), b.PeerCount(), b.Metrics().Report())
+			fmt.Printf("sessions=%d peers=%d\n%s", b.SessionCount(), b.PeerCount(), b.MetricsReport())
 		}
 	}
 }

@@ -8,14 +8,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
-	"github.com/globalmmcs/globalmmcs/internal/core"
+	"github.com/globalmmcs/globalmmcs"
 )
 
 func main() {
@@ -36,37 +37,53 @@ func run() error {
 	)
 	flag.Parse()
 
-	srv, err := core.Start(core.Config{
-		BrokerListenURLs: []string{*brokerURL},
-		WebAddr:          *webAddr,
-		Domain:           *domain,
-		DisableSIP:       *noSIP,
-		DisableH323:      *noH323,
-		DisableRTSP:      *noRTSP,
-		DisableIM:        *noIM,
-	})
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	opts := []globalmmcs.Option{
+		globalmmcs.WithWebAddr(*webAddr),
+		globalmmcs.WithBrokerListen(*brokerURL),
+		globalmmcs.WithDomain(*domain),
+	}
+	if *noSIP {
+		opts = append(opts, globalmmcs.WithoutSIP())
+	}
+	if *noH323 {
+		opts = append(opts, globalmmcs.WithoutH323())
+	}
+	if *noRTSP {
+		opts = append(opts, globalmmcs.WithoutRTSP())
+	}
+	if *noIM {
+		opts = append(opts, globalmmcs.WithoutIM())
+	}
+
+	srv, err := globalmmcs.Start(ctx, opts...)
 	if err != nil {
 		return err
 	}
 	defer srv.Stop()
+	readyCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := srv.WaitReady(readyCtx); err != nil {
+		return err
+	}
 
 	fmt.Printf("Global-MMCS node up\n")
 	fmt.Printf("  web (SOAP):   %s/ws\n", srv.WebAddr())
 	fmt.Printf("  broker:       %s\n", *brokerURL)
-	if srv.SIP != nil {
-		fmt.Printf("  sip:          %s (domain %s)\n", srv.SIP.Addr(), *domain)
+	if addr := srv.SIPAddr(); addr != "" {
+		fmt.Printf("  sip:          %s (domain %s)\n", addr, srv.SIPDomain())
 	}
-	if srv.Gatekeeper != nil {
-		fmt.Printf("  h323 ras:     %s\n", srv.Gatekeeper.Addr())
-		fmt.Printf("  h323 signal:  %s\n", srv.H323Gateway.Addr())
+	if addr := srv.GatekeeperAddr(); addr != "" {
+		fmt.Printf("  h323 ras:     %s\n", addr)
+		fmt.Printf("  h323 signal:  %s\n", srv.H323GatewayAddr())
 	}
-	if srv.RTSP != nil {
-		fmt.Printf("  rtsp:         %s\n", srv.RTSP.Addr())
+	if addr := srv.RTSPAddr(); addr != "" {
+		fmt.Printf("  rtsp:         %s\n", addr)
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	<-ctx.Done()
 	fmt.Println("shutting down")
 	return nil
 }

@@ -1,0 +1,135 @@
+package globalmmcs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+
+	"github.com/globalmmcs/globalmmcs/internal/accessgrid"
+	"github.com/globalmmcs/globalmmcs/internal/admire"
+	"github.com/globalmmcs/globalmmcs/internal/mcast"
+	"github.com/globalmmcs/globalmmcs/internal/wsci"
+)
+
+// AdmireCommunity is an in-process simulation of the Admire
+// videoconferencing system (the paper's §3.1 Chinese community): a
+// conference server publishing its collaboration interface as a WSDL-CI
+// web service, which Server.LinkAdmire bridges sessions to.
+type AdmireCommunity struct {
+	srv *admire.Server
+	web *http.Server
+	ln  net.Listener
+	ws  *wsci.Client
+}
+
+// StartAdmireCommunity starts the community server and serves its
+// WSDL-CI interface on a loopback HTTP endpoint.
+func StartAdmireCommunity() (*AdmireCommunity, error) {
+	srv := admire.NewServer()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Stop()
+		return nil, fmt.Errorf("globalmmcs: binding admire web service: %w", err)
+	}
+	web := &http.Server{Handler: srv.WebService()}
+	go func() { _ = web.Serve(ln) }()
+	endpoint := "http://" + ln.Addr().String()
+	return &AdmireCommunity{srv: srv, web: web, ln: ln, ws: wsci.NewClient(endpoint)}, nil
+}
+
+// Endpoint returns the community's WSDL-CI service URL — what
+// Server.LinkAdmire takes.
+func (a *AdmireCommunity) Endpoint() string { return "http://" + a.ln.Addr().String() }
+
+// WSDL renders the community's interface document.
+func (a *AdmireCommunity) WSDL() string { return a.srv.WebService().WSDL(a.Endpoint()) }
+
+// CreateConference starts a conference over the community's own SOAP
+// interface (the same path the XGSP web server uses) and returns its id.
+func (a *AdmireCommunity) CreateConference(ctx context.Context, name string) (string, error) {
+	var resp admire.CreateConferenceResponse
+	if err := a.ws.CallContext(ctx, &admire.CreateConferenceRequest{Name: name}, &resp); err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// Join registers a user in a conference and returns their media
+// membership.
+func (a *AdmireCommunity) Join(confID, user string) (*AdmireParticipant, error) {
+	m, err := a.srv.Join(confID, user)
+	if err != nil {
+		return nil, err
+	}
+	return &AdmireParticipant{m: m}, nil
+}
+
+// Stop tears the community down.
+func (a *AdmireCommunity) Stop() {
+	_ = a.web.Close()
+	a.srv.Stop()
+}
+
+// AdmireParticipant is one user's membership in an Admire conference.
+type AdmireParticipant struct {
+	m *mcast.Member
+}
+
+// Send publishes RTP wire bytes into the conference.
+func (p *AdmireParticipant) Send(data []byte) { p.m.Send(data) }
+
+// Recv returns the channel delivering the conference's media.
+func (p *AdmireParticipant) Recv() <-chan []byte { return p.m.Recv() }
+
+// Leave removes the membership.
+func (p *AdmireParticipant) Leave() { p.m.Leave() }
+
+// VenueServer is an in-process Access Grid venue server whose venues
+// Server.LinkAccessGrid bridges sessions to.
+type VenueServer struct {
+	vs *accessgrid.VenueServer
+}
+
+// NewVenueServer creates an empty venue server.
+func NewVenueServer() *VenueServer {
+	return &VenueServer{vs: accessgrid.NewVenueServer()}
+}
+
+// CreateVenue adds a venue with audio and video groups.
+func (v *VenueServer) CreateVenue(name string) error {
+	_, err := v.vs.CreateVenue(name)
+	return err
+}
+
+// Enter joins a user into a venue's media groups.
+func (v *VenueServer) Enter(venue, user string) (*VenueParticipant, error) {
+	c, err := v.vs.Enter(venue, user)
+	if err != nil {
+		return nil, err
+	}
+	return &VenueParticipant{c: c}, nil
+}
+
+// Stop closes all venues.
+func (v *VenueServer) Stop() { v.vs.Stop() }
+
+// VenueParticipant is one user's memberships in a venue.
+type VenueParticipant struct {
+	c *accessgrid.VenueClient
+}
+
+// SendAudio publishes RTP wire bytes into the venue's audio group.
+func (p *VenueParticipant) SendAudio(data []byte) { p.c.Audio.Send(data) }
+
+// RecvAudio returns the channel delivering the venue's audio.
+func (p *VenueParticipant) RecvAudio() <-chan []byte { return p.c.Audio.Recv() }
+
+// SendVideo publishes RTP wire bytes into the venue's video group.
+func (p *VenueParticipant) SendVideo(data []byte) { p.c.Video.Send(data) }
+
+// RecvVideo returns the channel delivering the venue's video.
+func (p *VenueParticipant) RecvVideo() <-chan []byte { return p.c.Video.Recv() }
+
+// Leave removes the memberships.
+func (p *VenueParticipant) Leave() { p.c.Leave() }

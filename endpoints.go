@@ -1,0 +1,101 @@
+package globalmmcs
+
+import (
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/h323"
+	"github.com/globalmmcs/globalmmcs/internal/sip"
+)
+
+// SIPEndpoint emulates an external SIP user agent — the kind of
+// endpoint that joins Global-MMCS sessions through the SIP gateway.
+// Useful for interop demos and tests; real deployments face actual SIP
+// phones at Server.SIPAddr.
+type SIPEndpoint struct {
+	ep *sip.Endpoint
+}
+
+// DialSIPEndpoint creates a SIP user agent for user talking to the
+// server at serverAddr (Server.SIPAddr).
+func DialSIPEndpoint(user, serverAddr string) (*SIPEndpoint, error) {
+	ep, err := sip.NewEndpoint(user, serverAddr)
+	if err != nil {
+		return nil, err
+	}
+	return &SIPEndpoint{ep: ep}, nil
+}
+
+// Register binds the endpoint's contact in the registrar for expires.
+func (e *SIPEndpoint) Register(domain string, expires time.Duration) error {
+	return e.ep.Register(domain, expires)
+}
+
+// Invite calls into a session through the gateway, offering local RTP
+// ports for audio and video (0 omits the stream).
+func (e *SIPEndpoint) Invite(domain, sessionID string, audioPort, videoPort int) (*SIPCall, error) {
+	c, err := e.ep.Invite(domain, sessionID, audioPort, videoPort)
+	if err != nil {
+		return nil, err
+	}
+	return &SIPCall{c: c}, nil
+}
+
+// Hangup ends an established call.
+func (e *SIPEndpoint) Hangup(c *SIPCall) error { return e.ep.Hangup(c.c) }
+
+// Close releases the endpoint's socket.
+func (e *SIPEndpoint) Close() { e.ep.Close() }
+
+// SIPCall is an established call from a SIPEndpoint.
+type SIPCall struct {
+	c *sip.Call
+}
+
+// AudioAddr returns the gateway's audio RTP address for this call.
+func (c *SIPCall) AudioAddr() (string, bool) { return c.c.AudioAddr() }
+
+// VideoAddr returns the gateway's video RTP address for this call.
+func (c *SIPCall) VideoAddr() (string, bool) { return c.c.VideoAddr() }
+
+// H323Endpoint emulates an external H.323 terminal joining sessions
+// through the gatekeeper and gateway.
+type H323Endpoint struct {
+	ep *h323.Endpoint
+}
+
+// DialH323Endpoint creates an H.323 terminal with the given alias
+// talking to the gatekeeper at rasAddr (Server.GatekeeperAddr).
+func DialH323Endpoint(alias, rasAddr string) (*H323Endpoint, error) {
+	ep, err := h323.NewEndpoint(alias, rasAddr)
+	if err != nil {
+		return nil, err
+	}
+	return &H323Endpoint{ep: ep}, nil
+}
+
+// Discover performs gatekeeper discovery (GRQ/GCF).
+func (e *H323Endpoint) Discover() error { return e.ep.Discover() }
+
+// Register registers the terminal's alias (RRQ/RCF).
+func (e *H323Endpoint) Register() error { return e.ep.Register() }
+
+// PlaceCall admits and sets up a call into a session. localRTP maps
+// channel kinds ("audio", "video") to the terminal's RTP addresses.
+func (e *H323Endpoint) PlaceCall(sessionID string, localRTP map[string]string) (*H323Call, error) {
+	c, err := e.ep.PlaceCall(sessionID, localRTP)
+	if err != nil {
+		return nil, err
+	}
+	return &H323Call{c: c}, nil
+}
+
+// Close releases the terminal's sockets.
+func (e *H323Endpoint) Close() { e.ep.Close() }
+
+// H323Call is an established call from an H323Endpoint.
+type H323Call struct {
+	c *h323.Call
+}
+
+// Hangup releases the call.
+func (c *H323Call) Hangup() error { return c.c.Hangup() }

@@ -9,86 +9,78 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"net"
-	"net/http"
 	"time"
 
 	"github.com/globalmmcs/globalmmcs"
-	"github.com/globalmmcs/globalmmcs/internal/accessgrid"
-	"github.com/globalmmcs/globalmmcs/internal/admire"
-	"github.com/globalmmcs/globalmmcs/internal/media"
-	"github.com/globalmmcs/globalmmcs/internal/rtp"
-	"github.com/globalmmcs/globalmmcs/internal/wsci"
-	"github.com/globalmmcs/globalmmcs/internal/xgsp"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	srv, err := globalmmcs.Start(globalmmcs.Config{})
+func run(ctx context.Context) error {
+	srv, err := globalmmcs.Start(ctx)
 	if err != nil {
 		return err
 	}
 	defer srv.Stop()
+	readyCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.WaitReady(readyCtx); err != nil {
+		return err
+	}
 
 	// --- The Admire community (Beihang side) runs its own server and
 	// publishes its collaboration interface as a WSDL-CI web service.
-	adm := admire.NewServer()
-	defer adm.Stop()
-	admHTTP := &http.Server{Handler: adm.WebService()}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	adm, err := globalmmcs.StartAdmireCommunity()
 	if err != nil {
 		return err
 	}
-	go func() { _ = admHTTP.Serve(ln) }()
-	defer admHTTP.Close()
-	admireEndpoint := "http://" + ln.Addr().String()
-	fmt.Println("Admire community service at", admireEndpoint)
+	defer adm.Stop()
+	fmt.Println("Admire community service at", adm.Endpoint())
 	fmt.Println("Admire WSDL:")
-	fmt.Println(indent(adm.WebService().WSDL(admireEndpoint), "  "))
+	fmt.Println(indent(adm.WSDL(), "  "))
 
 	// Create the Admire conference over SOAP, as the XGSP web server
 	// would.
-	ws := wsci.NewClient(admireEndpoint)
-	var conf admire.CreateConferenceResponse
-	if err := ws.Call(&admire.CreateConferenceRequest{Name: "us-china-seminar"}, &conf); err != nil {
+	confID, err := adm.CreateConference(ctx, "us-china-seminar")
+	if err != nil {
 		return err
 	}
 
 	// --- An Access Grid venue server with one venue.
-	venues := accessgrid.NewVenueServer()
+	venues := globalmmcs.NewVenueServer()
 	defer venues.Stop()
-	if _, err := venues.CreateVenue("pacific-room"); err != nil {
+	if err := venues.CreateVenue("pacific-room"); err != nil {
 		return err
 	}
 
 	// --- The Global-MMCS session that glues them together.
-	host, err := srv.Client("gcf")
+	host, err := srv.Client(ctx, "gcf")
 	if err != nil {
 		return err
 	}
 	defer host.Close()
-	session, err := host.CreateSession("us-china-seminar")
+	session, err := host.CreateSession(ctx, "us-china-seminar")
 	if err != nil {
 		return err
 	}
-	if _, err := srv.LinkAdmire(session.ID, conf.ID, admireEndpoint); err != nil {
+	if err := srv.LinkAdmire(ctx, session.ID(), confID, adm.Endpoint()); err != nil {
 		return err
 	}
-	if _, err := srv.LinkAccessGrid(session.ID, venues, "pacific-room"); err != nil {
+	if err := srv.LinkAccessGrid(ctx, session.ID(), venues, "pacific-room"); err != nil {
 		return err
 	}
 	fmt.Printf("session %s bridged to Admire conference %s and AG venue pacific-room\n",
-		session.ID, conf.ID)
+		session.ID(), confID)
 
 	// Participants in each community.
-	admUser, err := adm.Join(conf.ID, "wang-beihang")
+	admUser, err := adm.Join(confID, "wang-beihang")
 	if err != nil {
 		return err
 	}
@@ -96,24 +88,24 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	mmcsSub, err := host.SubscribeMedia(session, xgsp.MediaAudio, 256)
+	mmcsSub, err := session.Subscribe(ctx, globalmmcs.Audio, 256)
 	if err != nil {
 		return err
 	}
 
 	// The Admire participant speaks; both the MMCS user and the AG venue
 	// hear it.
-	src := media.NewAudioSource(media.AudioConfig{})
-	raw, err := src.NextPacket().Marshal()
+	src := globalmmcs.NewAudioSource(globalmmcs.AudioConfig{})
+	raw, err := src.NextPacket()
 	if err != nil {
 		return err
 	}
 	admUser.Send(raw)
 
 	select {
-	case e := <-mmcsSub.C():
-		var p rtp.Packet
-		if err := p.Unmarshal(e.Payload); err != nil {
+	case pkt := <-mmcsSub.C():
+		p, err := pkt.RTP()
+		if err != nil {
 			return err
 		}
 		fmt.Printf("MMCS user heard Admire audio (seq %d)\n", p.SequenceNumber)
@@ -121,9 +113,9 @@ func run() error {
 		return fmt.Errorf("admire audio never reached MMCS")
 	}
 	select {
-	case data := <-agUser.Audio.Recv():
-		var p rtp.Packet
-		if err := p.Unmarshal(data); err != nil {
+	case data := <-agUser.RecvAudio():
+		p, err := globalmmcs.ParseRTP(data)
+		if err != nil {
 			return err
 		}
 		fmt.Printf("AG venue heard Admire audio (seq %d)\n", p.SequenceNumber)
@@ -132,15 +124,15 @@ func run() error {
 	}
 
 	// And back: the AG participant answers; Admire hears it.
-	raw2, err := src.NextPacket().Marshal()
+	raw2, err := src.NextPacket()
 	if err != nil {
 		return err
 	}
-	agUser.Audio.Send(raw2)
+	agUser.SendAudio(raw2)
 	select {
 	case data := <-admUser.Recv():
-		var p rtp.Packet
-		if err := p.Unmarshal(data); err != nil {
+		p, err := globalmmcs.ParseRTP(data)
+		if err != nil {
 			return err
 		}
 		fmt.Printf("Admire participant heard AG audio (seq %d)\n", p.SequenceNumber)

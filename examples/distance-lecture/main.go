@@ -11,60 +11,67 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"github.com/globalmmcs/globalmmcs"
-	"github.com/globalmmcs/globalmmcs/internal/im"
-	"github.com/globalmmcs/globalmmcs/internal/media"
-	"github.com/globalmmcs/globalmmcs/internal/streaming"
-	"github.com/globalmmcs/globalmmcs/internal/xgsp"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	srv, err := globalmmcs.Start(globalmmcs.Config{})
+func run(ctx context.Context) error {
+	srv, err := globalmmcs.Start(ctx)
 	if err != nil {
 		return err
 	}
 	defer srv.Stop()
+	readyCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.WaitReady(readyCtx); err != nil {
+		return err
+	}
 
-	lecturer, err := srv.Client("lecturer")
+	lecturer, err := srv.Client(ctx, "lecturer")
 	if err != nil {
 		return err
 	}
 	defer lecturer.Close()
-	session, err := lecturer.CreateSession("distributed-systems-101")
+	session, err := lecturer.CreateSession(ctx, "distributed-systems-101")
 	if err != nil {
 		return err
 	}
-	if _, err := lecturer.Join(session.ID, "lecture-hall"); err != nil {
+	if err := session.Join(ctx, "lecture-hall"); err != nil {
 		return err
 	}
-	fmt.Printf("lecture session %s at %s\n", session.ID, srv.RTSP.URL(session.ID))
+	fmt.Printf("lecture session %s at %s\n", session.ID(), srv.StreamURL(session.ID()))
 
 	// The archiver records everything on the audio channel.
-	recorder, err := srv.Client("recorder")
+	recorder, err := srv.Client(ctx, "recorder")
 	if err != nil {
 		return err
 	}
 	defer recorder.Close()
-	audioSub, err := recorder.SubscribeMedia(session, xgsp.MediaAudio, 1024)
+	recSession, err := recorder.Session(ctx, session.ID())
+	if err != nil {
+		return err
+	}
+	audioSub, err := recSession.Subscribe(ctx, globalmmcs.Audio, 1024)
 	if err != nil {
 		return err
 	}
 	var archive bytes.Buffer
-	var arch streaming.Archiver
-	recDone := make(chan struct{})
+	var arch globalmmcs.Archive
+	recCtx, stopRecording := context.WithCancel(ctx)
+	defer stopRecording()
 	recCount := make(chan int, 1)
 	go func() {
-		n, err := arch.Record(&archive, audioSub, recDone)
+		n, err := arch.Record(recCtx, &archive, audioSub)
 		if err != nil {
 			log.Printf("archiver: %v", err)
 		}
@@ -72,10 +79,10 @@ func run() error {
 	}()
 
 	// Two students tune in with RTSP players.
-	players := make([]*streaming.Player, 0, 2)
-	tracks := make([]*streaming.PlayerTrack, 0, 2)
+	players := make([]*globalmmcs.Player, 0, 2)
+	tracks := make([]*globalmmcs.PlayerTrack, 0, 2)
 	for i := range 2 {
-		p, err := streaming.DialPlayer(srv.RTSP.URL(session.ID))
+		p, err := globalmmcs.DialPlayer(srv.StreamURL(session.ID()))
 		if err != nil {
 			return err
 		}
@@ -97,35 +104,35 @@ func run() error {
 	}
 
 	// A student asks a question in the chat room; the lecturer sees it.
-	student, err := srv.Client("student-zhang")
+	student, err := srv.Client(ctx, "student-zhang")
 	if err != nil {
 		return err
 	}
 	defer student.Close()
-	lecturerRoom, err := lecturer.Chat.JoinRoom(session.ID)
+	studentSession, err := student.Session(ctx, session.ID())
 	if err != nil {
 		return err
 	}
-	if err := student.Chat.Send(session.ID, "could you repeat the CAP theorem part?"); err != nil {
+	lecturerRoom, err := session.Chat(ctx)
+	if err != nil {
+		return err
+	}
+	if err := studentSession.Send(ctx, "could you repeat the CAP theorem part?"); err != nil {
 		return err
 	}
 	select {
-	case e := <-lecturerRoom.C():
-		q, err := im.ParseChat(e)
-		if err != nil {
-			return err
-		}
+	case q := <-lecturerRoom.C():
 		fmt.Printf("question from %s: %s\n", q.From, q.Body)
 	case <-time.After(5 * time.Second):
 		return fmt.Errorf("question never arrived")
 	}
 
 	// The lecturer speaks for two seconds.
-	sender, err := lecturer.MediaSender(session, xgsp.MediaAudio)
+	sender, err := session.Sender(globalmmcs.Audio)
 	if err != nil {
 		return err
 	}
-	if _, err := sender.SendAudio(media.NewAudioSource(media.AudioConfig{}), 100, nil); err != nil {
+	if _, err := sender.SendAudio(ctx, globalmmcs.NewAudioSource(globalmmcs.AudioConfig{}), 100); err != nil {
 		return err
 	}
 	time.Sleep(300 * time.Millisecond) // drain tails
@@ -139,27 +146,25 @@ func run() error {
 			return err
 		}
 	}
-	close(recDone)
+	stopRecording()
 	recorded := <-recCount
 	fmt.Printf("archived %d packets (%d bytes)\n", recorded, archive.Len())
 
 	// Replay the archive into a fresh session — a student who missed the
 	// lecture watches it later.
-	replaySession, err := lecturer.CreateSession("distributed-systems-101-replay")
+	replaySession, err := lecturer.CreateSession(ctx, "distributed-systems-101-replay")
 	if err != nil {
 		return err
 	}
-	var replayTopic string
-	for _, m := range replaySession.Media {
-		if m.Type == xgsp.MediaAudio {
-			replayTopic = m.Topic
-		}
-	}
-	lateSub, err := student.SubscribeMedia(replaySession, xgsp.MediaAudio, 1024)
+	lateSession, err := student.Session(ctx, replaySession.ID())
 	if err != nil {
 		return err
 	}
-	replayed, err := arch.Replay(&archive, recorder.BC, false, func(string) string { return replayTopic })
+	lateSub, err := lateSession.Subscribe(ctx, globalmmcs.Audio, 1024)
+	if err != nil {
+		return err
+	}
+	replayed, err := arch.Replay(ctx, &archive, replaySession, globalmmcs.Audio, false)
 	if err != nil {
 		return err
 	}

@@ -1,5 +1,6 @@
 // Quickstart: start a Global-MMCS node in-process, create a session, have
-// two users join, exchange chat and a short burst of audio.
+// two users join, exchange chat and a short burst of audio — using only
+// the public globalmmcs SDK.
 //
 // Run with:
 //
@@ -7,96 +8,95 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"github.com/globalmmcs/globalmmcs"
-	"github.com/globalmmcs/globalmmcs/internal/im"
-	"github.com/globalmmcs/globalmmcs/internal/media"
-	"github.com/globalmmcs/globalmmcs/internal/rtp"
-	"github.com/globalmmcs/globalmmcs/internal/xgsp"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	// One call brings up the whole middleware: broker, XGSP session and
 	// web servers, SIP/H.323 gateways, RTSP, IM.
-	srv, err := globalmmcs.Start(globalmmcs.Config{})
+	srv, err := globalmmcs.Start(ctx)
 	if err != nil {
 		return err
 	}
 	defer srv.Stop()
+	readyCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.WaitReady(readyCtx); err != nil {
+		return err
+	}
 	fmt.Println("Global-MMCS node started; web service at", srv.WebAddr()+"/ws")
 
-	alice, err := srv.Client("alice")
+	alice, err := srv.Client(ctx, "alice")
 	if err != nil {
 		return err
 	}
 	defer alice.Close()
-	bob, err := srv.Client("bob")
+	bob, err := srv.Client(ctx, "bob")
 	if err != nil {
 		return err
 	}
 	defer bob.Close()
 
 	// Alice creates an ad-hoc session; both join.
-	session, err := alice.CreateSession("quickstart-demo")
+	session, err := alice.CreateSession(ctx, "quickstart-demo")
 	if err != nil {
 		return err
 	}
-	fmt.Printf("session %s (%s) created with media channels:\n", session.ID, session.Name)
-	for _, m := range session.Media {
-		fmt.Printf("  %-7s -> %s\n", m.Type, m.Topic)
+	fmt.Printf("session %s (%s) created with media channels:\n", session.ID(), session.Name())
+	for _, m := range session.Media() {
+		fmt.Printf("  %-7s -> %s\n", m.Kind, m.Topic)
 	}
-	if _, err := alice.Join(session.ID, "alice-desktop"); err != nil {
+	if err := session.Join(ctx, "alice-desktop"); err != nil {
 		return err
 	}
-	if _, err := bob.Join(session.ID, "bob-laptop"); err != nil {
+	bobSession, err := bob.Join(ctx, session.ID(), "bob-laptop")
+	if err != nil {
 		return err
 	}
 
 	// Chat: bob joins the room, alice greets.
-	room, err := bob.Chat.JoinRoom(session.ID)
+	room, err := bobSession.Chat(ctx)
 	if err != nil {
 		return err
 	}
-	if err := alice.Chat.Send(session.ID, "hi bob — testing the new middleware"); err != nil {
+	if err := session.Send(ctx, "hi bob — testing the new middleware"); err != nil {
 		return err
 	}
 	select {
-	case e := <-room.C():
-		msg, err := im.ParseChat(e)
-		if err != nil {
-			return err
-		}
+	case msg := <-room.C():
 		fmt.Printf("chat: <%s> %s\n", msg.From, msg.Body)
 	case <-time.After(5 * time.Second):
 		return fmt.Errorf("chat message never arrived")
 	}
 
 	// Media: alice streams one second of audio; bob receives and measures.
-	audioSub, err := bob.SubscribeMedia(session, xgsp.MediaAudio, 256)
+	audioSub, err := bobSession.Subscribe(ctx, globalmmcs.Audio, 256)
 	if err != nil {
 		return err
 	}
-	recv := media.NewReceiver(media.ReceiverConfig{ClockRate: rtp.AudioClockRate})
+	recv := globalmmcs.NewMediaReceiver(globalmmcs.Audio)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		recv.Drain(audioSub.C(), nil)
+		recv.Drain(ctx, audioSub)
 	}()
 
-	sender, err := alice.MediaSender(session, xgsp.MediaAudio)
+	sender, err := session.Sender(globalmmcs.Audio)
 	if err != nil {
 		return err
 	}
-	if _, err := sender.SendAudio(media.NewAudioSource(media.AudioConfig{}), 50, nil); err != nil {
+	if _, err := sender.SendAudio(ctx, globalmmcs.NewAudioSource(globalmmcs.AudioConfig{}), 50); err != nil {
 		return err
 	}
 	time.Sleep(200 * time.Millisecond) // let the tail drain
@@ -105,9 +105,9 @@ func run() error {
 	}
 	<-done
 
-	snap := recv.Snapshot()
+	stats := recv.Stats()
 	fmt.Printf("media: bob received %d packets (%d bytes), mean delay %.2f ms, jitter %.2f ms, lost %d\n",
-		snap.Received, snap.Bytes, snap.MeanDelayMs, snap.JitterMs, snap.Lost)
+		stats.Received, stats.Bytes, stats.MeanDelayMs, stats.JitterMs, stats.Lost)
 	fmt.Println("quickstart complete")
 	return nil
 }

@@ -10,53 +10,55 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
 	"time"
 
 	"github.com/globalmmcs/globalmmcs"
-	"github.com/globalmmcs/globalmmcs/internal/h323"
-	"github.com/globalmmcs/globalmmcs/internal/media"
-	"github.com/globalmmcs/globalmmcs/internal/sip"
-	"github.com/globalmmcs/globalmmcs/internal/xgsp"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	srv, err := globalmmcs.Start(globalmmcs.Config{})
+func run(ctx context.Context) error {
+	srv, err := globalmmcs.Start(ctx)
 	if err != nil {
 		return err
 	}
 	defer srv.Stop()
+	readyCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.WaitReady(readyCtx); err != nil {
+		return err
+	}
 
 	// The conference owner creates the session.
-	host, err := srv.Client("prof-fox")
+	host, err := srv.Client(ctx, "prof-fox")
 	if err != nil {
 		return err
 	}
 	defer host.Close()
-	session, err := host.CreateSession("grid-computing-seminar")
+	session, err := host.CreateSession(ctx, "grid-computing-seminar")
 	if err != nil {
 		return err
 	}
-	if _, err := host.Join(session.ID, "podium"); err != nil {
+	if err := session.Join(ctx, "podium"); err != nil {
 		return err
 	}
-	fmt.Printf("seminar session %s created\n", session.ID)
+	fmt.Printf("seminar session %s created\n", session.ID())
 
 	// --- A SIP endpoint joins through the SIP gateway. ----------------
-	sipEP, err := sip.NewEndpoint("wenjun", srv.SIP.Addr())
+	sipEP, err := globalmmcs.DialSIPEndpoint("wenjun", srv.SIPAddr())
 	if err != nil {
 		return err
 	}
 	defer sipEP.Close()
-	if err := sipEP.Register(srv.SIP.Domain(), time.Hour); err != nil {
+	if err := sipEP.Register(srv.SIPDomain(), time.Hour); err != nil {
 		return err
 	}
 	sipAudio, err := net.ListenPacket("udp", "127.0.0.1:0")
@@ -64,7 +66,7 @@ func run() error {
 		return err
 	}
 	defer sipAudio.Close()
-	sipCall, err := sipEP.Invite(srv.SIP.Domain(), session.ID,
+	sipCall, err := sipEP.Invite(srv.SIPDomain(), session.ID(),
 		sipAudio.LocalAddr().(*net.UDPAddr).Port, 0)
 	if err != nil {
 		return err
@@ -72,7 +74,7 @@ func run() error {
 	fmt.Println("SIP endpoint wenjun joined via gateway")
 
 	// --- An H.323 terminal joins through gatekeeper + gateway. --------
-	h323EP, err := h323.NewEndpoint("auyar", srv.Gatekeeper.Addr())
+	h323EP, err := globalmmcs.DialH323Endpoint("auyar", srv.GatekeeperAddr())
 	if err != nil {
 		return err
 	}
@@ -88,7 +90,7 @@ func run() error {
 		return err
 	}
 	defer h323Audio.Close()
-	h323Call, err := h323EP.PlaceCall(session.ID, map[string]string{
+	h323Call, err := h323EP.PlaceCall(session.ID(), map[string]string{
 		"audio": h323Audio.LocalAddr().String(),
 	})
 	if err != nil {
@@ -97,21 +99,29 @@ func run() error {
 	fmt.Println("H.323 terminal auyar joined via gatekeeper/gateway")
 
 	// Membership now spans three communities.
-	info := srv.XGSP.Lookup(session.ID)
-	fmt.Printf("members: %v\n", info.Members)
+	if err := session.Refresh(ctx); err != nil {
+		return err
+	}
+	for _, p := range session.Participants() {
+		community := p.Community
+		if community == "" {
+			community = "native"
+		}
+		fmt.Printf("member: %s (%s)\n", p.UserID, community)
+	}
 
 	// --- Floor control. ------------------------------------------------
-	if err := host.XGSP.RequestFloor(session.ID, xgsp.MediaVideo); err != nil {
+	if err := session.RequestFloor(ctx, globalmmcs.Video); err != nil {
 		return err
 	}
 	fmt.Println("prof-fox holds the video floor; streaming 2 seconds of video")
 
-	sender, err := host.MediaSender(session, xgsp.MediaVideo)
+	sender, err := session.Sender(globalmmcs.Video)
 	if err != nil {
 		return err
 	}
-	src := media.NewVideoSource(media.VideoConfig{})
-	sent, err := sender.SendVideo(src, 150, nil)
+	src := globalmmcs.NewVideoSource(globalmmcs.VideoConfig{})
+	sent, err := sender.SendVideo(ctx, src, 150)
 	if err != nil {
 		return err
 	}
@@ -127,9 +137,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	audioSrc := media.NewAudioSource(media.AudioConfig{})
+	audioSrc := globalmmcs.NewAudioSource(globalmmcs.AudioConfig{})
 	for range 25 {
-		raw, err := audioSrc.NextPacket().Marshal()
+		raw, err := audioSrc.NextPacket()
 		if err != nil {
 			return err
 		}
@@ -149,7 +159,7 @@ func run() error {
 	fmt.Printf("H.323 endpoint received SIP endpoint's audio (%d bytes RTP) — cross-community media works\n", n)
 
 	// Tidy teardown.
-	if err := host.XGSP.ReleaseFloor(session.ID, xgsp.MediaVideo); err != nil {
+	if err := session.ReleaseFloor(ctx, globalmmcs.Video); err != nil {
 		return err
 	}
 	if err := sipEP.Hangup(sipCall); err != nil {
@@ -158,8 +168,10 @@ func run() error {
 	if err := h323Call.Hangup(); err != nil {
 		return err
 	}
-	info = srv.XGSP.Lookup(session.ID)
-	fmt.Printf("members after hangups: %v\n", info.Members)
+	if err := session.Refresh(ctx); err != nil {
+		return err
+	}
+	fmt.Printf("members after hangups: %d\n", len(session.Participants()))
 	fmt.Println("videoconference example complete")
 	return nil
 }

@@ -1,4 +1,4 @@
-// Package globalmmcs is the public API of the Global Multimedia
+// Package globalmmcs is the public SDK of the Global Multimedia
 // Collaboration System (Global-MMCS) — a from-scratch Go reproduction of
 // the system described in "Global Multimedia Collaboration System" (Fox,
 // Wu, Uyar, Bulut, Pallickara; Community Grids Lab).
@@ -8,40 +8,166 @@
 // server and web-services (WSDL-CI) frontend, the naming & directory
 // service, SIP and H.323 gateways with RTP proxies, the RTSP streaming
 // service, instant messaging and presence, and bridges to Admire and
-// Access Grid communities:
+// Access Grid communities.
 //
-//	srv, err := globalmmcs.Start(globalmmcs.Config{})
+// Every blocking operation takes a context.Context as its first
+// parameter and honors cancellation; configuration is functional options
+// (zero options = a fully working loopback node); failures wrap the
+// sentinel errors in errors.go so they classify with errors.Is:
+//
+//	srv, err := globalmmcs.Start(ctx)
 //	if err != nil { ... }
 //	defer srv.Stop()
 //
-//	alice, err := srv.Client("alice")
+//	alice, err := srv.Client(ctx, "alice")
 //	if err != nil { ... }
 //	defer alice.Close()
-//	session, err := alice.CreateSession("standup")
+//	session, err := alice.CreateSession(ctx, "standup")
+//	if errors.Is(err, globalmmcs.ErrTimeout) { ... }
 //
 // See the examples/ directory for complete programs and DESIGN.md for
-// the architecture.
+// the architecture, including the §5 substitutions this reproduction
+// makes for the paper's original building blocks.
 package globalmmcs
 
 import (
+	"context"
+
 	"github.com/globalmmcs/globalmmcs/internal/core"
 )
 
 // Version is the release version of this reproduction.
-const Version = "1.0.0"
-
-// Config parameterises a Global-MMCS node. The zero value starts every
-// service on loopback with ephemeral ports.
-type Config = core.Config
+const Version = "2.0.0"
 
 // Server is a running Global-MMCS node.
-type Server = core.Server
+type Server struct {
+	core *core.Server
+}
 
-// Client is a user's collaboration endpoint (session control, chat,
-// presence, media).
-type Client = core.Client
+// Start assembles and starts a Global-MMCS node. ctx bounds the startup
+// handshakes; cancelling it aborts startup and tears down whatever was
+// already running. With no options every service starts on loopback
+// with ephemeral ports.
+func Start(ctx context.Context, opts ...Option) (*Server, error) {
+	var cfg core.Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	cs, err := core.Start(ctx, cfg)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	return &Server{core: cs}, nil
+}
 
-// Start assembles and starts a Global-MMCS node.
-func Start(cfg Config) (*Server, error) {
-	return core.Start(cfg)
+// Stop shuts every subsystem down in dependency order. It is idempotent.
+func (s *Server) Stop() { s.core.Stop() }
+
+// WaitReady blocks until the node answers on its web listener, bounded
+// by ctx — the replacement for the startup sleeps examples used to need.
+func (s *Server) WaitReady(ctx context.Context) error {
+	return wrapErr(s.core.WaitReady(ctx))
+}
+
+// Client attaches an in-process collaboration client for a user.
+func (s *Server) Client(ctx context.Context, userID string) (*Client, error) {
+	cc, err := s.core.Client(ctx, userID)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	return &Client{c: cc}, nil
+}
+
+// WebAddr returns the XGSP web server's HTTP base URL. The WSDL-CI SOAP
+// endpoint is WebAddr()+"/ws".
+func (s *Server) WebAddr() string { return s.core.WebAddr() }
+
+// SIPAddr returns the SIP server's UDP address, or "" when SIP is
+// disabled.
+func (s *Server) SIPAddr() string {
+	if s.core.SIP == nil {
+		return ""
+	}
+	return s.core.SIP.Addr()
+}
+
+// SIPDomain returns the SIP domain, or "" when SIP is disabled.
+func (s *Server) SIPDomain() string {
+	if s.core.SIP == nil {
+		return ""
+	}
+	return s.core.SIP.Domain()
+}
+
+// GatekeeperAddr returns the H.323 RAS address, or "" when H.323 is
+// disabled.
+func (s *Server) GatekeeperAddr() string {
+	if s.core.Gatekeeper == nil {
+		return ""
+	}
+	return s.core.Gatekeeper.Addr()
+}
+
+// H323GatewayAddr returns the H.323 call-signalling address, or "" when
+// H.323 is disabled.
+func (s *Server) H323GatewayAddr() string {
+	if s.core.H323Gateway == nil {
+		return ""
+	}
+	return s.core.H323Gateway.Addr()
+}
+
+// RTSPAddr returns the streaming server's address, or "" when RTSP is
+// disabled.
+func (s *Server) RTSPAddr() string {
+	if s.core.RTSP == nil {
+		return ""
+	}
+	return s.core.RTSP.Addr()
+}
+
+// StreamURL returns the rtsp:// URL a media player uses to watch a
+// session, or "" when RTSP is disabled.
+func (s *Server) StreamURL(sessionID string) string {
+	if s.core.RTSP == nil {
+		return ""
+	}
+	return s.core.RTSP.URL(sessionID)
+}
+
+// SessionInfo looks a session up server-side and reports whether it
+// exists.
+func (s *Server) SessionInfo(sessionID string) (SessionDetails, bool) {
+	info := s.core.XGSP.Lookup(sessionID)
+	if info == nil {
+		return SessionDetails{}, false
+	}
+	return detailsFromInfo(info), true
+}
+
+// ChatHistory returns up to limit most recent messages of a session's
+// room, oldest first. It returns nil when IM is disabled.
+func (s *Server) ChatHistory(sessionID string, limit int) []ChatMessage {
+	if s.core.IM == nil {
+		return nil
+	}
+	history := s.core.IM.History(sessionID, limit)
+	out := make([]ChatMessage, len(history))
+	for i, m := range history {
+		out[i] = chatFromInternal(&m)
+	}
+	return out
+}
+
+// LinkAdmire bridges a session to an Admire conference served at the
+// given WSDL-CI endpoint, registering the community on the way.
+func (s *Server) LinkAdmire(ctx context.Context, sessionID, confID, endpoint string) error {
+	_, err := s.core.LinkAdmire(ctx, sessionID, confID, endpoint)
+	return wrapErr(err)
+}
+
+// LinkAccessGrid bridges a session to a venue on a venue server.
+func (s *Server) LinkAccessGrid(ctx context.Context, sessionID string, venues *VenueServer, venue string) error {
+	_, err := s.core.LinkAccessGrid(ctx, sessionID, venues.vs, venue)
+	return wrapErr(err)
 }

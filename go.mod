@@ -1,0 +1,3 @@
+module github.com/globalmmcs/globalmmcs
+
+go 1.24

@@ -1,6 +1,7 @@
 package accessgrid
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -86,12 +87,12 @@ func TestBridgeVenueToSession(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { ownerBC.Close() })
-	owner, err := xgsp.NewClient(ownerBC, "owner")
+	owner, err := xgsp.NewClient(context.Background(), ownerBC, "owner")
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(owner.Close)
-	info, err := owner.Create(xgsp.CreateSession{Name: "ag-linked", Community: "accessgrid"})
+	info, err := owner.Create(context.Background(), xgsp.CreateSession{Name: "ag-linked", Community: "accessgrid"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package admire
 
 import (
+	"context"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -272,7 +273,7 @@ func (s *Server) WebService() *wsci.Service {
 	svc.Register(wsci.Operation{
 		Name: "AdmireCreateConference", Doc: "create an Admire conference",
 		Input: "AdmireCreateConference", Output: "AdmireCreateConferenceResponse",
-	}, func(action []byte) (any, error) {
+	}, func(ctx context.Context, action []byte) (any, error) {
 		var req CreateConferenceRequest
 		if err := xml.Unmarshal(action, &req); err != nil {
 			return nil, err
@@ -286,7 +287,7 @@ func (s *Server) WebService() *wsci.Service {
 	svc.Register(wsci.Operation{
 		Name: "AdmireGetRendezvous", Doc: "rendezvous point of a conference",
 		Input: "AdmireGetRendezvous", Output: "AdmireGetRendezvousResponse",
-	}, func(action []byte) (any, error) {
+	}, func(ctx context.Context, action []byte) (any, error) {
 		var req RendezvousRequest
 		if err := xml.Unmarshal(action, &req); err != nil {
 			return nil, err
@@ -300,7 +301,7 @@ func (s *Server) WebService() *wsci.Service {
 	svc.Register(wsci.Operation{
 		Name: "AdmireJoin", Doc: "register a user in a conference",
 		Input: "AdmireJoin", Output: "AdmireJoinResponse",
-	}, func(action []byte) (any, error) {
+	}, func(ctx context.Context, action []byte) (any, error) {
 		var req JoinRequest
 		if err := xml.Unmarshal(action, &req); err != nil {
 			return nil, err
@@ -319,7 +320,7 @@ func (s *Server) WebService() *wsci.Service {
 	svc.Register(wsci.Operation{
 		Name: "AdmireList", Doc: "list conferences",
 		Input: "AdmireList", Output: "AdmireListResponse",
-	}, func(action []byte) (any, error) {
+	}, func(ctx context.Context, action []byte) (any, error) {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		resp := &ListResponse{}

@@ -1,6 +1,7 @@
 package admire
 
 import (
+	"context"
 	"net"
 	"net/http/httptest"
 	"slices"
@@ -169,12 +170,12 @@ func TestBridgeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { ownerBC.Close() })
-	owner, err := xgsp.NewClient(ownerBC, "owner")
+	owner, err := xgsp.NewClient(context.Background(), ownerBC, "owner")
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(owner.Close)
-	info, err := owner.Create(xgsp.CreateSession{Name: "joint-seminar", Community: "admire"})
+	info, err := owner.Create(context.Background(), xgsp.CreateSession{Name: "joint-seminar", Community: "admire"})
 	if err != nil {
 		t.Fatal(err)
 	}

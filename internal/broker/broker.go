@@ -129,6 +129,9 @@ type Broker struct {
 	done chan struct{}
 }
 
+// ErrBrokerStopped is returned by operations on a stopped Broker.
+var ErrBrokerStopped = errors.New("broker: closed")
+
 // New creates a broker and starts its housekeeping loop.
 func New(cfg Config) *Broker {
 	cfg = cfg.withDefaults()
@@ -238,7 +241,7 @@ func (b *Broker) attach(conn transport.Conn, id string, isPeer bool) (*session, 
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
-		return nil, errors.New("broker: closed")
+		return nil, ErrBrokerStopped
 	}
 	if old, exists := b.ids[id]; exists {
 		b.mu.Unlock()
@@ -247,7 +250,7 @@ func (b *Broker) attach(conn transport.Conn, id string, isPeer bool) (*session, 
 		b.mu.Lock()
 		if b.closed {
 			b.mu.Unlock()
-			return nil, errors.New("broker: closed")
+			return nil, ErrBrokerStopped
 		}
 	}
 	b.ids[id] = s

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -15,6 +16,10 @@ import (
 
 // ErrClientClosed is returned by operations on a closed Client.
 var ErrClientClosed = errors.New("broker: client closed")
+
+// ErrFenceTimeout is returned when the broker does not acknowledge a
+// control request within the fence window.
+var ErrFenceTimeout = errors.New("broker: control fence timed out")
 
 // subscribeTimeout bounds the control-plane round trip of Subscribe and
 // Unsubscribe.
@@ -107,8 +112,11 @@ type Client struct {
 
 	mu     sync.Mutex
 	closed bool
-	subs   *topic.Trie[*Subscription]
-	subSet map[*Subscription]struct{}
+	// closedFlag mirrors closed for lock-free reads on the publish hot
+	// path.
+	closedFlag atomic.Bool
+	subs       *topic.Trie[*Subscription]
+	subSet     map[*Subscription]struct{}
 	// waiters maps ping tokens to response channels for control fencing.
 	waiters map[string]chan struct{}
 
@@ -168,7 +176,7 @@ func (b *Broker) LocalClient(id string, profile transport.LinkProfile) (*Client,
 		b.mu.Unlock()
 		clientEnd.Close()
 		shaped.Close()
-		return nil, errors.New("broker: closed")
+		return nil, ErrBrokerStopped
 	}
 	b.wg.Add(1)
 	b.mu.Unlock()
@@ -185,10 +193,20 @@ func (c *Client) ID() string { return c.id }
 // Done is closed when the client's connection terminates.
 func (c *Client) Done() <-chan struct{} { return c.done }
 
-// Subscribe registers a pattern and returns a Subscription whose channel
-// buffers depth events (default 256 if depth <= 0). It blocks until the
-// broker has applied the subscription.
+// Subscribe registers a pattern with no deadline beyond the fence
+// window. Equivalent to SubscribeContext with a background context.
 func (c *Client) Subscribe(pattern string, depth int) (*Subscription, error) {
+	return c.SubscribeContext(context.Background(), pattern, depth)
+}
+
+// SubscribeContext registers a pattern and returns a Subscription whose
+// channel buffers depth events (default 256 if depth <= 0). It blocks
+// until the broker has applied the subscription, the fence window
+// expires, or ctx is cancelled.
+func (c *Client) SubscribeContext(ctx context.Context, pattern string, depth int) (*Subscription, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := topic.ValidatePattern(pattern); err != nil {
 		return nil, err
 	}
@@ -215,11 +233,35 @@ func (c *Client) Subscribe(pattern string, depth int) (*Subscription, error) {
 		c.dropSub(sub)
 		return nil, fmt.Errorf("broker: sending subscribe: %w", err)
 	}
-	if err := c.fence(); err != nil {
+	if err := c.fence(ctx); err != nil {
+		// The broker may already have applied the subscription; revoke
+		// it best-effort so an abandoned subscribe does not leave the
+		// broker delivering into the void for the connection's lifetime.
 		c.dropSub(sub)
+		c.revokePattern(pattern)
 		return nil, err
 	}
 	return sub, nil
+}
+
+// revokePattern sends an unsubscribe for pattern unless another live
+// subscription still uses it. Best-effort: no fence, errors ignored —
+// used when abandoning a subscribe whose handshake was cancelled.
+func (c *Client) revokePattern(pattern string) {
+	c.mu.Lock()
+	stillUsed := false
+	for other := range c.subSet {
+		if other.pattern == pattern {
+			stillUsed = true
+			break
+		}
+	}
+	closed := c.closed
+	c.mu.Unlock()
+	if stillUsed || closed {
+		return
+	}
+	_ = c.conn.Send(unsubEvent(pattern))
 }
 
 // Unsubscribe cancels a subscription and closes its channel.
@@ -247,7 +289,7 @@ func (c *Client) Unsubscribe(sub *Subscription) error {
 	if err := c.conn.Send(unsubEvent(sub.pattern)); err != nil {
 		return fmt.Errorf("broker: sending unsubscribe: %w", err)
 	}
-	return c.fence()
+	return c.fence(context.Background())
 }
 
 func (c *Client) dropSub(sub *Subscription) {
@@ -260,7 +302,8 @@ func (c *Client) dropSub(sub *Subscription) {
 
 // fence sends a ping and waits for its echo, guaranteeing all prior
 // control requests on this connection have been applied by the broker.
-func (c *Client) fence() error {
+// It returns early when ctx is cancelled.
+func (c *Client) fence(ctx context.Context) error {
 	token := strconv.FormatUint(c.nextToken.Add(1), 10)
 	ch := make(chan struct{}, 1)
 	c.mu.Lock()
@@ -283,10 +326,12 @@ func (c *Client) fence() error {
 	select {
 	case <-ch:
 		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	case <-c.done:
 		return ErrClientClosed
 	case <-time.After(subscribeTimeout):
-		return errors.New("broker: control fence timed out")
+		return ErrFenceTimeout
 	}
 }
 
@@ -306,6 +351,9 @@ func (c *Client) PublishReliable(t string, kind event.Kind, payload []byte) erro
 // PublishEvent stamps identity onto e and sends it. The event must not be
 // mutated afterwards.
 func (c *Client) PublishEvent(e *event.Event) error {
+	if c.closedFlag.Load() {
+		return ErrClientClosed
+	}
 	if err := e.Validate(); err != nil {
 		return err
 	}
@@ -400,6 +448,7 @@ func (c *Client) acceptReliable(rseq uint64) (cum uint64, fresh bool) {
 // teardown closes every subscription channel after the conn dies.
 func (c *Client) teardown() {
 	c.once.Do(func() { close(c.done) })
+	c.closedFlag.Store(true)
 	c.mu.Lock()
 	c.closed = true
 	subs := make([]*Subscription, 0, len(c.subSet))

@@ -1,0 +1,65 @@
+package broker
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/transport"
+)
+
+// TestSubscribeContextCancelled asserts SubscribeContext returns the
+// context error both when the context is cancelled up front and while
+// the control fence is blocked on an unresponsive broker.
+func TestSubscribeContextCancelled(t *testing.T) {
+	// A client attached to a pipe nobody serves: control requests go
+	// out, but no fence echo ever returns.
+	clientEnd, serverEnd := transport.Pipe("mem:client", "mem:void")
+	defer serverEnd.Close()
+	c, err := Attach(clientEnd, "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	if _, err := c.SubscribeContext(pre, "/t", 8); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled subscribe = %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.SubscribeContext(ctx, "/t", 8)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the fence block
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("blocked subscribe = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("subscribe did not unblock on cancellation")
+	}
+}
+
+// TestPublishAfterClose asserts a closed client reports ErrClientClosed
+// rather than a raw transport error.
+func TestPublishAfterClose(t *testing.T) {
+	b := New(Config{ID: "b1"})
+	defer b.Stop()
+	c, err := b.LocalClient("c1", transport.LinkProfile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish("/t", 0, nil); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("publish after close = %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/globalmmcs/globalmmcs/internal/broker"
@@ -23,8 +24,8 @@ type Client struct {
 }
 
 // NewClient wraps an attached broker client into a collaboration client.
-func NewClient(bc *broker.Client, userID string) (*Client, error) {
-	xc, err := xgsp.NewClient(bc, userID)
+func NewClient(ctx context.Context, bc *broker.Client, userID string) (*Client, error) {
+	xc, err := xgsp.NewClient(ctx, bc, userID)
 	if err != nil {
 		return nil, fmt.Errorf("core: xgsp client: %w", err)
 	}
@@ -46,18 +47,18 @@ func (c *Client) Close() error {
 }
 
 // CreateSession creates an ad-hoc session.
-func (c *Client) CreateSession(name string) (*xgsp.SessionInfo, error) {
-	return c.XGSP.Create(xgsp.CreateSession{Name: name})
+func (c *Client) CreateSession(ctx context.Context, name string) (*xgsp.SessionInfo, error) {
+	return c.XGSP.Create(ctx, xgsp.CreateSession{Name: name})
 }
 
 // Join joins a session with a logical terminal name.
-func (c *Client) Join(sessionID, terminal string) (*xgsp.SessionInfo, error) {
-	return c.XGSP.Join(sessionID, terminal, nil)
+func (c *Client) Join(ctx context.Context, sessionID, terminal string) (*xgsp.SessionInfo, error) {
+	return c.XGSP.Join(ctx, sessionID, terminal, nil)
 }
 
 // Leave leaves a session.
-func (c *Client) Leave(sessionID string) error {
-	return c.XGSP.Leave(sessionID)
+func (c *Client) Leave(ctx context.Context, sessionID string) error {
+	return c.XGSP.Leave(ctx, sessionID)
 }
 
 // MediaSender returns a paced sender publishing onto one of the
@@ -72,10 +73,10 @@ func (c *Client) MediaSender(info *xgsp.SessionInfo, kind xgsp.MediaType) (*medi
 }
 
 // SubscribeMedia subscribes to one of the session's media topics.
-func (c *Client) SubscribeMedia(info *xgsp.SessionInfo, kind xgsp.MediaType, depth int) (*broker.Subscription, error) {
+func (c *Client) SubscribeMedia(ctx context.Context, info *xgsp.SessionInfo, kind xgsp.MediaType, depth int) (*broker.Subscription, error) {
 	for _, m := range info.Media {
 		if m.Type == kind {
-			return c.BC.Subscribe(m.Topic, depth)
+			return c.BC.SubscribeContext(ctx, m.Topic, depth)
 		}
 	}
 	return nil, fmt.Errorf("core: session %s has no %s channel", info.ID, kind)

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestClientHonorsCancelledContext asserts attaching a client fails
+// fast under a cancelled context.
+func TestClientHonorsCancelledContext(t *testing.T) {
+	s := startServer(t, Config{DisableSIP: true, DisableH323: true, DisableRTSP: true, DisableIM: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Client(ctx, "alice"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("client = %v, want context.Canceled", err)
+	}
+}
+
+// TestClientAfterStop asserts ErrStopped after Stop.
+func TestClientAfterStop(t *testing.T) {
+	s := startServer(t, Config{DisableSIP: true, DisableH323: true, DisableRTSP: true, DisableIM: true})
+	s.Stop()
+	if _, err := s.Client(context.Background(), "late"); !errors.Is(err, ErrStopped) {
+		t.Fatalf("client after stop = %v, want ErrStopped", err)
+	}
+}
+
+// TestWaitReadyHonorsCancellation asserts WaitReady returns on context
+// expiry.
+func TestWaitReadyHonorsCancellation(t *testing.T) {
+	s := startServer(t, Config{DisableSIP: true, DisableH323: true, DisableRTSP: true, DisableIM: true})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	// The server is up, so a live WaitReady succeeds even with a short
+	// deadline...
+	if err := s.WaitReady(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("wait ready = %v", err)
+	}
+	// ...and a cancelled context fails fast.
+	done, cancelDone := context.WithCancel(context.Background())
+	cancelDone()
+	if err := s.WaitReady(done); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled wait ready = %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -18,12 +19,14 @@ import (
 
 func startServer(t *testing.T, cfg Config) *Server {
 	t.Helper()
-	s, err := Start(cfg)
+	s, err := Start(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(s.Stop)
-	if err := s.waitReady(5 * time.Second); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.WaitReady(ctx); err != nil {
 		t.Fatal(err)
 	}
 	return s
@@ -45,46 +48,46 @@ func TestServerWithSubsystemsDisabled(t *testing.T) {
 		t.Fatal("disabled subsystem started")
 	}
 	// The core still works: create and join a session.
-	alice, err := s.Client("alice")
+	alice, err := s.Client(context.Background(), "alice")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer alice.Close()
-	info, err := alice.CreateSession("bare")
+	info, err := alice.CreateSession(context.Background(), "bare")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := alice.Join(info.ID, "term"); err != nil {
+	if _, err := alice.Join(context.Background(), info.ID, "term"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestClientConferenceWithMediaAndChat(t *testing.T) {
 	s := startServer(t, Config{})
-	alice, err := s.Client("alice")
+	alice, err := s.Client(context.Background(), "alice")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer alice.Close()
-	bob, err := s.Client("bob")
+	bob, err := s.Client(context.Background(), "bob")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer bob.Close()
 
-	info, err := alice.CreateSession("team-sync")
+	info, err := alice.CreateSession(context.Background(), "team-sync")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := alice.Join(info.ID, "alice-desktop"); err != nil {
+	if _, err := alice.Join(context.Background(), info.ID, "alice-desktop"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := bob.Join(info.ID, "bob-laptop"); err != nil {
+	if _, err := bob.Join(context.Background(), info.ID, "bob-laptop"); err != nil {
 		t.Fatal(err)
 	}
 
 	// Media: alice sends 10 audio packets; bob receives them.
-	bobAudio, err := bob.SubscribeMedia(info, xgsp.MediaAudio, 64)
+	bobAudio, err := bob.SubscribeMedia(context.Background(), info, xgsp.MediaAudio, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +115,7 @@ func TestClientConferenceWithMediaAndChat(t *testing.T) {
 	}
 
 	// Chat: bob talks, alice listens, the IM service records history.
-	aliceRoom, err := alice.Chat.JoinRoom(info.ID)
+	aliceRoom, err := alice.Chat.JoinRoom(context.Background(), info.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,12 +181,12 @@ func TestAdmireLinkOverWeb(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	alice, err := s.Client("alice")
+	alice, err := s.Client(context.Background(), "alice")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer alice.Close()
-	info, err := alice.CreateSession("admire-linked")
+	info, err := alice.CreateSession(context.Background(), "admire-linked")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +204,7 @@ func TestAdmireLinkOverWeb(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub, err := alice.SubscribeMedia(info, xgsp.MediaAudio, 64)
+	sub, err := alice.SubscribeMedia(context.Background(), info, xgsp.MediaAudio, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,23 +231,23 @@ func TestAccessGridLink(t *testing.T) {
 	if _, err := vs.CreateVenue("plenary"); err != nil {
 		t.Fatal(err)
 	}
-	alice, err := s.Client("alice")
+	alice, err := s.Client(context.Background(), "alice")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer alice.Close()
-	info, err := alice.CreateSession("ag-linked")
+	info, err := alice.CreateSession(context.Background(), "ag-linked")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.LinkAccessGrid(info.ID, vs, "plenary"); err != nil {
+	if _, err := s.LinkAccessGrid(context.Background(), info.ID, vs, "plenary"); err != nil {
 		t.Fatal(err)
 	}
 	agUser, err := vs.Enter("plenary", "ag-user")
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub, err := alice.SubscribeMedia(info, xgsp.MediaVideo, 64)
+	sub, err := alice.SubscribeMedia(context.Background(), info, xgsp.MediaVideo, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,16 +268,16 @@ func TestEndToEndSIPPlusRTSP(t *testing.T) {
 	// The paper's headline integration: a session fed by one community,
 	// consumed by a player via RTSP.
 	s := startServer(t, Config{})
-	alice, err := s.Client("alice")
+	alice, err := s.Client(context.Background(), "alice")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer alice.Close()
-	info, err := alice.CreateSession("integrated")
+	info, err := alice.CreateSession(context.Background(), "integrated")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := alice.Join(info.ID, "alice-term"); err != nil {
+	if _, err := alice.Join(context.Background(), info.ID, "alice-term"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -308,7 +311,7 @@ func TestEndToEndSIPPlusRTSP(t *testing.T) {
 
 func TestLinkAdmireUnknownSession(t *testing.T) {
 	s := startServer(t, Config{})
-	if _, err := s.LinkAdmire("s404", "adm-1", "http://nowhere/ws"); err == nil {
+	if _, err := s.LinkAdmire(context.Background(), "s404", "adm-1", "http://nowhere/ws"); err == nil {
 		t.Fatal("link of unknown session succeeded")
 	}
 }

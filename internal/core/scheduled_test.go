@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -49,12 +50,12 @@ func TestScheduledMeetingOverWeb(t *testing.T) {
 	}
 
 	// Joining before activation is refused.
-	alice, err := s.Client("alice")
+	alice, err := s.Client(context.Background(), "alice")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer alice.Close()
-	if _, err := alice.Join(created.ID, "t"); err == nil {
+	if _, err := alice.Join(context.Background(), created.ID, "t"); err == nil {
 		t.Fatal("joined a session that has not started")
 	}
 
@@ -64,7 +65,7 @@ func TestScheduledMeetingOverWeb(t *testing.T) {
 		info := s.XGSP.Lookup(created.ID)
 		return info != nil && info.Active
 	})
-	if _, err := alice.Join(created.ID, "t"); err != nil {
+	if _, err := alice.Join(context.Background(), created.ID, "t"); err != nil {
 		t.Fatalf("join after activation: %v", err)
 	}
 
@@ -80,20 +81,20 @@ func TestScheduledMeetingOverWeb(t *testing.T) {
 func TestHybridAdHocAndScheduled(t *testing.T) {
 	fake := clock.NewFake(time.Date(2003, 9, 1, 8, 0, 0, 0, time.UTC))
 	s := startServer(t, Config{Clock: fake})
-	alice, err := s.Client("alice")
+	alice, err := s.Client(context.Background(), "alice")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer alice.Close()
 
-	adhoc, err := alice.CreateSession("hallway-chat")
+	adhoc, err := alice.CreateSession(context.Background(), "hallway-chat")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !adhoc.Active {
 		t.Fatal("ad-hoc session must activate immediately")
 	}
-	scheduled, err := alice.XGSP.Create(xgsp.CreateSession{
+	scheduled, err := alice.XGSP.Create(context.Background(), xgsp.CreateSession{
 		Name:  "board-meeting",
 		Start: xgsp.FormatTime(fake.Now().Add(time.Hour)),
 		End:   xgsp.FormatTime(fake.Now().Add(2 * time.Hour)),
@@ -105,10 +106,10 @@ func TestHybridAdHocAndScheduled(t *testing.T) {
 		t.Fatal("scheduled session active early")
 	}
 	// Both coexist; the ad-hoc one is usable now.
-	if _, err := alice.Join(adhoc.ID, "t"); err != nil {
+	if _, err := alice.Join(context.Background(), adhoc.ID, "t"); err != nil {
 		t.Fatal(err)
 	}
-	list, err := alice.XGSP.List(true)
+	list, err := alice.XGSP.List(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -111,8 +112,10 @@ type Server struct {
 
 type closer interface{ Close() }
 
-// Start assembles and starts a Global-MMCS node.
-func Start(cfg Config) (*Server, error) {
+// Start assembles and starts a Global-MMCS node. ctx bounds the startup
+// handshakes; a cancelled ctx aborts startup and tears down whatever was
+// already running.
+func Start(ctx context.Context, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:         cfg,
@@ -146,7 +149,7 @@ func Start(cfg Config) (*Server, error) {
 			s.Stop()
 			return nil, err
 		}
-		s.IM, err = im.NewService(imBC, im.ServiceConfig{
+		s.IM, err = im.NewService(ctx, imBC, im.ServiceConfig{
 			Communities: []string{"global", "sip", "h323", "admire", "accessgrid"},
 		})
 		if err != nil {
@@ -157,7 +160,7 @@ func Start(cfg Config) (*Server, error) {
 
 	// SIP servers.
 	if !cfg.DisableSIP {
-		xc, proxy, err := s.gatewayKit("sip")
+		xc, proxy, err := s.gatewayKit(ctx, "sip")
 		if err != nil {
 			s.Stop()
 			return nil, err
@@ -182,7 +185,7 @@ func Start(cfg Config) (*Server, error) {
 
 	// H.323 servers.
 	if !cfg.DisableH323 {
-		xc, proxy, err := s.gatewayKit("h323")
+		xc, proxy, err := s.gatewayKit(ctx, "h323")
 		if err != nil {
 			s.Stop()
 			return nil, err
@@ -211,7 +214,7 @@ func Start(cfg Config) (*Server, error) {
 			s.Stop()
 			return nil, err
 		}
-		xc, err := xgsp.NewClient(xcBC, "rtsp-server")
+		xc, err := xgsp.NewClient(ctx, xcBC, "rtsp-server")
 		if err != nil {
 			s.Stop()
 			return nil, fmt.Errorf("core: rtsp xgsp client: %w", err)
@@ -232,7 +235,7 @@ func Start(cfg Config) (*Server, error) {
 	}
 
 	// XGSP web server (SOAP frontend).
-	if err := s.startWebServer(); err != nil {
+	if err := s.startWebServer(ctx); err != nil {
 		s.Stop()
 		return nil, err
 	}
@@ -251,12 +254,12 @@ func (s *Server) localClient(id string) (*broker.Client, error) {
 
 // gatewayKit builds the xgsp client + rtp proxy pair every media gateway
 // needs.
-func (s *Server) gatewayKit(name string) (*xgsp.Client, *rtpproxy.Proxy, error) {
+func (s *Server) gatewayKit(ctx context.Context, name string) (*xgsp.Client, *rtpproxy.Proxy, error) {
 	xcBC, err := s.localClient(name + "-gateway-xgsp")
 	if err != nil {
 		return nil, nil, err
 	}
-	xc, err := xgsp.NewClient(xcBC, name+"-gateway")
+	xc, err := xgsp.NewClient(ctx, xcBC, name+"-gateway")
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %s gateway xgsp client: %w", name, err)
 	}
@@ -280,10 +283,13 @@ func (s *Server) WebAddr() string {
 
 // LinkAdmire bridges a session to an Admire conference served at the
 // given WSDL-CI endpoint, registering the community on the way.
-func (s *Server) LinkAdmire(sessionID, confID, endpoint string) (*admire.Bridge, error) {
+func (s *Server) LinkAdmire(ctx context.Context, sessionID, confID, endpoint string) (*admire.Bridge, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	info := s.XGSP.Lookup(sessionID)
 	if info == nil {
-		return nil, fmt.Errorf("core: no session %s", sessionID)
+		return nil, fmt.Errorf("core: no session %s: %w", sessionID, ErrSessionNotFound)
 	}
 	if err := s.Communities.Register(wsci.ServiceEntry{
 		Community: "admire", Kind: "admire", Endpoint: endpoint,
@@ -306,10 +312,13 @@ func (s *Server) LinkAdmire(sessionID, confID, endpoint string) (*admire.Bridge,
 
 // LinkAccessGrid bridges a session to a venue on an in-process venue
 // server.
-func (s *Server) LinkAccessGrid(sessionID string, vs *accessgrid.VenueServer, venue string) (*accessgrid.Bridge, error) {
+func (s *Server) LinkAccessGrid(ctx context.Context, sessionID string, vs *accessgrid.VenueServer, venue string) (*accessgrid.Bridge, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	info := s.XGSP.Lookup(sessionID)
 	if info == nil {
-		return nil, fmt.Errorf("core: no session %s", sessionID)
+		return nil, fmt.Errorf("core: no session %s: %w", sessionID, ErrSessionNotFound)
 	}
 	bc, err := s.localClient("ag-bridge-" + sessionID)
 	if err != nil {
@@ -326,12 +335,21 @@ func (s *Server) LinkAccessGrid(sessionID string, vs *accessgrid.VenueServer, ve
 }
 
 // Client attaches an in-process collaboration client for a user.
-func (s *Server) Client(userID string) (*Client, error) {
+func (s *Server) Client(ctx context.Context, userID string) (*Client, error) {
+	s.mu.Lock()
+	stopped := s.stopped
+	s.mu.Unlock()
+	if stopped {
+		return nil, ErrStopped
+	}
 	bc, err := s.Broker.LocalClient("user-"+userID, transport.LinkProfile{})
 	if err != nil {
+		if errors.Is(err, broker.ErrBrokerStopped) {
+			return nil, ErrStopped
+		}
 		return nil, fmt.Errorf("core: attaching client %s: %w", userID, err)
 	}
-	return NewClient(bc, userID)
+	return NewClient(ctx, bc, userID)
 }
 
 // Stop shuts every subsystem down in dependency order.
@@ -385,20 +403,29 @@ func (s *Server) Stop() {
 	s.wg.Wait()
 }
 
-// errStopped is returned by operations on a stopped server.
-var errStopped = errors.New("core: server stopped")
+// ErrStopped is returned by operations on a stopped server.
+var ErrStopped = errors.New("core: server stopped")
 
-// waitReady blocks until the web listener answers, bounded by timeout.
-// Used by tests and examples that race startup.
-func (s *Server) waitReady(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+// ErrSessionNotFound is returned when an operation names an unknown
+// session.
+var ErrSessionNotFound = errors.New("core: session not found")
+
+// WaitReady blocks until the web listener answers, bounded by ctx. It
+// replaces the ad-hoc startup sleeps tests and examples used to need.
+func (s *Server) WaitReady(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		conn, err := net.DialTimeout("tcp", s.webLn.Addr().String(), time.Second)
 		if err == nil {
 			conn.Close()
 			return nil
 		}
-		time.Sleep(10 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
 	}
-	return errors.New("core: web server never became ready")
 }

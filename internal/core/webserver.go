@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -80,12 +81,12 @@ type (
 // webUserID is the identity the web frontend acts under in XGSP.
 const webUserID = "xgsp-web-server"
 
-func (s *Server) startWebServer() error {
+func (s *Server) startWebServer(ctx context.Context) error {
 	webBC, err := s.localClient(webUserID)
 	if err != nil {
 		return err
 	}
-	xc, err := xgsp.NewClient(webBC, webUserID)
+	xc, err := xgsp.NewClient(ctx, webBC, webUserID)
 	if err != nil {
 		return fmt.Errorf("core: web xgsp client: %w", err)
 	}
@@ -95,14 +96,14 @@ func (s *Server) startWebServer() error {
 	svc.Register(wsci.Operation{
 		Name: "CreateSession", Doc: "create an ad-hoc or scheduled session",
 		Input: "CreateSession", Output: "CreateSessionResponse",
-	}, func(action []byte) (any, error) {
+	}, func(ctx context.Context, action []byte) (any, error) {
 		var req WSCreateSession
 		if err := xml.Unmarshal(action, &req); err != nil {
 			return nil, err
 		}
 		// Sessions created over the web act under the web server's
 		// identity but record the human creator in the description.
-		info, err := xc.Create(xgsp.CreateSession{
+		info, err := xc.Create(ctx, xgsp.CreateSession{
 			Name:        req.Name,
 			Description: "created via web by " + req.Creator,
 			Start:       req.Start,
@@ -118,12 +119,12 @@ func (s *Server) startWebServer() error {
 	svc.Register(wsci.Operation{
 		Name: "ListSessions", Doc: "list active (and scheduled) sessions",
 		Input: "ListSessions", Output: "ListSessionsResponse",
-	}, func(action []byte) (any, error) {
+	}, func(ctx context.Context, action []byte) (any, error) {
 		var req WSListSessions
 		if err := xml.Unmarshal(action, &req); err != nil {
 			return nil, err
 		}
-		list, err := xc.List(req.IncludeScheduled)
+		list, err := xc.List(ctx, req.IncludeScheduled)
 		if err != nil {
 			return nil, err
 		}
@@ -138,7 +139,7 @@ func (s *Server) startWebServer() error {
 	svc.Register(wsci.Operation{
 		Name: "AddUser", Doc: "register a user account",
 		Input: "AddUser", Output: "OKResponse",
-	}, func(action []byte) (any, error) {
+	}, func(ctx context.Context, action []byte) (any, error) {
 		var req WSAddUser
 		if err := xml.Unmarshal(action, &req); err != nil {
 			return nil, err
@@ -153,7 +154,7 @@ func (s *Server) startWebServer() error {
 	svc.Register(wsci.Operation{
 		Name: "RegisterCommunity", Doc: "register a community collaboration service",
 		Input: "RegisterCommunity", Output: "OKResponse",
-	}, func(action []byte) (any, error) {
+	}, func(ctx context.Context, action []byte) (any, error) {
 		var req WSRegisterCommunity
 		if err := xml.Unmarshal(action, &req); err != nil {
 			return nil, err
@@ -173,12 +174,12 @@ func (s *Server) startWebServer() error {
 	svc.Register(wsci.Operation{
 		Name: "LinkAdmire", Doc: "bridge a session to an Admire conference",
 		Input: "LinkAdmire", Output: "OKResponse",
-	}, func(action []byte) (any, error) {
+	}, func(ctx context.Context, action []byte) (any, error) {
 		var req WSLinkAdmire
 		if err := xml.Unmarshal(action, &req); err != nil {
 			return nil, err
 		}
-		if _, err := s.LinkAdmire(req.SessionID, req.Conference, req.Endpoint); err != nil {
+		if _, err := s.LinkAdmire(ctx, req.SessionID, req.Conference, req.Endpoint); err != nil {
 			return nil, err
 		}
 		return &WSOKResponse{OK: true}, nil

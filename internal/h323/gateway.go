@@ -1,6 +1,7 @@
 package h323
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -208,11 +209,11 @@ func (g *Gateway) handleSetup(call *gwCall, msg *Message) ([]*Message, bool) {
 			return reject("no admission for call")
 		}
 	}
-	info, err := g.cfg.XGSP.Lookup(sessionID)
+	info, err := g.cfg.XGSP.Lookup(context.Background(), sessionID)
 	if err != nil || info == nil || !info.Active {
 		return reject("no active session " + sessionID)
 	}
-	if _, err := g.cfg.XGSP.JoinAs(sessionID, msg.Alias, "h323:"+msg.Alias, "h323", nil); err != nil {
+	if _, err := g.cfg.XGSP.JoinAs(context.Background(), sessionID, msg.Alias, "h323:"+msg.Alias, "h323", nil); err != nil {
 		return reject("join failed")
 	}
 	call.callID = msg.CallID
@@ -286,7 +287,7 @@ func (g *Gateway) teardown(call *gwCall) {
 		delete(call.channels, ch)
 	}
 	if call.joined {
-		_ = g.cfg.XGSP.LeaveAs(call.session.ID, call.alias)
+		_ = g.cfg.XGSP.LeaveAs(context.Background(), call.session.ID, call.alias)
 		call.joined = false
 	}
 }

@@ -1,6 +1,7 @@
 package h323
 
 import (
+	"context"
 	"math/rand/v2"
 	"net"
 	"reflect"
@@ -133,7 +134,7 @@ func newH323Rig(t *testing.T) *h323Rig {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { gwBC.Close() })
-	xcli, err := xgsp.NewClient(gwBC, "h323-gateway")
+	xcli, err := xgsp.NewClient(context.Background(), gwBC, "h323-gateway")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,12 +170,12 @@ func (r *h323Rig) createSession(t *testing.T, name string) *xgsp.SessionInfo {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { bc.Close() })
-	owner, err := xgsp.NewClient(bc, "owner-"+name)
+	owner, err := xgsp.NewClient(context.Background(), bc, "owner-"+name)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(owner.Close)
-	info, err := owner.Create(xgsp.CreateSession{Name: name})
+	info, err := owner.Create(context.Background(), xgsp.CreateSession{Name: name})
 	if err != nil {
 		t.Fatal(err)
 	}

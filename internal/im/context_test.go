@@ -1,0 +1,51 @@
+package im
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/globalmmcs/globalmmcs/internal/broker"
+	"github.com/globalmmcs/globalmmcs/internal/transport"
+)
+
+// TestChatterHonorsCancelledContext asserts the subscribing operations
+// fail fast under a cancelled context.
+func TestChatterHonorsCancelledContext(t *testing.T) {
+	b := broker.New(broker.Config{ID: "b"})
+	defer b.Stop()
+	bc, err := b.LocalClient("u1", transport.LinkProfile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+	c, err := NewChatter(bc, "u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.JoinRoom(ctx, "s1"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("join room = %v", err)
+	}
+	if _, err := c.WatchCommunity(ctx, "global"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("watch community = %v", err)
+	}
+}
+
+// TestServiceHonorsCancelledContext asserts NewService aborts under a
+// cancelled context instead of starting half-subscribed.
+func TestServiceHonorsCancelledContext(t *testing.T) {
+	b := broker.New(broker.Config{ID: "b"})
+	defer b.Stop()
+	bc, err := b.LocalClient("svc", transport.LinkProfile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewService(ctx, bc, ServiceConfig{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("new service = %v", err)
+	}
+}

@@ -6,6 +6,7 @@
 package im
 
 import (
+	"context"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -127,8 +128,8 @@ type Service struct {
 }
 
 // NewService subscribes the service to all chat rooms and the configured
-// communities' presence.
-func NewService(bc *broker.Client, cfg ServiceConfig) (*Service, error) {
+// communities' presence. ctx bounds the subscription handshakes.
+func NewService(ctx context.Context, bc *broker.Client, cfg ServiceConfig) (*Service, error) {
 	s := &Service{
 		cfg:      cfg.withDefaults(),
 		bc:       bc,
@@ -136,7 +137,7 @@ func NewService(bc *broker.Client, cfg ServiceConfig) (*Service, error) {
 		presence: make(map[string]Presence),
 		done:     make(chan struct{}),
 	}
-	chatSub, err := bc.Subscribe("/xgsp/session/*/chat", 1024)
+	chatSub, err := bc.SubscribeContext(ctx, "/xgsp/session/*/chat", 1024)
 	if err != nil {
 		return nil, fmt.Errorf("im: subscribing chat rooms: %w", err)
 	}
@@ -146,7 +147,7 @@ func NewService(bc *broker.Client, cfg ServiceConfig) (*Service, error) {
 		s.consumeChat(chatSub)
 	}()
 	for _, community := range s.cfg.Communities {
-		sub, err := bc.Subscribe(communityPresencePattern(community), 256)
+		sub, err := bc.SubscribeContext(ctx, communityPresencePattern(community), 256)
 		if err != nil {
 			return nil, fmt.Errorf("im: subscribing presence for %s: %w", community, err)
 		}
@@ -295,9 +296,10 @@ func NewChatter(bc *broker.Client, user string) (*Chatter, error) {
 	return &Chatter{bc: bc, user: user}, nil
 }
 
-// JoinRoom subscribes to a session's chat room.
-func (c *Chatter) JoinRoom(sessionID string) (*broker.Subscription, error) {
-	return c.bc.Subscribe(chatTopic(sessionID), 256)
+// JoinRoom subscribes to a session's chat room. ctx bounds the
+// subscription handshake.
+func (c *Chatter) JoinRoom(ctx context.Context, sessionID string) (*broker.Subscription, error) {
+	return c.bc.SubscribeContext(ctx, chatTopic(sessionID), 256)
 }
 
 // Send posts a message to a room.
@@ -318,6 +320,6 @@ func (c *Chatter) SetPresence(community string, status PresenceStatus, note stri
 }
 
 // WatchCommunity subscribes to all presence updates of a community.
-func (c *Chatter) WatchCommunity(community string) (*broker.Subscription, error) {
-	return c.bc.Subscribe(communityPresencePattern(community), 256)
+func (c *Chatter) WatchCommunity(ctx context.Context, community string) (*broker.Subscription, error) {
+	return c.bc.SubscribeContext(ctx, communityPresencePattern(community), 256)
 }

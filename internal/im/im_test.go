@@ -1,6 +1,7 @@
 package im
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -23,7 +24,7 @@ func newIMRig(t *testing.T) *imRig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc, err := NewService(bc, ServiceConfig{HistoryLimit: 5, Communities: []string{"global", "admire"}})
+	svc, err := NewService(context.Background(), bc, ServiceConfig{HistoryLimit: 5, Communities: []string{"global", "admire"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestChatRoomDelivery(t *testing.T) {
 	rig := newIMRig(t)
 	alice := rig.chatter(t, "alice")
 	bob := rig.chatter(t, "bob")
-	room, err := bob.JoinRoom("s1")
+	room, err := bob.JoinRoom(context.Background(), "s1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestRoomsAreIsolated(t *testing.T) {
 	rig := newIMRig(t)
 	alice := rig.chatter(t, "alice")
 	bob := rig.chatter(t, "bob")
-	room2, err := bob.JoinRoom("s2")
+	room2, err := bob.JoinRoom(context.Background(), "s2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestServiceHistory(t *testing.T) {
 func TestPublishChatFromService(t *testing.T) {
 	rig := newIMRig(t)
 	bob := rig.chatter(t, "bob")
-	room, err := bob.JoinRoom("s3")
+	room, err := bob.JoinRoom(context.Background(), "s3")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestWatchCommunity(t *testing.T) {
 	rig := newIMRig(t)
 	alice := rig.chatter(t, "alice")
 	bob := rig.chatter(t, "bob")
-	watch, err := bob.WatchCommunity("global")
+	watch, err := bob.WatchCommunity(context.Background(), "global")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestChatMessageXMLEscaping(t *testing.T) {
 	rig := newIMRig(t)
 	alice := rig.chatter(t, "alice")
 	bob := rig.chatter(t, "bob")
-	room, err := bob.JoinRoom("s5")
+	room, err := bob.JoinRoom(context.Background(), "s5")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sip
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -337,7 +338,7 @@ func (s *Server) handleInvite(req *Message, raddr net.Addr) {
 }
 
 func (s *Server) lookupSession(id string) (*xgsp.SessionInfo, error) {
-	info, err := s.cfg.XGSP.Lookup(id)
+	info, err := s.cfg.XGSP.Lookup(context.Background(), id)
 	if err != nil {
 		return nil, err
 	}
@@ -440,7 +441,7 @@ func (s *Server) gatewayInvite(req *Message, raddr net.Addr, info *xgsp.SessionI
 }
 
 func (s *Server) joinSession(sessionID, userID, terminal string) (*xgsp.SessionInfo, error) {
-	return s.cfg.XGSP.JoinAs(sessionID, userID, terminal, "sip", nil)
+	return s.cfg.XGSP.JoinAs(context.Background(), sessionID, userID, terminal, "sip", nil)
 }
 
 func (s *Server) handleBye(req *Message, raddr net.Addr) {
@@ -466,7 +467,7 @@ func (s *Server) teardownCall(c *call) {
 		c.video.Close()
 	}
 	if s.cfg.XGSP != nil && c.user != "" {
-		_ = s.cfg.XGSP.LeaveAs(c.sessionID, c.user)
+		_ = s.cfg.XGSP.LeaveAs(context.Background(), c.sessionID, c.user)
 	}
 }
 

@@ -1,6 +1,7 @@
 package sip
 
 import (
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -43,7 +44,7 @@ func newSIPRig(t *testing.T, fake clock.Clock) *sipRig {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { gwBC.Close() })
-	xcli, err := xgsp.NewClient(gwBC, "sip-gateway")
+	xcli, err := xgsp.NewClient(context.Background(), gwBC, "sip-gateway")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,12 +162,12 @@ func TestGatewayCallFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { ownerBC.Close() })
-	owner, err := xgsp.NewClient(ownerBC, "owner")
+	owner, err := xgsp.NewClient(context.Background(), ownerBC, "owner")
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(owner.Close)
-	info, err := owner.Create(xgsp.CreateSession{Name: "sip-call-test"})
+	info, err := owner.Create(context.Background(), xgsp.CreateSession{Name: "sip-call-test"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,12 +281,12 @@ func TestInviteWithoutSDPRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { ownerBC.Close() })
-	owner, err := xgsp.NewClient(ownerBC, "owner2")
+	owner, err := xgsp.NewClient(context.Background(), ownerBC, "owner2")
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(owner.Close)
-	info, err := owner.Create(xgsp.CreateSession{Name: "no-sdp"})
+	info, err := owner.Create(context.Background(), xgsp.CreateSession{Name: "no-sdp"})
 	if err != nil {
 		t.Fatal(err)
 	}

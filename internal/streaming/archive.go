@@ -1,6 +1,7 @@
 package streaming
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -16,25 +17,34 @@ import (
 // Admire system provides and Global-MMCS adopts.
 type Archiver struct{}
 
+// WriteFrame writes one length-framed encoded event — the archive wire
+// format shared by Record and the public SDK's archiver.
+func WriteFrame(w io.Writer, e *event.Event) error {
+	b := event.Marshal(e)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("streaming: writing archive frame: %w", err)
+	}
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("streaming: writing archive frame: %w", err)
+	}
+	return nil
+}
+
 // Record consumes events from sub until it closes or done closes,
 // writing length-framed encoded events to w. It returns the number of
 // events recorded.
 func (Archiver) Record(w io.Writer, sub *broker.Subscription, done <-chan struct{}) (int, error) {
 	count := 0
-	var hdr [4]byte
 	for {
 		select {
 		case e, ok := <-sub.C():
 			if !ok {
 				return count, nil
 			}
-			b := event.Marshal(e)
-			binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
-			if _, err := w.Write(hdr[:]); err != nil {
-				return count, fmt.Errorf("streaming: writing archive frame: %w", err)
-			}
-			if _, err := w.Write(b); err != nil {
-				return count, fmt.Errorf("streaming: writing archive frame: %w", err)
+			if err := WriteFrame(w, e); err != nil {
+				return count, err
 			}
 			count++
 		case <-done:
@@ -48,15 +58,19 @@ type Publisher interface {
 	PublishEvent(e *event.Event) error
 }
 
-// Replay reads an archive and republishes its events. With pace=true the
-// original inter-event gaps (from event timestamps) are reproduced;
-// topicSuffix, when non-empty, is appended to each event's topic so a
-// replay can feed a different session. Returns events replayed.
-func (Archiver) Replay(r io.Reader, pub Publisher, pace bool, rewriteTopic func(string) string) (int, error) {
+// Replay reads an archive and republishes its events until the archive
+// ends or ctx is cancelled. With pace=true the original inter-event
+// gaps (from event timestamps) are reproduced; rewriteTopic, when
+// non-nil, maps each event's topic so a replay can feed a different
+// session. Returns events replayed.
+func (Archiver) Replay(ctx context.Context, r io.Reader, pub Publisher, pace bool, rewriteTopic func(string) string) (int, error) {
 	count := 0
 	var hdr [4]byte
 	var prevTS int64
 	for {
+		if err := ctx.Err(); err != nil {
+			return count, err
+		}
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			if errors.Is(err, io.EOF) {
 				return count, nil
@@ -77,7 +91,11 @@ func (Archiver) Replay(r io.Reader, pub Publisher, pace bool, rewriteTopic func(
 		}
 		if pace && prevTS != 0 {
 			if gap := time.Duration(e.Timestamp - prevTS); gap > 0 && gap < 10*time.Second {
-				time.Sleep(gap)
+				select {
+				case <-time.After(gap):
+				case <-ctx.Done():
+					return count, ctx.Err()
+				}
 			}
 		}
 		prevTS = e.Timestamp

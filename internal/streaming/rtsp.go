@@ -2,6 +2,7 @@ package streaming
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -220,7 +221,7 @@ func (s *Server) producerFor(sessionID string) (*Producer, error) {
 	}
 	s.mu.Unlock()
 
-	info, err := s.cfg.XGSP.Lookup(sessionID)
+	info, err := s.cfg.XGSP.Lookup(context.Background(), sessionID)
 	if err != nil {
 		return nil, err
 	}

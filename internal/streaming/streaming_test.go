@@ -2,6 +2,7 @@ package streaming
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -39,7 +40,7 @@ func newStreamRig(t *testing.T) *streamRig {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { xgwBC.Close() })
-	xcli, err := xgsp.NewClient(xgwBC, "rtsp-server")
+	xcli, err := xgsp.NewClient(context.Background(), xgwBC, "rtsp-server")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,12 +67,12 @@ func (r *streamRig) createSession(t *testing.T, name string) *xgsp.SessionInfo {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { bc.Close() })
-	owner, err := xgsp.NewClient(bc, "owner-"+name)
+	owner, err := xgsp.NewClient(context.Background(), bc, "owner-"+name)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(owner.Close)
-	info, err := owner.Create(xgsp.CreateSession{Name: name})
+	info, err := owner.Create(context.Background(), xgsp.CreateSession{Name: name})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +315,7 @@ func TestArchiveRecordReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	replayed, err := arch.Replay(&buf, replayBC, false, func(string) string {
+	replayed, err := arch.Replay(context.Background(), &buf, replayBC, false, func(string) string {
 		return "/xgsp/session/replayed/audio"
 	})
 	if err != nil {

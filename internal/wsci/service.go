@@ -1,6 +1,7 @@
 package wsci
 
 import (
+	"context"
 	"encoding/xml"
 	"fmt"
 	"io"
@@ -11,8 +12,10 @@ import (
 )
 
 // Handler processes one SOAP action: it decodes the raw action element
-// and returns a response value to be wrapped in the reply envelope.
-type Handler func(action []byte) (response any, err error)
+// and returns a response value to be wrapped in the reply envelope. ctx
+// is the HTTP request context, so a disconnecting caller cancels
+// whatever session-server round trips the operation performs.
+type Handler func(ctx context.Context, action []byte) (response any, err error)
 
 // Service hosts WSDL-CI operations over HTTP. It implements
 // http.Handler; mount it on any mux. The zero value is unusable; create
@@ -110,7 +113,7 @@ func (s *Service) serveCall(w http.ResponseWriter, r *http.Request) {
 		s.fault(w, "Client", "unknown operation "+name, nil)
 		return
 	}
-	resp, err := h(inner)
+	resp, err := h(r.Context(), inner)
 	if err != nil {
 		s.fault(w, "Server", "operation "+name+" failed", err)
 		return

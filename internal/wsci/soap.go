@@ -11,6 +11,7 @@ package wsci
 
 import (
 	"bytes"
+	"context"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -144,11 +145,17 @@ func (c *Client) httpClient() *http.Client {
 // Call invokes the operation carried by request and decodes the response
 // body element into response (a pointer to an XML-taggable struct).
 func (c *Client) Call(request, response any) error {
+	return c.CallContext(context.Background(), request, response)
+}
+
+// CallContext is Call bounded by ctx: cancelling ctx aborts the HTTP
+// round trip.
+func (c *Client) CallContext(ctx context.Context, request, response any) error {
 	body, err := MarshalEnvelope(request)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPost, c.Endpoint, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Endpoint, bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("wsci: building request: %w", err)
 	}

@@ -1,6 +1,7 @@
 package wsci
 
 import (
+	"context"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -25,7 +26,7 @@ type EchoResponse struct {
 func echoService() *Service {
 	s := NewService("EchoService")
 	s.Register(Operation{Name: "Echo", Doc: "echoes text", Input: "Echo", Output: "EchoResponse"},
-		func(action []byte) (any, error) {
+		func(_ context.Context, action []byte) (any, error) {
 			var req Echo
 			if err := xml.Unmarshal(action, &req); err != nil {
 				return nil, err
@@ -186,8 +187,8 @@ func readAll(t *testing.T, resp *http.Response) string {
 
 func TestOperationsSorted(t *testing.T) {
 	s := NewService("S")
-	s.Register(Operation{Name: "Zeta"}, func([]byte) (any, error) { return nil, nil })
-	s.Register(Operation{Name: "Alpha"}, func([]byte) (any, error) { return nil, nil })
+	s.Register(Operation{Name: "Zeta"}, func(context.Context, []byte) (any, error) { return nil, nil })
+	s.Register(Operation{Name: "Alpha"}, func(context.Context, []byte) (any, error) { return nil, nil })
 	ops := s.Operations()
 	if len(ops) != 2 || ops[0].Name != "Alpha" || ops[1].Name != "Zeta" {
 		t.Fatalf("ops = %v", ops)

@@ -1,6 +1,7 @@
 package xgsp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -14,8 +15,28 @@ import (
 // ErrTimeout is returned when the session server does not answer in time.
 var ErrTimeout = errors.New("xgsp: request timed out")
 
-// RequestTimeout bounds each request/response round trip.
+// ErrClosed is returned by requests on a closed Client.
+var ErrClosed = errors.New("xgsp: client closed")
+
+// RequestTimeout bounds each request/response round trip when the
+// caller's context carries no earlier deadline.
 const RequestTimeout = 10 * time.Second
+
+// StatusError is a non-OK XGSP response surfaced as an error. The public
+// SDK maps Status values onto its sentinel error taxonomy.
+type StatusError struct {
+	// Op is the request kind that failed (e.g. "join-session").
+	Op string
+	// Status is the XGSP status code (StatusNotFound, StatusDenied, ...).
+	Status string
+	// Reason is the server's human-readable explanation.
+	Reason string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("xgsp: %s: %s (%s)", e.Op, e.Status, e.Reason)
+}
 
 // Client is an XGSP endpoint: it issues requests to the session server
 // over the broker and receives responses on its inbox topic. Gateways
@@ -36,8 +57,9 @@ type Client struct {
 }
 
 // NewClient creates an XGSP client for userID over a dedicated broker
-// client, and starts listening on the user's inbox topic.
-func NewClient(bc *broker.Client, userID string) (*Client, error) {
+// client, and starts listening on the user's inbox topic. ctx bounds the
+// inbox subscription handshake.
+func NewClient(ctx context.Context, bc *broker.Client, userID string) (*Client, error) {
 	if userID == "" {
 		return nil, errors.New("xgsp: user id required")
 	}
@@ -48,7 +70,7 @@ func NewClient(bc *broker.Client, userID string) (*Client, error) {
 		invites: make(chan *Notify, 64),
 		done:    make(chan struct{}),
 	}
-	sub, err := bc.Subscribe(InboxTopic(userID), 256)
+	sub, err := bc.SubscribeContext(ctx, InboxTopic(userID), 256)
 	if err != nil {
 		return nil, fmt.Errorf("xgsp: subscribing inbox: %w", err)
 	}
@@ -109,8 +131,12 @@ func (c *Client) handleInbox(e *event.Event) {
 	}
 }
 
-// Request sends an XGSP request and waits for the server's response.
-func (c *Client) Request(msg *Message) (*Response, error) {
+// Request sends an XGSP request and waits for the server's response
+// until ctx is cancelled, the client closes, or RequestTimeout elapses.
+func (c *Client) Request(ctx context.Context, msg *Message) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	seq := c.nextSeq.Add(1)
 	msg.Seq = seq
 	msg.From = c.userID
@@ -132,27 +158,35 @@ func (c *Client) Request(msg *Message) (*Response, error) {
 	if err := c.bc.PublishEvent(e); err != nil {
 		return nil, fmt.Errorf("xgsp: sending request: %w", err)
 	}
+	// The 10s cap applies only when the caller's context carries no
+	// deadline of its own; a nil channel never fires.
+	var timeout <-chan time.Time
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		timeout = time.After(RequestTimeout)
+	}
 	select {
 	case resp := <-ch:
 		return resp.Response, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	case <-c.done:
-		return nil, errors.New("xgsp: client closed")
-	case <-time.After(RequestTimeout):
+		return nil, ErrClosed
+	case <-timeout:
 		return nil, ErrTimeout
 	}
 }
 
-// statusErr converts a non-OK response into an error.
+// statusErr converts a non-OK response into a *StatusError.
 func statusErr(op string, r *Response) error {
 	if r.Status == StatusOK {
 		return nil
 	}
-	return fmt.Errorf("xgsp: %s: %s (%s)", op, r.Status, r.Reason)
+	return &StatusError{Op: op, Status: r.Status, Reason: r.Reason}
 }
 
 // Create creates a session and returns its description.
-func (c *Client) Create(req CreateSession) (*SessionInfo, error) {
-	resp, err := c.Request(&Message{CreateSession: &req})
+func (c *Client) Create(ctx context.Context, req CreateSession) (*SessionInfo, error) {
+	resp, err := c.Request(ctx, &Message{CreateSession: &req})
 	if err != nil {
 		return nil, err
 	}
@@ -163,8 +197,8 @@ func (c *Client) Create(req CreateSession) (*SessionInfo, error) {
 }
 
 // Join joins a session.
-func (c *Client) Join(sessionID, terminal string, media []MediaDesc) (*SessionInfo, error) {
-	resp, err := c.Request(&Message{JoinSession: &JoinSession{
+func (c *Client) Join(ctx context.Context, sessionID, terminal string, media []MediaDesc) (*SessionInfo, error) {
+	resp, err := c.Request(ctx, &Message{JoinSession: &JoinSession{
 		SessionID: sessionID, UserID: c.userID, Terminal: terminal, Media: media,
 	}})
 	if err != nil {
@@ -179,8 +213,8 @@ func (c *Client) Join(sessionID, terminal string, media []MediaDesc) (*SessionIn
 // JoinAs joins a session on behalf of another user — the operation
 // community gateways perform when translating foreign signalling into
 // XGSP.
-func (c *Client) JoinAs(sessionID, userID, terminal, community string, media []MediaDesc) (*SessionInfo, error) {
-	resp, err := c.Request(&Message{JoinSession: &JoinSession{
+func (c *Client) JoinAs(ctx context.Context, sessionID, userID, terminal, community string, media []MediaDesc) (*SessionInfo, error) {
+	resp, err := c.Request(ctx, &Message{JoinSession: &JoinSession{
 		SessionID: sessionID, UserID: userID, Terminal: terminal,
 		Community: community, Media: media,
 	}})
@@ -194,8 +228,8 @@ func (c *Client) JoinAs(sessionID, userID, terminal, community string, media []M
 }
 
 // LeaveAs removes another user from a session (gateway teardown).
-func (c *Client) LeaveAs(sessionID, userID string) error {
-	resp, err := c.Request(&Message{LeaveSession: &LeaveSession{
+func (c *Client) LeaveAs(ctx context.Context, sessionID, userID string) error {
+	resp, err := c.Request(ctx, &Message{LeaveSession: &LeaveSession{
 		SessionID: sessionID, UserID: userID,
 	}})
 	if err != nil {
@@ -205,8 +239,8 @@ func (c *Client) LeaveAs(sessionID, userID string) error {
 }
 
 // Lookup fetches one session's info by id, or nil when absent.
-func (c *Client) Lookup(sessionID string) (*SessionInfo, error) {
-	list, err := c.List(true)
+func (c *Client) Lookup(ctx context.Context, sessionID string) (*SessionInfo, error) {
+	list, err := c.List(ctx, true)
 	if err != nil {
 		return nil, err
 	}
@@ -219,8 +253,8 @@ func (c *Client) Lookup(sessionID string) (*SessionInfo, error) {
 }
 
 // Leave leaves a session.
-func (c *Client) Leave(sessionID string) error {
-	resp, err := c.Request(&Message{LeaveSession: &LeaveSession{
+func (c *Client) Leave(ctx context.Context, sessionID string) error {
+	resp, err := c.Request(ctx, &Message{LeaveSession: &LeaveSession{
 		SessionID: sessionID, UserID: c.userID,
 	}})
 	if err != nil {
@@ -230,8 +264,8 @@ func (c *Client) Leave(sessionID string) error {
 }
 
 // Terminate ends a session the client created.
-func (c *Client) Terminate(sessionID, reason string) error {
-	resp, err := c.Request(&Message{TerminateSession: &TerminateSession{
+func (c *Client) Terminate(ctx context.Context, sessionID, reason string) error {
+	resp, err := c.Request(ctx, &Message{TerminateSession: &TerminateSession{
 		SessionID: sessionID, Reason: reason,
 	}})
 	if err != nil {
@@ -241,8 +275,8 @@ func (c *Client) Terminate(sessionID, reason string) error {
 }
 
 // List returns the visible sessions.
-func (c *Client) List(includeScheduled bool) ([]SessionInfo, error) {
-	resp, err := c.Request(&Message{ListSessions: &ListSessions{IncludeScheduled: includeScheduled}})
+func (c *Client) List(ctx context.Context, includeScheduled bool) ([]SessionInfo, error) {
+	resp, err := c.Request(ctx, &Message{ListSessions: &ListSessions{IncludeScheduled: includeScheduled}})
 	if err != nil {
 		return nil, err
 	}
@@ -253,8 +287,8 @@ func (c *Client) List(includeScheduled bool) ([]SessionInfo, error) {
 }
 
 // Invite asks the server to invite another user to a session.
-func (c *Client) Invite(sessionID, userID, message string) error {
-	resp, err := c.Request(&Message{InviteUser: &InviteUser{
+func (c *Client) Invite(ctx context.Context, sessionID, userID, message string) error {
+	resp, err := c.Request(ctx, &Message{InviteUser: &InviteUser{
 		SessionID: sessionID, UserID: userID, Message: message,
 	}})
 	if err != nil {
@@ -264,8 +298,8 @@ func (c *Client) Invite(sessionID, userID, message string) error {
 }
 
 // RequestFloor asks for the floor on a media channel.
-func (c *Client) RequestFloor(sessionID string, media MediaType) error {
-	resp, err := c.Request(&Message{FloorRequest: &FloorRequest{
+func (c *Client) RequestFloor(ctx context.Context, sessionID string, media MediaType) error {
+	resp, err := c.Request(ctx, &Message{FloorRequest: &FloorRequest{
 		SessionID: sessionID, UserID: c.userID, Media: media,
 	}})
 	if err != nil {
@@ -275,8 +309,8 @@ func (c *Client) RequestFloor(sessionID string, media MediaType) error {
 }
 
 // ReleaseFloor returns the floor.
-func (c *Client) ReleaseFloor(sessionID string, media MediaType) error {
-	resp, err := c.Request(&Message{FloorRelease: &FloorRelease{
+func (c *Client) ReleaseFloor(ctx context.Context, sessionID string, media MediaType) error {
+	resp, err := c.Request(ctx, &Message{FloorRelease: &FloorRelease{
 		SessionID: sessionID, UserID: c.userID, Media: media,
 	}})
 	if err != nil {
@@ -287,8 +321,8 @@ func (c *Client) ReleaseFloor(sessionID string, media MediaType) error {
 
 // WatchControl subscribes to a session's control topic, delivering
 // notifications until the subscription is cancelled.
-func (c *Client) WatchControl(sessionID string) (*broker.Subscription, error) {
-	return c.bc.Subscribe(SessionTopic(sessionID, string(MediaControl)), 256)
+func (c *Client) WatchControl(ctx context.Context, sessionID string) (*broker.Subscription, error) {
+	return c.bc.SubscribeContext(ctx, SessionTopic(sessionID, string(MediaControl)), 256)
 }
 
 // ParseNotify decodes a control-topic event into a Notify.

@@ -1,6 +1,7 @@
 package xgsp
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -42,7 +43,7 @@ func TestXGSPAcrossBrokerNetwork(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { bc.Close() })
-	client, err := NewClient(bc, "remote-user")
+	client, err := NewClient(context.Background(), bc, "remote-user")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,16 +52,16 @@ func TestXGSPAcrossBrokerNetwork(t *testing.T) {
 	// Wait until b1 can route a response back to the remote inbox.
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if info, err := client.Create(CreateSession{Name: "cross-broker"}); err == nil {
+		if info, err := client.Create(context.Background(), CreateSession{Name: "cross-broker"}); err == nil {
 			// Full lifecycle across the network.
-			if _, err := client.Join(info.ID, "remote-term", nil); err != nil {
+			if _, err := client.Join(context.Background(), info.ID, "remote-term", nil); err != nil {
 				t.Fatal(err)
 			}
-			watch, err := client.WatchControl(info.ID)
+			watch, err := client.WatchControl(context.Background(), info.ID)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := client.Leave(info.ID); err != nil {
+			if err := client.Leave(context.Background(), info.ID); err != nil {
 				t.Fatal(err)
 			}
 			n := recvNotify(t, watch)
@@ -94,21 +95,21 @@ func TestXGSPOverLossyLink(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { bc.Close() })
-	client, err := NewClient(bc, "lossy-user")
+	client, err := NewClient(context.Background(), bc, "lossy-user")
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(client.Close)
 
-	info, err := client.Create(CreateSession{Name: "lossy-session"})
+	info, err := client.Create(context.Background(), CreateSession{Name: "lossy-session"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := range 5 {
-		if _, err := client.Join(info.ID, "t", nil); err != nil {
+		if _, err := client.Join(context.Background(), info.ID, "t", nil); err != nil {
 			t.Fatalf("join %d: %v", i, err)
 		}
-		if err := client.Leave(info.ID); err != nil {
+		if err := client.Leave(context.Background(), info.ID); err != nil {
 			t.Fatalf("leave %d: %v", i, err)
 		}
 	}

@@ -62,6 +62,7 @@ const (
 	StatusOK           = "ok"
 	StatusDenied       = "denied"
 	StatusNotFound     = "not-found"
+	StatusNotMember    = "not-member"
 	StatusBadRequest   = "bad-request"
 	StatusConflict     = "conflict"
 	StatusFloorBusy    = "floor-busy"
@@ -154,18 +155,28 @@ type FloorRelease struct {
 	Media     MediaType `xml:"media,attr"`
 }
 
+// MemberInfo describes one participant in responses and notifications.
+type MemberInfo struct {
+	UserID    string `xml:"user,attr"`
+	Terminal  string `xml:"terminal,attr,omitempty"`
+	Community string `xml:"community,attr,omitempty"`
+}
+
 // SessionInfo describes one session in responses and notifications.
 type SessionInfo struct {
-	ID           string      `xml:"id,attr"`
-	Name         string      `xml:"name,attr"`
-	Creator      string      `xml:"creator,attr"`
-	Community    string      `xml:"community,attr,omitempty"`
-	Active       bool        `xml:"active,attr"`
-	Start        string      `xml:"start,attr,omitempty"`
-	End          string      `xml:"end,attr,omitempty"`
-	Media        []MediaDesc `xml:"media"`
-	Members      []string    `xml:"member,omitempty"`
-	ControlTopic string      `xml:"control-topic,attr,omitempty"`
+	ID        string      `xml:"id,attr"`
+	Name      string      `xml:"name,attr"`
+	Creator   string      `xml:"creator,attr"`
+	Community string      `xml:"community,attr,omitempty"`
+	Active    bool        `xml:"active,attr"`
+	Start     string      `xml:"start,attr,omitempty"`
+	End       string      `xml:"end,attr,omitempty"`
+	Media     []MediaDesc `xml:"media"`
+	Members   []string    `xml:"member,omitempty"`
+	// Participants carries the structured membership (terminal and
+	// source community per user) alongside the flat Members list.
+	Participants []MemberInfo `xml:"participant,omitempty"`
+	ControlTopic string       `xml:"control-topic,attr,omitempty"`
 }
 
 // Response answers a request.

@@ -228,7 +228,7 @@ func (s *Server) handleLeave(msg *Message) *Message {
 	info := sess.Info()
 	s.mu.Unlock()
 	if !left {
-		return errorResponse(StatusNotFound, "user not in session")
+		return errorResponse(StatusNotMember, "user not in session")
 	}
 	s.cfg.Metrics.Counter("xgsp.leaves").Inc()
 	s.notifySession(req.SessionID, &Notify{Kind: NotifyLeft, SessionID: req.SessionID, UserID: req.UserID})

@@ -101,10 +101,18 @@ func (s *Session) Info() *SessionInfo {
 		info.Start = FormatTime(s.Start)
 		info.End = FormatTime(s.End)
 	}
+	// Participants is the source of truth; the flat Members list is
+	// derived from it for the web frontend and older consumers.
 	for id := range s.Members {
 		info.Members = append(info.Members, id)
 	}
 	sortStrings(info.Members)
+	for _, id := range info.Members {
+		m := s.Members[id]
+		info.Participants = append(info.Participants, MemberInfo{
+			UserID: m.UserID, Terminal: m.Terminal, Community: m.Community,
+		})
+	}
 	return info
 }
 

@@ -1,6 +1,7 @@
 package xgsp
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -134,7 +135,7 @@ func (r *testRig) client(t *testing.T, user string) *Client {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { bc.Close() })
-	c, err := NewClient(bc, user)
+	c, err := NewClient(context.Background(), bc, user)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestCreateJoinLeaveLifecycle(t *testing.T) {
 	alice := rig.client(t, "alice")
 	bob := rig.client(t, "bob")
 
-	info, err := alice.Create(CreateSession{Name: "standup"})
+	info, err := alice.Create(context.Background(), CreateSession{Name: "standup"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,11 +165,11 @@ func TestCreateJoinLeaveLifecycle(t *testing.T) {
 	}
 
 	// Bob watches control, then joins.
-	watch, err := bob.WatchControl(info.ID)
+	watch, err := bob.WatchControl(context.Background(), info.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	joined, err := bob.Join(info.ID, "sip:bob@host", nil)
+	joined, err := bob.Join(context.Background(), info.ID, "sip:bob@host", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,14 +181,14 @@ func TestCreateJoinLeaveLifecycle(t *testing.T) {
 		t.Fatalf("notify = %+v", n)
 	}
 
-	if err := bob.Leave(info.ID); err != nil {
+	if err := bob.Leave(context.Background(), info.ID); err != nil {
 		t.Fatal(err)
 	}
 	n = recvNotify(t, watch)
 	if n.Kind != NotifyLeft || n.UserID != "bob" {
 		t.Fatalf("notify = %+v", n)
 	}
-	if err := bob.Leave(info.ID); err == nil {
+	if err := bob.Leave(context.Background(), info.ID); err == nil {
 		t.Fatal("second leave should fail")
 	}
 }
@@ -214,7 +215,7 @@ func recvNotify(t *testing.T, sub *broker.Subscription) *Notify {
 func TestJoinUnknownSession(t *testing.T) {
 	rig := newRig(t, nil)
 	alice := rig.client(t, "alice")
-	if _, err := alice.Join("nope", "", nil); err == nil {
+	if _, err := alice.Join(context.Background(), "nope", "", nil); err == nil {
 		t.Fatal("join of unknown session succeeded")
 	}
 }
@@ -223,14 +224,14 @@ func TestTerminateOnlyByCreator(t *testing.T) {
 	rig := newRig(t, nil)
 	alice := rig.client(t, "alice")
 	mallory := rig.client(t, "mallory")
-	info, err := alice.Create(CreateSession{Name: "private"})
+	info, err := alice.Create(context.Background(), CreateSession{Name: "private"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := mallory.Terminate(info.ID, "takeover"); err == nil {
+	if err := mallory.Terminate(context.Background(), info.ID, "takeover"); err == nil {
 		t.Fatal("non-creator terminated session")
 	}
-	if err := alice.Terminate(info.ID, "done"); err != nil {
+	if err := alice.Terminate(context.Background(), info.ID, "done"); err != nil {
 		t.Fatal(err)
 	}
 	if rig.server.SessionCount() != 0 {
@@ -241,13 +242,13 @@ func TestTerminateOnlyByCreator(t *testing.T) {
 func TestListSessions(t *testing.T) {
 	rig := newRig(t, nil)
 	alice := rig.client(t, "alice")
-	if _, err := alice.Create(CreateSession{Name: "a"}); err != nil {
+	if _, err := alice.Create(context.Background(), CreateSession{Name: "a"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := alice.Create(CreateSession{Name: "b"}); err != nil {
+	if _, err := alice.Create(context.Background(), CreateSession{Name: "b"}); err != nil {
 		t.Fatal(err)
 	}
-	list, err := alice.List(false)
+	list, err := alice.List(context.Background(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,11 +261,11 @@ func TestInviteDelivered(t *testing.T) {
 	rig := newRig(t, nil)
 	alice := rig.client(t, "alice")
 	bob := rig.client(t, "bob")
-	info, err := alice.Create(CreateSession{Name: "review"})
+	info, err := alice.Create(context.Background(), CreateSession{Name: "review"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := alice.Invite(info.ID, "bob", "please join"); err != nil {
+	if err := alice.Invite(context.Background(), info.ID, "bob", "please join"); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -281,43 +282,43 @@ func TestFloorControl(t *testing.T) {
 	rig := newRig(t, nil)
 	alice := rig.client(t, "alice")
 	bob := rig.client(t, "bob")
-	info, err := alice.Create(CreateSession{Name: "panel"})
+	info, err := alice.Create(context.Background(), CreateSession{Name: "panel"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := alice.Join(info.ID, "t1", nil); err != nil {
+	if _, err := alice.Join(context.Background(), info.ID, "t1", nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := bob.Join(info.ID, "t2", nil); err != nil {
+	if _, err := bob.Join(context.Background(), info.ID, "t2", nil); err != nil {
 		t.Fatal(err)
 	}
 	// Non-member cannot take the floor.
 	carol := rig.client(t, "carol")
-	if err := carol.RequestFloor(info.ID, MediaAudio); err == nil {
+	if err := carol.RequestFloor(context.Background(), info.ID, MediaAudio); err == nil {
 		t.Fatal("non-member got the floor")
 	}
-	if err := alice.RequestFloor(info.ID, MediaAudio); err != nil {
+	if err := alice.RequestFloor(context.Background(), info.ID, MediaAudio); err != nil {
 		t.Fatal(err)
 	}
 	// Re-request by holder is idempotent.
-	if err := alice.RequestFloor(info.ID, MediaAudio); err != nil {
+	if err := alice.RequestFloor(context.Background(), info.ID, MediaAudio); err != nil {
 		t.Fatal(err)
 	}
-	if err := bob.RequestFloor(info.ID, MediaAudio); err == nil {
+	if err := bob.RequestFloor(context.Background(), info.ID, MediaAudio); err == nil {
 		t.Fatal("busy floor granted")
 	}
 	// Different media floor is independent.
-	if err := bob.RequestFloor(info.ID, MediaVideo); err != nil {
+	if err := bob.RequestFloor(context.Background(), info.ID, MediaVideo); err != nil {
 		t.Fatal(err)
 	}
 	// Release by non-holder fails.
-	if err := bob.ReleaseFloor(info.ID, MediaAudio); err == nil {
+	if err := bob.ReleaseFloor(context.Background(), info.ID, MediaAudio); err == nil {
 		t.Fatal("non-holder released floor")
 	}
-	if err := alice.ReleaseFloor(info.ID, MediaAudio); err != nil {
+	if err := alice.ReleaseFloor(context.Background(), info.ID, MediaAudio); err != nil {
 		t.Fatal(err)
 	}
-	if err := bob.RequestFloor(info.ID, MediaAudio); err != nil {
+	if err := bob.RequestFloor(context.Background(), info.ID, MediaAudio); err != nil {
 		t.Fatalf("floor not free after release: %v", err)
 	}
 }
@@ -326,23 +327,23 @@ func TestFloorReleasedOnLeave(t *testing.T) {
 	rig := newRig(t, nil)
 	alice := rig.client(t, "alice")
 	bob := rig.client(t, "bob")
-	info, err := alice.Create(CreateSession{Name: "x"})
+	info, err := alice.Create(context.Background(), CreateSession{Name: "x"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := alice.Join(info.ID, "t", nil); err != nil {
+	if _, err := alice.Join(context.Background(), info.ID, "t", nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := bob.Join(info.ID, "t", nil); err != nil {
+	if _, err := bob.Join(context.Background(), info.ID, "t", nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := alice.RequestFloor(info.ID, MediaAudio); err != nil {
+	if err := alice.RequestFloor(context.Background(), info.ID, MediaAudio); err != nil {
 		t.Fatal(err)
 	}
-	if err := alice.Leave(info.ID); err != nil {
+	if err := alice.Leave(context.Background(), info.ID); err != nil {
 		t.Fatal(err)
 	}
-	if err := bob.RequestFloor(info.ID, MediaAudio); err != nil {
+	if err := bob.RequestFloor(context.Background(), info.ID, MediaAudio); err != nil {
 		t.Fatalf("floor not released when holder left: %v", err)
 	}
 }
@@ -354,7 +355,7 @@ func TestScheduledSessionActivation(t *testing.T) {
 
 	start := fake.Now().Add(time.Hour)
 	end := start.Add(time.Hour)
-	info, err := alice.Create(CreateSession{
+	info, err := alice.Create(context.Background(), CreateSession{
 		Name:  "scheduled-seminar",
 		Start: FormatTime(start),
 		End:   FormatTime(end),
@@ -366,18 +367,18 @@ func TestScheduledSessionActivation(t *testing.T) {
 		t.Fatal("scheduled session active before start")
 	}
 	// Joining before activation is refused.
-	if _, err := alice.Join(info.ID, "t", nil); err == nil {
+	if _, err := alice.Join(context.Background(), info.ID, "t", nil); err == nil {
 		t.Fatal("joined inactive session")
 	}
 	// Hidden from the default list, visible with includeScheduled.
-	list, err := alice.List(false)
+	list, err := alice.List(context.Background(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(list) != 0 {
 		t.Fatalf("inactive session listed: %v", list)
 	}
-	list, err = alice.List(true)
+	list, err = alice.List(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +392,7 @@ func TestScheduledSessionActivation(t *testing.T) {
 		s := rig.server.Lookup(info.ID)
 		return s != nil && s.Active
 	})
-	if _, err := alice.Join(info.ID, "t", nil); err != nil {
+	if _, err := alice.Join(context.Background(), info.ID, "t", nil); err != nil {
 		t.Fatalf("join after activation: %v", err)
 	}
 
@@ -405,11 +406,11 @@ func TestScheduledSessionActivation(t *testing.T) {
 func TestScheduledSessionBadTimes(t *testing.T) {
 	rig := newRig(t, nil)
 	alice := rig.client(t, "alice")
-	if _, err := alice.Create(CreateSession{Name: "x", Start: "garbage"}); err == nil {
+	if _, err := alice.Create(context.Background(), CreateSession{Name: "x", Start: "garbage"}); err == nil {
 		t.Fatal("bad start accepted")
 	}
 	now := time.Now()
-	if _, err := alice.Create(CreateSession{
+	if _, err := alice.Create(context.Background(), CreateSession{
 		Name:  "x",
 		Start: FormatTime(now.Add(time.Hour)),
 		End:   FormatTime(now),
@@ -421,7 +422,7 @@ func TestScheduledSessionBadTimes(t *testing.T) {
 func TestCreateRequiresName(t *testing.T) {
 	rig := newRig(t, nil)
 	alice := rig.client(t, "alice")
-	if _, err := alice.Create(CreateSession{}); err == nil {
+	if _, err := alice.Create(context.Background(), CreateSession{}); err == nil {
 		t.Fatal("nameless session accepted")
 	}
 }
@@ -432,11 +433,11 @@ func TestConcurrentClientsSeparateSequences(t *testing.T) {
 	bob := rig.client(t, "bob")
 	done := make(chan error, 2)
 	go func() {
-		_, err := alice.Create(CreateSession{Name: "a"})
+		_, err := alice.Create(context.Background(), CreateSession{Name: "a"})
 		done <- err
 	}()
 	go func() {
-		_, err := bob.Create(CreateSession{Name: "b"})
+		_, err := bob.Create(context.Background(), CreateSession{Name: "b"})
 		done <- err
 	}()
 	for range 2 {

@@ -1,0 +1,88 @@
+package globalmmcs
+
+import (
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/core"
+	"github.com/globalmmcs/globalmmcs/internal/metrics"
+)
+
+// Option configures a Server at Start. The zero configuration (no
+// options) starts every service on loopback with ephemeral ports, so
+// Start(ctx) alone always yields a working node.
+type Option func(*core.Config)
+
+// WithBrokerID names this node's broker in a multi-broker network.
+func WithBrokerID(id string) Option {
+	return func(c *core.Config) { c.BrokerID = id }
+}
+
+// WithBrokerListen adds transport URLs the broker accepts remote clients
+// and peer brokers on (e.g. "tcp://127.0.0.1:9040").
+func WithBrokerListen(urls ...string) Option {
+	return func(c *core.Config) { c.BrokerListenURLs = append(c.BrokerListenURLs, urls...) }
+}
+
+// WithDomain sets the SIP domain (default "mmcs.local").
+func WithDomain(domain string) Option {
+	return func(c *core.Config) { c.Domain = domain }
+}
+
+// WithWebAddr sets the XGSP web server's HTTP listen address (default
+// loopback with an ephemeral port).
+func WithWebAddr(addr string) Option {
+	return func(c *core.Config) { c.WebAddr = addr }
+}
+
+// WithoutSIP disables the SIP registrar/proxy/gateway.
+func WithoutSIP() Option {
+	return func(c *core.Config) { c.DisableSIP = true }
+}
+
+// WithoutH323 disables the H.323 gatekeeper and gateway.
+func WithoutH323() Option {
+	return func(c *core.Config) { c.DisableH323 = true }
+}
+
+// WithoutRTSP disables the streaming server.
+func WithoutRTSP() Option {
+	return func(c *core.Config) { c.DisableRTSP = true }
+}
+
+// WithoutIM disables the chat/presence service.
+func WithoutIM() Option {
+	return func(c *core.Config) { c.DisableIM = true }
+}
+
+// Clock abstracts the time source driving schedulers and expiry logic,
+// so tests can substitute a deterministic fake.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the time after d has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks for d.
+	Sleep(d time.Duration)
+}
+
+// WithClock substitutes the server's time source.
+func WithClock(clk Clock) Option {
+	return func(c *core.Config) { c.Clock = clk }
+}
+
+// Metrics is a registry of the server's counters, histograms and series.
+type Metrics struct {
+	reg *metrics.Registry
+}
+
+// NewMetrics creates an empty registry to hand to WithMetrics.
+func NewMetrics() *Metrics { return &Metrics{reg: &metrics.Registry{}} }
+
+// Report renders every registered instrument as text, sorted by name.
+func (m *Metrics) Report() string { return m.reg.Report() }
+
+// WithMetrics routes all server counters into m instead of a private
+// registry.
+func WithMetrics(m *Metrics) Option {
+	return func(c *core.Config) { c.Metrics = m.reg }
+}
