@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/globalmmcs/globalmmcs/internal/bench"
+	"github.com/globalmmcs/globalmmcs/internal/broker"
 )
 
 // Benchmark quality gates: the §3.2 thresholds under which a client
@@ -86,6 +87,72 @@ func RunFig3(system BenchSystem, opt Fig3Options) (*Fig3Report, error) {
 		Elapsed:      res.Elapsed,
 		Delay:        &BenchSeries{s: res.Delay},
 		Jitter:       &BenchSeries{s: res.Jitter},
+	}, nil
+}
+
+// FanoutOptions parameterises the broker fan-out throughput benchmark.
+// Zero values run the default: 64 subscribers × 4 publishers over
+// loopback TCP in client-server mode.
+type FanoutOptions struct {
+	// Mode selects the routing mode (default BrokerClientServer).
+	Mode BrokerMode
+	// Subscribers is the fan-out width (default 64).
+	Subscribers int
+	// Publishers is the number of concurrent publishers (default 4).
+	Publishers int
+	// Events is the number of events each publisher sends (default 2000).
+	Events int
+	// PayloadBytes sizes each event payload (default 1200).
+	PayloadBytes int
+	// Transport is "tcp" (default) or "mem".
+	Transport string
+}
+
+// FanoutReport is the outcome of one fan-out benchmark run. Fields carry
+// JSON tags so reports can be committed as machine-readable baselines.
+type FanoutReport struct {
+	Mode         string  `json:"mode"`
+	Transport    string  `json:"transport"`
+	Subscribers  int     `json:"subscribers"`
+	Publishers   int     `json:"publishers"`
+	Events       int     `json:"events_per_publisher"`
+	PayloadBytes int     `json:"payload_bytes"`
+	Expected     uint64  `json:"expected_deliveries"`
+	Delivered    uint64  `json:"delivered"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	MBPerSec     float64 `json:"mb_per_sec"`
+}
+
+// RunFanout measures broker fan-out throughput: Publishers flood one
+// topic that Subscribers listen on through a single broker over unshaped
+// links, reporting delivered events per second. Unlike RunFig3 this
+// exercises the broker data path at host speed rather than under the
+// paper's emulated 2003 testbed.
+func RunFanout(opt FanoutOptions) (*FanoutReport, error) {
+	res, err := bench.RunFanout(bench.FanoutConfig{
+		Mode:         broker.Mode(opt.Mode),
+		Subscribers:  opt.Subscribers,
+		Publishers:   opt.Publishers,
+		Events:       opt.Events,
+		PayloadBytes: opt.PayloadBytes,
+		Transport:    opt.Transport,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FanoutReport{
+		Mode:         res.Mode,
+		Transport:    res.Transport,
+		Subscribers:  res.Subscribers,
+		Publishers:   res.Publishers,
+		Events:       res.Events,
+		PayloadBytes: res.PayloadBytes,
+		Expected:     res.Expected,
+		Delivered:    res.Delivered,
+		ElapsedSec:   res.ElapsedSec,
+		EventsPerSec: res.EventsPerSec,
+		MBPerSec:     res.MBPerSec,
 	}, nil
 }
 

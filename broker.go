@@ -1,6 +1,8 @@
 package globalmmcs
 
 import (
+	"time"
+
 	"github.com/globalmmcs/globalmmcs/internal/broker"
 )
 
@@ -27,12 +29,40 @@ type Broker struct {
 	metrics *Metrics
 }
 
+// BrokerConfig tunes a standalone broker's data path. The zero value
+// keeps every default.
+type BrokerConfig struct {
+	// QueueDepth bounds each session's best-effort lane (default 512).
+	QueueDepth int
+	// RouteShards is the routing-lock shard count (default 16, rounded
+	// up to a power of two).
+	RouteShards int
+	// MaxBatchBytes bounds per-session write batches (default 256 KiB).
+	MaxBatchBytes int
+	// FlushInterval is the batch linger once a session queue idles
+	// (default 0: flush immediately).
+	FlushInterval time.Duration
+}
+
 // NewBroker creates a standalone broker. mode 0 defaults to
 // BrokerClientServer.
 func NewBroker(id string, mode BrokerMode) *Broker {
+	return NewBrokerWithConfig(id, mode, BrokerConfig{})
+}
+
+// NewBrokerWithConfig creates a standalone broker with data-path tuning.
+func NewBrokerWithConfig(id string, mode BrokerMode, cfg BrokerConfig) *Broker {
 	m := NewMetrics()
 	return &Broker{
-		b:       broker.New(broker.Config{ID: id, Mode: broker.Mode(mode), Metrics: m.reg}),
+		b: broker.New(broker.Config{
+			ID:            id,
+			Mode:          broker.Mode(mode),
+			QueueDepth:    cfg.QueueDepth,
+			RouteShards:   cfg.RouteShards,
+			MaxBatchBytes: cfg.MaxBatchBytes,
+			FlushInterval: cfg.FlushInterval,
+			Metrics:       m.reg,
+		}),
 		metrics: m,
 	}
 }

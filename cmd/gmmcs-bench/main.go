@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -31,9 +32,12 @@ func main() {
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "fig3", "experiment: fig3, audiocap, videocap, all")
+		exp    = flag.String("exp", "fig3", "experiment: fig3, audiocap, videocap, fanout, all")
 		scale  = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper scale)")
 		outDir = flag.String("out", "bench-out", "directory for TSV series dumps")
+		subs   = flag.Int("fanout-subs", 64, "fanout: subscriber count")
+		pubs   = flag.Int("fanout-pubs", 4, "fanout: publisher count")
+		events = flag.Int("fanout-events", 2000, "fanout: events per publisher")
 	)
 	flag.Parse()
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -46,6 +50,8 @@ func run() error {
 		return runCapacity(globalmmcs.Audio, *scale)
 	case "videocap":
 		return runCapacity(globalmmcs.Video, *scale)
+	case "fanout":
+		return runFanout(*subs, *pubs, *events)
 	case "all":
 		if err := runFig3(*scale, *outDir); err != nil {
 			return err
@@ -53,10 +59,41 @@ func run() error {
 		if err := runCapacity(globalmmcs.Audio, *scale); err != nil {
 			return err
 		}
-		return runCapacity(globalmmcs.Video, *scale)
+		if err := runCapacity(globalmmcs.Video, *scale); err != nil {
+			return err
+		}
+		return runFanout(*subs, *pubs, *events)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+}
+
+// runFanout measures raw broker fan-out throughput in both routing modes
+// and prints the reports as a JSON array (the format of BENCH_broker.json).
+func runFanout(subs, pubs, events int) error {
+	fmt.Fprintf(os.Stderr, "=== Fan-out: %d subscribers x %d publishers x %d events over loopback TCP ===\n",
+		subs, pubs, events)
+	var reports []*globalmmcs.FanoutReport
+	for _, mode := range []globalmmcs.BrokerMode{globalmmcs.BrokerClientServer, globalmmcs.BrokerPeerToPeer} {
+		res, err := globalmmcs.RunFanout(globalmmcs.FanoutOptions{
+			Mode:        mode,
+			Subscribers: subs,
+			Publishers:  pubs,
+			Events:      events,
+		})
+		if err != nil {
+			return fmt.Errorf("fanout %s: %w", mode, err)
+		}
+		fmt.Fprintf(os.Stderr, "%-14s %12.0f events/s %10.1f MB/s  delivered %d/%d\n",
+			res.Mode, res.EventsPerSec, res.MBPerSec, res.Delivered, res.Expected)
+		reports = append(reports, res)
+	}
+	out, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
 }
 
 func runFig3(scale float64, outDir string) error {

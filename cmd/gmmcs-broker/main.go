@@ -33,6 +33,10 @@ func run() error {
 		peers  = flag.String("peer", "", "comma-separated peer broker URLs to link to")
 		mode   = flag.String("mode", "client-server", "routing mode: client-server or p2p")
 		stats  = flag.Duration("stats", 30*time.Second, "stats print interval (0 = off)")
+		depth  = flag.Int("queue-depth", 0, "per-session best-effort queue depth (0 = default 512)")
+		shards = flag.Int("route-shards", 0, "routing-lock shard count (0 = default 16)")
+		batch  = flag.Int("max-batch-bytes", 0, "per-session write batch bound (0 = default 256KiB)")
+		flush  = flag.Duration("flush-interval", 0, "batch linger once a session queue idles (0 = flush immediately)")
 	)
 	flag.Parse()
 
@@ -40,7 +44,12 @@ func run() error {
 	if *mode == "p2p" {
 		m = globalmmcs.BrokerPeerToPeer
 	}
-	b := globalmmcs.NewBroker(*id, m)
+	b := globalmmcs.NewBrokerWithConfig(*id, m, globalmmcs.BrokerConfig{
+		QueueDepth:    *depth,
+		RouteShards:   *shards,
+		MaxBatchBytes: *batch,
+		FlushInterval: *flush,
+	})
 	defer b.Stop()
 
 	for _, url := range splitList(*listen) {

@@ -7,11 +7,37 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
 	"github.com/globalmmcs/globalmmcs"
 )
+
+// syncBuffer is a bytes.Buffer safe to poll from the test while a
+// recorder goroutine writes to it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Read(p)
+}
+
+func (s *syncBuffer) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Len()
+}
 
 func startNode(t *testing.T, opts ...globalmmcs.Option) *globalmmcs.Server {
 	t.Helper()
@@ -337,7 +363,7 @@ func TestArchiveRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var buf bytes.Buffer
+	var buf syncBuffer
 	var arch globalmmcs.Archive
 	recCtx, stopRec := context.WithCancel(ctx)
 	recorded := make(chan int, 1)
@@ -387,5 +413,53 @@ func TestArchiveRoundTrip(t *testing.T) {
 		case <-timeout:
 			t.Fatalf("late subscriber got %d/%d", got, n)
 		}
+	}
+}
+
+// TestRunFanoutFacade exercises the public fan-out benchmark entry
+// point at a trivial scale.
+func TestRunFanoutFacade(t *testing.T) {
+	res, err := globalmmcs.RunFanout(globalmmcs.FanoutOptions{
+		Subscribers: 4,
+		Publishers:  1,
+		Events:      50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 || res.EventsPerSec <= 0 {
+		t.Fatalf("empty fanout report: %+v", res)
+	}
+	if res.Mode != "client-server" || res.Transport != "tcp" {
+		t.Fatalf("unexpected defaults: %+v", res)
+	}
+	if _, err := globalmmcs.RunFanout(globalmmcs.FanoutOptions{Transport: "bogus"}); err == nil {
+		t.Fatal("bogus transport accepted")
+	}
+}
+
+// TestBrokerBatchingOptions checks the new broker tuning surface: a
+// server started with batching options comes up healthy, and a
+// standalone broker accepts a full BrokerConfig.
+func TestBrokerBatchingOptions(t *testing.T) {
+	srv := startNode(t,
+		globalmmcs.WithBrokerBatching(64<<10, 2*time.Millisecond),
+		globalmmcs.WithBrokerRouteShards(4),
+	)
+	if err := srv.WaitReady(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	b := globalmmcs.NewBrokerWithConfig("tuned", globalmmcs.BrokerClientServer, globalmmcs.BrokerConfig{
+		QueueDepth:    64,
+		RouteShards:   2,
+		MaxBatchBytes: 32 << 10,
+		FlushInterval: time.Millisecond,
+	})
+	defer b.Stop()
+	if _, err := b.Listen("tcp://127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if b.Mode() != globalmmcs.BrokerClientServer {
+		t.Fatalf("mode = %v", b.Mode())
 	}
 }

@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/broker"
+	"github.com/globalmmcs/globalmmcs/internal/event"
+	"github.com/globalmmcs/globalmmcs/internal/transport"
+)
+
+// FanoutConfig parameterises the broker fan-out throughput benchmark:
+// M publishers flood a topic that N subscribers listen on, all through
+// one broker, and the benchmark reports delivered events per second.
+// Unlike the Figure 3 experiment this runs unshaped links as fast as the
+// host allows — it measures the broker data path itself (routing,
+// per-session queues, encode and write costs), not an emulated testbed.
+type FanoutConfig struct {
+	// Mode selects the routing mode. Default ModeClientServer.
+	Mode broker.Mode
+	// Subscribers is the fan-out width N. Default 64.
+	Subscribers int
+	// Publishers is the number of concurrent publishers M. Default 4.
+	Publishers int
+	// Events is the number of events each publisher sends. Default 2000.
+	Events int
+	// PayloadBytes sizes each event's payload (default 1200, one video
+	// MTU as in the paper's 600 Kbps stream).
+	PayloadBytes int
+	// Transport selects the client link: "tcp" (default) exercises the
+	// full encode/frame/write path over loopback sockets; "mem" isolates
+	// routing and queueing with zero serialisation cost.
+	Transport string
+	// QueueDepth overrides the broker's per-session best-effort queue
+	// depth. Default 8192 (deep enough that drops reflect sustained
+	// overload, not bursts).
+	QueueDepth int
+	// FlushInterval is the broker's batch linger (see broker.Config).
+	// Default 1ms: the fan-out workload is throughput-bound, so trading
+	// a millisecond of latency for full write batches is the operating
+	// point a media relay would choose.
+	FlushInterval time.Duration
+	// MaxBatchBytes is the broker's batch size bound. 0 keeps the broker
+	// default.
+	MaxBatchBytes int
+}
+
+func (c FanoutConfig) withDefaults() FanoutConfig {
+	if c.Mode == 0 {
+		c.Mode = broker.ModeClientServer
+	}
+	if c.Subscribers <= 0 {
+		c.Subscribers = 64
+	}
+	if c.Publishers <= 0 {
+		c.Publishers = 4
+	}
+	if c.Events <= 0 {
+		c.Events = 2000
+	}
+	if c.PayloadBytes <= 0 {
+		c.PayloadBytes = 1200
+	}
+	if c.Transport == "" {
+		c.Transport = "tcp"
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8192
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = time.Millisecond
+	}
+	if c.FlushInterval < 0 {
+		c.FlushInterval = 0
+	}
+	return c
+}
+
+// FanoutResult reports one benchmark run.
+type FanoutResult struct {
+	Mode         string  `json:"mode"`
+	Transport    string  `json:"transport"`
+	Subscribers  int     `json:"subscribers"`
+	Publishers   int     `json:"publishers"`
+	Events       int     `json:"events_per_publisher"`
+	PayloadBytes int     `json:"payload_bytes"`
+	Expected     uint64  `json:"expected_deliveries"`
+	Delivered    uint64  `json:"delivered"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	// EventsPerSec is delivered events per second of wall time — the
+	// headline fan-out throughput number.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// MBPerSec is the equivalent payload goodput.
+	MBPerSec float64 `json:"mb_per_sec"`
+}
+
+func (r FanoutResult) String() string {
+	return fmt.Sprintf("fanout %s/%s subs=%d pubs=%d delivered=%d/%d %.0f ev/s %.1f MB/s",
+		r.Mode, r.Transport, r.Subscribers, r.Publishers,
+		r.Delivered, r.Expected, r.EventsPerSec, r.MBPerSec)
+}
+
+// fanoutTopic is the concrete topic publishers flood.
+const fanoutTopic = "/bench/fanout/stream"
+
+// RunFanout runs the fan-out throughput benchmark.
+func RunFanout(cfg FanoutConfig) (FanoutResult, error) {
+	cfg = cfg.withDefaults()
+	res := FanoutResult{
+		Mode:         cfg.Mode.String(),
+		Transport:    cfg.Transport,
+		Subscribers:  cfg.Subscribers,
+		Publishers:   cfg.Publishers,
+		Events:       cfg.Events,
+		PayloadBytes: cfg.PayloadBytes,
+		Expected:     uint64(cfg.Subscribers) * uint64(cfg.Publishers) * uint64(cfg.Events),
+	}
+
+	b := broker.New(broker.Config{
+		ID:            "fanout-broker",
+		Mode:          cfg.Mode,
+		QueueDepth:    cfg.QueueDepth,
+		FlushInterval: cfg.FlushInterval,
+		MaxBatchBytes: cfg.MaxBatchBytes,
+	})
+	defer b.Stop()
+
+	var dial func(id string) (*broker.Client, error)
+	switch cfg.Transport {
+	case "mem":
+		dial = func(id string) (*broker.Client, error) {
+			return b.LocalClient(id, transport.LinkProfile{})
+		}
+	case "tcp":
+		l, err := b.Listen("tcp://127.0.0.1:0")
+		if err != nil {
+			return res, err
+		}
+		addr := l.Addr()
+		dial = func(id string) (*broker.Client, error) { return broker.Dial(addr, id) }
+	default:
+		return res, fmt.Errorf("bench: unknown fanout transport %q", cfg.Transport)
+	}
+
+	var delivered atomic.Uint64
+	// lastDelivery tracks the wall time of the most recent delivery so the
+	// quiesce loop can stop the clock when traffic dries up.
+	var lastDelivery atomic.Int64
+
+	subs := make([]*broker.Client, 0, cfg.Subscribers)
+	defer func() {
+		for _, c := range subs {
+			c.Close()
+		}
+	}()
+	var drainWG sync.WaitGroup
+	for i := 0; i < cfg.Subscribers; i++ {
+		c, err := dial(fmt.Sprintf("fanout-sub-%d", i))
+		if err != nil {
+			return res, fmt.Errorf("bench: subscriber %d: %w", i, err)
+		}
+		subs = append(subs, c)
+		sub, err := c.Subscribe("/bench/fanout/#", 1024)
+		if err != nil {
+			return res, fmt.Errorf("bench: subscribe %d: %w", i, err)
+		}
+		drainWG.Add(1)
+		go func() {
+			defer drainWG.Done()
+			for range sub.C() {
+				// Sample the delivery clock every 64th event: calling
+				// time.Now per delivery costs measurable CPU at several
+				// hundred thousand events per second, and the quiesce
+				// window is three orders of magnitude coarser.
+				if n := delivered.Add(1); n&63 == 0 {
+					lastDelivery.Store(time.Now().UnixNano())
+				}
+			}
+		}()
+	}
+
+	payload := make([]byte, cfg.PayloadBytes)
+	start := time.Now()
+	lastDelivery.Store(start.UnixNano())
+
+	var pubWG sync.WaitGroup
+	pubErr := make(chan error, cfg.Publishers)
+	for p := 0; p < cfg.Publishers; p++ {
+		c, err := dial(fmt.Sprintf("fanout-pub-%d", p))
+		if err != nil {
+			return res, fmt.Errorf("bench: publisher %d: %w", p, err)
+		}
+		defer c.Close()
+		pubWG.Add(1)
+		go func(c *broker.Client) {
+			defer pubWG.Done()
+			for i := 0; i < cfg.Events; i++ {
+				if err := c.Publish(fanoutTopic, event.KindRTP, payload); err != nil {
+					pubErr <- err
+					return
+				}
+			}
+		}(c)
+	}
+	pubWG.Wait()
+	select {
+	case err := <-pubErr:
+		return res, fmt.Errorf("bench: publish: %w", err)
+	default:
+	}
+
+	// Quiesce: stop once every expected event arrived or deliveries have
+	// been silent for quiesceIdle (best-effort lanes may drop under
+	// overload, so "all delivered" is not guaranteed).
+	const quiesceIdle = 500 * time.Millisecond
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if delivered.Load() >= res.Expected {
+			break
+		}
+		if time.Since(time.Unix(0, lastDelivery.Load())) > quiesceIdle {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	end := time.Unix(0, lastDelivery.Load())
+	if !end.After(start) {
+		end = time.Now()
+	}
+	res.Delivered = delivered.Load()
+	res.ElapsedSec = end.Sub(start).Seconds()
+	if res.ElapsedSec > 0 {
+		res.EventsPerSec = float64(res.Delivered) / res.ElapsedSec
+		res.MBPerSec = res.EventsPerSec * float64(cfg.PayloadBytes) / 1e6
+	}
+	return res, nil
+}

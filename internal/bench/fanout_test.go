@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/globalmmcs/globalmmcs/internal/broker"
+)
+
+// quickFanout shrinks the benchmark so it completes in well under a
+// second; it runs even with -short so CI exercises the broker data path
+// on every push.
+func quickFanout(mode broker.Mode, tr string) FanoutConfig {
+	return FanoutConfig{
+		Mode:        mode,
+		Transport:   tr,
+		Subscribers: 16,
+		Publishers:  2,
+		Events:      250,
+	}
+}
+
+func TestFanoutClientServerTCP(t *testing.T) {
+	res, err := RunFanout(quickFanout(broker.ModeClientServer, "tcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("no events delivered")
+	}
+	if res.EventsPerSec <= 0 {
+		t.Fatalf("events/sec = %v", res.EventsPerSec)
+	}
+	t.Log(res)
+}
+
+func TestFanoutPeerToPeerTCP(t *testing.T) {
+	res, err := RunFanout(quickFanout(broker.ModePeerToPeer, "tcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("no events delivered")
+	}
+	t.Log(res)
+}
+
+func TestFanoutMem(t *testing.T) {
+	res, err := RunFanout(quickFanout(broker.ModeClientServer, "mem"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("no events delivered")
+	}
+	t.Log(res)
+}
+
+func TestFanoutUnknownTransport(t *testing.T) {
+	if _, err := RunFanout(FanoutConfig{Transport: "carrier-pigeon"}); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}
+
+func TestFanoutDefaults(t *testing.T) {
+	cfg := FanoutConfig{}.withDefaults()
+	if cfg.Subscribers != 64 || cfg.Publishers != 4 || cfg.Events != 2000 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+	if cfg.Mode != broker.ModeClientServer || cfg.Transport != "tcp" {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+}
+
+// BenchmarkFanout64TCP is the acceptance benchmark: 64 subscribers over
+// loopback TCP, reported as events/sec in the custom metric.
+func BenchmarkFanout64TCP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunFanout(FanoutConfig{
+			Subscribers: 64,
+			Publishers:  4,
+			Events:      500,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.EventsPerSec, "events/s")
+	}
+}

@@ -1,0 +1,26 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/globalmmcs/globalmmcs/internal/broker"
+)
+
+func TestFanoutJSONDump(t *testing.T) {
+	if os.Getenv("FANOUT_DUMP") == "" {
+		t.Skip("set FANOUT_DUMP=1 to run")
+	}
+	for _, mode := range []broker.Mode{broker.ModeClientServer, broker.ModePeerToPeer} {
+		for _, events := range []int{500, 2000} {
+			res, err := RunFanout(FanoutConfig{Mode: mode, Events: events})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _ := json.Marshal(res)
+			fmt.Printf("FANOUTJSON %s\n", b)
+		}
+	}
+}

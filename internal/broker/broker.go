@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/globalmmcs/globalmmcs/internal/event"
@@ -61,6 +62,19 @@ type Config struct {
 	// AdvRefreshInterval is the soft-state refresh period for
 	// subscription advertisements between brokers. Default 2s.
 	AdvRefreshInterval time.Duration
+	// RouteShards is the number of locks/tries the routing layer is split
+	// across (rounded up to a power of two). Default 16. One shard
+	// degenerates to a single-lock router — an ablation knob.
+	RouteShards int
+	// MaxBatchBytes bounds the encoded bytes a session writer aggregates
+	// before forcing a vectored flush. Default 256 KiB.
+	MaxBatchBytes int
+	// FlushInterval is how long a session writer lingers over a non-empty
+	// batch once its queue goes idle, waiting for more traffic to
+	// coalesce with. 0 (the default) flushes as soon as the queue idles —
+	// batching then happens only under sustained load, costing no
+	// latency. Reliable events always flush immediately regardless.
+	FlushInterval time.Duration
 	// DisableRouteCache turns off per-topic match memoisation — an
 	// ablation knob for the "optimizations on the message transmission"
 	// the paper credits for the broker's media performance.
@@ -94,19 +108,38 @@ func (c Config) withDefaults() Config {
 	if c.AdvRefreshInterval <= 0 {
 		c.AdvRefreshInterval = 2 * time.Second
 	}
+	if c.RouteShards <= 0 {
+		c.RouteShards = topic.DefaultShards
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = transport.DefaultMaxBatchBytes
+	}
+	if c.FlushInterval < 0 {
+		c.FlushInterval = 0
+	}
 	if c.Metrics == nil {
 		c.Metrics = &metrics.Registry{}
 	}
 	return c
 }
 
-// Broker is one node of the messaging middleware.
+// Broker is one node of the messaging middleware. Its state is split
+// into two planes:
+//
+//   - The data plane (router) resolves publish targets through per-shard
+//     locks and an epoch-versioned route cache; publishes never touch
+//     b.mu.
+//   - The control plane (b.mu) guards session/peer membership,
+//     advertisement bookkeeping and listener lifecycle — the slow,
+//     rare mutations.
 type Broker struct {
 	cfg Config
 
+	// router is the data plane: sharded subscription state + route cache.
+	router *router
+
 	mu       sync.RWMutex
 	closed   bool
-	subs     *topic.Trie[*session]
 	sessions map[*session]struct{}
 	peers    map[*session]struct{}
 	ids      map[string]*session
@@ -116,17 +149,48 @@ type Broker struct {
 	// advApplied records the newest advertisement sequence applied per
 	// (origin, pattern), so replays and loops are ignored.
 	advApplied map[string]map[string]uint64
-	// routeCache memoises trie matches per concrete topic until any
-	// subscription change bumps the version.
-	routeCache   map[string][]*session
-	routeVersion uint64
+
+	// peerSnap is a lock-free snapshot of b.peers for the peer-to-peer
+	// flood path; refreshed under b.mu whenever peering changes.
+	peerSnap atomic.Pointer[[]*session]
 
 	advSeq    uint64
 	dedup     *dedupCache
 	listeners []transport.Listener
 
+	// ctr holds pre-resolved hot-path counters: Registry.Counter takes a
+	// registry-wide mutex per lookup, which 64 concurrent session writers
+	// would otherwise serialize on for every event.
+	ctr brokerCounters
+
 	wg   sync.WaitGroup
 	done chan struct{}
+}
+
+// brokerCounters are the per-event instruments of the data path,
+// resolved once at construction.
+type brokerCounters struct {
+	eventsIn    *metrics.Counter
+	eventsOut   *metrics.Counter
+	eventsRtd   *metrics.Counter
+	unroutable  *metrics.Counter
+	duplicates  *metrics.Counter
+	queueDrops  *metrics.Counter
+	invalid     *metrics.Counter
+	retransmits *metrics.Counter
+}
+
+func resolveCounters(reg *metrics.Registry) brokerCounters {
+	return brokerCounters{
+		eventsIn:    reg.Counter("broker.events_in"),
+		eventsOut:   reg.Counter("broker.events_out"),
+		eventsRtd:   reg.Counter("broker.events_routed"),
+		unroutable:  reg.Counter("broker.events_unroutable"),
+		duplicates:  reg.Counter("broker.duplicates"),
+		queueDrops:  reg.Counter("broker.queue_drops"),
+		invalid:     reg.Counter("broker.invalid_events"),
+		retransmits: reg.Counter("broker.retransmits"),
+	}
 }
 
 // ErrBrokerStopped is returned by operations on a stopped Broker.
@@ -137,14 +201,14 @@ func New(cfg Config) *Broker {
 	cfg = cfg.withDefaults()
 	b := &Broker{
 		cfg:         cfg,
-		subs:        topic.NewTrie[*session](),
+		router:      newRouter(cfg.RouteShards, cfg.DisableRouteCache),
 		sessions:    make(map[*session]struct{}),
 		peers:       make(map[*session]struct{}),
 		ids:         make(map[string]*session),
 		patternRefs: make(map[string]int),
 		advApplied:  make(map[string]map[string]uint64),
-		routeCache:  make(map[string][]*session),
 		dedup:       newDedupCache(cfg.DedupCapacity),
+		ctr:         resolveCounters(cfg.Metrics),
 		done:        make(chan struct{}),
 	}
 	b.wg.Add(1)
@@ -235,6 +299,24 @@ func (b *Broker) handshake(conn transport.Conn) {
 	}
 }
 
+// refreshPeerSnapLocked rebuilds the lock-free peer snapshot. Callers
+// hold b.mu.
+func (b *Broker) refreshPeerSnapLocked() {
+	snap := make([]*session, 0, len(b.peers))
+	for p := range b.peers {
+		snap = append(snap, p)
+	}
+	b.peerSnap.Store(&snap)
+}
+
+// peerSnapshot returns the current peer set without taking b.mu.
+func (b *Broker) peerSnapshot() []*session {
+	if p := b.peerSnap.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // attach registers a session for conn and starts its goroutines.
 func (b *Broker) attach(conn transport.Conn, id string, isPeer bool) (*session, error) {
 	s := newSession(b, conn, id, isPeer)
@@ -257,6 +339,7 @@ func (b *Broker) attach(conn transport.Conn, id string, isPeer bool) (*session, 
 	b.sessions[s] = struct{}{}
 	if isPeer {
 		b.peers[s] = struct{}{}
+		b.refreshPeerSnapLocked()
 	}
 	b.mu.Unlock()
 	s.start()
@@ -272,13 +355,14 @@ func (b *Broker) detach(s *session) {
 		return
 	}
 	delete(b.sessions, s)
-	delete(b.peers, s)
+	if _, wasPeer := b.peers[s]; wasPeer {
+		delete(b.peers, s)
+		b.refreshPeerSnapLocked()
+	}
 	if b.ids[s.id] == s {
 		delete(b.ids, s.id)
 	}
-	b.subs.RemoveAll(s)
-	b.routeVersion++
-	clear(b.routeCache)
+	b.router.removeAll(s)
 	// Release this client's pattern refcounts; collect 1→0 edges.
 	var removals []string
 	for p := range s.localPatterns {
@@ -294,6 +378,15 @@ func (b *Broker) detach(s *session) {
 		for _, p := range removals {
 			b.advertise(peers, advRemove, p)
 		}
+	}
+	// Drop the session's gauges (unless a reconnection already reclaimed
+	// the id) so churning clients cannot grow the registry without bound.
+	b.mu.RLock()
+	_, idLive := b.ids[s.id]
+	b.mu.RUnlock()
+	if !idLive {
+		b.metrics().DropGauge("broker.session." + s.id + ".queue_drops")
+		b.metrics().DropGauge("broker.session." + s.id + ".reliable_window")
 	}
 	b.metrics().Counter("broker.sessions_detached").Inc()
 }
@@ -312,12 +405,11 @@ func (b *Broker) subscribe(s *session, pattern string) error {
 		return nil
 	}
 	s.localPatterns[pattern] = struct{}{}
-	if err := b.subs.Add(pattern, s); err != nil {
+	if err := b.router.add(pattern, s); err != nil {
+		delete(s.localPatterns, pattern)
 		b.mu.Unlock()
 		return err
 	}
-	b.routeVersion++
-	clear(b.routeCache)
 	b.patternRefs[pattern]++
 	isNew := b.patternRefs[pattern] == 1
 	peers := b.peerList(nil)
@@ -336,9 +428,7 @@ func (b *Broker) unsubscribe(s *session, pattern string) {
 		return
 	}
 	delete(s.localPatterns, pattern)
-	b.subs.Remove(pattern, s)
-	b.routeVersion++
-	clear(b.routeCache)
+	b.router.remove(pattern, s)
 	b.patternRefs[pattern]--
 	wasLast := b.patternRefs[pattern] <= 0
 	if wasLast {
@@ -430,20 +520,16 @@ func (b *Broker) handleAdvertisement(from *session, e *event.Event) {
 			from.remotePatterns[pattern] = origins
 		}
 		origins[origin] = time.Now()
-		if err := b.subs.Add(pattern, from); err != nil {
+		if err := b.router.add(pattern, from); err != nil {
 			b.mu.Unlock()
 			return
 		}
-		b.routeVersion++
-		clear(b.routeCache)
 	case advRemove:
 		if origins, ok := from.remotePatterns[pattern]; ok {
 			delete(origins, origin)
 			if len(origins) == 0 {
 				delete(from.remotePatterns, pattern)
-				b.subs.Remove(pattern, from)
-				b.routeVersion++
-				clear(b.routeCache)
+				b.router.remove(pattern, from)
 			}
 		}
 	default:
@@ -472,18 +558,36 @@ func (b *Broker) peerList(except *session) []*session {
 }
 
 // route delivers an event to matching local sessions and forwards it to
-// peers according to the routing mode. from is nil for loopback publishes.
+// peers according to the routing mode. from is nil for loopback
+// publishes.
+//
+// This is the data-plane hot path: it takes no broker-wide lock. Target
+// resolution goes through the sharded router, the peer flood set is a
+// lock-free snapshot, and the event is encoded at most twice regardless
+// of fan-out width — once for local sessions and once (a one-byte TTL
+// patch on a buffer copy) for peers.
 func (b *Broker) route(e *event.Event, from *session) {
 	fromPeer := from != nil && from.isPeer
 	if fromPeer || b.cfg.Mode == ModePeerToPeer {
 		if b.dedup.seen(e.Key()) {
-			b.metrics().Counter("broker.duplicates").Inc()
+			b.ctr.duplicates.Inc()
 			return
 		}
 	}
-	targets := b.matchSessions(e.Topic)
-	var peerCopy *event.Event
+	targets := b.router.match(e.Topic)
+	fs := newFrameSource(e)
+	var peerFS *frameSource
+	var peerEvent *event.Event
+	preparePeer := func() {
+		if peerEvent == nil {
+			c := *e
+			c.TTL--
+			peerEvent = &c
+			peerFS = fs.derive(c.TTL)
+		}
+	}
 	delivered := 0
+	var deliveredPeers []*session
 	for _, t := range targets {
 		if t == from && t.isPeer {
 			continue // split horizon: never echo back along the inbound link
@@ -492,64 +596,43 @@ func (b *Broker) route(e *event.Event, from *session) {
 			if e.TTL == 0 {
 				continue
 			}
-			if peerCopy == nil {
-				c := *e
-				c.TTL--
-				peerCopy = &c
-			}
-			t.deliver(peerCopy)
+			preparePeer()
+			t.deliver(peerEvent, peerFS)
+			deliveredPeers = append(deliveredPeers, t)
 		} else {
-			t.deliver(e)
+			t.deliver(e, fs)
 		}
 		delivered++
 	}
 	if b.cfg.Mode == ModePeerToPeer && e.TTL > 0 {
-		c := *e
-		c.TTL--
-		b.mu.RLock()
-		peers := make([]*session, 0, len(b.peers))
-		for p := range b.peers {
-			if p != from {
-				peers = append(peers, p)
+	flood:
+		for _, p := range b.peerSnapshot() {
+			if p == from {
+				continue
 			}
-		}
-		b.mu.RUnlock()
-		for _, p := range peers {
-			p.deliver(&c)
+			// A peer that advertised a matching pattern was already served
+			// above; flooding it again would put the same event on the
+			// wire twice.
+			for _, d := range deliveredPeers {
+				if d == p {
+					continue flood
+				}
+			}
+			preparePeer()
+			p.deliver(peerEvent, peerFS)
 			delivered++
 		}
 	}
-	b.metrics().Counter("broker.events_routed").Inc()
+	b.ctr.eventsRtd.Inc()
 	if delivered == 0 {
-		b.metrics().Counter("broker.events_unroutable").Inc()
+		b.ctr.unroutable.Inc()
 	}
 }
 
-// matchSessions resolves the sessions subscribed to a concrete topic,
-// using the route cache when no subscription has changed.
+// matchSessions resolves the sessions subscribed to a concrete topic via
+// the data-plane router (no broker-wide lock).
 func (b *Broker) matchSessions(t string) []*session {
-	if b.cfg.DisableRouteCache {
-		b.mu.RLock()
-		defer b.mu.RUnlock()
-		return b.subs.Match(t, nil)
-	}
-	b.mu.RLock()
-	if cached, ok := b.routeCache[t]; ok {
-		b.mu.RUnlock()
-		return cached
-	}
-	b.mu.RUnlock()
-
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if cached, ok := b.routeCache[t]; ok {
-		return cached
-	}
-	matched := b.subs.Match(t, nil)
-	if len(b.routeCache) < 4096 { // bound the cache
-		b.routeCache[t] = matched
-	}
-	return matched
+	return b.router.match(t)
 }
 
 // Publish injects an event into the broker as if a local client had sent
@@ -618,7 +701,8 @@ func (b *Broker) ConnectPeerConn(conn transport.Conn) error {
 	return nil
 }
 
-// housekeeping drives reliable retransmission and advertisement refresh.
+// housekeeping drives reliable retransmission, advertisement refresh and
+// per-session gauge refresh.
 func (b *Broker) housekeeping() {
 	defer b.wg.Done()
 	retrans := time.NewTicker(b.cfg.RetransmitInterval)
@@ -637,6 +721,7 @@ func (b *Broker) housekeeping() {
 			}
 			b.mu.RUnlock()
 			for _, s := range sessions {
+				b.publishSessionGauges(s)
 				if s.retransmit(now, b.cfg.RetransmitInterval, b.cfg.MaxRetransmits) {
 					s.close()
 				}
@@ -660,6 +745,14 @@ func (b *Broker) housekeeping() {
 	}
 }
 
+// publishSessionGauges refreshes the per-session observability gauges:
+// best-effort queue drops and reliable-window occupancy.
+func (b *Broker) publishSessionGauges(s *session) {
+	reg := b.metrics()
+	reg.Gauge("broker.session." + s.id + ".queue_drops").Set(int64(s.queue.dropCount()))
+	reg.Gauge("broker.session." + s.id + ".reliable_window").Set(int64(s.unackedLen()))
+}
+
 // pruneStaleAdvertisements drops remote patterns that have not been
 // refreshed within three refresh intervals (soft-state expiry).
 func (b *Broker) pruneStaleAdvertisements() {
@@ -675,9 +768,7 @@ func (b *Broker) pruneStaleAdvertisements() {
 			}
 			if len(origins) == 0 {
 				delete(peer.remotePatterns, pattern)
-				b.subs.Remove(pattern, peer)
-				b.routeVersion++
-				clear(b.routeCache)
+				b.router.remove(pattern, peer)
 			}
 		}
 	}

@@ -426,9 +426,12 @@ func TestDialBadURL(t *testing.T) {
 
 func TestRouteCacheInvalidatedOnSubscriptionChange(t *testing.T) {
 	b := newTestBroker(t, "cache")
-	pub := localClient(t, b, "pub")
-	// Publish with no subscribers: the (empty) route is cached.
-	if err := pub.Publish("/cache/t", event.KindData, nil); err != nil {
+	// Publish with no subscribers through the broker's synchronous entry
+	// point so the (empty) route is definitely cached before the
+	// subscription below arrives.
+	prime := event.New("/cache/t", event.KindData, nil)
+	prime.Source, prime.ID = "pub", 1
+	if err := b.Publish(prime); err != nil {
 		t.Fatal(err)
 	}
 	// A subscription arriving afterwards must invalidate the cache.
@@ -437,7 +440,9 @@ func TestRouteCacheInvalidatedOnSubscriptionChange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := pub.Publish("/cache/t", event.KindData, []byte("fresh")); err != nil {
+	fresh := event.New("/cache/t", event.KindData, []byte("fresh"))
+	fresh.Source, fresh.ID = "pub", 2
+	if err := b.Publish(fresh); err != nil {
 		t.Fatal(err)
 	}
 	if e := recvOne(t, s, 2*time.Second); string(e.Payload) != "fresh" {
@@ -447,7 +452,9 @@ func TestRouteCacheInvalidatedOnSubscriptionChange(t *testing.T) {
 	if err := sub.Unsubscribe(s); err != nil {
 		t.Fatal(err)
 	}
-	if err := pub.Publish("/cache/t", event.KindData, []byte("gone")); err != nil {
+	gone := event.New("/cache/t", event.KindData, []byte("gone"))
+	gone.Source, gone.ID = "pub", 3
+	if err := b.Publish(gone); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(50 * time.Millisecond) // nothing should arrive; channel closed anyway

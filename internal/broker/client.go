@@ -25,6 +25,10 @@ var ErrFenceTimeout = errors.New("broker: control fence timed out")
 // Unsubscribe.
 const subscribeTimeout = 10 * time.Second
 
+// clientRouteCacheBound caps the client-side dispatch memo so a hostile
+// topic stream cannot grow it without bound.
+const clientRouteCacheBound = 1024
+
 // Subscription is a client-side subscription delivering matched events on
 // a channel.
 type Subscription struct {
@@ -117,6 +121,21 @@ type Client struct {
 	closedFlag atomic.Bool
 	subs       *topic.Trie[*Subscription]
 	subSet     map[*Subscription]struct{}
+	// routeCache memoises dispatch targets per concrete topic; any
+	// subscription change clears it. Guarded by mu. It spares the
+	// delivery hot path a trie walk (and its per-match allocation) per
+	// inbound event.
+	routeCache map[string][]*Subscription
+	// routeEpoch counts routeCache invalidations; the readLoop-private
+	// last-topic fast path below revalidates against it.
+	routeEpoch atomic.Uint64
+	// lastTopic/lastTargets memoise the previous dispatch for the
+	// single-reader hot path (a media stream repeats one topic), skipping
+	// both the mutex and the map. Touched only by the readLoop goroutine.
+	lastTopic   string
+	lastTargets []*Subscription
+	lastEpoch   uint64
+	lastValid   bool
 	// waiters maps ping tokens to response channels for control fencing.
 	waiters map[string]chan struct{}
 
@@ -152,13 +171,14 @@ func Attach(conn transport.Conn, id string) (*Client, error) {
 		return nil, fmt.Errorf("broker: hello: %w", err)
 	}
 	c := &Client{
-		id:      id,
-		conn:    conn,
-		subs:    topic.NewTrie[*Subscription](),
-		subSet:  make(map[*Subscription]struct{}),
-		waiters: make(map[string]chan struct{}),
-		ahead:   make(map[uint64]struct{}),
-		done:    make(chan struct{}),
+		id:         id,
+		conn:       conn,
+		subs:       topic.NewTrie[*Subscription](),
+		subSet:     make(map[*Subscription]struct{}),
+		routeCache: make(map[string][]*Subscription),
+		waiters:    make(map[string]chan struct{}),
+		ahead:      make(map[uint64]struct{}),
+		done:       make(chan struct{}),
 	}
 	c.wg.Add(1)
 	go c.readLoop()
@@ -227,6 +247,8 @@ func (c *Client) SubscribeContext(ctx context.Context, pattern string, depth int
 		return nil, err
 	}
 	c.subSet[sub] = struct{}{}
+	clear(c.routeCache)
+	c.routeEpoch.Add(1)
 	c.mu.Unlock()
 
 	if err := c.conn.Send(subEvent(pattern, BestEffort)); err != nil {
@@ -273,6 +295,8 @@ func (c *Client) Unsubscribe(sub *Subscription) error {
 	}
 	delete(c.subSet, sub)
 	c.subs.Remove(sub.pattern, sub)
+	clear(c.routeCache)
+	c.routeEpoch.Add(1)
 	stillUsed := false
 	for other := range c.subSet {
 		if other.pattern == sub.pattern {
@@ -296,6 +320,8 @@ func (c *Client) dropSub(sub *Subscription) {
 	c.mu.Lock()
 	delete(c.subSet, sub)
 	c.subs.Remove(sub.pattern, sub)
+	clear(c.routeCache)
+	c.routeEpoch.Add(1)
 	c.mu.Unlock()
 	sub.closeChan()
 }
@@ -412,14 +438,29 @@ func (c *Client) readLoop() {
 
 // dispatch fans an event out to matching local subscriptions. Best-effort
 // events are dropped when a consumer lags; reliable events apply
-// backpressure.
+// backpressure. Targets are memoised per topic until the subscription
+// set changes, with a lock-free fast path for the previous topic (a
+// media stream repeats one topic for thousands of events).
 func (c *Client) dispatch(e *event.Event) {
-	c.mu.Lock()
+	epoch := c.routeEpoch.Load()
 	var targets []*Subscription
-	c.subs.MatchFunc(e.Topic, func(s *Subscription) {
-		targets = append(targets, s)
-	})
-	c.mu.Unlock()
+	if c.lastValid && c.lastEpoch == epoch && e.Topic == c.lastTopic {
+		targets = c.lastTargets
+	} else {
+		c.mu.Lock()
+		var cached bool
+		targets, cached = c.routeCache[e.Topic]
+		if !cached {
+			c.subs.MatchFunc(e.Topic, func(s *Subscription) {
+				targets = append(targets, s)
+			})
+			if len(c.routeCache) < clientRouteCacheBound {
+				c.routeCache[e.Topic] = targets
+			}
+		}
+		c.mu.Unlock()
+		c.lastTopic, c.lastTargets, c.lastEpoch, c.lastValid = e.Topic, targets, epoch, true
+	}
 	for _, s := range targets {
 		s.deliver(e, c.done)
 	}
@@ -457,6 +498,8 @@ func (c *Client) teardown() {
 	}
 	clear(c.subSet)
 	c.subs = topic.NewTrie[*Subscription]()
+	clear(c.routeCache)
+	c.routeEpoch.Add(1)
 	c.mu.Unlock()
 	for _, s := range subs {
 		s.closeChan()

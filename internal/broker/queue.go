@@ -6,6 +6,30 @@ import (
 	"github.com/globalmmcs/globalmmcs/internal/event"
 )
 
+// outItem is one outbound unit on a session's send queue: the decoded
+// event (always set) plus, for best-effort traffic bound for a framed
+// wire conn, the shared encode-once frame produced at route time.
+type outItem struct {
+	e *event.Event
+	// frame is the immutable pre-encoded form shared across the fan-out;
+	// nil when the writer must marshal itself (control, reliable, or
+	// non-framed conns).
+	frame *event.Frame
+	// reliable marks items on the never-dropped lane; the writer flushes
+	// its batch immediately after them so signalling never lingers in a
+	// user-space buffer.
+	reliable bool
+}
+
+// popState reports the outcome of a non-blocking pop.
+type popState int
+
+const (
+	popOK     popState = iota // an item was returned
+	popEmpty                  // queue open but momentarily empty
+	popClosed                 // queue closed and fully drained
+)
+
 // sendQueue is the per-session outbound queue. It has two lanes:
 //
 //   - a reliable lane that is never dropped (bounded by the reliable
@@ -13,92 +37,124 @@ import (
 //   - a bounded best-effort lane that drops its oldest entry on overflow,
 //     which is the correct policy for real-time media.
 //
-// pop returns reliable events first.
+// tryPop returns reliable items first. The queue is signal-based rather
+// than condvar-based so the writer can multiplex "more traffic arrived"
+// against flush timers.
 type sendQueue struct {
 	mu     sync.Mutex
-	cond   *sync.Cond
-	rel    []*event.Event
-	be     []*event.Event // ring storage
+	rel    []outItem
+	be     []outItem // ring storage
 	beHead int
 	beLen  int
 	closed bool
 	drops  uint64
+
+	// notify carries at most one wakeup token; every push and close
+	// deposits one, the single consumer drains to empty before waiting.
+	notify chan struct{}
 }
 
 func newSendQueue(bestEffortDepth int) *sendQueue {
 	if bestEffortDepth <= 0 {
 		bestEffortDepth = 1
 	}
-	q := &sendQueue{be: make([]*event.Event, bestEffortDepth)}
-	q.cond = sync.NewCond(&q.mu)
-	return q
+	return &sendQueue{
+		be:     make([]outItem, bestEffortDepth),
+		notify: make(chan struct{}, 1),
+	}
 }
 
-// pushBestEffort enqueues e, dropping the oldest queued event if full.
-// It reports whether the queue accepted the event without dropping.
-func (q *sendQueue) pushBestEffort(e *event.Event) bool {
+func (q *sendQueue) signal() {
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// waitCh returns the channel the consumer blocks on between drains.
+func (q *sendQueue) waitCh() <-chan struct{} { return q.notify }
+
+// pushBestEffort enqueues e (with its optional shared frame), dropping
+// the oldest queued event if full. It reports whether the queue accepted
+// the event without dropping.
+func (q *sendQueue) pushBestEffort(e *event.Event, frame *event.Frame) bool {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.closed {
+		q.mu.Unlock()
 		return false
 	}
 	dropped := false
 	if q.beLen == len(q.be) {
 		// Drop oldest.
+		q.be[q.beHead] = outItem{}
 		q.beHead = (q.beHead + 1) % len(q.be)
 		q.beLen--
 		q.drops++
 		dropped = true
 	}
-	q.be[(q.beHead+q.beLen)%len(q.be)] = e
+	q.be[(q.beHead+q.beLen)%len(q.be)] = outItem{e: e, frame: frame}
 	q.beLen++
-	q.cond.Signal()
+	q.mu.Unlock()
+	q.signal()
 	return !dropped
 }
 
 // pushReliable enqueues e on the never-dropped lane.
 func (q *sendQueue) pushReliable(e *event.Event) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.closed {
+		q.mu.Unlock()
 		return
 	}
-	q.rel = append(q.rel, e)
-	q.cond.Signal()
+	q.rel = append(q.rel, outItem{e: e, reliable: true})
+	q.mu.Unlock()
+	q.signal()
+}
+
+// tryPop removes one item without blocking, preferring the reliable lane.
+func (q *sendQueue) tryPop() (outItem, popState) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.rel) > 0 {
+		it := q.rel[0]
+		q.rel[0] = outItem{}
+		q.rel = q.rel[1:]
+		return it, popOK
+	}
+	if q.beLen > 0 {
+		it := q.be[q.beHead]
+		q.be[q.beHead] = outItem{}
+		q.beHead = (q.beHead + 1) % len(q.be)
+		q.beLen--
+		return it, popOK
+	}
+	if q.closed {
+		return outItem{}, popClosed
+	}
+	return outItem{}, popEmpty
 }
 
 // pop blocks until an event is available or the queue closes. The second
 // return is false once the queue is closed and drained.
 func (q *sendQueue) pop() (*event.Event, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
 	for {
-		if len(q.rel) > 0 {
-			e := q.rel[0]
-			q.rel[0] = nil
-			q.rel = q.rel[1:]
-			return e, true
-		}
-		if q.beLen > 0 {
-			e := q.be[q.beHead]
-			q.be[q.beHead] = nil
-			q.beHead = (q.beHead + 1) % len(q.be)
-			q.beLen--
-			return e, true
-		}
-		if q.closed {
+		it, st := q.tryPop()
+		switch st {
+		case popOK:
+			return it.e, true
+		case popClosed:
 			return nil, false
 		}
-		q.cond.Wait()
+		<-q.notify
 	}
 }
 
-// close wakes all poppers; pop drains remaining events first.
+// close wakes the consumer; tryPop drains remaining events first.
 func (q *sendQueue) close() {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	q.closed = true
-	q.cond.Broadcast()
+	q.mu.Unlock()
+	q.signal()
 }
 
 // dropCount returns how many best-effort events have been dropped.

@@ -15,7 +15,7 @@ func qe(id uint64) *event.Event {
 func TestSendQueueFIFO(t *testing.T) {
 	q := newSendQueue(8)
 	for i := range 5 {
-		q.pushBestEffort(qe(uint64(i)))
+		q.pushBestEffort(qe(uint64(i)), nil)
 	}
 	for i := range 5 {
 		e, ok := q.pop()
@@ -28,7 +28,7 @@ func TestSendQueueFIFO(t *testing.T) {
 func TestSendQueueDropOldest(t *testing.T) {
 	q := newSendQueue(3)
 	for i := range 5 {
-		q.pushBestEffort(qe(uint64(i)))
+		q.pushBestEffort(qe(uint64(i)), nil)
 	}
 	if q.dropCount() != 2 {
 		t.Fatalf("drops = %d, want 2", q.dropCount())
@@ -44,7 +44,7 @@ func TestSendQueueDropOldest(t *testing.T) {
 
 func TestSendQueueReliablePriority(t *testing.T) {
 	q := newSendQueue(8)
-	q.pushBestEffort(qe(1))
+	q.pushBestEffort(qe(1), nil)
 	q.pushReliable(qe(100))
 	e, _ := q.pop()
 	if e.ID != 100 {
@@ -79,7 +79,7 @@ func TestSendQueuePopBlocksUntilPush(t *testing.T) {
 		}
 	}()
 	time.Sleep(10 * time.Millisecond)
-	q.pushBestEffort(qe(7))
+	q.pushBestEffort(qe(7), nil)
 	select {
 	case id := <-got:
 		if id != 7 {
@@ -92,7 +92,7 @@ func TestSendQueuePopBlocksUntilPush(t *testing.T) {
 
 func TestSendQueueCloseDrains(t *testing.T) {
 	q := newSendQueue(4)
-	q.pushBestEffort(qe(1))
+	q.pushBestEffort(qe(1), nil)
 	q.close()
 	if e, ok := q.pop(); !ok || e.ID != 1 {
 		t.Fatalf("pop after close = %v, %v; want queued event", e, ok)
@@ -121,7 +121,7 @@ func TestSendQueueCloseUnblocksPop(t *testing.T) {
 func TestSendQueuePushAfterCloseIgnored(t *testing.T) {
 	q := newSendQueue(4)
 	q.close()
-	if q.pushBestEffort(qe(1)) {
+	if q.pushBestEffort(qe(1), nil) {
 		t.Fatal("push accepted after close")
 	}
 	q.pushReliable(qe(2))
@@ -139,7 +139,7 @@ func TestSendQueueConcurrentProducersConsumer(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := range per {
-				q.pushBestEffort(qe(uint64(i)))
+				q.pushBestEffort(qe(uint64(i)), nil)
 			}
 		}()
 	}

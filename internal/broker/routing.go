@@ -1,0 +1,130 @@
+package broker
+
+import (
+	"sync"
+
+	"github.com/globalmmcs/globalmmcs/internal/event"
+	"github.com/globalmmcs/globalmmcs/internal/topic"
+)
+
+// router is the broker's data-plane routing state: a sharded subscription
+// trie plus an epoch-versioned route cache. It is deliberately separate
+// from the Broker's control-plane mutex — publishes resolve their targets
+// through per-shard locks only and never contend with advertisement or
+// peering bookkeeping on b.mu.
+type router struct {
+	subs         *topic.ShardedTrie[*session]
+	disableCache bool
+	// caches is parallel to the trie shards: cache shard i memoises
+	// matches for topics owned by trie shard i, validated by that shard's
+	// mutation epoch.
+	caches      []routeCacheShard
+	maxPerShard int
+}
+
+type routeCacheShard struct {
+	mu      sync.RWMutex
+	entries map[string]routeEntry
+	_       [8]uint64 // avoid false sharing between shard locks
+}
+
+// routeEntry is one memoised match result, valid while the owning trie
+// shard's epoch still equals epoch.
+type routeEntry struct {
+	targets []*session
+	epoch   uint64
+}
+
+// routeCacheBound caps the total number of memoised topics across all
+// shards (matching the pre-split broker's 4096-topic bound).
+const routeCacheBound = 4096
+
+func newRouter(shards int, disableCache bool) *router {
+	subs := topic.NewShardedTrie[*session](shards)
+	n := subs.NumShards()
+	per := routeCacheBound / n
+	if per < 16 {
+		per = 16
+	}
+	r := &router{
+		subs:         subs,
+		disableCache: disableCache,
+		caches:       make([]routeCacheShard, n),
+		maxPerShard:  per,
+	}
+	for i := range r.caches {
+		r.caches[i].entries = make(map[string]routeEntry)
+	}
+	return r
+}
+
+func (r *router) add(pattern string, s *session) error {
+	return r.subs.Add(pattern, s)
+}
+
+func (r *router) remove(pattern string, s *session) {
+	r.subs.Remove(pattern, s)
+}
+
+func (r *router) removeAll(s *session) {
+	r.subs.RemoveAll(s)
+}
+
+// match resolves the sessions subscribed to a concrete topic. The fast
+// path is a cache shard RLock plus an atomic epoch check; a miss matches
+// under the trie shard's RLock and memoises the result stamped with the
+// epoch sampled before matching, so a concurrent mutation can only make
+// the entry conservatively stale, never wrongly fresh.
+func (r *router) match(t string) []*session {
+	if r.disableCache {
+		return r.subs.Match(t, nil)
+	}
+	shard := r.subs.ShardFor(t)
+	c := &r.caches[shard]
+	c.mu.RLock()
+	ent, ok := c.entries[t]
+	c.mu.RUnlock()
+	if ok && ent.epoch == r.subs.EpochAt(shard) {
+		return ent.targets
+	}
+	targets, epoch := r.subs.MatchEpochAt(shard, t, nil)
+	c.mu.Lock()
+	if ok || len(c.entries) < r.maxPerShard {
+		c.entries[t] = routeEntry{targets: targets, epoch: epoch}
+	}
+	c.mu.Unlock()
+	return targets
+}
+
+// frameSource lazily encodes one event a single time per route() call so
+// every wire-bound session in the fan-out shares the same immutable
+// frame. A derived source (peer TTL decrement) patches the parent's
+// frame header instead of re-marshalling. Not safe for concurrent use:
+// each route() call owns one.
+type frameSource struct {
+	e      *event.Event
+	f      *event.Frame
+	parent *frameSource
+	ttl    uint8
+}
+
+func newFrameSource(e *event.Event) *frameSource {
+	return &frameSource{e: e}
+}
+
+// derive returns a source encoding the same event with a patched TTL.
+func (fs *frameSource) derive(ttl uint8) *frameSource {
+	return &frameSource{parent: fs, ttl: ttl}
+}
+
+// frame returns the shared encoded frame, encoding on first use.
+func (fs *frameSource) frame() *event.Frame {
+	if fs.f == nil {
+		if fs.parent != nil {
+			fs.f = fs.parent.frame().WithTTL(fs.ttl)
+		} else {
+			fs.f = event.NewFrame(fs.e)
+		}
+	}
+	return fs.f
+}

@@ -22,6 +22,9 @@ type session struct {
 	conn   transport.Conn
 	id     string
 	isPeer bool
+	// framed reports whether conn supports pre-encoded frames, decided
+	// once at attach so the data path never type-asserts per event.
+	framed bool
 	queue  *sendQueue
 
 	wg        sync.WaitGroup
@@ -31,6 +34,11 @@ type session struct {
 	// acks; the housekeeping loop retransmits stragglers.
 	relMu    sync.Mutex
 	nextRSeq uint64
+	// ackFloor is the highest cumulative ack applied; every rseq in
+	// (ackFloor, nextRSeq] is present in unacked, which lets handleAck
+	// delete exactly the newly-acked range instead of sweeping the whole
+	// window.
+	ackFloor uint64
 	unacked  map[uint64]*relEntry
 
 	// Reliable receiver state: rseq-tagged events arriving on this
@@ -49,11 +57,13 @@ type session struct {
 }
 
 func newSession(b *Broker, conn transport.Conn, id string, isPeer bool) *session {
+	_, framed := conn.(transport.FrameConn)
 	return &session{
 		b:              b,
 		conn:           conn,
 		id:             id,
 		isPeer:         isPeer,
+		framed:         framed,
 		queue:          newSendQueue(b.cfg.QueueDepth),
 		unacked:        make(map[uint64]*relEntry),
 		ahead:          make(map[uint64]struct{}),
@@ -70,13 +80,20 @@ func (s *session) start() {
 }
 
 // deliver routes one event to this session respecting its reliability.
-func (s *session) deliver(e *event.Event) {
+// fs, when non-nil, supplies the shared encode-once frame for framed
+// conns; callers on the fan-out path pass one frameSource for the whole
+// target set.
+func (s *session) deliver(e *event.Event, fs *frameSource) {
 	if e.Reliable {
 		s.sendReliable(e)
 		return
 	}
-	if !s.queue.pushBestEffort(e) {
-		s.b.metrics().Counter("broker.queue_drops").Inc()
+	var f *event.Frame
+	if s.framed && fs != nil {
+		f = fs.frame()
+	}
+	if !s.queue.pushBestEffort(e, f) {
+		s.b.ctr.queueDrops.Inc()
 	}
 }
 
@@ -104,15 +121,28 @@ func (s *session) sendReliable(e *event.Event) {
 	s.queue.pushReliable(c)
 }
 
-// handleAck applies a cumulative acknowledgement.
+// handleAck applies a cumulative acknowledgement. Cost is proportional
+// to the number of newly acknowledged events, not the window size: every
+// rseq between the previous floor and cum is deleted directly.
 func (s *session) handleAck(cum uint64) {
 	s.relMu.Lock()
 	defer s.relMu.Unlock()
-	for rseq := range s.unacked {
-		if rseq <= cum {
-			delete(s.unacked, rseq)
-		}
+	if cum > s.nextRSeq {
+		cum = s.nextRSeq
 	}
+	for rseq := s.ackFloor + 1; rseq <= cum; rseq++ {
+		delete(s.unacked, rseq)
+	}
+	if cum > s.ackFloor {
+		s.ackFloor = cum
+	}
+}
+
+// unackedLen reports the reliable-window occupancy.
+func (s *session) unackedLen() int {
+	s.relMu.Lock()
+	defer s.relMu.Unlock()
+	return len(s.unacked)
 }
 
 // retransmit re-enqueues unacked reliable events older than rto. It
@@ -130,7 +160,7 @@ func (s *session) retransmit(now time.Time, rto time.Duration, maxAttempts int) 
 		entry.attempts++
 		entry.lastSend = now
 		s.queue.pushReliable(entry.e)
-		s.b.metrics().Counter("broker.retransmits").Inc()
+		s.b.ctr.retransmits.Inc()
 	}
 	return false
 }
@@ -165,7 +195,7 @@ func (s *session) readLoop() {
 		if err != nil {
 			return
 		}
-		s.b.metrics().Counter("broker.events_in").Inc()
+		s.b.ctr.eventsIn.Inc()
 		// Hop-by-hop reliability: rseq-tagged events (control or data) are
 		// deduplicated and cumulatively acknowledged before processing.
 		if rseqStr, ok := e.Headers[hdrRSeq]; ok && e.Topic != topicAck {
@@ -187,7 +217,7 @@ func (s *session) readLoop() {
 			continue
 		}
 		if e.Validate() != nil {
-			s.b.metrics().Counter("broker.invalid_events").Inc()
+			s.b.ctr.invalid.Inc()
 			continue
 		}
 		s.b.route(e, s)
@@ -221,23 +251,93 @@ func (s *session) handleControl(e *event.Event) {
 	}
 }
 
+// writeLoop drains the send queue onto the conn. For framed conns it
+// aggregates encoded events into a Batcher and flushes on three
+// triggers: the batch reaching MaxBatchBytes, the reliable lane (which
+// must never linger in user space), and the queue going idle — either
+// immediately (FlushInterval 0) or after lingering up to FlushInterval
+// for more traffic to coalesce with.
 func (s *session) writeLoop() {
 	defer s.wg.Done()
-	for {
-		e, ok := s.queue.pop()
-		if !ok {
-			return
+	cfg := s.b.cfg
+	fc, framed := s.conn.(transport.FrameConn)
+	var bw *transport.Batcher
+	if framed {
+		bw = transport.NewBatcher(fc, cfg.MaxBatchBytes)
+	}
+
+	// fail closes the session and discards the remaining queue so close()
+	// can complete.
+	fail := func() {
+		s.close()
+		for {
+			if _, st := s.queue.tryPop(); st != popOK {
+				return
+			}
 		}
-		if err := s.conn.Send(e); err != nil {
-			s.close()
-			// Drain remaining queue so close() can complete.
-			for {
-				if _, ok := s.queue.pop(); !ok {
+	}
+
+	send := func(it outItem) error {
+		if !framed {
+			return s.conn.Send(it.e)
+		}
+		if it.frame != nil {
+			return bw.Add(it.frame.Bytes())
+		}
+		return bw.AddEvent(it.e)
+	}
+
+	var lingerTimer *time.Timer
+	for {
+		it, st := s.queue.tryPop()
+		switch st {
+		case popOK:
+			if err := send(it); err != nil {
+				fail()
+				return
+			}
+			s.b.ctr.eventsOut.Inc()
+			if it.reliable && framed {
+				// Signalling and acks flush as soon as the reliable lane
+				// drains; they are never coalesced past their turn.
+				if err := bw.Flush(); err != nil {
+					fail()
 					return
 				}
 			}
+		case popEmpty:
+			if framed && bw.Pending() > 0 {
+				if cfg.FlushInterval > 0 {
+					if lingerTimer == nil {
+						lingerTimer = time.NewTimer(cfg.FlushInterval)
+					} else {
+						lingerTimer.Reset(cfg.FlushInterval)
+					}
+					select {
+					case <-s.queue.waitCh():
+						if !lingerTimer.Stop() {
+							<-lingerTimer.C
+						}
+						continue // more traffic arrived; keep batching
+					case <-lingerTimer.C:
+					}
+				}
+				if err := bw.Flush(); err != nil {
+					fail()
+					return
+				}
+				continue // re-check: traffic may have arrived during flush
+			}
+			<-s.queue.waitCh()
+		case popClosed:
+			// Graceful drain: whatever reached the batcher goes out before
+			// the writer exits (the conn may already be closed on abortive
+			// shutdown, in which case the flush error is moot).
+			if framed {
+				_ = bw.Flush()
+			}
+			return
 		}
-		s.b.metrics().Counter("broker.events_out").Inc()
 	}
 }
 
@@ -245,8 +345,12 @@ func (s *session) writeLoop() {
 // call multiple times and from any goroutine.
 func (s *session) close() {
 	s.closeOnce.Do(func() {
-		_ = s.conn.Close()
+		// Close the queue first so a writer mid-drain flushes its batch
+		// and exits before the conn is torn down under it; Send/Flush on
+		// the closed conn then fail cleanly for any write already past
+		// the queue.
 		s.queue.close()
+		_ = s.conn.Close()
 		s.b.detach(s)
 	})
 }

@@ -37,6 +37,15 @@ import (
 type Config struct {
 	// BrokerID names this node's broker. Default "gmmcs-broker".
 	BrokerID string
+	// BrokerRouteShards is the broker's routing-lock shard count
+	// (0 = broker default).
+	BrokerRouteShards int
+	// BrokerMaxBatchBytes bounds the broker's per-session write batches
+	// (0 = broker default).
+	BrokerMaxBatchBytes int
+	// BrokerFlushInterval is the broker's batch linger once a session
+	// queue idles (0 = flush immediately).
+	BrokerFlushInterval time.Duration
 	// BrokerListenURLs are transport URLs the broker accepts remote
 	// clients and peer brokers on (e.g. "tcp://127.0.0.1:0"). Optional.
 	BrokerListenURLs []string
@@ -122,7 +131,13 @@ func Start(ctx context.Context, cfg Config) (*Server, error) {
 		Directory:   &directory.Store{},
 		Communities: wsci.NewRegistry(),
 	}
-	s.Broker = broker.New(broker.Config{ID: cfg.BrokerID, Metrics: cfg.Metrics})
+	s.Broker = broker.New(broker.Config{
+		ID:            cfg.BrokerID,
+		RouteShards:   cfg.BrokerRouteShards,
+		MaxBatchBytes: cfg.BrokerMaxBatchBytes,
+		FlushInterval: cfg.BrokerFlushInterval,
+		Metrics:       cfg.Metrics,
+	})
 	for _, url := range cfg.BrokerListenURLs {
 		if _, err := s.Broker.Listen(url); err != nil {
 			s.Stop()

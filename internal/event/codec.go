@@ -87,7 +87,39 @@ func Marshal(e *Event) []byte {
 // encoded event. The returned event's Payload aliases b; callers that
 // retain the event beyond the life of b must Clone it.
 func Unmarshal(b []byte) (*Event, error) {
-	e, rest, err := consume(b)
+	return UnmarshalIntern(b, nil)
+}
+
+// Interner caches the most recent topic and source strings a decoder
+// produced, so a stream of events on the same topic (the common case for
+// media fan-in) allocates each string once instead of per event. The
+// zero value is ready. Not safe for concurrent use — one per decoding
+// goroutine.
+type Interner struct {
+	topic, source string
+}
+
+func (in *Interner) internTopic(b []byte) string {
+	// string(b) in a comparison does not allocate.
+	if string(b) == in.topic {
+		return in.topic
+	}
+	in.topic = string(b)
+	return in.topic
+}
+
+func (in *Interner) internSource(b []byte) string {
+	if string(b) == in.source {
+		return in.source
+	}
+	in.source = string(b)
+	return in.source
+}
+
+// UnmarshalIntern is Unmarshal with string interning through in (which
+// may be nil).
+func UnmarshalIntern(b []byte, in *Interner) (*Event, error) {
+	e, rest, err := consume(b, in)
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +130,7 @@ func Unmarshal(b []byte) (*Event, error) {
 }
 
 // consume decodes one event from the front of b and returns the remainder.
-func consume(b []byte) (*Event, []byte, error) {
+func consume(b []byte, in *Interner) (*Event, []byte, error) {
 	if len(b) < 21 {
 		return nil, nil, ErrTruncated
 	}
@@ -119,11 +151,22 @@ func consume(b []byte) (*Event, []byte, error) {
 	b = b[21:]
 
 	var err error
-	if e.Source, b, err = readString(b, MaxSourceLen, "source"); err != nil {
+	var raw []byte
+	if raw, b, err = readBytes(b, MaxSourceLen, "source"); err != nil {
 		return nil, nil, err
 	}
-	if e.Topic, b, err = readString(b, MaxTopicLen, "topic"); err != nil {
+	if in != nil {
+		e.Source = in.internSource(raw)
+	} else {
+		e.Source = string(raw)
+	}
+	if raw, b, err = readBytes(b, MaxTopicLen, "topic"); err != nil {
 		return nil, nil, err
+	}
+	if in != nil {
+		e.Topic = in.internTopic(raw)
+	} else {
+		e.Topic = string(raw)
 	}
 	if flags&flagHeaders != 0 {
 		n, rest, err := readUvarint(b)
@@ -180,15 +223,25 @@ func readUvarint(b []byte) (uint64, []byte, error) {
 }
 
 func readString(b []byte, maxLen int, what string) (string, []byte, error) {
+	raw, rest, err := readBytes(b, maxLen, what)
+	if err != nil {
+		return "", nil, err
+	}
+	return string(raw), rest, nil
+}
+
+// readBytes returns the length-prefixed byte run without copying; the
+// result aliases b.
+func readBytes(b []byte, maxLen int, what string) ([]byte, []byte, error) {
 	n, rest, err := readUvarint(b)
 	if err != nil {
-		return "", nil, fmt.Errorf("event: reading %s length: %w", what, err)
+		return nil, nil, fmt.Errorf("event: reading %s length: %w", what, err)
 	}
 	if n > uint64(maxLen) {
-		return "", nil, fmt.Errorf("event: %s length %d exceeds %d", what, n, maxLen)
+		return nil, nil, fmt.Errorf("event: %s length %d exceeds %d", what, n, maxLen)
 	}
 	if uint64(len(rest)) < n {
-		return "", nil, fmt.Errorf("event: reading %s: %w", what, ErrTruncated)
+		return nil, nil, fmt.Errorf("event: reading %s: %w", what, ErrTruncated)
 	}
-	return string(rest[:n]), rest[n:], nil
+	return rest[:n], rest[n:], nil
 }

@@ -1,0 +1,54 @@
+package event
+
+// ttlOffset is the fixed position of the TTL byte in the wire layout
+// (magic, version, kind, then TTL — see AppendMarshal).
+const ttlOffset = 3
+
+// Frame is an immutable, pre-encoded wire representation of one event.
+// A broker fanning an event out to many sessions encodes it once into a
+// Frame and shares the Frame across every outbound queue; per-hop TTL
+// rewrites are a one-byte header patch on a fresh copy (WithTTL) instead
+// of a full re-marshal or per-peer Clone.
+//
+// The byte slice returned by Bytes must never be mutated: it is shared
+// concurrently by every session the frame was fanned out to.
+type Frame struct {
+	b []byte
+}
+
+// NewFrame encodes e into a frame. The event must not be mutated while
+// the frame is in flight (the frame captures its current encoding).
+func NewFrame(e *Event) *Frame {
+	return &Frame{b: Marshal(e)}
+}
+
+// FrameFromBytes wraps an already-encoded event. The caller must not
+// mutate b afterwards.
+func FrameFromBytes(b []byte) *Frame { return &Frame{b: b} }
+
+// Bytes returns the encoded event. Callers must treat it as read-only.
+func (f *Frame) Bytes() []byte { return f.b }
+
+// Len returns the encoded length in bytes.
+func (f *Frame) Len() int { return len(f.b) }
+
+// TTL returns the hop budget encoded in the frame header.
+func (f *Frame) TTL() uint8 { return f.b[ttlOffset] }
+
+// WithTTL returns a frame identical to f except for the TTL header byte.
+// If the TTL already matches, f itself is returned; otherwise the frame
+// buffer is copied once — a single memmove shared by all downstream
+// consumers, which is what makes broker TTL decrement cheap.
+func (f *Frame) WithTTL(ttl uint8) *Frame {
+	if f.b[ttlOffset] == ttl {
+		return f
+	}
+	b := make([]byte, len(f.b))
+	copy(b, f.b)
+	b[ttlOffset] = ttl
+	return &Frame{b: b}
+}
+
+// Decode unmarshals the frame back into an event. The returned event's
+// payload aliases the frame buffer and must not be mutated.
+func (f *Frame) Decode() (*Event, error) { return Unmarshal(f.b) }

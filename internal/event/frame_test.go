@@ -1,0 +1,70 @@
+package event
+
+import (
+	"bytes"
+	"testing"
+)
+
+func frameEvent() *Event {
+	e := New("/media/video/42", KindRTP, []byte("payload-bytes"))
+	e.Source = "client-7"
+	e.ID = 99
+	e.Headers = map[string]string{"k": "v"}
+	return e
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	e := frameEvent()
+	f := NewFrame(e)
+	if f.Len() != len(Marshal(e)) {
+		t.Fatalf("frame len %d != marshal len %d", f.Len(), len(Marshal(e)))
+	}
+	got, err := f.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Topic != e.Topic || got.ID != e.ID || got.Source != e.Source ||
+		got.TTL != e.TTL || !bytes.Equal(got.Payload, e.Payload) {
+		t.Fatalf("decode mismatch: %+v vs %+v", got, e)
+	}
+}
+
+func TestFrameTTLPatch(t *testing.T) {
+	e := frameEvent()
+	e.TTL = 9
+	f := NewFrame(e)
+	if f.TTL() != 9 {
+		t.Fatalf("TTL() = %d, want 9", f.TTL())
+	}
+	g := f.WithTTL(8)
+	if g == f {
+		t.Fatal("WithTTL with a different TTL must copy")
+	}
+	if g.TTL() != 8 || f.TTL() != 9 {
+		t.Fatalf("patch leaked: g=%d f=%d", g.TTL(), f.TTL())
+	}
+	// Everything except the TTL byte is identical.
+	ge, err := g.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge.TTL != 8 || ge.Topic != e.Topic || !bytes.Equal(ge.Payload, e.Payload) {
+		t.Fatalf("patched frame decode mismatch: %+v", ge)
+	}
+	// Same TTL returns the identical frame (no copy).
+	if f.WithTTL(9) != f {
+		t.Fatal("WithTTL with the same TTL should return the receiver")
+	}
+}
+
+func TestFrameFromBytes(t *testing.T) {
+	e := frameEvent()
+	raw := Marshal(e)
+	f := FrameFromBytes(raw)
+	if !bytes.Equal(f.Bytes(), raw) {
+		t.Fatal("FrameFromBytes must wrap the given bytes")
+	}
+	if f.TTL() != e.TTL {
+		t.Fatalf("TTL = %d, want %d", f.TTL(), e.TTL)
+	}
+}

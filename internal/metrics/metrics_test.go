@@ -265,10 +265,27 @@ func TestRegistryReport(t *testing.T) {
 	r.Counter("pkts").Add(3)
 	r.Histogram("delay").Observe(1)
 	r.Series("trace", 8).Record(0, 1)
+	r.Gauge("depth").Set(7)
 	rep := r.Report()
-	for _, want := range []string{"pkts", "delay", "trace"} {
+	for _, want := range []string{"pkts", "delay", "trace", "gauge   depth", "7"} {
 		if !strings.Contains(rep, want) {
 			t.Errorf("report missing %q:\n%s", want, rep)
 		}
+	}
+}
+
+func TestRegistryGauge(t *testing.T) {
+	var r Registry
+	g := r.Gauge("window")
+	g.Set(42)
+	if r.Gauge("window") != g {
+		t.Fatal("gauge not reused by name")
+	}
+	if r.Gauge("window").Value() != 42 {
+		t.Fatalf("gauge = %d, want 42", r.Gauge("window").Value())
+	}
+	g.Add(-2)
+	if g.Value() != 40 {
+		t.Fatalf("gauge after Add = %d, want 40", g.Value())
 	}
 }

@@ -112,6 +112,7 @@ type Registry struct {
 	mu     sync.Mutex
 	hists  map[string]*Histogram
 	counts map[string]*Counter
+	gauges map[string]*Gauge
 	series map[string]*Series
 }
 
@@ -145,6 +146,31 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// DropGauge removes the named gauge from the registry (a no-op when it
+// does not exist). Components that publish per-entity gauges call this
+// when the entity goes away so the registry stays bounded by live
+// entities.
+func (r *Registry) DropGauge(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.gauges, name)
+}
+
 // Series returns the named series, creating it with the given limit on
 // first use. Subsequent calls ignore limit.
 func (r *Registry) Series(name string, limit int) *Series {
@@ -173,6 +199,14 @@ func (r *Registry) Report() string {
 	sortStrings(names)
 	for _, n := range names {
 		fmt.Fprintf(&b, "counter %-32s %d\n", n, r.counts[n].Value())
+	}
+	names = names[:0]
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "gauge   %-32s %d\n", n, r.gauges[n].Value())
 	}
 	names = names[:0]
 	for n := range r.hists {

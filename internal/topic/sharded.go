@@ -1,0 +1,255 @@
+package topic
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedTrie partitions a subscription trie by the first topic segment
+// so that concurrent matchers and mutators contend only per shard, not on
+// one structure-wide lock. Patterns whose first segment is concrete live
+// in exactly one shard; patterns whose first segment is a wildcard ("*"
+// or "#") are replicated into every shard, so matching a concrete topic
+// always touches exactly one shard.
+//
+// Each shard carries an epoch that is bumped on every mutation. Callers
+// building caches on top of Match sample the epoch with MatchEpoch and
+// treat a cached entry as valid only while the shard epoch is unchanged.
+type ShardedTrie[V comparable] struct {
+	shards []trieShard[V]
+	seed   maphash.Seed
+}
+
+type trieShard[V comparable] struct {
+	mu    sync.RWMutex
+	trie  *Trie[V]
+	epoch atomic.Uint64
+	_     [8]uint64 // pad to a cache line so shard locks don't false-share
+}
+
+// DefaultShards is the shard count used when callers pass n <= 0. Small
+// enough that replicated wildcard-first patterns stay cheap, large enough
+// that a busy broker's publishers rarely collide on a shard lock.
+const DefaultShards = 16
+
+// NewShardedTrie creates a trie sharded n ways (n <= 0 uses
+// DefaultShards; n is rounded up to a power of two).
+func NewShardedTrie[V comparable](n int) *ShardedTrie[V] {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	t := &ShardedTrie[V]{
+		shards: make([]trieShard[V], pow),
+		seed:   maphash.MakeSeed(),
+	}
+	for i := range t.shards {
+		t.shards[i].trie = NewTrie[V]()
+	}
+	return t
+}
+
+// NumShards returns the shard count.
+func (t *ShardedTrie[V]) NumShards() int { return len(t.shards) }
+
+// firstSegment extracts the first path segment of a validated topic or
+// pattern without allocating.
+func firstSegment(s string) string {
+	if len(s) < 2 || s[0] != '/' {
+		return ""
+	}
+	rest := s[1:]
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == '/' {
+			return rest[:i]
+		}
+	}
+	return rest
+}
+
+// shardOf maps a concrete first segment to its shard index.
+func (t *ShardedTrie[V]) shardOf(seg string) int {
+	return int(maphash.String(t.seed, seg) & uint64(len(t.shards)-1))
+}
+
+// ShardFor returns the shard index a concrete topic resolves to.
+func (t *ShardedTrie[V]) ShardFor(topic string) int {
+	return t.shardOf(firstSegment(topic))
+}
+
+// wildcardFirst reports whether the pattern's first segment is "*" or "#"
+// (such patterns are replicated into every shard).
+func wildcardFirst(pattern string) bool {
+	seg := firstSegment(pattern)
+	return seg == Single || seg == Rest
+}
+
+// Add registers subscriber v under pattern. Malformed patterns error.
+func (t *ShardedTrie[V]) Add(pattern string, v V) error {
+	if err := ValidatePattern(pattern); err != nil {
+		return err
+	}
+	if wildcardFirst(pattern) {
+		for i := range t.shards {
+			s := &t.shards[i]
+			s.mu.Lock()
+			err := s.trie.Add(pattern, v)
+			s.epoch.Add(1)
+			s.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	s := &t.shards[t.shardOf(firstSegment(pattern))]
+	s.mu.Lock()
+	err := s.trie.Add(pattern, v)
+	s.epoch.Add(1)
+	s.mu.Unlock()
+	return err
+}
+
+// Remove unregisters subscriber v from pattern, reporting whether the
+// entry existed.
+func (t *ShardedTrie[V]) Remove(pattern string, v V) bool {
+	if wildcardFirst(pattern) {
+		removed := false
+		for i := range t.shards {
+			s := &t.shards[i]
+			s.mu.Lock()
+			if s.trie.Remove(pattern, v) {
+				removed = true
+			}
+			s.epoch.Add(1)
+			s.mu.Unlock()
+		}
+		return removed
+	}
+	if ValidatePattern(pattern) != nil {
+		return false
+	}
+	s := &t.shards[t.shardOf(firstSegment(pattern))]
+	s.mu.Lock()
+	removed := s.trie.Remove(pattern, v)
+	s.epoch.Add(1)
+	s.mu.Unlock()
+	return removed
+}
+
+// RemoveAll unregisters v everywhere and returns the number of trie
+// entries removed. Wildcard-first patterns are replicated per shard, so
+// each replica counts; callers needing distinct-pattern counts should
+// track patterns themselves (the broker does, via session bookkeeping).
+func (t *ShardedTrie[V]) RemoveAll(v V) int {
+	removed := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		removed += s.trie.RemoveAll(v)
+		s.epoch.Add(1)
+		s.mu.Unlock()
+	}
+	return removed
+}
+
+// Match appends every subscriber matching the concrete topic to dst.
+func (t *ShardedTrie[V]) Match(topic string, dst []V) []V {
+	matched, _ := t.MatchEpoch(topic, dst)
+	return matched
+}
+
+// MatchEpoch is Match plus the shard epoch sampled before matching.
+// A cache entry stored with this epoch is valid while Epoch(topic) still
+// returns the same value: any concurrent mutation that could change the
+// match result bumps the shard epoch, so a stale entry can never be
+// observed as fresh.
+func (t *ShardedTrie[V]) MatchEpoch(topic string, dst []V) ([]V, uint64) {
+	return t.MatchEpochAt(t.ShardFor(topic), topic, dst)
+}
+
+// MatchEpochAt is MatchEpoch for a shard index already resolved via
+// ShardFor, sparing hot paths a repeated hash of the topic.
+func (t *ShardedTrie[V]) MatchEpochAt(shard int, topic string, dst []V) ([]V, uint64) {
+	s := &t.shards[shard]
+	epoch := s.epoch.Load()
+	s.mu.RLock()
+	dst = s.trie.Match(topic, dst)
+	s.mu.RUnlock()
+	return dst, epoch
+}
+
+// Epoch returns the current mutation epoch of the shard owning topic.
+func (t *ShardedTrie[V]) Epoch(topic string) uint64 {
+	return t.EpochAt(t.ShardFor(topic))
+}
+
+// EpochAt returns the mutation epoch of the shard at an index already
+// resolved via ShardFor.
+func (t *ShardedTrie[V]) EpochAt(shard int) uint64 {
+	return t.shards[shard].epoch.Load()
+}
+
+// Len returns the number of (pattern, subscriber) entries; wildcard-first
+// replicas count once.
+func (t *ShardedTrie[V]) Len() int {
+	total := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		if i == 0 {
+			total += s.trie.Len()
+		} else {
+			// Subtract this shard's replicas of wildcard-first patterns:
+			// they are exactly the entries shard 0 also holds with a
+			// wildcard first segment.
+			total += s.trie.Len() - countWildcardFirst(s.trie)
+		}
+		s.mu.RUnlock()
+	}
+	return total
+}
+
+// countWildcardFirst counts entries under a top-level "*" or "#" segment.
+func countWildcardFirst[V comparable](tr *Trie[V]) int {
+	n := 0
+	root := tr.root
+	n += len(root.rest) // "/#"
+	if c, ok := root.children[Single]; ok {
+		n += countEntries(c)
+	}
+	return n
+}
+
+func countEntries[V comparable](n *node[V]) int {
+	total := len(n.exact) + len(n.rest)
+	for _, c := range n.children {
+		total += countEntries(c)
+	}
+	return total
+}
+
+// Patterns returns every registered pattern, sorted, de-duplicating
+// wildcard-first replicas.
+func (t *ShardedTrie[V]) Patterns() []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		ps := s.trie.Patterns()
+		s.mu.RUnlock()
+		for _, p := range ps {
+			if _, dup := seen[p]; !dup {
+				seen[p] = struct{}{}
+				out = append(out, p)
+			}
+		}
+	}
+	sortStrings(out)
+	return out
+}

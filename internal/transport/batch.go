@@ -1,0 +1,88 @@
+package transport
+
+import (
+	"github.com/globalmmcs/globalmmcs/internal/event"
+)
+
+// FrameConn is a Conn that can transmit pre-encoded event frames, many
+// per system call. Wire transports (tcp, udp) implement it; in-process
+// pipes do not (they move decoded events by pointer, so there is nothing
+// to batch). A broker session writer detects FrameConn once at startup
+// and switches from per-event Send to encode-once, vectored output.
+type FrameConn interface {
+	Conn
+	// SendFrames transmits the given encoded events. Implementations
+	// issue as few system calls as possible (one vectored write for a
+	// stream transport, one datagram per frame for a datagram
+	// transport). The frame slices are read-only and must not be
+	// retained after the call returns.
+	SendFrames(frames [][]byte) error
+}
+
+// Batcher accumulates encoded event frames destined for one FrameConn
+// and flushes them with a single vectored write. It is the broker data
+// path's outbound aggregation buffer: the session writer drains its send
+// queue into the batcher and flushes on size, on lane policy, or on
+// idle. Not safe for concurrent use — each session writer owns one.
+type Batcher struct {
+	fc       FrameConn
+	frames   [][]byte
+	bytes    int
+	maxBytes int
+}
+
+// DefaultMaxBatchBytes bounds a batch when callers pass maxBytes <= 0.
+// 256 KiB amortises syscall cost across ~200 MTU-sized media events
+// while keeping per-session buffering bounded.
+const DefaultMaxBatchBytes = 256 << 10
+
+// NewBatcher creates a batcher writing to fc. maxBytes <= 0 uses
+// DefaultMaxBatchBytes.
+func NewBatcher(fc FrameConn, maxBytes int) *Batcher {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBatchBytes
+	}
+	return &Batcher{fc: fc, maxBytes: maxBytes}
+}
+
+// Add queues one encoded frame, flushing first if the batch would exceed
+// the size bound. The frame must stay immutable until after Flush.
+func (b *Batcher) Add(frame []byte) error {
+	if b.bytes > 0 && b.bytes+len(frame) > b.maxBytes {
+		if err := b.Flush(); err != nil {
+			return err
+		}
+	}
+	b.frames = append(b.frames, frame)
+	b.bytes += len(frame)
+	if b.bytes >= b.maxBytes {
+		return b.Flush()
+	}
+	return nil
+}
+
+// AddEvent marshals e and queues the encoding.
+func (b *Batcher) AddEvent(e *event.Event) error {
+	return b.Add(event.Marshal(e))
+}
+
+// Pending returns the number of queued frames awaiting Flush.
+func (b *Batcher) Pending() int { return len(b.frames) }
+
+// PendingBytes returns the byte size of the queued frames.
+func (b *Batcher) PendingBytes() int { return b.bytes }
+
+// Flush writes all queued frames in one vectored send. A flush with no
+// pending frames is a no-op.
+func (b *Batcher) Flush() error {
+	if len(b.frames) == 0 {
+		return nil
+	}
+	err := b.fc.SendFrames(b.frames)
+	for i := range b.frames {
+		b.frames[i] = nil
+	}
+	b.frames = b.frames[:0]
+	b.bytes = 0
+	return err
+}

@@ -1,0 +1,235 @@
+package transport
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"github.com/globalmmcs/globalmmcs/internal/event"
+)
+
+// fakeFrameConn records SendFrames calls for batcher assertions.
+type fakeFrameConn struct {
+	mu      sync.Mutex
+	flushes [][][]byte
+}
+
+func (f *fakeFrameConn) SendFrames(frames [][]byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cp := make([][]byte, len(frames))
+	for i, fr := range frames {
+		cp[i] = append([]byte(nil), fr...)
+	}
+	f.flushes = append(f.flushes, cp)
+	return nil
+}
+
+func (f *fakeFrameConn) Send(*event.Event) error     { return nil }
+func (f *fakeFrameConn) Recv() (*event.Event, error) { return nil, ErrClosed }
+func (f *fakeFrameConn) Close() error                { return nil }
+func (f *fakeFrameConn) Label() string               { return "fake" }
+func (f *fakeFrameConn) flushCount() int             { f.mu.Lock(); defer f.mu.Unlock(); return len(f.flushes) }
+func (f *fakeFrameConn) frames(i int) [][]byte       { f.mu.Lock(); defer f.mu.Unlock(); return f.flushes[i] }
+
+func TestBatcherAccumulatesUntilFlush(t *testing.T) {
+	fc := &fakeFrameConn{}
+	b := NewBatcher(fc, 1<<20)
+	f1 := []byte("frame-one")
+	f2 := []byte("frame-two!")
+	if err := b.Add(f1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(f2); err != nil {
+		t.Fatal(err)
+	}
+	if fc.flushCount() != 0 {
+		t.Fatal("batcher flushed before Flush")
+	}
+	if b.Pending() != 2 || b.PendingBytes() != len(f1)+len(f2) {
+		t.Fatalf("pending = %d/%dB", b.Pending(), b.PendingBytes())
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if fc.flushCount() != 1 {
+		t.Fatalf("flushes = %d, want 1", fc.flushCount())
+	}
+	got := fc.frames(0)
+	if len(got) != 2 || !bytes.Equal(got[0], f1) || !bytes.Equal(got[1], f2) {
+		t.Fatalf("flushed frames = %q", got)
+	}
+	if b.Pending() != 0 || b.PendingBytes() != 0 {
+		t.Fatal("batcher not reset after flush")
+	}
+}
+
+func TestBatcherFlushesOnMaxBytes(t *testing.T) {
+	fc := &fakeFrameConn{}
+	b := NewBatcher(fc, 32)
+	frame := make([]byte, 12)
+	for i := 0; i < 3; i++ {
+		if err := b.Add(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 12+12 fits under 32; the third add would exceed, so the first two
+	// flush together and the third waits.
+	if fc.flushCount() != 1 {
+		t.Fatalf("flushes = %d, want 1", fc.flushCount())
+	}
+	if len(fc.frames(0)) != 2 {
+		t.Fatalf("first flush carried %d frames, want 2", len(fc.frames(0)))
+	}
+	if b.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", b.Pending())
+	}
+}
+
+func TestBatcherOversizedFrameFlushesImmediately(t *testing.T) {
+	fc := &fakeFrameConn{}
+	b := NewBatcher(fc, 16)
+	if err := b.Add(make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	// A single frame above maxBytes is sent alone, immediately.
+	if fc.flushCount() != 1 || b.Pending() != 0 {
+		t.Fatalf("flushes=%d pending=%d", fc.flushCount(), b.Pending())
+	}
+}
+
+func TestBatcherEmptyFlushNoop(t *testing.T) {
+	fc := &fakeFrameConn{}
+	b := NewBatcher(fc, 0)
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if fc.flushCount() != 0 {
+		t.Fatal("empty flush reached the conn")
+	}
+}
+
+func TestBatcherAddEvent(t *testing.T) {
+	fc := &fakeFrameConn{}
+	b := NewBatcher(fc, 0)
+	e := event.New("/t/x", event.KindData, []byte("hello"))
+	if err := b.AddEvent(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := event.Unmarshal(fc.frames(0)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Topic != "/t/x" || string(dec.Payload) != "hello" {
+		t.Fatalf("decoded %+v", dec)
+	}
+}
+
+// TestTCPSendFramesRoundTrip sends a mixed batch over a real loopback
+// socket and verifies every frame decodes in order on the far side.
+func TestTCPSendFramesRoundTrip(t *testing.T) {
+	l, err := Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	dialed, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dialed.Close()
+	server := <-accepted
+	defer server.Close()
+
+	fc, ok := dialed.(FrameConn)
+	if !ok {
+		t.Fatal("tcp conn does not implement FrameConn")
+	}
+	var frames [][]byte
+	for i := 0; i < 10; i++ {
+		e := event.New("/batch/x", event.KindRTP, bytes.Repeat([]byte{byte(i)}, 100+i))
+		e.Source = "s"
+		e.ID = uint64(i + 1)
+		frames = append(frames, event.Marshal(e))
+	}
+	// Interleave a buffered Send with SendFrames to check ordering.
+	first := event.New("/batch/first", event.KindData, nil)
+	first.Source = "s"
+	first.ID = 100
+	if err := dialed.Send(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.SendFrames(frames); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Topic != "/batch/first" {
+		t.Fatalf("first event out of order: %s", got.Topic)
+	}
+	for i := 0; i < 10; i++ {
+		got, err := server.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != uint64(i+1) || len(got.Payload) != 100+i {
+			t.Fatalf("frame %d decoded as id=%d len=%d", i, got.ID, len(got.Payload))
+		}
+	}
+}
+
+// TestUDPSendFramesRoundTrip verifies the datagram FrameConn path.
+func TestUDPSendFramesRoundTrip(t *testing.T) {
+	l, err := Listen("udp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	dialed, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dialed.Close()
+	fc := dialed.(FrameConn)
+
+	var frames [][]byte
+	for i := 0; i < 5; i++ {
+		e := event.New("/udp/batch", event.KindRTP, []byte{byte(i)})
+		e.Source = "s"
+		e.ID = uint64(i + 1)
+		frames = append(frames, event.Marshal(e))
+	}
+	if err := fc.SendFrames(frames); err != nil {
+		t.Fatal(err)
+	}
+	accepted, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer accepted.Close()
+	seen := map[uint64]bool{}
+	for i := 0; i < 5; i++ {
+		got, err := accepted.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[got.ID] = true
+	}
+	for i := uint64(1); i <= 5; i++ {
+		if !seen[i] {
+			t.Fatalf("datagram %d lost on loopback", i)
+		}
+	}
+}

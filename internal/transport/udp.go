@@ -54,6 +54,26 @@ func (c *udpDialConn) Send(e *event.Event) error {
 	return nil
 }
 
+var _ FrameConn = (*udpDialConn)(nil)
+
+// SendFrames transmits one datagram per encoded event.
+func (c *udpDialConn) SendFrames(frames [][]byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	for _, f := range frames {
+		if len(f) > maxDatagram {
+			return fmt.Errorf("%w: %d bytes over udp", ErrTooLarge, len(f))
+		}
+		if _, err := c.pc.Write(f); err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return ErrClosed
+			}
+			return fmt.Errorf("transport: udp send: %w", err)
+		}
+	}
+	return nil
+}
+
 func (c *udpDialConn) Recv() (*event.Event, error) {
 	buf := make([]byte, maxDatagram)
 	for {
@@ -229,6 +249,31 @@ func (c *udpServerConn) Send(e *event.Event) error {
 			return ErrClosed
 		}
 		return fmt.Errorf("transport: udp send to %s: %w", c.raddr, err)
+	}
+	return nil
+}
+
+var _ FrameConn = (*udpServerConn)(nil)
+
+// SendFrames transmits one datagram per encoded event.
+func (c *udpServerConn) SendFrames(frames [][]byte) error {
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	for _, f := range frames {
+		if len(f) > maxDatagram {
+			return fmt.Errorf("%w: %d bytes over udp", ErrTooLarge, len(f))
+		}
+		if _, err := c.listener.pc.WriteToUDP(f, c.raddr); err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return ErrClosed
+			}
+			return fmt.Errorf("transport: udp send to %s: %w", c.raddr, err)
+		}
 	}
 	return nil
 }

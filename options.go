@@ -23,6 +23,28 @@ func WithBrokerListen(urls ...string) Option {
 	return func(c *core.Config) { c.BrokerListenURLs = append(c.BrokerListenURLs, urls...) }
 }
 
+// WithBrokerBatching tunes the broker data path's outbound batching:
+// maxBatchBytes bounds the encoded bytes a session writer aggregates
+// before forcing a vectored flush (0 keeps the 256 KiB default), and
+// flushInterval is how long a writer lingers over a non-empty batch once
+// its queue idles, waiting for more traffic to coalesce with (0, the
+// default, flushes immediately on idle — batching then costs no
+// latency). Reliable signalling always flushes immediately regardless.
+func WithBrokerBatching(maxBatchBytes int, flushInterval time.Duration) Option {
+	return func(c *core.Config) {
+		c.BrokerMaxBatchBytes = maxBatchBytes
+		c.BrokerFlushInterval = flushInterval
+	}
+}
+
+// WithBrokerRouteShards sets how many independent locks the broker's
+// subscription-routing state is sharded across (rounded up to a power of
+// two; 0 keeps the default of 16). One shard degenerates to a single
+// routing lock — useful for ablation.
+func WithBrokerRouteShards(n int) Option {
+	return func(c *core.Config) { c.BrokerRouteShards = n }
+}
+
 // WithDomain sets the SIP domain (default "mmcs.local").
 func WithDomain(domain string) Option {
 	return func(c *core.Config) { c.Domain = domain }
