@@ -106,22 +106,31 @@ type FanoutOptions struct {
 	PayloadBytes int
 	// Transport is "tcp" (default) or "mem".
 	Transport string
+	// PublishBatching routes the publishers through the client-side
+	// batching Publisher (WithPublishBatching) so each hands the broker
+	// one write system call per batch instead of one per event.
+	PublishBatching bool
 }
 
 // FanoutReport is the outcome of one fan-out benchmark run. Fields carry
 // JSON tags so reports can be committed as machine-readable baselines.
 type FanoutReport struct {
-	Mode         string  `json:"mode"`
-	Transport    string  `json:"transport"`
-	Subscribers  int     `json:"subscribers"`
-	Publishers   int     `json:"publishers"`
-	Events       int     `json:"events_per_publisher"`
-	PayloadBytes int     `json:"payload_bytes"`
-	Expected     uint64  `json:"expected_deliveries"`
-	Delivered    uint64  `json:"delivered"`
-	ElapsedSec   float64 `json:"elapsed_sec"`
-	EventsPerSec float64 `json:"events_per_sec"`
-	MBPerSec     float64 `json:"mb_per_sec"`
+	Mode            string  `json:"mode"`
+	Transport       string  `json:"transport"`
+	Subscribers     int     `json:"subscribers"`
+	Publishers      int     `json:"publishers"`
+	Events          int     `json:"events_per_publisher"`
+	PayloadBytes    int     `json:"payload_bytes"`
+	PublishBatching bool    `json:"publish_batching"`
+	Expected        uint64  `json:"expected_deliveries"`
+	Delivered       uint64  `json:"delivered"`
+	ElapsedSec      float64 `json:"elapsed_sec"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	MBPerSec        float64 `json:"mb_per_sec"`
+	// PublishElapsedSec / PublishEventsPerSec report the publisher-side
+	// rate: how fast the publishers handed their load to the transport.
+	PublishElapsedSec   float64 `json:"publish_elapsed_sec"`
+	PublishEventsPerSec float64 `json:"publish_events_per_sec"`
 }
 
 // RunFanout measures broker fan-out throughput: Publishers flood one
@@ -131,25 +140,79 @@ type FanoutReport struct {
 // paper's emulated 2003 testbed.
 func RunFanout(opt FanoutOptions) (*FanoutReport, error) {
 	res, err := bench.RunFanout(bench.FanoutConfig{
-		Mode:         broker.Mode(opt.Mode),
-		Subscribers:  opt.Subscribers,
-		Publishers:   opt.Publishers,
-		Events:       opt.Events,
-		PayloadBytes: opt.PayloadBytes,
-		Transport:    opt.Transport,
+		Mode:            broker.Mode(opt.Mode),
+		Subscribers:     opt.Subscribers,
+		Publishers:      opt.Publishers,
+		Events:          opt.Events,
+		PayloadBytes:    opt.PayloadBytes,
+		Transport:       opt.Transport,
+		PublishBatching: opt.PublishBatching,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &FanoutReport{
-		Mode:         res.Mode,
-		Transport:    res.Transport,
-		Subscribers:  res.Subscribers,
+		Mode:                res.Mode,
+		Transport:           res.Transport,
+		Subscribers:         res.Subscribers,
+		Publishers:          res.Publishers,
+		Events:              res.Events,
+		PayloadBytes:        res.PayloadBytes,
+		PublishBatching:     res.PublishBatching,
+		Expected:            res.Expected,
+		Delivered:           res.Delivered,
+		ElapsedSec:          res.ElapsedSec,
+		EventsPerSec:        res.EventsPerSec,
+		MBPerSec:            res.MBPerSec,
+		PublishElapsedSec:   res.PublishElapsedSec,
+		PublishEventsPerSec: res.PublishEventsPerSec,
+	}, nil
+}
+
+// PublishPathOptions parameterises the publish-path benchmark: M
+// publishers hand events to one broker over loopback TCP with no
+// subscribers attached, isolating the client→broker publish path that
+// WithPublishBatching accelerates.
+type PublishPathOptions struct {
+	// Publishers is the number of concurrent publishers (default 4).
+	Publishers int
+	// Events is the number of events each publisher sends (default 20000).
+	Events int
+	// PayloadBytes sizes each event payload (default 1200).
+	PayloadBytes int
+	// Batching enables the client-side batching publisher.
+	Batching bool
+}
+
+// PublishPathReport is the outcome of one publish-path run.
+type PublishPathReport struct {
+	Publishers   int     `json:"publishers"`
+	Events       int     `json:"events_per_publisher"`
+	PayloadBytes int     `json:"payload_bytes"`
+	Batching     bool    `json:"publish_batching"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	MBPerSec     float64 `json:"mb_per_sec"`
+}
+
+// RunPublishPath measures the client→broker publish path: events
+// handed to the broker per second of publisher wall time, batched
+// versus per-event.
+func RunPublishPath(opt PublishPathOptions) (*PublishPathReport, error) {
+	res, err := bench.RunPublishPath(bench.PublishPathConfig{
+		Publishers:   opt.Publishers,
+		Events:       opt.Events,
+		PayloadBytes: opt.PayloadBytes,
+		Batching:     opt.Batching,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &PublishPathReport{
 		Publishers:   res.Publishers,
 		Events:       res.Events,
 		PayloadBytes: res.PayloadBytes,
-		Expected:     res.Expected,
-		Delivered:    res.Delivered,
+		Batching:     res.Batching,
 		ElapsedSec:   res.ElapsedSec,
 		EventsPerSec: res.EventsPerSec,
 		MBPerSec:     res.MBPerSec,

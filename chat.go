@@ -1,11 +1,12 @@
 package globalmmcs
 
 import (
-	"sync"
 	"time"
 
 	"github.com/globalmmcs/globalmmcs/internal/broker"
+	"github.com/globalmmcs/globalmmcs/internal/event"
 	"github.com/globalmmcs/globalmmcs/internal/im"
+	"github.com/globalmmcs/globalmmcs/internal/metrics"
 )
 
 // ChatMessage is one room message.
@@ -51,109 +52,40 @@ type Presence struct {
 	At        time.Time
 }
 
-// pumpSend hands v to ch without ever blocking: when the consumer lags
-// and the buffer is full, the oldest buffered value is displaced — the
-// same best-effort policy the broker applies to slow subscribers. This
-// keeps a dead consumer from wedging the pump goroutine, so delivery
-// channels always close when the underlying subscription does.
-func pumpSend[T any](ch chan T, v T) {
-	for {
-		select {
-		case ch <- v:
-			return
-		default:
+// defaultChatBuffer is the delivery buffer of chat rooms and presence
+// watches absent a WithBuffer option.
+const defaultChatBuffer = 64
+
+// ChatRoom is a Stream of a session room's messages, returned by
+// Session.Chat. Consume with Recv, All or Chan; Close leaves the room.
+type ChatRoom = Stream[ChatMessage]
+
+func newChatRoom(sub *broker.Subscription, reg *metrics.Registry, name string, opts []StreamOption) *ChatRoom {
+	return newStream(sub, reg, name, defaultChatBuffer, func(e *event.Event) (ChatMessage, bool) {
+		m, err := im.ParseChat(e)
+		if err != nil {
+			return ChatMessage{}, false
 		}
-		select {
-		case <-ch: // drop the oldest to make room
-		default:
+		return chatFromInternal(m), true
+	}, nil, opts)
+}
+
+// PresenceWatch is a Stream of a community's presence updates, returned
+// by Client.WatchPresence.
+type PresenceWatch = Stream[Presence]
+
+func newPresenceWatch(sub *broker.Subscription, reg *metrics.Registry, name string, opts []StreamOption) *PresenceWatch {
+	return newStream(sub, reg, name, defaultChatBuffer, func(e *event.Event) (Presence, bool) {
+		p, err := im.ParsePresence(e)
+		if err != nil {
+			return Presence{}, false
 		}
-	}
-}
-
-// ChatRoom delivers a session room's messages on a channel. Slow
-// consumers lose the oldest buffered messages rather than stalling
-// delivery.
-type ChatRoom struct {
-	sub *broker.Subscription
-	ch  chan ChatMessage
-
-	once sync.Once
-	wg   sync.WaitGroup
-}
-
-func newChatRoom(sub *broker.Subscription) *ChatRoom {
-	r := &ChatRoom{sub: sub, ch: make(chan ChatMessage, 64)}
-	r.wg.Add(1)
-	go func() {
-		defer r.wg.Done()
-		defer close(r.ch)
-		for e := range sub.C() {
-			m, err := im.ParseChat(e)
-			if err != nil {
-				continue
-			}
-			pumpSend(r.ch, chatFromInternal(m))
-		}
-	}()
-	return r
-}
-
-// C returns the delivery channel. It is closed when the room is closed
-// or the client disconnects.
-func (r *ChatRoom) C() <-chan ChatMessage { return r.ch }
-
-// Close leaves the room and closes the delivery channel.
-func (r *ChatRoom) Close() error {
-	var err error
-	r.once.Do(func() {
-		err = r.sub.Cancel()
-		r.wg.Wait()
-	})
-	return err
-}
-
-// PresenceWatch delivers a community's presence updates on a channel.
-type PresenceWatch struct {
-	sub *broker.Subscription
-	ch  chan Presence
-
-	once sync.Once
-	wg   sync.WaitGroup
-}
-
-func newPresenceWatch(sub *broker.Subscription) *PresenceWatch {
-	w := &PresenceWatch{sub: sub, ch: make(chan Presence, 64)}
-	w.wg.Add(1)
-	go func() {
-		defer w.wg.Done()
-		defer close(w.ch)
-		for e := range sub.C() {
-			p, err := im.ParsePresence(e)
-			if err != nil {
-				continue
-			}
-			pumpSend(w.ch, Presence{
-				User:      p.User,
-				Community: p.Community,
-				Status:    PresenceStatus(p.Status),
-				Note:      p.Note,
-				At:        time.Unix(0, p.At),
-			})
-		}
-	}()
-	return w
-}
-
-// C returns the delivery channel. It is closed when the watch is closed
-// or the client disconnects.
-func (w *PresenceWatch) C() <-chan Presence { return w.ch }
-
-// Close stops the watch and closes the delivery channel.
-func (w *PresenceWatch) Close() error {
-	var err error
-	w.once.Do(func() {
-		err = w.sub.Cancel()
-		w.wg.Wait()
-	})
-	return err
+		return Presence{
+			User:      p.User,
+			Community: p.Community,
+			Status:    PresenceStatus(p.Status),
+			Note:      p.Note,
+			At:        time.Unix(0, p.At),
+		}, true
+	}, nil, opts)
 }

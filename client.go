@@ -104,13 +104,15 @@ func (c *Client) SetPresence(ctx context.Context, community string, status Prese
 	return wrapErr(c.c.Chat.SetPresence(community, internalStatus(status), note))
 }
 
-// WatchPresence subscribes to every presence update of a community.
-func (c *Client) WatchPresence(ctx context.Context, community string) (*PresenceWatch, error) {
-	sub, err := c.c.Chat.WatchCommunity(ctx, community)
+// WatchPresence streams every presence update of a community. Delivery
+// QoS is set with StreamOptions.
+func (c *Client) WatchPresence(ctx context.Context, community string, opts ...StreamOption) (*PresenceWatch, error) {
+	sub, err := c.c.Chat.WatchCommunity(ctx, community, brokerDepth(streamBuffer(defaultChatBuffer, opts)))
 	if err != nil {
 		return nil, wrapErr(err)
 	}
-	return newPresenceWatch(sub), nil
+	name := c.c.UserID() + ".presence." + community
+	return newPresenceWatch(sub, c.c.Metrics, name, opts), nil
 }
 
 type errSessionID string

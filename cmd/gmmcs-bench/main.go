@@ -7,6 +7,10 @@
 //     audio clients.
 //   - "-exp videocap": the §3.2 claim that one broker supports >400
 //     video clients.
+//   - "-exp fanout": raw broker fan-out throughput at host speed, with
+//     publishers per-event and batched (the format of BENCH_broker.json).
+//   - "-exp pubpath": the client→broker publish path in isolation,
+//     per-event versus batched publishing.
 //
 // Full paper-scale runs take a few minutes (they are paced in real time
 // like the original testbed); -scale shrinks them for a quick look.
@@ -32,7 +36,7 @@ func main() {
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "fig3", "experiment: fig3, audiocap, videocap, fanout, all")
+		exp    = flag.String("exp", "fig3", "experiment: fig3, audiocap, videocap, fanout, pubpath, all")
 		scale  = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper scale)")
 		outDir = flag.String("out", "bench-out", "directory for TSV series dumps")
 		subs   = flag.Int("fanout-subs", 64, "fanout: subscriber count")
@@ -52,6 +56,8 @@ func run() error {
 		return runCapacity(globalmmcs.Video, *scale)
 	case "fanout":
 		return runFanout(*subs, *pubs, *events)
+	case "pubpath":
+		return runPubPath(*pubs)
 	case "all":
 		if err := runFig3(*scale, *outDir); err != nil {
 			return err
@@ -62,31 +68,76 @@ func run() error {
 		if err := runCapacity(globalmmcs.Video, *scale); err != nil {
 			return err
 		}
-		return runFanout(*subs, *pubs, *events)
+		if err := runFanout(*subs, *pubs, *events); err != nil {
+			return err
+		}
+		return runPubPath(*pubs)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
 }
 
-// runFanout measures raw broker fan-out throughput in both routing modes
-// and prints the reports as a JSON array (the format of BENCH_broker.json).
+// runPubPath compares the client→broker publish path per-event versus
+// batched (no subscribers, so fan-out work cannot mask the difference)
+// and prints the reports as a JSON array.
+func runPubPath(pubs int) error {
+	fmt.Fprintf(os.Stderr, "=== Publish path: %d publishers to one broker over loopback TCP, no subscribers ===\n", pubs)
+	var reports []*globalmmcs.PublishPathReport
+	for _, batching := range []bool{false, true} {
+		res, err := globalmmcs.RunPublishPath(globalmmcs.PublishPathOptions{
+			Publishers: pubs,
+			Batching:   batching,
+		})
+		if err != nil {
+			return fmt.Errorf("pubpath: %w", err)
+		}
+		label := "per-event publish"
+		if batching {
+			label = "batched publish"
+		}
+		fmt.Fprintf(os.Stderr, "%-18s %12.0f events/s %10.1f MB/s\n", label, res.EventsPerSec, res.MBPerSec)
+		reports = append(reports, res)
+	}
+	if len(reports) == 2 && reports[0].EventsPerSec > 0 {
+		fmt.Fprintf(os.Stderr, "batched/per-event speedup: %.2fx\n",
+			reports[1].EventsPerSec/reports[0].EventsPerSec)
+	}
+	out, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+// runFanout measures raw broker fan-out throughput in both routing
+// modes, with the publishers unbatched and then batched (the
+// WithPublishBatching client path), and prints the reports as a JSON
+// array (the format of BENCH_broker.json).
 func runFanout(subs, pubs, events int) error {
 	fmt.Fprintf(os.Stderr, "=== Fan-out: %d subscribers x %d publishers x %d events over loopback TCP ===\n",
 		subs, pubs, events)
 	var reports []*globalmmcs.FanoutReport
 	for _, mode := range []globalmmcs.BrokerMode{globalmmcs.BrokerClientServer, globalmmcs.BrokerPeerToPeer} {
-		res, err := globalmmcs.RunFanout(globalmmcs.FanoutOptions{
-			Mode:        mode,
-			Subscribers: subs,
-			Publishers:  pubs,
-			Events:      events,
-		})
-		if err != nil {
-			return fmt.Errorf("fanout %s: %w", mode, err)
+		for _, batching := range []bool{false, true} {
+			res, err := globalmmcs.RunFanout(globalmmcs.FanoutOptions{
+				Mode:            mode,
+				Subscribers:     subs,
+				Publishers:      pubs,
+				Events:          events,
+				PublishBatching: batching,
+			})
+			if err != nil {
+				return fmt.Errorf("fanout %s: %w", mode, err)
+			}
+			label := "per-event publish"
+			if batching {
+				label = "batched publish"
+			}
+			fmt.Fprintf(os.Stderr, "%-14s %-18s %12.0f events/s %10.1f MB/s  pub %12.0f events/s  delivered %d/%d\n",
+				res.Mode, label, res.EventsPerSec, res.MBPerSec, res.PublishEventsPerSec, res.Delivered, res.Expected)
+			reports = append(reports, res)
 		}
-		fmt.Fprintf(os.Stderr, "%-14s %12.0f events/s %10.1f MB/s  delivered %d/%d\n",
-			res.Mode, res.EventsPerSec, res.MBPerSec, res.Delivered, res.Expected)
-		reports = append(reports, res)
 	}
 	out, err := json.MarshalIndent(reports, "", "  ")
 	if err != nil {

@@ -30,6 +30,8 @@ func run() error {
 		webAddr   = flag.String("web", "127.0.0.1:8070", "XGSP web server HTTP address")
 		brokerURL = flag.String("broker", "tcp://127.0.0.1:9040", "broker listen URL (tcp:// or udp://)")
 		domain    = flag.String("domain", "mmcs.local", "SIP domain")
+		batch     = flag.Int("max-batch-bytes", 0, "broker per-session write batch bound (0 = default 256KiB)")
+		flush     = flag.Duration("flush-interval", 0, "broker batch linger once a session queue idles (0 = flush immediately)")
 		noSIP     = flag.Bool("no-sip", false, "disable the SIP servers")
 		noH323    = flag.Bool("no-h323", false, "disable the H.323 servers")
 		noRTSP    = flag.Bool("no-rtsp", false, "disable the streaming server")
@@ -44,6 +46,7 @@ func run() error {
 		globalmmcs.WithWebAddr(*webAddr),
 		globalmmcs.WithBrokerListen(*brokerURL),
 		globalmmcs.WithDomain(*domain),
+		globalmmcs.WithBrokerBatching(*batch, *flush),
 	}
 	if *noSIP {
 		opts = append(opts, globalmmcs.WithoutSIP())

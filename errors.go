@@ -48,6 +48,11 @@ var (
 	// ErrNoSuchMedia reports a media operation on a channel kind the
 	// session does not carry.
 	ErrNoSuchMedia = errors.New("globalmmcs: session has no such media channel")
+	// ErrStreamClosed reports a Recv on a Stream that was closed (and
+	// whose buffered events are exhausted).
+	ErrStreamClosed = errors.New("globalmmcs: stream closed")
+	// ErrPublisherClosed reports a Publish on a closed Publisher.
+	ErrPublisherClosed = errors.New("globalmmcs: publisher closed")
 )
 
 // taggedErr pairs a public sentinel with the underlying cause so both
@@ -99,6 +104,8 @@ func wrapErr(err error) error {
 		return tag(ErrTimeout, err)
 	case errors.Is(err, xgsp.ErrClosed), errors.Is(err, broker.ErrClientClosed):
 		return tag(ErrNotConnected, err)
+	case errors.Is(err, broker.ErrPublisherClosed):
+		return tag(ErrPublisherClosed, err)
 	case errors.Is(err, core.ErrStopped), errors.Is(err, broker.ErrBrokerStopped):
 		return tag(ErrServerStopped, err)
 	case errors.Is(err, core.ErrSessionNotFound):

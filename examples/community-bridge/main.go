@@ -102,16 +102,17 @@ func run(ctx context.Context) error {
 	}
 	admUser.Send(raw)
 
-	select {
-	case pkt := <-mmcsSub.C():
-		p, err := pkt.RTP()
-		if err != nil {
-			return err
-		}
-		fmt.Printf("MMCS user heard Admire audio (seq %d)\n", p.SequenceNumber)
-	case <-time.After(5 * time.Second):
-		return fmt.Errorf("admire audio never reached MMCS")
+	pktCtx, cancelPkt := context.WithTimeout(ctx, 5*time.Second)
+	pkt, err := mmcsSub.Recv(pktCtx)
+	cancelPkt()
+	if err != nil {
+		return fmt.Errorf("admire audio never reached MMCS: %w", err)
 	}
+	p, err := pkt.RTP()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("MMCS user heard Admire audio (seq %d)\n", p.SequenceNumber)
 	select {
 	case data := <-agUser.RecvAudio():
 		p, err := globalmmcs.ParseRTP(data)

@@ -117,15 +117,17 @@ func run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	defer lecturerRoom.Close()
 	if err := studentSession.Send(ctx, "could you repeat the CAP theorem part?"); err != nil {
 		return err
 	}
-	select {
-	case q := <-lecturerRoom.C():
-		fmt.Printf("question from %s: %s\n", q.From, q.Body)
-	case <-time.After(5 * time.Second):
-		return fmt.Errorf("question never arrived")
+	qCtx, cancelQ := context.WithTimeout(ctx, 5*time.Second)
+	q, err := lecturerRoom.Recv(qCtx)
+	cancelQ()
+	if err != nil {
+		return fmt.Errorf("question never arrived: %w", err)
 	}
+	fmt.Printf("question from %s: %s\n", q.From, q.Body)
 
 	// The lecturer speaks for two seconds.
 	sender, err := session.Sender(globalmmcs.Audio)
@@ -169,15 +171,13 @@ func run(ctx context.Context) error {
 		return err
 	}
 	got := 0
-	deadline := time.After(5 * time.Second)
-drain:
+	drainCtx, cancelDrain := context.WithTimeout(ctx, 5*time.Second)
+	defer cancelDrain()
 	for got < replayed {
-		select {
-		case <-lateSub.C():
-			got++
-		case <-deadline:
-			break drain
+		if _, err := lateSub.Recv(drainCtx); err != nil {
+			break
 		}
+		got++
 	}
 	fmt.Printf("replayed %d packets; late student received %d\n", replayed, got)
 	fmt.Println("distance lecture complete")

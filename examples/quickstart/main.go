@@ -2,6 +2,14 @@
 // two users join, exchange chat and a short burst of audio — using only
 // the public globalmmcs SDK.
 //
+// Every subscription in the SDK is a Stream: chat rooms, presence
+// watches and media subscriptions all deliver through the same typed
+// handle, consumed with Recv (blocking, context-aware), All (a Go
+// iterator) or Chan (select-based). Per-stream QoS — buffer depth, the
+// full-buffer drop policy, SSRC conflation, lag callbacks — is chosen
+// with options at subscribe time instead of being baked into each
+// feature.
+//
 // Run with:
 //
 //	go run ./examples/quickstart
@@ -65,22 +73,29 @@ func run(ctx context.Context) error {
 		return err
 	}
 
-	// Chat: bob joins the room, alice greets.
+	// Chat: bob joins the room as a Stream of ChatMessage, alice greets,
+	// bob receives with Recv — one call, bounded by the context.
 	room, err := bobSession.Chat(ctx)
 	if err != nil {
 		return err
 	}
+	defer room.Close()
 	if err := session.Send(ctx, "hi bob — testing the new middleware"); err != nil {
 		return err
 	}
-	select {
-	case msg := <-room.C():
-		fmt.Printf("chat: <%s> %s\n", msg.From, msg.Body)
-	case <-time.After(5 * time.Second):
-		return fmt.Errorf("chat message never arrived")
+	recvCtx, cancelRecv := context.WithTimeout(ctx, 5*time.Second)
+	msg, err := room.Recv(recvCtx)
+	cancelRecv()
+	if err != nil {
+		return fmt.Errorf("chat message never arrived: %w", err)
 	}
+	fmt.Printf("chat: <%s> %s\n", msg.From, msg.Body)
 
-	// Media: alice streams one second of audio; bob receives and measures.
+	// Media: alice streams one second of audio; bob receives and
+	// measures, ranging over the stream with the All iterator. The
+	// subscription keeps the default media QoS (drop-oldest, 256-deep) —
+	// a slow consumer would lose the stalest packets, counted on the
+	// stream's Drops and the node's metrics rather than silently.
 	audioSub, err := bobSession.Subscribe(ctx, globalmmcs.Audio, 256)
 	if err != nil {
 		return err
@@ -89,7 +104,12 @@ func run(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		recv.Drain(ctx, audioSub)
+		for p, err := range audioSub.All(ctx) {
+			if err != nil {
+				return
+			}
+			recv.Handle(p)
+		}
 	}()
 
 	sender, err := session.Sender(globalmmcs.Audio)
@@ -100,14 +120,14 @@ func run(ctx context.Context) error {
 		return err
 	}
 	time.Sleep(200 * time.Millisecond) // let the tail drain
-	if err := audioSub.Cancel(); err != nil {
+	if err := audioSub.Close(); err != nil {
 		return err
 	}
 	<-done
 
 	stats := recv.Stats()
-	fmt.Printf("media: bob received %d packets (%d bytes), mean delay %.2f ms, jitter %.2f ms, lost %d\n",
-		stats.Received, stats.Bytes, stats.MeanDelayMs, stats.JitterMs, stats.Lost)
+	fmt.Printf("media: bob received %d packets (%d bytes), mean delay %.2f ms, jitter %.2f ms, lost %d, stream drops %d\n",
+		stats.Received, stats.Bytes, stats.MeanDelayMs, stats.JitterMs, stats.Lost, audioSub.Drops())
 	fmt.Println("quickstart complete")
 	return nil
 }

@@ -116,6 +116,15 @@ func run(ctx context.Context) error {
 	}
 	fmt.Println("prof-fox holds the video floor; streaming 2 seconds of video")
 
+	// Watch the session's raw event stream while the video flows: every
+	// modality — RTP, chat, signalling — is an event on the broker
+	// substrate, and Session.Events taps it directly.
+	events, err := session.Events(ctx, globalmmcs.WithBuffer(1024))
+	if err != nil {
+		return err
+	}
+	defer events.Close()
+
 	sender, err := session.Sender(globalmmcs.Video)
 	if err != nil {
 		return err
@@ -126,6 +135,42 @@ func run(ctx context.Context) error {
 		return err
 	}
 	fmt.Printf("published %d video packets at ~600 Kbps\n", sent)
+
+	// A gateway-style bulk sender: the batched Publisher hands the
+	// broker one write per batch instead of one per packet — how a
+	// relay pumping many RTP streams would publish.
+	bulk, err := session.Publisher(globalmmcs.Audio,
+		globalmmcs.WithPublishBatching(64<<10, time.Millisecond))
+	if err != nil {
+		return err
+	}
+	bulkSrc := globalmmcs.NewAudioSource(globalmmcs.AudioConfig{SSRC: 0x42})
+	for range 50 {
+		pkt, err := bulkSrc.NextPacket()
+		if err != nil {
+			return err
+		}
+		if err := bulk.Publish(pkt); err != nil {
+			return err
+		}
+	}
+	if err := bulk.Close(); err != nil {
+		return err
+	}
+	fmt.Println("bulk-published 50 more packets through the batching publisher")
+
+	// Tally what the raw event tap saw.
+	tallyCtx, cancelTally := context.WithTimeout(ctx, 2*time.Second)
+	kinds := map[string]int{}
+	for kinds["rtp"] < sent+50 {
+		e, err := events.Recv(tallyCtx)
+		if err != nil {
+			break
+		}
+		kinds[e.Kind]++
+	}
+	cancelTally()
+	fmt.Printf("raw session event tap saw %d rtp events\n", kinds["rtp"])
 
 	// The SIP endpoint sends audio through its gateway port; the H.323
 	// endpoint hears it on its own RTP socket.

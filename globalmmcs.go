@@ -25,6 +25,21 @@
 //	session, err := alice.CreateSession(ctx, "standup")
 //	if errors.Is(err, globalmmcs.ErrTimeout) { ... }
 //
+// Every subscription — chat rooms, presence watches, media channels,
+// raw session events — is a Stream[T]: one typed handle consumed with
+// Recv, All or Chan, closed with Close, and tuned per subscription with
+// QoS options (WithBuffer, WithDropPolicy, WithConflation,
+// WithLagNotify). The send side mirrors it with Session.Publisher and
+// per-handle options (WithReliable, WithTTL, WithPublishBatching):
+//
+//	room, err := session.Chat(ctx, globalmmcs.WithBuffer(128))
+//	if err != nil { ... }
+//	defer room.Close()
+//	for msg, err := range room.All(ctx) {
+//	    if err != nil { ... }
+//	    fmt.Println(msg.From, msg.Body)
+//	}
+//
 // See the examples/ directory for complete programs and DESIGN.md for
 // the architecture, including the §5 substitutions this reproduction
 // makes for the paper's original building blocks.
@@ -37,7 +52,7 @@ import (
 )
 
 // Version is the release version of this reproduction.
-const Version = "2.0.0"
+const Version = "2.1.0"
 
 // Server is a running Global-MMCS node.
 type Server struct {

@@ -100,16 +100,17 @@ func TestPublicLifecycle(t *testing.T) {
 	if err := session.Send(ctx, "hello bob"); err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case msg := <-room.C():
-		if msg.From != "alice" || msg.Body != "hello bob" || msg.SessionID != session.ID() {
-			t.Fatalf("msg = %+v", msg)
-		}
-		if msg.At.IsZero() {
-			t.Fatal("msg.At is zero")
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("chat never arrived")
+	msgCtx, cancelMsg := context.WithTimeout(ctx, 5*time.Second)
+	msg, err := room.Recv(msgCtx)
+	cancelMsg()
+	if err != nil {
+		t.Fatalf("chat never arrived: %v", err)
+	}
+	if msg.From != "alice" || msg.Body != "hello bob" || msg.SessionID != session.ID() {
+		t.Fatalf("msg = %+v", msg)
+	}
+	if msg.At.IsZero() {
+		t.Fatal("msg.At is zero")
 	}
 
 	// The server-side IM service recorded the room history.
@@ -140,27 +141,27 @@ func TestPublicLifecycle(t *testing.T) {
 	}
 	recv := globalmmcs.NewMediaReceiver(globalmmcs.Audio)
 	got := 0
-	timeout := time.After(5 * time.Second)
+	mediaCtx, cancelMedia := context.WithTimeout(ctx, 5*time.Second)
 	for got < 10 {
-		select {
-		case p := <-sub.C():
-			recv.Handle(p)
-			rtp, err := p.RTP()
-			if err != nil {
-				t.Fatal(err)
-			}
-			if rtp.SSRC == 0 {
-				t.Fatal("rtp ssrc missing")
-			}
-			got++
-		case <-timeout:
-			t.Fatalf("received %d/10 packets", got)
+		p, err := sub.Recv(mediaCtx)
+		if err != nil {
+			t.Fatalf("received %d/10 packets: %v", got, err)
 		}
+		recv.Handle(p)
+		rtp, err := p.RTP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rtp.SSRC == 0 {
+			t.Fatal("rtp ssrc missing")
+		}
+		got++
 	}
+	cancelMedia()
 	if stats := recv.Stats(); stats.Received != 10 || stats.Lost != 0 {
 		t.Fatalf("stats = %+v", stats)
 	}
-	if err := sub.Cancel(); err != nil {
+	if err := sub.Close(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -173,13 +174,14 @@ func TestPublicLifecycle(t *testing.T) {
 	if err := alice.SetPresence(ctx, "global", globalmmcs.StatusBusy, "in standup"); err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case p := <-watch.C():
-		if p.User != "alice" || p.Status != globalmmcs.StatusBusy {
-			t.Fatalf("presence = %+v", p)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("presence never arrived")
+	presCtx, cancelPres := context.WithTimeout(ctx, 5*time.Second)
+	p, err := watch.Recv(presCtx)
+	cancelPres()
+	if err != nil {
+		t.Fatalf("presence never arrived: %v", err)
+	}
+	if p.User != "alice" || p.Status != globalmmcs.StatusBusy {
+		t.Fatalf("presence = %+v", p)
 	}
 
 	// Server-side lookup sees the same session.
@@ -405,14 +407,13 @@ func TestArchiveRoundTrip(t *testing.T) {
 		t.Fatalf("replayed %d/10", n)
 	}
 	got := 0
-	timeout := time.After(5 * time.Second)
+	replayCtx, cancelReplay := context.WithTimeout(ctx, 5*time.Second)
+	defer cancelReplay()
 	for got < n {
-		select {
-		case <-replaySub.C():
-			got++
-		case <-timeout:
-			t.Fatalf("late subscriber got %d/%d", got, n)
+		if _, err := replaySub.Recv(replayCtx); err != nil {
+			t.Fatalf("late subscriber got %d/%d: %v", got, n, err)
 		}
+		got++
 	}
 }
 

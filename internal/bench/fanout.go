@@ -33,6 +33,12 @@ type FanoutConfig struct {
 	// full encode/frame/write path over loopback sockets; "mem" isolates
 	// routing and queueing with zero serialisation cost.
 	Transport string
+	// PubTransport overrides the publishers' link ("" follows
+	// Transport). "tcp" publishers with "mem" subscribers isolate the
+	// client→broker publish path: fan-out costs no syscalls, so the
+	// publisher-side rate reflects publish-side encode/write work — the
+	// configuration that exposes what publish batching buys a gateway.
+	PubTransport string
 	// QueueDepth overrides the broker's per-session best-effort queue
 	// depth. Default 8192 (deep enough that drops reflect sustained
 	// overload, not bursts).
@@ -45,6 +51,17 @@ type FanoutConfig struct {
 	// MaxBatchBytes is the broker's batch size bound. 0 keeps the broker
 	// default.
 	MaxBatchBytes int
+	// PublishBatching routes publishers through the client-side batching
+	// Publisher (one write syscall per batch on the client→broker
+	// direction) instead of one Publish syscall per event — the
+	// gateway-sender configuration.
+	PublishBatching bool
+	// PublishMaxBatchBytes bounds a client-side publish batch (0 keeps
+	// the transport default).
+	PublishMaxBatchBytes int
+	// PublishFlushInterval bounds the client-side batch linger (0 keeps
+	// the publisher default of 1ms).
+	PublishFlushInterval time.Duration
 }
 
 func (c FanoutConfig) withDefaults() FanoutConfig {
@@ -66,6 +83,9 @@ func (c FanoutConfig) withDefaults() FanoutConfig {
 	if c.Transport == "" {
 		c.Transport = "tcp"
 	}
+	if c.PubTransport == "" {
+		c.PubTransport = c.Transport
+	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 8192
 	}
@@ -80,26 +100,46 @@ func (c FanoutConfig) withDefaults() FanoutConfig {
 
 // FanoutResult reports one benchmark run.
 type FanoutResult struct {
-	Mode         string  `json:"mode"`
-	Transport    string  `json:"transport"`
-	Subscribers  int     `json:"subscribers"`
-	Publishers   int     `json:"publishers"`
-	Events       int     `json:"events_per_publisher"`
-	PayloadBytes int     `json:"payload_bytes"`
-	Expected     uint64  `json:"expected_deliveries"`
-	Delivered    uint64  `json:"delivered"`
-	ElapsedSec   float64 `json:"elapsed_sec"`
+	Mode      string `json:"mode"`
+	Transport string `json:"transport"`
+	// PubTransport is the publishers' link when it differs from
+	// Transport ("" otherwise).
+	PubTransport    string  `json:"pub_transport,omitempty"`
+	Subscribers     int     `json:"subscribers"`
+	Publishers      int     `json:"publishers"`
+	Events          int     `json:"events_per_publisher"`
+	PayloadBytes    int     `json:"payload_bytes"`
+	PublishBatching bool    `json:"publish_batching"`
+	Expected        uint64  `json:"expected_deliveries"`
+	Delivered       uint64  `json:"delivered"`
+	ElapsedSec      float64 `json:"elapsed_sec"`
 	// EventsPerSec is delivered events per second of wall time — the
 	// headline fan-out throughput number.
 	EventsPerSec float64 `json:"events_per_sec"`
 	// MBPerSec is the equivalent payload goodput.
 	MBPerSec float64 `json:"mb_per_sec"`
+	// PublishElapsedSec is how long the publishers took to hand their
+	// whole load to the transport (including final flushes).
+	PublishElapsedSec float64 `json:"publish_elapsed_sec"`
+	// PublishEventsPerSec is the publisher-side rate: events published
+	// per second of publish wall time, the number client-side batching
+	// exists to raise.
+	PublishEventsPerSec float64 `json:"publish_events_per_sec"`
 }
 
 func (r FanoutResult) String() string {
-	return fmt.Sprintf("fanout %s/%s subs=%d pubs=%d delivered=%d/%d %.0f ev/s %.1f MB/s",
-		r.Mode, r.Transport, r.Subscribers, r.Publishers,
-		r.Delivered, r.Expected, r.EventsPerSec, r.MBPerSec)
+	return fmt.Sprintf("fanout %s/%s subs=%d pubs=%d batch=%v delivered=%d/%d %.0f ev/s %.1f MB/s pub %.0f ev/s",
+		r.Mode, r.Transport, r.Subscribers, r.Publishers, r.PublishBatching,
+		r.Delivered, r.Expected, r.EventsPerSec, r.MBPerSec, r.PublishEventsPerSec)
+}
+
+// pubTransportLabel reports the publishers' transport only when it
+// differs from the subscribers'.
+func pubTransportLabel(cfg FanoutConfig) string {
+	if cfg.PubTransport == cfg.Transport {
+		return ""
+	}
+	return cfg.PubTransport
 }
 
 // fanoutTopic is the concrete topic publishers flood.
@@ -109,13 +149,15 @@ const fanoutTopic = "/bench/fanout/stream"
 func RunFanout(cfg FanoutConfig) (FanoutResult, error) {
 	cfg = cfg.withDefaults()
 	res := FanoutResult{
-		Mode:         cfg.Mode.String(),
-		Transport:    cfg.Transport,
-		Subscribers:  cfg.Subscribers,
-		Publishers:   cfg.Publishers,
-		Events:       cfg.Events,
-		PayloadBytes: cfg.PayloadBytes,
-		Expected:     uint64(cfg.Subscribers) * uint64(cfg.Publishers) * uint64(cfg.Events),
+		Mode:            cfg.Mode.String(),
+		Transport:       cfg.Transport,
+		PubTransport:    pubTransportLabel(cfg),
+		Subscribers:     cfg.Subscribers,
+		Publishers:      cfg.Publishers,
+		Events:          cfg.Events,
+		PayloadBytes:    cfg.PayloadBytes,
+		PublishBatching: cfg.PublishBatching,
+		Expected:        uint64(cfg.Subscribers) * uint64(cfg.Publishers) * uint64(cfg.Events),
 	}
 
 	b := broker.New(broker.Config{
@@ -127,21 +169,24 @@ func RunFanout(cfg FanoutConfig) (FanoutResult, error) {
 	})
 	defer b.Stop()
 
-	var dial func(id string) (*broker.Client, error)
-	switch cfg.Transport {
-	case "mem":
-		dial = func(id string) (*broker.Client, error) {
-			return b.LocalClient(id, transport.LinkProfile{})
+	for _, tr := range []string{cfg.Transport, cfg.PubTransport} {
+		if tr != "mem" && tr != "tcp" {
+			return res, fmt.Errorf("bench: unknown fanout transport %q", tr)
 		}
-	case "tcp":
+	}
+	var listenAddr string
+	if cfg.Transport == "tcp" || cfg.PubTransport == "tcp" {
 		l, err := b.Listen("tcp://127.0.0.1:0")
 		if err != nil {
 			return res, err
 		}
-		addr := l.Addr()
-		dial = func(id string) (*broker.Client, error) { return broker.Dial(addr, id) }
-	default:
-		return res, fmt.Errorf("bench: unknown fanout transport %q", cfg.Transport)
+		listenAddr = l.Addr()
+	}
+	dial := func(tr, id string) (*broker.Client, error) {
+		if tr == "mem" {
+			return b.LocalClient(id, transport.LinkProfile{})
+		}
+		return broker.Dial(listenAddr, id)
 	}
 
 	var delivered atomic.Uint64
@@ -157,7 +202,7 @@ func RunFanout(cfg FanoutConfig) (FanoutResult, error) {
 	}()
 	var drainWG sync.WaitGroup
 	for i := 0; i < cfg.Subscribers; i++ {
-		c, err := dial(fmt.Sprintf("fanout-sub-%d", i))
+		c, err := dial(cfg.Transport, fmt.Sprintf("fanout-sub-%d", i))
 		if err != nil {
 			return res, fmt.Errorf("bench: subscriber %d: %w", i, err)
 		}
@@ -182,20 +227,45 @@ func RunFanout(cfg FanoutConfig) (FanoutResult, error) {
 	}
 
 	payload := make([]byte, cfg.PayloadBytes)
+
+	// Dial the publishers before starting the clock so connection
+	// handshakes are not charged to the publish rate.
+	pubs := make([]*broker.Client, 0, cfg.Publishers)
+	for p := 0; p < cfg.Publishers; p++ {
+		c, err := dial(cfg.PubTransport, fmt.Sprintf("fanout-pub-%d", p))
+		if err != nil {
+			return res, fmt.Errorf("bench: publisher %d: %w", p, err)
+		}
+		defer c.Close()
+		pubs = append(pubs, c)
+	}
+
 	start := time.Now()
 	lastDelivery.Store(start.UnixNano())
 
 	var pubWG sync.WaitGroup
 	pubErr := make(chan error, cfg.Publishers)
-	for p := 0; p < cfg.Publishers; p++ {
-		c, err := dial(fmt.Sprintf("fanout-pub-%d", p))
-		if err != nil {
-			return res, fmt.Errorf("bench: publisher %d: %w", p, err)
-		}
-		defer c.Close()
+	for _, c := range pubs {
 		pubWG.Add(1)
 		go func(c *broker.Client) {
 			defer pubWG.Done()
+			if cfg.PublishBatching {
+				pub := c.Publisher(broker.PublisherConfig{
+					Batching:      true,
+					MaxBatchBytes: cfg.PublishMaxBatchBytes,
+					FlushInterval: cfg.PublishFlushInterval,
+				})
+				for i := 0; i < cfg.Events; i++ {
+					if err := pub.Publish(event.New(fanoutTopic, event.KindRTP, payload)); err != nil {
+						pubErr <- err
+						return
+					}
+				}
+				if err := pub.Close(); err != nil {
+					pubErr <- err
+				}
+				return
+			}
 			for i := 0; i < cfg.Events; i++ {
 				if err := c.Publish(fanoutTopic, event.KindRTP, payload); err != nil {
 					pubErr <- err
@@ -205,6 +275,10 @@ func RunFanout(cfg FanoutConfig) (FanoutResult, error) {
 		}(c)
 	}
 	pubWG.Wait()
+	res.PublishElapsedSec = time.Since(start).Seconds()
+	if res.PublishElapsedSec > 0 {
+		res.PublishEventsPerSec = float64(cfg.Publishers) * float64(cfg.Events) / res.PublishElapsedSec
+	}
 	select {
 	case err := <-pubErr:
 		return res, fmt.Errorf("bench: publish: %w", err)

@@ -44,6 +44,28 @@ func TestFanoutPeerToPeerTCP(t *testing.T) {
 	t.Log(res)
 }
 
+// TestFanoutPublishBatching runs the publish-batching variant (it runs
+// even with -short so CI exercises the client-side Batcher path on
+// every push) and checks the publisher-side rate is reported.
+func TestFanoutPublishBatching(t *testing.T) {
+	cfg := quickFanout(broker.ModeClientServer, "tcp")
+	cfg.PublishBatching = true
+	res, err := RunFanout(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("no events delivered")
+	}
+	if !res.PublishBatching {
+		t.Fatal("result does not record batching")
+	}
+	if res.PublishEventsPerSec <= 0 {
+		t.Fatalf("publish events/sec = %v", res.PublishEventsPerSec)
+	}
+	t.Log(res)
+}
+
 func TestFanoutMem(t *testing.T) {
 	res, err := RunFanout(quickFanout(broker.ModeClientServer, "mem"))
 	if err != nil {
@@ -84,5 +106,23 @@ func BenchmarkFanout64TCP(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(res.EventsPerSec, "events/s")
+	}
+}
+
+// TestPublishPath runs the publish-path benchmark at a trivial scale
+// (runs even with -short) and sanity-checks both variants.
+func TestPublishPath(t *testing.T) {
+	for _, batch := range []bool{false, true} {
+		res, err := RunPublishPath(PublishPathConfig{Publishers: 2, Events: 500, Batching: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.EventsPerSec <= 0 {
+			t.Fatalf("events/sec = %v", res.EventsPerSec)
+		}
+		if res.Batching != batch {
+			t.Fatalf("batching not recorded: %+v", res)
+		}
+		t.Log(res)
 	}
 }

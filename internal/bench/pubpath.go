@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/broker"
+	"github.com/globalmmcs/globalmmcs/internal/event"
+)
+
+// PublishPathConfig parameterises the publish-path benchmark: M
+// publishers hand n events each to one broker over loopback TCP, with
+// no subscribers attached, so the measured rate is the client→broker
+// publish path itself (stamp, encode, write system calls, broker
+// ingest) rather than fan-out delivery. This isolates what client-side
+// publish batching buys a gateway: RunFanout measures the same knob
+// under full fan-out, where (especially on small hosts) the broker's
+// delivery work dominates the publishers' wall clock.
+type PublishPathConfig struct {
+	// Publishers is the number of concurrent publishers. Default 4.
+	Publishers int
+	// Events per publisher. Default 20000.
+	Events int
+	// PayloadBytes sizes each event payload. Default 1200.
+	PayloadBytes int
+	// Batching routes publishes through the client-side batching
+	// Publisher instead of one write per event.
+	Batching bool
+	// MaxBatchBytes bounds a publish batch (0: transport default).
+	MaxBatchBytes int
+	// FlushInterval bounds the batch linger (0: publisher default).
+	FlushInterval time.Duration
+}
+
+func (c PublishPathConfig) withDefaults() PublishPathConfig {
+	if c.Publishers <= 0 {
+		c.Publishers = 4
+	}
+	if c.Events <= 0 {
+		c.Events = 20000
+	}
+	if c.PayloadBytes <= 0 {
+		c.PayloadBytes = 1200
+	}
+	return c
+}
+
+// PublishPathResult reports one publish-path run.
+type PublishPathResult struct {
+	Publishers   int     `json:"publishers"`
+	Events       int     `json:"events_per_publisher"`
+	PayloadBytes int     `json:"payload_bytes"`
+	Batching     bool    `json:"publish_batching"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	// EventsPerSec is the publisher-side rate: total events handed to
+	// the broker per second of wall time, including final flushes.
+	EventsPerSec float64 `json:"events_per_sec"`
+	MBPerSec     float64 `json:"mb_per_sec"`
+}
+
+func (r PublishPathResult) String() string {
+	return fmt.Sprintf("pubpath pubs=%d batch=%v %.0f ev/s %.1f MB/s",
+		r.Publishers, r.Batching, r.EventsPerSec, r.MBPerSec)
+}
+
+// pubPathTopic carries the publish-path flood; nothing subscribes to it.
+const pubPathTopic = "/bench/pubpath/stream"
+
+// RunPublishPath runs the publish-path benchmark.
+func RunPublishPath(cfg PublishPathConfig) (PublishPathResult, error) {
+	cfg = cfg.withDefaults()
+	res := PublishPathResult{
+		Publishers:   cfg.Publishers,
+		Events:       cfg.Events,
+		PayloadBytes: cfg.PayloadBytes,
+		Batching:     cfg.Batching,
+	}
+	b := broker.New(broker.Config{ID: "pubpath-broker"})
+	defer b.Stop()
+	l, err := b.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+
+	clients := make([]*broker.Client, 0, cfg.Publishers)
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for i := 0; i < cfg.Publishers; i++ {
+		c, err := broker.Dial(l.Addr(), fmt.Sprintf("pubpath-%d", i))
+		if err != nil {
+			return res, fmt.Errorf("bench: publisher %d: %w", i, err)
+		}
+		clients = append(clients, c)
+	}
+
+	payload := make([]byte, cfg.PayloadBytes)
+	errCh := make(chan error, cfg.Publishers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *broker.Client) {
+			defer wg.Done()
+			if cfg.Batching {
+				p := c.Publisher(broker.PublisherConfig{
+					Batching:      true,
+					MaxBatchBytes: cfg.MaxBatchBytes,
+					FlushInterval: cfg.FlushInterval,
+				})
+				for i := 0; i < cfg.Events; i++ {
+					if err := p.Publish(event.New(pubPathTopic, event.KindRTP, payload)); err != nil {
+						errCh <- err
+						return
+					}
+				}
+				if err := p.Close(); err != nil {
+					errCh <- err
+				}
+				return
+			}
+			for i := 0; i < cfg.Events; i++ {
+				if err := c.Publish(pubPathTopic, event.KindRTP, payload); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	res.ElapsedSec = time.Since(start).Seconds()
+	select {
+	case err := <-errCh:
+		return res, fmt.Errorf("bench: publish: %w", err)
+	default:
+	}
+	if res.ElapsedSec > 0 {
+		total := float64(cfg.Publishers) * float64(cfg.Events)
+		res.EventsPerSec = total / res.ElapsedSec
+		res.MBPerSec = res.EventsPerSec * float64(cfg.PayloadBytes) / 1e6
+	}
+	return res, nil
+}

@@ -377,6 +377,19 @@ func (c *Client) PublishReliable(t string, kind event.Kind, payload []byte) erro
 // PublishEvent stamps identity onto e and sends it. The event must not be
 // mutated afterwards.
 func (c *Client) PublishEvent(e *event.Event) error {
+	if err := c.stamp(e); err != nil {
+		return err
+	}
+	if err := c.conn.Send(e); err != nil {
+		return fmt.Errorf("broker: publish: %w", err)
+	}
+	return nil
+}
+
+// stamp validates e and assigns this client's identity and the next
+// event id — the shared front half of every publish path (per-event
+// sends and the batching Publisher).
+func (c *Client) stamp(e *event.Event) error {
 	if c.closedFlag.Load() {
 		return ErrClientClosed
 	}
@@ -391,9 +404,6 @@ func (c *Client) PublishEvent(e *event.Event) error {
 	}
 	e.Source = c.id
 	e.ID = c.nextEventID.Add(1)
-	if err := c.conn.Send(e); err != nil {
-		return fmt.Errorf("broker: publish: %w", err)
-	}
 	return nil
 }
 

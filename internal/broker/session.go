@@ -15,6 +15,48 @@ type relEntry struct {
 	attempts int
 }
 
+// seqRing is a FIFO ring of reliable sequence numbers ordered by last
+// send time: sends append at the tail, and a retransmission re-appends
+// with a fresh lastSend, so the head is always the entry that has waited
+// longest. Acked entries are not removed eagerly — they are reaped
+// lazily when they surface at the head (mirroring the ack floor on the
+// receive side).
+type seqRing struct {
+	buf  []uint64
+	head int
+	n    int
+}
+
+func (r *seqRing) push(v uint64) {
+	if r.n == len(r.buf) {
+		grown := make([]uint64, max(16, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = grown
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+func (r *seqRing) peek() (uint64, bool) {
+	if r.n == 0 {
+		return 0, false
+	}
+	return r.buf[r.head], true
+}
+
+func (r *seqRing) pop() (uint64, bool) {
+	v, ok := r.peek()
+	if !ok {
+		return 0, false
+	}
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v, true
+}
+
 // session is the broker-side state for one attached remote: either a
 // client or a peer broker link.
 type session struct {
@@ -40,6 +82,9 @@ type session struct {
 	// window.
 	ackFloor uint64
 	unacked  map[uint64]*relEntry
+	// relOrder holds the unacked rseqs in lastSend order so retransmit
+	// scans only the expired prefix instead of sweeping the whole window.
+	relOrder seqRing
 
 	// Reliable receiver state: rseq-tagged events arriving on this
 	// session are deduplicated and cumulatively acknowledged.
@@ -117,6 +162,7 @@ func (s *session) sendReliable(e *event.Event) {
 	}
 	c.Headers[hdrRSeq] = formatUint(rseq)
 	s.unacked[rseq] = &relEntry{e: c, lastSend: time.Now(), attempts: 1}
+	s.relOrder.push(rseq)
 	s.relMu.Unlock()
 	s.queue.pushReliable(c)
 }
@@ -147,22 +193,37 @@ func (s *session) unackedLen() int {
 
 // retransmit re-enqueues unacked reliable events older than rto. It
 // reports whether the session should be closed (too many attempts).
+// Cost is proportional to the expired prefix of the send-order ring
+// (plus lazily reaped acked entries), not the window size, so large
+// reliable windows stay cheap on the housekeeping timer path.
 func (s *session) retransmit(now time.Time, rto time.Duration, maxAttempts int) bool {
 	s.relMu.Lock()
 	defer s.relMu.Unlock()
-	for _, entry := range s.unacked {
-		if now.Sub(entry.lastSend) < rto {
+	for {
+		rseq, ok := s.relOrder.peek()
+		if !ok {
+			return false
+		}
+		entry, live := s.unacked[rseq]
+		if !live {
+			s.relOrder.pop() // acked since its last send; reap
 			continue
+		}
+		if now.Sub(entry.lastSend) < rto {
+			// The ring is ordered by lastSend: everything behind the head
+			// is younger still.
+			return false
 		}
 		if entry.attempts >= maxAttempts {
 			return true
 		}
+		s.relOrder.pop()
 		entry.attempts++
 		entry.lastSend = now
+		s.relOrder.push(rseq)
 		s.queue.pushReliable(entry.e)
 		s.b.ctr.retransmits.Inc()
 	}
-	return false
 }
 
 // acceptReliable performs receiver-side dedup for an rseq-tagged event.

@@ -7,6 +7,7 @@ import (
 	"github.com/globalmmcs/globalmmcs/internal/broker"
 	"github.com/globalmmcs/globalmmcs/internal/im"
 	"github.com/globalmmcs/globalmmcs/internal/media"
+	"github.com/globalmmcs/globalmmcs/internal/metrics"
 	"github.com/globalmmcs/globalmmcs/internal/xgsp"
 )
 
@@ -21,6 +22,9 @@ type Client struct {
 	XGSP *xgsp.Client
 	// Chat sends room messages and presence.
 	Chat *im.Chatter
+	// Metrics, when non-nil, receives per-stream delivery gauges from
+	// the SDK layer. Server.Client wires it to the node's registry.
+	Metrics *metrics.Registry
 }
 
 // NewClient wraps an attached broker client into a collaboration client.

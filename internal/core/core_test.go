@@ -115,7 +115,7 @@ func TestClientConferenceWithMediaAndChat(t *testing.T) {
 	}
 
 	// Chat: bob talks, alice listens, the IM service records history.
-	aliceRoom, err := alice.Chat.JoinRoom(context.Background(), info.ID)
+	aliceRoom, err := alice.Chat.JoinRoom(context.Background(), info.ID, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -364,7 +364,12 @@ func (s *Server) Client(ctx context.Context, userID string) (*Client, error) {
 		}
 		return nil, fmt.Errorf("core: attaching client %s: %w", userID, err)
 	}
-	return NewClient(ctx, bc, userID)
+	c, err := NewClient(ctx, bc, userID)
+	if err != nil {
+		return nil, err
+	}
+	c.Metrics = s.cfg.Metrics
+	return c, nil
 }
 
 // Stop shuts every subsystem down in dependency order.

@@ -25,10 +25,10 @@ func TestChatterHonorsCancelledContext(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := c.JoinRoom(ctx, "s1"); !errors.Is(err, context.Canceled) {
+	if _, err := c.JoinRoom(ctx, "s1", 0); !errors.Is(err, context.Canceled) {
 		t.Fatalf("join room = %v", err)
 	}
-	if _, err := c.WatchCommunity(ctx, "global"); !errors.Is(err, context.Canceled) {
+	if _, err := c.WatchCommunity(ctx, "global", 0); !errors.Is(err, context.Canceled) {
 		t.Fatalf("watch community = %v", err)
 	}
 }

@@ -296,10 +296,14 @@ func NewChatter(bc *broker.Client, user string) (*Chatter, error) {
 	return &Chatter{bc: bc, user: user}, nil
 }
 
-// JoinRoom subscribes to a session's chat room. ctx bounds the
-// subscription handshake.
-func (c *Chatter) JoinRoom(ctx context.Context, sessionID string) (*broker.Subscription, error) {
-	return c.bc.SubscribeContext(ctx, chatTopic(sessionID), 256)
+// JoinRoom subscribes to a session's chat room with a delivery buffer
+// of depth events (default 256 when <= 0). ctx bounds the subscription
+// handshake.
+func (c *Chatter) JoinRoom(ctx context.Context, sessionID string, depth int) (*broker.Subscription, error) {
+	if depth <= 0 {
+		depth = 256
+	}
+	return c.bc.SubscribeContext(ctx, chatTopic(sessionID), depth)
 }
 
 // Send posts a message to a room.
@@ -319,7 +323,11 @@ func (c *Chatter) SetPresence(community string, status PresenceStatus, note stri
 	return c.bc.PublishEvent(e)
 }
 
-// WatchCommunity subscribes to all presence updates of a community.
-func (c *Chatter) WatchCommunity(ctx context.Context, community string) (*broker.Subscription, error) {
-	return c.bc.SubscribeContext(ctx, communityPresencePattern(community), 256)
+// WatchCommunity subscribes to all presence updates of a community with
+// a delivery buffer of depth events (default 256 when <= 0).
+func (c *Chatter) WatchCommunity(ctx context.Context, community string, depth int) (*broker.Subscription, error) {
+	if depth <= 0 {
+		depth = 256
+	}
+	return c.bc.SubscribeContext(ctx, communityPresencePattern(community), depth)
 }

@@ -50,7 +50,7 @@ func TestChatRoomDelivery(t *testing.T) {
 	rig := newIMRig(t)
 	alice := rig.chatter(t, "alice")
 	bob := rig.chatter(t, "bob")
-	room, err := bob.JoinRoom(context.Background(), "s1")
+	room, err := bob.JoinRoom(context.Background(), "s1", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestRoomsAreIsolated(t *testing.T) {
 	rig := newIMRig(t)
 	alice := rig.chatter(t, "alice")
 	bob := rig.chatter(t, "bob")
-	room2, err := bob.JoinRoom(context.Background(), "s2")
+	room2, err := bob.JoinRoom(context.Background(), "s2", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestServiceHistory(t *testing.T) {
 func TestPublishChatFromService(t *testing.T) {
 	rig := newIMRig(t)
 	bob := rig.chatter(t, "bob")
-	room, err := bob.JoinRoom(context.Background(), "s3")
+	room, err := bob.JoinRoom(context.Background(), "s3", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestWatchCommunity(t *testing.T) {
 	rig := newIMRig(t)
 	alice := rig.chatter(t, "alice")
 	bob := rig.chatter(t, "bob")
-	watch, err := bob.WatchCommunity(context.Background(), "global")
+	watch, err := bob.WatchCommunity(context.Background(), "global", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +221,7 @@ func TestChatMessageXMLEscaping(t *testing.T) {
 	rig := newIMRig(t)
 	alice := rig.chatter(t, "alice")
 	bob := rig.chatter(t, "bob")
-	room, err := bob.JoinRoom(context.Background(), "s5")
+	room, err := bob.JoinRoom(context.Background(), "s5", 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,129 @@
+package media
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/event"
+	"github.com/globalmmcs/globalmmcs/internal/rtp"
+)
+
+// makeArenaEvent marshals an RTP packet for seq into the arena chunk at
+// off and wraps it in an event whose payload aliases the chunk — the
+// shape the in-place TCP receive path produces.
+func makeArenaEvent(t *testing.T, chunk []byte, off int, seq uint16) (*event.Event, int) {
+	t.Helper()
+	p := &rtp.Packet{
+		PayloadType:    rtp.PayloadPCMU,
+		SequenceNumber: seq,
+		Timestamp:      uint32(seq) * 160,
+		SSRC:           0x1234,
+		Payload:        fillPayload(64, seq),
+	}
+	wire, err := p.AppendMarshal(chunk[off:off:len(chunk)])
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &event.Event{
+		Topic:     "/xgsp/session/1/audio",
+		Kind:      event.KindRTP,
+		TTL:       1,
+		Timestamp: time.Now().UnixNano(),
+		Payload:   wire,
+	}
+	return e, off + len(wire)
+}
+
+// TestReorderBufferDetachesFromArena is the leak-shaped regression for
+// the arena-lifetime audit: packets parked in the reorder (jitter)
+// buffer must deep-copy their payloads, so a 256 KiB receive chunk is
+// released as soon as its events are consumed — even while re-sequenced
+// packets from it are still waiting for a gap to fill.
+func TestReorderBufferDetachesFromArena(t *testing.T) {
+	r := NewReceiver(ReceiverConfig{
+		ClockRate:      rtp.AudioClockRate,
+		ReorderDepth:   8,
+		VerifyPayloads: true,
+	})
+
+	chunk := new([256 << 10]byte)
+	finalized := make(chan struct{})
+	runtime.SetFinalizer(chunk, func(*[256 << 10]byte) { close(finalized) })
+
+	// Seq 1 establishes the base and is delivered immediately; 3, 4 and
+	// 5 park in the reorder buffer behind the missing 2.
+	off := 0
+	var e *event.Event
+	for _, seq := range []uint16{1, 3, 4, 5} {
+		e, off = makeArenaEvent(t, chunk[:], off, seq)
+		r.HandleEvent(e)
+	}
+	if got := r.Snapshot().Received; got != 1 {
+		t.Fatalf("received = %d before the gap filled, want 1", got)
+	}
+
+	// Scribble over the chunk: parked packets must hold their own
+	// copies, not views of this memory.
+	for i := range chunk {
+		chunk[i] = 0xFF
+	}
+
+	// Drop every reference to the chunk. If the reorder buffer still
+	// aliased it, the finalizer could never run.
+	e = nil
+	_ = e
+	chunk = nil
+	deadline := time.After(5 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case <-finalized:
+		case <-time.After(10 * time.Millisecond):
+			select {
+			case <-deadline:
+				t.Fatal("arena chunk still referenced: reorder buffer pins receive memory")
+			default:
+			}
+			continue
+		}
+		break
+	}
+
+	// Fill the gap from a fresh buffer: 2..5 drain in order, and the
+	// parked packets' payloads must still verify — proving the earlier
+	// scribble hit only the abandoned chunk, not the retained copies.
+	fresh := make([]byte, 1<<10)
+	e2, _ := makeArenaEvent(t, fresh, 0, 2)
+	r.HandleEvent(e2)
+	snap := r.Snapshot()
+	if snap.Received != 5 {
+		t.Fatalf("received = %d after gap filled, want 5", snap.Received)
+	}
+	if snap.Corrupted != 0 {
+		t.Fatalf("corrupted = %d: parked packets lost their payload copies", snap.Corrupted)
+	}
+}
+
+// TestReceiverFlushDrainsReorderTail asserts Flush accounts packets
+// parked behind a gap that never fills once the stream ends.
+func TestReceiverFlushDrainsReorderTail(t *testing.T) {
+	r := NewReceiver(ReceiverConfig{
+		ClockRate:    rtp.AudioClockRate,
+		ReorderDepth: 8,
+	})
+	buf := make([]byte, 4<<10)
+	off := 0
+	var e *event.Event
+	for _, seq := range []uint16{10, 12, 13} { // 11 never arrives
+		e, off = makeArenaEvent(t, buf, off, seq)
+		r.HandleEvent(e)
+	}
+	if got := r.Snapshot().Received; got != 1 {
+		t.Fatalf("received = %d, want 1", got)
+	}
+	r.Flush()
+	if got := r.Snapshot().Received; got != 3 {
+		t.Fatalf("received after flush = %d, want 3", got)
+	}
+}

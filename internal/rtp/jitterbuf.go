@@ -64,6 +64,20 @@ func (j *JitterBuffer) Pop() *Packet {
 	return p
 }
 
+// Drain returns the oldest buffered packet regardless of gaps, or nil
+// when empty — used to flush a buffer at end of stream, when no more
+// arrivals will fill the holes Pop is waiting on.
+func (j *JitterBuffer) Drain() *Packet {
+	if len(j.buf) == 0 {
+		return nil
+	}
+	oldest := j.oldestSeq()
+	p := j.buf[oldest]
+	delete(j.buf, oldest)
+	j.next = oldest + 1
+	return p
+}
+
 // Len returns the number of buffered packets.
 func (j *JitterBuffer) Len() int { return len(j.buf) }
 

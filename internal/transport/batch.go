@@ -29,6 +29,10 @@ type Batcher struct {
 	frames   [][]byte
 	bytes    int
 	maxBytes int
+	// arena is the reusable backing store of AddEventInPlace frames; it
+	// is reset at each flush, so steady-state in-place batching performs
+	// no per-event allocation.
+	arena []byte
 }
 
 // DefaultMaxBatchBytes bounds a batch when callers pass maxBytes <= 0.
@@ -66,6 +70,31 @@ func (b *Batcher) AddEvent(e *event.Event) error {
 	return b.Add(event.Marshal(e))
 }
 
+// AddEventInPlace marshals e into the batcher's reusable arena — no
+// per-event allocation in steady state — and queues the frame. When the
+// new frame would overflow the size bound, the pending batch is flushed
+// first (so the arena only ever holds frames of the current batch).
+func (b *Batcher) AddEventInPlace(e *event.Event) error {
+	// Size estimate mirrors event.Marshal's; headers (rare on the media
+	// publish path) may push past it, which only makes a batch slightly
+	// larger than the bound.
+	need := 64 + len(e.Topic) + len(e.Source) + len(e.Payload)
+	if b.bytes > 0 && b.bytes+need > b.maxBytes {
+		if err := b.Flush(); err != nil {
+			return err
+		}
+	}
+	start := len(b.arena)
+	b.arena = event.AppendMarshal(b.arena, e)
+	frame := b.arena[start:len(b.arena):len(b.arena)]
+	b.frames = append(b.frames, frame)
+	b.bytes += len(frame)
+	if b.bytes >= b.maxBytes {
+		return b.Flush()
+	}
+	return nil
+}
+
 // Pending returns the number of queued frames awaiting Flush.
 func (b *Batcher) Pending() int { return len(b.frames) }
 
@@ -84,5 +113,6 @@ func (b *Batcher) Flush() error {
 	}
 	b.frames = b.frames[:0]
 	b.bytes = 0
+	b.arena = b.arena[:0]
 	return err
 }

@@ -2,13 +2,14 @@ package globalmmcs
 
 import (
 	"context"
-	"sync"
+	"encoding/binary"
 	"time"
 
 	"github.com/globalmmcs/globalmmcs/internal/broker"
 	"github.com/globalmmcs/globalmmcs/internal/core"
 	"github.com/globalmmcs/globalmmcs/internal/event"
 	"github.com/globalmmcs/globalmmcs/internal/media"
+	"github.com/globalmmcs/globalmmcs/internal/metrics"
 	"github.com/globalmmcs/globalmmcs/internal/rtp"
 )
 
@@ -76,45 +77,38 @@ func (p *MediaPacket) SentAt() time.Time { return time.Unix(0, p.e.Timestamp) }
 // RTP parses the payload as an RTP packet.
 func (p *MediaPacket) RTP() (*RTPPacket, error) { return ParseRTP(p.e.Payload) }
 
-// MediaSubscription delivers one session channel's media packets. Slow
-// consumers lose the oldest buffered packets rather than stalling
-// delivery, matching the broker's best-effort media lane.
-type MediaSubscription struct {
-	sub *broker.Subscription
-	ch  chan *MediaPacket
+// Clone returns a deep copy of the packet whose payload no longer
+// aliases the broker's receive buffer. Call it before retaining packets
+// indefinitely (an application-side jitter or replay buffer): a decoded
+// packet otherwise pins the whole receive chunk (up to 256 KiB) it was
+// parsed from.
+func (p *MediaPacket) Clone() *MediaPacket { return &MediaPacket{e: p.e.Clone()} }
 
-	once sync.Once
-	wg   sync.WaitGroup
-}
+// defaultMediaBuffer is the delivery buffer of media subscriptions and
+// raw event streams absent a WithBuffer option.
+const defaultMediaBuffer = 256
 
-func newMediaSubscription(sub *broker.Subscription, depth int) *MediaSubscription {
-	if depth <= 0 {
-		depth = 256
+// MediaSubscription is a Stream of one session channel's media packets,
+// returned by Session.Subscribe. The default QoS drops the oldest
+// buffered packet when the consumer lags, matching the broker's
+// best-effort media lane; tune with WithBuffer, WithDropPolicy,
+// WithConflation (keyed by SSRC) and WithLagNotify.
+type MediaSubscription = Stream[*MediaPacket]
+
+// mediaConflationKey keys media conflation by the RTP SSRC, read
+// directly from the wire header so the hot path needs no full parse.
+func mediaConflationKey(p *MediaPacket) (uint64, bool) {
+	pl := p.e.Payload
+	if p.e.Kind != event.KindRTP || len(pl) < rtp.HeaderLen {
+		return 0, false
 	}
-	m := &MediaSubscription{sub: sub, ch: make(chan *MediaPacket, depth)}
-	m.wg.Add(1)
-	go func() {
-		defer m.wg.Done()
-		defer close(m.ch)
-		for e := range sub.C() {
-			pumpSend(m.ch, &MediaPacket{e: e})
-		}
-	}()
-	return m
+	return uint64(binary.BigEndian.Uint32(pl[8:12])), true
 }
 
-// C returns the delivery channel. It is closed when the subscription is
-// cancelled or the client disconnects.
-func (m *MediaSubscription) C() <-chan *MediaPacket { return m.ch }
-
-// Cancel unsubscribes and closes the delivery channel.
-func (m *MediaSubscription) Cancel() error {
-	var err error
-	m.once.Do(func() {
-		err = m.sub.Cancel()
-		m.wg.Wait()
-	})
-	return err
+func newMediaSubscription(sub *broker.Subscription, reg *metrics.Registry, name string, opts []StreamOption) *MediaSubscription {
+	return newStream(sub, reg, name, defaultMediaBuffer, func(e *event.Event) (*MediaPacket, bool) {
+		return &MediaPacket{e: e}, true
+	}, mediaConflationKey, opts)
 }
 
 // MediaSender paces a media source onto one session channel in real
@@ -229,29 +223,43 @@ type MediaReceiver struct {
 // NewMediaReceiver creates a measuring receiver for a channel kind
 // (Audio or Video select the matching RTP clock rate).
 func NewMediaReceiver(kind MediaKind) *MediaReceiver {
+	return NewReorderingMediaReceiver(kind, 0)
+}
+
+// NewReorderingMediaReceiver creates a measuring receiver that first
+// re-sequences out-of-order packets through a playout jitter buffer of
+// the given depth (0 disables reordering). Parked packets detach from
+// the broker's receive buffers, so a lossy stream never pins receive
+// chunks while gaps wait to fill. Call Flush when the stream ends to
+// account packets still parked behind gaps that will never fill.
+func NewReorderingMediaReceiver(kind MediaKind, depth int) *MediaReceiver {
 	clockRate := rtp.AudioClockRate
 	if kind == Video {
 		clockRate = rtp.VideoClockRate
 	}
-	return &MediaReceiver{r: media.NewReceiver(media.ReceiverConfig{ClockRate: clockRate})}
+	return &MediaReceiver{r: media.NewReceiver(media.ReceiverConfig{
+		ClockRate:    clockRate,
+		ReorderDepth: depth,
+	})}
 }
 
 // Handle processes one received packet.
 func (r *MediaReceiver) Handle(p *MediaPacket) { r.r.HandleEvent(p.e) }
 
+// Flush drains any packets parked in the reorder buffer into the
+// statistics. No-op for receivers without reordering.
+func (r *MediaReceiver) Flush() { r.r.Flush() }
+
 // Drain consumes packets from sub until the subscription closes or ctx
-// is cancelled.
+// is cancelled, then flushes the reorder buffer.
 func (r *MediaReceiver) Drain(ctx context.Context, sub *MediaSubscription) {
+	defer r.Flush()
 	for {
-		select {
-		case p, ok := <-sub.C():
-			if !ok {
-				return
-			}
-			r.Handle(p)
-		case <-ctx.Done():
+		p, err := sub.Recv(ctx)
+		if err != nil {
 			return
 		}
+		r.Handle(p)
 	}
 }
 

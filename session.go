@@ -154,14 +154,20 @@ func (s *Session) Send(ctx context.Context, body string) error {
 	return wrapErr(s.c.Chat.Send(s.ID(), body))
 }
 
-// Chat joins the session's chat room and delivers its messages until
-// the room is closed.
-func (s *Session) Chat(ctx context.Context) (*ChatRoom, error) {
-	sub, err := s.c.Chat.JoinRoom(ctx, s.ID())
+// Chat joins the session's chat room and streams its messages until
+// the room is closed. Delivery QoS is set with StreamOptions.
+func (s *Session) Chat(ctx context.Context, opts ...StreamOption) (*ChatRoom, error) {
+	sub, err := s.c.Chat.JoinRoom(ctx, s.ID(), brokerDepth(streamBuffer(defaultChatBuffer, opts)))
 	if err != nil {
 		return nil, wrapErr(err)
 	}
-	return newChatRoom(sub), nil
+	return newChatRoom(sub, s.c.Metrics, s.streamName("chat"), opts), nil
+}
+
+// streamName builds the per-stream metrics identity
+// "<user>.<label>.<session>" under which drop gauges register.
+func (s *Session) streamName(label string) string {
+	return s.c.UserID() + "." + label + "." + s.ID()
 }
 
 // Sender returns a paced sender publishing onto one of the session's
@@ -174,18 +180,37 @@ func (s *Session) Sender(kind MediaKind) (*MediaSender, error) {
 	return newMediaSender(s.c, stream), nil
 }
 
-// Subscribe delivers the session's media packets on one channel kind.
-// depth bounds the delivery buffer (default 256 when <= 0).
-func (s *Session) Subscribe(ctx context.Context, kind MediaKind, depth int) (*MediaSubscription, error) {
+// Subscribe streams the session's media packets on one channel kind.
+// depth bounds the delivery buffer (default 256 when <= 0; a WithBuffer
+// option overrides it). Further QoS — drop policy, SSRC conflation, lag
+// notification — is set with StreamOptions.
+func (s *Session) Subscribe(ctx context.Context, kind MediaKind, depth int, opts ...StreamOption) (*MediaSubscription, error) {
 	stream, ok := s.stream(kind)
 	if !ok {
 		return nil, tag(ErrNoSuchMedia, errMediaKind(kind))
 	}
-	sub, err := s.c.BC.SubscribeContext(ctx, stream.Topic, depth)
+	if depth > 0 {
+		opts = append([]StreamOption{WithBuffer(depth)}, opts...)
+	}
+	buffer := streamBuffer(defaultMediaBuffer, opts)
+	sub, err := s.c.BC.SubscribeContext(ctx, stream.Topic, brokerDepth(buffer))
 	if err != nil {
 		return nil, wrapErr(err)
 	}
-	return newMediaSubscription(sub, depth), nil
+	return newMediaSubscription(sub, s.c.Metrics, s.streamName("media."+string(kind)), opts), nil
+}
+
+// Events streams every raw broker event published on this session's
+// topics — media, chat and signalling alike: the paper's "every
+// modality is an event on one substrate" view, exposed for gateways,
+// archival tools and debugging. Delivery QoS is set with StreamOptions.
+func (s *Session) Events(ctx context.Context, opts ...StreamOption) (*Stream[Event], error) {
+	pattern := xgsp.SessionTopic(s.ID(), "#")
+	sub, err := s.c.BC.SubscribeContext(ctx, pattern, brokerDepth(streamBuffer(defaultMediaBuffer, opts)))
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	return newStream(sub, s.c.Metrics, s.streamName("events"), defaultMediaBuffer, rawFromInternal, nil, opts), nil
 }
 
 func (s *Session) stream(kind MediaKind) (MediaStream, bool) {

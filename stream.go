@@ -1,0 +1,460 @@
+package globalmmcs
+
+import (
+	"context"
+	"errors"
+	"iter"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/broker"
+	"github.com/globalmmcs/globalmmcs/internal/event"
+	"github.com/globalmmcs/globalmmcs/internal/metrics"
+)
+
+// DropPolicy selects what a Stream does with a new event when its
+// delivery buffer is full because the consumer lags.
+type DropPolicy int
+
+const (
+	// DropOldest displaces the oldest buffered event to admit the new
+	// one — the right policy for live media, where the freshest packet
+	// is worth more than a stale one. This is the default.
+	DropOldest DropPolicy = iota
+	// DropNewest discards the incoming event and keeps what is already
+	// buffered — the right policy when the earliest events matter most
+	// (e.g. replay heads).
+	DropNewest
+	// Block stops draining the subscription until the consumer catches
+	// up. Backpressure propagates into the broker connection: reliable
+	// traffic stalls the sender, best-effort traffic is shed upstream in
+	// the broker's bounded queues. Nothing is dropped by the Stream
+	// itself.
+	Block
+)
+
+// StreamOption configures a subscription's delivery QoS at creation
+// (Session.Chat, Session.Subscribe, Session.Events,
+// Client.WatchPresence).
+type StreamOption func(*streamConfig)
+
+type streamConfig struct {
+	buffer    int
+	policy    DropPolicy
+	conflate  bool
+	lagNotify func(dropped uint64)
+}
+
+// WithBuffer sets the stream's delivery buffer depth (and sizes the
+// underlying broker subscription to match). n <= 0 keeps the stream's
+// default (64 for chat and presence, 256 for media and raw events).
+func WithBuffer(n int) StreamOption {
+	return func(c *streamConfig) { c.buffer = n }
+}
+
+// WithDropPolicy selects the stream's full-buffer policy. The default
+// is DropOldest.
+func WithDropPolicy(p DropPolicy) StreamOption {
+	return func(c *streamConfig) { c.policy = p }
+}
+
+// WithConflation merges queued events that supersede each other while
+// the consumer lags: for media streams, a newer packet from an SSRC
+// replaces the queued one from the same SSRC, so a slow consumer skips
+// ahead instead of replaying a backlog. Each merge counts as a drop.
+// Conflation is itself a full-buffer policy and takes precedence over
+// WithDropPolicy: merging is inherently lossy, so Block's
+// nothing-dropped guarantee does not compose with it, and events
+// without a conflation key (non-RTP traffic on a media topic) fall
+// back to drop-oldest. Streams whose events carry no conflation key at
+// all (chat, presence, raw events) ignore the option.
+func WithConflation() StreamOption {
+	return func(c *streamConfig) { c.conflate = true }
+}
+
+// WithLagNotify registers a callback fired whenever the stream discards
+// or conflates an event, with the cumulative number dropped so far. It
+// runs on the delivery goroutine and must not block; hand off to your
+// own goroutine for anything slow.
+func WithLagNotify(fn func(dropped uint64)) StreamOption {
+	return func(c *streamConfig) { c.lagNotify = fn }
+}
+
+// Stream is the uniform subscription handle of the SDK: every
+// subscribe-shaped API (chat rooms, presence watches, media
+// subscriptions, raw session events) returns a Stream of its typed
+// events. Consume with Recv, range over All, or select on Chan; Close
+// releases the subscription and ends delivery. Delivery QoS — buffer
+// depth, full-buffer policy, conflation, lag notification — is set per
+// stream with StreamOptions at creation.
+//
+// Events discarded because the consumer lags are counted (Drops), fire
+// the WithLagNotify callback, and surface as a
+// "stream.<user>.<name>.queue_drops" gauge in the server's metrics
+// registry when the node runs WithMetrics.
+type Stream[T any] struct {
+	sub        *broker.Subscription
+	ch         chan T
+	policy     DropPolicy
+	conflate   bool
+	keyOf      func(T) (uint64, bool)
+	lagNotify  func(uint64)
+	gauge      *metrics.Gauge
+	unregister func()
+
+	drops    atomic.Uint64
+	closing  chan struct{}
+	once     sync.Once
+	closeErr error
+	wg       sync.WaitGroup
+}
+
+// newStream wires a typed pump over a broker subscription. decode maps
+// wire events to T (false skips malformed events); keyOf, when non-nil,
+// supplies the conflation key. reg/name register the per-stream drop
+// gauge when the node has a registry.
+func newStream[T any](sub *broker.Subscription, reg *metrics.Registry, name string, defaultBuffer int, decode func(*event.Event) (T, bool), keyOf func(T) (uint64, bool), opts []StreamOption) *Stream[T] {
+	cfg := streamConfig{buffer: defaultBuffer, policy: DropOldest}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	if cfg.buffer <= 0 {
+		cfg.buffer = defaultBuffer
+	}
+	s := &Stream[T]{
+		sub:       sub,
+		ch:        make(chan T, cfg.buffer),
+		policy:    cfg.policy,
+		conflate:  cfg.conflate,
+		keyOf:     keyOf,
+		lagNotify: cfg.lagNotify,
+		closing:   make(chan struct{}),
+	}
+	if reg != nil && name != "" {
+		gname := "stream." + name + ".queue_drops"
+		s.gauge = reg.Gauge(gname)
+		s.unregister = acquireGauge(reg, gname)
+	}
+	s.wg.Add(1)
+	go s.pump(decode)
+	return s
+}
+
+// gaugeRefs refcounts per-stream gauges across streams that resolve to
+// the same name (the same user opening the same subscription twice), so
+// closing one stream does not unregister the gauge out from under the
+// other. Keyed per registry.
+var (
+	gaugeRefsMu sync.Mutex
+	gaugeRefs   = make(map[*metrics.Registry]map[string]int)
+)
+
+// acquireGauge takes a reference on the named gauge and returns the
+// matching release func, which drops the gauge from the registry once
+// the last reference is gone.
+func acquireGauge(reg *metrics.Registry, name string) func() {
+	gaugeRefsMu.Lock()
+	defer gaugeRefsMu.Unlock()
+	refs := gaugeRefs[reg]
+	if refs == nil {
+		refs = make(map[string]int)
+		gaugeRefs[reg] = refs
+	}
+	refs[name]++
+	return func() {
+		gaugeRefsMu.Lock()
+		defer gaugeRefsMu.Unlock()
+		refs := gaugeRefs[reg]
+		if refs == nil {
+			return
+		}
+		refs[name]--
+		if refs[name] > 0 {
+			return
+		}
+		delete(refs, name)
+		if len(refs) == 0 {
+			delete(gaugeRefs, reg)
+		}
+		reg.DropGauge(name)
+	}
+}
+
+// streamBuffer resolves the effective stream buffer depth for the
+// given options.
+func streamBuffer(defaultBuffer int, opts []StreamOption) int {
+	cfg := streamConfig{buffer: defaultBuffer}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	if cfg.buffer <= 0 {
+		return defaultBuffer
+	}
+	return cfg.buffer
+}
+
+// brokerDepth sizes the broker-side subscription channel backing a
+// stream buffer: it matches the buffer but keeps a floor, so a tiny
+// app-side buffer (WithBuffer(1) with conflation, say) doesn't force
+// upstream best-effort drops that the stream-level policy was meant to
+// manage.
+func brokerDepth(buffer int) int {
+	const floor = 64
+	if buffer < floor {
+		return floor
+	}
+	return buffer
+}
+
+// Recv returns the next event, blocking until one is available, the
+// stream closes (ErrStreamClosed), or ctx is cancelled (the context's
+// error). Buffered events are still delivered after Close.
+func (s *Stream[T]) Recv(ctx context.Context) (T, error) {
+	var zero T
+	select {
+	case v, ok := <-s.ch:
+		if !ok {
+			return zero, ErrStreamClosed
+		}
+		return v, nil
+	default:
+	}
+	select {
+	case v, ok := <-s.ch:
+		if !ok {
+			return zero, ErrStreamClosed
+		}
+		return v, nil
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	}
+}
+
+// All returns a single-use iterator over the stream's events, for
+//
+//	for msg, err := range room.All(ctx) { ... }
+//
+// The iterator ends cleanly when the stream is closed; if ctx is
+// cancelled it yields one final (zero, ctx.Err()) pair and stops. Any
+// non-nil error ends the iteration.
+func (s *Stream[T]) All(ctx context.Context) iter.Seq2[T, error] {
+	return func(yield func(T, error) bool) {
+		for {
+			v, err := s.Recv(ctx)
+			if err != nil {
+				if !errors.Is(err, ErrStreamClosed) {
+					yield(v, err)
+				}
+				return
+			}
+			if !yield(v, nil) {
+				return
+			}
+		}
+	}
+}
+
+// Chan returns the delivery channel, for select-based consumers. It is
+// closed when the stream closes; Recv and Chan draw from the same
+// buffer.
+func (s *Stream[T]) Chan() <-chan T { return s.ch }
+
+// C returns the delivery channel.
+//
+// Deprecated: C is the pre-unification name kept as a shim for one
+// release; use Chan, or consume with Recv or All.
+func (s *Stream[T]) C() <-chan T { return s.Chan() }
+
+// Drops reports how many events this stream discarded or conflated
+// locally because the consumer lagged. (The broker additionally sheds
+// best-effort traffic upstream under overload; see the broker
+// queue_drops counters.)
+func (s *Stream[T]) Drops() uint64 { return s.drops.Load() }
+
+// Close cancels the subscription and closes the delivery channel.
+// Events already buffered remain readable. Idempotent; safe to call
+// concurrently with Recv.
+func (s *Stream[T]) Close() error {
+	s.once.Do(func() {
+		close(s.closing)
+		s.closeErr = wrapErr(s.sub.Cancel())
+		s.wg.Wait()
+		if s.unregister != nil {
+			s.unregister()
+		}
+	})
+	return s.closeErr
+}
+
+// Cancel unsubscribes and closes the delivery channel.
+//
+// Deprecated: Cancel is the pre-unification name kept as a shim for
+// one release; use Close.
+func (s *Stream[T]) Cancel() error { return s.Close() }
+
+func (s *Stream[T]) noteDrops(n uint64) {
+	total := s.drops.Add(n)
+	if s.gauge != nil {
+		s.gauge.Set(int64(total))
+	}
+	if s.lagNotify != nil {
+		s.lagNotify(total)
+	}
+}
+
+// sendDropOldest delivers v without ever blocking, displacing the
+// oldest buffered event when full — the pre-existing pump policy, now
+// with every displacement counted and reported.
+func (s *Stream[T]) sendDropOldest(v T) {
+	for {
+		select {
+		case s.ch <- v:
+			return
+		default:
+		}
+		select {
+		case <-s.ch:
+			s.noteDrops(1)
+		default:
+		}
+	}
+}
+
+func (s *Stream[T]) pump(decode func(*event.Event) (T, bool)) {
+	defer s.wg.Done()
+	defer close(s.ch)
+	if s.conflate && s.keyOf != nil {
+		s.pumpConflating(decode)
+		return
+	}
+	for e := range s.sub.C() {
+		v, ok := decode(e)
+		if !ok {
+			continue
+		}
+		switch s.policy {
+		case Block:
+			select {
+			case s.ch <- v:
+			case <-s.closing:
+				return
+			}
+		case DropNewest:
+			select {
+			case s.ch <- v:
+			default:
+				s.noteDrops(1)
+			}
+		default: // DropOldest
+			s.sendDropOldest(v)
+		}
+	}
+}
+
+// pumpConflating drains the subscription eagerly into a keyed pending
+// set: while the consumer lags, a newer event replaces the queued event
+// with the same key instead of queueing behind it. Pending events feed
+// the delivery channel in arrival order of their keys. Unkeyed events
+// bypass conflation and are delivered drop-oldest.
+func (s *Stream[T]) pumpConflating(decode func(*event.Event) (T, bool)) {
+	var order []uint64
+	vals := make(map[uint64]T)
+	in := s.sub.C()
+
+	admit := func(e *event.Event) {
+		v, ok := decode(e)
+		if !ok {
+			return
+		}
+		k, keyed := s.keyOf(v)
+		if !keyed {
+			s.sendDropOldest(v)
+			return
+		}
+		if _, exists := vals[k]; exists {
+			vals[k] = v
+			s.noteDrops(1) // conflated: the queued event was superseded
+			return
+		}
+		vals[k] = v
+		order = append(order, k)
+	}
+
+	for {
+		if len(order) == 0 {
+			select {
+			case e, ok := <-in:
+				if !ok {
+					return
+				}
+				admit(e)
+			case <-s.closing:
+				return
+			}
+			continue
+		}
+		head := vals[order[0]]
+		select {
+		case e, ok := <-in:
+			if !ok {
+				// Input ended: hand over whatever is pending (never
+				// blocking — the consumer may be gone).
+				for _, k := range order {
+					s.sendDropOldest(vals[k])
+				}
+				return
+			}
+			admit(e)
+		case s.ch <- head:
+			delete(vals, order[0])
+			order = order[1:]
+		case <-s.closing:
+			return
+		}
+	}
+}
+
+// Event is one raw broker event as delivered by Session.Events — the
+// escape hatch onto the publish/subscribe substrate that every
+// collaboration modality (media, chat, presence, signalling) rides.
+type Event struct {
+	// Topic is the concrete broker topic the event was published on.
+	Topic string
+	// Kind names the payload class ("rtp", "chat", "presence",
+	// "control", "data", ...).
+	Kind string
+	// Source identifies the publishing client.
+	Source string
+	// At is the publish wall-clock instant.
+	At time.Time
+	// Reliable reports whether the event rode the reliable profile.
+	Reliable bool
+	// Payload is the raw application data. It may alias the broker's
+	// receive buffer: callers retaining events indefinitely should copy
+	// it (Clone) so a 256 KiB receive chunk is not pinned by one packet.
+	Payload []byte
+}
+
+// Clone returns a deep copy of the event whose payload no longer
+// aliases any shared receive buffer.
+func (e Event) Clone() Event {
+	c := e
+	c.Payload = append([]byte(nil), e.Payload...)
+	return c
+}
+
+func rawFromInternal(e *event.Event) (Event, bool) {
+	return Event{
+		Topic:    e.Topic,
+		Kind:     e.Kind.String(),
+		Source:   e.Source,
+		At:       time.Unix(0, e.Timestamp),
+		Reliable: e.Reliable,
+		Payload:  e.Payload,
+	}, true
+}

@@ -64,24 +64,22 @@ func (t *PlayerTrack) LastPayloadType() uint8 { return t.t.LastPayloadType() }
 // the paper's conference archiving service.
 type Archive struct{}
 
-// Record consumes packets from sub until the subscription closes or ctx
-// is cancelled, writing length-framed events to w. It returns the
-// number of packets recorded.
+// Record consumes packets from sub until the stream closes or ctx is
+// cancelled, writing length-framed events to w. It returns the number
+// of packets recorded. Each packet is encoded and written as it
+// arrives — nothing is retained, so recording never pins the broker's
+// receive buffers.
 func (Archive) Record(ctx context.Context, w io.Writer, sub *MediaSubscription) (int, error) {
 	count := 0
 	for {
-		select {
-		case p, ok := <-sub.C():
-			if !ok {
-				return count, nil
-			}
-			if err := streaming.WriteFrame(w, p.e); err != nil {
-				return count, err
-			}
-			count++
-		case <-ctx.Done():
+		p, err := sub.Recv(ctx)
+		if err != nil {
 			return count, nil
 		}
+		if err := streaming.WriteFrame(w, p.e); err != nil {
+			return count, err
+		}
+		count++
 	}
 }
 
