@@ -219,6 +219,97 @@ func RunPublishPath(opt PublishPathOptions) (*PublishPathReport, error) {
 	}, nil
 }
 
+// IngestOptions parameterises the sustained broker-ingest benchmark: M
+// publishers flood one broker continuously while N subscribers drain,
+// and the report carries the broker-side ingest rate over a steady-state
+// measurement window.
+type IngestOptions struct {
+	// Mode selects the routing mode (default BrokerClientServer).
+	Mode BrokerMode
+	// Subscribers is the fan-out width (default 64).
+	Subscribers int
+	// Publishers is the number of concurrent publishers (default 4).
+	Publishers int
+	// PayloadBytes sizes each event payload (default 1200).
+	PayloadBytes int
+	// Transport selects the subscribers' links: "mem" (default) keeps
+	// fan-out delivery cheap so the measured rate reflects broker-side
+	// ingest; "tcp" runs the full wire path on both sides.
+	Transport string
+	// PubTransport selects the publishers' links (default "tcp", which
+	// exercises the framed burst-decode ingest path).
+	PubTransport string
+	// Warmup runs load before the window opens (default 300ms).
+	Warmup time.Duration
+	// Duration is the measurement window (default 2s).
+	Duration time.Duration
+	// IngestBurst sets the broker's per-sweep burst bound: 0 keeps the
+	// default (burst ingest on), 1 degenerates to event-at-a-time ingest
+	// — the baseline configuration.
+	IngestBurst int
+	// DisablePublishBatching turns off the client-side batching
+	// Publisher the publishers use by default.
+	DisablePublishBatching bool
+}
+
+// IngestReport is the outcome of one sustained-ingest run. Fields carry
+// JSON tags so reports can be committed as machine-readable baselines.
+type IngestReport struct {
+	Mode            string  `json:"mode"`
+	Transport       string  `json:"transport"`
+	PubTransport    string  `json:"pub_transport,omitempty"`
+	Subscribers     int     `json:"subscribers"`
+	Publishers      int     `json:"publishers"`
+	PayloadBytes    int     `json:"payload_bytes"`
+	IngestBurst     int     `json:"ingest_burst"`
+	PublishBatching bool    `json:"publish_batching"`
+	WindowSec       float64 `json:"window_sec"`
+	// IngestedPerSec is the headline number: events the broker accepted
+	// and routed per second of steady-state window time.
+	IngestedPerSec float64 `json:"ingested_per_sec"`
+	// ArrivedPerSec is the raw inbound event rate including control
+	// traffic; DeliveredPerSec the outbound rate across all subscribers.
+	ArrivedPerSec   float64 `json:"arrived_per_sec"`
+	DeliveredPerSec float64 `json:"delivered_per_sec"`
+}
+
+// RunIngest measures sustained broker ingest: the rate at which one
+// broker accepts and routes events under continuous multi-publisher
+// load at a given fan-out width. IngestBurst 1 reproduces the
+// event-at-a-time baseline; the default bursts ingest so routing and
+// queue handoff are amortized across everything one read delivered.
+func RunIngest(opt IngestOptions) (*IngestReport, error) {
+	res, err := bench.RunIngest(bench.IngestConfig{
+		Mode:                   broker.Mode(opt.Mode),
+		Subscribers:            opt.Subscribers,
+		Publishers:             opt.Publishers,
+		PayloadBytes:           opt.PayloadBytes,
+		Transport:              opt.Transport,
+		PubTransport:           opt.PubTransport,
+		Warmup:                 opt.Warmup,
+		Duration:               opt.Duration,
+		IngestBurst:            opt.IngestBurst,
+		DisablePublishBatching: opt.DisablePublishBatching,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &IngestReport{
+		Mode:            res.Mode,
+		Transport:       res.Transport,
+		PubTransport:    res.PubTransport,
+		Subscribers:     res.Subscribers,
+		Publishers:      res.Publishers,
+		PayloadBytes:    res.PayloadBytes,
+		IngestBurst:     res.IngestBurst,
+		PublishBatching: res.PublishBatching,
+		WindowSec:       res.WindowSec,
+		IngestedPerSec:  res.IngestedPerSec,
+		ArrivedPerSec:   res.ArrivedPerSec,
+		DeliveredPerSec: res.DeliveredPerSec,
+	}, nil
+}
+
 // CapacityOptions parameterises one capacity measurement point.
 type CapacityOptions struct {
 	// Kind selects the stream (Audio or Video).

@@ -42,6 +42,9 @@ type BrokerConfig struct {
 	// FlushInterval is the batch linger once a session queue idles
 	// (default 0: flush immediately).
 	FlushInterval time.Duration
+	// IngestBurst bounds the per-sweep ingest burst (default 256;
+	// 1 = event-at-a-time ablation).
+	IngestBurst int
 }
 
 // NewBroker creates a standalone broker. mode 0 defaults to
@@ -61,6 +64,7 @@ func NewBrokerWithConfig(id string, mode BrokerMode, cfg BrokerConfig) *Broker {
 			RouteShards:   cfg.RouteShards,
 			MaxBatchBytes: cfg.MaxBatchBytes,
 			FlushInterval: cfg.FlushInterval,
+			IngestBurst:   cfg.IngestBurst,
 			Metrics:       m.reg,
 		}),
 		metrics: m,

@@ -11,9 +11,12 @@
 //     publishers per-event and batched (the format of BENCH_broker.json).
 //   - "-exp pubpath": the client→broker publish path in isolation,
 //     per-event versus batched publishing.
+//   - "-exp ingest": sustained broker-side ingest under continuous
+//     multi-publisher load, event-at-a-time versus burst ingest.
 //
 // Full paper-scale runs take a few minutes (they are paced in real time
-// like the original testbed); -scale shrinks them for a quick look.
+// like the original testbed); -scale shrinks them for a quick look, and
+// -short shrinks everything to CI scale.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"github.com/globalmmcs/globalmmcs"
 )
@@ -36,16 +40,24 @@ func main() {
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "fig3", "experiment: fig3, audiocap, videocap, fanout, pubpath, all")
+		exp    = flag.String("exp", "fig3", "experiment: fig3, audiocap, videocap, fanout, pubpath, ingest, all")
 		scale  = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper scale)")
 		outDir = flag.String("out", "bench-out", "directory for TSV series dumps")
-		subs   = flag.Int("fanout-subs", 64, "fanout: subscriber count")
-		pubs   = flag.Int("fanout-pubs", 4, "fanout: publisher count")
+		subs   = flag.Int("fanout-subs", 64, "fanout/ingest: subscriber count")
+		pubs   = flag.Int("fanout-pubs", 4, "fanout/ingest: publisher count")
 		events = flag.Int("fanout-events", 2000, "fanout: events per publisher")
+		window = flag.Duration("ingest-window", 2*time.Second, "ingest: steady-state measurement window")
+		short  = flag.Bool("short", false, "shrink runs for a quick (or CI) look")
 	)
 	flag.Parse()
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
+	}
+	if *short {
+		*scale = min(*scale, 0.05)
+		*subs = min(*subs, 16)
+		*events = min(*events, 250)
+		*window = min(*window, 300*time.Millisecond)
 	}
 	switch *exp {
 	case "fig3":
@@ -58,6 +70,8 @@ func run() error {
 		return runFanout(*subs, *pubs, *events)
 	case "pubpath":
 		return runPubPath(*pubs)
+	case "ingest":
+		return runIngest(*subs, *pubs, *window)
 	case "all":
 		if err := runFig3(*scale, *outDir); err != nil {
 			return err
@@ -71,10 +85,50 @@ func run() error {
 		if err := runFanout(*subs, *pubs, *events); err != nil {
 			return err
 		}
-		return runPubPath(*pubs)
+		if err := runPubPath(*pubs); err != nil {
+			return err
+		}
+		return runIngest(*subs, *pubs, *window)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+}
+
+// runIngest measures sustained broker-side ingest with burst ingest off
+// (the event-at-a-time baseline) and on, and prints the reports as a
+// JSON array (the format of BENCH_broker.json's ingest section).
+func runIngest(subs, pubs int, window time.Duration) error {
+	fmt.Fprintf(os.Stderr, "=== Sustained ingest: %d mem subscribers, %d continuous tcp publishers, %s window ===\n",
+		subs, pubs, window)
+	var reports []*globalmmcs.IngestReport
+	for _, burst := range []int{1, 0} {
+		res, err := globalmmcs.RunIngest(globalmmcs.IngestOptions{
+			Subscribers: subs,
+			Publishers:  pubs,
+			Duration:    window,
+			IngestBurst: burst,
+		})
+		if err != nil {
+			return fmt.Errorf("ingest: %w", err)
+		}
+		label := "burst ingest"
+		if burst == 1 {
+			label = "event-at-a-time"
+		}
+		fmt.Fprintf(os.Stderr, "%-16s %12.0f ingested/s %12.0f delivered/s\n",
+			label, res.IngestedPerSec, res.DeliveredPerSec)
+		reports = append(reports, res)
+	}
+	if len(reports) == 2 && reports[0].IngestedPerSec > 0 {
+		fmt.Fprintf(os.Stderr, "burst/baseline ingest speedup: %.2fx\n",
+			reports[1].IngestedPerSec/reports[0].IngestedPerSec)
+	}
+	out, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
 }
 
 // runPubPath compares the client→broker publish path per-event versus

@@ -37,6 +37,7 @@ func run() error {
 		shards = flag.Int("route-shards", 0, "routing-lock shard count (0 = default 16)")
 		batch  = flag.Int("max-batch-bytes", 0, "per-session write batch bound (0 = default 256KiB)")
 		flush  = flag.Duration("flush-interval", 0, "batch linger once a session queue idles (0 = flush immediately)")
+		burst  = flag.Int("ingest-burst", 0, "events decoded and routed per ingest sweep (0 = default 256, 1 = event-at-a-time)")
 	)
 	flag.Parse()
 
@@ -49,6 +50,7 @@ func run() error {
 		RouteShards:   *shards,
 		MaxBatchBytes: *batch,
 		FlushInterval: *flush,
+		IngestBurst:   *burst,
 	})
 	defer b.Stop()
 

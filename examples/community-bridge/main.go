@@ -88,7 +88,7 @@ func run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	mmcsSub, err := session.Subscribe(ctx, globalmmcs.Audio, 256)
+	mmcsSub, err := session.Subscribe(ctx, globalmmcs.Audio, globalmmcs.WithBuffer(256))
 	if err != nil {
 		return err
 	}

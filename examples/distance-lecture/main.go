@@ -61,7 +61,7 @@ func run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	audioSub, err := recSession.Subscribe(ctx, globalmmcs.Audio, 1024)
+	audioSub, err := recSession.Subscribe(ctx, globalmmcs.Audio, globalmmcs.WithBuffer(1024))
 	if err != nil {
 		return err
 	}
@@ -162,7 +162,7 @@ func run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	lateSub, err := lateSession.Subscribe(ctx, globalmmcs.Audio, 1024)
+	lateSub, err := lateSession.Subscribe(ctx, globalmmcs.Audio, globalmmcs.WithBuffer(1024))
 	if err != nil {
 		return err
 	}

@@ -96,7 +96,7 @@ func run(ctx context.Context) error {
 	// subscription keeps the default media QoS (drop-oldest, 256-deep) —
 	// a slow consumer would lose the stalest packets, counted on the
 	// stream's Drops and the node's metrics rather than silently.
-	audioSub, err := bobSession.Subscribe(ctx, globalmmcs.Audio, 256)
+	audioSub, err := bobSession.Subscribe(ctx, globalmmcs.Audio, globalmmcs.WithBuffer(256))
 	if err != nil {
 		return err
 	}

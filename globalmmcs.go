@@ -52,7 +52,7 @@ import (
 )
 
 // Version is the release version of this reproduction.
-const Version = "2.1.0"
+const Version = "3.0.0"
 
 // Server is a running Global-MMCS node.
 type Server struct {

@@ -123,7 +123,7 @@ func TestPublicLifecycle(t *testing.T) {
 	}
 
 	// Media: alice sends audio, bob receives and measures.
-	sub, err := bobSession.Subscribe(ctx, globalmmcs.Audio, 64)
+	sub, err := bobSession.Subscribe(ctx, globalmmcs.Audio, globalmmcs.WithBuffer(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +361,7 @@ func TestArchiveRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub, err := session.Subscribe(ctx, globalmmcs.Audio, 256)
+	sub, err := session.Subscribe(ctx, globalmmcs.Audio, globalmmcs.WithBuffer(256))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,7 +395,7 @@ func TestArchiveRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	replaySub, err := replay.Subscribe(ctx, globalmmcs.Audio, 256)
+	replaySub, err := replay.Subscribe(ctx, globalmmcs.Audio, globalmmcs.WithBuffer(256))
 	if err != nil {
 		t.Fatal(err)
 	}

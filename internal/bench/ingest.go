@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/broker"
+	"github.com/globalmmcs/globalmmcs/internal/event"
+	"github.com/globalmmcs/globalmmcs/internal/transport"
+)
+
+// IngestConfig parameterises the sustained-ingest benchmark: M
+// publishers flood one broker continuously for a fixed window while N
+// subscribers drain, and the benchmark reports the broker-side ingest
+// rate — events accepted and routed per second of wall time. Unlike
+// RunFanout (a fixed batch of events, clocked end to end) this holds the
+// broker at saturation and measures the steady state, which is the
+// operating point the burst-ingest path exists for: at 64 subscribers
+// every ingested event used to cost ~64 queue locks and writer wakeups;
+// burst ingest amortizes them across everything one read delivered.
+type IngestConfig struct {
+	// Mode selects the routing mode. Default ModeClientServer.
+	Mode broker.Mode
+	// Subscribers is the fan-out width N. Default 64.
+	Subscribers int
+	// Publishers is the number of concurrent publishers M. Default 4.
+	Publishers int
+	// PayloadBytes sizes each event payload. Default 1200.
+	PayloadBytes int
+	// Transport selects the subscribers' links: "mem" (the default)
+	// keeps fan-out delivery cheap (pointer moves) so the measured rate
+	// reflects broker-side ingest — routing, per-session queue handoff,
+	// writer wakeups — rather than delivery byte-copying; "tcp" runs the
+	// full wire path on both sides.
+	Transport string
+	// PubTransport selects the publishers' links ("" follows Transport
+	// when that is "tcp", else "tcp"). The default tcp publishers
+	// exercise the framed burst-decode ingest path.
+	PubTransport string
+	// Warmup runs load before the measurement window opens, so connection
+	// ramp and cold caches are not charged to the rate. Default 300ms.
+	Warmup time.Duration
+	// Duration is the measurement window. Default 2s.
+	Duration time.Duration
+	// IngestBurst sets the broker's per-sweep burst bound: 0 keeps the
+	// broker default (burst ingest on), 1 degenerates to event-at-a-time
+	// ingest — the pre-batching baseline the speedup is measured against.
+	IngestBurst int
+	// PublishBatching routes publishers through the client-side batching
+	// Publisher (the sustained gateway-sender configuration). Default
+	// true — set DisablePublishBatching to turn it off.
+	DisablePublishBatching bool
+	// QueueDepth overrides the broker's per-session best-effort depth.
+	// Default 8192.
+	QueueDepth int
+	// FlushInterval is the broker's batch linger (default 1ms, the
+	// throughput-bound operating point).
+	FlushInterval time.Duration
+}
+
+func (c IngestConfig) withDefaults() IngestConfig {
+	if c.Mode == 0 {
+		c.Mode = broker.ModeClientServer
+	}
+	if c.Subscribers <= 0 {
+		c.Subscribers = 64
+	}
+	if c.Publishers <= 0 {
+		c.Publishers = 4
+	}
+	if c.PayloadBytes <= 0 {
+		c.PayloadBytes = 1200
+	}
+	if c.Transport == "" {
+		c.Transport = "mem"
+	}
+	if c.PubTransport == "" {
+		c.PubTransport = "tcp"
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 300 * time.Millisecond
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8192
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = time.Millisecond
+	}
+	if c.FlushInterval < 0 {
+		c.FlushInterval = 0
+	}
+	return c
+}
+
+// IngestResult reports one sustained-ingest run.
+type IngestResult struct {
+	Mode      string `json:"mode"`
+	Transport string `json:"transport"`
+	// PubTransport is the publishers' link when it differs from
+	// Transport ("" otherwise).
+	PubTransport    string `json:"pub_transport,omitempty"`
+	Subscribers     int    `json:"subscribers"`
+	Publishers      int    `json:"publishers"`
+	PayloadBytes    int    `json:"payload_bytes"`
+	IngestBurst     int    `json:"ingest_burst"`
+	PublishBatching bool   `json:"publish_batching"`
+	// WindowSec is the measurement window length.
+	WindowSec float64 `json:"window_sec"`
+	// IngestedPerSec is the headline number: events the broker accepted
+	// and routed per second of window time (broker.events_routed rate).
+	IngestedPerSec float64 `json:"ingested_per_sec"`
+	// ArrivedPerSec is the raw inbound event rate (broker.events_in),
+	// including control traffic.
+	ArrivedPerSec float64 `json:"arrived_per_sec"`
+	// DeliveredPerSec is the outbound delivery rate across all
+	// subscribers (broker.events_out).
+	DeliveredPerSec float64 `json:"delivered_per_sec"`
+}
+
+func (r IngestResult) String() string {
+	return fmt.Sprintf("ingest %s/%s subs=%d pubs=%d burst=%d ingested %.0f ev/s delivered %.0f ev/s",
+		r.Mode, r.Transport, r.Subscribers, r.Publishers, r.IngestBurst,
+		r.IngestedPerSec, r.DeliveredPerSec)
+}
+
+// ingestTopic is the concrete topic the publishers flood.
+const ingestTopic = "/bench/ingest/stream"
+
+// RunIngest runs the sustained-ingest benchmark.
+func RunIngest(cfg IngestConfig) (IngestResult, error) {
+	cfg = cfg.withDefaults()
+	res := IngestResult{
+		Mode:            cfg.Mode.String(),
+		Transport:       cfg.Transport,
+		Subscribers:     cfg.Subscribers,
+		Publishers:      cfg.Publishers,
+		PayloadBytes:    cfg.PayloadBytes,
+		IngestBurst:     cfg.IngestBurst,
+		PublishBatching: !cfg.DisablePublishBatching,
+	}
+	if cfg.PubTransport != cfg.Transport {
+		res.PubTransport = cfg.PubTransport
+	}
+
+	b := broker.New(broker.Config{
+		ID:            "ingest-broker",
+		Mode:          cfg.Mode,
+		QueueDepth:    cfg.QueueDepth,
+		FlushInterval: cfg.FlushInterval,
+		IngestBurst:   cfg.IngestBurst,
+	})
+	defer b.Stop()
+	if res.IngestBurst == 0 {
+		res.IngestBurst = broker.DefaultIngestBurst
+	}
+
+	for _, tr := range []string{cfg.Transport, cfg.PubTransport} {
+		if tr != "mem" && tr != "tcp" {
+			return res, fmt.Errorf("bench: unknown ingest transport %q", tr)
+		}
+	}
+	var listenAddr string
+	if cfg.Transport == "tcp" || cfg.PubTransport == "tcp" {
+		l, err := b.Listen("tcp://127.0.0.1:0")
+		if err != nil {
+			return res, err
+		}
+		listenAddr = l.Addr()
+	}
+	dial := func(tr, id string) (*broker.Client, error) {
+		if tr == "mem" {
+			return b.LocalClient(id, transport.LinkProfile{})
+		}
+		return broker.Dial(listenAddr, id)
+	}
+
+	subs := make([]*broker.Client, 0, cfg.Subscribers)
+	defer func() {
+		for _, c := range subs {
+			c.Close()
+		}
+	}()
+	for i := 0; i < cfg.Subscribers; i++ {
+		c, err := dial(cfg.Transport, fmt.Sprintf("ingest-sub-%d", i))
+		if err != nil {
+			return res, fmt.Errorf("bench: subscriber %d: %w", i, err)
+		}
+		subs = append(subs, c)
+		sub, err := c.Subscribe("/bench/ingest/#", 1024)
+		if err != nil {
+			return res, fmt.Errorf("bench: subscribe %d: %w", i, err)
+		}
+		go func() {
+			for range sub.C() {
+			}
+		}()
+	}
+
+	payload := make([]byte, cfg.PayloadBytes)
+	stop := make(chan struct{})
+	pubErr := make(chan error, cfg.Publishers)
+	var pubWG sync.WaitGroup
+	for p := 0; p < cfg.Publishers; p++ {
+		c, err := dial(cfg.PubTransport, fmt.Sprintf("ingest-pub-%d", p))
+		if err != nil {
+			return res, fmt.Errorf("bench: publisher %d: %w", p, err)
+		}
+		defer c.Close()
+		pubWG.Add(1)
+		go func(c *broker.Client) {
+			defer pubWG.Done()
+			publish := c.Publish
+			if !cfg.DisablePublishBatching {
+				pub := c.Publisher(broker.PublisherConfig{Batching: true})
+				defer pub.Close()
+				publish = func(t string, kind event.Kind, payload []byte) error {
+					return pub.Publish(event.New(t, kind, payload))
+				}
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := publish(ingestTopic, event.KindRTP, payload); err != nil {
+					select {
+					case pubErr <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(c)
+	}
+
+	snapshot := func() (ingested, arrived, delivered uint64) {
+		m := b.Metrics()
+		return m.Counter("broker.events_routed").Value(),
+			m.Counter("broker.events_in").Value(),
+			m.Counter("broker.events_out").Value()
+	}
+
+	time.Sleep(cfg.Warmup)
+	i0, a0, d0 := snapshot()
+	t0 := time.Now()
+	time.Sleep(cfg.Duration)
+	i1, a1, d1 := snapshot()
+	window := time.Since(t0).Seconds()
+	close(stop)
+	pubWG.Wait()
+
+	select {
+	case err := <-pubErr:
+		return res, fmt.Errorf("bench: publish: %w", err)
+	default:
+	}
+
+	res.WindowSec = window
+	if window > 0 {
+		res.IngestedPerSec = float64(i1-i0) / window
+		res.ArrivedPerSec = float64(a1-a0) / window
+		res.DeliveredPerSec = float64(d1-d0) / window
+	}
+	return res, nil
+}

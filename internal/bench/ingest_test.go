@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// quickIngest shrinks the sustained-ingest run so it completes in well
+// under a second; it runs even with -short (and under -race in CI) so
+// the burst-ingest data path is exercised on every push.
+func quickIngest() IngestConfig {
+	return IngestConfig{
+		Subscribers: 8,
+		Publishers:  2,
+		Warmup:      50 * time.Millisecond,
+		Duration:    200 * time.Millisecond,
+	}
+}
+
+func TestIngestBurst(t *testing.T) {
+	res, err := RunIngest(quickIngest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IngestedPerSec <= 0 {
+		t.Fatalf("ingested/sec = %v", res.IngestedPerSec)
+	}
+	if res.DeliveredPerSec <= 0 {
+		t.Fatalf("delivered/sec = %v", res.DeliveredPerSec)
+	}
+	t.Log(res)
+}
+
+// TestIngestBaseline runs the ablation configuration (IngestBurst 1,
+// per-event publishes) that the benchmark's before/after comparison is
+// measured against.
+func TestIngestBaseline(t *testing.T) {
+	cfg := quickIngest()
+	cfg.IngestBurst = 1
+	cfg.DisablePublishBatching = true
+	res, err := RunIngest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IngestedPerSec <= 0 {
+		t.Fatalf("ingested/sec = %v", res.IngestedPerSec)
+	}
+	if res.IngestBurst != 1 {
+		t.Fatalf("IngestBurst = %d, want 1", res.IngestBurst)
+	}
+	t.Log(res)
+}
+
+// TestIngestMem exercises the all-in-process pointer path, whose egress
+// now also batches (eventBatchSink and the batch-message pipe) when
+// burst ingest is on.
+func TestIngestMem(t *testing.T) {
+	cfg := quickIngest()
+	cfg.Transport = "mem"
+	cfg.PubTransport = "mem"
+	res, err := RunIngest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IngestedPerSec <= 0 {
+		t.Fatalf("ingested/sec = %v", res.IngestedPerSec)
+	}
+	t.Log(res)
+}

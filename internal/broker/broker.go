@@ -75,6 +75,13 @@ type Config struct {
 	// batching then happens only under sustained load, costing no
 	// latency. Reliable events always flush immediately regardless.
 	FlushInterval time.Duration
+	// IngestBurst bounds how many events a session reader decodes and
+	// routes per sweep on burst-capable conns. Within a burst, publish
+	// targets are resolved once per topic and each target session is
+	// locked and signalled once — the amortization that keeps sustained
+	// ingest cheap at wide fan-out. Default 256; 1 degenerates the data
+	// path to event-at-a-time ingest and egress (an ablation knob).
+	IngestBurst int
 	// DisableRouteCache turns off per-topic match memoisation — an
 	// ablation knob for the "optimizations on the message transmission"
 	// the paper credits for the broker's media performance.
@@ -117,6 +124,12 @@ func (c Config) withDefaults() Config {
 	if c.FlushInterval < 0 {
 		c.FlushInterval = 0
 	}
+	if c.IngestBurst == 0 {
+		c.IngestBurst = DefaultIngestBurst
+	}
+	if c.IngestBurst < 1 {
+		c.IngestBurst = 1
+	}
 	if c.Metrics == nil {
 		c.Metrics = &metrics.Registry{}
 	}
@@ -137,6 +150,9 @@ type Broker struct {
 
 	// router is the data plane: sharded subscription state + route cache.
 	router *router
+	// matchFn is router.match bound once, so the per-event route call
+	// does not allocate a method value.
+	matchFn func(string) []*session
 
 	mu       sync.RWMutex
 	closed   bool
@@ -196,6 +212,11 @@ func resolveCounters(reg *metrics.Registry) brokerCounters {
 // ErrBrokerStopped is returned by operations on a stopped Broker.
 var ErrBrokerStopped = errors.New("broker: closed")
 
+// DefaultIngestBurst bounds a session reader's per-sweep burst when the
+// config leaves IngestBurst zero. 256 events cover everything one
+// 256 KiB receive chunk holds at media MTU.
+const DefaultIngestBurst = 256
+
 // New creates a broker and starts its housekeeping loop.
 func New(cfg Config) *Broker {
 	cfg = cfg.withDefaults()
@@ -211,6 +232,7 @@ func New(cfg Config) *Broker {
 		ctr:         resolveCounters(cfg.Metrics),
 		done:        make(chan struct{}),
 	}
+	b.matchFn = b.router.match
 	b.wg.Add(1)
 	go b.housekeeping()
 	return b
@@ -561,20 +583,41 @@ func (b *Broker) peerList(except *session) []*session {
 // peers according to the routing mode. from is nil for loopback
 // publishes.
 //
-// This is the data-plane hot path: it takes no broker-wide lock. Target
-// resolution goes through the sharded router, the peer flood set is a
-// lock-free snapshot, and the event is encoded at most twice regardless
-// of fan-out width — once for local sessions and once (a one-byte TTL
-// patch on a buffer copy) for peers.
+// This is the event-at-a-time entry to the data-plane hot path: it
+// takes no broker-wide lock, and the whole routing policy lives in
+// routeOne (shared with the burst path). The event is encoded at most
+// twice regardless of fan-out width — once for local sessions and once
+// (a one-byte TTL patch on a buffer copy) for peers.
 func (b *Broker) route(e *event.Event, from *session) {
+	b.routeOne(e, from, b.matchFn, deliverDirect, nil)
+}
+
+// deliverDirect is route's delivery strategy: hand the event to the
+// session immediately.
+func deliverDirect(t *session, e *event.Event, fs *frameSource) { t.deliver(e, fs) }
+
+// deliverFn hands one resolved delivery to its target. Implementations
+// deliver immediately (Broker.route) or stage into a per-session batch
+// (routeSweep.routeBatch).
+type deliverFn func(t *session, e *event.Event, fs *frameSource)
+
+// routeOne is the single implementation of the routing policy —
+// duplicate suppression, split horizon, per-hop TTL decrement, and the
+// peer-to-peer flood — behind both the event-at-a-time and the burst
+// path. Target resolution goes through match (the sharded router, or a
+// per-burst memo of it) and every delivery through deliver. served is a
+// reusable scratch buffer for the flood's already-served peer set; the
+// (possibly grown) buffer is returned for reuse.
+func (b *Broker) routeOne(e *event.Event, from *session, match func(string) []*session, deliver deliverFn, served []*session) []*session {
+	served = served[:0]
 	fromPeer := from != nil && from.isPeer
 	if fromPeer || b.cfg.Mode == ModePeerToPeer {
 		if b.dedup.seen(e.Key()) {
 			b.ctr.duplicates.Inc()
-			return
+			return served
 		}
 	}
-	targets := b.router.match(e.Topic)
+	targets := match(e.Topic)
 	fs := newFrameSource(e)
 	var peerFS *frameSource
 	var peerEvent *event.Event
@@ -587,7 +630,6 @@ func (b *Broker) route(e *event.Event, from *session) {
 		}
 	}
 	delivered := 0
-	var deliveredPeers []*session
 	for _, t := range targets {
 		if t == from && t.isPeer {
 			continue // split horizon: never echo back along the inbound link
@@ -597,10 +639,10 @@ func (b *Broker) route(e *event.Event, from *session) {
 				continue
 			}
 			preparePeer()
-			t.deliver(peerEvent, peerFS)
-			deliveredPeers = append(deliveredPeers, t)
+			deliver(t, peerEvent, peerFS)
+			served = append(served, t)
 		} else {
-			t.deliver(e, fs)
+			deliver(t, e, fs)
 		}
 		delivered++
 	}
@@ -613,13 +655,13 @@ func (b *Broker) route(e *event.Event, from *session) {
 			// A peer that advertised a matching pattern was already served
 			// above; flooding it again would put the same event on the
 			// wire twice.
-			for _, d := range deliveredPeers {
+			for _, d := range served {
 				if d == p {
 					continue flood
 				}
 			}
 			preparePeer()
-			p.deliver(peerEvent, peerFS)
+			deliver(p, peerEvent, peerFS)
 			delivered++
 		}
 	}
@@ -627,6 +669,7 @@ func (b *Broker) route(e *event.Event, from *session) {
 	if delivered == 0 {
 		b.ctr.unroutable.Inc()
 	}
+	return served
 }
 
 // matchSessions resolves the sessions subscribed to a concrete topic via
@@ -691,11 +734,9 @@ func (b *Broker) ConnectPeerConn(conn transport.Conn) error {
 		conn.Close()
 		return err
 	}
-	if rseqStr, ok := reply.Headers[hdrRSeq]; ok {
-		if rseq, err := parseUint(rseqStr); err == nil {
-			cum, _ := s.acceptReliable(rseq)
-			s.queue.pushReliable(ackEvent(cum))
-		}
+	if rseq, tagged, bad := inboundRSeq(reply); tagged && !bad {
+		cum, _ := s.acceptReliable(rseq)
+		s.queue.pushReliable(ackEvent(cum))
 	}
 	b.sendAdvertisementSnapshot(s)
 	return nil

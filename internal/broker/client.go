@@ -407,43 +407,68 @@ func (c *Client) stamp(e *event.Event) error {
 	return nil
 }
 
+// clientRecvBurst bounds how many events the client reader takes per
+// burst receive.
+const clientRecvBurst = 256
+
 func (c *Client) readLoop() {
 	defer c.wg.Done()
 	defer c.teardown()
+	bc, canBurst := c.conn.(transport.BurstConn)
+	if !canBurst {
+		for {
+			e, err := c.conn.Recv()
+			if err != nil {
+				return
+			}
+			c.handleInbound(e)
+		}
+	}
+	// Burst receive: one wakeup and one conn operation per batch the
+	// broker's writer flushed, with per-event processing unchanged.
+	events := make([]*event.Event, 0, clientRecvBurst)
 	for {
-		e, err := c.conn.Recv()
+		events = events[:0]
+		events, err := bc.RecvBurst(events, clientRecvBurst)
+		for _, e := range events {
+			c.handleInbound(e)
+		}
+		clear(events) // never pin delivered events in the reused buffer
 		if err != nil {
 			return
 		}
-		if rseqStr, ok := e.Headers[hdrRSeq]; ok && e.Topic != topicAck {
-			rseq, err := parseUint(rseqStr)
-			if err != nil {
-				continue
-			}
-			cum, fresh := c.acceptReliable(rseq)
-			_ = c.conn.Send(ackEvent(cum))
-			if !fresh {
-				continue
-			}
-			e = e.Clone()
-			delete(e.Headers, hdrRSeq)
+	}
+}
+
+// handleInbound processes one event from the broker: hop reliability,
+// control fencing, then subscription dispatch.
+func (c *Client) handleInbound(e *event.Event) {
+	if rseq, tagged, bad := inboundRSeq(e); tagged && e.Topic != topicAck {
+		if bad {
+			return
 		}
-		if isControlTopic(e.Topic) {
-			if e.Topic == topicPing {
-				c.mu.Lock()
-				ch := c.waiters[e.Headers[hdrSeq]]
-				c.mu.Unlock()
-				if ch != nil {
-					select {
-					case ch <- struct{}{}:
-					default:
-					}
+		cum, fresh := c.acceptReliable(rseq)
+		_ = c.conn.Send(ackEvent(cum))
+		if !fresh {
+			return
+		}
+		e = stripRSeq(e)
+	}
+	if isControlTopic(e.Topic) {
+		if e.Topic == topicPing {
+			c.mu.Lock()
+			ch := c.waiters[e.Headers[hdrSeq]]
+			c.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- struct{}{}:
+				default:
 				}
 			}
-			continue
 		}
-		c.dispatch(e)
+		return
 	}
+	c.dispatch(e)
 }
 
 // dispatch fans an event out to matching local subscriptions. Best-effort

@@ -217,9 +217,8 @@ func TestStaleAdvertisementsPruned(t *testing.T) {
 			}
 			// Ack reliable traffic so the session stays healthy, but never
 			// re-advertise.
-			if rseq, ok := e.Headers[hdrRSeq]; ok && e.Topic != topicAck {
-				v, _ := parseUint(rseq)
-				_ = client.Send(ackEvent(v))
+			if rseq, tagged, bad := inboundRSeq(e); tagged && !bad && e.Topic != topicAck {
+				_ = client.Send(ackEvent(rseq))
 			}
 		}
 	}()

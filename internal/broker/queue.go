@@ -2,18 +2,22 @@ package broker
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/globalmmcs/globalmmcs/internal/event"
 )
 
-// outItem is one outbound unit on a session's send queue: the decoded
-// event (always set) plus, for best-effort traffic bound for a framed
-// wire conn, the shared encode-once frame produced at route time.
+// outItem is one outbound unit on a session's send queue: a decoded
+// event, a pre-encoded frame, or both. Best-effort traffic bound for a
+// framed wire conn shares the encode-once frame produced at route time;
+// reliable traffic on framed conns carries its rseq-patched copy of the
+// shared encoding.
 type outItem struct {
+	// e is the decoded event; nil only for frame-backed reliable items on
+	// framed conns (whose writer never needs the decoded form).
 	e *event.Event
-	// frame is the immutable pre-encoded form shared across the fan-out;
-	// nil when the writer must marshal itself (control, reliable, or
-	// non-framed conns).
+	// frame is the immutable pre-encoded form; nil when the writer must
+	// marshal itself (un-tagged control traffic, or non-framed conns).
 	frame *event.Frame
 	// reliable marks items on the never-dropped lane; the writer flushes
 	// its batch immediately after them so signalling never lingers in a
@@ -49,6 +53,12 @@ type sendQueue struct {
 	closed bool
 	drops  uint64
 
+	// pushLocks counts producer-side mutex acquisitions. It instruments
+	// the batching contract — a burst fanned to a session costs one lock
+	// acquisition (pushBatch), not one per event — and is asserted by
+	// regression tests.
+	pushLocks atomic.Uint64
+
 	// notify carries at most one wakeup token; every push and close
 	// deposits one, the single consumer drains to empty before waiting.
 	notify chan struct{}
@@ -78,12 +88,22 @@ func (q *sendQueue) waitCh() <-chan struct{} { return q.notify }
 // the oldest queued event if full. It reports whether the queue accepted
 // the event without dropping.
 func (q *sendQueue) pushBestEffort(e *event.Event, frame *event.Frame) bool {
+	q.pushLocks.Add(1)
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
 		return false
 	}
-	dropped := false
+	dropped := q.appendBestEffortLocked(outItem{e: e, frame: frame})
+	q.mu.Unlock()
+	q.signal()
+	return !dropped
+}
+
+// appendBestEffortLocked inserts one item into the best-effort ring,
+// displacing the oldest entry when full. It reports whether an entry was
+// dropped. Callers hold q.mu.
+func (q *sendQueue) appendBestEffortLocked(it outItem) (dropped bool) {
 	if q.beLen == len(q.be) {
 		// Drop oldest.
 		q.be[q.beHead] = outItem{}
@@ -92,21 +112,52 @@ func (q *sendQueue) pushBestEffort(e *event.Event, frame *event.Frame) bool {
 		q.drops++
 		dropped = true
 	}
-	q.be[(q.beHead+q.beLen)%len(q.be)] = outItem{e: e, frame: frame}
+	q.be[(q.beHead+q.beLen)%len(q.be)] = it
 	q.beLen++
+	return dropped
+}
+
+// pushBatch enqueues a burst of best-effort items with one lock
+// acquisition and one writer wakeup — the amortization that makes burst
+// ingest cheap: a burst fanned out to N sessions costs N lock/signal
+// pairs total, not N per event. It returns how many events were dropped
+// (ring overflow, or the whole batch when the queue is closed).
+func (q *sendQueue) pushBatch(items []outItem) int {
+	if len(items) == 0 {
+		return 0
+	}
+	q.pushLocks.Add(1)
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return len(items)
+	}
+	dropped := 0
+	for _, it := range items {
+		if q.appendBestEffortLocked(it) {
+			dropped++
+		}
+	}
 	q.mu.Unlock()
 	q.signal()
-	return !dropped
+	return dropped
 }
 
 // pushReliable enqueues e on the never-dropped lane.
 func (q *sendQueue) pushReliable(e *event.Event) {
+	q.pushItem(outItem{e: e, reliable: true})
+}
+
+// pushItem enqueues one pre-built item on the never-dropped lane. The
+// reliable fan-out path uses it to queue rseq-patched frames directly.
+func (q *sendQueue) pushItem(it outItem) {
+	q.pushLocks.Add(1)
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
 		return
 	}
-	q.rel = append(q.rel, outItem{e: e, reliable: true})
+	q.rel = append(q.rel, it)
 	q.mu.Unlock()
 	q.signal()
 }
@@ -134,6 +185,36 @@ func (q *sendQueue) tryPop() (outItem, popState) {
 	return outItem{}, popEmpty
 }
 
+// popBatch appends up to max queued items to buf under one lock
+// acquisition — the consumer-side mirror of pushBatch — preferring the
+// reliable lane. The state is popOK when anything was drained, popEmpty
+// when the queue is open but empty, popClosed once closed and drained.
+func (q *sendQueue) popBatch(buf []outItem, max int) ([]outItem, popState) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for n < max && len(q.rel) > 0 {
+		buf = append(buf, q.rel[0])
+		q.rel[0] = outItem{}
+		q.rel = q.rel[1:]
+		n++
+	}
+	for n < max && q.beLen > 0 {
+		buf = append(buf, q.be[q.beHead])
+		q.be[q.beHead] = outItem{}
+		q.beHead = (q.beHead + 1) % len(q.be)
+		q.beLen--
+		n++
+	}
+	if n > 0 {
+		return buf, popOK
+	}
+	if q.closed {
+		return buf, popClosed
+	}
+	return buf, popEmpty
+}
+
 // pop blocks until an event is available or the queue closes. The second
 // return is false once the queue is closed and drained.
 func (q *sendQueue) pop() (*event.Event, bool) {
@@ -156,6 +237,10 @@ func (q *sendQueue) close() {
 	q.mu.Unlock()
 	q.signal()
 }
+
+// pushLockCount returns how many producer-side lock acquisitions the
+// queue has seen (test instrumentation for the batching contract).
+func (q *sendQueue) pushLockCount() uint64 { return q.pushLocks.Load() }
 
 // dropCount returns how many best-effort events have been dropped.
 func (q *sendQueue) dropCount() uint64 {

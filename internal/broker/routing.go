@@ -96,14 +96,17 @@ func (r *router) match(t string) []*session {
 	return targets
 }
 
-// frameSource lazily encodes one event a single time per route() call so
+// frameSource lazily encodes one event a single time per route sweep so
 // every wire-bound session in the fan-out shares the same immutable
 // frame. A derived source (peer TTL decrement) patches the parent's
-// frame header instead of re-marshalling. Not safe for concurrent use:
-// each route() call owns one.
+// frame header instead of re-marshalling, and the reliable plane shares
+// a second lazy encoding that carries a trailing patchable rseq slot
+// (per-target tagging is then an 8-byte patch on a buffer copy). Not
+// safe for concurrent use: each route sweep owns one per event.
 type frameSource struct {
 	e      *event.Event
 	f      *event.Frame
+	rf     *event.Frame // rseq-slot encoding for the reliable plane
 	parent *frameSource
 	ttl    uint8
 }
@@ -127,4 +130,143 @@ func (fs *frameSource) frame() *event.Frame {
 		}
 	}
 	return fs.f
+}
+
+// reliableFrame returns the shared rseq-slot encoding, encoding on first
+// use. Fan-out to K framed targets performs one marshal here; each
+// target then derives an 8-byte-patched copy (Frame.WithRSeq) instead of
+// a clone+marshal.
+func (fs *frameSource) reliableFrame() *event.Frame {
+	if fs.rf == nil {
+		if fs.parent != nil {
+			fs.rf = fs.parent.reliableFrame().WithTTL(fs.ttl)
+		} else {
+			fs.rf = event.NewFrameWithRSeqSlot(fs.e)
+		}
+	}
+	return fs.rf
+}
+
+// routeSweep is the burst-at-a-time counterpart of Broker.route: it
+// routes a whole decoded burst in one sweep, resolving targets once per
+// topic (memoized across the burst) and staging best-effort deliveries
+// into per-session batches that are pushed — one queue lock, one writer
+// wakeup per session — when the sweep finishes. Owned by a single reader
+// goroutine; not safe for concurrent use.
+type routeSweep struct {
+	b *Broker
+
+	// Per-burst target memo. Resolving a topic through the router costs a
+	// cache-shard RLock per call; a burst repeating one topic (a media
+	// stream) resolves it once, with a map-free fast path for the
+	// immediately preceding topic.
+	lastTopic   string
+	lastTargets []*session
+	lastOK      bool
+	topics      map[string][]*session
+
+	// Per-session staging, index-stable within a sweep so the item
+	// slices are reused burst to burst.
+	idx      map[*session]int
+	sessions []*session
+	items    [][]outItem
+
+	peersServed []*session // per-event scratch for the p2p flood
+
+	// matchFn/deliverFn are matchMemo/deliverStaged bound once so the
+	// per-event routeOne call does not allocate method values.
+	matchFn   func(string) []*session
+	deliverFn deliverFn
+}
+
+// newRouteSweep creates a sweep bound to the broker's data plane.
+func (b *Broker) newRouteSweep() *routeSweep {
+	rs := &routeSweep{
+		b:      b,
+		topics: make(map[string][]*session),
+		idx:    make(map[*session]int),
+	}
+	rs.matchFn = rs.matchMemo
+	rs.deliverFn = rs.deliverStaged
+	return rs
+}
+
+// matchMemo resolves targets for a topic at most once per burst.
+func (rs *routeSweep) matchMemo(topic string) []*session {
+	if rs.lastOK && topic == rs.lastTopic {
+		return rs.lastTargets
+	}
+	targets, ok := rs.topics[topic]
+	if !ok {
+		targets = rs.b.router.match(topic)
+		rs.topics[topic] = targets
+	}
+	rs.lastTopic, rs.lastTargets, rs.lastOK = topic, targets, true
+	return targets
+}
+
+// stage queues one best-effort item for t in the sweep's pending batch.
+func (rs *routeSweep) stage(t *session, it outItem) {
+	i, ok := rs.idx[t]
+	if !ok {
+		i = len(rs.sessions)
+		rs.idx[t] = i
+		rs.sessions = append(rs.sessions, t)
+		if len(rs.items) < len(rs.sessions) {
+			rs.items = append(rs.items, nil)
+		}
+	}
+	rs.items[i] = append(rs.items[i], it)
+}
+
+// deliverStaged stages one event for t. Best-effort events join the
+// per-session batch; reliable events take the encode-once reliable path
+// immediately (their per-target work is an 8-byte rseq patch, and the
+// reliable lane is ordered independently of the best-effort ring
+// anyway).
+func (rs *routeSweep) deliverStaged(t *session, e *event.Event, fs *frameSource) {
+	if e.Reliable {
+		t.sendReliableFrom(e, fs)
+		return
+	}
+	var f *event.Frame
+	if t.framed {
+		f = fs.frame()
+	}
+	rs.stage(t, outItem{e: e, frame: f})
+}
+
+// routeBatch routes one decoded burst through the single routing-policy
+// implementation (Broker.routeOne), amortizing target resolution (the
+// per-burst memo) and queue handoff (staged pushBatch) across the
+// burst.
+func (rs *routeSweep) routeBatch(events []*event.Event, from *session) {
+	for _, e := range events {
+		rs.peersServed = rs.b.routeOne(e, from, rs.matchFn, rs.deliverFn, rs.peersServed)
+	}
+	rs.finish()
+}
+
+// finish pushes every staged batch — one lock acquisition and one
+// writer wakeup per session — and resets the sweep for the next burst.
+func (rs *routeSweep) finish() {
+	b := rs.b
+	for i, t := range rs.sessions {
+		items := rs.items[i]
+		if dropped := t.queue.pushBatch(items); dropped > 0 {
+			b.ctr.queueDrops.Add(uint64(dropped))
+		}
+		// Clear staged references so the reused buffers never pin events.
+		clear(items)
+		rs.items[i] = items[:0]
+	}
+	clear(rs.sessions)
+	rs.sessions = rs.sessions[:0]
+	clear(rs.idx)
+	clear(rs.topics)
+	rs.lastOK = false
+	rs.lastTargets = nil
+	rs.lastTopic = ""
+	clear(rs.peersServed)
+	rs.peersServed = rs.peersServed[:0]
 }

@@ -8,11 +8,20 @@ import (
 	"github.com/globalmmcs/globalmmcs/internal/transport"
 )
 
-// relEntry tracks one reliable event awaiting acknowledgement.
+// relEntry tracks one reliable event awaiting acknowledgement. Exactly
+// one of e/frame is set: non-framed sessions retransmit the decoded
+// rseq-tagged event, framed sessions retransmit the rseq-patched frame
+// (the encoding is never redone after the initial send).
 type relEntry struct {
 	e        *event.Event
+	frame    *event.Frame
 	lastSend time.Time
 	attempts int
+}
+
+// item returns the queue item that (re)sends this entry.
+func (r *relEntry) item() outItem {
+	return outItem{e: r.e, frame: r.frame, reliable: true}
 }
 
 // seqRing is a FIFO ring of reliable sequence numbers ordered by last
@@ -130,7 +139,7 @@ func (s *session) start() {
 // target set.
 func (s *session) deliver(e *event.Event, fs *frameSource) {
 	if e.Reliable {
-		s.sendReliable(e)
+		s.sendReliableFrom(e, fs)
 		return
 	}
 	var f *event.Frame
@@ -142,9 +151,21 @@ func (s *session) deliver(e *event.Event, fs *frameSource) {
 	}
 }
 
-// sendReliable clones e, tags it with this session's next rseq and
-// enqueues it on the never-dropped lane.
+// sendReliable tags e with this session's next rseq and enqueues it on
+// the never-dropped lane.
 func (s *session) sendReliable(e *event.Event) {
+	s.sendReliableFrom(e, nil)
+}
+
+// sendReliableFrom is sendReliable with an optional shared frame source.
+// On framed sessions the event is encoded once (into a frame with a
+// trailing rseq slot — shared across the whole fan-out when fs is
+// non-nil) and each target's tagging is an 8-byte patch on a buffer
+// copy; the frame is also what retransmits, so the entry never pins a
+// receive arena. Non-framed (in-process) sessions keep a deep copy —
+// reliable traffic is sparse signalling, and the copy detaches the
+// retained entry from any arena chunk the event was decoded in.
+func (s *session) sendReliableFrom(e *event.Event, fs *frameSource) {
 	s.relMu.Lock()
 	if len(s.unacked) >= s.b.cfg.ReliableWindow {
 		// The remote stopped acking; disconnecting is the only safe move
@@ -156,15 +177,24 @@ func (s *session) sendReliable(e *event.Event) {
 	}
 	s.nextRSeq++
 	rseq := s.nextRSeq
-	c := e.Clone()
-	if c.Headers == nil {
-		c.Headers = make(map[string]string, 1)
+	var entry *relEntry
+	if s.framed {
+		var base *event.Frame
+		if fs != nil {
+			base = fs.reliableFrame()
+		} else {
+			base = event.NewFrameWithRSeqSlot(e)
+		}
+		entry = &relEntry{frame: base.WithRSeq(rseq), lastSend: time.Now(), attempts: 1}
+	} else {
+		c := e.Clone()
+		c.RSeq = rseq
+		entry = &relEntry{e: c, lastSend: time.Now(), attempts: 1}
 	}
-	c.Headers[hdrRSeq] = formatUint(rseq)
-	s.unacked[rseq] = &relEntry{e: c, lastSend: time.Now(), attempts: 1}
+	s.unacked[rseq] = entry
 	s.relOrder.push(rseq)
 	s.relMu.Unlock()
-	s.queue.pushReliable(c)
+	s.queue.pushItem(entry.item())
 }
 
 // handleAck applies a cumulative acknowledgement. Cost is proportional
@@ -221,7 +251,9 @@ func (s *session) retransmit(now time.Time, rto time.Duration, maxAttempts int) 
 		entry.attempts++
 		entry.lastSend = now
 		s.relOrder.push(rseq)
-		s.queue.pushReliable(entry.e)
+		// Retransmission reuses the stored form — the rseq-patched frame on
+		// framed sessions — so a retry never re-encodes.
+		s.queue.pushItem(entry.item())
 		s.b.ctr.retransmits.Inc()
 	}
 }
@@ -248,41 +280,127 @@ func (s *session) acceptReliable(rseq uint64) (cum uint64, fresh bool) {
 	return s.recvCum, true
 }
 
+// inboundRSeq extracts the hop-by-hop reliable sequence tag from an
+// inbound event: the wire-native trailing field, or the legacy header.
+// bad reports a malformed tag (the event must be discarded).
+func inboundRSeq(e *event.Event) (rseq uint64, tagged, bad bool) {
+	if e.RSeq != 0 {
+		return e.RSeq, true, false
+	}
+	str, ok := e.Headers[hdrRSeq]
+	if !ok {
+		return 0, false, false
+	}
+	v, err := parseUint(str)
+	if err != nil {
+		return 0, true, true
+	}
+	return v, true, false
+}
+
+// stripRSeq returns e without its per-hop sequence tag, never mutating
+// the original (which other sessions may share). The wire-native tag
+// costs a shallow struct copy; the legacy header form pays a clone.
+func stripRSeq(e *event.Event) *event.Event {
+	if e.RSeq != 0 {
+		c := *e
+		c.RSeq = 0
+		return &c
+	}
+	c := e.Clone()
+	delete(c.Headers, hdrRSeq)
+	return c
+}
+
 func (s *session) readLoop() {
 	defer s.wg.Done()
 	defer s.close()
+	bc, burst := s.conn.(transport.BurstConn)
+	maxBurst := s.b.cfg.IngestBurst
+	if !burst || maxBurst <= 1 {
+		for {
+			e, err := s.conn.Recv()
+			if err != nil {
+				return
+			}
+			s.b.ctr.eventsIn.Inc()
+			e, isControl := s.ingestPrepare(e)
+			switch {
+			case e == nil:
+			case isControl:
+				s.handleControl(e)
+			default:
+				s.b.route(e, s)
+			}
+		}
+	}
+
+	// Burst ingest: decode everything one read delivered, then route the
+	// burst in one sweep — targets resolved once per topic, each session
+	// locked and signalled once. A control event flushes the pending
+	// sweep first, so request ordering within the burst is preserved.
+	sweep := s.b.newRouteSweep()
+	events := make([]*event.Event, 0, maxBurst)
+	routable := make([]*event.Event, 0, maxBurst)
+	flush := func() {
+		if len(routable) > 0 {
+			sweep.routeBatch(routable, s)
+			clear(routable)
+			routable = routable[:0]
+		}
+	}
 	for {
-		e, err := s.conn.Recv()
+		events = events[:0]
+		events, err := bc.RecvBurst(events, maxBurst)
+		s.b.ctr.eventsIn.Add(uint64(len(events)))
+		for _, e := range events {
+			e, isControl := s.ingestPrepare(e)
+			switch {
+			case e == nil:
+			case isControl:
+				flush()
+				s.handleControl(e)
+			default:
+				routable = append(routable, e)
+			}
+		}
+		flush()
+		// Drop event references eagerly: the reused burst buffer must not
+		// pin arena-decoded payloads across idle periods.
+		clear(events)
 		if err != nil {
 			return
 		}
-		s.b.ctr.eventsIn.Inc()
-		// Hop-by-hop reliability: rseq-tagged events (control or data) are
-		// deduplicated and cumulatively acknowledged before processing.
-		if rseqStr, ok := e.Headers[hdrRSeq]; ok && e.Topic != topicAck {
-			rseq, err := parseUint(rseqStr)
-			if err != nil {
-				continue
-			}
-			cum, fresh := s.acceptReliable(rseq)
-			s.queue.pushReliable(ackEvent(cum))
-			if !fresh {
-				continue
-			}
-			// Strip the per-hop sequence before re-routing.
-			e = e.Clone()
-			delete(e.Headers, hdrRSeq)
-		}
-		if isControlTopic(e.Topic) {
-			s.handleControl(e)
-			continue
-		}
-		if e.Validate() != nil {
-			s.b.ctr.invalid.Inc()
-			continue
-		}
-		s.b.route(e, s)
 	}
+}
+
+// ingestPrepare applies the per-event front half of ingest — hop
+// reliability, control detection, validation. It returns the prepared
+// event (nil when consumed or discarded) and whether it is a control
+// request for handleControl rather than a routable publish.
+func (s *session) ingestPrepare(e *event.Event) (*event.Event, bool) {
+	// Hop-by-hop reliability: rseq-tagged events (control or data) are
+	// deduplicated and cumulatively acknowledged before processing.
+	if rseq, tagged, bad := inboundRSeq(e); tagged && e.Topic != topicAck {
+		if bad {
+			return nil, false
+		}
+		cum, fresh := s.acceptReliable(rseq)
+		s.queue.pushReliable(ackEvent(cum))
+		if !fresh {
+			return nil, false
+		}
+		// Strip the per-hop sequence before re-routing.
+		e = stripRSeq(e)
+	}
+	if isControlTopic(e.Topic) {
+		return e, true
+	}
+	if e.Validate() != nil {
+		s.b.ctr.invalid.Inc()
+		return nil, false
+	}
+	return e, false
 }
 
 func (s *session) handleControl(e *event.Event) {
@@ -312,20 +430,86 @@ func (s *session) handleControl(e *event.Event) {
 	}
 }
 
-// writeLoop drains the send queue onto the conn. For framed conns it
-// aggregates encoded events into a Batcher and flushes on three
-// triggers: the batch reaching MaxBatchBytes, the reliable lane (which
-// must never linger in user space), and the queue going idle — either
-// immediately (FlushInterval 0) or after lingering up to FlushInterval
-// for more traffic to coalesce with.
+// outSink abstracts the writer's aggregation strategy per conn
+// capability: encoded frame batches flushed with one vectored write
+// (FrameConn), decoded-event batches handed over in one call
+// (EventBatchConn — in-process pipes, where the shaper charges syscall
+// cost per call), or plain per-event sends.
+type outSink interface {
+	// add queues one item; implementations may flush internally on size.
+	add(it outItem) error
+	// flush forces everything queued onto the conn.
+	flush() error
+	// pending reports how many items await a flush.
+	pending() int
+}
+
+type directSink struct{ conn transport.Conn }
+
+func (d *directSink) add(it outItem) error { return d.conn.Send(it.e) }
+func (d *directSink) flush() error         { return nil }
+func (d *directSink) pending() int         { return 0 }
+
+type frameSink struct{ bw *transport.Batcher }
+
+func (f *frameSink) add(it outItem) error {
+	if it.frame != nil {
+		return f.bw.Add(it.frame.Bytes())
+	}
+	return f.bw.AddEvent(it.e)
+}
+func (f *frameSink) flush() error { return f.bw.Flush() }
+func (f *frameSink) pending() int { return f.bw.Pending() }
+
+type eventBatchSink struct {
+	bc  transport.EventBatchConn
+	buf []*event.Event
+	max int
+}
+
+func (s *eventBatchSink) add(it outItem) error {
+	s.buf = append(s.buf, it.e)
+	if len(s.buf) >= s.max {
+		return s.flush()
+	}
+	return nil
+}
+
+func (s *eventBatchSink) flush() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	err := s.bc.SendEvents(s.buf)
+	clear(s.buf) // never pin delivered events in the reused buffer
+	s.buf = s.buf[:0]
+	return err
+}
+func (s *eventBatchSink) pending() int { return len(s.buf) }
+
+// newOutSink picks the aggregation strategy for this session's conn.
+// IngestBurst <= 1 (the ablation setting) also disables decoded-event
+// egress batching, so one knob degenerates the whole data path to
+// event-at-a-time behaviour.
+func (s *session) newOutSink() outSink {
+	cfg := s.b.cfg
+	if fc, ok := s.conn.(transport.FrameConn); ok {
+		return &frameSink{bw: transport.NewBatcher(fc, cfg.MaxBatchBytes)}
+	}
+	if bc, ok := s.conn.(transport.EventBatchConn); ok && cfg.IngestBurst > 1 {
+		return &eventBatchSink{bc: bc, max: cfg.IngestBurst}
+	}
+	return &directSink{conn: s.conn}
+}
+
+// writeLoop drains the send queue onto the conn through an outSink,
+// flushing on three triggers: the sink's own size bound, the reliable
+// lane (which must never linger in user space), and the queue going
+// idle — either immediately (FlushInterval 0) or after lingering up to
+// FlushInterval for more traffic to coalesce with.
 func (s *session) writeLoop() {
 	defer s.wg.Done()
 	cfg := s.b.cfg
-	fc, framed := s.conn.(transport.FrameConn)
-	var bw *transport.Batcher
-	if framed {
-		bw = transport.NewBatcher(fc, cfg.MaxBatchBytes)
-	}
+	sink := s.newOutSink()
 
 	// fail closes the session and discards the remaining queue so close()
 	// can complete.
@@ -338,36 +522,49 @@ func (s *session) writeLoop() {
 		}
 	}
 
-	send := func(it outItem) error {
-		if !framed {
-			return s.conn.Send(it.e)
-		}
-		if it.frame != nil {
-			return bw.Add(it.frame.Bytes())
-		}
-		return bw.AddEvent(it.e)
+	// Burst drain: pop everything queued under one lock acquisition (the
+	// consumer-side mirror of pushBatch). IngestBurst <= 1 keeps the
+	// event-at-a-time pops of the pre-batching data path.
+	batchMax := 0
+	if cfg.IngestBurst > 1 {
+		batchMax = cfg.IngestBurst
 	}
+	var drain []outItem
 
 	var lingerTimer *time.Timer
 	for {
-		it, st := s.queue.tryPop()
+		var st popState
+		drain = drain[:0]
+		if batchMax > 0 {
+			drain, st = s.queue.popBatch(drain, batchMax)
+		} else {
+			var it outItem
+			it, st = s.queue.tryPop()
+			if st == popOK {
+				drain = append(drain, it)
+			}
+		}
 		switch st {
 		case popOK:
-			if err := send(it); err != nil {
-				fail()
-				return
-			}
-			s.b.ctr.eventsOut.Inc()
-			if it.reliable && framed {
-				// Signalling and acks flush as soon as the reliable lane
-				// drains; they are never coalesced past their turn.
-				if err := bw.Flush(); err != nil {
+			for _, it := range drain {
+				if err := sink.add(it); err != nil {
 					fail()
 					return
 				}
+				if it.reliable {
+					// Signalling and acks flush as soon as the reliable lane
+					// drains; they are never coalesced past their turn.
+					if err := sink.flush(); err != nil {
+						fail()
+						return
+					}
+				}
 			}
+			s.b.ctr.eventsOut.Add(uint64(len(drain)))
+			// Drop references so the reused drain buffer never pins events.
+			clear(drain)
 		case popEmpty:
-			if framed && bw.Pending() > 0 {
+			if sink.pending() > 0 {
 				if cfg.FlushInterval > 0 {
 					if lingerTimer == nil {
 						lingerTimer = time.NewTimer(cfg.FlushInterval)
@@ -383,7 +580,7 @@ func (s *session) writeLoop() {
 					case <-lingerTimer.C:
 					}
 				}
-				if err := bw.Flush(); err != nil {
+				if err := sink.flush(); err != nil {
 					fail()
 					return
 				}
@@ -391,12 +588,10 @@ func (s *session) writeLoop() {
 			}
 			<-s.queue.waitCh()
 		case popClosed:
-			// Graceful drain: whatever reached the batcher goes out before
+			// Graceful drain: whatever reached the sink goes out before
 			// the writer exits (the conn may already be closed on abortive
 			// shutdown, in which case the flush error is moot).
-			if framed {
-				_ = bw.Flush()
-			}
+			_ = sink.flush()
 			return
 		}
 	}

@@ -46,6 +46,9 @@ type Config struct {
 	// BrokerFlushInterval is the broker's batch linger once a session
 	// queue idles (0 = flush immediately).
 	BrokerFlushInterval time.Duration
+	// BrokerIngestBurst bounds the broker's per-sweep ingest burst
+	// (0 = broker default; 1 = event-at-a-time ablation).
+	BrokerIngestBurst int
 	// BrokerListenURLs are transport URLs the broker accepts remote
 	// clients and peer brokers on (e.g. "tcp://127.0.0.1:0"). Optional.
 	BrokerListenURLs []string
@@ -136,6 +139,7 @@ func Start(ctx context.Context, cfg Config) (*Server, error) {
 		RouteShards:   cfg.BrokerRouteShards,
 		MaxBatchBytes: cfg.BrokerMaxBatchBytes,
 		FlushInterval: cfg.BrokerFlushInterval,
+		IngestBurst:   cfg.BrokerIngestBurst,
 		Metrics:       cfg.Metrics,
 	})
 	for _, url := range cfg.BrokerListenURLs {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Wire-format limits. They bound memory allocated while decoding input
@@ -42,6 +43,11 @@ var (
 const (
 	flagReliable = 1 << 0
 	flagHeaders  = 1 << 1
+	// flagRSeq marks an encoding that ends with a fixed 8-byte big-endian
+	// reliable sequence number after the payload. Keeping the field at a
+	// fixed trailing offset is what lets Frame.WithRSeq patch it per
+	// delivery target without re-marshalling.
+	flagRSeq = 1 << 2
 )
 
 // AppendMarshal appends the wire encoding of e to dst and returns the
@@ -53,13 +59,22 @@ const (
 //	topicLen(varint) topic
 //	[nHeaders(varint) (kLen k vLen v)*]
 //	payloadLen(varint) payload
+//	[rseq(8)]
+//
+// The trailing rseq field is emitted only when e.RSeq != 0; its fixed
+// position at the end of the frame makes per-target rseq rewrites an
+// 8-byte patch (see Frame.WithRSeq).
 func AppendMarshal(dst []byte, e *Event) []byte {
+	marshalCalls.Add(1)
 	var flags byte
 	if e.Reliable {
 		flags |= flagReliable
 	}
 	if len(e.Headers) > 0 {
 		flags |= flagHeaders
+	}
+	if e.RSeq != 0 {
+		flags |= flagRSeq
 	}
 	dst = append(dst, wireMagic, wireVersion, byte(e.Kind), e.TTL, flags)
 	dst = binary.BigEndian.AppendUint64(dst, e.ID)
@@ -75,8 +90,20 @@ func AppendMarshal(dst []byte, e *Event) []byte {
 	}
 	dst = binary.AppendUvarint(dst, uint64(len(e.Payload)))
 	dst = append(dst, e.Payload...)
+	if flags&flagRSeq != 0 {
+		dst = binary.BigEndian.AppendUint64(dst, e.RSeq)
+	}
 	return dst
 }
+
+// marshalCalls counts AppendMarshal invocations. It backs the broker's
+// encode-once regression tests, which assert that fanning a reliable
+// event out to K targets performs O(1) marshals.
+var marshalCalls atomic.Uint64
+
+// MarshalCalls returns the process-wide number of AppendMarshal calls.
+// Test instrumentation: take a delta around the operation under test.
+func MarshalCalls() uint64 { return marshalCalls.Load() }
 
 // Marshal returns the wire encoding of e.
 func Marshal(e *Event) []byte {
@@ -203,10 +230,18 @@ func consume(b []byte, in *Interner) (*Event, []byte, error) {
 	if plen > 0 {
 		e.Payload = b[:plen:plen]
 	}
+	b = b[plen:]
+	if flags&flagRSeq != 0 {
+		if len(b) < 8 {
+			return nil, nil, fmt.Errorf("event: reading rseq: %w", ErrTruncated)
+		}
+		e.RSeq = binary.BigEndian.Uint64(b[:8])
+		b = b[8:]
+	}
 	if !e.Kind.Valid() {
 		return nil, nil, fmt.Errorf("event: invalid kind %d on wire", e.Kind)
 	}
-	return e, b[plen:], nil
+	return e, b, nil
 }
 
 func appendString(dst []byte, s string) []byte {

@@ -77,6 +77,12 @@ type Event struct {
 	Headers map[string]string
 	// Payload is the application data.
 	Payload []byte
+	// RSeq is the hop-by-hop reliable delivery sequence number, 0 when
+	// the event is not rseq-tagged. It rides a fixed trailing field of
+	// the wire encoding, so a broker fanning a reliable event out to many
+	// sessions patches 8 bytes per target (Frame.WithRSeq) instead of
+	// cloning and re-marshalling per target.
+	RSeq uint64
 }
 
 // New returns an event for topic with the given kind and payload,

@@ -1,5 +1,7 @@
 package event
 
+import "encoding/binary"
+
 // ttlOffset is the fixed position of the TTL byte in the wire layout
 // (magic, version, kind, then TTL — see AppendMarshal).
 const ttlOffset = 3
@@ -52,3 +54,46 @@ func (f *Frame) WithTTL(ttl uint8) *Frame {
 // Decode unmarshals the frame back into an event. The returned event's
 // payload aliases the frame buffer and must not be mutated.
 func (f *Frame) Decode() (*Event, error) { return Unmarshal(f.b) }
+
+// flagsOffset is the fixed position of the flags byte in the wire layout
+// (magic, version, kind, ttl, flags — see AppendMarshal).
+const flagsOffset = 4
+
+// NewFrameWithRSeqSlot encodes e with a trailing patchable rseq field
+// (the placeholder value is irrelevant — WithRSeq stamps the real one).
+// A broker fanning a reliable event out encodes this slot frame once and
+// derives one 8-byte-patched copy per target, which is what extends the
+// encode-once fan-out path to the reliable/control plane.
+func NewFrameWithRSeqSlot(e *Event) *Frame {
+	if e.RSeq != 0 {
+		return &Frame{b: Marshal(e)}
+	}
+	c := *e
+	c.RSeq = ^uint64(0) // placeholder; always overwritten by WithRSeq
+	return &Frame{b: Marshal(&c)}
+}
+
+// HasRSeqSlot reports whether the frame carries a trailing rseq field.
+func (f *Frame) HasRSeqSlot() bool { return f.b[flagsOffset]&flagRSeq != 0 }
+
+// RSeq returns the trailing reliable sequence number, 0 when absent.
+func (f *Frame) RSeq() uint64 {
+	if !f.HasRSeqSlot() {
+		return 0
+	}
+	return binary.BigEndian.Uint64(f.b[len(f.b)-8:])
+}
+
+// WithRSeq returns a frame identical to f except for the trailing rseq
+// field, which must be present (NewFrameWithRSeqSlot). The buffer is
+// copied once and 8 bytes are patched — no re-marshal, no header-map
+// clone — so per-target reliable tagging is a memmove, not an encode.
+func (f *Frame) WithRSeq(rseq uint64) *Frame {
+	if !f.HasRSeqSlot() {
+		panic("event: WithRSeq on a frame without an rseq slot")
+	}
+	b := make([]byte, len(f.b))
+	copy(b, f.b)
+	binary.BigEndian.PutUint64(b[len(b)-8:], rseq)
+	return &Frame{b: b}
+}

@@ -57,6 +57,75 @@ func TestFrameTTLPatch(t *testing.T) {
 	}
 }
 
+func TestRSeqWireRoundTrip(t *testing.T) {
+	e := frameEvent()
+	e.Reliable = true
+	e.RSeq = 0xDEADBEEFCAFE
+	got, err := Unmarshal(Marshal(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RSeq != e.RSeq {
+		t.Fatalf("RSeq = %d, want %d", got.RSeq, e.RSeq)
+	}
+	if got.Topic != e.Topic || !bytes.Equal(got.Payload, e.Payload) {
+		t.Fatalf("decode mismatch: %+v vs %+v", got, e)
+	}
+	// Absent RSeq costs nothing on the wire and decodes to 0.
+	e.RSeq = 0
+	got, err = Unmarshal(Marshal(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RSeq != 0 {
+		t.Fatalf("untagged event decoded RSeq %d", got.RSeq)
+	}
+}
+
+func TestFrameRSeqPatch(t *testing.T) {
+	e := frameEvent()
+	e.Reliable = true
+	f := NewFrameWithRSeqSlot(e)
+	if !f.HasRSeqSlot() {
+		t.Fatal("slot frame has no rseq slot")
+	}
+	before := MarshalCalls()
+	a := f.WithRSeq(7)
+	b := f.WithRSeq(8)
+	if d := MarshalCalls() - before; d != 0 {
+		t.Fatalf("WithRSeq marshalled %d times, want 0", d)
+	}
+	for want, g := range map[uint64]*Frame{7: a, 8: b} {
+		if g.RSeq() != want {
+			t.Fatalf("RSeq() = %d, want %d", g.RSeq(), want)
+		}
+		ge, err := g.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ge.RSeq != want || ge.Topic != e.Topic || !bytes.Equal(ge.Payload, e.Payload) {
+			t.Fatalf("patched decode mismatch: %+v", ge)
+		}
+	}
+	// Frames without the slot refuse the patch loudly.
+	plain := NewFrame(frameEvent())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithRSeq on a slot-less frame did not panic")
+		}
+	}()
+	plain.WithRSeq(1)
+}
+
+func TestRSeqTruncatedTail(t *testing.T) {
+	e := frameEvent()
+	e.RSeq = 42
+	raw := Marshal(e)
+	if _, err := Unmarshal(raw[:len(raw)-3]); err == nil {
+		t.Fatal("truncated rseq tail decoded without error")
+	}
+}
+
 func TestFrameFromBytes(t *testing.T) {
 	e := frameEvent()
 	raw := Marshal(e)

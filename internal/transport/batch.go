@@ -19,6 +19,36 @@ type FrameConn interface {
 	SendFrames(frames [][]byte) error
 }
 
+// BurstConn is a Conn whose receive path can yield every event already
+// buffered in one call — the inbound mirror of SendFrames. A broker
+// session reader detects BurstConn once at attach and switches from
+// event-at-a-time Recv to burst ingest, amortizing routing and queueing
+// work across everything one read (or one batch from the peer's
+// Batcher) delivered.
+type BurstConn interface {
+	Conn
+	// RecvBurst appends decoded events to dst and returns the extended
+	// slice. It blocks until at least one event is available, then
+	// drains — without further blocking — whatever is already decodable,
+	// up to max events total. Like Recv it must be called from a single
+	// goroutine; errors are returned only when no events were decoded
+	// (a burst cut short by an error resurfaces it on the next call).
+	RecvBurst(dst []*event.Event, max int) ([]*event.Event, error)
+}
+
+// EventBatchConn is a Conn that can accept many decoded events per send
+// call. In-process pipes implement it (events move by pointer, so a
+// "batch" is one bookkeeping call rather than one per event); shaped
+// conns forward it so link emulation can charge per-call syscall cost
+// once per batch — which is how mem:// experiments reproduce the
+// batching win instead of bypassing it.
+type EventBatchConn interface {
+	Conn
+	// SendEvents transmits the events in order. The slice is read-only
+	// and must not be retained after the call returns.
+	SendEvents(events []*event.Event) error
+}
+
 // Batcher accumulates encoded event frames destined for one FrameConn
 // and flushes them with a single vectored write. It is the broker data
 // path's outbound aggregation buffer: the session writer drains its send

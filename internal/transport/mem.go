@@ -7,9 +7,11 @@ import (
 	"github.com/globalmmcs/globalmmcs/internal/event"
 )
 
-// memQueueDepth is the per-direction buffer of an in-process pipe. Deep
-// enough to absorb fan-out bursts; senders block beyond it (backpressure),
-// mirroring a kernel socket buffer.
+// memQueueDepth is the per-direction buffer of an in-process pipe, in
+// events (a pipeSem keeps the accounting event-granular even though a
+// SendEvents batch travels as one message). Deep enough to absorb
+// fan-out bursts; senders block beyond it (backpressure), mirroring a
+// kernel socket buffer.
 const memQueueDepth = 1024
 
 // Network is an in-process namespace for mem:// listeners. The zero value
@@ -94,11 +96,77 @@ func (l *memListener) Close() error {
 
 func (l *memListener) Addr() string { return "mem://" + l.name }
 
+// memMsg is one message on an in-process pipe: a single event (Send) or
+// a whole batch handed over in one channel operation (SendEvents — the
+// in-process analogue of a vectored write, paying one synchronization
+// per batch instead of one per event). weight is the number of
+// event-buffer slots the message occupies while in the pipe.
+type memMsg struct {
+	e      *event.Event
+	batch  []*event.Event
+	weight int
+}
+
+// pipeSem bounds the *events* in flight on one pipe direction. The
+// message channel alone would count messages, and a batch message can
+// carry hundreds of events — without this, batching would silently
+// multiply the pipe's effective buffering instead of just amortizing
+// its synchronization. Senders acquire one slot per event (one lock for
+// a whole batch), the receiver releases them as messages are consumed.
+type pipeSem struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	free   int
+	closed bool
+}
+
+func newPipeSem(n int) *pipeSem {
+	s := &pipeSem{free: n}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// acquire blocks until n slots are free or the pipe closes (false).
+func (s *pipeSem) acquire(n int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.free < n && !s.closed {
+		s.cond.Wait()
+	}
+	if s.closed {
+		return false
+	}
+	s.free -= n
+	return true
+}
+
+func (s *pipeSem) release(n int) {
+	s.mu.Lock()
+	s.free += n
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+func (s *pipeSem) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
 // memConn is one end of an in-process pipe.
 type memConn struct {
 	label string
-	send  chan *event.Event
-	recv  chan *event.Event
+	send  chan memMsg
+	recv  chan memMsg
+	// sendSem bounds events in flight on the send direction; recvSem is
+	// the peer's, released as this end consumes messages.
+	sendSem *pipeSem
+	recvSem *pipeSem
+	// pending holds the undelivered tail of a received batch. Only the
+	// single receive goroutine (Recv/RecvBurst) touches it.
+	pending []*event.Event
+	pi      int
 	// done is shared by both ends: closing either end closes the pipe.
 	done *pipeDone
 }
@@ -106,55 +174,172 @@ type memConn struct {
 type pipeDone struct {
 	ch   chan struct{}
 	once sync.Once
+	sems []*pipeSem
 }
 
-func (d *pipeDone) close() { d.once.Do(func() { close(d.ch) }) }
+func (d *pipeDone) close() {
+	d.once.Do(func() {
+		close(d.ch)
+		for _, s := range d.sems {
+			s.close()
+		}
+	})
+}
 
 var _ Conn = (*memConn)(nil)
 
 // Pipe returns a connected pair of in-process conns. aLabel names the
 // remote seen from the first conn and vice versa.
 func Pipe(aLabel, bLabel string) (Conn, Conn) {
-	ab := make(chan *event.Event, memQueueDepth)
-	ba := make(chan *event.Event, memQueueDepth)
-	done := &pipeDone{ch: make(chan struct{})}
-	a := &memConn{label: aLabel, send: ab, recv: ba, done: done}
-	b := &memConn{label: bLabel, send: ba, recv: ab, done: done}
+	ab := make(chan memMsg, memQueueDepth)
+	ba := make(chan memMsg, memQueueDepth)
+	abSem := newPipeSem(memQueueDepth)
+	baSem := newPipeSem(memQueueDepth)
+	done := &pipeDone{ch: make(chan struct{}), sems: []*pipeSem{abSem, baSem}}
+	a := &memConn{label: aLabel, send: ab, recv: ba, sendSem: abSem, recvSem: baSem, done: done}
+	b := &memConn{label: bLabel, send: ba, recv: ab, sendSem: baSem, recvSem: abSem, done: done}
 	return a, b
 }
 
 func (c *memConn) Send(e *event.Event) error {
-	select {
-	case <-c.done.ch:
+	return c.sendMsg(memMsg{e: e, weight: 1})
+}
+
+func (c *memConn) sendMsg(m memMsg) error {
+	if !c.sendSem.acquire(m.weight) {
 		return ErrClosed
-	default:
 	}
+	// Every in-channel message holds at least one event slot, so after a
+	// successful acquire the channel (sized in messages) cannot be full;
+	// the select guards only the close race.
 	select {
-	case c.send <- e:
+	case c.send <- m:
 		return nil
 	case <-c.done.ch:
 		return ErrClosed
 	}
 }
 
-func (c *memConn) Recv() (*event.Event, error) {
-	// Drain buffered events even after close so in-flight traffic is not
-	// lost on graceful shutdown.
-	select {
-	case e := <-c.recv:
-		return e, nil
-	default:
+// takePending returns the next event of a partially consumed batch, or
+// nil when none is pending.
+func (c *memConn) takePending() *event.Event {
+	if c.pi >= len(c.pending) {
+		return nil
 	}
-	select {
-	case e := <-c.recv:
-		return e, nil
-	case <-c.done.ch:
-		// Race: an event may have been buffered concurrently with close.
+	e := c.pending[c.pi]
+	c.pending[c.pi] = nil
+	c.pi++
+	if c.pi == len(c.pending) {
+		c.pending, c.pi = nil, 0
+	}
+	return e
+}
+
+// admit makes a received message's events available — singles are
+// returned directly, batches park in pending — and returns the
+// message's event slots to the sender.
+func (c *memConn) admit(m memMsg) *event.Event {
+	c.recvSem.release(m.weight)
+	if m.e != nil {
+		return m.e
+	}
+	c.pending, c.pi = m.batch, 0
+	return c.takePending()
+}
+
+var _ EventBatchConn = (*memConn)(nil)
+
+// SendEvents transmits the events in order as one pipe message: one
+// channel synchronization for the whole batch — the in-process
+// analogue of a vectored write, and what makes emulated experiments see
+// the batching win for real. The slice is copied (the caller may reuse
+// it); the events move by pointer as always.
+func (c *memConn) SendEvents(events []*event.Event) error {
+	for len(events) > 0 {
+		// A batch larger than the whole pipe could never acquire; chunk it
+		// (batches are normally far smaller than memQueueDepth).
+		n := len(events)
+		if n > memQueueDepth {
+			n = memQueueDepth
+		}
+		batch := make([]*event.Event, n)
+		copy(batch, events[:n])
+		if err := c.sendMsg(memMsg{batch: batch, weight: n}); err != nil {
+			return err
+		}
+		events = events[n:]
+	}
+	return nil
+}
+
+var _ BurstConn = (*memConn)(nil)
+
+// RecvBurst blocks for the first event, then drains—without blocking—
+// whatever the pipe already buffered, up to max events.
+func (c *memConn) RecvBurst(dst []*event.Event, max int) ([]*event.Event, error) {
+	if max <= 0 {
+		max = 1
+	}
+	got := 0
+	for got < max {
+		if e := c.takePending(); e != nil {
+			dst = append(dst, e)
+			got++
+			continue
+		}
+		if got == 0 {
+			e, err := c.Recv()
+			if err != nil {
+				return dst, err
+			}
+			dst = append(dst, e)
+			got++
+			continue
+		}
 		select {
-		case e := <-c.recv:
-			return e, nil
+		case m := <-c.recv:
+			if e := c.admit(m); e != nil {
+				dst = append(dst, e)
+				got++
+			}
 		default:
-			return nil, ErrClosed
+			return dst, nil
+		}
+	}
+	return dst, nil
+}
+
+func (c *memConn) Recv() (*event.Event, error) {
+	for {
+		if e := c.takePending(); e != nil {
+			return e, nil
+		}
+		// Drain buffered messages even after close so in-flight traffic
+		// is not lost on graceful shutdown.
+		select {
+		case m := <-c.recv:
+			if e := c.admit(m); e != nil {
+				return e, nil
+			}
+			continue
+		default:
+		}
+		select {
+		case m := <-c.recv:
+			if e := c.admit(m); e != nil {
+				return e, nil
+			}
+		case <-c.done.ch:
+			// Race: a message may have been buffered concurrently with
+			// close.
+			select {
+			case m := <-c.recv:
+				if e := c.admit(m); e != nil {
+					return e, nil
+				}
+			default:
+				return nil, ErrClosed
+			}
 		}
 	}
 }

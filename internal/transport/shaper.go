@@ -30,6 +30,13 @@ type LinkProfile struct {
 	// period hardware). This is the knob that reproduces the JMF
 	// reflector's saturation behaviour.
 	SendCost time.Duration
+	// SyscallCost blocks the sender once per send *call* — one Send, or
+	// one SendEvents/SendFrames batch — emulating the fixed kernel-entry
+	// overhead a real socket pays per system call. It is what lets
+	// emulated mem:// experiments reproduce the win of batching many
+	// events per call instead of bypassing it: an unbatched writer pays
+	// SyscallCost per event, a batched writer pays it once per batch.
+	SyscallCost time.Duration
 	// Egress, if non-nil, serializes deliveries through a limiter shared
 	// with other conns, emulating a host NIC that all fan-out traffic
 	// leaves through.
@@ -82,7 +89,7 @@ func (l *SharedLimiter) Backlog(now time.Time) time.Duration {
 // zero reports whether the profile requires any shaping at all.
 func (p LinkProfile) zero() bool {
 	return p.PropDelay == 0 && p.Jitter == 0 && p.Loss == 0 && p.Bandwidth == 0 &&
-		p.SendCost == 0 && p.Egress == nil
+		p.SendCost == 0 && p.SyscallCost == 0 && p.Egress == nil
 }
 
 // needsDelayLine reports whether deliveries must be scheduled in time.
@@ -109,6 +116,9 @@ func Shape(c Conn, p LinkProfile) Conn {
 	if p.needsDelayLine() {
 		s.line = newDelayLine(c)
 	}
+	if fc, ok := c.(FrameConn); ok {
+		return &shapedFrameConn{shapedConn: s, fc: fc}
+	}
 	return s
 }
 
@@ -125,6 +135,17 @@ type shapedConn struct {
 var _ Conn = (*shapedConn)(nil)
 
 func (s *shapedConn) Send(e *event.Event) error {
+	if s.profile.SyscallCost > 0 {
+		spinWait(s.profile.SyscallCost)
+	}
+	return s.sendOne(e, nil)
+}
+
+// sendOne applies the per-event shaping — loss, per-event host cost,
+// delay scheduling — shared by Send and SendEvents. When collect is
+// non-nil and the profile needs no delay line, surviving events are
+// appended there (for a single batched forward) instead of being sent.
+func (s *shapedConn) sendOne(e *event.Event, collect *[]*event.Event) error {
 	p := s.profile
 	if p.Loss > 0 {
 		s.mu.Lock()
@@ -138,6 +159,10 @@ func (s *shapedConn) Send(e *event.Event) error {
 		spinWait(p.SendCost)
 	}
 	if s.line == nil {
+		if collect != nil {
+			*collect = append(*collect, e)
+			return nil
+		}
 		return s.inner.Send(e)
 	}
 	now := time.Now()
@@ -169,7 +194,103 @@ func (s *shapedConn) Send(e *event.Event) error {
 	return s.line.push(e, due)
 }
 
+var _ EventBatchConn = (*shapedConn)(nil)
+
+// SendEvents transmits a batch through the emulated link: the fixed
+// SyscallCost is charged once for the whole call (the point of batching)
+// while loss, per-event host cost and delay scheduling still apply per
+// event. Survivors are forwarded in one call when the inner conn batches.
+func (s *shapedConn) SendEvents(events []*event.Event) error {
+	p := s.profile
+	if p.SyscallCost > 0 {
+		spinWait(p.SyscallCost)
+	}
+	if s.line != nil {
+		for _, e := range events {
+			if err := s.sendOne(e, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	surviving := make([]*event.Event, 0, len(events))
+	for _, e := range events {
+		if err := s.sendOne(e, &surviving); err != nil {
+			return err
+		}
+	}
+	if len(surviving) == 0 {
+		return nil
+	}
+	if bc, ok := s.inner.(EventBatchConn); ok {
+		return bc.SendEvents(surviving)
+	}
+	for _, e := range surviving {
+		if err := s.inner.Send(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (s *shapedConn) Recv() (*event.Event, error) { return s.inner.Recv() }
+
+var _ BurstConn = (*shapedConn)(nil)
+
+// RecvBurst passes burst receives through (receiving is never shaped;
+// wrap both ends for a symmetric link), degrading to single-event
+// delivery when the inner conn cannot burst.
+func (s *shapedConn) RecvBurst(dst []*event.Event, max int) ([]*event.Event, error) {
+	if bc, ok := s.inner.(BurstConn); ok {
+		return bc.RecvBurst(dst, max)
+	}
+	e, err := s.inner.Recv()
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, e), nil
+}
+
+// shapedFrameConn preserves the inner conn's FrameConn capability so
+// shaped wire links still ride the encode-once batch path. The frame
+// path models loss and host costs (per-frame SendCost, per-call
+// SyscallCost); the delay line and bandwidth bucket apply only to the
+// decoded-event path, which is the one the emulated experiments shape.
+type shapedFrameConn struct {
+	*shapedConn
+	fc FrameConn
+}
+
+var _ FrameConn = (*shapedFrameConn)(nil)
+
+func (s *shapedFrameConn) SendFrames(frames [][]byte) error {
+	p := s.profile
+	if p.SyscallCost > 0 {
+		spinWait(p.SyscallCost)
+	}
+	if p.Loss == 0 && p.SendCost == 0 {
+		return s.fc.SendFrames(frames)
+	}
+	surviving := make([][]byte, 0, len(frames))
+	for _, f := range frames {
+		if p.Loss > 0 {
+			s.mu.Lock()
+			drop := s.rng.Float64() < p.Loss
+			s.mu.Unlock()
+			if drop {
+				continue
+			}
+		}
+		if p.SendCost > 0 {
+			spinWait(p.SendCost)
+		}
+		surviving = append(surviving, f)
+	}
+	if len(surviving) == 0 {
+		return nil
+	}
+	return s.fc.SendFrames(surviving)
+}
 
 func (s *shapedConn) Close() error {
 	if s.line != nil {

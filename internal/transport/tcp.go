@@ -143,36 +143,98 @@ func (c *tcpConn) ensureSpace(need int) {
 	c.rstart, c.rend = 0, n
 }
 
-func (c *tcpConn) Recv() (*event.Event, error) {
+// tryDecodeFrame decodes one complete frame from the buffered window,
+// reporting (nil, false, nil) when more bytes are needed. On success the
+// parsed region is consumed; on decode failure the window is left in
+// place so the error repeats on the next attempt.
+func (c *tcpConn) tryDecodeFrame() (*event.Event, bool, error) {
+	avail := c.rend - c.rstart
+	if avail < 4 {
+		return nil, false, nil
+	}
+	n := int(binary.BigEndian.Uint32(c.rb[c.rstart:]))
+	if n == 0 || n > event.MaxWireLen {
+		return nil, false, fmt.Errorf("transport: tcp frame length %d out of range", n)
+	}
+	if avail < 4+n {
+		return nil, false, nil
+	}
+	frame := c.rb[c.rstart+4 : c.rstart+4+n : c.rstart+4+n]
+	e, err := event.UnmarshalIntern(frame, &c.intern)
+	if err != nil {
+		return nil, false, fmt.Errorf("transport: tcp decoding frame: %w", err)
+	}
+	c.rstart += 4 + n
+	return e, true, nil
+}
+
+// fill grows the unparsed window with one blocking read, sized so the
+// pending frame (when its length header is visible) fits.
+func (c *tcpConn) fill() error {
+	need := 4
+	if avail := c.rend - c.rstart; avail >= 4 {
+		need = 4 + int(binary.BigEndian.Uint32(c.rb[c.rstart:]))
+	}
+	c.ensureSpace(need)
 	for {
-		avail := c.rend - c.rstart
-		if avail >= 4 {
-			n := int(binary.BigEndian.Uint32(c.rb[c.rstart:]))
-			if n == 0 || n > event.MaxWireLen {
-				return nil, fmt.Errorf("transport: tcp frame length %d out of range", n)
-			}
-			if avail >= 4+n {
-				frame := c.rb[c.rstart+4 : c.rstart+4+n : c.rstart+4+n]
-				c.rstart += 4 + n
-				e, err := event.UnmarshalIntern(frame, &c.intern)
-				if err != nil {
-					return nil, fmt.Errorf("transport: tcp decoding frame: %w", err)
-				}
-				return e, nil
-			}
-			c.ensureSpace(4 + n)
-		} else {
-			c.ensureSpace(4)
-		}
 		m, err := c.nc.Read(c.rb[c.rend:])
 		if m > 0 {
 			c.rend += m
-			continue
+			return nil
 		}
 		if err != nil {
-			return nil, c.recvErr(err)
+			return c.recvErr(err)
 		}
 	}
+}
+
+func (c *tcpConn) Recv() (*event.Event, error) {
+	for {
+		e, ok, err := c.tryDecodeFrame()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return e, nil
+		}
+		if err := c.fill(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+var _ BurstConn = (*tcpConn)(nil)
+
+// RecvBurst decodes every complete frame already buffered in the receive
+// arena — blocking only for the first — so a sustained inbound stream is
+// handed to the broker a burst at a time: everything one read syscall
+// (or one peer batch) delivered, in one call.
+func (c *tcpConn) RecvBurst(dst []*event.Event, max int) ([]*event.Event, error) {
+	if max <= 0 {
+		max = 1
+	}
+	got := 0
+	for got < max {
+		e, ok, err := c.tryDecodeFrame()
+		if err != nil {
+			if got > 0 {
+				return dst, nil // error resurfaces on the next call
+			}
+			return dst, err
+		}
+		if ok {
+			dst = append(dst, e)
+			got++
+			continue
+		}
+		if got > 0 {
+			return dst, nil
+		}
+		if err := c.fill(); err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
 }
 
 func (c *tcpConn) recvErr(err error) error {

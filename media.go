@@ -96,11 +96,12 @@ const defaultMediaBuffer = 256
 type MediaSubscription = Stream[*MediaPacket]
 
 // mediaConflationKey keys media conflation by the RTP SSRC, read
-// directly from the wire header so the hot path needs no full parse.
-func mediaConflationKey(p *MediaPacket) (uint64, bool) {
+// directly from the wire header so the hot path needs no full parse. A
+// WithConflationKey option overrides it per stream.
+func mediaConflationKey(p *MediaPacket) (any, bool) {
 	pl := p.e.Payload
 	if p.e.Kind != event.KindRTP || len(pl) < rtp.HeaderLen {
-		return 0, false
+		return nil, false
 	}
 	return uint64(binary.BigEndian.Uint32(pl[8:12])), true
 }

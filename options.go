@@ -37,6 +37,16 @@ func WithBrokerBatching(maxBatchBytes int, flushInterval time.Duration) Option {
 	}
 }
 
+// WithIngestBurst bounds how many events the broker decodes and routes
+// per ingest sweep on burst-capable connections (0 keeps the default of
+// 256). Within a burst, publish targets are resolved once per topic and
+// each subscriber session is locked and woken once, which is what keeps
+// sustained ingest cheap at wide fan-out. 1 degenerates the data path
+// to event-at-a-time ingest — an ablation knob.
+func WithIngestBurst(n int) Option {
+	return func(c *core.Config) { c.BrokerIngestBurst = n }
+}
+
 // WithBrokerRouteShards sets how many independent locks the broker's
 // subscription-routing state is sharded across (rounded up to a power of
 // two; 0 keeps the default of 16). One shard degenerates to a single

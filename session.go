@@ -181,16 +181,12 @@ func (s *Session) Sender(kind MediaKind) (*MediaSender, error) {
 }
 
 // Subscribe streams the session's media packets on one channel kind.
-// depth bounds the delivery buffer (default 256 when <= 0; a WithBuffer
-// option overrides it). Further QoS — drop policy, SSRC conflation, lag
-// notification — is set with StreamOptions.
-func (s *Session) Subscribe(ctx context.Context, kind MediaKind, depth int, opts ...StreamOption) (*MediaSubscription, error) {
+// Delivery QoS — buffer depth, drop policy, conflation (keyed by SSRC
+// by default), lag notification — is set with StreamOptions.
+func (s *Session) Subscribe(ctx context.Context, kind MediaKind, opts ...StreamOption) (*MediaSubscription, error) {
 	stream, ok := s.stream(kind)
 	if !ok {
 		return nil, tag(ErrNoSuchMedia, errMediaKind(kind))
-	}
-	if depth > 0 {
-		opts = append([]StreamOption{WithBuffer(depth)}, opts...)
 	}
 	buffer := streamBuffer(defaultMediaBuffer, opts)
 	sub, err := s.c.BC.SubscribeContext(ctx, stream.Topic, brokerDepth(buffer))

@@ -43,6 +43,7 @@ type streamConfig struct {
 	buffer    int
 	policy    DropPolicy
 	conflate  bool
+	keyFn     any // func(T) any when set via WithConflationKey[T]
 	lagNotify func(dropped uint64)
 }
 
@@ -68,9 +69,31 @@ func WithDropPolicy(p DropPolicy) StreamOption {
 // nothing-dropped guarantee does not compose with it, and events
 // without a conflation key (non-RTP traffic on a media topic) fall
 // back to drop-oldest. Streams whose events carry no conflation key at
-// all (chat, presence, raw events) ignore the option.
+// all (chat, presence, raw events) ignore the option unless a key is
+// supplied with WithConflationKey.
 func WithConflation() StreamOption {
 	return func(c *streamConfig) { c.conflate = true }
+}
+
+// WithConflationKey enables conflation keyed by fn, overriding the
+// stream's built-in key (SSRC for media streams; none elsewhere): while
+// the consumer lags, a newer event replaces the queued event with the
+// same key. This is what generalizes conflation beyond media — e.g. a
+// presence watch keyed by user delivers only each user's latest state
+// to a lagging consumer:
+//
+//	watch, _ := client.WatchPresence(ctx, community,
+//	    globalmmcs.WithConflationKey(func(p globalmmcs.Presence) any { return p.User }))
+//
+// The returned key must be comparable; returning nil exempts that event
+// from conflation (it is delivered drop-oldest). The type parameter
+// must match the stream's event type — a key function of any other type
+// is ignored.
+func WithConflationKey[T any](fn func(T) any) StreamOption {
+	return func(c *streamConfig) {
+		c.conflate = true
+		c.keyFn = fn
+	}
 }
 
 // WithLagNotify registers a callback fired whenever the stream discards
@@ -98,7 +121,7 @@ type Stream[T any] struct {
 	ch         chan T
 	policy     DropPolicy
 	conflate   bool
-	keyOf      func(T) (uint64, bool)
+	keyOf      func(T) (any, bool)
 	lagNotify  func(uint64)
 	gauge      *metrics.Gauge
 	unregister func()
@@ -112,9 +135,10 @@ type Stream[T any] struct {
 
 // newStream wires a typed pump over a broker subscription. decode maps
 // wire events to T (false skips malformed events); keyOf, when non-nil,
-// supplies the conflation key. reg/name register the per-stream drop
-// gauge when the node has a registry.
-func newStream[T any](sub *broker.Subscription, reg *metrics.Registry, name string, defaultBuffer int, decode func(*event.Event) (T, bool), keyOf func(T) (uint64, bool), opts []StreamOption) *Stream[T] {
+// supplies the stream's built-in conflation key (overridden by a
+// WithConflationKey option of the matching type). reg/name register the
+// per-stream drop gauge when the node has a registry.
+func newStream[T any](sub *broker.Subscription, reg *metrics.Registry, name string, defaultBuffer int, decode func(*event.Event) (T, bool), keyOf func(T) (any, bool), opts []StreamOption) *Stream[T] {
 	cfg := streamConfig{buffer: defaultBuffer, policy: DropOldest}
 	for _, opt := range opts {
 		if opt != nil {
@@ -123,6 +147,12 @@ func newStream[T any](sub *broker.Subscription, reg *metrics.Registry, name stri
 	}
 	if cfg.buffer <= 0 {
 		cfg.buffer = defaultBuffer
+	}
+	if fn, ok := cfg.keyFn.(func(T) any); ok {
+		keyOf = func(v T) (any, bool) {
+			k := fn(v)
+			return k, k != nil
+		}
 	}
 	s := &Stream[T]{
 		sub:       sub,
@@ -264,12 +294,6 @@ func (s *Stream[T]) All(ctx context.Context) iter.Seq2[T, error] {
 // buffer.
 func (s *Stream[T]) Chan() <-chan T { return s.ch }
 
-// C returns the delivery channel.
-//
-// Deprecated: C is the pre-unification name kept as a shim for one
-// release; use Chan, or consume with Recv or All.
-func (s *Stream[T]) C() <-chan T { return s.Chan() }
-
 // Drops reports how many events this stream discarded or conflated
 // locally because the consumer lagged. (The broker additionally sheds
 // best-effort traffic upstream under overload; see the broker
@@ -290,12 +314,6 @@ func (s *Stream[T]) Close() error {
 	})
 	return s.closeErr
 }
-
-// Cancel unsubscribes and closes the delivery channel.
-//
-// Deprecated: Cancel is the pre-unification name kept as a shim for
-// one release; use Close.
-func (s *Stream[T]) Cancel() error { return s.Close() }
 
 func (s *Stream[T]) noteDrops(n uint64) {
 	total := s.drops.Add(n)
@@ -362,8 +380,8 @@ func (s *Stream[T]) pump(decode func(*event.Event) (T, bool)) {
 // the delivery channel in arrival order of their keys. Unkeyed events
 // bypass conflation and are delivered drop-oldest.
 func (s *Stream[T]) pumpConflating(decode func(*event.Event) (T, bool)) {
-	var order []uint64
-	vals := make(map[uint64]T)
+	var order []any
+	vals := make(map[any]T)
 	in := s.sub.C()
 
 	admit := func(e *event.Event) {

@@ -177,7 +177,7 @@ func TestStreamConflation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub, err := session.Subscribe(ctx, globalmmcs.Audio, 0,
+	sub, err := session.Subscribe(ctx, globalmmcs.Audio,
 		globalmmcs.WithBuffer(1), globalmmcs.WithConflation())
 	if err != nil {
 		t.Fatal(err)
@@ -320,7 +320,7 @@ func TestPublisherBatchingFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub, err := session.Subscribe(ctx, globalmmcs.Audio, 64)
+	sub, err := session.Subscribe(ctx, globalmmcs.Audio, globalmmcs.WithBuffer(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,35 +355,68 @@ func TestPublisherBatchingFacade(t *testing.T) {
 	}
 }
 
-// TestDeprecatedShims keeps the pre-unification C()/Cancel() shapes
-// compiling and working for one release.
-func TestDeprecatedShims(t *testing.T) {
-	session, room := chatFixture(t, nil)
-	if err := session.Send(context.Background(), "shimmed"); err != nil {
-		t.Fatal(err)
-	}
-	select {
-	case msg := <-room.C():
-		if msg.Body != "shimmed" {
-			t.Fatalf("msg = %+v", msg)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("C() shim never delivered")
-	}
-	if err := room.Cancel(); err != nil {
-		t.Fatal(err)
-	}
-	if _, ok := <-room.C(); ok {
-		t.Fatal("channel open after Cancel()")
-	}
+// TestConflationKeyPresence: WithConflationKey generalizes conflation
+// beyond media — a presence watch keyed by user delivers only each
+// user's latest state to a lagging consumer, with the merges counted as
+// drops.
+func TestConflationKeyPresence(t *testing.T) {
+	ctx := context.Background()
+	srv := startNode(t)
+	watcher := newClient(t, srv, "watcher")
+	alice := newClient(t, srv, "alice")
+	bob := newClient(t, srv, "bob")
 
-	// The legacy media shapes: Subscribe(..., depth) + Cancel.
-	sub, err := session.Subscribe(context.Background(), globalmmcs.Audio, 32)
+	watch, err := watcher.WatchPresence(ctx, "conf-room",
+		globalmmcs.WithBuffer(1),
+		globalmmcs.WithConflationKey(func(p globalmmcs.Presence) any { return p.User }))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var _ <-chan *globalmmcs.MediaPacket = sub.C()
-	if err := sub.Cancel(); err != nil {
-		t.Fatal(err)
+	defer watch.Close()
+
+	// Flood updates for two users while the watcher reads nothing: the
+	// keyed pending set must collapse each user's backlog to one entry.
+	const updates = 10
+	for i := 0; i < updates; i++ {
+		status := globalmmcs.StatusOnline
+		if i == updates-1 {
+			status = globalmmcs.StatusBusy
+		}
+		if err := alice.SetPresence(ctx, "conf-room", status, "a"); err != nil {
+			t.Fatal(err)
+		}
+		status = globalmmcs.StatusOnline
+		if i == updates-1 {
+			status = globalmmcs.StatusAway
+		}
+		if err := bob.SetPresence(ctx, "conf-room", status, "b"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Wait until the pump has conflated a meaningful share of the flood.
+	deadline := time.Now().Add(5 * time.Second)
+	for watch.Drops() < updates && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if watch.Drops() < updates {
+		t.Fatalf("only %d conflation drops for %d superseded updates", watch.Drops(), 2*updates-4)
+	}
+
+	// Drain: the last state seen per user must be the final one.
+	last := make(map[string]globalmmcs.PresenceStatus)
+	received := 0
+	recvCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	for len(last) < 2 || last["alice"] != globalmmcs.StatusBusy || last["bob"] != globalmmcs.StatusAway {
+		p, err := watch.Recv(recvCtx)
+		if err != nil {
+			t.Fatalf("final states never arrived (saw %v after %d events): %v", last, received, err)
+		}
+		last[p.User] = p.Status
+		received++
+	}
+	if received >= 2*updates {
+		t.Fatalf("received %d of %d published updates; conflation delivered no win", received, 2*updates)
 	}
 }
