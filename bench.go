@@ -247,6 +247,11 @@ type IngestOptions struct {
 	// default (burst ingest on), 1 degenerates to event-at-a-time ingest
 	// — the baseline configuration.
 	IngestBurst int
+	// DispatchBurst configures the subscribers' client-side delivery
+	// plane: 0 keeps batched dispatch (one ring lock and one wakeup per
+	// subscription per received burst), 1 degenerates to event-at-a-time
+	// delivery — the pre-batching client baseline.
+	DispatchBurst int
 	// DisablePublishBatching turns off the client-side batching
 	// Publisher the publishers use by default.
 	DisablePublishBatching bool
@@ -271,6 +276,18 @@ type IngestReport struct {
 	// traffic; DeliveredPerSec the outbound rate across all subscribers.
 	ArrivedPerSec   float64 `json:"arrived_per_sec"`
 	DeliveredPerSec float64 `json:"delivered_per_sec"`
+	// Client-side delivery-plane stats over the window: the subscribers'
+	// delivery mode, how many ring-delivery bursts and consumer wakeups
+	// the traffic cost, the events admitted to subscriber rings, the
+	// amortization ratio (events per wakeup — 1.0 is the old per-event
+	// path), and the high-water ring occupancy.
+	DispatchBurst    int     `json:"dispatch_burst"`
+	DeliveryBursts   uint64  `json:"delivery_bursts"`
+	DeliveryWakeups  uint64  `json:"delivery_wakeups"`
+	ClientDelivered  uint64  `json:"client_delivered"`
+	EventsPerBurst   float64 `json:"events_per_burst"`
+	EventsPerWakeup  float64 `json:"events_per_wakeup"`
+	RingOccupancyMax int     `json:"ring_occupancy_max"`
 }
 
 // RunIngest measures sustained broker ingest: the rate at which one
@@ -289,24 +306,32 @@ func RunIngest(opt IngestOptions) (*IngestReport, error) {
 		Warmup:                 opt.Warmup,
 		Duration:               opt.Duration,
 		IngestBurst:            opt.IngestBurst,
+		DispatchBurst:          opt.DispatchBurst,
 		DisablePublishBatching: opt.DisablePublishBatching,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &IngestReport{
-		Mode:            res.Mode,
-		Transport:       res.Transport,
-		PubTransport:    res.PubTransport,
-		Subscribers:     res.Subscribers,
-		Publishers:      res.Publishers,
-		PayloadBytes:    res.PayloadBytes,
-		IngestBurst:     res.IngestBurst,
-		PublishBatching: res.PublishBatching,
-		WindowSec:       res.WindowSec,
-		IngestedPerSec:  res.IngestedPerSec,
-		ArrivedPerSec:   res.ArrivedPerSec,
-		DeliveredPerSec: res.DeliveredPerSec,
+		Mode:             res.Mode,
+		Transport:        res.Transport,
+		PubTransport:     res.PubTransport,
+		Subscribers:      res.Subscribers,
+		Publishers:       res.Publishers,
+		PayloadBytes:     res.PayloadBytes,
+		IngestBurst:      res.IngestBurst,
+		PublishBatching:  res.PublishBatching,
+		WindowSec:        res.WindowSec,
+		IngestedPerSec:   res.IngestedPerSec,
+		ArrivedPerSec:    res.ArrivedPerSec,
+		DeliveredPerSec:  res.DeliveredPerSec,
+		DispatchBurst:    res.DispatchBurst,
+		DeliveryBursts:   res.DeliveryBursts,
+		DeliveryWakeups:  res.DeliveryWakeups,
+		ClientDelivered:  res.ClientDelivered,
+		EventsPerBurst:   res.EventsPerBurst,
+		EventsPerWakeup:  res.EventsPerWakeup,
+		RingOccupancyMax: res.RingOccupancyMax,
 	}, nil
 }
 

@@ -94,34 +94,43 @@ func run() error {
 	}
 }
 
-// runIngest measures sustained broker-side ingest with burst ingest off
-// (the event-at-a-time baseline) and on, and prints the reports as a
+// runIngest measures sustained broker-side ingest across the batching
+// ablation ladder — full event-at-a-time (the pre-batching data path),
+// broker burst ingest with per-event client delivery (the PR-4 plane),
+// and the full batched delivery plane — and prints the reports as a
 // JSON array (the format of BENCH_broker.json's ingest section).
 func runIngest(subs, pubs int, window time.Duration) error {
 	fmt.Fprintf(os.Stderr, "=== Sustained ingest: %d mem subscribers, %d continuous tcp publishers, %s window ===\n",
 		subs, pubs, window)
+	cells := []struct {
+		label                  string
+		ingestBurst, dispBurst int
+	}{
+		{"event-at-a-time", 1, 1},
+		{"burst ingest", 0, 1},
+		{"batched delivery", 0, 0},
+	}
 	var reports []*globalmmcs.IngestReport
-	for _, burst := range []int{1, 0} {
+	for _, cell := range cells {
 		res, err := globalmmcs.RunIngest(globalmmcs.IngestOptions{
-			Subscribers: subs,
-			Publishers:  pubs,
-			Duration:    window,
-			IngestBurst: burst,
+			Subscribers:   subs,
+			Publishers:    pubs,
+			Duration:      window,
+			IngestBurst:   cell.ingestBurst,
+			DispatchBurst: cell.dispBurst,
 		})
 		if err != nil {
 			return fmt.Errorf("ingest: %w", err)
 		}
-		label := "burst ingest"
-		if burst == 1 {
-			label = "event-at-a-time"
-		}
-		fmt.Fprintf(os.Stderr, "%-16s %12.0f ingested/s %12.0f delivered/s\n",
-			label, res.IngestedPerSec, res.DeliveredPerSec)
+		fmt.Fprintf(os.Stderr, "%-17s %12.0f ingested/s %12.0f delivered/s %8.1f ev/lock\n",
+			cell.label, res.IngestedPerSec, res.DeliveredPerSec, res.EventsPerBurst)
 		reports = append(reports, res)
 	}
-	if len(reports) == 2 && reports[0].IngestedPerSec > 0 {
+	if len(reports) == 3 && reports[0].IngestedPerSec > 0 {
 		fmt.Fprintf(os.Stderr, "burst/baseline ingest speedup: %.2fx\n",
 			reports[1].IngestedPerSec/reports[0].IngestedPerSec)
+		fmt.Fprintf(os.Stderr, "batched-delivery/burst delivered speedup: %.2fx\n",
+			reports[2].DeliveredPerSec/reports[1].DeliveredPerSec)
 	}
 	out, err := json.MarshalIndent(reports, "", "  ")
 	if err != nil {

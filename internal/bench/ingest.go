@@ -47,6 +47,12 @@ type IngestConfig struct {
 	// broker default (burst ingest on), 1 degenerates to event-at-a-time
 	// ingest — the pre-batching baseline the speedup is measured against.
 	IngestBurst int
+	// DispatchBurst configures the subscriber clients' delivery plane: 0
+	// keeps the default batched dispatch (a received burst is staged per
+	// subscription and ring-delivered with one lock and one wakeup per
+	// subscription per burst), 1 degenerates to event-at-a-time delivery
+	// — the pre-batching client baseline.
+	DispatchBurst int
 	// PublishBatching routes publishers through the client-side batching
 	// Publisher (the sustained gateway-sender configuration). Default
 	// true — set DisablePublishBatching to turn it off.
@@ -119,12 +125,33 @@ type IngestResult struct {
 	// DeliveredPerSec is the outbound delivery rate across all
 	// subscribers (broker.events_out).
 	DeliveredPerSec float64 `json:"delivered_per_sec"`
+	// DispatchBurst echoes the subscribers' delivery-plane mode (0 =
+	// batched default, 1 = event-at-a-time ablation).
+	DispatchBurst int `json:"dispatch_burst"`
+	// Client-side delivery-plane stats, summed across subscribers over
+	// the measurement window: how many delivery bursts (ring lock
+	// acquisitions) and consumer wakeups the deliveries cost.
+	DeliveryBursts  uint64 `json:"delivery_bursts"`
+	DeliveryWakeups uint64 `json:"delivery_wakeups"`
+	// ClientDelivered is the number of events admitted to subscriber
+	// rings during the window.
+	ClientDelivered uint64 `json:"client_delivered"`
+	// EventsPerBurst is the delivery-plane lock amortization: ring-
+	// admitted events per delivery burst, i.e. per producer-side ring
+	// lock acquisition (exactly 1.0 on the per-event ablation).
+	EventsPerBurst float64 `json:"events_per_burst"`
+	// EventsPerWakeup is the wakeup amortization: ring-admitted events
+	// per consumer wakeup actually deposited.
+	EventsPerWakeup float64 `json:"events_per_wakeup"`
+	// RingOccupancyMax is the high-water subscription ring occupancy
+	// observed across subscribers.
+	RingOccupancyMax int `json:"ring_occupancy_max"`
 }
 
 func (r IngestResult) String() string {
-	return fmt.Sprintf("ingest %s/%s subs=%d pubs=%d burst=%d ingested %.0f ev/s delivered %.0f ev/s",
-		r.Mode, r.Transport, r.Subscribers, r.Publishers, r.IngestBurst,
-		r.IngestedPerSec, r.DeliveredPerSec)
+	return fmt.Sprintf("ingest %s/%s subs=%d pubs=%d burst=%d dispatch=%d ingested %.0f ev/s delivered %.0f ev/s (%.1f ev/lock, %.1f ev/wakeup, ring high-water %d)",
+		r.Mode, r.Transport, r.Subscribers, r.Publishers, r.IngestBurst, r.DispatchBurst,
+		r.IngestedPerSec, r.DeliveredPerSec, r.EventsPerBurst, r.EventsPerWakeup, r.RingOccupancyMax)
 }
 
 // ingestTopic is the concrete topic the publishers flood.
@@ -178,26 +205,56 @@ func RunIngest(cfg IngestConfig) (IngestResult, error) {
 		return broker.Dial(listenAddr, id)
 	}
 
+	res.DispatchBurst = cfg.DispatchBurst
+
 	subs := make([]*broker.Client, 0, cfg.Subscribers)
 	defer func() {
 		for _, c := range subs {
 			c.Close()
 		}
 	}()
+	rings := make([]*broker.Subscription, 0, cfg.Subscribers)
 	for i := 0; i < cfg.Subscribers; i++ {
 		c, err := dial(cfg.Transport, fmt.Sprintf("ingest-sub-%d", i))
 		if err != nil {
 			return res, fmt.Errorf("bench: subscriber %d: %w", i, err)
+		}
+		if cfg.DispatchBurst != 0 {
+			c.SetDispatchBurst(cfg.DispatchBurst)
 		}
 		subs = append(subs, c)
 		sub, err := c.Subscribe("/bench/ingest/#", 1024)
 		if err != nil {
 			return res, fmt.Errorf("bench: subscribe %d: %w", i, err)
 		}
+		rings = append(rings, sub)
 		go func() {
-			for range sub.C() {
+			buf := make([]*event.Event, 0, 256)
+			for {
+				var ok bool
+				buf, ok = sub.RecvBatch(buf[:0], 256)
+				clear(buf)
+				if !ok {
+					return
+				}
 			}
 		}()
+	}
+
+	// deliveryStats sums the subscriber-side delivery-plane counters so
+	// the window delta reports bursts/wakeups/events and the ring
+	// high-water mark.
+	deliveryStats := func() (bursts, wakeups, events uint64, maxOcc int) {
+		for _, sub := range rings {
+			st := sub.DeliveryStats()
+			bursts += st.Bursts
+			wakeups += st.Wakeups
+			events += st.Events
+			if st.MaxOccupancy > maxOcc {
+				maxOcc = st.MaxOccupancy
+			}
+		}
+		return
 	}
 
 	payload := make([]byte, cfg.PayloadBytes)
@@ -246,10 +303,17 @@ func RunIngest(cfg IngestConfig) (IngestResult, error) {
 	}
 
 	time.Sleep(cfg.Warmup)
+	// The occupancy high-water is a monotonic marker: clear it so the
+	// reported peak covers the measurement window, not warmup ramp.
+	for _, sub := range rings {
+		sub.ResetMaxOccupancy()
+	}
 	i0, a0, d0 := snapshot()
+	b0, w0, e0, _ := deliveryStats()
 	t0 := time.Now()
 	time.Sleep(cfg.Duration)
 	i1, a1, d1 := snapshot()
+	b1, w1, e1, maxOcc := deliveryStats()
 	window := time.Since(t0).Seconds()
 	close(stop)
 	pubWG.Wait()
@@ -266,5 +330,15 @@ func RunIngest(cfg IngestConfig) (IngestResult, error) {
 		res.ArrivedPerSec = float64(a1-a0) / window
 		res.DeliveredPerSec = float64(d1-d0) / window
 	}
+	res.DeliveryBursts = b1 - b0
+	res.DeliveryWakeups = w1 - w0
+	res.ClientDelivered = e1 - e0
+	if res.DeliveryBursts > 0 {
+		res.EventsPerBurst = float64(res.ClientDelivered) / float64(res.DeliveryBursts)
+	}
+	if res.DeliveryWakeups > 0 {
+		res.EventsPerWakeup = float64(res.ClientDelivered) / float64(res.DeliveryWakeups)
+	}
+	res.RingOccupancyMax = maxOcc
 	return res, nil
 }

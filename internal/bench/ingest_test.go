@@ -51,6 +51,47 @@ func TestIngestBaseline(t *testing.T) {
 	t.Log(res)
 }
 
+// TestIngestPerEventDelivery runs the client-delivery ablation
+// (DispatchBurst 1: one ring lock, one wakeup, one ack per event) —
+// the PR-4 delivery plane the batched-delivery speedup is measured
+// against — under the same short/race CI conditions.
+func TestIngestPerEventDelivery(t *testing.T) {
+	cfg := quickIngest()
+	cfg.DispatchBurst = 1
+	res, err := RunIngest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IngestedPerSec <= 0 || res.DeliveredPerSec <= 0 {
+		t.Fatalf("ingested/sec = %v delivered/sec = %v", res.IngestedPerSec, res.DeliveredPerSec)
+	}
+	if res.DispatchBurst != 1 {
+		t.Fatalf("DispatchBurst = %d, want 1", res.DispatchBurst)
+	}
+	t.Log(res)
+}
+
+// TestIngestDeliveryStats sanity-checks the client-side delivery-plane
+// reporting: under the default batched dispatch the amortization ratio
+// must beat one event per wakeup (it is the whole point), and the
+// counters must move.
+func TestIngestDeliveryStats(t *testing.T) {
+	res, err := RunIngest(quickIngest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveryWakeups == 0 || res.ClientDelivered == 0 {
+		t.Fatalf("delivery stats did not move: %+v", res)
+	}
+	if res.EventsPerBurst <= 1 {
+		t.Fatalf("events per ring lock = %.2f, want > 1 under batched dispatch", res.EventsPerBurst)
+	}
+	if res.RingOccupancyMax <= 0 {
+		t.Fatalf("ring occupancy high-water = %d", res.RingOccupancyMax)
+	}
+	t.Log(res)
+}
+
 // TestIngestMem exercises the all-in-process pointer path, whose egress
 // now also batches (eventBatchSink and the batch-message pipe) when
 // burst ingest is on.

@@ -194,6 +194,7 @@ type brokerCounters struct {
 	queueDrops  *metrics.Counter
 	invalid     *metrics.Counter
 	retransmits *metrics.Counter
+	acksIn      *metrics.Counter
 }
 
 func resolveCounters(reg *metrics.Registry) brokerCounters {
@@ -206,6 +207,7 @@ func resolveCounters(reg *metrics.Registry) brokerCounters {
 		queueDrops:  reg.Counter("broker.queue_drops"),
 		invalid:     reg.Counter("broker.invalid_events"),
 		retransmits: reg.Counter("broker.retransmits"),
+		acksIn:      reg.Counter("broker.acks_in"),
 	}
 }
 

@@ -29,23 +29,75 @@ const subscribeTimeout = 10 * time.Second
 // topic stream cannot grow it without bound.
 const clientRouteCacheBound = 1024
 
-// Subscription is a client-side subscription delivering matched events on
-// a channel.
+// Subscription is a client-side subscription delivering matched events
+// through a bounded ring buffer.
+//
+// The delivery contract is burst-oriented: the client's read loop hands
+// each subscription a whole burst at a time (deliverBatch), which
+// appends every event under ONE ring-lock hold and deposits ONE
+// consumer wakeup — a burst of K matched events costs one lock/signal
+// pair, not K channel operations. Consumers drain in bursts too
+// (RecvBatch / TryRecvBatch); the channel view returned by C is a
+// compatibility facade pumped from the ring.
+//
+// Overflow policy mirrors the broker's send queues: best-effort events
+// displace the oldest buffered best-effort event (drops are counted and
+// never touch reliable entries); reliable events block the producer on
+// ring space, propagating backpressure exactly as the old channel send
+// did.
 type Subscription struct {
 	client  *Client
 	pattern string
 	drops   atomic.Uint64
 
-	// sendMu serialises channel sends against close so that cancelling a
-	// subscription while traffic is in flight is safe.
-	sendMu sync.Mutex
+	// mu guards the ring. It serialises producer appends against close so
+	// cancelling a subscription while traffic is in flight is safe.
+	mu     sync.Mutex
 	closed bool
-	ch     chan *event.Event
+	ring   []*event.Event
+	head   int
+	n      int
+	relN   int // reliable events buffered (never evicted by overflow)
+	maxOcc int // high-water ring occupancy
+
+	// deliverLocks counts producer-side mu acquisitions and wakeups the
+	// consumer wakeup tokens deposited. Together they instrument the
+	// batching contract — one lock and at most one wakeup per burst per
+	// subscription — and are asserted by regression tests.
+	deliverLocks atomic.Uint64
+	wakeups      atomic.Uint64
+	delivered    atomic.Uint64
+
+	// notify carries at most one "events buffered" token; every delivered
+	// burst and the close deposit one, the single consumer drains the ring
+	// before waiting. space carries at most one "ring space freed" token
+	// for reliable producers blocked on a full ring.
+	notify chan struct{}
+	space  chan struct{}
+	// closedSig is closed exactly once when the subscription closes.
+	closedSig chan struct{}
+
+	// compatCh backs the C() channel view, pumped lazily from the ring.
+	compatOnce sync.Once
+	compatCh   chan *event.Event
+
+	// stageGen/stageIdx are the owning read loop's staging slot for the
+	// current burst: a generation check instead of a map lookup per
+	// (event, subscription) pair. Touched only by the readLoop goroutine.
+	stageGen uint64
+	stageIdx int
 }
 
-// C returns the delivery channel. It is closed when the subscription is
-// cancelled or the client closes.
-func (s *Subscription) C() <-chan *event.Event { return s.ch }
+func newSubscription(c *Client, pattern string, depth int) *Subscription {
+	return &Subscription{
+		client:    c,
+		pattern:   pattern,
+		ring:      make([]*event.Event, depth),
+		notify:    make(chan struct{}, 1),
+		space:     make(chan struct{}, 1),
+		closedSig: make(chan struct{}),
+	}
+}
 
 // Pattern returns the subscription pattern.
 func (s *Subscription) Pattern() string { return s.pattern }
@@ -57,55 +109,341 @@ func (s *Subscription) Drops() uint64 { return s.drops.Load() }
 // Cancel unsubscribes. Equivalent to Client.Unsubscribe.
 func (s *Subscription) Cancel() error { return s.client.Unsubscribe(s) }
 
-func (s *Subscription) closeChan() {
-	s.sendMu.Lock()
-	defer s.sendMu.Unlock()
-	if !s.closed {
-		s.closed = true
-		close(s.ch)
+// DeliveryStats reports the subscription's batched-delivery counters:
+// how many delivery bursts (ring lock acquisitions) and consumer
+// wakeups the traffic cost, how many events were admitted, and the
+// high-water ring occupancy. Bursts ≪ Events is the amortization the
+// batch plane exists for.
+type DeliveryStats struct {
+	Bursts       uint64
+	Wakeups      uint64
+	Events       uint64
+	MaxOccupancy int
+	Capacity     int
+}
+
+// ResetMaxOccupancy clears the ring's high-water occupancy marker (to
+// the current occupancy) so a measurement window can record its own
+// peak rather than inheriting warmup spikes.
+func (s *Subscription) ResetMaxOccupancy() {
+	s.mu.Lock()
+	s.maxOcc = s.n
+	s.mu.Unlock()
+}
+
+// DeliveryStats returns a snapshot of the delivery-plane counters.
+func (s *Subscription) DeliveryStats() DeliveryStats {
+	s.mu.Lock()
+	occ, capacity := s.maxOcc, len(s.ring)
+	s.mu.Unlock()
+	return DeliveryStats{
+		Bursts:       s.deliverLocks.Load(),
+		Wakeups:      s.wakeups.Load(),
+		Events:       s.delivered.Load(),
+		MaxOccupancy: occ,
+		Capacity:     capacity,
 	}
 }
 
-// deliver hands an event to the subscription channel. Best-effort events
-// displace the oldest buffered event when the consumer lags; reliable
-// events retry until delivered, the subscription closes, or the client
-// shuts down. The channel send itself is always non-blocking under
-// sendMu, so closeChan can never race a send.
-func (s *Subscription) deliver(e *event.Event, done <-chan struct{}) {
-	for {
-		s.sendMu.Lock()
+// signalData deposits the consumer wakeup token (at most one pending).
+func (s *Subscription) signalData() {
+	select {
+	case s.notify <- struct{}{}:
+		s.wakeups.Add(1)
+	default:
+	}
+}
+
+// resignal re-arms the wakeup token without counting it as a producer
+// wakeup (consumer-side bookkeeping for partial drains and close).
+func (s *Subscription) resignal() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Subscription) signalSpace() {
+	select {
+	case s.space <- struct{}{}:
+	default:
+	}
+}
+
+// Wake returns the channel carrying the subscription's single wakeup
+// token, for consumers that multiplex ring draining against their own
+// delivery (select-based pumps). After receiving, call TryRecvBatch —
+// it re-arms the token when events remain buffered. Spurious wakeups
+// are possible and must be tolerated.
+func (s *Subscription) Wake() <-chan struct{} { return s.notify }
+
+// deliverBatch appends a whole burst to the ring under one lock hold
+// and issues one consumer wakeup. Best-effort overflow evicts the
+// oldest buffered best-effort events in bulk (counted as drops,
+// skipping reliable entries); a reliable event arriving at a full ring
+// blocks until the consumer frees space, the subscription closes, or
+// done closes.
+func (s *Subscription) deliverBatch(events []*event.Event, done <-chan struct{}) {
+	for len(events) > 0 {
+		s.deliverLocks.Add(1)
+		s.mu.Lock()
 		if s.closed {
-			s.sendMu.Unlock()
+			s.mu.Unlock()
 			return
 		}
-		select {
-		case s.ch <- e:
-			s.sendMu.Unlock()
-			return
-		default:
+		rest := s.appendLocked(events)
+		admitted := len(events) - len(rest)
+		s.mu.Unlock()
+		if admitted > 0 {
+			s.delivered.Add(uint64(admitted))
+			s.signalData()
 		}
-		if !e.Reliable {
-			// Make room by discarding the oldest buffered event.
-			select {
-			case <-s.ch:
-				s.drops.Add(1)
-			default:
-			}
-			select {
-			case s.ch <- e:
-			default:
-				s.drops.Add(1)
-			}
-			s.sendMu.Unlock()
+		events = rest
+		if len(events) == 0 {
 			return
 		}
-		s.sendMu.Unlock()
+		// The head of the remainder is reliable and the ring is full:
+		// wait for the consumer — the same backpressure the per-event
+		// channel send applied — then retry the rest of the burst.
 		select {
 		case <-done:
 			return
-		case <-time.After(time.Millisecond):
+		case <-s.closedSig:
+			return
+		case <-s.space:
 		}
 	}
+}
+
+// appendLocked copies events into the ring in arrival order, evicting
+// the oldest best-effort entries in bulk when full (drops are counted
+// once per call, not per event). It returns the un-admitted suffix,
+// non-empty only when its first event is reliable and the ring is full
+// — the caller must then block for space. Callers hold s.mu.
+func (s *Subscription) appendLocked(events []*event.Event) []*event.Event {
+	var dropped uint64
+	for i, e := range events {
+		if s.n == len(s.ring) {
+			if e.Reliable {
+				if dropped > 0 {
+					s.drops.Add(dropped)
+				}
+				return events[i:]
+			}
+			dropped++
+			if s.relN == 0 {
+				// Steady-state overload fast path: with the ring full,
+				// evicting the head and appending at the tail target the
+				// same slot — replace in place and advance.
+				s.ring[s.head] = e
+				s.head++
+				if s.head == len(s.ring) {
+					s.head = 0
+				}
+				continue
+			}
+			if !s.evictOldestLocked() {
+				// Every buffered event is reliable; shed the newcomer.
+				continue
+			}
+		}
+		tail := s.head + s.n
+		if tail >= len(s.ring) {
+			tail -= len(s.ring)
+		}
+		s.ring[tail] = e
+		s.n++
+		if e.Reliable {
+			s.relN++
+		}
+		if s.n > s.maxOcc {
+			s.maxOcc = s.n
+		}
+	}
+	if dropped > 0 {
+		s.drops.Add(dropped)
+	}
+	return nil
+}
+
+// evictOldestLocked removes the oldest best-effort entry to make room,
+// never touching reliable entries. It reports false when the ring holds
+// only reliable traffic. Callers hold s.mu.
+func (s *Subscription) evictOldestLocked() bool {
+	if s.relN == s.n {
+		return false
+	}
+	// Fast path: media rings rarely buffer reliable events at all.
+	j := 0
+	if s.relN > 0 {
+		for s.ring[(s.head+j)%len(s.ring)].Reliable {
+			j++
+		}
+	}
+	// Shift the (usually empty) reliable prefix up one slot so the
+	// eviction keeps arrival order for what remains.
+	for ; j > 0; j-- {
+		s.ring[(s.head+j)%len(s.ring)] = s.ring[(s.head+j-1)%len(s.ring)]
+	}
+	s.ring[s.head] = nil
+	s.head++
+	if s.head == len(s.ring) {
+		s.head = 0
+	}
+	s.n--
+	return true
+}
+
+// tryRecv pops up to max events under one lock acquisition. It returns
+// the grown buffer, how many events were taken, and whether the
+// subscription is closed and fully drained.
+func (s *Subscription) tryRecv(buf []*event.Event, max int) ([]*event.Event, int, bool) {
+	s.mu.Lock()
+	take := s.n
+	if take > max {
+		take = max
+	}
+	for i := 0; i < take; i++ {
+		e := s.ring[s.head]
+		s.ring[s.head] = nil
+		s.head++
+		if s.head == len(s.ring) {
+			s.head = 0
+		}
+		s.n--
+		if e.Reliable {
+			s.relN--
+		}
+		buf = append(buf, e)
+	}
+	remaining := s.n
+	closed := s.closed
+	s.mu.Unlock()
+	if take > 0 {
+		s.signalSpace()
+		if remaining > 0 {
+			// Partial drain: keep the token armed so the next wait does
+			// not miss the leftover.
+			s.resignal()
+		} else {
+			// Full drain: clear any stale token so the next burst's
+			// wakeup is observed (and counted) as a fresh one. Safe —
+			// an append racing this drain re-checks the ring under mu
+			// before any wait.
+			select {
+			case <-s.notify:
+			default:
+			}
+		}
+	}
+	return buf, take, closed && remaining == 0
+}
+
+// RecvBatch appends up to max buffered events to buf, blocking until at
+// least one is available or the subscription closes. The second return
+// is false only once the subscription is closed AND fully drained —
+// events buffered at close time are still delivered first. A
+// Subscription supports a single concurrent receiver; RecvBatch must
+// not be mixed with C.
+func (s *Subscription) RecvBatch(buf []*event.Event, max int) ([]*event.Event, bool) {
+	if max <= 0 {
+		max = len(s.ring)
+	}
+	for {
+		out, n, drained := s.tryRecv(buf, max)
+		if n > 0 {
+			return out, true
+		}
+		if drained {
+			return out, false
+		}
+		buf = out
+		<-s.notify
+	}
+}
+
+// TryRecvBatch is the non-blocking RecvBatch: it appends whatever is
+// buffered (up to max) and returns immediately. The second return is
+// false once the subscription is closed and fully drained.
+func (s *Subscription) TryRecvBatch(buf []*event.Event, max int) ([]*event.Event, bool) {
+	if max <= 0 {
+		max = len(s.ring)
+	}
+	out, _, drained := s.tryRecv(buf, max)
+	return out, !drained
+}
+
+// compatBurst bounds the C() pump's per-wakeup drain.
+const compatBurst = 64
+
+// C returns a channel view of the subscription for select-based
+// consumers, closed when the subscription is cancelled or the client
+// closes. The channel is fed by a lazily started pump that drains the
+// ring in bursts; the per-event channel send this reintroduces is why
+// hot-path consumers should drain the ring directly with RecvBatch.
+// C and RecvBatch must not be mixed on one subscription.
+func (s *Subscription) C() <-chan *event.Event {
+	s.compatOnce.Do(func() {
+		s.compatCh = make(chan *event.Event, len(s.ring))
+		go s.pumpCompat()
+	})
+	return s.compatCh
+}
+
+// pumpCompat forwards the ring onto the compat channel. While the
+// subscription is live it forwards with blocking sends (ring overflow
+// policy then applies upstream, as it did to the old channel buffer);
+// once the subscription closes it forwards without blocking — whatever
+// fits in the channel buffer stays readable, mirroring the old
+// close-with-buffered-events semantics — and closes the channel.
+func (s *Subscription) pumpCompat() {
+	defer close(s.compatCh)
+	blocking := true
+	buf := make([]*event.Event, 0, compatBurst)
+	for {
+		var ok bool
+		buf, ok = s.RecvBatch(buf[:0], compatBurst)
+		for _, e := range buf {
+			if blocking {
+				select {
+				case s.compatCh <- e:
+					continue
+				default:
+				}
+				select {
+				case s.compatCh <- e:
+					continue
+				case <-s.closedSig:
+					blocking = false
+				}
+			}
+			select {
+			case s.compatCh <- e:
+			default:
+				return
+			}
+		}
+		clear(buf)
+		if !ok {
+			return
+		}
+	}
+}
+
+// closeRing marks the subscription closed and wakes both sides. Events
+// already buffered remain drainable (RecvBatch returns them before
+// reporting closure).
+func (s *Subscription) closeRing() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	close(s.closedSig)
+	s.resignal()
+	s.signalSpace()
 }
 
 // Client is the publish/subscribe endpoint used by every Global-MMCS
@@ -121,21 +459,35 @@ type Client struct {
 	closedFlag atomic.Bool
 	subs       *topic.Trie[*Subscription]
 	subSet     map[*Subscription]struct{}
-	// routeCache memoises dispatch targets per concrete topic; any
-	// subscription change clears it. Guarded by mu. It spares the
-	// delivery hot path a trie walk (and its per-match allocation) per
-	// inbound event.
-	routeCache map[string][]*Subscription
-	// routeEpoch counts routeCache invalidations; the readLoop-private
-	// last-topic fast path below revalidates against it.
+	// routeEpoch counts subscription-set mutations; the readLoop-private
+	// dispatch caches below revalidate against it.
 	routeEpoch atomic.Uint64
-	// lastTopic/lastTargets memoise the previous dispatch for the
-	// single-reader hot path (a media stream repeats one topic), skipping
-	// both the mutex and the map. Touched only by the readLoop goroutine.
+
+	// Dispatch state owned by the readLoop goroutine: a per-epoch target
+	// cache (no lock on hit — the trie walk under mu happens once per
+	// topic per epoch), a last-topic memo that skips even the map for
+	// single-stream traffic, and the per-burst staging slots.
+	routeCache  map[string][]*Subscription
+	cacheEpoch  uint64
 	lastTopic   string
 	lastTargets []*Subscription
-	lastEpoch   uint64
 	lastValid   bool
+	stageGen    uint64
+	stageSubs   []*Subscription
+	stageItems  [][]*event.Event
+	oneEvent    [1]*event.Event
+
+	// dispatchBurst selects the delivery mode: >1 stages a received burst
+	// per subscription and delivers it with one ring lock and one wakeup
+	// per subscription (the default); <=1 degenerates to event-at-a-time
+	// delivery — the ablation the benchmark measures against.
+	dispatchBurst atomic.Int32
+
+	// acksSent counts reverse-path reliable acks this client has sent;
+	// with burst dispatch they are coalesced to one cumulative ack per
+	// burst (asserted by tests, reported by the bench harness).
+	acksSent atomic.Uint64
+
 	// waiters maps ping tokens to response channels for control fencing.
 	waiters map[string]chan struct{}
 
@@ -179,11 +531,29 @@ func Attach(conn transport.Conn, id string) (*Client, error) {
 		waiters:    make(map[string]chan struct{}),
 		ahead:      make(map[uint64]struct{}),
 		done:       make(chan struct{}),
+		stageGen:   1,
 	}
+	c.dispatchBurst.Store(clientRecvBurst)
 	c.wg.Add(1)
 	go c.readLoop()
 	return c, nil
 }
+
+// SetDispatchBurst selects the client's delivery dispatch mode: n <= 1
+// degenerates dispatch to event-at-a-time delivery (one ring lock and
+// one wakeup per event, per-event acks — the pre-batching ablation the
+// benchmark measures against); any larger value keeps the default
+// batched dispatch. Safe to call while traffic flows.
+func (c *Client) SetDispatchBurst(n int) {
+	if n <= 0 {
+		n = clientRecvBurst
+	}
+	c.dispatchBurst.Store(int32(n))
+}
+
+// AckSends reports how many reverse-path reliable acks this client has
+// sent (one cumulative ack per received burst under batched dispatch).
+func (c *Client) AckSends() uint64 { return c.acksSent.Load() }
 
 // LocalClient attaches an in-process client directly to the broker,
 // shaping the broker→client direction with profile. It is the fast path
@@ -220,7 +590,7 @@ func (c *Client) Subscribe(pattern string, depth int) (*Subscription, error) {
 }
 
 // SubscribeContext registers a pattern and returns a Subscription whose
-// channel buffers depth events (default 256 if depth <= 0). It blocks
+// ring buffers depth events (default 256 if depth <= 0). It blocks
 // until the broker has applied the subscription, the fence window
 // expires, or ctx is cancelled.
 func (c *Client) SubscribeContext(ctx context.Context, pattern string, depth int) (*Subscription, error) {
@@ -236,7 +606,7 @@ func (c *Client) SubscribeContext(ctx context.Context, pattern string, depth int
 	if depth <= 0 {
 		depth = 256
 	}
-	sub := &Subscription{client: c, pattern: pattern, ch: make(chan *event.Event, depth)}
+	sub := newSubscription(c, pattern, depth)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -247,7 +617,6 @@ func (c *Client) SubscribeContext(ctx context.Context, pattern string, depth int
 		return nil, err
 	}
 	c.subSet[sub] = struct{}{}
-	clear(c.routeCache)
 	c.routeEpoch.Add(1)
 	c.mu.Unlock()
 
@@ -286,7 +655,7 @@ func (c *Client) revokePattern(pattern string) {
 	_ = c.conn.Send(unsubEvent(pattern))
 }
 
-// Unsubscribe cancels a subscription and closes its channel.
+// Unsubscribe cancels a subscription and closes its delivery ring.
 func (c *Client) Unsubscribe(sub *Subscription) error {
 	c.mu.Lock()
 	if _, ok := c.subSet[sub]; !ok {
@@ -295,7 +664,6 @@ func (c *Client) Unsubscribe(sub *Subscription) error {
 	}
 	delete(c.subSet, sub)
 	c.subs.Remove(sub.pattern, sub)
-	clear(c.routeCache)
 	c.routeEpoch.Add(1)
 	stillUsed := false
 	for other := range c.subSet {
@@ -306,7 +674,7 @@ func (c *Client) Unsubscribe(sub *Subscription) error {
 	}
 	closed := c.closed
 	c.mu.Unlock()
-	sub.closeChan()
+	sub.closeRing()
 	if closed || stillUsed {
 		return nil
 	}
@@ -320,10 +688,9 @@ func (c *Client) dropSub(sub *Subscription) {
 	c.mu.Lock()
 	delete(c.subSet, sub)
 	c.subs.Remove(sub.pattern, sub)
-	clear(c.routeCache)
 	c.routeEpoch.Add(1)
 	c.mu.Unlock()
-	sub.closeChan()
+	sub.closeRing()
 }
 
 // fence sends a ping and waits for its echo, guaranteeing all prior
@@ -425,13 +792,20 @@ func (c *Client) readLoop() {
 		}
 	}
 	// Burst receive: one wakeup and one conn operation per batch the
-	// broker's writer flushed, with per-event processing unchanged.
+	// broker's writer flushed; dispatch then rides the same burst —
+	// staged per subscription, delivered with one ring lock and one
+	// consumer wakeup per subscription per burst, and reverse-path acks
+	// coalesced to one cumulative ack per burst.
 	events := make([]*event.Event, 0, clientRecvBurst)
 	for {
 		events = events[:0]
 		events, err := bc.RecvBurst(events, clientRecvBurst)
-		for _, e := range events {
-			c.handleInbound(e)
+		if c.dispatchBurst.Load() > 1 {
+			c.processBurst(events)
+		} else {
+			for _, e := range events {
+				c.handleInbound(e)
+			}
 		}
 		clear(events) // never pin delivered events in the reused buffer
 		if err != nil {
@@ -441,13 +815,15 @@ func (c *Client) readLoop() {
 }
 
 // handleInbound processes one event from the broker: hop reliability,
-// control fencing, then subscription dispatch.
+// control fencing, then subscription dispatch. This is the per-event
+// path (non-burst conns, and the dispatch ablation).
 func (c *Client) handleInbound(e *event.Event) {
 	if rseq, tagged, bad := inboundRSeq(e); tagged && e.Topic != topicAck {
 		if bad {
 			return
 		}
 		cum, fresh := c.acceptReliable(rseq)
+		c.acksSent.Add(1)
 		_ = c.conn.Send(ackEvent(cum))
 		if !fresh {
 			return
@@ -455,50 +831,141 @@ func (c *Client) handleInbound(e *event.Event) {
 		e = stripRSeq(e)
 	}
 	if isControlTopic(e.Topic) {
-		if e.Topic == topicPing {
-			c.mu.Lock()
-			ch := c.waiters[e.Headers[hdrSeq]]
-			c.mu.Unlock()
-			if ch != nil {
-				select {
-				case ch <- struct{}{}:
-				default:
-				}
-			}
-		}
+		c.handleControl(e)
 		return
 	}
-	c.dispatch(e)
+	c.oneEvent[0] = e
+	c.dispatchStaged(c.oneEvent[:1])
+	c.oneEvent[0] = nil
 }
 
-// dispatch fans an event out to matching local subscriptions. Best-effort
-// events are dropped when a consumer lags; reliable events apply
-// backpressure. Targets are memoised per topic until the subscription
-// set changes, with a lock-free fast path for the previous topic (a
-// media stream repeats one topic for thousands of events).
-func (c *Client) dispatch(e *event.Event) {
+// processBurst is the burst mirror of handleInbound: per-event hop
+// reliability and control handling are unchanged, but matched events
+// are staged per subscription and handed over as one batch each, and
+// the reliable reverse path sends ONE cumulative ack for the whole
+// burst instead of one per rseq-tagged event.
+func (c *Client) processBurst(events []*event.Event) {
+	ackDue := false
+	var ackCum uint64
+	for _, e := range events {
+		if rseq, tagged, bad := inboundRSeq(e); tagged && e.Topic != topicAck {
+			if bad {
+				continue
+			}
+			cum, fresh := c.acceptReliable(rseq)
+			ackDue, ackCum = true, cum
+			if !fresh {
+				continue
+			}
+			e = stripRSeq(e)
+		}
+		if isControlTopic(e.Topic) {
+			// Deliver staged data first so control effects (fence echoes)
+			// are observed in arrival order relative to the data around
+			// them.
+			c.flushStaged()
+			c.handleControl(e)
+			continue
+		}
+		c.stageEvent(e)
+	}
+	c.flushStaged()
+	if ackDue {
+		c.acksSent.Add(1)
+		_ = c.conn.Send(ackEvent(ackCum))
+	}
+}
+
+// handleControl applies one control event (currently just the ping echo
+// that releases control fences).
+func (c *Client) handleControl(e *event.Event) {
+	if e.Topic != topicPing {
+		return
+	}
+	c.mu.Lock()
+	ch := c.waiters[e.Headers[hdrSeq]]
+	c.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// dispatchTargets resolves the subscriptions matching a concrete topic.
+// The cache is readLoop-private and epoch-validated: a hit costs no
+// lock at all; the trie walk under c.mu happens once per topic per
+// subscription-set epoch. A last-topic memo skips even the map for
+// single-stream traffic (a media stream repeats one topic for
+// thousands of events).
+func (c *Client) dispatchTargets(t string) []*Subscription {
 	epoch := c.routeEpoch.Load()
-	var targets []*Subscription
-	if c.lastValid && c.lastEpoch == epoch && e.Topic == c.lastTopic {
-		targets = c.lastTargets
-	} else {
+	if epoch != c.cacheEpoch {
+		clear(c.routeCache)
+		c.cacheEpoch = epoch
+		c.lastValid = false
+	}
+	if c.lastValid && t == c.lastTopic {
+		return c.lastTargets
+	}
+	targets, ok := c.routeCache[t]
+	if !ok {
 		c.mu.Lock()
-		var cached bool
-		targets, cached = c.routeCache[e.Topic]
-		if !cached {
-			c.subs.MatchFunc(e.Topic, func(s *Subscription) {
-				targets = append(targets, s)
-			})
-			if len(c.routeCache) < clientRouteCacheBound {
-				c.routeCache[e.Topic] = targets
+		c.subs.MatchFunc(t, func(s *Subscription) {
+			targets = append(targets, s)
+		})
+		c.mu.Unlock()
+		if len(c.routeCache) < clientRouteCacheBound {
+			c.routeCache[t] = targets
+		}
+	}
+	c.lastTopic, c.lastTargets, c.lastValid = t, targets, true
+	return targets
+}
+
+// stageEvent appends e to the staged burst of every matching
+// subscription, resolving targets once per topic per burst. The staging
+// slot lives on the Subscription itself (generation-stamped), so
+// staging is O(1) per (event, target) with no map.
+func (c *Client) stageEvent(e *event.Event) {
+	for _, sub := range c.dispatchTargets(e.Topic) {
+		if sub.stageGen != c.stageGen {
+			sub.stageGen = c.stageGen
+			sub.stageIdx = len(c.stageSubs)
+			c.stageSubs = append(c.stageSubs, sub)
+			if len(c.stageItems) < len(c.stageSubs) {
+				c.stageItems = append(c.stageItems, nil)
 			}
 		}
-		c.mu.Unlock()
-		c.lastTopic, c.lastTargets, c.lastEpoch, c.lastValid = e.Topic, targets, epoch, true
+		c.stageItems[sub.stageIdx] = append(c.stageItems[sub.stageIdx], e)
 	}
-	for _, s := range targets {
-		s.deliver(e, c.done)
+}
+
+// flushStaged hands every staged burst to its subscription — one ring
+// lock and one wakeup per subscription — and resets the stage for the
+// next burst.
+func (c *Client) flushStaged() {
+	for i, sub := range c.stageSubs {
+		items := c.stageItems[i]
+		sub.deliverBatch(items, c.done)
+		// Clear staged references so the reused buffers never pin events.
+		clear(items)
+		c.stageItems[i] = items[:0]
 	}
+	clear(c.stageSubs)
+	c.stageSubs = c.stageSubs[:0]
+	c.stageGen++
+}
+
+// dispatchStaged delivers a pre-assembled burst for one topic: stage
+// every event, then flush. Used by the per-event path with a one-event
+// burst.
+func (c *Client) dispatchStaged(events []*event.Event) {
+	for _, e := range events {
+		c.stageEvent(e)
+	}
+	c.flushStaged()
 }
 
 func (c *Client) acceptReliable(rseq uint64) (cum uint64, fresh bool) {
@@ -521,7 +988,7 @@ func (c *Client) acceptReliable(rseq uint64) (cum uint64, fresh bool) {
 	return c.recvCum, true
 }
 
-// teardown closes every subscription channel after the conn dies.
+// teardown closes every subscription ring after the conn dies.
 func (c *Client) teardown() {
 	c.once.Do(func() { close(c.done) })
 	c.closedFlag.Store(true)
@@ -533,15 +1000,14 @@ func (c *Client) teardown() {
 	}
 	clear(c.subSet)
 	c.subs = topic.NewTrie[*Subscription]()
-	clear(c.routeCache)
 	c.routeEpoch.Add(1)
 	c.mu.Unlock()
 	for _, s := range subs {
-		s.closeChan()
+		s.closeRing()
 	}
 }
 
-// Close disconnects the client and closes all subscription channels.
+// Close disconnects the client and closes all subscription rings.
 func (c *Client) Close() error {
 	err := c.conn.Close()
 	c.wg.Wait()

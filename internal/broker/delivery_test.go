@@ -1,0 +1,605 @@
+package broker
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/event"
+	"github.com/globalmmcs/globalmmcs/internal/transport"
+)
+
+func deliveryEvent(id uint64, topic string, reliable bool) *event.Event {
+	e := event.New(topic, event.KindRTP, []byte("delivery"))
+	e.Source = "delivery-pub"
+	e.ID = id
+	e.Reliable = reliable
+	return e
+}
+
+// TestDeliverBatchSingleLockSingleWakeup is the client-side batching
+// contract in one assertion: delivering a burst of K events to a
+// subscription costs ONE ring-lock acquisition and ONE consumer wakeup
+// — not K — as counted by the subscription's instrumented mutex and
+// wakeup token.
+func TestDeliverBatchSingleLockSingleWakeup(t *testing.T) {
+	sub := newSubscription(nil, "/burst/t", 64)
+	done := make(chan struct{})
+	defer close(done)
+
+	const burst = 16
+	events := make([]*event.Event, burst)
+	for i := range events {
+		events[i] = deliveryEvent(uint64(i+1), "/burst/t", false)
+	}
+	sub.deliverBatch(events, done)
+
+	st := sub.DeliveryStats()
+	if st.Bursts != 1 {
+		t.Fatalf("one burst cost %d ring lock acquisitions, want 1", st.Bursts)
+	}
+	if st.Wakeups != 1 {
+		t.Fatalf("one burst deposited %d wakeups, want 1", st.Wakeups)
+	}
+	if st.Events != burst {
+		t.Fatalf("admitted %d events, want %d", st.Events, burst)
+	}
+
+	// The consumer drains the whole burst under one lock too, in order.
+	buf, ok := sub.RecvBatch(nil, burst)
+	if !ok || len(buf) != burst {
+		t.Fatalf("RecvBatch = %d events, ok=%v; want %d", len(buf), ok, burst)
+	}
+	for i, e := range buf {
+		if e.ID != uint64(i+1) {
+			t.Fatalf("event %d has ID %d, want %d (order broken)", i, e.ID, i+1)
+		}
+	}
+
+	// A second burst costs exactly one more lock and wakeup.
+	sub.deliverBatch(events, done)
+	if st := sub.DeliveryStats(); st.Bursts != 2 || st.Wakeups != 2 {
+		t.Fatalf("after two bursts: %d locks / %d wakeups, want 2 / 2", st.Bursts, st.Wakeups)
+	}
+}
+
+// fakeBrokerConn is the broker end of a pipe attached to a real Client;
+// it lets tests hand the client exact bursts and observe the exact
+// reverse-path traffic, with no broker timing in between.
+type fakeBrokerRig struct {
+	c      *Client
+	conn   transport.Conn
+	bc     transport.EventBatchConn
+	recvCh chan *event.Event
+}
+
+func newFakeBrokerRig(t *testing.T, id string) *fakeBrokerRig {
+	t.Helper()
+	clientEnd, brokerEnd := transport.Pipe("mem:client", "mem:fake-broker")
+	c, err := Attach(clientEnd, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	// Consume the hello the client sent at attach.
+	if first, err := brokerEnd.Recv(); err != nil || first.Topic != topicHello {
+		t.Fatalf("expected hello, got %v (err %v)", first, err)
+	}
+	rig := &fakeBrokerRig{
+		c:      c,
+		conn:   brokerEnd,
+		bc:     brokerEnd.(transport.EventBatchConn),
+		recvCh: make(chan *event.Event, 256),
+	}
+	go func() {
+		for {
+			e, err := brokerEnd.Recv()
+			if err != nil {
+				close(rig.recvCh)
+				return
+			}
+			rig.recvCh <- e
+		}
+	}()
+	return rig
+}
+
+// addSub registers a subscription on the client directly, skipping the
+// control-plane round trip a real broker would run.
+func (r *fakeBrokerRig) addSub(t *testing.T, pattern string, depth int) *Subscription {
+	t.Helper()
+	sub := newSubscription(r.c, pattern, depth)
+	r.c.mu.Lock()
+	if err := r.c.subs.Add(pattern, sub); err != nil {
+		r.c.mu.Unlock()
+		t.Fatal(err)
+	}
+	r.c.subSet[sub] = struct{}{}
+	r.c.routeEpoch.Add(1)
+	r.c.mu.Unlock()
+	return sub
+}
+
+// TestClientBurstDispatchOneLockPerSubscription drives a real Client's
+// read loop with one wire burst fanning out to multiple subscriptions
+// and asserts the end-to-end contract: each subscription is locked and
+// woken exactly once for the whole burst.
+func TestClientBurstDispatchOneLockPerSubscription(t *testing.T) {
+	rig := newFakeBrokerRig(t, "burst-client")
+	subA := rig.addSub(t, "/burst/#", 512)
+	subB := rig.addSub(t, "/burst/a", 512)
+
+	const burst = 64
+	events := make([]*event.Event, burst)
+	for i := range events {
+		topic := "/burst/a"
+		if i%2 == 1 {
+			topic = "/burst/b"
+		}
+		events[i] = deliveryEvent(uint64(i+1), topic, false)
+	}
+	if err := rig.bc.SendEvents(events); err != nil {
+		t.Fatal(err)
+	}
+
+	// subA matches all 64, subB the 32 events on /burst/a.
+	bufA, ok := subA.RecvBatch(nil, burst)
+	if !ok || len(bufA) != burst {
+		t.Fatalf("subA got %d events (ok=%v), want %d", len(bufA), ok, burst)
+	}
+	for i, e := range bufA {
+		if e.ID != uint64(i+1) {
+			t.Fatalf("subA event %d has ID %d, want %d (cross-topic order broken)", i, e.ID, i+1)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	var bufB []*event.Event
+	for len(bufB) < burst/2 && time.Now().Before(deadline) {
+		var got bool
+		bufB, got = subB.TryRecvBatch(bufB, burst)
+		if !got {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if len(bufB) != burst/2 {
+		t.Fatalf("subB got %d events, want %d", len(bufB), burst/2)
+	}
+	prev := uint64(0)
+	for _, e := range bufB {
+		if e.ID <= prev {
+			t.Fatalf("subB order broken: %d after %d", e.ID, prev)
+		}
+		prev = e.ID
+	}
+
+	if st := subA.DeliveryStats(); st.Bursts != 1 || st.Wakeups != 1 {
+		t.Fatalf("subA: %d locks / %d wakeups for one wire burst, want 1 / 1", st.Bursts, st.Wakeups)
+	}
+	if st := subB.DeliveryStats(); st.Bursts != 1 || st.Wakeups != 1 {
+		t.Fatalf("subB: %d locks / %d wakeups for one wire burst, want 1 / 1", st.Bursts, st.Wakeups)
+	}
+}
+
+// TestStageSlotClobberRecovery: two sweeps interleaving stage calls on
+// the same target session (the concurrent-publisher topology) keep the
+// one-lock-per-burst-per-session contract — a clobbered staging slot
+// falls back to the per-sweep map instead of staging the session twice.
+func TestStageSlotClobberRecovery(t *testing.T) {
+	b := New(Config{ID: "clobber"})
+	defer b.Stop()
+	target := newSession(b, newCaptureConn(), "clobber-sub", false)
+	if err := b.router.add("/cl/t", target); err != nil {
+		t.Fatal(err)
+	}
+	s1 := b.newRouteSweep()
+	s2 := b.newRouteSweep()
+	// Interleave: each stage call overwrites the shared stageSlot, so
+	// every subsequent stage on the other sweep takes the recovery path.
+	for i := 0; i < 8; i++ {
+		s1.stage(target, outItem{e: deliveryEvent(uint64(100+i), "/cl/t", false)})
+		s2.stage(target, outItem{e: deliveryEvent(uint64(200+i), "/cl/t", false)})
+	}
+	s1.finish()
+	s2.finish()
+	if locks := target.queue.pushLockCount(); locks != 2 {
+		t.Fatalf("two interleaved sweeps cost %d queue locks, want 2 (one per sweep)", locks)
+	}
+	if depth := target.queue.depth(); depth != 16 {
+		t.Fatalf("queue depth %d, want 16", depth)
+	}
+}
+
+// TestCoalescedAckPerBurst: a burst of rseq-tagged reliable events
+// produces exactly ONE cumulative ack on the reverse path — carrying
+// the final floor — instead of one ack per event.
+func TestCoalescedAckPerBurst(t *testing.T) {
+	rig := newFakeBrokerRig(t, "ack-client")
+	sub := rig.addSub(t, "/ack/t", 64)
+
+	const burst = 32
+	events := make([]*event.Event, burst)
+	for i := range events {
+		e := deliveryEvent(uint64(i+1), "/ack/t", true)
+		e.RSeq = uint64(i + 1)
+		events[i] = e
+	}
+	if err := rig.bc.SendEvents(events); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly one ack, with the cumulative floor of the whole burst.
+	select {
+	case ack := <-rig.recvCh:
+		if ack.Topic != topicAck {
+			t.Fatalf("reverse path carried %q, want ack", ack.Topic)
+		}
+		if got := ack.Headers[hdrRSeq]; got != "32" {
+			t.Fatalf("cumulative ack = %s, want 32", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no ack for a reliable burst")
+	}
+	select {
+	case extra := <-rig.recvCh:
+		t.Fatalf("second reverse-path event %v; want one coalesced ack per burst", extra)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if n := rig.c.AckSends(); n != 1 {
+		t.Fatalf("client counted %d ack sends for one burst, want 1", n)
+	}
+
+	// All events delivered, in order, none dropped (they are reliable).
+	buf, ok := sub.RecvBatch(nil, burst)
+	if !ok || len(buf) != burst {
+		t.Fatalf("delivered %d/%d reliable events", len(buf), burst)
+	}
+	for i, e := range buf {
+		if e.ID != uint64(i+1) || e.RSeq != 0 {
+			t.Fatalf("event %d: ID %d RSeq %d; want ID %d with the tag stripped", i, e.ID, e.RSeq, i+1)
+		}
+	}
+	if sub.Drops() != 0 {
+		t.Fatalf("reliable burst recorded %d drops", sub.Drops())
+	}
+}
+
+// TestPerEventDispatchAblation: SetDispatchBurst(1) degenerates the
+// client to event-at-a-time delivery — one lock, one wakeup, one ack
+// per event — the measured baseline configuration.
+func TestPerEventDispatchAblation(t *testing.T) {
+	rig := newFakeBrokerRig(t, "ablation-client")
+	rig.c.SetDispatchBurst(1)
+	sub := rig.addSub(t, "/abl/t", 64)
+
+	const burst = 8
+	events := make([]*event.Event, burst)
+	for i := range events {
+		e := deliveryEvent(uint64(i+1), "/abl/t", true)
+		e.RSeq = uint64(i + 1)
+		events[i] = e
+	}
+	if err := rig.bc.SendEvents(events); err != nil {
+		t.Fatal(err)
+	}
+	buf, ok := sub.RecvBatch(nil, burst)
+	for ok && len(buf) < burst {
+		buf, ok = sub.RecvBatch(buf, burst-len(buf))
+	}
+	if len(buf) != burst {
+		t.Fatalf("delivered %d/%d", len(buf), burst)
+	}
+	if st := sub.DeliveryStats(); st.Bursts != burst {
+		t.Fatalf("ablation delivered %d events in %d bursts, want one burst per event", burst, st.Bursts)
+	}
+	// Per-event acks: one per tagged event.
+	deadline := time.Now().Add(2 * time.Second)
+	for rig.c.AckSends() < burst && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := rig.c.AckSends(); n != burst {
+		t.Fatalf("ablation sent %d acks for %d events, want one per event", n, burst)
+	}
+}
+
+// TestReliableNeverDroppedFromRing: best-effort overflow evicts only
+// best-effort entries; reliable events survive any flood, and a
+// reliable event arriving at a full ring blocks the producer until the
+// consumer frees space rather than dropping anything.
+func TestReliableNeverDroppedFromRing(t *testing.T) {
+	sub := newSubscription(nil, "/rel/t", 4)
+	done := make(chan struct{})
+	defer close(done)
+
+	// Fill the ring with one reliable event ahead of best-effort
+	// traffic, then flood it: every eviction must skip the reliable
+	// entry.
+	sub.deliverBatch([]*event.Event{
+		deliveryEvent(1, "/rel/t", true),
+		deliveryEvent(2, "/rel/t", false),
+		deliveryEvent(3, "/rel/t", false),
+		deliveryEvent(4, "/rel/t", false),
+	}, done)
+	flood := make([]*event.Event, 6)
+	for i := range flood {
+		flood[i] = deliveryEvent(uint64(5+i), "/rel/t", false)
+	}
+	sub.deliverBatch(flood, done)
+
+	buf, _ := sub.TryRecvBatch(nil, 64)
+	want := []uint64{1, 8, 9, 10} // the reliable head survived, oldest best-effort evicted
+	if len(buf) != len(want) {
+		t.Fatalf("ring holds %d events, want %d", len(buf), len(want))
+	}
+	for i, e := range buf {
+		if e.ID != want[i] {
+			t.Fatalf("ring slot %d has ID %d, want %d", i, e.ID, want[i])
+		}
+	}
+	if !buf[0].Reliable {
+		t.Fatal("reliable event was evicted by a best-effort flood")
+	}
+	if got := len(buf) + int(sub.Drops()); got != 10 {
+		t.Fatalf("conservation broken: %d received + %d dropped != 10", len(buf), sub.Drops())
+	}
+
+	// Fill the ring with reliable events, then deliver one more: the
+	// producer must block until the consumer drains, and nothing drops.
+	fill := make([]*event.Event, 4)
+	for i := range fill {
+		fill[i] = deliveryEvent(uint64(100+i), "/rel/t", true)
+	}
+	sub.deliverBatch(fill, done)
+	blocked := make(chan struct{})
+	go func() {
+		sub.deliverBatch([]*event.Event{deliveryEvent(200, "/rel/t", true)}, done)
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("reliable delivery did not block on a full ring")
+	case <-time.After(50 * time.Millisecond):
+	}
+	drained, _ := sub.TryRecvBatch(nil, 2)
+	if len(drained) != 2 {
+		t.Fatalf("drained %d, want 2", len(drained))
+	}
+	select {
+	case <-blocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("reliable delivery still blocked after space was freed")
+	}
+	rest, _ := sub.TryRecvBatch(nil, 8)
+	total := append(drained, rest...)
+	if len(total) != 5 {
+		t.Fatalf("reliable backpressure delivered %d/5 events", len(total))
+	}
+	for i, e := range total {
+		want := uint64(100 + i)
+		if i == 4 {
+			want = 200
+		}
+		if e.ID != want {
+			t.Fatalf("event %d has ID %d, want %d", i, e.ID, want)
+		}
+	}
+	if sub.Drops() != 6 { // only the best-effort evictions from the first flood
+		t.Fatalf("drops = %d, want 6", sub.Drops())
+	}
+}
+
+// TestDeliveryDropConservation: under a sustained overload flood with a
+// concurrent consumer, every event is either received or counted as
+// dropped — exactly once. Run with -race this also hammers the
+// producer/consumer ring paths.
+func TestDeliveryDropConservation(t *testing.T) {
+	sub := newSubscription(nil, "/cons/t", 8)
+	done := make(chan struct{})
+	defer close(done)
+
+	const total = 5000
+	var received int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]*event.Event, 0, 64)
+		for {
+			var ok bool
+			buf, ok = sub.RecvBatch(buf[:0], 64)
+			received += len(buf)
+			if !ok {
+				return
+			}
+		}
+	}()
+
+	batch := make([]*event.Event, 0, 32)
+	i := 1
+	for i <= total {
+		batch = batch[:0]
+		for ; i <= total && len(batch) < 32; i++ {
+			batch = append(batch, deliveryEvent(uint64(i), "/cons/t", false))
+		}
+		sub.deliverBatch(batch, done)
+	}
+	// Close the ring: buffered events are still drained before the
+	// consumer observes closure, and drops are final once deliverBatch
+	// returned.
+	sub.closeRing()
+	wg.Wait()
+
+	if got := received + int(sub.Drops()); got != total {
+		t.Fatalf("conservation broken: %d received + %d dropped = %d, want %d",
+			received, sub.Drops(), got, total)
+	}
+}
+
+// TestSubscriptionCloseDuringBurst: cancelling a subscription (and
+// tearing down the client) while bursts are in flight never panics,
+// deadlocks, or leaks a blocked producer. Run under -race in CI.
+func TestSubscriptionCloseDuringBurst(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		sub := newSubscription(nil, "/close/t", 8)
+		done := make(chan struct{})
+		burst := make([]*event.Event, 16)
+		for i := range burst {
+			// Mix reliable events in so close must also unblock a
+			// producer waiting on ring space.
+			burst[i] = deliveryEvent(uint64(i+1), "/close/t", i%3 == 0)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				sub.deliverBatch(burst, done)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			buf := make([]*event.Event, 0, 8)
+			for i := 0; i < 5; i++ {
+				var ok bool
+				buf, ok = sub.TryRecvBatch(buf[:0], 8)
+				if !ok {
+					return
+				}
+			}
+		}()
+		sub.closeRing()
+		close(done)
+		wg.Wait()
+	}
+}
+
+// TestCompatChannelAfterBatchedDelivery: the C() facade still delivers
+// batched traffic per event, in order, and closes on cancel — the
+// compatibility contract legacy consumers (gateways, tools, tests)
+// rely on.
+func TestCompatChannelAfterBatchedDelivery(t *testing.T) {
+	b := New(Config{ID: "compat"})
+	defer b.Stop()
+	sub, err := b.LocalClient("compat-sub", transport.LinkProfile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	s, err := sub.Subscribe("/compat/t", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := b.LocalClient("compat-pub", transport.LinkProfile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	const n = 40
+	for i := 1; i <= n; i++ {
+		if err := pub.Publish("/compat/t", event.KindData, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	timeout := time.After(5 * time.Second)
+	for i := 1; i <= n; i++ {
+		select {
+		case e := <-s.C():
+			if int(e.Payload[0]) != i {
+				t.Fatalf("event %d carried %d (order broken)", i, e.Payload[0])
+			}
+		case <-timeout:
+			t.Fatalf("only %d/%d events through the compat channel", i-1, n)
+		}
+	}
+	if err := sub.Unsubscribe(s); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-s.C():
+		if ok {
+			t.Fatal("compat channel delivered after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("compat channel not closed after unsubscribe")
+	}
+}
+
+// TestCoalescedAcksLossLink: reliable delivery over a lossy framed link
+// still converges to exactly-once delivery with coalesced acks — the
+// retransmit machinery is not regressed by sending one cumulative ack
+// per burst, and the ack traffic stays bounded by what arrived.
+func TestCoalescedAcksLossLink(t *testing.T) {
+	b := New(Config{
+		ID:                 "ack-loss",
+		RetransmitInterval: 20 * time.Millisecond,
+		MaxRetransmits:     100,
+	})
+	defer b.Stop()
+	inner, err := transport.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Serve(&lossyListener{Listener: inner, profile: transport.LinkProfile{Loss: 0.25, Seed: 7}})
+
+	c, err := Dial(inner.Addr(), "ack-loss-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sub, err := c.Subscribe("/ackloss/t", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 60
+	for i := 1; i <= n; i++ {
+		e := event.New("/ackloss/t", event.KindControl, []byte("r"))
+		e.Reliable = true
+		e.Source = "ack-loss-pub"
+		e.ID = uint64(i)
+		if err := b.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	seen := make(map[uint64]int)
+	buf := make([]*event.Event, 0, 64)
+	deadline := time.Now().Add(20 * time.Second)
+	for len(seen) < n && time.Now().Before(deadline) {
+		var ok bool
+		buf, ok = sub.RecvBatch(buf[:0], 64)
+		for _, e := range buf {
+			seen[e.ID]++
+		}
+		clear(buf)
+		if !ok {
+			break
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("only %d/%d reliable events arrived over the lossy link", len(seen), n)
+	}
+	for id, count := range seen {
+		if count != 1 {
+			t.Fatalf("event %d delivered %d times, want exactly once", id, count)
+		}
+	}
+	retrans := b.Metrics().Counter("broker.retransmits").Value()
+	if retrans == 0 {
+		t.Fatal("no retransmissions on a 25%-loss link")
+	}
+	acks := c.AckSends()
+	if acks == 0 {
+		t.Fatal("client sent no acks")
+	}
+	// Every ack is triggered by at least one tagged arrival; arrivals
+	// are bounded by original sends plus retransmissions. Coalescing can
+	// only push the count below this.
+	if acks > uint64(n)+retrans {
+		t.Fatalf("%d acks for at most %d tagged arrivals", acks, uint64(n)+retrans)
+	}
+	if got := b.Metrics().Counter("broker.acks_in").Value(); got == 0 {
+		t.Fatal("broker recorded no inbound acks")
+	}
+}

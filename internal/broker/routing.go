@@ -2,6 +2,7 @@ package broker
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/globalmmcs/globalmmcs/internal/event"
 	"github.com/globalmmcs/globalmmcs/internal/topic"
@@ -147,6 +148,16 @@ func (fs *frameSource) reliableFrame() *event.Frame {
 	return fs.rf
 }
 
+// sweepGenCounter hands out globally unique burst generations to route
+// sweeps, making the per-session staging slots below self-invalidating:
+// a slot can only validate against the one sweep generation that wrote
+// it.
+var sweepGenCounter atomic.Uint64
+
+// stageIdxBits is the width of the staging-slot index field; the upper
+// bits carry the sweep generation.
+const stageIdxBits = 20
+
 // routeSweep is the burst-at-a-time counterpart of Broker.route: it
 // routes a whole decoded burst in one sweep, resolving targets once per
 // topic (memoized across the burst) and staging best-effort deliveries
@@ -166,7 +177,14 @@ type routeSweep struct {
 	topics      map[string][]*session
 
 	// Per-session staging, index-stable within a sweep so the item
-	// slices are reused burst to burst.
+	// slices are reused burst to burst. A session's index lives in its
+	// generation-stamped stageSlot — the per-event path is an atomic
+	// load and compare, no hash — with idx as the slow-path map behind
+	// it: first touch of a session in a burst, and recovery when a
+	// concurrent sweep clobbers the shared slot, so a session is never
+	// staged (and its queue never locked) twice per burst. gen is this
+	// sweep's current burst generation.
+	gen      uint64
 	idx      map[*session]int
 	sessions []*session
 	items    [][]outItem
@@ -185,6 +203,7 @@ func (b *Broker) newRouteSweep() *routeSweep {
 		b:      b,
 		topics: make(map[string][]*session),
 		idx:    make(map[*session]int),
+		gen:    sweepGenCounter.Add(1),
 	}
 	rs.matchFn = rs.matchMemo
 	rs.deliverFn = rs.deliverStaged
@@ -206,14 +225,29 @@ func (rs *routeSweep) matchMemo(topic string) []*session {
 }
 
 // stage queues one best-effort item for t in the sweep's pending batch.
+// The session's staging index is read from its generation-stamped slot
+// — one atomic load and compare instead of a map lookup per (event,
+// target). A slot clobbered by a concurrent sweep fails to validate
+// (generations are globally unique) and falls back to the per-sweep
+// map, which re-stamps the slot; the map is touched only on first
+// staging of a session in a burst and on clobber recovery, so each
+// session still gets exactly one batch (one queue lock, one wakeup)
+// per burst.
 func (rs *routeSweep) stage(t *session, it outItem) {
-	i, ok := rs.idx[t]
-	if !ok {
-		i = len(rs.sessions)
-		rs.idx[t] = i
-		rs.sessions = append(rs.sessions, t)
-		if len(rs.items) < len(rs.sessions) {
-			rs.items = append(rs.items, nil)
+	slot := t.stageSlot.Load()
+	i := int(slot & (1<<stageIdxBits - 1))
+	if slot>>stageIdxBits != rs.gen || i >= len(rs.sessions) || rs.sessions[i] != t {
+		var ok bool
+		if i, ok = rs.idx[t]; !ok {
+			i = len(rs.sessions)
+			rs.idx[t] = i
+			rs.sessions = append(rs.sessions, t)
+			if len(rs.items) < len(rs.sessions) {
+				rs.items = append(rs.items, nil)
+			}
+		}
+		if i < 1<<stageIdxBits {
+			t.stageSlot.Store(rs.gen<<stageIdxBits | uint64(i))
 		}
 	}
 	rs.items[i] = append(rs.items[i], it)
@@ -263,6 +297,8 @@ func (rs *routeSweep) finish() {
 	clear(rs.sessions)
 	rs.sessions = rs.sessions[:0]
 	clear(rs.idx)
+	// A fresh generation invalidates every staging slot this burst wrote.
+	rs.gen = sweepGenCounter.Add(1)
 	clear(rs.topics)
 	rs.lastOK = false
 	rs.lastTargets = nil

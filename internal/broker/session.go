@@ -2,6 +2,7 @@ package broker
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/globalmmcs/globalmmcs/internal/event"
@@ -100,6 +101,14 @@ type session struct {
 	recvMu  sync.Mutex
 	recvCum uint64              // highest contiguous rseq delivered
 	ahead   map[uint64]struct{} // delivered above the contiguous point
+
+	// stageSlot is this session's staging slot in a route sweep's current
+	// burst, packed as (sweep generation << stageIdxBits | index).
+	// Generations are globally unique per burst, so a slot written by a
+	// concurrent sweep never validates — staging is O(1) per (event,
+	// target) with no map, and a clobbered slot only costs an extra
+	// (order-preserving) batch push.
+	stageSlot atomic.Uint64
 
 	// remotePatterns is peer-link soft state: pattern → origin broker →
 	// last refresh time. Guarded by the broker mutex.
@@ -324,7 +333,7 @@ func (s *session) readLoop() {
 				return
 			}
 			s.b.ctr.eventsIn.Inc()
-			e, isControl := s.ingestPrepare(e)
+			e, isControl := s.ingestPrepare(e, nil)
 			switch {
 			case e == nil:
 			case isControl:
@@ -339,6 +348,8 @@ func (s *session) readLoop() {
 	// burst in one sweep — targets resolved once per topic, each session
 	// locked and signalled once. A control event flushes the pending
 	// sweep first, so request ordering within the burst is preserved.
+	// The reliable reverse path is coalesced the same way: one cumulative
+	// ack per burst instead of one per rseq-tagged event.
 	sweep := s.b.newRouteSweep()
 	events := make([]*event.Event, 0, maxBurst)
 	routable := make([]*event.Event, 0, maxBurst)
@@ -349,12 +360,14 @@ func (s *session) readLoop() {
 			routable = routable[:0]
 		}
 	}
+	var ack ackState
 	for {
 		events = events[:0]
 		events, err := bc.RecvBurst(events, maxBurst)
 		s.b.ctr.eventsIn.Add(uint64(len(events)))
+		ack = ackState{}
 		for _, e := range events {
-			e, isControl := s.ingestPrepare(e)
+			e, isControl := s.ingestPrepare(e, &ack)
 			switch {
 			case e == nil:
 			case isControl:
@@ -365,6 +378,9 @@ func (s *session) readLoop() {
 			}
 		}
 		flush()
+		if ack.due {
+			s.queue.pushReliable(ackEvent(ack.cum))
+		}
 		// Drop event references eagerly: the reused burst buffer must not
 		// pin arena-decoded payloads across idle periods.
 		clear(events)
@@ -374,11 +390,23 @@ func (s *session) readLoop() {
 	}
 }
 
+// ackState accumulates the reverse-path cumulative acknowledgement for
+// one ingest burst. Acks are cumulative, so the burst needs exactly one
+// — carrying the final floor — rather than one per rseq-tagged event:
+// on a lossy peer link that cuts the reverse-path traffic by the burst
+// width.
+type ackState struct {
+	due bool
+	cum uint64
+}
+
 // ingestPrepare applies the per-event front half of ingest — hop
 // reliability, control detection, validation. It returns the prepared
 // event (nil when consumed or discarded) and whether it is a control
-// request for handleControl rather than a routable publish.
-func (s *session) ingestPrepare(e *event.Event) (*event.Event, bool) {
+// request for handleControl rather than a routable publish. When ack is
+// non-nil the reliable acknowledgement is recorded there for the caller
+// to send once per burst; otherwise it is pushed immediately.
+func (s *session) ingestPrepare(e *event.Event, ack *ackState) (*event.Event, bool) {
 	// Hop-by-hop reliability: rseq-tagged events (control or data) are
 	// deduplicated and cumulatively acknowledged before processing.
 	if rseq, tagged, bad := inboundRSeq(e); tagged && e.Topic != topicAck {
@@ -386,7 +414,11 @@ func (s *session) ingestPrepare(e *event.Event) (*event.Event, bool) {
 			return nil, false
 		}
 		cum, fresh := s.acceptReliable(rseq)
-		s.queue.pushReliable(ackEvent(cum))
+		if ack != nil {
+			ack.due, ack.cum = true, cum
+		} else {
+			s.queue.pushReliable(ackEvent(cum))
+		}
 		if !fresh {
 			return nil, false
 		}
@@ -414,6 +446,7 @@ func (s *session) handleControl(e *event.Event) {
 		s.b.unsubscribe(s, e.Headers[hdrPattern])
 	case topicAck:
 		if cum, err := headerUint(e, hdrRSeq); err == nil {
+			s.b.ctr.acksIn.Inc()
 			s.handleAck(cum)
 		}
 	case topicSubAdv:

@@ -97,11 +97,13 @@ type MediaSubscription = Stream[*MediaPacket]
 
 // mediaConflationKey keys media conflation by the RTP SSRC, read
 // directly from the wire header so the hot path needs no full parse. A
-// WithConflationKey option overrides it per stream.
-func mediaConflationKey(p *MediaPacket) (any, bool) {
+// WithConflationKey option overrides it per stream. The key is a bare
+// uint64 so the default conflating path stores it unboxed — no
+// per-packet allocation, unlike an `any`-keyed pending set.
+func mediaConflationKey(p *MediaPacket) (uint64, bool) {
 	pl := p.e.Payload
 	if p.e.Kind != event.KindRTP || len(pl) < rtp.HeaderLen {
-		return nil, false
+		return 0, false
 	}
 	return uint64(binary.BigEndian.Uint32(pl[8:12])), true
 }

@@ -117,12 +117,12 @@ func WithLagNotify(fn func(dropped uint64)) StreamOption {
 // "stream.<user>.<name>.queue_drops" gauge in the server's metrics
 // registry when the node runs WithMetrics.
 type Stream[T any] struct {
-	sub        *broker.Subscription
-	ch         chan T
-	policy     DropPolicy
-	conflate   bool
-	keyOf      func(T) (any, bool)
-	lagNotify  func(uint64)
+	sub       *broker.Subscription
+	ch        chan T
+	policy    DropPolicy
+	pending   conflatePending[T] // non-nil when the stream conflates
+	lagNotify func(uint64)
+
 	gauge      *metrics.Gauge
 	unregister func()
 
@@ -133,12 +133,61 @@ type Stream[T any] struct {
 	wg       sync.WaitGroup
 }
 
+// conflatePending is the keyed pending set behind a conflating stream:
+// while the consumer lags, a newer event replaces the queued event with
+// the same key. Two instantiations exist — K = uint64 for the built-in
+// media SSRC key, so the default conflating hot path stores keys
+// unboxed and allocation-free, and K = any for custom WithConflationKey
+// functions.
+type conflatePending[T any] interface {
+	// admit inserts v, merging over a queued value with the same key. It
+	// reports whether v carried a key (unkeyed events bypass conflation)
+	// and whether it superseded a queued value (counted as a drop).
+	admit(v T) (keyed, merged bool)
+	empty() bool
+	head() T
+	pop()
+}
+
+type pendingSet[T any, K comparable] struct {
+	keyOf func(T) (K, bool)
+	order []K
+	vals  map[K]T
+}
+
+func newPendingSet[T any, K comparable](keyOf func(T) (K, bool)) *pendingSet[T, K] {
+	return &pendingSet[T, K]{keyOf: keyOf, vals: make(map[K]T)}
+}
+
+func (p *pendingSet[T, K]) admit(v T) (keyed, merged bool) {
+	k, ok := p.keyOf(v)
+	if !ok {
+		return false, false
+	}
+	if _, exists := p.vals[k]; exists {
+		p.vals[k] = v
+		return true, true
+	}
+	p.vals[k] = v
+	p.order = append(p.order, k)
+	return true, false
+}
+
+func (p *pendingSet[T, K]) empty() bool { return len(p.order) == 0 }
+func (p *pendingSet[T, K]) head() T     { return p.vals[p.order[0]] }
+func (p *pendingSet[T, K]) pop() {
+	delete(p.vals, p.order[0])
+	p.order = p.order[1:]
+}
+
 // newStream wires a typed pump over a broker subscription. decode maps
-// wire events to T (false skips malformed events); keyOf, when non-nil,
-// supplies the stream's built-in conflation key (overridden by a
-// WithConflationKey option of the matching type). reg/name register the
-// per-stream drop gauge when the node has a registry.
-func newStream[T any](sub *broker.Subscription, reg *metrics.Registry, name string, defaultBuffer int, decode func(*event.Event) (T, bool), keyOf func(T) (any, bool), opts []StreamOption) *Stream[T] {
+// wire events to T (false skips malformed events); builtinKey, when
+// non-nil, supplies the stream's built-in conflation key (the media
+// SSRC — a uint64, kept unboxed on the conflating fast path), used when
+// WithConflation is set without a custom WithConflationKey of the
+// matching type. reg/name register the per-stream drop gauge when the
+// node has a registry.
+func newStream[T any](sub *broker.Subscription, reg *metrics.Registry, name string, defaultBuffer int, decode func(*event.Event) (T, bool), builtinKey func(T) (uint64, bool), opts []StreamOption) *Stream[T] {
 	cfg := streamConfig{buffer: defaultBuffer, policy: DropOldest}
 	for _, opt := range opts {
 		if opt != nil {
@@ -148,20 +197,22 @@ func newStream[T any](sub *broker.Subscription, reg *metrics.Registry, name stri
 	if cfg.buffer <= 0 {
 		cfg.buffer = defaultBuffer
 	}
-	if fn, ok := cfg.keyFn.(func(T) any); ok {
-		keyOf = func(v T) (any, bool) {
-			k := fn(v)
-			return k, k != nil
-		}
-	}
 	s := &Stream[T]{
 		sub:       sub,
 		ch:        make(chan T, cfg.buffer),
 		policy:    cfg.policy,
-		conflate:  cfg.conflate,
-		keyOf:     keyOf,
 		lagNotify: cfg.lagNotify,
 		closing:   make(chan struct{}),
+	}
+	if cfg.conflate {
+		if fn, ok := cfg.keyFn.(func(T) any); ok {
+			s.pending = newPendingSet[T, any](func(v T) (any, bool) {
+				k := fn(v)
+				return k, k != nil
+			})
+		} else if builtinKey != nil {
+			s.pending = newPendingSet[T, uint64](builtinKey)
+		}
 	}
 	if reg != nil && name != "" {
 		gname := "stream." + name + ".queue_drops"
@@ -343,94 +394,129 @@ func (s *Stream[T]) sendDropOldest(v T) {
 	}
 }
 
+// streamDrainBurst bounds how many subscription events a pump drains
+// per ring wakeup: one lock acquisition and one wakeup amortized across
+// the whole run.
+const streamDrainBurst = 256
+
 func (s *Stream[T]) pump(decode func(*event.Event) (T, bool)) {
 	defer s.wg.Done()
 	defer close(s.ch)
-	if s.conflate && s.keyOf != nil {
+	if s.pending != nil {
 		s.pumpConflating(decode)
 		return
 	}
-	for e := range s.sub.C() {
-		v, ok := decode(e)
-		if !ok {
-			continue
+	// Drain the subscription ring in bursts — decode a run of events per
+	// wakeup and apply the drop policy per batch, with drop/lag totals
+	// identical to the per-event pump's.
+	buf := make([]*event.Event, 0, streamDrainBurst)
+	for {
+		var ok bool
+		buf, ok = s.sub.RecvBatch(buf[:0], streamDrainBurst)
+		for _, e := range buf {
+			v, decoded := decode(e)
+			if !decoded {
+				continue
+			}
+			switch s.policy {
+			case Block:
+				select {
+				case s.ch <- v:
+				case <-s.closing:
+					return
+				}
+			case DropNewest:
+				select {
+				case s.ch <- v:
+				default:
+					s.noteDrops(1)
+				}
+			default: // DropOldest
+				s.sendDropOldest(v)
+			}
 		}
-		switch s.policy {
-		case Block:
-			select {
-			case s.ch <- v:
-			case <-s.closing:
-				return
-			}
-		case DropNewest:
-			select {
-			case s.ch <- v:
-			default:
-				s.noteDrops(1)
-			}
-		default: // DropOldest
-			s.sendDropOldest(v)
+		clear(buf) // never pin delivered events in the reused buffer
+		if !ok {
+			return
 		}
 	}
 }
 
-// pumpConflating drains the subscription eagerly into a keyed pending
-// set: while the consumer lags, a newer event replaces the queued event
-// with the same key instead of queueing behind it. Pending events feed
-// the delivery channel in arrival order of their keys. Unkeyed events
-// bypass conflation and are delivered drop-oldest.
+// pumpConflating drains the subscription ring eagerly into the keyed
+// pending set: while the consumer lags, a newer event replaces the
+// queued event with the same key instead of queueing behind it. Pending
+// events feed the delivery channel in arrival order of their keys.
+// Unkeyed events bypass conflation and are delivered drop-oldest.
 func (s *Stream[T]) pumpConflating(decode func(*event.Event) (T, bool)) {
-	var order []any
-	vals := make(map[any]T)
-	in := s.sub.C()
-
-	admit := func(e *event.Event) {
-		v, ok := decode(e)
-		if !ok {
-			return
+	buf := make([]*event.Event, 0, streamDrainBurst)
+	admit := func(events []*event.Event) {
+		for _, e := range events {
+			v, ok := decode(e)
+			if !ok {
+				continue
+			}
+			keyed, merged := s.pending.admit(v)
+			switch {
+			case !keyed:
+				s.sendDropOldest(v)
+			case merged:
+				s.noteDrops(1) // conflated: the queued event was superseded
+			}
 		}
-		k, keyed := s.keyOf(v)
-		if !keyed {
-			s.sendDropOldest(v)
-			return
+	}
+	// handover delivers everything pending without blocking, for when
+	// the input has ended (the consumer may be gone).
+	handover := func() {
+		for !s.pending.empty() {
+			s.sendDropOldest(s.pending.head())
+			s.pending.pop()
 		}
-		if _, exists := vals[k]; exists {
-			vals[k] = v
-			s.noteDrops(1) // conflated: the queued event was superseded
-			return
-		}
-		vals[k] = v
-		order = append(order, k)
 	}
 
 	for {
-		if len(order) == 0 {
-			select {
-			case e, ok := <-in:
-				if !ok {
-					return
-				}
-				admit(e)
-			case <-s.closing:
+		if s.pending.empty() {
+			var ok bool
+			buf, ok = s.sub.RecvBatch(buf[:0], streamDrainBurst)
+			admit(buf)
+			clear(buf)
+			if !ok {
+				handover()
 				return
 			}
 			continue
 		}
-		head := vals[order[0]]
-		select {
-		case e, ok := <-in:
-			if !ok {
-				// Input ended: hand over whatever is pending (never
-				// blocking — the consumer may be gone).
-				for _, k := range order {
-					s.sendDropOldest(vals[k])
-				}
-				return
+		// Pending events exist: drain whatever already arrived (one ring
+		// lock for the run) and push pending heads while the consumer
+		// keeps up, then block multiplexing input against delivery.
+		var ok bool
+		buf, ok = s.sub.TryRecvBatch(buf[:0], streamDrainBurst)
+		got := len(buf)
+		admit(buf)
+		clear(buf)
+		if !ok {
+			handover()
+			return
+		}
+		progressed := false
+		for !s.pending.empty() {
+			select {
+			case s.ch <- s.pending.head():
+				s.pending.pop()
+				progressed = true
+				continue
+			default:
 			}
-			admit(e)
-		case s.ch <- head:
-			delete(vals, order[0])
-			order = order[1:]
+			break
+		}
+		if got > 0 || progressed {
+			continue
+		}
+		select {
+		case s.ch <- s.pending.head():
+			s.pending.pop()
+		case <-s.sub.Wake():
+			// More input may be buffered; the next TryRecvBatch re-arms
+			// the token if it leaves events behind.
 		case <-s.closing:
 			return
 		}

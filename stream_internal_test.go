@@ -1,0 +1,50 @@
+package globalmmcs
+
+import "testing"
+
+// TestConflationUint64KeyUnboxed: the built-in SSRC conflation path
+// stores its uint64 keys unboxed — admitting (and merging) packets
+// allocates nothing, unlike an `any`-keyed pending set which boxes the
+// key per admitted packet.
+func TestConflationUint64KeyUnboxed(t *testing.T) {
+	p := newPendingSet[int, uint64](func(v int) (uint64, bool) {
+		return 1_000_000_007, true // large enough to defeat small-int interning
+	})
+	p.admit(1) // key now present: subsequent admits merge in place
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.admit(2)
+	})
+	if allocs != 0 {
+		t.Fatalf("uint64-keyed conflation allocated %.1f per merged packet, want 0", allocs)
+	}
+}
+
+// TestConflationAnyKeyStillWorks: the custom-key path (K = any) keeps
+// full generality — any comparable key type, nil exempting an event.
+func TestConflationAnyKeyStillWorks(t *testing.T) {
+	type update struct {
+		user string
+		seq  int
+	}
+	p := newPendingSet[update, any](func(v update) (any, bool) {
+		if v.user == "" {
+			return nil, false
+		}
+		return v.user, true
+	})
+	if keyed, _ := p.admit(update{user: "", seq: 1}); keyed {
+		t.Fatal("empty key should bypass conflation")
+	}
+	p.admit(update{user: "a", seq: 1})
+	p.admit(update{user: "b", seq: 1})
+	if keyed, merged := p.admit(update{user: "a", seq: 2}); !keyed || !merged {
+		t.Fatal("same-key admit should merge")
+	}
+	if p.head().seq != 2 {
+		t.Fatalf("merged head seq = %d, want the superseding 2", p.head().seq)
+	}
+	p.pop()
+	if p.head().user != "b" || p.empty() {
+		t.Fatal("arrival order of keys not preserved")
+	}
+}

@@ -234,6 +234,46 @@ func TestStreamConflation(t *testing.T) {
 	}
 }
 
+// TestStreamDropTotalsUnderOverload: the batched pump's drop accounting
+// is exact under sustained overload — flooding through a 1-deep buffer
+// in chunks, the cumulative Drops() and the lag-notify value equal the
+// pre-refactor per-event totals (everything sent minus the one buffered
+// survivor), and the survivor is always the newest message.
+func TestStreamDropTotalsUnderOverload(t *testing.T) {
+	var lastLag atomic.Uint64
+	session, room := chatFixture(t, nil,
+		globalmmcs.WithBuffer(1),
+		globalmmcs.WithLagNotify(func(dropped uint64) { lastLag.Store(dropped) }))
+
+	const chunks, chunkSize = 3, 32
+	sent := 0
+	for c := 0; c < chunks; c++ {
+		for i := 0; i < chunkSize; i++ {
+			sent++
+			if err := session.Send(context.Background(), fmt.Sprintf("m%d", sent)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Every processed message beyond the single buffered one is a
+		// counted displacement — the same total the per-event pump
+		// produced.
+		waitDrops(t, room, uint64(sent-1))
+		if got := room.Drops(); got != uint64(sent-1) {
+			t.Fatalf("after %d sent: drops = %d, want %d", sent, got, sent-1)
+		}
+	}
+	if got := lastLag.Load(); got != uint64(sent-1) {
+		t.Fatalf("lag notify saw %d, want %d", got, sent-1)
+	}
+	msg, err := room.Recv(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf("m%d", sent); msg.Body != want {
+		t.Fatalf("survivor = %q, want %q", msg.Body, want)
+	}
+}
+
 // TestStreamRecvContext: Recv honors cancellation and deadlines.
 func TestStreamRecvContext(t *testing.T) {
 	_, room := chatFixture(t, nil)
