@@ -335,6 +335,106 @@ func RunIngest(opt IngestOptions) (*IngestReport, error) {
 	}, nil
 }
 
+// MeshOptions parameterises the cross-mesh fan-out benchmark: a ring of
+// federated brokers linked by supervised TCP peer links, subscribers
+// spread round-robin across all nodes, publishers flooding node 0.
+// Zero values run the defaults.
+type MeshOptions struct {
+	// Mode selects the routing mode (default BrokerClientServer).
+	Mode BrokerMode
+	// Brokers is the mesh size (default 4; 1 runs the single-broker
+	// control cell).
+	Brokers int
+	// Subscribers is the total fan-out width across the mesh (default 64).
+	Subscribers int
+	// Publishers is the number of concurrent publishers on broker 0
+	// (default 4).
+	Publishers int
+	// PayloadBytes sizes each event payload (default 1200, min 8).
+	PayloadBytes int
+	// Warmup runs load before the window opens (default 300ms).
+	Warmup time.Duration
+	// Duration is the measurement window (default 2s).
+	Duration time.Duration
+}
+
+// MeshHopLatency is the delivery-latency distribution at one ring
+// distance from the publishing broker.
+type MeshHopLatency struct {
+	Hop    int     `json:"hop"`
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// MeshReport is the outcome of one cross-mesh fan-out run. Fields carry
+// JSON tags so reports can be committed as machine-readable baselines.
+type MeshReport struct {
+	Mode         string  `json:"mode"`
+	Brokers      int     `json:"brokers"`
+	Subscribers  int     `json:"subscribers"`
+	Publishers   int     `json:"publishers"`
+	PayloadBytes int     `json:"payload_bytes"`
+	WindowSec    float64 `json:"window_sec"`
+	// DeliveredPerSec is the headline number: events received by
+	// subscribers per second, across the whole mesh.
+	DeliveredPerSec float64 `json:"delivered_per_sec"`
+	// CrossMeshPerSec is the share that crossed at least one peer link.
+	CrossMeshPerSec float64 `json:"cross_mesh_per_sec"`
+	// ForwardedPerSec is the rate of events put on peer links.
+	ForwardedPerSec float64 `json:"forwarded_per_sec"`
+	// DupDropped counts ring duplicates absorbed broker-side; the
+	// client-observed DupDeliveries must be zero.
+	DupDropped    uint64 `json:"dup_dropped"`
+	DupDeliveries uint64 `json:"dup_deliveries"`
+	// Redials counts mesh supervisor redials during the run.
+	Redials uint64 `json:"redials"`
+	// Hops is the per-ring-distance latency distribution.
+	Hops []MeshHopLatency `json:"hops"`
+}
+
+// RunMesh measures cross-mesh fan-out: a ring of federated brokers
+// forwarding one publisher node's flood to subscribers spread across the
+// whole mesh, reporting delivered and cross-mesh events per second,
+// per-hop added latency, and loop-guard effectiveness on the cyclic
+// topology. Brokers=1 runs the single-broker control the federation
+// numbers are compared against.
+func RunMesh(opt MeshOptions) (*MeshReport, error) {
+	res, err := bench.RunMesh(bench.MeshConfig{
+		Mode:         broker.Mode(opt.Mode),
+		Brokers:      opt.Brokers,
+		Subscribers:  opt.Subscribers,
+		Publishers:   opt.Publishers,
+		PayloadBytes: opt.PayloadBytes,
+		Warmup:       opt.Warmup,
+		Duration:     opt.Duration,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &MeshReport{
+		Mode:            res.Mode,
+		Brokers:         res.Brokers,
+		Subscribers:     res.Subscribers,
+		Publishers:      res.Publishers,
+		PayloadBytes:    res.PayloadBytes,
+		WindowSec:       res.WindowSec,
+		DeliveredPerSec: res.DeliveredPerSec,
+		CrossMeshPerSec: res.CrossMeshPerSec,
+		ForwardedPerSec: res.ForwardedPerSec,
+		DupDropped:      res.DupDropped,
+		DupDeliveries:   res.DupDeliveries,
+		Redials:         res.Redials,
+	}
+	for _, h := range res.Hops {
+		r.Hops = append(r.Hops, MeshHopLatency{
+			Hop: h.Hop, Count: h.Count, MeanMs: h.MeanMs, P50Ms: h.P50Ms, P99Ms: h.P99Ms,
+		})
+	}
+	return r, nil
+}
+
 // CapacityOptions parameterises one capacity measurement point.
 type CapacityOptions struct {
 	// Kind selects the stream (Audio or Video).

@@ -1,6 +1,7 @@
 package globalmmcs
 
 import (
+	"sync"
 	"time"
 
 	"github.com/globalmmcs/globalmmcs/internal/broker"
@@ -27,6 +28,9 @@ func (m BrokerMode) String() string { return broker.Mode(m).String() }
 type Broker struct {
 	b       *broker.Broker
 	metrics *Metrics
+
+	meshMu sync.Mutex
+	mesh   *broker.Mesh
 }
 
 // BrokerConfig tunes a standalone broker's data path. The zero value
@@ -45,6 +49,10 @@ type BrokerConfig struct {
 	// IngestBurst bounds the per-sweep ingest burst (default 256;
 	// 1 = event-at-a-time ablation).
 	IngestBurst int
+	// MeshID scopes this broker's peer links to one federation mesh:
+	// brokers link only when their mesh IDs match (empty matches
+	// anything).
+	MeshID string
 }
 
 // NewBroker creates a standalone broker. mode 0 defaults to
@@ -65,6 +73,7 @@ func NewBrokerWithConfig(id string, mode BrokerMode, cfg BrokerConfig) *Broker {
 			MaxBatchBytes: cfg.MaxBatchBytes,
 			FlushInterval: cfg.FlushInterval,
 			IngestBurst:   cfg.IngestBurst,
+			MeshID:        cfg.MeshID,
 			Metrics:       m.reg,
 		}),
 		metrics: m,
@@ -81,8 +90,54 @@ func (b *Broker) Listen(url string) (string, error) {
 	return l.Addr(), nil
 }
 
-// ConnectPeer links this broker to a peer broker's listen URL.
+// ConnectPeer links this broker to a peer broker's listen URL once,
+// without supervision. Use SetPeers for supervised, self-healing links.
 func (b *Broker) ConnectPeer(url string) error { return b.b.ConnectPeer(url) }
+
+// SetPeers declares the set of peer broker URLs this node keeps
+// supervised mesh links to: each is dialed (and redialed with backoff
+// after drops or partitions, detected via heartbeats), and links to
+// URLs no longer listed are torn down. Calling it again reconciles
+// against the new set; an empty call drops all supervised links.
+func (b *Broker) SetPeers(urls ...string) {
+	b.meshMu.Lock()
+	defer b.meshMu.Unlock()
+	if b.mesh == nil {
+		b.mesh = broker.NewMesh(b.b, broker.MeshConfig{Peers: urls})
+		return
+	}
+	b.mesh.SetPeers(urls)
+}
+
+// PeerLink is one supervised mesh link's externally visible state.
+type PeerLink struct {
+	// URL is the configured peer address.
+	URL string
+	// RemoteID is the peer broker's identity once learned ("" before the
+	// first successful handshake).
+	RemoteID string
+	// State is "dialing", "up", "backoff", "standby" (yielded to the
+	// link the peer dialed) or "stopped".
+	State string
+	// Redials counts dial attempts after the first.
+	Redials uint64
+}
+
+// PeerLinks reports the status of every link declared via SetPeers.
+func (b *Broker) PeerLinks() []PeerLink {
+	b.meshMu.Lock()
+	mesh := b.mesh
+	b.meshMu.Unlock()
+	if mesh == nil {
+		return nil
+	}
+	links := mesh.Links()
+	out := make([]PeerLink, 0, len(links))
+	for _, l := range links {
+		out = append(out, PeerLink{URL: l.URL, RemoteID: l.RemoteID, State: l.State, Redials: l.Redials})
+	}
+	return out
+}
 
 // SessionCount returns the number of attached clients and peers.
 func (b *Broker) SessionCount() int { return b.b.SessionCount() }
@@ -96,5 +151,14 @@ func (b *Broker) Mode() BrokerMode { return BrokerMode(b.b.Mode()) }
 // MetricsReport renders the broker's counters as text.
 func (b *Broker) MetricsReport() string { return b.metrics.Report() }
 
-// Stop shuts the broker down.
-func (b *Broker) Stop() { b.b.Stop() }
+// Stop shuts the broker down, tearing down supervised mesh links first.
+func (b *Broker) Stop() {
+	b.meshMu.Lock()
+	mesh := b.mesh
+	b.mesh = nil
+	b.meshMu.Unlock()
+	if mesh != nil {
+		mesh.Stop()
+	}
+	b.b.Stop()
+}

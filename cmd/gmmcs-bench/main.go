@@ -13,6 +13,9 @@
 //     per-event versus batched publishing.
 //   - "-exp ingest": sustained broker-side ingest under continuous
 //     multi-publisher load, event-at-a-time versus burst ingest.
+//   - "-exp mesh": cross-mesh fan-out over a ring of federated brokers
+//     (supervised peer links, loop-guarded cyclic topology) versus the
+//     single-broker control.
 //
 // Full paper-scale runs take a few minutes (they are paced in real time
 // like the original testbed); -scale shrinks them for a quick look, and
@@ -40,7 +43,7 @@ func main() {
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "fig3", "experiment: fig3, audiocap, videocap, fanout, pubpath, ingest, all")
+		exp    = flag.String("exp", "fig3", "experiment: fig3, audiocap, videocap, fanout, pubpath, ingest, mesh, all")
 		scale  = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper scale)")
 		outDir = flag.String("out", "bench-out", "directory for TSV series dumps")
 		subs   = flag.Int("fanout-subs", 64, "fanout/ingest: subscriber count")
@@ -72,6 +75,8 @@ func run() error {
 		return runPubPath(*pubs)
 	case "ingest":
 		return runIngest(*subs, *pubs, *window)
+	case "mesh":
+		return runMesh(*subs, *pubs, *window)
 	case "all":
 		if err := runFig3(*scale, *outDir); err != nil {
 			return err
@@ -88,10 +93,52 @@ func run() error {
 		if err := runPubPath(*pubs); err != nil {
 			return err
 		}
-		return runIngest(*subs, *pubs, *window)
+		if err := runIngest(*subs, *pubs, *window); err != nil {
+			return err
+		}
+		return runMesh(*subs, *pubs, *window)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+}
+
+// runMesh measures cross-mesh fan-out over a 4-broker federation ring
+// and the single-broker control cell, and prints the reports as a JSON
+// array (the format of BENCH_broker.json's mesh section).
+func runMesh(subs, pubs int, window time.Duration) error {
+	fmt.Fprintf(os.Stderr, "=== Cross-mesh fan-out: %d subscribers, %d publishers on node 0, %s window ===\n",
+		subs, pubs, window)
+	var reports []*globalmmcs.MeshReport
+	for _, brokers := range []int{4, 1} {
+		res, err := globalmmcs.RunMesh(globalmmcs.MeshOptions{
+			Brokers:     brokers,
+			Subscribers: subs,
+			Publishers:  pubs,
+			Duration:    window,
+		})
+		if err != nil {
+			return fmt.Errorf("mesh: %w", err)
+		}
+		label := fmt.Sprintf("%d-broker mesh", brokers)
+		if brokers == 1 {
+			label = "single control"
+		}
+		fmt.Fprintf(os.Stderr, "%-14s %12.0f delivered/s %12.0f cross-mesh/s %12.0f forwarded/s  dup_dropped %d  dup_delivered %d\n",
+			label, res.DeliveredPerSec, res.CrossMeshPerSec, res.ForwardedPerSec, res.DupDropped, res.DupDeliveries)
+		for _, h := range res.Hops {
+			fmt.Fprintf(os.Stderr, "    hop %d: p50 %.2f ms  p99 %.2f ms  (n=%d)\n", h.Hop, h.P50Ms, h.P99Ms, h.Count)
+		}
+		if res.DupDeliveries != 0 {
+			return fmt.Errorf("mesh: clients observed %d duplicate deliveries on the cyclic topology", res.DupDeliveries)
+		}
+		reports = append(reports, res)
+	}
+	out, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
 }
 
 // runIngest measures sustained broker-side ingest across the batching

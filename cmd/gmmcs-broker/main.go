@@ -30,7 +30,8 @@ func run() error {
 	var (
 		id     = flag.String("id", "broker-1", "broker identity (unique per network)")
 		listen = flag.String("listen", "tcp://127.0.0.1:9041", "comma-separated listen URLs")
-		peers  = flag.String("peer", "", "comma-separated peer broker URLs to link to")
+		peers  = flag.String("peer", "", "comma-separated peer broker URLs to keep supervised mesh links to")
+		meshID = flag.String("mesh-id", "", "federation mesh identity; brokers link only when mesh IDs match (empty matches anything)")
 		mode   = flag.String("mode", "client-server", "routing mode: client-server or p2p")
 		stats  = flag.Duration("stats", 30*time.Second, "stats print interval (0 = off)")
 		depth  = flag.Int("queue-depth", 0, "per-session best-effort queue depth (0 = default 512)")
@@ -51,6 +52,7 @@ func run() error {
 		MaxBatchBytes: *batch,
 		FlushInterval: *flush,
 		IngestBurst:   *burst,
+		MeshID:        *meshID,
 	})
 	defer b.Stop()
 
@@ -61,11 +63,14 @@ func run() error {
 		}
 		fmt.Printf("broker %s listening on %s (%s mode)\n", *id, addr, m)
 	}
-	for _, url := range splitList(*peers) {
-		if err := b.ConnectPeer(url); err != nil {
-			return fmt.Errorf("linking to %s: %w", url, err)
+	// Peer links are supervised: each is dialed (and redialed with backoff
+	// after drops) in the background, so a peer that is not up yet is not
+	// fatal — the link converges when it appears.
+	if peerURLs := splitList(*peers); len(peerURLs) > 0 {
+		b.SetPeers(peerURLs...)
+		for _, url := range peerURLs {
+			fmt.Printf("supervising mesh link to %s\n", url)
 		}
-		fmt.Printf("linked to peer %s\n", url)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -81,7 +86,11 @@ func run() error {
 		case <-ctx.Done():
 			return nil
 		case <-ticker.C:
-			fmt.Printf("sessions=%d peers=%d\n%s", b.SessionCount(), b.PeerCount(), b.MetricsReport())
+			fmt.Printf("sessions=%d peers=%d\n", b.SessionCount(), b.PeerCount())
+			for _, l := range b.PeerLinks() {
+				fmt.Printf("link %s state=%s remote=%q redials=%d\n", l.URL, l.State, l.RemoteID, l.Redials)
+			}
+			fmt.Print(b.MetricsReport())
 		}
 	}
 }

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// quickMesh shrinks the cross-mesh fan-out run so it completes in a few
+// seconds; it runs even with -short (and under -race in CI) so the
+// federation forwarding path — mesh link supervision, loop guard,
+// cross-broker burst forwarding — is exercised on every push.
+func quickMesh() MeshConfig {
+	return MeshConfig{
+		Brokers:     4,
+		Subscribers: 8,
+		Publishers:  2,
+		Warmup:      50 * time.Millisecond,
+		Duration:    200 * time.Millisecond,
+	}
+}
+
+func TestMesh(t *testing.T) {
+	res, err := RunMesh(quickMesh())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredPerSec <= 0 {
+		t.Fatalf("delivered/sec = %v", res.DeliveredPerSec)
+	}
+	if res.CrossMeshPerSec <= 0 {
+		t.Fatalf("cross-mesh/sec = %v (nothing crossed a peer link)", res.CrossMeshPerSec)
+	}
+	if res.DupDeliveries != 0 {
+		t.Fatalf("clients observed %d duplicate deliveries on the cyclic mesh", res.DupDeliveries)
+	}
+	t.Log(res)
+}
+
+// TestMeshControl runs the single-broker control cell the federation
+// numbers are compared against.
+func TestMeshControl(t *testing.T) {
+	cfg := quickMesh()
+	cfg.Brokers = 1
+	res, err := RunMesh(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredPerSec <= 0 {
+		t.Fatalf("delivered/sec = %v", res.DeliveredPerSec)
+	}
+	if res.CrossMeshPerSec != 0 {
+		t.Fatalf("cross-mesh/sec = %v on a single broker", res.CrossMeshPerSec)
+	}
+	if res.DupDeliveries != 0 {
+		t.Fatalf("clients observed %d duplicate deliveries", res.DupDeliveries)
+	}
+	t.Log(res)
+}
+
+// TestMeshJSONDump emits full-size mesh runs as JSON lines for the
+// BENCH_broker.json recording script. Gated behind MESH_DUMP so normal
+// test runs stay fast.
+func TestMeshJSONDump(t *testing.T) {
+	if os.Getenv("MESH_DUMP") == "" {
+		t.Skip("set MESH_DUMP=1 to run")
+	}
+	for _, brokers := range []int{4, 1} {
+		res, err := RunMesh(MeshConfig{Brokers: brokers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := json.Marshal(res)
+		fmt.Printf("MESHJSON %s\n", b)
+	}
+}

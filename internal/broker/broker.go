@@ -47,9 +47,20 @@ type Config struct {
 	ID string
 	// Mode selects the routing mode. Default ModeClientServer.
 	Mode Mode
+	// MeshID scopes peer links to one federation mesh: two brokers link
+	// only if their mesh IDs match (an empty ID on either side matches
+	// anything, so unscoped deployments keep working).
+	MeshID string
+	// PeerStaleAfter is how long a peer link may be silent before a
+	// competing duplicate link is allowed to supersede it during
+	// duplicate-link resolution (mesh supervisors keep healthy links
+	// chattier than this via heartbeats). Default 5s.
+	PeerStaleAfter time.Duration
 	// QueueDepth bounds each session's best-effort lane. Default 512.
 	QueueDepth int
-	// DedupCapacity sizes the duplicate-suppression cache. Default 65536.
+	// DedupCapacity bounds how many distinct event sources the
+	// duplicate-suppression cache tracks (each with a fixed per-source
+	// sequence window). Default 65536.
 	DedupCapacity int
 	// ReliableWindow bounds unacked reliable events per session before the
 	// broker disconnects the laggard. Default 4096.
@@ -115,6 +126,9 @@ func (c Config) withDefaults() Config {
 	if c.AdvRefreshInterval <= 0 {
 		c.AdvRefreshInterval = 2 * time.Second
 	}
+	if c.PeerStaleAfter <= 0 {
+		c.PeerStaleAfter = 5 * time.Second
+	}
 	if c.RouteShards <= 0 {
 		c.RouteShards = topic.DefaultShards
 	}
@@ -174,6 +188,13 @@ type Broker struct {
 	dedup     *dedupCache
 	listeners []transport.Listener
 
+	// relStash holds reliable events salvaged from dead peer links, keyed
+	// by remote broker id. The next link to the same peer (redial or
+	// inbound reconnect) replays them, so a link drop mid-stream does not
+	// lose in-flight reliable traffic. Guarded by b.mu; pruned by
+	// housekeeping on soft-state expiry.
+	relStash map[string]*relSalvage
+
 	// ctr holds pre-resolved hot-path counters: Registry.Counter takes a
 	// registry-wide mutex per lookup, which 64 concurrent session writers
 	// would otherwise serialize on for every event.
@@ -230,6 +251,7 @@ func New(cfg Config) *Broker {
 		ids:         make(map[string]*session),
 		patternRefs: make(map[string]int),
 		advApplied:  make(map[string]map[string]uint64),
+		relStash:    make(map[string]*relSalvage),
 		dedup:       newDedupCache(cfg.DedupCapacity),
 		ctr:         resolveCounters(cfg.Metrics),
 		done:        make(chan struct{}),
@@ -300,7 +322,7 @@ func (b *Broker) handshake(conn transport.Conn) {
 	id := first.Headers[hdrID]
 	switch {
 	case first.Topic == topicHello && id != "":
-		if _, err := b.attach(conn, id, false); err != nil {
+		if _, err := b.attach(conn, id, false, false); err != nil {
 			conn.Close()
 		}
 	case first.Topic == topicPeer && id != "":
@@ -310,17 +332,38 @@ func (b *Broker) handshake(conn transport.Conn) {
 			conn.Close()
 			return
 		}
-		s, err := b.attach(conn, id, true)
-		if err != nil {
+		if remoteMesh := first.Headers[hdrMesh]; remoteMesh != "" && b.cfg.MeshID != "" && remoteMesh != b.cfg.MeshID {
 			conn.Close()
 			return
 		}
-		// Reply so the dialer learns our identity, then share soft state.
-		s.queue.pushReliable(peerHelloEvent(b.cfg.ID, b.cfg.Mode))
+		s, err := b.attach(conn, id, true, false)
+		if err != nil {
+			var dup *duplicatePeerLinkError
+			if errors.As(err, &dup) {
+				// Courtesy reply so the rejected dialer learns our identity
+				// and can stand by on the surviving canonical link instead of
+				// redialing blind.
+				_ = conn.Send(peerHelloEvent(b.cfg.ID, b.cfg.Mode, b.cfg.MeshID))
+			}
+			conn.Close()
+			return
+		}
+		// Reply so the dialer learns our identity, then replay anything
+		// salvaged from this peer's previous link, then share soft state.
+		s.queue.pushReliable(peerHelloEvent(b.cfg.ID, b.cfg.Mode, b.cfg.MeshID))
+		b.replaySalvaged(s)
 		b.sendAdvertisementSnapshot(s)
 	default:
 		conn.Close()
 	}
+}
+
+// duplicatePeerLinkError reports that a peer link was rejected because a
+// live canonical link to the same broker already exists.
+type duplicatePeerLinkError struct{ remoteID string }
+
+func (e *duplicatePeerLinkError) Error() string {
+	return fmt.Sprintf("broker: duplicate peer link to %s (canonical link alive)", e.remoteID)
 }
 
 // refreshPeerSnapLocked rebuilds the lock-free peer snapshot. Callers
@@ -341,17 +384,31 @@ func (b *Broker) peerSnapshot() []*session {
 	return nil
 }
 
-// attach registers a session for conn and starts its goroutines.
-func (b *Broker) attach(conn transport.Conn, id string, isPeer bool) (*session, error) {
+// hasPeers reports whether any peer link is attached, without b.mu.
+func (b *Broker) hasPeers() bool {
+	p := b.peerSnap.Load()
+	return p != nil && len(*p) > 0
+}
+
+// attach registers a session for conn and starts its goroutines. dialed
+// marks peer sessions this broker established (the tie-break input for
+// duplicate-link resolution).
+func (b *Broker) attach(conn transport.Conn, id string, isPeer, dialed bool) (*session, error) {
 	s := newSession(b, conn, id, isPeer)
+	s.dialed = dialed
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
 		return nil, ErrBrokerStopped
 	}
 	if old, exists := b.ids[id]; exists {
+		if isPeer && old.isPeer && b.keepOldPeerLinkLocked(old, s, id) {
+			b.mu.Unlock()
+			return nil, &duplicatePeerLinkError{remoteID: id}
+		}
 		b.mu.Unlock()
-		// A reconnecting client supersedes its old session.
+		// A reconnecting client (or a superseding peer link) replaces its
+		// old session.
 		old.close()
 		b.mu.Lock()
 		if b.closed {
@@ -364,6 +421,10 @@ func (b *Broker) attach(conn transport.Conn, id string, isPeer bool) (*session, 
 	if isPeer {
 		b.peers[s] = struct{}{}
 		b.refreshPeerSnapLocked()
+		reg := b.metrics()
+		s.fwdCtr = reg.Counter("broker.peer." + id + ".forwarded")
+		s.dupCtr = reg.Counter("broker.peer." + id + ".dup_dropped")
+		reg.Gauge("broker.peer." + id + ".links").Set(1)
 	}
 	b.mu.Unlock()
 	s.start()
@@ -371,22 +432,114 @@ func (b *Broker) attach(conn transport.Conn, id string, isPeer bool) (*session, 
 	return s, nil
 }
 
+// replaySalvaged replays reliable events salvaged from this peer's
+// previous link, in their original send order. Both handshake sides call
+// it only after queueing their hello (reply), preserving the wire
+// contract that a peer link's first event is the hello — replaying from
+// attach would put stale advertisements ahead of the hello and wedge the
+// remote's handshake. If s was already superseded, the stash is left for
+// the successor link to drain.
+func (b *Broker) replaySalvaged(s *session) {
+	b.mu.Lock()
+	if b.ids[s.id] != s {
+		b.mu.Unlock()
+		return
+	}
+	stash := b.relStash[s.id]
+	delete(b.relStash, s.id)
+	b.mu.Unlock()
+	if stash == nil {
+		return
+	}
+	for _, e := range stash.events {
+		s.sendReliable(e)
+	}
+}
+
+// keepOldPeerLinkLocked decides duplicate-peer-link resolution: when two
+// brokers dial each other concurrently, both directions come up and one
+// must yield deterministically or the pair thrashes (each supersede kills
+// the link the other side's supervisor is watching). The canonical link
+// between A and B is the one dialed by the lexicographically smaller
+// broker id; the new session is rejected only when the old one is
+// canonical, still fresh, and the new one is the opposite direction — a
+// same-direction arrival is a genuine reconnect and always supersedes, as
+// does any arrival beating a stale (silent past PeerStaleAfter) link.
+// Callers hold b.mu.
+func (b *Broker) keepOldPeerLinkLocked(old, s *session, remoteID string) bool {
+	if old.dialed == s.dialed {
+		return false
+	}
+	wantDialed := b.cfg.ID < remoteID
+	if s.dialed == wantDialed {
+		return false // the new link is canonical; supersede
+	}
+	return time.Since(old.lastRecvTime()) < b.cfg.PeerStaleAfter
+}
+
+// peerSessionByID returns the live peer session for a remote broker id,
+// or nil. Mesh supervisors use it to stand by on an inbound canonical
+// link instead of redialing against it.
+func (b *Broker) peerSessionByID(id string) *session {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	s := b.ids[id]
+	if s == nil || !s.isPeer {
+		return nil
+	}
+	return s
+}
+
+// relSalvage is one dead peer link's unacknowledged reliable events,
+// awaiting replay onto the peer's next link.
+type relSalvage struct {
+	events []*event.Event
+	when   time.Time
+}
+
 // detach removes a session after its conn closed.
 func (b *Broker) detach(s *session) {
+	var salvaged []*event.Event
+	if s.isPeer {
+		salvaged = s.salvageUnacked()
+	}
 	b.mu.Lock()
 	if _, ok := b.sessions[s]; !ok {
 		b.mu.Unlock()
 		return
 	}
 	delete(b.sessions, s)
-	if _, wasPeer := b.peers[s]; wasPeer {
+	wasPeer := false
+	if _, wasPeer = b.peers[s]; wasPeer {
 		delete(b.peers, s)
 		b.refreshPeerSnapLocked()
+		// Merge with any stash a predecessor link left undrained (this
+		// session may have died before its handshake replayed it), keeping
+		// the newest window's worth.
+		if prev, ok := b.relStash[s.id]; ok {
+			salvaged = append(prev.events, salvaged...)
+		}
+		if len(salvaged) > b.cfg.ReliableWindow {
+			salvaged = salvaged[len(salvaged)-b.cfg.ReliableWindow:]
+		}
+		if len(salvaged) > 0 {
+			b.relStash[s.id] = &relSalvage{events: salvaged, when: time.Now()}
+		}
 	}
 	if b.ids[s.id] == s {
 		delete(b.ids, s.id)
 	}
-	b.router.removeAll(s)
+	// Per-pattern cache invalidation needs the union of everything this
+	// session was routed under (its own subscriptions plus advertised
+	// remote interest).
+	patterns := make([]string, 0, len(s.localPatterns)+len(s.remotePatterns))
+	for p := range s.localPatterns {
+		patterns = append(patterns, p)
+	}
+	for p := range s.remotePatterns {
+		patterns = append(patterns, p)
+	}
+	b.router.removeAll(s, patterns)
 	// Release this client's pattern refcounts; collect 1→0 edges.
 	var removals []string
 	for p := range s.localPatterns {
@@ -398,10 +551,8 @@ func (b *Broker) detach(s *session) {
 	}
 	peers := b.peerList(nil)
 	b.mu.Unlock()
-	if b.cfg.Mode == ModeClientServer {
-		for _, p := range removals {
-			b.advertise(peers, advRemove, p)
-		}
+	for _, p := range removals {
+		b.advertise(peers, advRemove, p)
 	}
 	// Drop the session's gauges (unless a reconnection already reclaimed
 	// the id) so churning clients cannot grow the registry without bound.
@@ -411,6 +562,11 @@ func (b *Broker) detach(s *session) {
 	if !idLive {
 		b.metrics().DropGauge("broker.session." + s.id + ".queue_drops")
 		b.metrics().DropGauge("broker.session." + s.id + ".reliable_window")
+		if wasPeer {
+			b.metrics().Gauge("broker.peer." + s.id + ".links").Set(0)
+		}
+	} else if wasPeer {
+		b.metrics().Gauge("broker.peer." + s.id + ".links").Set(1)
 	}
 	b.metrics().Counter("broker.sessions_detached").Inc()
 }
@@ -438,7 +594,7 @@ func (b *Broker) subscribe(s *session, pattern string) error {
 	isNew := b.patternRefs[pattern] == 1
 	peers := b.peerList(nil)
 	b.mu.Unlock()
-	if isNew && b.cfg.Mode == ModeClientServer {
+	if isNew {
 		b.advertise(peers, advAdd, pattern)
 	}
 	return nil
@@ -460,7 +616,7 @@ func (b *Broker) unsubscribe(s *session, pattern string) {
 	}
 	peers := b.peerList(nil)
 	b.mu.Unlock()
-	if wasLast && b.cfg.Mode == ModeClientServer {
+	if wasLast {
 		b.advertise(peers, advRemove, pattern)
 	}
 }
@@ -479,11 +635,10 @@ func (b *Broker) advertise(peers []*session, op advOp, pattern string) {
 
 // sendAdvertisementSnapshot brings a new peer link up to date with every
 // pattern this broker can reach: its own local patterns and those learned
-// from other peers.
+// from other peers. Advertisements are mode-independent soft state: even a
+// flooding peer-to-peer mesh keeps them so matched peers are served on the
+// targeted path and the flood can skip them.
 func (b *Broker) sendAdvertisementSnapshot(to *session) {
-	if b.cfg.Mode != ModeClientServer {
-		return
-	}
 	type adv struct {
 		pattern, origin string
 		seq             uint64
@@ -613,9 +768,17 @@ type deliverFn func(t *session, e *event.Event, fs *frameSource)
 func (b *Broker) routeOne(e *event.Event, from *session, match func(string) []*session, deliver deliverFn, served []*session) []*session {
 	served = served[:0]
 	fromPeer := from != nil && from.isPeer
-	if fromPeer || b.cfg.Mode == ModePeerToPeer {
+	// Duplicate suppression arms whenever this broker is part of a mesh:
+	// peer-originated traffic always, flooding mode always, and — so that a
+	// cyclic client-server mesh kills loops at the origin instead of riding
+	// TTL to zero — local publishes too once any peer link is up. A
+	// standalone broker never pays for the cache lookup.
+	if fromPeer || b.cfg.Mode == ModePeerToPeer || b.hasPeers() {
 		if b.dedup.seen(e.Key()) {
 			b.ctr.duplicates.Inc()
+			if fromPeer && from.dupCtr != nil {
+				from.dupCtr.Inc()
+			}
 			return served
 		}
 	}
@@ -716,32 +879,46 @@ func (b *Broker) ConnectPeer(url string) error {
 // established conn. The handshake exchanges broker IDs and advertisement
 // snapshots.
 func (b *Broker) ConnectPeerConn(conn transport.Conn) error {
-	if err := conn.Send(peerHelloEvent(b.cfg.ID, b.cfg.Mode)); err != nil {
+	_, err := b.connectPeerConn(conn)
+	return err
+}
+
+// connectPeerConn runs the dialer side of the peer handshake and returns
+// the attached session (mesh supervisors watch its closedCh for link
+// loss).
+func (b *Broker) connectPeerConn(conn transport.Conn) (*session, error) {
+	if err := conn.Send(peerHelloEvent(b.cfg.ID, b.cfg.Mode, b.cfg.MeshID)); err != nil {
 		conn.Close()
-		return fmt.Errorf("broker: peer hello: %w", err)
+		return nil, fmt.Errorf("broker: peer hello: %w", err)
 	}
 	reply, err := conn.Recv()
 	if err != nil {
 		conn.Close()
-		return fmt.Errorf("broker: waiting for peer hello reply: %w", err)
+		return nil, fmt.Errorf("broker: waiting for peer hello reply: %w", err)
 	}
 	// The reply may be tagged reliable; honour its rseq by acking later
 	// through the session. Identity is all that matters here.
 	if reply.Topic != topicPeer || reply.Headers[hdrID] == "" {
 		conn.Close()
-		return fmt.Errorf("broker: unexpected first event %q from peer", reply.Topic)
+		return nil, fmt.Errorf("broker: unexpected first event %q from peer", reply.Topic)
 	}
-	s, err := b.attach(conn, reply.Headers[hdrID], true)
+	if remoteMesh := reply.Headers[hdrMesh]; remoteMesh != "" && b.cfg.MeshID != "" && remoteMesh != b.cfg.MeshID {
+		conn.Close()
+		return nil, fmt.Errorf("broker: peer %s is in mesh %q, not %q",
+			reply.Headers[hdrID], remoteMesh, b.cfg.MeshID)
+	}
+	s, err := b.attach(conn, reply.Headers[hdrID], true, true)
 	if err != nil {
 		conn.Close()
-		return err
+		return nil, err
 	}
 	if rseq, tagged, bad := inboundRSeq(reply); tagged && !bad {
 		cum, _ := s.acceptReliable(rseq)
-		s.queue.pushReliable(ackEvent(cum))
+		s.queue.pushAck(cum)
 	}
+	b.replaySalvaged(s)
 	b.sendAdvertisementSnapshot(s)
-	return nil
+	return s, nil
 }
 
 // housekeeping drives reliable retransmission, advertisement refresh and
@@ -770,9 +947,6 @@ func (b *Broker) housekeeping() {
 				}
 			}
 		case <-refresh.C:
-			if b.cfg.Mode != ModeClientServer {
-				continue
-			}
 			b.mu.Lock()
 			patterns := make([]string, 0, len(b.patternRefs))
 			for p := range b.patternRefs {
@@ -784,6 +958,7 @@ func (b *Broker) housekeeping() {
 				b.advertise(peers, advAdd, p)
 			}
 			b.pruneStaleAdvertisements()
+			b.pruneRelStash()
 		}
 	}
 }
@@ -813,6 +988,20 @@ func (b *Broker) pruneStaleAdvertisements() {
 				delete(peer.remotePatterns, pattern)
 				b.router.remove(pattern, peer)
 			}
+		}
+	}
+}
+
+// pruneRelStash drops salvaged reliable events whose peer never came
+// back within the soft-state horizon; by then its advertisements expired
+// too, so replaying would route into a topology that no longer exists.
+func (b *Broker) pruneRelStash() {
+	cutoff := time.Now().Add(-3 * b.cfg.AdvRefreshInterval)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for id, stash := range b.relStash {
+		if stash.when.Before(cutoff) {
+			delete(b.relStash, id)
 		}
 	}
 }

@@ -287,7 +287,7 @@ func TestPeerAdvertisedAndFloodedDeliversOnce(t *testing.T) {
 	defer peerEnd.Close()
 
 	go b.AcceptConn(brokerEnd)
-	if err := peerEnd.Send(peerHelloEvent("remote-peer", ModePeerToPeer)); err != nil {
+	if err := peerEnd.Send(peerHelloEvent("remote-peer", ModePeerToPeer, "")); err != nil {
 		t.Fatal(err)
 	}
 

@@ -6,46 +6,110 @@ import (
 	"github.com/globalmmcs/globalmmcs/internal/event"
 )
 
-// dedupCache remembers recently seen event keys so that events flooded
-// through cyclic broker topologies are forwarded once. It is a fixed-size
-// FIFO set: the (capacity+1)-th distinct key evicts the oldest.
+// dedupWindow is the per-source sequence window width in event IDs: a
+// source's IDs are tracked exactly within (maxID-dedupWindow, maxID];
+// anything older is assumed to be a duplicate.
+const dedupWindow = 8192
+
+// dedupCache suppresses duplicate events flooded through cyclic broker
+// topologies. Event IDs are per-source publish sequences, so instead of
+// remembering individual keys — a fixed-size key FIFO is outrun as soon
+// as the publish rate times the cycle latency exceeds its capacity,
+// exactly the saturated-mesh regime — the cache keeps one sliding
+// bitmap window per source: IDs above the window are new and advance
+// it, IDs inside it are checked exactly, and IDs that have fallen below
+// it are treated as duplicates (a copy that took so long to come around
+// the cycle that thousands of newer events from the same source were
+// already routed; for best-effort traffic late-dropping such a straggler
+// is a drop the overloaded path would have made anyway, and reliable
+// copies below the window are always real duplicates because reliable
+// links do not reorder past the window). Memory is bounded per source
+// (1 KiB) regardless of publish rate. Sources beyond capacity are
+// evicted FIFO.
 type dedupCache struct {
-	mu   sync.Mutex
-	set  map[event.Key]struct{}
-	ring []event.Key
-	head int
+	mu      sync.Mutex
+	sources map[string]*sourceWindow
+	ring    []string
+	head    int
 }
 
+// sourceWindow is one source's replay window: a circular bitmap over
+// the dedupWindow IDs ending at maxID (bit index = ID % dedupWindow).
+type sourceWindow struct {
+	maxID uint64
+	bits  [dedupWindow / 64]uint64
+}
+
+func (w *sourceWindow) get(id uint64) bool {
+	return w.bits[(id%dedupWindow)/64]&(1<<(id%64)) != 0
+}
+
+func (w *sourceWindow) set(id uint64) {
+	w.bits[(id%dedupWindow)/64] |= 1 << (id % 64)
+}
+
+func (w *sourceWindow) clear(id uint64) {
+	w.bits[(id%dedupWindow)/64] &^= 1 << (id % 64)
+}
+
+// seen records id and reports whether it was already present (or is so
+// far below the window it must be a late loop copy).
+func (w *sourceWindow) seen(id uint64) bool {
+	switch {
+	case id > w.maxID:
+		if id-w.maxID >= dedupWindow {
+			w.bits = [dedupWindow / 64]uint64{}
+		} else {
+			for s := w.maxID + 1; s < id; s++ {
+				w.clear(s)
+			}
+		}
+		w.maxID = id
+		w.set(id)
+		return false
+	case w.maxID-id < dedupWindow:
+		if w.get(id) {
+			return true
+		}
+		w.set(id)
+		return false
+	default:
+		return true
+	}
+}
+
+// newDedupCache creates a cache tracking up to capacity sources.
 func newDedupCache(capacity int) *dedupCache {
 	if capacity <= 0 {
 		capacity = 1
 	}
 	return &dedupCache{
-		set:  make(map[event.Key]struct{}, capacity),
-		ring: make([]event.Key, capacity),
+		sources: make(map[string]*sourceWindow, capacity),
+		ring:    make([]string, capacity),
 	}
 }
 
-// seen records k and reports whether it was already present.
+// seen records k and reports whether it was already seen.
 func (d *dedupCache) seen(k event.Key) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if _, ok := d.set[k]; ok {
-		return true
+	if w, ok := d.sources[k.Source]; ok {
+		return w.seen(k.ID)
 	}
-	if len(d.set) == len(d.ring) {
-		old := d.ring[d.head]
-		delete(d.set, old)
+	if len(d.sources) == len(d.ring) {
+		delete(d.sources, d.ring[d.head])
 	}
-	d.ring[d.head] = k
-	d.set[k] = struct{}{}
+	w := &sourceWindow{maxID: k.ID}
+	w.set(k.ID)
+	d.sources[k.Source] = w
+	d.ring[d.head] = k.Source
 	d.head = (d.head + 1) % len(d.ring)
 	return false
 }
 
-// len returns the number of cached keys (for tests).
+// len returns the number of tracked sources (for tests).
 func (d *dedupCache) len() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return len(d.set)
+	return len(d.sources)
 }

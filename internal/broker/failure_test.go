@@ -206,7 +206,7 @@ func TestStaleAdvertisementsPruned(t *testing.T) {
 	// Hand-craft a peer that advertises then goes silent (no refresh).
 	client, server := transport.Pipe("prune-broker", "fake-peer")
 	go b1.AcceptConn(server)
-	if err := client.Send(peerHelloEvent("fake-peer", ModeClientServer)); err != nil {
+	if err := client.Send(peerHelloEvent("fake-peer", ModeClientServer, "")); err != nil {
 		t.Fatal(err)
 	}
 	go func() {

@@ -32,6 +32,7 @@ const (
 	topicAck    = "/_nb/ack"    // cumulative reliable ack
 	topicSubAdv = "/_nb/subadv" // broker-broker subscription advertisement
 	topicPing   = "/_nb/ping"   // keepalive
+	topicPeerHB = "/_nb/peerhb" // mesh-link heartbeat (partition detection)
 )
 
 // Control headers.
@@ -44,6 +45,7 @@ const (
 	hdrSeq     = "seq"     // advertisement sequence number
 	hdrRSeq    = "rseq"    // reliable delivery sequence number
 	hdrMode    = "mode"    // routing mode carried on peer hello
+	hdrMesh    = "mesh"    // mesh identity carried on peer hello
 )
 
 // Profile selects the delivery guarantees of a subscription.
@@ -91,9 +93,24 @@ func helloEvent(id string) *event.Event {
 	return e
 }
 
-func peerHelloEvent(id string, mode Mode) *event.Event {
+func peerHelloEvent(id string, mode Mode, meshID string) *event.Event {
 	e := event.New(topicPeer, event.KindControl, nil)
 	e.Headers = map[string]string{hdrID: id, hdrMode: strconv.Itoa(int(mode))}
+	if meshID != "" {
+		e.Headers[hdrMesh] = meshID
+	}
+	return e
+}
+
+// Heartbeat operations carried in hdrOp on topicPeerHB events.
+const (
+	hbPing = "ping"
+	hbPong = "pong"
+)
+
+func peerHeartbeatEvent(op string) *event.Event {
+	e := event.New(topicPeerHB, event.KindControl, nil)
+	e.Headers = map[string]string{hdrOp: op}
 	return e
 }
 

@@ -53,6 +53,16 @@ type sendQueue struct {
 	closed bool
 	drops  uint64
 
+	// The pending-cumulative ack slot: the reverse path of hop-by-hop
+	// reliability queues at most one ack here, and later acks overwrite
+	// it rather than appending. Acks are cumulative, so only the newest
+	// floor matters — if the writer falls behind on a busy bidirectional
+	// link (a mesh peer), consecutive bursts' acks collapse into one
+	// control event instead of queueing per burst.
+	ackDue        bool
+	ackCum        uint64
+	acksCoalesced uint64
+
 	// pushLocks counts producer-side mutex acquisitions. It instruments
 	// the batching contract — a burst fanned to a session costs one lock
 	// acquisition (pushBatch), not one per event — and is asserted by
@@ -143,6 +153,34 @@ func (q *sendQueue) pushBatch(items []outItem) int {
 	return dropped
 }
 
+// pushAck deposits a cumulative acknowledgement in the pending-ack slot,
+// overwriting any ack already waiting there. The writer emits the slot
+// (as one reliable ack event) ahead of both lanes on its next drain.
+func (q *sendQueue) pushAck(cum uint64) {
+	q.pushLocks.Add(1)
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	if q.ackDue {
+		q.acksCoalesced++
+	}
+	q.ackDue = true
+	if cum > q.ackCum {
+		q.ackCum = cum
+	}
+	q.mu.Unlock()
+	q.signal()
+}
+
+// takeAckLocked drains the pending-ack slot into an outItem. Callers
+// hold q.mu and have checked q.ackDue.
+func (q *sendQueue) takeAckLocked() outItem {
+	q.ackDue = false
+	return outItem{e: ackEvent(q.ackCum), reliable: true}
+}
+
 // pushReliable enqueues e on the never-dropped lane.
 func (q *sendQueue) pushReliable(e *event.Event) {
 	q.pushItem(outItem{e: e, reliable: true})
@@ -162,10 +200,14 @@ func (q *sendQueue) pushItem(it outItem) {
 	q.signal()
 }
 
-// tryPop removes one item without blocking, preferring the reliable lane.
+// tryPop removes one item without blocking, preferring the pending ack
+// slot, then the reliable lane.
 func (q *sendQueue) tryPop() (outItem, popState) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.ackDue {
+		return q.takeAckLocked(), popOK
+	}
 	if len(q.rel) > 0 {
 		it := q.rel[0]
 		q.rel[0] = outItem{}
@@ -193,6 +235,10 @@ func (q *sendQueue) popBatch(buf []outItem, max int) ([]outItem, popState) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	n := 0
+	if n < max && q.ackDue {
+		buf = append(buf, q.takeAckLocked())
+		n++
+	}
 	for n < max && len(q.rel) > 0 {
 		buf = append(buf, q.rel[0])
 		q.rel[0] = outItem{}
@@ -241,6 +287,14 @@ func (q *sendQueue) close() {
 // pushLockCount returns how many producer-side lock acquisitions the
 // queue has seen (test instrumentation for the batching contract).
 func (q *sendQueue) pushLockCount() uint64 { return q.pushLocks.Load() }
+
+// ackCoalesceCount returns how many acks were overwritten in the pending
+// slot before the writer drained them (test instrumentation).
+func (q *sendQueue) ackCoalesceCount() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.acksCoalesced
+}
 
 // dropCount returns how many best-effort events have been dropped.
 func (q *sendQueue) dropCount() uint64 {

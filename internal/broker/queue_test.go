@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -167,25 +168,51 @@ func TestSendQueueConcurrentProducersConsumer(t *testing.T) {
 
 func TestDedupCache(t *testing.T) {
 	d := newDedupCache(3)
-	k := func(i uint64) event.Key { return event.Key{Source: "s", ID: i} }
-	if d.seen(k(1)) {
+	k := func(s string, i uint64) event.Key { return event.Key{Source: s, ID: i} }
+	if d.seen(k("a", 1)) {
 		t.Fatal("fresh key reported seen")
 	}
-	if !d.seen(k(1)) {
+	if !d.seen(k("a", 1)) {
 		t.Fatal("repeated key not reported seen")
 	}
-	d.seen(k(2))
-	d.seen(k(3))
-	// Capacity 3; adding a 4th evicts key 1.
-	d.seen(k(4))
-	if d.seen(k(1)) {
-		t.Fatal("evicted key still reported seen")
+	// Out-of-order first arrivals within the window are all fresh, and
+	// each repeats as seen.
+	for _, id := range []uint64{5, 3, 4, 2} {
+		if d.seen(k("a", id)) {
+			t.Fatalf("fresh in-window id %d reported seen", id)
+		}
+		if !d.seen(k("a", id)) {
+			t.Fatalf("repeated id %d not reported seen", id)
+		}
 	}
-	if !d.seen(k(4)) {
-		t.Fatal("recent key lost")
+	// An ID that has fallen below the window is assumed to be a late
+	// loop copy.
+	d.seen(k("a", dedupWindow+10))
+	if !d.seen(k("a", 9)) {
+		t.Fatal("below-window id not treated as duplicate")
+	}
+	// A window jump beyond the full width clears stale bits: the new ID
+	// is seen once, its alias from the previous lap is not resurrected.
+	if d.seen(k("a", 3*dedupWindow+10)) {
+		t.Fatal("fresh id after window jump reported seen")
+	}
+	if d.seen(k("a", 3*dedupWindow+9)) {
+		t.Fatal("pre-jump lap alias survived the window jump")
+	}
+	// Sources are independent; capacity 3 evicts the oldest source.
+	if d.seen(k("b", 1)) {
+		t.Fatal("fresh source reported seen")
+	}
+	d.seen(k("c", 1))
+	d.seen(k("d", 1))
+	if !d.seen(k("b", 1)) {
+		t.Fatal("retained source lost its window")
+	}
+	if d.seen(k("a", 3*dedupWindow+10)) {
+		t.Fatal("evicted source still reported seen")
 	}
 	if d.len() > 3 {
-		t.Fatalf("cache grew to %d, capacity 3", d.len())
+		t.Fatalf("cache tracks %d sources, capacity 3", d.len())
 	}
 }
 
@@ -197,7 +224,7 @@ func TestDedupCacheConcurrent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := range 1000 {
-				d.seen(event.Key{Source: "s", ID: uint64(g*1000 + i)})
+				d.seen(event.Key{Source: fmt.Sprintf("s%d", g), ID: uint64(i + 1)})
 			}
 		}()
 	}

@@ -59,16 +59,82 @@ func newRouter(shards int, disableCache bool) *router {
 	return r
 }
 
+// Mutators re-validate the route cache per pattern rather than letting
+// entries go epoch-stale wholesale: entries whose topic the mutated
+// pattern matches are dropped, everything else is re-stamped to the
+// post-mutation epoch and keeps serving from cache. All mutations are
+// serialized by the broker's control-plane mutex, so a sweep never races
+// another sweep; a concurrent data-plane match can only insert an entry
+// stamped with a pre-mutation epoch, which fails validation
+// conservatively.
+
 func (r *router) add(pattern string, s *session) error {
-	return r.subs.Add(pattern, s)
+	if err := r.subs.Add(pattern, s); err != nil {
+		return err
+	}
+	r.invalidatePattern(pattern)
+	return nil
 }
 
 func (r *router) remove(pattern string, s *session) {
 	r.subs.Remove(pattern, s)
+	r.invalidatePattern(pattern)
 }
 
-func (r *router) removeAll(s *session) {
+// removeAll unregisters s everywhere. patterns is the session's own
+// bookkeeping of what it was subscribed to (local + remote); RemoveAll
+// bumps every shard epoch, so every cache shard is swept against them.
+func (r *router) removeAll(s *session, patterns []string) {
 	r.subs.RemoveAll(s)
+	if r.disableCache {
+		return
+	}
+	for i := range r.caches {
+		r.sweepCacheShard(i, patterns)
+	}
+}
+
+// invalidatePattern re-validates the cache shard(s) a single mutated
+// pattern can affect: one shard for a concrete-first pattern, all shards
+// for a wildcard-first (replicated) one.
+func (r *router) invalidatePattern(pattern string) {
+	if r.disableCache {
+		return
+	}
+	pats := []string{pattern}
+	if shard, all := r.subs.PatternShard(pattern); all {
+		for i := range r.caches {
+			r.sweepCacheShard(i, pats)
+		}
+	} else {
+		r.sweepCacheShard(shard, pats)
+	}
+}
+
+// sweepCacheShard drops cache entries whose topic matches any of the
+// mutated patterns and re-stamps the rest with the post-mutation epoch
+// (sampled under the cache lock, after the trie mutation completed), so
+// churn on one pattern does not thrash the shard's whole cache.
+func (r *router) sweepCacheShard(i int, patterns []string) {
+	c := &r.caches[i]
+	c.mu.Lock()
+	epoch := r.subs.EpochAt(i)
+	for t, ent := range c.entries {
+		matched := false
+		for _, p := range patterns {
+			if topic.MatchPattern(p, t) {
+				matched = true
+				break
+			}
+		}
+		if matched {
+			delete(c.entries, t)
+		} else if ent.epoch != epoch {
+			ent.epoch = epoch
+			c.entries[t] = ent
+		}
+	}
+	c.mu.Unlock()
 }
 
 // match resolves the sessions subscribed to a concrete topic. The fast
@@ -260,6 +326,9 @@ func (rs *routeSweep) stage(t *session, it outItem) {
 // anyway).
 func (rs *routeSweep) deliverStaged(t *session, e *event.Event, fs *frameSource) {
 	if e.Reliable {
+		if t.fwdCtr != nil {
+			t.fwdCtr.Inc()
+		}
 		t.sendReliableFrom(e, fs)
 		return
 	}
@@ -287,6 +356,9 @@ func (rs *routeSweep) finish() {
 	b := rs.b
 	for i, t := range rs.sessions {
 		items := rs.items[i]
+		if t.fwdCtr != nil {
+			t.fwdCtr.Add(uint64(len(items)))
+		}
 		if dropped := t.queue.pushBatch(items); dropped > 0 {
 			b.ctr.queueDrops.Add(uint64(dropped))
 		}

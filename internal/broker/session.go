@@ -1,11 +1,13 @@
 package broker
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/globalmmcs/globalmmcs/internal/event"
+	"github.com/globalmmcs/globalmmcs/internal/metrics"
 	"github.com/globalmmcs/globalmmcs/internal/transport"
 )
 
@@ -74,13 +76,30 @@ type session struct {
 	conn   transport.Conn
 	id     string
 	isPeer bool
+	// dialed marks a peer session this broker established (vs accepted) —
+	// the tie-break input for duplicate-link resolution.
+	dialed bool
 	// framed reports whether conn supports pre-encoded frames, decided
 	// once at attach so the data path never type-asserts per event.
 	framed bool
 	queue  *sendQueue
 
+	// lastRecv is the unixnano of the newest inbound traffic, updated by
+	// the read loop per receive. Mesh supervisors read it for heartbeat
+	// partition detection; attach reads it to judge link freshness.
+	lastRecv atomic.Int64
+
+	// fwdCtr/dupCtr are the per-peer-link instruments
+	// (broker.peer.<id>.forwarded / .dup_dropped), resolved once at
+	// attach for peer sessions; nil otherwise.
+	fwdCtr *metrics.Counter
+	dupCtr *metrics.Counter
+
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+	// closedCh is closed when the session tears down; mesh supervisors
+	// select on it to notice link death without polling.
+	closedCh chan struct{}
 
 	// Reliable sender state: events sent with e.Reliable await cumulative
 	// acks; the housekeeping loop retransmits stragglers.
@@ -121,19 +140,30 @@ type session struct {
 
 func newSession(b *Broker, conn transport.Conn, id string, isPeer bool) *session {
 	_, framed := conn.(transport.FrameConn)
-	return &session{
+	s := &session{
 		b:              b,
 		conn:           conn,
 		id:             id,
 		isPeer:         isPeer,
 		framed:         framed,
 		queue:          newSendQueue(b.cfg.QueueDepth),
+		closedCh:       make(chan struct{}),
 		unacked:        make(map[uint64]*relEntry),
 		ahead:          make(map[uint64]struct{}),
 		remotePatterns: make(map[string]map[string]time.Time),
 		localPatterns:  make(map[string]struct{}),
 	}
+	s.lastRecv.Store(time.Now().UnixNano())
+	return s
 }
+
+// lastRecvTime returns when the session last saw inbound traffic.
+func (s *session) lastRecvTime() time.Time {
+	return time.Unix(0, s.lastRecv.Load())
+}
+
+// touchRecv records inbound traffic for freshness/heartbeat checks.
+func (s *session) touchRecv() { s.lastRecv.Store(time.Now().UnixNano()) }
 
 // start launches the reader and writer goroutines.
 func (s *session) start() {
@@ -147,6 +177,9 @@ func (s *session) start() {
 // conns; callers on the fan-out path pass one frameSource for the whole
 // target set.
 func (s *session) deliver(e *event.Event, fs *frameSource) {
+	if s.fwdCtr != nil {
+		s.fwdCtr.Inc()
+	}
 	if e.Reliable {
 		s.sendReliableFrom(e, fs)
 		return
@@ -267,6 +300,48 @@ func (s *session) retransmit(now time.Time, rto time.Duration, maxAttempts int) 
 	}
 }
 
+// salvageUnacked extracts this session's unacknowledged reliable events
+// in send order, stripped of their per-hop sequence tags, so a successor
+// link to the same peer can replay them. Frame-backed entries are decoded
+// once here — link death is rare, and the replay re-tags with the new
+// session's rseqs anyway. Events the remote did receive (ack lost in the
+// partition) replay harmlessly: data events hit the mesh-wide duplicate
+// cache, advertisement applies are seq-idempotent.
+func (s *session) salvageUnacked() []*event.Event {
+	s.relMu.Lock()
+	defer s.relMu.Unlock()
+	if len(s.unacked) == 0 {
+		return nil
+	}
+	rseqs := make([]uint64, 0, len(s.unacked))
+	for r := range s.unacked {
+		rseqs = append(rseqs, r)
+	}
+	sort.Slice(rseqs, func(i, j int) bool { return rseqs[i] < rseqs[j] })
+	out := make([]*event.Event, 0, len(rseqs))
+	for _, r := range rseqs {
+		ent := s.unacked[r]
+		e := ent.e
+		if e == nil && ent.frame != nil {
+			dec, err := ent.frame.Decode()
+			if err != nil {
+				continue
+			}
+			e = dec
+		}
+		if e == nil {
+			continue
+		}
+		if e.Topic == topicPeer {
+			// Hello replies are per-link handshake state, not payload;
+			// the successor link runs its own handshake.
+			continue
+		}
+		out = append(out, stripRSeq(e))
+	}
+	return out
+}
+
 // acceptReliable performs receiver-side dedup for an rseq-tagged event.
 // It returns the cumulative ack to send and whether the event is new.
 func (s *session) acceptReliable(rseq uint64) (cum uint64, fresh bool) {
@@ -332,6 +407,7 @@ func (s *session) readLoop() {
 			if err != nil {
 				return
 			}
+			s.touchRecv()
 			s.b.ctr.eventsIn.Inc()
 			e, isControl := s.ingestPrepare(e, nil)
 			switch {
@@ -364,6 +440,9 @@ func (s *session) readLoop() {
 	for {
 		events = events[:0]
 		events, err := bc.RecvBurst(events, maxBurst)
+		if len(events) > 0 {
+			s.touchRecv()
+		}
 		s.b.ctr.eventsIn.Add(uint64(len(events)))
 		ack = ackState{}
 		for _, e := range events {
@@ -379,7 +458,7 @@ func (s *session) readLoop() {
 		}
 		flush()
 		if ack.due {
-			s.queue.pushReliable(ackEvent(ack.cum))
+			s.queue.pushAck(ack.cum)
 		}
 		// Drop event references eagerly: the reused burst buffer must not
 		// pin arena-decoded payloads across idle periods.
@@ -417,7 +496,7 @@ func (s *session) ingestPrepare(e *event.Event, ack *ackState) (*event.Event, bo
 		if ack != nil {
 			ack.due, ack.cum = true, cum
 		} else {
-			s.queue.pushReliable(ackEvent(cum))
+			s.queue.pushAck(cum)
 		}
 		if !fresh {
 			return nil, false
@@ -458,6 +537,14 @@ func (s *session) handleControl(e *event.Event) {
 		// arrives, every prior request on this session has been applied.
 		// The echo rides the reliable machinery so it survives lossy links.
 		s.sendReliable(e)
+	case topicPeerHB:
+		// Mesh heartbeat: answer pings best-effort (an idle link has queue
+		// room; a busy link keeps lastRecv fresh through data anyway) and
+		// ignore pongs — receiving either already touched lastRecv, which
+		// is what the dialer-side supervisor watches.
+		if s.isPeer && e.Headers[hdrOp] == hbPing {
+			s.queue.pushBestEffort(peerHeartbeatEvent(hbPong), nil)
+		}
 	default:
 		s.b.metrics().Counter("broker.unknown_control").Inc()
 	}
@@ -641,6 +728,7 @@ func (s *session) close() {
 		s.queue.close()
 		_ = s.conn.Close()
 		s.b.detach(s)
+		close(s.closedCh)
 	})
 }
 

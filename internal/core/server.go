@@ -52,6 +52,13 @@ type Config struct {
 	// BrokerListenURLs are transport URLs the broker accepts remote
 	// clients and peer brokers on (e.g. "tcp://127.0.0.1:0"). Optional.
 	BrokerListenURLs []string
+	// BrokerPeers are peer broker URLs this node keeps supervised mesh
+	// links to (dialed with redial/backoff, heartbeat-monitored).
+	// Optional.
+	BrokerPeers []string
+	// BrokerMeshID scopes peer links to one federation mesh; brokers
+	// link only when their mesh IDs match (empty matches anything).
+	BrokerMeshID string
 	// Domain is the SIP domain. Default "mmcs.local".
 	Domain string
 	// WebAddr is the XGSP web server's HTTP address. Default
@@ -115,6 +122,7 @@ type Server struct {
 	gwXGSP  []*xgsp.Client
 	proxies []*rtpproxy.Proxy
 	clients []*broker.Client
+	mesh    *broker.Mesh
 
 	mu      sync.Mutex
 	bridges []closer
@@ -140,6 +148,7 @@ func Start(ctx context.Context, cfg Config) (*Server, error) {
 		MaxBatchBytes: cfg.BrokerMaxBatchBytes,
 		FlushInterval: cfg.BrokerFlushInterval,
 		IngestBurst:   cfg.BrokerIngestBurst,
+		MeshID:        cfg.BrokerMeshID,
 		Metrics:       cfg.Metrics,
 	})
 	for _, url := range cfg.BrokerListenURLs {
@@ -147,6 +156,9 @@ func Start(ctx context.Context, cfg Config) (*Server, error) {
 			s.Stop()
 			return nil, fmt.Errorf("core: broker listen %s: %w", url, err)
 		}
+	}
+	if len(cfg.BrokerPeers) > 0 {
+		s.mesh = broker.NewMesh(s.Broker, broker.MeshConfig{Peers: cfg.BrokerPeers})
 	}
 
 	// XGSP session server.
@@ -420,6 +432,9 @@ func (s *Server) Stop() {
 	}
 	for _, bc := range s.clients {
 		_ = bc.Close()
+	}
+	if s.mesh != nil {
+		s.mesh.Stop()
 	}
 	if s.Broker != nil {
 		s.Broker.Stop()

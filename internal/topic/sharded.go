@@ -81,6 +81,17 @@ func (t *ShardedTrie[V]) ShardFor(topic string) int {
 	return t.shardOf(firstSegment(topic))
 }
 
+// PatternShard returns the shard a pattern's entries live in, or
+// all=true when the pattern's first segment is a wildcard (such patterns
+// are replicated into every shard). Cache layers use it to scope
+// per-pattern invalidation to the shards a mutation can have touched.
+func (t *ShardedTrie[V]) PatternShard(pattern string) (shard int, all bool) {
+	if wildcardFirst(pattern) {
+		return 0, true
+	}
+	return t.shardOf(firstSegment(pattern)), false
+}
+
 // wildcardFirst reports whether the pattern's first segment is "*" or "#"
 // (such patterns are replicated into every shard).
 func wildcardFirst(pattern string) bool {

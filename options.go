@@ -47,6 +47,21 @@ func WithIngestBurst(n int) Option {
 	return func(c *core.Config) { c.BrokerIngestBurst = n }
 }
 
+// WithPeers declares peer broker URLs this node keeps supervised
+// federation-mesh links to. Each peer is dialed at start and redialed
+// with exponential backoff after drops or partitions (detected via
+// peer heartbeats); subscription advertisements re-sync automatically
+// when a link comes back. Repeated options accumulate.
+func WithPeers(urls ...string) Option {
+	return func(c *core.Config) { c.BrokerPeers = append(c.BrokerPeers, urls...) }
+}
+
+// WithMeshID scopes this node's peer links to one federation mesh:
+// brokers only link when their mesh IDs match (empty matches anything).
+func WithMeshID(id string) Option {
+	return func(c *core.Config) { c.BrokerMeshID = id }
+}
+
 // WithBrokerRouteShards sets how many independent locks the broker's
 // subscription-routing state is sharded across (rounded up to a power of
 // two; 0 keeps the default of 16). One shard degenerates to a single
