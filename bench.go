@@ -345,6 +345,14 @@ type MeshOptions struct {
 	// Brokers is the mesh size (default 4; 1 runs the single-broker
 	// control cell).
 	Brokers int
+	// Topology shapes the peer links: "ring" (default), "star", or
+	// "full".
+	Topology string
+	// MeshFlood disables routed forwarding — the flood ablation cell.
+	MeshFlood bool
+	// CreditWindow overrides the per-peer-link credit window (0 keeps
+	// the broker default; negative disables flow control).
+	CreditWindow int
 	// Subscribers is the total fan-out width across the mesh (default 64).
 	Subscribers int
 	// Publishers is the number of concurrent publishers on broker 0
@@ -372,6 +380,8 @@ type MeshHopLatency struct {
 // JSON tags so reports can be committed as machine-readable baselines.
 type MeshReport struct {
 	Mode         string  `json:"mode"`
+	Topology     string  `json:"topology"`
+	Forwarding   string  `json:"forwarding"`
 	Brokers      int     `json:"brokers"`
 	Subscribers  int     `json:"subscribers"`
 	Publishers   int     `json:"publishers"`
@@ -384,6 +394,15 @@ type MeshReport struct {
 	CrossMeshPerSec float64 `json:"cross_mesh_per_sec"`
 	// ForwardedPerSec is the rate of events put on peer links.
 	ForwardedPerSec float64 `json:"forwarded_per_sec"`
+	// ForwardedFramesPerDelivered is the wire-amplification ratio:
+	// peer-link frames staged per client-delivered event.
+	ForwardedFramesPerDelivered float64 `json:"forwarded_frames_per_delivered_event"`
+	// QueueOverflowDrops sums per-peer-link best-effort overflow drops
+	// during the window.
+	QueueOverflowDrops uint64 `json:"queue_overflow_drops"`
+	// CreditStalls sums per-peer-link credit-window stalls (events shed
+	// at the sender before staging) during the window.
+	CreditStalls uint64 `json:"credit_stalls"`
 	// DupDropped counts ring duplicates absorbed broker-side; the
 	// client-observed DupDeliveries must be zero.
 	DupDropped    uint64 `json:"dup_dropped"`
@@ -404,6 +423,9 @@ func RunMesh(opt MeshOptions) (*MeshReport, error) {
 	res, err := bench.RunMesh(bench.MeshConfig{
 		Mode:         broker.Mode(opt.Mode),
 		Brokers:      opt.Brokers,
+		Topology:     opt.Topology,
+		MeshFlood:    opt.MeshFlood,
+		CreditWindow: opt.CreditWindow,
 		Subscribers:  opt.Subscribers,
 		Publishers:   opt.Publishers,
 		PayloadBytes: opt.PayloadBytes,
@@ -414,18 +436,23 @@ func RunMesh(opt MeshOptions) (*MeshReport, error) {
 		return nil, err
 	}
 	r := &MeshReport{
-		Mode:            res.Mode,
-		Brokers:         res.Brokers,
-		Subscribers:     res.Subscribers,
-		Publishers:      res.Publishers,
-		PayloadBytes:    res.PayloadBytes,
-		WindowSec:       res.WindowSec,
-		DeliveredPerSec: res.DeliveredPerSec,
-		CrossMeshPerSec: res.CrossMeshPerSec,
-		ForwardedPerSec: res.ForwardedPerSec,
-		DupDropped:      res.DupDropped,
-		DupDeliveries:   res.DupDeliveries,
-		Redials:         res.Redials,
+		Mode:                        res.Mode,
+		Topology:                    res.Topology,
+		Forwarding:                  res.Forwarding,
+		Brokers:                     res.Brokers,
+		Subscribers:                 res.Subscribers,
+		Publishers:                  res.Publishers,
+		PayloadBytes:                res.PayloadBytes,
+		WindowSec:                   res.WindowSec,
+		DeliveredPerSec:             res.DeliveredPerSec,
+		CrossMeshPerSec:             res.CrossMeshPerSec,
+		ForwardedPerSec:             res.ForwardedPerSec,
+		ForwardedFramesPerDelivered: res.ForwardedFramesPerDelivered,
+		DupDropped:                  res.DupDropped,
+		DupDeliveries:               res.DupDeliveries,
+		Redials:                     res.Redials,
+		QueueOverflowDrops:          res.QueueOverflowDrops,
+		CreditStalls:                res.CreditStalls,
 	}
 	for _, h := range res.Hops {
 		r.Hops = append(r.Hops, MeshHopLatency{

@@ -53,6 +53,15 @@ type BrokerConfig struct {
 	// brokers link only when their mesh IDs match (empty matches
 	// anything).
 	MeshID string
+	// MeshFlood disables routed mesh forwarding: events flood every
+	// advertising peer link and rely on TTL + duplicate suppression to
+	// kill cyclic copies (the pre-routing behaviour, kept as an
+	// ablation/escape hatch).
+	MeshFlood bool
+	// PeerCreditWindow bounds the best-effort events in flight to one
+	// peer link before the sender sheds instead of staging (default
+	// QueueDepth/2, min 64; negative disables flow control).
+	PeerCreditWindow int
 }
 
 // NewBroker creates a standalone broker. mode 0 defaults to
@@ -66,15 +75,17 @@ func NewBrokerWithConfig(id string, mode BrokerMode, cfg BrokerConfig) *Broker {
 	m := NewMetrics()
 	return &Broker{
 		b: broker.New(broker.Config{
-			ID:            id,
-			Mode:          broker.Mode(mode),
-			QueueDepth:    cfg.QueueDepth,
-			RouteShards:   cfg.RouteShards,
-			MaxBatchBytes: cfg.MaxBatchBytes,
-			FlushInterval: cfg.FlushInterval,
-			IngestBurst:   cfg.IngestBurst,
-			MeshID:        cfg.MeshID,
-			Metrics:       m.reg,
+			ID:               id,
+			Mode:             broker.Mode(mode),
+			QueueDepth:       cfg.QueueDepth,
+			RouteShards:      cfg.RouteShards,
+			MaxBatchBytes:    cfg.MaxBatchBytes,
+			FlushInterval:    cfg.FlushInterval,
+			IngestBurst:      cfg.IngestBurst,
+			MeshID:           cfg.MeshID,
+			MeshFlood:        cfg.MeshFlood,
+			PeerCreditWindow: cfg.PeerCreditWindow,
+			Metrics:          m.reg,
 		}),
 		metrics: m,
 	}

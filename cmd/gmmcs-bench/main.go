@@ -50,6 +50,7 @@ func run() error {
 		pubs   = flag.Int("fanout-pubs", 4, "fanout/ingest: publisher count")
 		events = flag.Int("fanout-events", 2000, "fanout: events per publisher")
 		window = flag.Duration("ingest-window", 2*time.Second, "ingest: steady-state measurement window")
+		topo   = flag.String("mesh-topology", "ring", "mesh: peer-link topology (ring, star, full)")
 		short  = flag.Bool("short", false, "shrink runs for a quick (or CI) look")
 	)
 	flag.Parse()
@@ -76,7 +77,7 @@ func run() error {
 	case "ingest":
 		return runIngest(*subs, *pubs, *window)
 	case "mesh":
-		return runMesh(*subs, *pubs, *window)
+		return runMesh(*topo, *subs, *pubs, *window)
 	case "all":
 		if err := runFig3(*scale, *outDir); err != nil {
 			return err
@@ -96,35 +97,48 @@ func run() error {
 		if err := runIngest(*subs, *pubs, *window); err != nil {
 			return err
 		}
-		return runMesh(*subs, *pubs, *window)
+		return runMesh(*topo, *subs, *pubs, *window)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
 }
 
-// runMesh measures cross-mesh fan-out over a 4-broker federation ring
-// and the single-broker control cell, and prints the reports as a JSON
-// array (the format of BENCH_broker.json's mesh section).
-func runMesh(subs, pubs int, window time.Duration) error {
-	fmt.Fprintf(os.Stderr, "=== Cross-mesh fan-out: %d subscribers, %d publishers on node 0, %s window ===\n",
-		subs, pubs, window)
+// runMesh measures cross-mesh fan-out over a 4-broker federation in
+// routed and flood-ablation forwarding, plus the single-broker control
+// cell, and prints the reports as a JSON array (the format of
+// BENCH_broker.json's mesh section). The flood cell disables the credit
+// window too, reproducing the pre-routing forwarding plane exactly.
+func runMesh(topology string, subs, pubs int, window time.Duration) error {
+	fmt.Fprintf(os.Stderr, "=== Cross-mesh fan-out (%s): %d subscribers, %d publishers on node 0, %s window ===\n",
+		topology, subs, pubs, window)
+	cells := []struct {
+		label   string
+		brokers int
+		flood   bool
+		credit  int
+	}{
+		{"4-broker routed", 4, false, 0},
+		{"4-broker flood", 4, true, -1},
+		{"single control", 1, false, 0},
+	}
 	var reports []*globalmmcs.MeshReport
-	for _, brokers := range []int{4, 1} {
+	for _, cell := range cells {
 		res, err := globalmmcs.RunMesh(globalmmcs.MeshOptions{
-			Brokers:     brokers,
-			Subscribers: subs,
-			Publishers:  pubs,
-			Duration:    window,
+			Brokers:      cell.brokers,
+			Topology:     topology,
+			MeshFlood:    cell.flood,
+			CreditWindow: cell.credit,
+			Subscribers:  subs,
+			Publishers:   pubs,
+			Duration:     window,
 		})
 		if err != nil {
 			return fmt.Errorf("mesh: %w", err)
 		}
-		label := fmt.Sprintf("%d-broker mesh", brokers)
-		if brokers == 1 {
-			label = "single control"
-		}
-		fmt.Fprintf(os.Stderr, "%-14s %12.0f delivered/s %12.0f cross-mesh/s %12.0f forwarded/s  dup_dropped %d  dup_delivered %d\n",
-			label, res.DeliveredPerSec, res.CrossMeshPerSec, res.ForwardedPerSec, res.DupDropped, res.DupDeliveries)
+		fmt.Fprintf(os.Stderr, "%-15s %12.0f delivered/s %12.0f cross-mesh/s %12.0f forwarded/s  fwd/delivered %.3f  dup_dropped %d  dup_delivered %d  overflow_drops %d  credit_stalls %d\n",
+			cell.label, res.DeliveredPerSec, res.CrossMeshPerSec, res.ForwardedPerSec,
+			res.ForwardedFramesPerDelivered, res.DupDropped, res.DupDeliveries,
+			res.QueueOverflowDrops, res.CreditStalls)
 		for _, h := range res.Hops {
 			fmt.Fprintf(os.Stderr, "    hop %d: p50 %.2f ms  p99 %.2f ms  (n=%d)\n", h.Hop, h.P50Ms, h.P99Ms, h.Count)
 		}

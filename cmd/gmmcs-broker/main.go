@@ -39,6 +39,8 @@ func run() error {
 		batch  = flag.Int("max-batch-bytes", 0, "per-session write batch bound (0 = default 256KiB)")
 		flush  = flag.Duration("flush-interval", 0, "batch linger once a session queue idles (0 = flush immediately)")
 		burst  = flag.Int("ingest-burst", 0, "events decoded and routed per ingest sweep (0 = default 256, 1 = event-at-a-time)")
+		flood  = flag.Bool("mesh-flood", false, "flood every advertising peer link instead of routed spanning-tree forwarding")
+		credit = flag.Int("peer-credit-window", 0, "best-effort events in flight per peer link before sender-side shedding (0 = default queue-depth/2, negative = off)")
 	)
 	flag.Parse()
 
@@ -47,12 +49,14 @@ func run() error {
 		m = globalmmcs.BrokerPeerToPeer
 	}
 	b := globalmmcs.NewBrokerWithConfig(*id, m, globalmmcs.BrokerConfig{
-		QueueDepth:    *depth,
-		RouteShards:   *shards,
-		MaxBatchBytes: *batch,
-		FlushInterval: *flush,
-		IngestBurst:   *burst,
-		MeshID:        *meshID,
+		QueueDepth:       *depth,
+		RouteShards:      *shards,
+		MaxBatchBytes:    *batch,
+		FlushInterval:    *flush,
+		IngestBurst:      *burst,
+		MeshID:           *meshID,
+		MeshFlood:        *flood,
+		PeerCreditWindow: *credit,
 	})
 	defer b.Stop()
 

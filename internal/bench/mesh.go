@@ -28,6 +28,17 @@ type MeshConfig struct {
 	// Brokers is the mesh size. Default 4; 1 runs the single-broker
 	// control cell (same clients, no federation).
 	Brokers int
+	// Topology shapes the peer links: "ring" (default; broker i dials its
+	// successor, a cycle for n >= 3), "star" (every leaf dials broker 0),
+	// or "full" (every pair linked).
+	Topology string
+	// MeshFlood disables routed forwarding on every broker — the flood
+	// ablation cell, where TTL + dedup absorb the redundant ring copies
+	// instead of the spanning tree never sending them.
+	MeshFlood bool
+	// CreditWindow overrides each broker's per-peer-link credit window
+	// (0 keeps the broker default; negative disables flow control).
+	CreditWindow int
 	// Subscribers is the total fan-out width, spread round-robin across
 	// brokers. Default 64.
 	Subscribers int
@@ -56,6 +67,9 @@ func (c MeshConfig) withDefaults() MeshConfig {
 	}
 	if c.Brokers <= 0 {
 		c.Brokers = 4
+	}
+	if c.Topology == "" {
+		c.Topology = "ring"
 	}
 	if c.Subscribers <= 0 {
 		c.Subscribers = 64
@@ -98,6 +112,8 @@ type HopLatency struct {
 // MeshResult reports one cross-mesh fan-out run.
 type MeshResult struct {
 	Mode         string  `json:"mode"`
+	Topology     string  `json:"topology"`
+	Forwarding   string  `json:"forwarding"`
 	Brokers      int     `json:"brokers"`
 	Subscribers  int     `json:"subscribers"`
 	Publishers   int     `json:"publishers"`
@@ -112,6 +128,18 @@ type MeshResult struct {
 	// ForwardedPerSec is the rate of events put on peer links, summed
 	// over every broker's per-peer forwarded counters.
 	ForwardedPerSec float64 `json:"forwarded_per_sec"`
+	// ForwardedFramesPerDelivered is the mesh's wire-amplification ratio:
+	// peer-link frames staged per client-delivered event. Flood pays for
+	// the cycle's redundant copies here; routed forwarding should pay
+	// only for the spanning tree.
+	ForwardedFramesPerDelivered float64 `json:"forwarded_frames_per_delivered_event"`
+	// QueueOverflowDrops sums the per-peer-link best-effort overflow
+	// drops across the mesh during the window — what blind shedding cost
+	// when a link could not keep up.
+	QueueOverflowDrops uint64 `json:"queue_overflow_drops"`
+	// CreditStalls sums the per-peer-link credit-window stalls (events
+	// shed at the sender before staging) during the window.
+	CreditStalls uint64 `json:"credit_stalls"`
 	// DupDropped counts redundant arrivals the ring's cyclic topology
 	// produced that the brokers' duplicate suppression absorbed.
 	DupDropped uint64 `json:"dup_dropped"`
@@ -126,9 +154,10 @@ type MeshResult struct {
 }
 
 func (r MeshResult) String() string {
-	s := fmt.Sprintf("mesh %s brokers=%d subs=%d pubs=%d delivered %.0f ev/s (cross-mesh %.0f ev/s, forwarded %.0f ev/s, dup_dropped %d, dup_delivered %d)",
-		r.Mode, r.Brokers, r.Subscribers, r.Publishers,
-		r.DeliveredPerSec, r.CrossMeshPerSec, r.ForwardedPerSec, r.DupDropped, r.DupDeliveries)
+	s := fmt.Sprintf("mesh %s %s/%s brokers=%d subs=%d pubs=%d delivered %.0f ev/s (cross-mesh %.0f ev/s, forwarded %.0f ev/s, fwd/delivered %.3f, dup_dropped %d, dup_delivered %d, overflow_drops %d, credit_stalls %d)",
+		r.Mode, r.Topology, r.Forwarding, r.Brokers, r.Subscribers, r.Publishers,
+		r.DeliveredPerSec, r.CrossMeshPerSec, r.ForwardedPerSec, r.ForwardedFramesPerDelivered,
+		r.DupDropped, r.DupDeliveries, r.QueueOverflowDrops, r.CreditStalls)
 	for _, h := range r.Hops {
 		s += fmt.Sprintf("\n  hop %d: p50 %.2fms p99 %.2fms (n=%d)", h.Hop, h.P50Ms, h.P99Ms, h.Count)
 	}
@@ -153,15 +182,44 @@ func ringDistance(i, j, n int) int {
 	return d
 }
 
+// hopDistance is the broker-hop count between nodes i and j under the
+// benchmark's topology (star hops through the center, node 0).
+func hopDistance(topology string, i, j, n int) int {
+	switch {
+	case i == j:
+		return 0
+	case topology == "star":
+		if i == 0 || j == 0 {
+			return 1
+		}
+		return 2
+	case topology == "full":
+		return 1
+	default: // ring
+		return ringDistance(i, j, n)
+	}
+}
+
 // RunMesh runs the cross-mesh fan-out benchmark.
 func RunMesh(cfg MeshConfig) (MeshResult, error) {
 	cfg = cfg.withDefaults()
+	forwarding := "routed"
+	if cfg.MeshFlood || cfg.Mode != broker.ModeClientServer {
+		forwarding = "flood"
+	}
 	res := MeshResult{
 		Mode:         cfg.Mode.String(),
+		Topology:     cfg.Topology,
+		Forwarding:   forwarding,
 		Brokers:      cfg.Brokers,
 		Subscribers:  cfg.Subscribers,
 		Publishers:   cfg.Publishers,
 		PayloadBytes: cfg.PayloadBytes,
+	}
+	switch cfg.Topology {
+	case "ring", "star", "full":
+	default:
+		return res, fmt.Errorf("bench: unknown mesh topology %q", cfg.Topology)
 	}
 
 	n := cfg.Brokers
@@ -169,11 +227,13 @@ func RunMesh(cfg MeshConfig) (MeshResult, error) {
 	addrs := make([]string, n)
 	for i := range brokers {
 		brokers[i] = broker.New(broker.Config{
-			ID:            fmt.Sprintf("mesh-broker-%d", i),
-			Mode:          cfg.Mode,
-			MeshID:        "bench-mesh",
-			QueueDepth:    cfg.QueueDepth,
-			FlushInterval: cfg.FlushInterval,
+			ID:               fmt.Sprintf("mesh-broker-%d", i),
+			Mode:             cfg.Mode,
+			MeshID:           "bench-mesh",
+			QueueDepth:       cfg.QueueDepth,
+			FlushInterval:    cfg.FlushInterval,
+			MeshFlood:        cfg.MeshFlood,
+			PeerCreditWindow: cfg.CreditWindow,
 		})
 		defer brokers[i].Stop()
 		if n > 1 {
@@ -185,10 +245,11 @@ func RunMesh(cfg MeshConfig) (MeshResult, error) {
 		}
 	}
 
-	// Link the ring: broker i dials its successor. With n >= 3 this is a
-	// cycle, so the loop guard (origin-armed dedup + TTL) is on the
-	// measured path; n == 2 degenerates to one link after the
-	// duplicate-link tie-break.
+	// Link the topology. Ring: broker i dials its successor — with
+	// n >= 3 a cycle, so the loop guard (origin-armed dedup + TTL) is on
+	// the measured path; n == 2 degenerates to one link after the
+	// duplicate-link tie-break. Star: every leaf dials the center (node
+	// 0), acyclic. Full: every pair linked, maximally cyclic.
 	var meshes []*broker.Mesh
 	defer func() {
 		for _, m := range meshes {
@@ -196,19 +257,43 @@ func RunMesh(cfg MeshConfig) (MeshResult, error) {
 		}
 	}()
 	if n > 1 {
-		for i := range brokers {
-			m := broker.NewMesh(brokers[i], broker.MeshConfig{
-				Peers: []string{addrs[(i+1)%n]},
-			})
-			meshes = append(meshes, m)
-		}
-		wantPeers := 2
-		if n == 2 {
-			wantPeers = 1
+		wantPeers := make([]int, n)
+		switch cfg.Topology {
+		case "star":
+			for i := 1; i < n; i++ {
+				meshes = append(meshes, broker.NewMesh(brokers[i], broker.MeshConfig{
+					Peers: []string{addrs[0]},
+				}))
+				wantPeers[i] = 1
+			}
+			wantPeers[0] = n - 1
+		case "full":
+			for i := range brokers {
+				var peers []string
+				for j := i + 1; j < n; j++ {
+					peers = append(peers, addrs[j])
+				}
+				if len(peers) > 0 {
+					meshes = append(meshes, broker.NewMesh(brokers[i], broker.MeshConfig{
+						Peers: peers,
+					}))
+				}
+				wantPeers[i] = n - 1
+			}
+		default: // ring
+			for i := range brokers {
+				meshes = append(meshes, broker.NewMesh(brokers[i], broker.MeshConfig{
+					Peers: []string{addrs[(i+1)%n]},
+				}))
+				wantPeers[i] = 2
+				if n == 2 {
+					wantPeers[i] = 1
+				}
+			}
 		}
 		if err := waitFor(5*time.Second, func() bool {
-			for _, b := range brokers {
-				if b.PeerCount() < wantPeers {
+			for i, b := range brokers {
+				if b.PeerCount() < wantPeers[i] {
 					return false
 				}
 			}
@@ -224,7 +309,7 @@ func RunMesh(cfg MeshConfig) (MeshResult, error) {
 	var measuring atomic.Bool
 	maxHop := 0
 	for i := 0; i < n; i++ {
-		if d := ringDistance(i, 0, n); d > maxHop {
+		if d := hopDistance(cfg.Topology, i, 0, n); d > maxHop {
 			maxHop = d
 		}
 	}
@@ -253,7 +338,7 @@ func RunMesh(cfg MeshConfig) (MeshResult, error) {
 		if err != nil {
 			return res, fmt.Errorf("bench: subscribe %d: %w", i, err)
 		}
-		hist := byHop[ringDistance(node, 0, n)]
+		hist := byHop[hopDistance(cfg.Topology, node, 0, n)]
 		got := &heard[i]
 		drainWG.Add(1)
 		go func() {
@@ -349,32 +434,37 @@ func RunMesh(cfg MeshConfig) (MeshResult, error) {
 	}
 
 	// forwardStats sums the mesh counters across every broker: events
-	// put on peer links, ring duplicates absorbed, and supervisor
-	// redials.
-	forwardStats := func() (fwd, dup, redials uint64) {
+	// put on peer links, ring duplicates absorbed, supervisor redials,
+	// per-link overflow drops, and credit stalls.
+	type meshStats struct {
+		fwd, dup, redials, drops, stalls uint64
+	}
+	forwardStats := func() (s meshStats) {
 		for i, b := range brokers {
 			m := b.Metrics()
-			redials += m.Counter("broker.mesh.redials").Value()
+			s.redials += m.Counter("broker.mesh.redials").Value()
 			for j := range brokers {
 				if j == i {
 					continue
 				}
 				peer := fmt.Sprintf("broker.peer.mesh-broker-%d.", j)
-				fwd += m.Counter(peer + "forwarded").Value()
-				dup += m.Counter(peer + "dup_dropped").Value()
+				s.fwd += m.Counter(peer + "forwarded").Value()
+				s.dup += m.Counter(peer + "dup_dropped").Value()
+				s.drops += m.Counter(peer + "queue_drops").Value()
+				s.stalls += m.Counter(peer + "credit_stalls").Value()
 			}
 		}
 		return
 	}
 
 	time.Sleep(cfg.Warmup)
-	f0, d0, r0 := forwardStats()
+	s0 := forwardStats()
 	measuring.Store(true)
 	t0 := time.Now()
 	time.Sleep(cfg.Duration)
 	measuring.Store(false)
 	window := time.Since(t0).Seconds()
-	f1, d1, r1 := forwardStats()
+	s1 := forwardStats()
 	close(stop)
 	pubWG.Wait()
 
@@ -396,11 +486,16 @@ func RunMesh(cfg MeshConfig) (MeshResult, error) {
 	if window > 0 {
 		res.DeliveredPerSec = float64(delivered.Load()) / window
 		res.CrossMeshPerSec = float64(crossMesh.Load()) / window
-		res.ForwardedPerSec = float64(f1-f0) / window
+		res.ForwardedPerSec = float64(s1.fwd-s0.fwd) / window
 	}
-	res.DupDropped = d1 - d0
+	if d := delivered.Load(); d > 0 {
+		res.ForwardedFramesPerDelivered = float64(s1.fwd-s0.fwd) / float64(d)
+	}
+	res.DupDropped = s1.dup - s0.dup
 	res.DupDeliveries = dupDelivered.Load()
-	res.Redials = r1 - r0
+	res.Redials = s1.redials - s0.redials
+	res.QueueOverflowDrops = s1.drops - s0.drops
+	res.CreditStalls = s1.stalls - s0.stalls
 	for hop, h := range byHop {
 		if h.Count() == 0 {
 			continue

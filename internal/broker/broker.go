@@ -51,6 +51,20 @@ type Config struct {
 	// only if their mesh IDs match (an empty ID on either side matches
 	// anything, so unscoped deployments keep working).
 	MeshID string
+	// MeshFlood disables hop-cost routed forwarding in client-server mode
+	// and restores the flood-with-loop-guard behaviour: every peer link
+	// that advertised a matching pattern is staged, and TTL plus the
+	// duplicate cache kill the redundant copies. An ablation knob for
+	// benchmarking, and a fallback if routed convergence misbehaves.
+	MeshFlood bool
+	// PeerCreditWindow bounds the best-effort data events in flight to one
+	// mesh peer link: staging stops (and broker.peer.<id>.credit_stalls
+	// counts the shed events) once sent minus the receiver's cumulative
+	// consumption grants reaches the window, so a congested link pushes
+	// back at the sender before its queue overflows and sheds blindly.
+	// Reliable traffic bypasses the window (it has its own blocking
+	// semantics). Default QueueDepth/2 (min 64); negative disables.
+	PeerCreditWindow int
 	// PeerStaleAfter is how long a peer link may be silent before a
 	// competing duplicate link is allowed to supersede it during
 	// duplicate-link resolution (mesh supervisors keep healthy links
@@ -110,6 +124,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 512
+	}
+	if c.PeerCreditWindow == 0 {
+		c.PeerCreditWindow = c.QueueDepth / 2
+		if c.PeerCreditWindow < 64 {
+			c.PeerCreditWindow = 64
+		}
 	}
 	if c.DedupCapacity <= 0 {
 		c.DedupCapacity = 65536
@@ -188,6 +208,19 @@ type Broker struct {
 	dedup     *dedupCache
 	listeners []transport.Listener
 
+	// routed caches "client-server mode and MeshFlood off" — whether the
+	// mesh data path consults forwarding plans instead of flooding the
+	// advertisement trie.
+	routed bool
+	// meshRoutes is the control-plane routing table: advertised pattern →
+	// per-origin chosen next hop. Guarded by b.mu; the data plane reads
+	// the atomically-published meshPlans snapshot instead.
+	meshRoutes map[string]*patternRoute
+	meshPlans  atomic.Pointer[meshPlanTable]
+	// planFn is planFor bound once so per-event plan resolution does not
+	// allocate a method value.
+	planFn func(string) *topicPlan
+
 	// relStash holds reliable events salvaged from dead peer links, keyed
 	// by remote broker id. The next link to the same peer (redial or
 	// inbound reconnect) replays them, so a link drop mid-stream does not
@@ -252,11 +285,14 @@ func New(cfg Config) *Broker {
 		patternRefs: make(map[string]int),
 		advApplied:  make(map[string]map[string]uint64),
 		relStash:    make(map[string]*relSalvage),
+		meshRoutes:  make(map[string]*patternRoute),
 		dedup:       newDedupCache(cfg.DedupCapacity),
 		ctr:         resolveCounters(cfg.Metrics),
 		done:        make(chan struct{}),
 	}
+	b.routed = cfg.Mode == ModeClientServer && !cfg.MeshFlood
 	b.matchFn = b.router.match
+	b.planFn = b.planFor
 	b.wg.Add(1)
 	go b.housekeeping()
 	return b
@@ -424,6 +460,8 @@ func (b *Broker) attach(conn transport.Conn, id string, isPeer, dialed bool) (*s
 		reg := b.metrics()
 		s.fwdCtr = reg.Counter("broker.peer." + id + ".forwarded")
 		s.dupCtr = reg.Counter("broker.peer." + id + ".dup_dropped")
+		s.creditStallCtr = reg.Counter("broker.peer." + id + ".credit_stalls")
+		s.linkDropCtr = reg.Counter("broker.peer." + id + ".queue_drops")
 		reg.Gauge("broker.peer." + id + ".links").Set(1)
 	}
 	b.mu.Unlock()
@@ -540,6 +578,14 @@ func (b *Broker) detach(s *session) {
 		patterns = append(patterns, p)
 	}
 	b.router.removeAll(s, patterns)
+	if wasPeer {
+		// Recompute routes for everything this link advertised: surviving
+		// links holding the next-best cost promote into the trie and the
+		// plan table immediately, re-routing traffic around the dead link.
+		for p := range s.remotePatterns {
+			b.recomputePatternRouteLocked(p)
+		}
+	}
 	// Release this client's pattern refcounts; collect 1→0 edges.
 	var removals []string
 	for p := range s.localPatterns {
@@ -622,12 +668,13 @@ func (b *Broker) unsubscribe(s *session, pattern string) {
 }
 
 // advertise sends one local-pattern advertisement to the given peers.
+// This broker is the origin, so the hop count is 0.
 func (b *Broker) advertise(peers []*session, op advOp, pattern string) {
 	b.mu.Lock()
 	b.advSeq++
 	seq := b.advSeq
 	b.mu.Unlock()
-	adv := subAdvEvent(op, pattern, b.cfg.ID, seq)
+	adv := subAdvEvent(op, pattern, b.cfg.ID, seq, 0)
 	for _, p := range peers {
 		p.sendReliable(adv)
 	}
@@ -642,32 +689,44 @@ func (b *Broker) sendAdvertisementSnapshot(to *session) {
 	type adv struct {
 		pattern, origin string
 		seq             uint64
+		hops            int
 	}
 	var advs []adv
 	b.mu.Lock()
 	for p := range b.patternRefs {
 		b.advSeq++
-		advs = append(advs, adv{p, b.cfg.ID, b.advSeq})
+		advs = append(advs, adv{p, b.cfg.ID, b.advSeq, 0})
 	}
 	for peer := range b.peers {
 		if peer == to {
 			continue
 		}
 		for pattern, origins := range peer.remotePatterns {
-			for origin := range origins {
+			for origin, ent := range origins {
 				seq := b.advApplied[origin][pattern]
-				advs = append(advs, adv{pattern, origin, seq})
+				// Advertise our own distance to the origin — the chosen
+				// route's cost, or this link's cost if the route table
+				// hasn't caught up.
+				hops, ok := b.routeCostLocked(pattern, origin)
+				if !ok {
+					hops = ent.hops + 1
+				}
+				advs = append(advs, adv{pattern, origin, seq, hops})
 			}
 		}
 	}
 	b.mu.Unlock()
 	for _, a := range advs {
-		to.sendReliable(subAdvEvent(advAdd, a.pattern, a.origin, a.seq))
+		to.sendReliable(subAdvEvent(advAdd, a.pattern, a.origin, a.seq, a.hops))
 	}
 }
 
 // handleAdvertisement applies a peer's subscription advertisement and
-// re-propagates it to other peers.
+// re-propagates it to other peers with the hop count rewritten to this
+// broker's own distance to the origin. A same-seq re-arrival via a
+// second link (normally suppressed as an already-propagated refresh) is
+// still re-propagated when it changed our cheapest cost, so longer
+// paths converge without waiting for the next soft-state refresh.
 func (b *Broker) handleAdvertisement(from *session, e *event.Event) {
 	pattern := e.Headers[hdrPattern]
 	origin := e.Headers[hdrOrigin]
@@ -675,6 +734,10 @@ func (b *Broker) handleAdvertisement(from *session, e *event.Event) {
 	seq, err := headerUint(e, hdrSeq)
 	if err != nil || pattern == "" || origin == "" {
 		return
+	}
+	hops := 0
+	if h, err := headerUint(e, hdrHops); err == nil {
+		hops = int(h)
 	}
 	if origin == b.cfg.ID {
 		return // our own advertisement echoed back
@@ -695,33 +758,33 @@ func (b *Broker) handleAdvertisement(from *session, e *event.Event) {
 	case advAdd:
 		origins := from.remotePatterns[pattern]
 		if origins == nil {
-			origins = make(map[string]time.Time)
+			origins = make(map[string]advEntry)
 			from.remotePatterns[pattern] = origins
 		}
-		origins[origin] = time.Now()
-		if err := b.router.add(pattern, from); err != nil {
-			b.mu.Unlock()
-			return
-		}
+		origins[origin] = advEntry{last: time.Now(), hops: hops}
 	case advRemove:
 		if origins, ok := from.remotePatterns[pattern]; ok {
 			delete(origins, origin)
 			if len(origins) == 0 {
 				delete(from.remotePatterns, pattern)
-				b.router.remove(pattern, from)
 			}
 		}
 	default:
 		b.mu.Unlock()
 		return
 	}
+	prevCost, hadPrev := b.routeCostLocked(pattern, origin)
+	b.recomputePatternRouteLocked(pattern)
+	newCost, hasNew := b.routeCostLocked(pattern, origin)
+	costChanged := hadPrev != hasNew || prevCost != newCost
 	peers := b.peerList(from)
 	b.mu.Unlock()
-	if refresh {
+	if refresh && !costChanged {
 		return // periodic refresh already propagated once
 	}
+	adv := subAdvEvent(op, pattern, origin, seq, newCost)
 	for _, p := range peers {
-		p.sendReliable(e)
+		p.sendReliable(adv)
 	}
 }
 
@@ -746,7 +809,7 @@ func (b *Broker) peerList(except *session) []*session {
 // twice regardless of fan-out width — once for local sessions and once
 // (a one-byte TTL patch on a buffer copy) for peers.
 func (b *Broker) route(e *event.Event, from *session) {
-	b.routeOne(e, from, b.matchFn, deliverDirect, nil)
+	b.routeOne(e, from, b.matchFn, b.planFn, deliverDirect, nil)
 }
 
 // deliverDirect is route's delivery strategy: hand the event to the
@@ -758,14 +821,19 @@ func deliverDirect(t *session, e *event.Event, fs *frameSource) { t.deliver(e, f
 // (routeSweep.routeBatch).
 type deliverFn func(t *session, e *event.Event, fs *frameSource)
 
+// planFn resolves the mesh forwarding plan for a concrete topic
+// (Broker.planFor, or a per-burst memo of it).
+type planFn func(string) *topicPlan
+
 // routeOne is the single implementation of the routing policy —
-// duplicate suppression, split horizon, per-hop TTL decrement, and the
-// peer-to-peer flood — behind both the event-at-a-time and the burst
-// path. Target resolution goes through match (the sharded router, or a
-// per-burst memo of it) and every delivery through deliver. served is a
+// duplicate suppression, split horizon, per-hop TTL decrement, routed
+// (serve-mask) peer forwarding, and the peer-to-peer flood — behind both
+// the event-at-a-time and the burst path. Target resolution goes through
+// match (the sharded router, or a per-burst memo of it), plan resolution
+// through plans, and every delivery through deliver. served is a
 // reusable scratch buffer for the flood's already-served peer set; the
 // (possibly grown) buffer is returned for reuse.
-func (b *Broker) routeOne(e *event.Event, from *session, match func(string) []*session, deliver deliverFn, served []*session) []*session {
+func (b *Broker) routeOne(e *event.Event, from *session, match func(string) []*session, plans planFn, deliver deliverFn, served []*session) []*session {
 	served = served[:0]
 	fromPeer := from != nil && from.isPeer
 	// Duplicate suppression arms whenever this broker is part of a mesh:
@@ -784,6 +852,20 @@ func (b *Broker) routeOne(e *event.Event, from *session, match func(string) []*s
 	}
 	targets := match(e.Topic)
 	fs := newFrameSource(e)
+	// Routed mode: resolve the forwarding plan once per event. inMask is
+	// the set of origins this copy is responsible for — everything for a
+	// local publish or an unmasked (flood-sent) arrival, the carried
+	// serve-mask otherwise.
+	var plan *topicPlan
+	var inMask uint64
+	if b.routed && e.TTL > 0 && b.hasPeers() {
+		if plan = plans(e.Topic); plan != nil {
+			inMask = e.Mask
+			if inMask == 0 {
+				inMask = ^uint64(0)
+			}
+		}
+	}
 	var peerFS *frameSource
 	var peerEvent *event.Event
 	preparePeer := func() {
@@ -803,8 +885,26 @@ func (b *Broker) routeOne(e *event.Event, from *session, match func(string) []*s
 			if e.TTL == 0 {
 				continue
 			}
-			preparePeer()
-			deliver(t, peerEvent, peerFS)
+			if plan != nil {
+				// The copy staged on a chosen link serves exactly the
+				// origins assigned to that link — and only those this
+				// copy was itself responsible for.
+				m := plan.maskFor(t) & inMask
+				if m == 0 {
+					continue
+				}
+				if !e.Reliable && !t.creditCharge() {
+					continue
+				}
+				me, mfs := fs.deriveMasked(e.TTL-1, m)
+				deliver(t, me, mfs)
+			} else {
+				if !e.Reliable && !t.creditCharge() {
+					continue
+				}
+				preparePeer()
+				deliver(t, peerEvent, peerFS)
+			}
 			served = append(served, t)
 		} else {
 			deliver(t, e, fs)
@@ -824,6 +924,9 @@ func (b *Broker) routeOne(e *event.Event, from *session, match func(string) []*s
 				if d == p {
 					continue flood
 				}
+			}
+			if !e.Reliable && !p.creditCharge() {
+				continue
 			}
 			preparePeer()
 			deliver(p, peerEvent, peerFS)
@@ -959,6 +1062,10 @@ func (b *Broker) housekeeping() {
 			}
 			b.pruneStaleAdvertisements()
 			b.pruneRelStash()
+			// One dedup generation per refresh tick: sources idle for
+			// three ticks (matching the advertisement soft-state horizon)
+			// free their 1 KiB windows.
+			b.dedup.sweepIdle(3)
 		}
 	}
 }
@@ -977,18 +1084,29 @@ func (b *Broker) pruneStaleAdvertisements() {
 	cutoff := time.Now().Add(-3 * b.cfg.AdvRefreshInterval)
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	var changed map[string]struct{}
 	for peer := range b.peers {
 		for pattern, origins := range peer.remotePatterns {
-			for origin, last := range origins {
-				if last.Before(cutoff) {
+			pruned := false
+			for origin, ent := range origins {
+				if ent.last.Before(cutoff) {
 					delete(origins, origin)
+					pruned = true
 				}
 			}
 			if len(origins) == 0 {
 				delete(peer.remotePatterns, pattern)
-				b.router.remove(pattern, peer)
+			}
+			if pruned {
+				if changed == nil {
+					changed = make(map[string]struct{})
+				}
+				changed[pattern] = struct{}{}
 			}
 		}
+	}
+	for pattern := range changed {
+		b.recomputePatternRouteLocked(pattern)
 	}
 }
 

@@ -17,6 +17,13 @@ func newTestBroker(t *testing.T, id string) *Broker {
 	return b
 }
 
+func newTestBrokerCfg(t *testing.T, cfg Config) *Broker {
+	t.Helper()
+	b := New(cfg)
+	t.Cleanup(b.Stop)
+	return b
+}
+
 func localClient(t *testing.T, b *Broker, id string) *Client {
 	t.Helper()
 	c, err := b.LocalClient(id, transport.LinkProfile{})

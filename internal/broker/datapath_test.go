@@ -312,7 +312,7 @@ func TestPeerAdvertisedAndFloodedDeliversOnce(t *testing.T) {
 		"peer never attached")
 	// The peer advertises a matching pattern (a mixed-mode or legacy peer
 	// can do this even in P2P routing), putting it in the routing trie.
-	if err := peerEnd.Send(subAdvEvent(advAdd, "/dd/#", "remote-peer", 1)); err != nil {
+	if err := peerEnd.Send(subAdvEvent(advAdd, "/dd/#", "remote-peer", 1, 0)); err != nil {
 		t.Fatal(err)
 	}
 	waitFor(t, 2*time.Second, func() bool { return len(b.matchSessions("/dd/x")) == 1 },

@@ -1,0 +1,110 @@
+package broker
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/globalmmcs/globalmmcs/internal/event"
+)
+
+// TestDedupSweepIdlePrunes: sources quiet for more than the configured
+// number of generations are pruned by the housekeeping sweep, while a
+// source that keeps publishing survives indefinitely — and a pruned
+// source re-enters with a fresh window.
+func TestDedupSweepIdlePrunes(t *testing.T) {
+	d := newDedupCache(8)
+	k := func(s string, i uint64) event.Key { return event.Key{Source: s, ID: i} }
+
+	d.seen(k("quiet", 1))
+	d.seen(k("busy", 1))
+	for g := 0; g < 5; g++ {
+		d.seen(k("busy", uint64(g+2)))
+		d.sweepIdle(3)
+	}
+	if d.len() != 1 {
+		t.Fatalf("cache holds %d sources after idling sweep, want just the busy one", d.len())
+	}
+	if !d.seen(k("busy", 3)) {
+		t.Fatal("surviving source lost its window")
+	}
+	// The pruned source re-enters fresh: its old history is gone, so its
+	// first ID is new again.
+	if d.seen(k("quiet", 1)) {
+		t.Fatal("pruned source kept stale window state")
+	}
+	if !d.seen(k("quiet", 1)) {
+		t.Fatal("re-added source not tracking")
+	}
+}
+
+// TestDedupReAddedSourceNotPrematurelyEvicted: a source that is evicted
+// (or pruned) and later re-added must be protected by its fresh FIFO
+// position — the stale reference from its first life cannot evict it
+// ahead of genuinely older sources.
+func TestDedupReAddedSourceNotPrematurelyEvicted(t *testing.T) {
+	d := newDedupCache(2)
+	k := func(s string, i uint64) event.Key { return event.Key{Source: s, ID: i} }
+
+	d.seen(k("a", 1))
+	d.seen(k("b", 1))
+	d.seen(k("c", 1)) // evicts a (FIFO head)
+	d.seen(k("a", 2)) // a re-enters; evicts b, NOT the just-added a
+	if d.seen(k("a", 3)) {
+		t.Fatal("fresh id on re-added source reported seen")
+	}
+	if !d.seen(k("a", 2)) {
+		t.Fatal("re-added source was evicted out of FIFO order")
+	}
+	if !d.seen(k("c", 1)) {
+		t.Fatal("source c lost despite capacity")
+	}
+	if d.len() > 2 {
+		t.Fatalf("cache tracks %d sources, capacity 2", d.len())
+	}
+}
+
+// TestDedupShardedCapacity: a production-sized cache splits into shards
+// whose capacities sum to (about) the configured total, keeps enforcing
+// per-shard FIFO eviction, and handles concurrent traffic with the
+// sweep running — the sharded-lock replacement for the old global
+// mutex, under the race detector.
+func TestDedupShardedCapacity(t *testing.T) {
+	d := newDedupCache(1024)
+	if len(d.shards) != dedupMaxShards {
+		t.Fatalf("1024-source cache uses %d shards, want %d", len(d.shards), dedupMaxShards)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				d.seen(event.Key{Source: fmt.Sprintf("src-%d-%d", g, i), ID: 1})
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Few enough generations that nothing inserted above goes idle.
+		d.sweepIdle(3)
+		d.sweepIdle(3)
+	}()
+	wg.Wait()
+	// 3200 distinct sources through a 1024-capacity cache: every shard
+	// stays at or under its slice of the capacity.
+	if got, max := d.len(), 1024+dedupMaxShards; got > max {
+		t.Fatalf("cache tracks %d sources, want <= %d", got, max)
+	}
+	if d.len() == 0 {
+		t.Fatal("cache empty after load")
+	}
+	// After enough idle generations, everything is pruned.
+	for i := 0; i < 4; i++ {
+		d.sweepIdle(3)
+	}
+	if d.len() != 0 {
+		t.Fatalf("cache holds %d sources after idle sweeps, want 0", d.len())
+	}
+}

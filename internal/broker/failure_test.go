@@ -222,7 +222,7 @@ func TestStaleAdvertisementsPruned(t *testing.T) {
 			}
 		}
 	}()
-	adv := subAdvEvent(advAdd, "/stale/t", "fake-peer", 1)
+	adv := subAdvEvent(advAdd, "/stale/t", "fake-peer", 1, 0)
 	if err := client.Send(adv); err != nil {
 		t.Fatal(err)
 	}

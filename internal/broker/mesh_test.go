@@ -266,15 +266,17 @@ func TestMeshPartitionHealResync(t *testing.T) {
 	}
 }
 
-// TestMeshTTLLoopGuard3Cycle: on a 3-broker cyclic client-server mesh,
-// an event reaches every subscriber exactly once — the origin-armed
-// duplicate suppression (with the TTL decrement as backstop) kills the
-// loop, and the redundant ring arrivals land in the dup counters
-// instead of client queues.
+// TestMeshTTLLoopGuard3Cycle: on a 3-broker cyclic client-server mesh
+// in MeshFlood mode, an event reaches every subscriber exactly once —
+// the origin-armed duplicate suppression (with the TTL decrement as
+// backstop) kills the loop, and the redundant ring arrivals land in the
+// dup counters instead of client queues. (Routed mode never produces
+// the redundant copies in the first place; this exercises the safety
+// net the ablation knob falls back to.)
 func TestMeshTTLLoopGuard3Cycle(t *testing.T) {
-	b1 := newTestBroker(t, "c1")
-	b2 := newTestBroker(t, "c2")
-	b3 := newTestBroker(t, "c3")
+	b1 := newTestBrokerCfg(t, Config{ID: "c1", MeshFlood: true})
+	b2 := newTestBrokerCfg(t, Config{ID: "c2", MeshFlood: true})
+	b3 := newTestBrokerCfg(t, Config{ID: "c3", MeshFlood: true})
 	linkBrokers(t, b1, b2)
 	linkBrokers(t, b2, b3)
 	linkBrokers(t, b3, b1)

@@ -33,6 +33,7 @@ const (
 	topicSubAdv = "/_nb/subadv" // broker-broker subscription advertisement
 	topicPing   = "/_nb/ping"   // keepalive
 	topicPeerHB = "/_nb/peerhb" // mesh-link heartbeat (partition detection)
+	topicCredit = "/_nb/credit" // mesh-link flow-control consumption grant
 )
 
 // Control headers.
@@ -46,6 +47,7 @@ const (
 	hdrRSeq    = "rseq"    // reliable delivery sequence number
 	hdrMode    = "mode"    // routing mode carried on peer hello
 	hdrMesh    = "mesh"    // mesh identity carried on peer hello
+	hdrHops    = "hops"    // advertiser's hop distance to the origin broker
 )
 
 // Profile selects the delivery guarantees of a subscription.
@@ -140,14 +142,30 @@ const (
 	advRemove advOp = "remove"
 )
 
-func subAdvEvent(op advOp, pattern, origin string, seq uint64) *event.Event {
+// subAdvEvent builds a subscription advertisement. hops is the sender's
+// own hop distance to the origin broker (0 when the sender is the
+// origin); receivers cost the pattern at hops+1 via the link it arrived
+// on, which is what routed forwarding's cheapest-next-hop tables are
+// built from.
+func subAdvEvent(op advOp, pattern, origin string, seq uint64, hops int) *event.Event {
 	e := event.New(topicSubAdv, event.KindControl, nil)
 	e.Headers = map[string]string{
 		hdrOp:      string(op),
 		hdrPattern: pattern,
 		hdrOrigin:  origin,
 		hdrSeq:     strconv.FormatUint(seq, 10),
+		hdrHops:    strconv.Itoa(hops),
 	}
+	return e
+}
+
+// creditEvent builds a flow-control grant carrying the receiver's
+// cumulative count of consumed best-effort data events for this link.
+// The sender subtracts it from its staged count to size the in-flight
+// window (see session.creditAdmit).
+func creditEvent(cum uint64) *event.Event {
+	e := event.New(topicCredit, event.KindControl, nil)
+	e.Headers = map[string]string{hdrSeq: strconv.FormatUint(cum, 10)}
 	return e
 }
 

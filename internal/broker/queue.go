@@ -63,6 +63,20 @@ type sendQueue struct {
 	ackCum        uint64
 	acksCoalesced uint64
 
+	// The pending flow-control grant slot, the credit twin of the ack
+	// slot: grants are cumulative consumption counts, so only the newest
+	// matters and later grants overwrite rather than append. Riding a
+	// dedicated slot (drained ahead of both lanes) means a grant can
+	// never be displaced out of the best-effort ring by the very
+	// congestion it exists to relieve.
+	creditDue bool
+	creditCum uint64
+
+	// beDataEvicted counts best-effort *data* items displaced from the
+	// ring (control items excluded). The credit window subtracts it from
+	// the staged count so events shed locally never pin remote credit.
+	beDataEvicted atomic.Uint64
+
 	// pushLocks counts producer-side mutex acquisitions. It instruments
 	// the batching contract — a burst fanned to a session costs one lock
 	// acquisition (pushBatch), not one per event — and is asserted by
@@ -116,6 +130,9 @@ func (q *sendQueue) pushBestEffort(e *event.Event, frame *event.Frame) bool {
 func (q *sendQueue) appendBestEffortLocked(it outItem) (dropped bool) {
 	if q.beLen == len(q.be) {
 		// Drop oldest.
+		if old := q.be[q.beHead]; old.e != nil && !isControlTopic(old.e.Topic) {
+			q.beDataEvicted.Add(1)
+		}
 		q.be[q.beHead] = outItem{}
 		q.beHead = (q.beHead + 1) % len(q.be)
 		q.beLen--
@@ -181,6 +198,32 @@ func (q *sendQueue) takeAckLocked() outItem {
 	return outItem{e: ackEvent(q.ackCum), reliable: true}
 }
 
+// pushCredit deposits a cumulative flow-control grant in the pending
+// slot, overwriting any grant already waiting there.
+func (q *sendQueue) pushCredit(cum uint64) {
+	q.pushLocks.Add(1)
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.creditDue = true
+	if cum > q.creditCum {
+		q.creditCum = cum
+	}
+	q.mu.Unlock()
+	q.signal()
+}
+
+// takeCreditLocked drains the pending-grant slot into an outItem.
+// Callers hold q.mu and have checked q.creditDue. The item is marked
+// reliable only so the writer flushes it immediately — timely grants
+// are what keep a healthy link's window open.
+func (q *sendQueue) takeCreditLocked() outItem {
+	q.creditDue = false
+	return outItem{e: creditEvent(q.creditCum), reliable: true}
+}
+
 // pushReliable enqueues e on the never-dropped lane.
 func (q *sendQueue) pushReliable(e *event.Event) {
 	q.pushItem(outItem{e: e, reliable: true})
@@ -207,6 +250,9 @@ func (q *sendQueue) tryPop() (outItem, popState) {
 	defer q.mu.Unlock()
 	if q.ackDue {
 		return q.takeAckLocked(), popOK
+	}
+	if q.creditDue {
+		return q.takeCreditLocked(), popOK
 	}
 	if len(q.rel) > 0 {
 		it := q.rel[0]
@@ -237,6 +283,10 @@ func (q *sendQueue) popBatch(buf []outItem, max int) ([]outItem, popState) {
 	n := 0
 	if n < max && q.ackDue {
 		buf = append(buf, q.takeAckLocked())
+		n++
+	}
+	if n < max && q.creditDue {
+		buf = append(buf, q.takeCreditLocked())
 		n++
 	}
 	for n < max && len(q.rel) > 0 {
@@ -302,6 +352,10 @@ func (q *sendQueue) dropCount() uint64 {
 	defer q.mu.Unlock()
 	return q.drops
 }
+
+// dataEvictedCount returns how many best-effort data events were
+// displaced from the ring (lock-free; read by the credit admit path).
+func (q *sendQueue) dataEvictedCount() uint64 { return q.beDataEvicted.Load() }
 
 // depth returns the total queued events (both lanes).
 func (q *sendQueue) depth() int {

@@ -174,8 +174,11 @@ type frameSource struct {
 	e      *event.Event
 	f      *event.Frame
 	rf     *event.Frame // rseq-slot encoding for the reliable plane
+	mf     *event.Frame // mask-slot encoding shared by routed peer copies
 	parent *frameSource
 	ttl    uint8
+	mask   uint64
+	masked bool
 }
 
 func newFrameSource(e *event.Event) *frameSource {
@@ -187,27 +190,61 @@ func (fs *frameSource) derive(ttl uint8) *frameSource {
 	return &frameSource{parent: fs, ttl: ttl}
 }
 
+// deriveMasked returns the per-link copy for routed peer forwarding: the
+// event shallow-copied with the forwarded TTL and the link's serve-mask,
+// plus a source whose frame is an 8-byte mask patch on the parent's
+// shared mask-slot encoding (one marshal per event, one memmove per
+// link).
+func (fs *frameSource) deriveMasked(ttl uint8, mask uint64) (*event.Event, *frameSource) {
+	c := *fs.e
+	c.TTL = ttl
+	c.Mask = mask
+	return &c, &frameSource{e: &c, parent: fs, ttl: ttl, mask: mask, masked: true}
+}
+
 // frame returns the shared encoded frame, encoding on first use.
 func (fs *frameSource) frame() *event.Frame {
 	if fs.f == nil {
-		if fs.parent != nil {
+		switch {
+		case fs.masked:
+			fs.f = fs.parent.maskFrame(fs.ttl).WithMask(fs.mask)
+		case fs.parent != nil:
 			fs.f = fs.parent.frame().WithTTL(fs.ttl)
-		} else {
+		default:
 			fs.f = event.NewFrame(fs.e)
 		}
 	}
 	return fs.f
 }
 
+// maskFrame returns the shared mask-slot encoding of the root event at
+// the forwarded TTL, encoding on first use. Every routed peer copy of
+// one event patches this single buffer.
+func (fs *frameSource) maskFrame(ttl uint8) *event.Frame {
+	if fs.mf == nil {
+		c := *fs.e
+		c.TTL = ttl
+		if c.Mask == 0 {
+			c.Mask = ^uint64(0) // placeholder; always patched per link
+		}
+		fs.mf = event.NewFrame(&c)
+	}
+	return fs.mf
+}
+
 // reliableFrame returns the shared rseq-slot encoding, encoding on first
 // use. Fan-out to K framed targets performs one marshal here; each
 // target then derives an 8-byte-patched copy (Frame.WithRSeq) instead of
-// a clone+marshal.
+// a clone+marshal. Masked sources encode per link — their masks differ,
+// and reliable mesh traffic is sparse signalling.
 func (fs *frameSource) reliableFrame() *event.Frame {
 	if fs.rf == nil {
-		if fs.parent != nil {
+		switch {
+		case fs.masked:
+			fs.rf = event.NewFrameWithRSeqSlot(fs.e)
+		case fs.parent != nil:
 			fs.rf = fs.parent.reliableFrame().WithTTL(fs.ttl)
-		} else {
+		default:
 			fs.rf = event.NewFrameWithRSeqSlot(fs.e)
 		}
 	}
@@ -242,6 +279,14 @@ type routeSweep struct {
 	lastOK      bool
 	topics      map[string][]*session
 
+	// Per-burst mesh-plan memo, mirroring the target memo: one plan
+	// resolution per topic per burst (nil is a valid, memoized result —
+	// unplanned topics fall back to unmasked forwarding).
+	lastPlanTopic string
+	lastPlan      *topicPlan
+	lastPlanOK    bool
+	plans         map[string]*topicPlan
+
 	// Per-session staging, index-stable within a sweep so the item
 	// slices are reused burst to burst. A session's index lives in its
 	// generation-stamped stageSlot — the per-event path is an atomic
@@ -257,9 +302,10 @@ type routeSweep struct {
 
 	peersServed []*session // per-event scratch for the p2p flood
 
-	// matchFn/deliverFn are matchMemo/deliverStaged bound once so the
-	// per-event routeOne call does not allocate method values.
+	// matchFn/planFn/deliverFn are matchMemo/planMemo/deliverStaged bound
+	// once so the per-event routeOne call does not allocate method values.
 	matchFn   func(string) []*session
+	planFn    planFn
 	deliverFn deliverFn
 }
 
@@ -268,10 +314,12 @@ func (b *Broker) newRouteSweep() *routeSweep {
 	rs := &routeSweep{
 		b:      b,
 		topics: make(map[string][]*session),
+		plans:  make(map[string]*topicPlan),
 		idx:    make(map[*session]int),
 		gen:    sweepGenCounter.Add(1),
 	}
 	rs.matchFn = rs.matchMemo
+	rs.planFn = rs.planMemo
 	rs.deliverFn = rs.deliverStaged
 	return rs
 }
@@ -288,6 +336,21 @@ func (rs *routeSweep) matchMemo(topic string) []*session {
 	}
 	rs.lastTopic, rs.lastTargets, rs.lastOK = topic, targets, true
 	return targets
+}
+
+// planMemo resolves the mesh forwarding plan for a topic at most once
+// per burst.
+func (rs *routeSweep) planMemo(topic string) *topicPlan {
+	if rs.lastPlanOK && topic == rs.lastPlanTopic {
+		return rs.lastPlan
+	}
+	p, ok := rs.plans[topic]
+	if !ok {
+		p = rs.b.planFor(topic)
+		rs.plans[topic] = p
+	}
+	rs.lastPlanTopic, rs.lastPlan, rs.lastPlanOK = topic, p, true
+	return p
 }
 
 // stage queues one best-effort item for t in the sweep's pending batch.
@@ -345,7 +408,7 @@ func (rs *routeSweep) deliverStaged(t *session, e *event.Event, fs *frameSource)
 // burst.
 func (rs *routeSweep) routeBatch(events []*event.Event, from *session) {
 	for _, e := range events {
-		rs.peersServed = rs.b.routeOne(e, from, rs.matchFn, rs.deliverFn, rs.peersServed)
+		rs.peersServed = rs.b.routeOne(e, from, rs.matchFn, rs.planFn, rs.deliverFn, rs.peersServed)
 	}
 	rs.finish()
 }
@@ -361,6 +424,9 @@ func (rs *routeSweep) finish() {
 		}
 		if dropped := t.queue.pushBatch(items); dropped > 0 {
 			b.ctr.queueDrops.Add(uint64(dropped))
+			if t.linkDropCtr != nil {
+				t.linkDropCtr.Add(uint64(dropped))
+			}
 		}
 		// Clear staged references so the reused buffers never pin events.
 		clear(items)
@@ -375,6 +441,10 @@ func (rs *routeSweep) finish() {
 	rs.lastOK = false
 	rs.lastTargets = nil
 	rs.lastTopic = ""
+	clear(rs.plans)
+	rs.lastPlanOK = false
+	rs.lastPlan = nil
+	rs.lastPlanTopic = ""
 	clear(rs.peersServed)
 	rs.peersServed = rs.peersServed[:0]
 }

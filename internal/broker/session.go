@@ -89,11 +89,12 @@ type session struct {
 	// partition detection; attach reads it to judge link freshness.
 	lastRecv atomic.Int64
 
-	// fwdCtr/dupCtr are the per-peer-link instruments
-	// (broker.peer.<id>.forwarded / .dup_dropped), resolved once at
-	// attach for peer sessions; nil otherwise.
-	fwdCtr *metrics.Counter
-	dupCtr *metrics.Counter
+	// fwdCtr/dupCtr/linkDropCtr are the per-peer-link instruments
+	// (broker.peer.<id>.forwarded / .dup_dropped / .queue_drops),
+	// resolved once at attach for peer sessions; nil otherwise.
+	fwdCtr      *metrics.Counter
+	dupCtr      *metrics.Counter
+	linkDropCtr *metrics.Counter
 
 	wg        sync.WaitGroup
 	closeOnce sync.Once
@@ -130,12 +131,44 @@ type session struct {
 	stageSlot atomic.Uint64
 
 	// remotePatterns is peer-link soft state: pattern → origin broker →
-	// last refresh time. Guarded by the broker mutex.
-	remotePatterns map[string]map[string]time.Time
+	// advertisement entry (refresh time + the peer's advertised hop
+	// distance to that origin). Guarded by the broker mutex.
+	remotePatterns map[string]map[string]advEntry
+
+	// routedPatterns tracks which patterns this peer session currently
+	// occupies in the routing trie — in routed mode the chosen-next-hop
+	// subset of remotePatterns, in flood mode every advertised pattern.
+	// Guarded by the broker mutex.
+	routedPatterns map[string]struct{}
 
 	// localPatterns tracks a client's own subscriptions so disconnect can
 	// release refcounts. Guarded by the broker mutex.
 	localPatterns map[string]struct{}
+
+	// Credit flow control (peer links only; creditWindow 0 disables).
+	// Sender side: staged best-effort data is admitted while
+	//   creditSent - queue.dataEvicted - creditConsumed < creditWindow,
+	// where creditConsumed is refilled by the remote's cumulative grants —
+	// so a link whose receiver stops draining pushes back at the stage
+	// point (shedding counted in credit_stalls) instead of churning the
+	// send queue until overflow sheds blindly.
+	creditWindow   int
+	creditSent     atomic.Uint64
+	creditConsumed atomic.Uint64
+	creditStallCtr *metrics.Counter
+	// Receiver side (readLoop-owned, unsynchronized): consumed best-effort
+	// data events since attach, and the count last granted to the remote.
+	creditQuantum int
+	creditRecvd   uint64
+	creditGranted uint64
+}
+
+// advEntry is one (pattern, origin) advertisement received on a peer
+// link: when it was last refreshed and the peer's own hop distance to
+// the origin (this broker's cost via the link is hops+1).
+type advEntry struct {
+	last time.Time
+	hops int
 }
 
 func newSession(b *Broker, conn transport.Conn, id string, isPeer bool) *session {
@@ -150,11 +183,59 @@ func newSession(b *Broker, conn transport.Conn, id string, isPeer bool) *session
 		closedCh:       make(chan struct{}),
 		unacked:        make(map[uint64]*relEntry),
 		ahead:          make(map[uint64]struct{}),
-		remotePatterns: make(map[string]map[string]time.Time),
+		remotePatterns: make(map[string]map[string]advEntry),
+		routedPatterns: make(map[string]struct{}),
 		localPatterns:  make(map[string]struct{}),
+	}
+	if isPeer && b.cfg.PeerCreditWindow > 0 {
+		s.creditWindow = b.cfg.PeerCreditWindow
+		s.creditQuantum = max(1, s.creditWindow/4)
 	}
 	s.lastRecv.Store(time.Now().UnixNano())
 	return s
+}
+
+// creditCharge reports whether one best-effort data event may be staged
+// on this link under its credit window — charging the window on admit,
+// so even within one staged burst the window is exact — and counts a
+// stall otherwise. Non-peer sessions and disabled windows always admit.
+func (s *session) creditCharge() bool {
+	if s.creditWindow <= 0 {
+		return true
+	}
+	outstanding := int64(s.creditSent.Load()) -
+		int64(s.queue.dataEvictedCount()) -
+		int64(s.creditConsumed.Load())
+	if outstanding < int64(s.creditWindow) {
+		s.creditSent.Add(1)
+		return true
+	}
+	if s.creditStallCtr != nil {
+		s.creditStallCtr.Inc()
+	}
+	return false
+}
+
+// noteConsumed records n inbound best-effort data events consumed from
+// this peer link and pushes a cumulative grant to the remote once a
+// quantum (window/4) has accumulated. readLoop-only.
+func (s *session) noteConsumed(n int) {
+	if n == 0 || s.creditQuantum <= 0 {
+		return
+	}
+	s.creditRecvd += uint64(n)
+	if s.creditRecvd-s.creditGranted >= uint64(s.creditQuantum) {
+		s.creditGranted = s.creditRecvd
+		s.queue.pushCredit(s.creditRecvd)
+	}
+}
+
+// noteCreditGrant applies a cumulative consumption grant from the
+// remote. Grants only ever move the floor forward.
+func (s *session) noteCreditGrant(cum uint64) {
+	if cum > s.creditConsumed.Load() {
+		s.creditConsumed.Store(cum)
+	}
 }
 
 // lastRecvTime returns when the session last saw inbound traffic.
@@ -177,12 +258,15 @@ func (s *session) start() {
 // conns; callers on the fan-out path pass one frameSource for the whole
 // target set.
 func (s *session) deliver(e *event.Event, fs *frameSource) {
-	if s.fwdCtr != nil {
-		s.fwdCtr.Inc()
-	}
 	if e.Reliable {
+		if s.fwdCtr != nil {
+			s.fwdCtr.Inc()
+		}
 		s.sendReliableFrom(e, fs)
 		return
+	}
+	if s.fwdCtr != nil {
+		s.fwdCtr.Inc()
 	}
 	var f *event.Frame
 	if s.framed && fs != nil {
@@ -190,6 +274,9 @@ func (s *session) deliver(e *event.Event, fs *frameSource) {
 	}
 	if !s.queue.pushBestEffort(e, f) {
 		s.b.ctr.queueDrops.Inc()
+		if s.linkDropCtr != nil {
+			s.linkDropCtr.Inc()
+		}
 	}
 }
 
@@ -415,6 +502,9 @@ func (s *session) readLoop() {
 			case isControl:
 				s.handleControl(e)
 			default:
+				if !e.Reliable {
+					s.noteConsumed(1)
+				}
 				s.b.route(e, s)
 			}
 		}
@@ -445,6 +535,7 @@ func (s *session) readLoop() {
 		}
 		s.b.ctr.eventsIn.Add(uint64(len(events)))
 		ack = ackState{}
+		consumed := 0
 		for _, e := range events {
 			e, isControl := s.ingestPrepare(e, &ack)
 			switch {
@@ -453,10 +544,14 @@ func (s *session) readLoop() {
 				flush()
 				s.handleControl(e)
 			default:
+				if !e.Reliable {
+					consumed++
+				}
 				routable = append(routable, e)
 			}
 		}
 		flush()
+		s.noteConsumed(consumed)
 		if ack.due {
 			s.queue.pushAck(ack.cum)
 		}
@@ -537,6 +632,14 @@ func (s *session) handleControl(e *event.Event) {
 		// arrives, every prior request on this session has been applied.
 		// The echo rides the reliable machinery so it survives lossy links.
 		s.sendReliable(e)
+	case topicCredit:
+		// Flow-control grant: the remote reports its cumulative count of
+		// consumed best-effort data events, refilling our send window.
+		if s.isPeer {
+			if cum, err := headerUint(e, hdrSeq); err == nil {
+				s.noteCreditGrant(cum)
+			}
+		}
 	case topicPeerHB:
 		// Mesh heartbeat: answer pings best-effort (an idle link has queue
 		// room; a busy link keeps lastRecv fresh through data anyway) and

@@ -48,6 +48,11 @@ const (
 	// fixed trailing offset is what lets Frame.WithRSeq patch it per
 	// delivery target without re-marshalling.
 	flagRSeq = 1 << 2
+	// flagMask marks an encoding carrying a fixed 8-byte big-endian mesh
+	// serve-mask after the payload (before the rseq field when both are
+	// present). The fixed offset from the end lets Frame.WithMask patch
+	// the mask per mesh link without re-marshalling.
+	flagMask = 1 << 3
 )
 
 // AppendMarshal appends the wire encoding of e to dst and returns the
@@ -59,11 +64,13 @@ const (
 //	topicLen(varint) topic
 //	[nHeaders(varint) (kLen k vLen v)*]
 //	payloadLen(varint) payload
+//	[mask(8)]
 //	[rseq(8)]
 //
-// The trailing rseq field is emitted only when e.RSeq != 0; its fixed
-// position at the end of the frame makes per-target rseq rewrites an
-// 8-byte patch (see Frame.WithRSeq).
+// The trailing mask and rseq fields are emitted only when e.Mask != 0 /
+// e.RSeq != 0; their fixed positions relative to the end of the frame
+// make per-target rewrites an 8-byte patch (see Frame.WithRSeq and
+// Frame.WithMask).
 func AppendMarshal(dst []byte, e *Event) []byte {
 	marshalCalls.Add(1)
 	var flags byte
@@ -75,6 +82,9 @@ func AppendMarshal(dst []byte, e *Event) []byte {
 	}
 	if e.RSeq != 0 {
 		flags |= flagRSeq
+	}
+	if e.Mask != 0 {
+		flags |= flagMask
 	}
 	dst = append(dst, wireMagic, wireVersion, byte(e.Kind), e.TTL, flags)
 	dst = binary.BigEndian.AppendUint64(dst, e.ID)
@@ -90,6 +100,9 @@ func AppendMarshal(dst []byte, e *Event) []byte {
 	}
 	dst = binary.AppendUvarint(dst, uint64(len(e.Payload)))
 	dst = append(dst, e.Payload...)
+	if flags&flagMask != 0 {
+		dst = binary.BigEndian.AppendUint64(dst, e.Mask)
+	}
 	if flags&flagRSeq != 0 {
 		dst = binary.BigEndian.AppendUint64(dst, e.RSeq)
 	}
@@ -231,6 +244,13 @@ func consume(b []byte, in *Interner) (*Event, []byte, error) {
 		e.Payload = b[:plen:plen]
 	}
 	b = b[plen:]
+	if flags&flagMask != 0 {
+		if len(b) < 8 {
+			return nil, nil, fmt.Errorf("event: reading mask: %w", ErrTruncated)
+		}
+		e.Mask = binary.BigEndian.Uint64(b[:8])
+		b = b[8:]
+	}
 	if flags&flagRSeq != 0 {
 		if len(b) < 8 {
 			return nil, nil, fmt.Errorf("event: reading rseq: %w", ErrTruncated)

@@ -83,6 +83,15 @@ type Event struct {
 	// sessions patches 8 bytes per target (Frame.WithRSeq) instead of
 	// cloning and re-marshalling per target.
 	RSeq uint64
+	// Mask is the mesh serve-mask: on a copy forwarded between brokers it
+	// names (as hashed origin bits) which downstream subscriber origins
+	// this copy is responsible for, so routed dissemination follows one
+	// spanning tree instead of every equal-cost path. 0 — the value on
+	// all client-facing traffic — means unconstrained (serve every
+	// matching origin). Like RSeq it rides a fixed trailing wire field,
+	// so per-link re-masking is an 8-byte patch (Frame.WithMask), not a
+	// re-marshal.
+	Mask uint64
 }
 
 // New returns an event for topic with the given kind and payload,

@@ -97,3 +97,43 @@ func (f *Frame) WithRSeq(rseq uint64) *Frame {
 	binary.BigEndian.PutUint64(b[len(b)-8:], rseq)
 	return &Frame{b: b}
 }
+
+// HasMaskSlot reports whether the frame carries a mesh serve-mask field.
+func (f *Frame) HasMaskSlot() bool { return f.b[flagsOffset]&flagMask != 0 }
+
+// maskOffset returns the byte offset of the mask field, which sits at the
+// end of the frame except when an rseq field follows it.
+func (f *Frame) maskOffset() int {
+	off := len(f.b) - 8
+	if f.b[flagsOffset]&flagRSeq != 0 {
+		off -= 8
+	}
+	return off
+}
+
+// Mask returns the mesh serve-mask, 0 when absent.
+func (f *Frame) Mask() uint64 {
+	if !f.HasMaskSlot() {
+		return 0
+	}
+	return binary.BigEndian.Uint64(f.b[f.maskOffset():])
+}
+
+// WithMask returns a frame identical to f except for the mesh serve-mask
+// field, which must be present (encode the event with a non-zero Mask).
+// If the mask already matches, f itself is returned; otherwise the buffer
+// is copied once and 8 bytes are patched, so staging one forwarded copy
+// per mesh link is a memmove per link, not an encode per link.
+func (f *Frame) WithMask(mask uint64) *Frame {
+	if !f.HasMaskSlot() {
+		panic("event: WithMask on a frame without a mask slot")
+	}
+	off := f.maskOffset()
+	if binary.BigEndian.Uint64(f.b[off:]) == mask {
+		return f
+	}
+	b := make([]byte, len(f.b))
+	copy(b, f.b)
+	binary.BigEndian.PutUint64(b[off:], mask)
+	return &Frame{b: b}
+}

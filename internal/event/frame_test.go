@@ -137,3 +137,80 @@ func TestFrameFromBytes(t *testing.T) {
 		t.Fatalf("TTL = %d, want %d", f.TTL(), e.TTL)
 	}
 }
+
+func TestMaskWireRoundTrip(t *testing.T) {
+	e := frameEvent()
+	e.Mask = 0x8000000000000001
+	got, err := Unmarshal(Marshal(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mask != e.Mask {
+		t.Fatalf("Mask = %#x, want %#x", got.Mask, e.Mask)
+	}
+	// Mask and trailing rseq coexist: mask sits before the rseq tail.
+	e.Reliable = true
+	e.RSeq = 0xCAFE
+	got, err = Unmarshal(Marshal(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mask != e.Mask || got.RSeq != e.RSeq {
+		t.Fatalf("mask+rseq decode: mask %#x rseq %#x, want %#x %#x",
+			got.Mask, got.RSeq, e.Mask, e.RSeq)
+	}
+	// An unconstrained (zero) mask costs nothing on the wire.
+	e.Mask, e.Reliable, e.RSeq = 0, false, 0
+	if got, err = Unmarshal(Marshal(e)); err != nil || got.Mask != 0 {
+		t.Fatalf("zero-mask decode: %v mask %#x", err, got.Mask)
+	}
+}
+
+func TestFrameMaskPatch(t *testing.T) {
+	e := frameEvent()
+	e.Mask = ^uint64(0) // placeholder: encode the slot, patch per link
+	f := NewFrame(e)
+	if !f.HasMaskSlot() {
+		t.Fatal("masked frame has no mask slot")
+	}
+	before := MarshalCalls()
+	a := f.WithMask(0b101)
+	if d := MarshalCalls() - before; d != 0 {
+		t.Fatalf("WithMask marshalled %d times, want 0", d)
+	}
+	if a.Mask() != 0b101 || f.Mask() != ^uint64(0) {
+		t.Fatalf("patch leaked: a=%#x f=%#x", a.Mask(), f.Mask())
+	}
+	ae, err := a.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ae.Mask != 0b101 || ae.Topic != e.Topic || !bytes.Equal(ae.Payload, e.Payload) {
+		t.Fatalf("patched decode mismatch: %+v", ae)
+	}
+	if f.WithMask(^uint64(0)) != f {
+		t.Fatal("WithMask with the same mask should return the receiver")
+	}
+
+	// With a trailing rseq slot, the mask patch lands before the rseq
+	// bytes and WithRSeq still patches the tail.
+	e.Reliable = true
+	rf := NewFrameWithRSeqSlot(e)
+	g := rf.WithMask(7).WithRSeq(42)
+	ge, err := g.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge.Mask != 7 || ge.RSeq != 42 {
+		t.Fatalf("mask+rseq patch: mask %#x rseq %d, want 7 42", ge.Mask, ge.RSeq)
+	}
+
+	// Frames without the slot refuse the patch loudly.
+	plain := NewFrame(frameEvent())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithMask on a slot-less frame did not panic")
+		}
+	}()
+	plain.WithMask(1)
+}
