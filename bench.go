@@ -517,3 +517,105 @@ func RunCapacity(opt CapacityOptions) (*CapacityReport, error) {
 		Elapsed:      res.Elapsed,
 	}, nil
 }
+
+// ReplayOptions parameterises the durable-topic-log benchmark: a live
+// fan-out control, the same load with the topic recorded (the
+// recording tax), a replay fan-out where N late joiners drain a
+// prefilled log, and a catch-up cell where a joiner starts a lag's
+// worth of history behind a paced live publisher. Zero values run the
+// defaults.
+type ReplayOptions struct {
+	// Subscribers is the fan-out width (default 16).
+	Subscribers int
+	// Publishers drive the live cells (default 2).
+	Publishers int
+	// PayloadBytes sizes each event payload (default 256).
+	PayloadBytes int
+	// Prefill is the recorded history the replay fan-out cell drains
+	// (default 50000 events).
+	Prefill int
+	// Warmup precedes each live window (default 300ms).
+	Warmup time.Duration
+	// Duration is the live cells' measurement window (default 1s).
+	Duration time.Duration
+	// CatchupLag is how far behind the catch-up joiner starts (default
+	// 10s); CatchupRate is the paced live publish rate it must outrun
+	// (default 20000 events/sec).
+	CatchupLag  time.Duration
+	CatchupRate int
+	// Transport selects the subscribers' links in every cell — live,
+	// recorded and replay alike, so the replay-vs-live ratio compares
+	// the same delivery path: "tcp" (default) or "mem".
+	Transport string
+}
+
+// ReplayReport is the outcome of one replay benchmark run. Fields
+// carry JSON tags so reports can be committed as machine-readable
+// baselines.
+type ReplayReport struct {
+	Subscribers  int    `json:"subscribers"`
+	Publishers   int    `json:"publishers"`
+	PayloadBytes int    `json:"payload_bytes"`
+	Prefill      int    `json:"prefill"`
+	Transport    string `json:"transport"`
+	// LivePerSec is delivered events/sec with recording off;
+	// RecordedLivePerSec the same load recorded; RecordOverheadPct the
+	// recording tax between them.
+	LivePerSec         float64 `json:"live_per_sec"`
+	RecordedLivePerSec float64 `json:"recorded_live_per_sec"`
+	RecordOverheadPct  float64 `json:"record_overhead_pct"`
+	// RecordedPerSec is the log append rate under the recorded live
+	// load.
+	RecordedPerSec float64 `json:"recorded_per_sec"`
+	// ReplayPerSec is the total replay delivery rate across all joiners
+	// draining the prefilled log; ReplayVsLive compares it with the
+	// live control.
+	ReplayPerSec float64 `json:"replay_per_sec"`
+	ReplayVsLive float64 `json:"replay_vs_live"`
+	// Catch-up cell: the joiner started CatchupEvents (CatchupLagSec of
+	// traffic at CatchupLiveRps) behind and reached the live tail in
+	// CatchupSec, draining history at CatchupPerSec.
+	CatchupLagSec  float64 `json:"catchup_lag_sec"`
+	CatchupEvents  int     `json:"catchup_events"`
+	CatchupSec     float64 `json:"catchup_sec"`
+	CatchupPerSec  float64 `json:"catchup_per_sec"`
+	CatchupLiveRps int     `json:"catchup_live_rate"`
+}
+
+// RunReplay measures the durable topic log end to end: the recording
+// tax on live fan-out, replay fan-out bandwidth for late joiners, and
+// how long a lagging joiner takes to catch up to a live publisher.
+func RunReplay(opt ReplayOptions) (*ReplayReport, error) {
+	res, err := bench.RunReplay(bench.ReplayConfig{
+		Subscribers:  opt.Subscribers,
+		Publishers:   opt.Publishers,
+		PayloadBytes: opt.PayloadBytes,
+		Prefill:      opt.Prefill,
+		Warmup:       opt.Warmup,
+		Duration:     opt.Duration,
+		CatchupLag:   opt.CatchupLag,
+		CatchupRate:  opt.CatchupRate,
+		Transport:    opt.Transport,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ReplayReport{
+		Subscribers:        res.Subscribers,
+		Publishers:         res.Publishers,
+		PayloadBytes:       res.PayloadBytes,
+		Prefill:            res.Prefill,
+		Transport:          res.Transport,
+		LivePerSec:         res.LivePerSec,
+		RecordedLivePerSec: res.RecordedLivePerSec,
+		RecordOverheadPct:  res.RecordOverheadPct,
+		RecordedPerSec:     res.RecordedPerSec,
+		ReplayPerSec:       res.ReplayPerSec,
+		ReplayVsLive:       res.ReplayVsLive,
+		CatchupLagSec:      res.CatchupLagSec,
+		CatchupEvents:      res.CatchupEvents,
+		CatchupSec:         res.CatchupSec,
+		CatchupPerSec:      res.CatchupPerSec,
+		CatchupLiveRps:     res.CatchupLiveRps,
+	}, nil
+}

@@ -62,6 +62,20 @@ type BrokerConfig struct {
 	// peer link before the sender sheds instead of staging (default
 	// QueueDepth/2, min 64; negative disables flow control).
 	PeerCreditWindow int
+	// RecordPatterns are topic patterns this broker records to durable
+	// topic logs for replay (see internal/topiclog). Empty disables
+	// recording.
+	RecordPatterns []string
+	// RecordDir is the root directory for topic logs (empty = a
+	// per-broker default under the OS temp dir).
+	RecordDir string
+	// RecordSegmentBytes caps one log segment before roll (0 = 4 MiB).
+	RecordSegmentBytes int64
+	// RecordMaxSegments / RecordMaxBytes bound each log's retention;
+	// oldest segments are reaped past either, except segments an active
+	// replay cursor still reads (0 = unbounded).
+	RecordMaxSegments int
+	RecordMaxBytes    int64
 }
 
 // NewBroker creates a standalone broker. mode 0 defaults to
@@ -75,17 +89,22 @@ func NewBrokerWithConfig(id string, mode BrokerMode, cfg BrokerConfig) *Broker {
 	m := NewMetrics()
 	return &Broker{
 		b: broker.New(broker.Config{
-			ID:               id,
-			Mode:             broker.Mode(mode),
-			QueueDepth:       cfg.QueueDepth,
-			RouteShards:      cfg.RouteShards,
-			MaxBatchBytes:    cfg.MaxBatchBytes,
-			FlushInterval:    cfg.FlushInterval,
-			IngestBurst:      cfg.IngestBurst,
-			MeshID:           cfg.MeshID,
-			MeshFlood:        cfg.MeshFlood,
-			PeerCreditWindow: cfg.PeerCreditWindow,
-			Metrics:          m.reg,
+			ID:                 id,
+			Mode:               broker.Mode(mode),
+			QueueDepth:         cfg.QueueDepth,
+			RouteShards:        cfg.RouteShards,
+			MaxBatchBytes:      cfg.MaxBatchBytes,
+			FlushInterval:      cfg.FlushInterval,
+			IngestBurst:        cfg.IngestBurst,
+			MeshID:             cfg.MeshID,
+			MeshFlood:          cfg.MeshFlood,
+			PeerCreditWindow:   cfg.PeerCreditWindow,
+			RecordPatterns:     cfg.RecordPatterns,
+			RecordDir:          cfg.RecordDir,
+			RecordSegmentBytes: cfg.RecordSegmentBytes,
+			RecordMaxSegments:  cfg.RecordMaxSegments,
+			RecordMaxBytes:     cfg.RecordMaxBytes,
+			Metrics:            m.reg,
 		}),
 		metrics: m,
 	}

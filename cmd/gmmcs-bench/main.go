@@ -16,6 +16,10 @@
 //   - "-exp mesh": cross-mesh fan-out over a ring of federated brokers
 //     (supervised peer links, loop-guarded cyclic topology) versus the
 //     single-broker control.
+//   - "-exp replay": the durable topic log — recording tax on live
+//     fan-out, replay fan-out bandwidth for late joiners, and catch-up
+//     time for a joiner starting a lag's worth of history behind a
+//     paced live publisher.
 //
 // Full paper-scale runs take a few minutes (they are paced in real time
 // like the original testbed); -scale shrinks them for a quick look, and
@@ -43,7 +47,7 @@ func main() {
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "fig3", "experiment: fig3, audiocap, videocap, fanout, pubpath, ingest, mesh, all")
+		exp    = flag.String("exp", "fig3", "experiment: fig3, audiocap, videocap, fanout, pubpath, ingest, mesh, replay, all")
 		scale  = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper scale)")
 		outDir = flag.String("out", "bench-out", "directory for TSV series dumps")
 		subs   = flag.Int("fanout-subs", 64, "fanout/ingest: subscriber count")
@@ -52,6 +56,12 @@ func run() error {
 		window = flag.Duration("ingest-window", 2*time.Second, "ingest: steady-state measurement window")
 		topo   = flag.String("mesh-topology", "ring", "mesh: peer-link topology (ring, star, full)")
 		short  = flag.Bool("short", false, "shrink runs for a quick (or CI) look")
+
+		replaySubs    = flag.Int("replay-subs", 16, "replay: late-joiner fan-out width")
+		replayPrefill = flag.Int("replay-prefill", 50000, "replay: recorded history the joiners drain")
+		catchupLag    = flag.Duration("replay-catchup-lag", 10*time.Second, "replay: how far behind the catch-up joiner starts")
+		catchupRate   = flag.Int("replay-catchup-rate", 20000, "replay: paced live publish rate the joiner must outrun (events/sec)")
+		replayTrans   = flag.String("replay-transport", "tcp", "replay: subscriber transport in every cell (tcp, mem)")
 	)
 	flag.Parse()
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -62,6 +72,10 @@ func run() error {
 		*subs = min(*subs, 16)
 		*events = min(*events, 250)
 		*window = min(*window, 300*time.Millisecond)
+		*replaySubs = min(*replaySubs, 4)
+		*replayPrefill = min(*replayPrefill, 2000)
+		*catchupLag = min(*catchupLag, time.Second)
+		*catchupRate = min(*catchupRate, 5000)
 	}
 	switch *exp {
 	case "fig3":
@@ -78,6 +92,8 @@ func run() error {
 		return runIngest(*subs, *pubs, *window)
 	case "mesh":
 		return runMesh(*topo, *subs, *pubs, *window)
+	case "replay":
+		return runReplay(*replaySubs, *replayPrefill, *window, *catchupLag, *catchupRate, *replayTrans)
 	case "all":
 		if err := runFig3(*scale, *outDir); err != nil {
 			return err
@@ -97,7 +113,10 @@ func run() error {
 		if err := runIngest(*subs, *pubs, *window); err != nil {
 			return err
 		}
-		return runMesh(*topo, *subs, *pubs, *window)
+		if err := runMesh(*topo, *subs, *pubs, *window); err != nil {
+			return err
+		}
+		return runReplay(*replaySubs, *replayPrefill, *window, *catchupLag, *catchupRate, *replayTrans)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
@@ -148,6 +167,36 @@ func runMesh(topology string, subs, pubs int, window time.Duration) error {
 		reports = append(reports, res)
 	}
 	out, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+// runReplay measures the durable topic log — recording tax, replay
+// fan-out and catch-up — and prints the report as JSON (the format of
+// BENCH_broker.json's replay section).
+func runReplay(subs, prefill int, window, catchupLag time.Duration, catchupRate int, trans string) error {
+	fmt.Fprintf(os.Stderr, "=== Durable topic log: %d joiners x %d prefilled events over %s, %s live window, %s/%d ev/s catch-up ===\n",
+		subs, prefill, trans, window, catchupLag, catchupRate)
+	res, err := globalmmcs.RunReplay(globalmmcs.ReplayOptions{
+		Subscribers: subs,
+		Prefill:     prefill,
+		Duration:    window,
+		CatchupLag:  catchupLag,
+		CatchupRate: catchupRate,
+		Transport:   trans,
+	})
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "live %12.0f ev/s   recorded live %12.0f ev/s   overhead %5.1f%%   appended %12.0f ev/s\n",
+		res.LivePerSec, res.RecordedLivePerSec, res.RecordOverheadPct, res.RecordedPerSec)
+	fmt.Fprintf(os.Stderr, "replay fan-out %12.0f ev/s (%.2fx live)\n", res.ReplayPerSec, res.ReplayVsLive)
+	fmt.Fprintf(os.Stderr, "catch-up: %d events (%.1fs of history) drained in %.2fs (%.0f ev/s) against %d ev/s live\n",
+		res.CatchupEvents, res.CatchupLagSec, res.CatchupSec, res.CatchupPerSec, res.CatchupLiveRps)
+	out, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -41,6 +41,12 @@ func run() error {
 		burst  = flag.Int("ingest-burst", 0, "events decoded and routed per ingest sweep (0 = default 256, 1 = event-at-a-time)")
 		flood  = flag.Bool("mesh-flood", false, "flood every advertising peer link instead of routed spanning-tree forwarding")
 		credit = flag.Int("peer-credit-window", 0, "best-effort events in flight per peer link before sender-side shedding (0 = default queue-depth/2, negative = off)")
+
+		record         = flag.String("record", "", "comma-separated topic patterns to record to durable topic logs for replay")
+		recordDir      = flag.String("record-dir", "", "topic log root directory (empty = per-broker default under the OS temp dir)")
+		recordSegBytes = flag.Int64("record-segment-bytes", 0, "topic log segment size before roll (0 = default 4MiB)")
+		recordMaxSegs  = flag.Int("record-max-segments", 0, "retained segments per topic log before reaping (0 = unbounded)")
+		recordMaxBytes = flag.Int64("record-max-bytes", 0, "retained bytes per topic log before reaping (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -49,14 +55,19 @@ func run() error {
 		m = globalmmcs.BrokerPeerToPeer
 	}
 	b := globalmmcs.NewBrokerWithConfig(*id, m, globalmmcs.BrokerConfig{
-		QueueDepth:       *depth,
-		RouteShards:      *shards,
-		MaxBatchBytes:    *batch,
-		FlushInterval:    *flush,
-		IngestBurst:      *burst,
-		MeshID:           *meshID,
-		MeshFlood:        *flood,
-		PeerCreditWindow: *credit,
+		QueueDepth:         *depth,
+		RouteShards:        *shards,
+		MaxBatchBytes:      *batch,
+		FlushInterval:      *flush,
+		IngestBurst:        *burst,
+		MeshID:             *meshID,
+		MeshFlood:          *flood,
+		PeerCreditWindow:   *credit,
+		RecordPatterns:     splitList(*record),
+		RecordDir:          *recordDir,
+		RecordSegmentBytes: *recordSegBytes,
+		RecordMaxSegments:  *recordMaxSegs,
+		RecordMaxBytes:     *recordMaxBytes,
 	})
 	defer b.Stop()
 
@@ -66,6 +77,9 @@ func run() error {
 			return err
 		}
 		fmt.Printf("broker %s listening on %s (%s mode)\n", *id, addr, m)
+	}
+	for _, p := range splitList(*record) {
+		fmt.Printf("recording %s\n", p)
 	}
 	// Peer links are supervised: each is dialed (and redialed with backoff
 	// after drops) in the background, so a peer that is not up yet is not

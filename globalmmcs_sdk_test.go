@@ -7,6 +7,8 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -414,6 +416,113 @@ func TestArchiveRoundTrip(t *testing.T) {
 			t.Fatalf("late subscriber got %d/%d: %v", got, n, err)
 		}
 		got++
+	}
+}
+
+// TestSessionEventsReplay drives the durable topic log through the
+// public API: a node records a session's topics, a late joiner opens
+// Events with WithReplayFromEarliest and sees the chat history it
+// missed, then live traffic, exactly once across the handoff.
+func TestSessionEventsReplay(t *testing.T) {
+	ctx := context.Background()
+	// Session IDs are assigned "s1", "s2", ... per node, so a fresh
+	// node's first session lands on the recorded pattern.
+	srv := startNode(t, globalmmcs.WithRecording(t.TempDir(), "/xgsp/session/s1/#"))
+	alice := newClient(t, srv, "alice")
+
+	session, err := alice.CreateSession(ctx, "recorded-standup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if session.ID() != "s1" {
+		t.Fatalf("session ID = %q, want s1", session.ID())
+	}
+	if err := session.Join(ctx, "alice-desktop"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Alice chats before bob exists. Her own room confirms delivery —
+	// events are recorded before they are delivered, so once the room
+	// has a message the log has it too.
+	room, err := session.Chat(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer room.Close()
+	const history = 20
+	for i := 0; i < history; i++ {
+		if err := session.Send(ctx, fmt.Sprintf("msg-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seenCtx, cancelSeen := context.WithTimeout(ctx, 5*time.Second)
+	for i := 0; i < history; i++ {
+		if _, err := room.Recv(seenCtx); err != nil {
+			t.Fatalf("history message %d never arrived: %v", i, err)
+		}
+	}
+	cancelSeen()
+
+	// Bob joins late and replays from the earliest retained event.
+	bob := newClient(t, srv, "bob")
+	bobSession, err := bob.Join(ctx, session.ID(), "bob-laptop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := bobSession.Events(ctx, globalmmcs.WithReplayFromEarliest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer events.Close()
+
+	recvChat := func(within time.Duration) (string, error) {
+		recvCtx, cancel := context.WithTimeout(ctx, within)
+		defer cancel()
+		for {
+			e, err := events.Recv(recvCtx)
+			if err != nil {
+				return "", err
+			}
+			if e.Kind == "chat" {
+				return string(e.Payload), nil
+			}
+		}
+	}
+	var got []string
+	for len(got) < history {
+		body, err := recvChat(5 * time.Second)
+		if err != nil {
+			t.Fatalf("replayed %d/%d chat events: %v", len(got), history, err)
+		}
+		got = append(got, body)
+	}
+	select {
+	case <-events.CaughtUp():
+	case <-time.After(5 * time.Second):
+		t.Fatal("replay never caught up to live")
+	}
+	if err := session.Send(ctx, "live-after-catchup"); err != nil {
+		t.Fatal(err)
+	}
+	body, err := recvChat(5 * time.Second)
+	if err != nil {
+		t.Fatalf("live event after catch-up: %v", err)
+	}
+	got = append(got, body)
+
+	// History arrived in order and exactly once, then the live event.
+	for i := 0; i < history; i++ {
+		if want := fmt.Sprintf("msg-%d", i); !strings.Contains(got[i], want) {
+			t.Fatalf("event %d = %q, want %q", i, got[i], want)
+		}
+	}
+	if !strings.Contains(got[history], "live-after-catchup") {
+		t.Fatalf("post-catchup event = %q", got[history])
+	}
+
+	// A pattern the node does not record is refused.
+	if _, err := bobSession.Subscribe(ctx, globalmmcs.Audio, globalmmcs.WithReplayFromEarliest()); err == nil {
+		t.Fatal("replay on an unrecorded pattern must fail")
 	}
 }
 

@@ -8,7 +8,7 @@ import (
 )
 
 // Testbed models the paper's 2003 measurement setup as explicit emulation
-// constants (DESIGN.md §6). The same testbed shapes both systems, so the
+// constants (DESIGN.md §7). The same testbed shapes both systems, so the
 // comparison isolates the architectural difference: the reflector pays
 // every per-send cost in one dispatch thread, the broker spreads it over
 // per-client writer goroutines, and both share the sending host's egress

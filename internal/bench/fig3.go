@@ -11,7 +11,7 @@
 // root bench_test.go (scaled-down smoke benches).
 //
 // Emulated testbed: both systems run over identical shaped in-process
-// links (see transport.LinkProfile and DESIGN.md §6). Calibration
+// links (see transport.LinkProfile and DESIGN.md §7). Calibration
 // constants live in calibrate.go.
 package bench
 

@@ -1,0 +1,543 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/broker"
+	"github.com/globalmmcs/globalmmcs/internal/event"
+	"github.com/globalmmcs/globalmmcs/internal/transport"
+)
+
+// ReplayConfig parameterises the durable-topic-log benchmark. It runs
+// four cells on one machine:
+//
+//  1. live control — fan-out delivery rate with recording off;
+//  2. recorded live — the same load with the topic recorded, so the
+//     delta is the recording tax on the hot path;
+//  3. replay fan-out — N late joiners each replay a prefilled log to
+//     its tail, clocked end to end (the catch-up bandwidth);
+//  4. catch-up — one joiner starts a lag's worth of paced history
+//     behind a live publisher and the cell reports how long the replay
+//     cursor takes to reach the live tail.
+type ReplayConfig struct {
+	// Subscribers is the fan-out width N. Default 16.
+	Subscribers int
+	// Publishers drive the live cells. Default 2.
+	Publishers int
+	// PayloadBytes sizes each event payload. Default 256.
+	PayloadBytes int
+	// Prefill is how many events the replay fan-out cell records before
+	// the joiners replay them. Default 50000.
+	Prefill int
+	// Warmup precedes each live measurement window. Default 300ms.
+	Warmup time.Duration
+	// Duration is the live cells' measurement window. Default 1s.
+	Duration time.Duration
+	// CatchupLag is how far behind the catch-up joiner starts: the log
+	// is prefilled with CatchupLag × CatchupRate events. Default 10s.
+	CatchupLag time.Duration
+	// CatchupRate is the paced live publish rate (events/sec) the
+	// catch-up joiner must outrun. Default 20000.
+	CatchupRate int
+	// Transport selects the subscribers' links in every cell — the live
+	// control, the recorded live cell and the replay joiners alike, so
+	// the replay-vs-live ratio compares the same delivery path and only
+	// the event source differs (live routing vs log cursor). "tcp" (the
+	// default) runs the full wire path; "mem" uses in-process links.
+	Transport string
+	// QueueDepth overrides the broker's per-session best-effort depth.
+	// Default 8192.
+	QueueDepth int
+}
+
+func (c ReplayConfig) withDefaults() ReplayConfig {
+	if c.Subscribers <= 0 {
+		c.Subscribers = 16
+	}
+	if c.Publishers <= 0 {
+		c.Publishers = 2
+	}
+	if c.PayloadBytes <= 0 {
+		c.PayloadBytes = 256
+	}
+	if c.Prefill <= 0 {
+		c.Prefill = 50000
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 300 * time.Millisecond
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.CatchupLag <= 0 {
+		c.CatchupLag = 10 * time.Second
+	}
+	if c.CatchupRate <= 0 {
+		c.CatchupRate = 20000
+	}
+	if c.Transport == "" {
+		c.Transport = "tcp"
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8192
+	}
+	return c
+}
+
+// ReplayResult reports one full replay benchmark run.
+type ReplayResult struct {
+	Subscribers  int    `json:"subscribers"`
+	Publishers   int    `json:"publishers"`
+	PayloadBytes int    `json:"payload_bytes"`
+	Prefill      int    `json:"prefill"`
+	Transport    string `json:"transport"`
+	// LivePerSec is the control cell's delivered events/sec (recording
+	// off).
+	LivePerSec float64 `json:"live_per_sec"`
+	// RecordedLivePerSec is the same load with the topic recorded.
+	RecordedLivePerSec float64 `json:"recorded_live_per_sec"`
+	// RecordOverheadPct is the recording tax on delivered events/sec:
+	// (live − recorded) / live × 100. Negative values are run-to-run
+	// noise.
+	RecordOverheadPct float64 `json:"record_overhead_pct"`
+	// RecordedPerSec is the log append rate sustained during the
+	// recorded live cell.
+	RecordedPerSec float64 `json:"recorded_per_sec"`
+	// ReplayPerSec is the replay fan-out cell's total delivery rate:
+	// Subscribers × Prefill events over the wall time from subscribe to
+	// the last cursor reaching the tail.
+	ReplayPerSec float64 `json:"replay_per_sec"`
+	// ReplayVsLive is ReplayPerSec / LivePerSec — how replay bandwidth
+	// compares with live fan-out on the same box.
+	ReplayVsLive float64 `json:"replay_vs_live"`
+	// CatchupLagSec and CatchupEvents describe the catch-up cell's
+	// starting deficit; CatchupSec is how long the joiner took to reach
+	// the live tail while the publisher kept pacing.
+	CatchupLagSec  float64 `json:"catchup_lag_sec"`
+	CatchupEvents  int     `json:"catchup_events"`
+	CatchupSec     float64 `json:"catchup_sec"`
+	CatchupPerSec  float64 `json:"catchup_per_sec"`
+	CatchupLiveRps int     `json:"catchup_live_rate"`
+}
+
+func (r ReplayResult) String() string {
+	return fmt.Sprintf("replay subs=%d live %.0f ev/s recorded-live %.0f ev/s (overhead %.1f%%) replay %.0f ev/s (%.2fx live) catchup %d events in %.2fs against %d ev/s live",
+		r.Subscribers, r.LivePerSec, r.RecordedLivePerSec, r.RecordOverheadPct,
+		r.ReplayPerSec, r.ReplayVsLive, r.CatchupEvents, r.CatchupSec, r.CatchupLiveRps)
+}
+
+// replayTopic is the concrete recorded topic; replayPattern is the
+// pattern recorded and replayed.
+const (
+	replayTopic   = "/bench/replay/stream"
+	replayPattern = "/bench/replay/#"
+)
+
+// RunReplay runs all four replay benchmark cells.
+func RunReplay(cfg ReplayConfig) (ReplayResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Transport != "mem" && cfg.Transport != "tcp" {
+		return ReplayResult{}, fmt.Errorf("bench: unknown replay transport %q", cfg.Transport)
+	}
+	res := ReplayResult{
+		Subscribers:  cfg.Subscribers,
+		Publishers:   cfg.Publishers,
+		PayloadBytes: cfg.PayloadBytes,
+		Prefill:      cfg.Prefill,
+		Transport:    cfg.Transport,
+	}
+
+	live, err := runReplayLiveCell(cfg, false)
+	if err != nil {
+		return res, fmt.Errorf("bench: live control: %w", err)
+	}
+	res.LivePerSec = live.deliveredPerSec
+
+	recorded, err := runReplayLiveCell(cfg, true)
+	if err != nil {
+		return res, fmt.Errorf("bench: recorded live: %w", err)
+	}
+	res.RecordedLivePerSec = recorded.deliveredPerSec
+	res.RecordedPerSec = recorded.recordedPerSec
+	if res.LivePerSec > 0 {
+		res.RecordOverheadPct = (res.LivePerSec - res.RecordedLivePerSec) / res.LivePerSec * 100
+	}
+
+	if err := runReplayFanoutCell(cfg, &res); err != nil {
+		return res, fmt.Errorf("bench: replay fan-out: %w", err)
+	}
+	if res.LivePerSec > 0 {
+		res.ReplayVsLive = res.ReplayPerSec / res.LivePerSec
+	}
+
+	if err := runReplayCatchupCell(cfg, &res); err != nil {
+		return res, fmt.Errorf("bench: catch-up: %w", err)
+	}
+	return res, nil
+}
+
+func newReplayBroker(cfg ReplayConfig, record bool) (*broker.Broker, string, error) {
+	bcfg := broker.Config{
+		ID:            "replay-broker",
+		QueueDepth:    cfg.QueueDepth,
+		FlushInterval: time.Millisecond,
+	}
+	var dir string
+	if record {
+		var err error
+		dir, err = os.MkdirTemp("", "gmmcs-bench-replay-")
+		if err != nil {
+			return nil, "", err
+		}
+		bcfg.RecordPatterns = []string{replayPattern}
+		bcfg.RecordDir = dir
+	}
+	return broker.New(bcfg), dir, nil
+}
+
+// replayDial connects a subscriber over the cell's configured transport:
+// an in-process link for "mem", the full loopback wire path for "tcp".
+func replayDial(b *broker.Broker, addr, tr, id string) (*broker.Client, error) {
+	if tr == "mem" {
+		return b.LocalClient(id, transport.LinkProfile{})
+	}
+	return broker.Dial(addr, id)
+}
+
+// drainSubscribers opens N subscribers on the replay pattern over the
+// configured transport, each draining its ring in bursts.
+func drainSubscribers(b *broker.Broker, addr, tr string, n int) ([]*broker.Client, error) {
+	clients := make([]*broker.Client, 0, n)
+	for i := 0; i < n; i++ {
+		c, err := replayDial(b, addr, tr, fmt.Sprintf("replay-sub-%d", i))
+		if err != nil {
+			return clients, err
+		}
+		clients = append(clients, c)
+		sub, err := c.Subscribe(replayPattern, 1024)
+		if err != nil {
+			return clients, err
+		}
+		go func() {
+			buf := make([]*event.Event, 0, 256)
+			for {
+				var ok bool
+				buf, ok = sub.RecvBatch(buf[:0], 256)
+				clear(buf)
+				if !ok {
+					return
+				}
+			}
+		}()
+	}
+	return clients, nil
+}
+
+type replayLiveCellResult struct {
+	deliveredPerSec float64
+	recordedPerSec  float64
+}
+
+// runReplayLiveCell measures fan-out delivery under continuous publish
+// load, with or without the topic recorded.
+func runReplayLiveCell(cfg ReplayConfig, record bool) (replayLiveCellResult, error) {
+	var out replayLiveCellResult
+	b, dir, err := newReplayBroker(cfg, record)
+	if err != nil {
+		return out, err
+	}
+	defer func() {
+		b.Stop()
+		if dir != "" {
+			os.RemoveAll(dir)
+		}
+	}()
+	l, err := b.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		return out, err
+	}
+
+	subs, err := drainSubscribers(b, l.Addr(), cfg.Transport, cfg.Subscribers)
+	defer func() {
+		for _, c := range subs {
+			c.Close()
+		}
+	}()
+	if err != nil {
+		return out, err
+	}
+
+	payload := make([]byte, cfg.PayloadBytes)
+	stop := make(chan struct{})
+	pubErr := make(chan error, cfg.Publishers)
+	var wg sync.WaitGroup
+	for p := 0; p < cfg.Publishers; p++ {
+		c, err := broker.Dial(l.Addr(), fmt.Sprintf("replay-pub-%d", p))
+		if err != nil {
+			return out, err
+		}
+		defer c.Close()
+		wg.Add(1)
+		go func(c *broker.Client) {
+			defer wg.Done()
+			pub := c.Publisher(broker.PublisherConfig{Batching: true})
+			defer pub.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := pub.Publish(event.New(replayTopic, event.KindRTP, payload)); err != nil {
+					select {
+					case pubErr <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(c)
+	}
+
+	appended := func() uint64 {
+		if !record {
+			return 0
+		}
+		return b.Metrics().Counter("broker.log." + replayPattern + ".appended").Value()
+	}
+
+	time.Sleep(cfg.Warmup)
+	d0 := b.Metrics().Counter("broker.events_out").Value()
+	r0 := appended()
+	t0 := time.Now()
+	time.Sleep(cfg.Duration)
+	d1 := b.Metrics().Counter("broker.events_out").Value()
+	r1 := appended()
+	window := time.Since(t0).Seconds()
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-pubErr:
+		return out, err
+	default:
+	}
+	if window > 0 {
+		out.deliveredPerSec = float64(d1-d0) / window
+		out.recordedPerSec = float64(r1-r0) / window
+	}
+	return out, nil
+}
+
+// prefillLog publishes n events and waits until the broker's topic log
+// holds all of them.
+func prefillLog(b *broker.Broker, l string, n, payloadBytes int) error {
+	c, err := broker.Dial(l, "replay-prefill")
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	pub := c.Publisher(broker.PublisherConfig{Batching: true})
+	payload := make([]byte, payloadBytes)
+	for i := 0; i < n; i++ {
+		if err := pub.Publish(event.New(replayTopic, event.KindRTP, payload)); err != nil {
+			pub.Close()
+			return err
+		}
+	}
+	if err := pub.Close(); err != nil {
+		return err
+	}
+	log := b.TopicLog(replayPattern)
+	if log == nil {
+		return fmt.Errorf("topic log missing for %s", replayPattern)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for log.NextSeq() < uint64(n)+1 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("prefill: log holds %d/%d events", log.NextSeq()-1, n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil
+}
+
+// runReplayFanoutCell prefills the log, then N joiners replay it from
+// the earliest event to the tail concurrently.
+func runReplayFanoutCell(cfg ReplayConfig, res *ReplayResult) error {
+	b, dir, err := newReplayBroker(cfg, true)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		b.Stop()
+		os.RemoveAll(dir)
+	}()
+	l, err := b.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	if err := prefillLog(b, l.Addr(), cfg.Prefill, cfg.PayloadBytes); err != nil {
+		return err
+	}
+
+	var clients []*broker.Client
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Subscribers)
+	t0 := time.Now()
+	for i := 0; i < cfg.Subscribers; i++ {
+		c, err := replayDial(b, l.Addr(), cfg.Transport, fmt.Sprintf("replay-join-%d", i))
+		if err != nil {
+			return err
+		}
+		clients = append(clients, c)
+		wg.Add(1)
+		go func(c *broker.Client) {
+			defer wg.Done()
+			sub, err := c.SubscribeReplay(context.Background(), replayPattern, 0, 1024)
+			if err != nil {
+				errs <- err
+				return
+			}
+			got := 0
+			buf := make([]*event.Event, 0, 256)
+			for got < cfg.Prefill {
+				var ok bool
+				buf, ok = sub.RecvBatch(buf[:0], 256)
+				got += len(buf)
+				clear(buf)
+				if !ok {
+					errs <- fmt.Errorf("replay subscription closed at %d/%d", got, cfg.Prefill)
+					return
+				}
+			}
+			select {
+			case <-sub.CaughtUp():
+			case <-time.After(30 * time.Second):
+				errs <- fmt.Errorf("replay never caught up")
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0).Seconds()
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+	if elapsed > 0 {
+		res.ReplayPerSec = float64(cfg.Subscribers*cfg.Prefill) / elapsed
+	}
+	return nil
+}
+
+// runReplayCatchupCell starts a joiner a lag's worth of history behind
+// a paced live publisher and times its climb to the live tail.
+func runReplayCatchupCell(cfg ReplayConfig, res *ReplayResult) error {
+	b, dir, err := newReplayBroker(cfg, true)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		b.Stop()
+		os.RemoveAll(dir)
+	}()
+	l, err := b.Listen("tcp://127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	backlog := int(cfg.CatchupLag.Seconds() * float64(cfg.CatchupRate))
+	res.CatchupLagSec = cfg.CatchupLag.Seconds()
+	res.CatchupEvents = backlog
+	res.CatchupLiveRps = cfg.CatchupRate
+	if err := prefillLog(b, l.Addr(), backlog, cfg.PayloadBytes); err != nil {
+		return err
+	}
+
+	// Live publisher pacing at CatchupRate while the joiner catches up.
+	pubC, err := broker.Dial(l.Addr(), "catchup-pub")
+	if err != nil {
+		return err
+	}
+	defer pubC.Close()
+	stop := make(chan struct{})
+	var pubFailed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		pub := pubC.Publisher(broker.PublisherConfig{Batching: true})
+		defer pub.Close()
+		payload := make([]byte, cfg.PayloadBytes)
+		const tick = 5 * time.Millisecond
+		perTick := int(float64(cfg.CatchupRate) * tick.Seconds())
+		if perTick < 1 {
+			perTick = 1
+		}
+		ticker := time.NewTicker(tick)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				for i := 0; i < perTick; i++ {
+					if err := pub.Publish(event.New(replayTopic, event.KindRTP, payload)); err != nil {
+						pubFailed.Store(true)
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	join, err := replayDial(b, l.Addr(), cfg.Transport, "catchup-join")
+	if err != nil {
+		return err
+	}
+	defer join.Close()
+	t0 := time.Now()
+	sub, err := join.SubscribeReplay(context.Background(), replayPattern, 0, 1024)
+	if err != nil {
+		return err
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		buf := make([]*event.Event, 0, 256)
+		for {
+			var ok bool
+			buf, ok = sub.RecvBatch(buf[:0], 256)
+			clear(buf)
+			if !ok {
+				return
+			}
+		}
+	}()
+	select {
+	case <-sub.CaughtUp():
+	case <-time.After(120 * time.Second):
+		return fmt.Errorf("catch-up joiner never reached the live tail")
+	}
+	res.CatchupSec = time.Since(t0).Seconds()
+	if res.CatchupSec > 0 {
+		res.CatchupPerSec = float64(backlog) / res.CatchupSec
+	}
+	close(stop)
+	wg.Wait()
+	if pubFailed.Load() {
+		return fmt.Errorf("catch-up live publisher failed")
+	}
+	join.Close()
+	<-drained
+	return nil
+}

@@ -3,6 +3,8 @@ package broker
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -111,6 +113,25 @@ type Config struct {
 	// ablation knob for the "optimizations on the message transmission"
 	// the paper credits for the broker's media performance.
 	DisableRouteCache bool
+	// RecordPatterns lists topic patterns recorded to durable on-disk
+	// logs (one segmented log per pattern; '+'/'#' wildcards allowed).
+	// Events matching a pattern are appended — sequence-stamped and
+	// CRC-framed — as they are routed, and late joiners replay them with
+	// SubscribeReplay. Empty disables recording.
+	RecordPatterns []string
+	// RecordDir is the directory holding the per-pattern log
+	// directories. Default os.TempDir()/gmmcs-topiclog/<ID>.
+	RecordDir string
+	// RecordSegmentBytes rolls a log segment once it reaches this size.
+	// Default 4 MiB.
+	RecordSegmentBytes int64
+	// RecordSegmentAge rolls a log segment by age (0 = size-only).
+	RecordSegmentAge time.Duration
+	// RecordMaxSegments / RecordMaxBytes cap retained history per log;
+	// housekeeping reaps whole segments beyond either cap, never one an
+	// active replay cursor still reads. 0 = unbounded.
+	RecordMaxSegments int
+	RecordMaxBytes    int64
 	// Metrics receives broker counters; nil allocates a private registry.
 	Metrics *metrics.Registry
 }
@@ -166,6 +187,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Metrics == nil {
 		c.Metrics = &metrics.Registry{}
+	}
+	if len(c.RecordPatterns) > 0 {
+		if c.RecordDir == "" {
+			c.RecordDir = filepath.Join(os.TempDir(), "gmmcs-topiclog", c.ID)
+		}
+		if c.RecordSegmentBytes <= 0 {
+			c.RecordSegmentBytes = 4 << 20
+		}
 	}
 	return c
 }
@@ -227,6 +256,10 @@ type Broker struct {
 	// lose in-flight reliable traffic. Guarded by b.mu; pruned by
 	// housekeeping on soft-state expiry.
 	relStash map[string]*relSalvage
+
+	// rec is the durable-log record plane (nil when RecordPatterns is
+	// empty, which keeps recording entirely off the data path).
+	rec *recordPlane
 
 	// ctr holds pre-resolved hot-path counters: Registry.Counter takes a
 	// registry-wide mutex per lookup, which 64 concurrent session writers
@@ -293,6 +326,9 @@ func New(cfg Config) *Broker {
 	b.routed = cfg.Mode == ModeClientServer && !cfg.MeshFlood
 	b.matchFn = b.router.match
 	b.planFn = b.planFor
+	if len(cfg.RecordPatterns) > 0 {
+		b.rec = newRecordPlane(cfg, cfg.Metrics)
+	}
 	b.wg.Add(1)
 	go b.housekeeping()
 	return b
@@ -809,7 +845,7 @@ func (b *Broker) peerList(except *session) []*session {
 // twice regardless of fan-out width — once for local sessions and once
 // (a one-byte TTL patch on a buffer copy) for peers.
 func (b *Broker) route(e *event.Event, from *session) {
-	b.routeOne(e, from, b.matchFn, b.planFn, deliverDirect, nil)
+	b.routeOne(e, from, b.matchFn, b.planFn, deliverDirect, b.recordDirect, nil)
 }
 
 // deliverDirect is route's delivery strategy: hand the event to the
@@ -826,14 +862,16 @@ type deliverFn func(t *session, e *event.Event, fs *frameSource)
 type planFn func(string) *topicPlan
 
 // routeOne is the single implementation of the routing policy —
-// duplicate suppression, split horizon, per-hop TTL decrement, routed
-// (serve-mask) peer forwarding, and the peer-to-peer flood — behind both
-// the event-at-a-time and the burst path. Target resolution goes through
-// match (the sharded router, or a per-burst memo of it), plan resolution
-// through plans, and every delivery through deliver. served is a
-// reusable scratch buffer for the flood's already-served peer set; the
-// (possibly grown) buffer is returned for reuse.
-func (b *Broker) routeOne(e *event.Event, from *session, match func(string) []*session, plans planFn, deliver deliverFn, served []*session) []*session {
+// duplicate suppression, durable recording, split horizon, per-hop TTL
+// decrement, routed (serve-mask) peer forwarding, and the peer-to-peer
+// flood — behind both the event-at-a-time and the burst path. Target
+// resolution goes through match (the sharded router, or a per-burst
+// memo of it), plan resolution through plans, every delivery through
+// deliver, and every recorded-pattern hit through rec (immediate
+// append, or staged per burst). served is a reusable scratch buffer
+// for the flood's already-served peer set; the (possibly grown) buffer
+// is returned for reuse.
+func (b *Broker) routeOne(e *event.Event, from *session, match func(string) []*session, plans planFn, deliver deliverFn, rec recordFn, served []*session) []*session {
 	served = served[:0]
 	fromPeer := from != nil && from.isPeer
 	// Duplicate suppression arms whenever this broker is part of a mesh:
@@ -852,6 +890,14 @@ func (b *Broker) routeOne(e *event.Event, from *session, match func(string) []*s
 	}
 	targets := match(e.Topic)
 	fs := newFrameSource(e)
+	// Record after duplicate suppression (a mesh copy must not be logged
+	// twice) and before target iteration (an event with zero current
+	// subscribers is still history a late joiner replays).
+	if b.rec != nil {
+		for _, r := range b.rec.match(e.Topic) {
+			rec(r, e, fs)
+		}
+	}
 	// Routed mode: resolve the forwarding plan once per event. inMask is
 	// the set of origins this copy is responsible for — everything for a
 	// local publish or an unmasked (flood-sent) arrival, the carried
@@ -1066,6 +1112,11 @@ func (b *Broker) housekeeping() {
 			// three ticks (matching the advertisement soft-state horizon)
 			// free their 1 KiB windows.
 			b.dedup.sweepIdle(3)
+			// Durable-log retention and gauges piggyback on the same tick
+			// (no broker lock held here; each log takes its own).
+			if b.rec != nil {
+				b.rec.refresh()
+			}
 		}
 	}
 }
@@ -1161,6 +1212,9 @@ func (b *Broker) Stop() {
 		s.stop()
 	}
 	b.wg.Wait()
+	if b.rec != nil {
+		b.rec.close()
+	}
 }
 
 func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }

@@ -11,6 +11,7 @@ import (
 
 	"github.com/globalmmcs/globalmmcs/internal/event"
 	"github.com/globalmmcs/globalmmcs/internal/topic"
+	"github.com/globalmmcs/globalmmcs/internal/topiclog"
 	"github.com/globalmmcs/globalmmcs/internal/transport"
 )
 
@@ -86,6 +87,29 @@ type Subscription struct {
 	// (event, subscription) pair. Touched only by the readLoop goroutine.
 	stageGen uint64
 	stageIdx int
+
+	// replay is non-nil for subscriptions opened with SubscribeReplay:
+	// events arrive unpacked from durable-log envelopes instead of the
+	// dispatch trie.
+	replay *replayState
+}
+
+// replayState tracks a replay subscription's broker-side stream.
+type replayState struct {
+	id   uint64
+	live chan struct{}
+	once sync.Once
+}
+
+// CaughtUp returns a channel closed when a replay subscription has
+// drained recorded history and handed off to live tail delivery (every
+// event after the close is live traffic). For ordinary subscriptions
+// it returns nil (never ready).
+func (s *Subscription) CaughtUp() <-chan struct{} {
+	if s.replay == nil {
+		return nil
+	}
+	return s.replay.live
 }
 
 func newSubscription(c *Client, pattern string, depth int) *Subscription {
@@ -491,6 +515,12 @@ type Client struct {
 	// waiters maps ping tokens to response channels for control fencing.
 	waiters map[string]chan struct{}
 
+	// replays maps replay stream ids to their subscriptions (replay
+	// events route by id, not by the dispatch trie); replayWait holds
+	// the start-handshake completion channels. Both guarded by mu.
+	replays    map[uint64]*Subscription
+	replayWait map[uint64]chan error
+
 	nextEventID atomic.Uint64
 	nextToken   atomic.Uint64
 
@@ -529,6 +559,8 @@ func Attach(conn transport.Conn, id string) (*Client, error) {
 		subSet:     make(map[*Subscription]struct{}),
 		routeCache: make(map[string][]*Subscription),
 		waiters:    make(map[string]chan struct{}),
+		replays:    make(map[uint64]*Subscription),
+		replayWait: make(map[uint64]chan error),
 		ahead:      make(map[uint64]struct{}),
 		done:       make(chan struct{}),
 		stageGen:   1,
@@ -635,6 +667,76 @@ func (c *Client) SubscribeContext(ctx context.Context, pattern string, depth int
 	return sub, nil
 }
 
+// SubscribeReplay opens a replay subscription over a broker-side
+// durable topic log: recorded history from sequence from (0 = from the
+// earliest retained record) drains through the returned Subscription's
+// ring first, then the stream hands off to live tail delivery with no
+// gap and no duplicate — CaughtUp reports the handoff. pattern must
+// exactly equal one of the broker's configured record patterns (a
+// replay attaches to one log, not a topic expression over several).
+// Replayed events arrive on the reliable lane, so a replay
+// subscription is never shed broker-side even after it goes live.
+func (c *Client) SubscribeReplay(ctx context.Context, pattern string, from uint64, depth int) (*Subscription, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := topic.ValidatePattern(pattern); err != nil {
+		return nil, err
+	}
+	if depth <= 0 {
+		depth = 256
+	}
+	id := c.nextToken.Add(1)
+	sub := newSubscription(c, pattern, depth)
+	sub.replay = &replayState{id: id, live: make(chan struct{})}
+	wait := make(chan error, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	// Replay subscriptions live outside the dispatch trie: their events
+	// arrive as id-tagged envelopes, not trie-matched topics.
+	c.subSet[sub] = struct{}{}
+	c.replays[id] = sub
+	c.replayWait[id] = wait
+	c.mu.Unlock()
+	cleanup := func() {
+		c.mu.Lock()
+		delete(c.subSet, sub)
+		delete(c.replays, id)
+		delete(c.replayWait, id)
+		c.mu.Unlock()
+		sub.closeRing()
+	}
+	if err := c.conn.Send(replayStartEvent(pattern, from, id)); err != nil {
+		cleanup()
+		return nil, fmt.Errorf("broker: sending replay start: %w", err)
+	}
+	select {
+	case err := <-wait:
+		c.mu.Lock()
+		delete(c.replayWait, id)
+		c.mu.Unlock()
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+	case <-ctx.Done():
+		cleanup()
+		_ = c.conn.Send(replayStopEvent(id))
+		return nil, ctx.Err()
+	case <-c.done:
+		cleanup()
+		return nil, ErrClientClosed
+	case <-time.After(subscribeTimeout):
+		cleanup()
+		_ = c.conn.Send(replayStopEvent(id))
+		return nil, ErrFenceTimeout
+	}
+	return sub, nil
+}
+
 // revokePattern sends an unsubscribe for pattern unless another live
 // subscription still uses it. Best-effort: no fence, errors ignored —
 // used when abandoning a subscribe whose handshake was cancelled.
@@ -660,6 +762,22 @@ func (c *Client) Unsubscribe(sub *Subscription) error {
 	c.mu.Lock()
 	if _, ok := c.subSet[sub]; !ok {
 		c.mu.Unlock()
+		return nil
+	}
+	if sub.replay != nil {
+		// Replay subscriptions are not in the trie and need no fence:
+		// the broker-side stream is torn down by a stop request.
+		delete(c.subSet, sub)
+		delete(c.replays, sub.replay.id)
+		closed := c.closed
+		c.mu.Unlock()
+		sub.closeRing()
+		if closed {
+			return nil
+		}
+		if err := c.conn.Send(replayStopEvent(sub.replay.id)); err != nil {
+			return fmt.Errorf("broker: sending replay stop: %w", err)
+		}
 		return nil
 	}
 	delete(c.subSet, sub)
@@ -876,20 +994,122 @@ func (c *Client) processBurst(events []*event.Event) {
 	}
 }
 
-// handleControl applies one control event (currently just the ping echo
-// that releases control fences).
+// handleControl applies one control event: the ping echo that releases
+// control fences, replay lifecycle replies, and replay data envelopes.
 func (c *Client) handleControl(e *event.Event) {
-	if e.Topic != topicPing {
+	switch e.Topic {
+	case topicPing:
+		c.mu.Lock()
+		ch := c.waiters[e.Headers[hdrSeq]]
+		c.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- struct{}{}:
+			default:
+			}
+		}
+	case topicReplay:
+		c.handleReplayReply(e)
+	case topicReplayData:
+		c.handleReplayData(e)
+	}
+}
+
+// handleReplayReply applies a replay lifecycle transition: ok/err
+// complete the start handshake, live marks the history→tail handoff,
+// and a mid-stream err ends the subscription.
+func (c *Client) handleReplayReply(e *event.Event) {
+	id, err := headerUint(e, hdrReplay)
+	if err != nil {
+		return
+	}
+	switch e.Headers[hdrOp] {
+	case repOK:
+		c.mu.Lock()
+		ch := c.replayWaiter(id)
+		c.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- nil:
+			default:
+			}
+		}
+	case repErr:
+		detail := e.Headers[hdrError]
+		if detail == "" {
+			detail = "replay failed"
+		}
+		c.mu.Lock()
+		ch := c.replayWaiter(id)
+		sub := c.replays[id]
+		delete(c.replays, id)
+		if sub != nil {
+			delete(c.subSet, sub)
+		}
+		c.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- errors.New("broker: " + detail):
+			default:
+			}
+		}
+		if sub != nil {
+			// The broker-side stream died (e.g. the log closed): end the
+			// subscription so consumers observe termination, not silence.
+			sub.closeRing()
+		}
+	case repLive:
+		c.mu.Lock()
+		sub := c.replays[id]
+		c.mu.Unlock()
+		if sub != nil && sub.replay != nil {
+			sub.replay.once.Do(func() { close(sub.replay.live) })
+		}
+	}
+}
+
+// replayWaiter returns the pending start-handshake channel for a
+// replay id. Caller holds c.mu.
+func (c *Client) replayWaiter(id uint64) chan error { return c.replayWait[id] }
+
+// handleReplayData unpacks one replay envelope — a run of
+// topiclog-framed records — and delivers the decoded events to the
+// stream's subscription as one batch (one ring lock, one wakeup per
+// envelope). Each record's CRC is re-verified by ParseRecord on the
+// way out.
+func (c *Client) handleReplayData(e *event.Event) {
+	id, err := headerUint(e, hdrReplay)
+	if err != nil {
 		return
 	}
 	c.mu.Lock()
-	ch := c.waiters[e.Headers[hdrSeq]]
+	sub := c.replays[id]
 	c.mu.Unlock()
-	if ch != nil {
-		select {
-		case ch <- struct{}{}:
-		default:
+	if sub == nil {
+		return
+	}
+	payload := e.Payload
+	var events []*event.Event
+	for len(payload) > 0 {
+		_, rec, n, perr := topiclog.ParseRecord(payload, 0)
+		if perr != nil {
+			break
 		}
+		payload = payload[n:]
+		ev, uerr := event.Unmarshal(rec)
+		if uerr != nil {
+			continue
+		}
+		// Replay delivery is reliable end to end regardless of the
+		// event's original class: the broker never sheds the stream, and
+		// ring admission must block (backpressuring the broker's pump via
+		// withheld acks) rather than evict — eviction would break the
+		// exactly-once contract the durable log exists for.
+		ev.Reliable = true
+		events = append(events, ev)
+	}
+	if len(events) > 0 {
+		sub.deliverBatch(events, c.done)
 	}
 }
 
@@ -999,6 +1219,8 @@ func (c *Client) teardown() {
 		subs = append(subs, s)
 	}
 	clear(c.subSet)
+	clear(c.replays)
+	clear(c.replayWait)
 	c.subs = topic.NewTrie[*Subscription]()
 	c.routeEpoch.Add(1)
 	c.mu.Unlock()
@@ -1008,7 +1230,12 @@ func (c *Client) teardown() {
 }
 
 // Close disconnects the client and closes all subscription rings.
+// done closes first: the read loop can be blocked delivering a
+// reliable event into an abandoned subscription's full ring, and it
+// unblocks on done — closing it only from the read loop's own teardown
+// would deadlock the wait below.
 func (c *Client) Close() error {
+	c.once.Do(func() { close(c.done) })
 	err := c.conn.Close()
 	c.wg.Wait()
 	return err

@@ -34,6 +34,9 @@ const (
 	topicPing   = "/_nb/ping"   // keepalive
 	topicPeerHB = "/_nb/peerhb" // mesh-link heartbeat (partition detection)
 	topicCredit = "/_nb/credit" // mesh-link flow-control consumption grant
+
+	topicReplay     = "/_nb/replay"  // durable-log replay control (start/stop/ok/err/live)
+	topicReplayData = "/_nb/repdata" // durable-log replay data envelope
 )
 
 // Control headers.
@@ -48,6 +51,9 @@ const (
 	hdrMode    = "mode"    // routing mode carried on peer hello
 	hdrMesh    = "mesh"    // mesh identity carried on peer hello
 	hdrHops    = "hops"    // advertiser's hop distance to the origin broker
+	hdrReplay  = "replay"  // replay stream id (client-chosen token)
+	hdrFrom    = "from"    // replay start sequence ("0" = from earliest)
+	hdrError   = "error"   // human-readable error detail on replay replies
 )
 
 // Profile selects the delivery guarantees of a subscription.
@@ -166,6 +172,66 @@ func subAdvEvent(op advOp, pattern, origin string, seq uint64, hops int) *event.
 func creditEvent(cum uint64) *event.Event {
 	e := event.New(topicCredit, event.KindControl, nil)
 	e.Headers = map[string]string{hdrSeq: strconv.FormatUint(cum, 10)}
+	return e
+}
+
+// Replay operations carried in hdrOp on topicReplay events. The client
+// sends start/stop requests; the broker replies ok (cursor opened),
+// err (no such recorded pattern, duplicate id, cursor failure) and
+// live (history drained, the stream handed off to tail delivery).
+const (
+	repStart = "start"
+	repStop  = "stop"
+	repOK    = "ok"
+	repErr   = "err"
+	repLive  = "live"
+)
+
+// replayStartEvent asks the broker to open a replay of the recorded
+// pattern from sequence from (0 = earliest), delivered under the
+// client-chosen stream id.
+func replayStartEvent(pattern string, from, id uint64) *event.Event {
+	e := event.New(topicReplay, event.KindControl, nil)
+	e.Headers = map[string]string{
+		hdrOp:      repStart,
+		hdrPattern: pattern,
+		hdrFrom:    strconv.FormatUint(from, 10),
+		hdrReplay:  strconv.FormatUint(id, 10),
+	}
+	return e
+}
+
+// replayStopEvent ends the replay stream id.
+func replayStopEvent(id uint64) *event.Event {
+	e := event.New(topicReplay, event.KindControl, nil)
+	e.Headers = map[string]string{hdrOp: repStop, hdrReplay: strconv.FormatUint(id, 10)}
+	return e
+}
+
+// replayReplyEvent is a broker→client replay control reply (ok, err or
+// live), sent on the reliable lane so stream lifecycle transitions are
+// never dropped.
+func replayReplyEvent(op string, id uint64, detail string) *event.Event {
+	e := event.New(topicReplay, event.KindControl, nil)
+	e.Reliable = true
+	e.Headers = map[string]string{hdrOp: op, hdrReplay: strconv.FormatUint(id, 10)}
+	if detail != "" {
+		e.Headers[hdrError] = detail
+	}
+	return e
+}
+
+// replayDataEvent is one replay data envelope: its payload is a run of
+// topiclog-framed records (seq, length, CRC, encoded event), one
+// envelope per pump batch so the burst amortization the live plane
+// gets from frames is preserved on the replay path. Envelopes ride the
+// reliable lane: broker-side they are never shed, FIFO order holds
+// through the cursor→tail handoff, and the client re-verifies each
+// record's CRC when unpacking.
+func replayDataEvent(id uint64, payload []byte) *event.Event {
+	e := event.New(topicReplayData, event.KindControl, payload)
+	e.Reliable = true
+	e.Headers = map[string]string{hdrReplay: strconv.FormatUint(id, 10)}
 	return e
 }
 

@@ -302,11 +302,21 @@ type routeSweep struct {
 
 	peersServed []*session // per-event scratch for the p2p flood
 
-	// matchFn/planFn/deliverFn are matchMemo/planMemo/deliverStaged bound
-	// once so the per-event routeOne call does not allocate method values.
+	// Per-recorder record staging, mirroring the per-session batches:
+	// matched events accumulate their frame bytes per recorder across
+	// the burst, and finish() commits each run in one topiclog.Append —
+	// one log lock, one file write per recorder per burst.
+	recIdx  map[*recorder]int
+	recList []*recorder
+	recBufs [][][]byte
+
+	// matchFn/planFn/deliverFn/recordFn are
+	// matchMemo/planMemo/deliverStaged/recordStage bound once so the
+	// per-event routeOne call does not allocate method values.
 	matchFn   func(string) []*session
 	planFn    planFn
 	deliverFn deliverFn
+	recordFn  recordFn
 }
 
 // newRouteSweep creates a sweep bound to the broker's data plane.
@@ -321,7 +331,26 @@ func (b *Broker) newRouteSweep() *routeSweep {
 	rs.matchFn = rs.matchMemo
 	rs.planFn = rs.planMemo
 	rs.deliverFn = rs.deliverStaged
+	rs.recordFn = rs.recordStage
+	if b.rec != nil {
+		rs.recIdx = make(map[*recorder]int)
+	}
 	return rs
+}
+
+// recordStage accumulates one matched event's frame bytes in the
+// recorder's staged run; finish() appends the run in one call.
+func (rs *routeSweep) recordStage(r *recorder, e *event.Event, fs *frameSource) {
+	i, ok := rs.recIdx[r]
+	if !ok {
+		i = len(rs.recList)
+		rs.recIdx[r] = i
+		rs.recList = append(rs.recList, r)
+		if len(rs.recBufs) < len(rs.recList) {
+			rs.recBufs = append(rs.recBufs, nil)
+		}
+	}
+	rs.recBufs[i] = append(rs.recBufs[i], fs.frame().Bytes())
 }
 
 // matchMemo resolves targets for a topic at most once per burst.
@@ -408,15 +437,32 @@ func (rs *routeSweep) deliverStaged(t *session, e *event.Event, fs *frameSource)
 // burst.
 func (rs *routeSweep) routeBatch(events []*event.Event, from *session) {
 	for _, e := range events {
-		rs.peersServed = rs.b.routeOne(e, from, rs.matchFn, rs.planFn, rs.deliverFn, rs.peersServed)
+		rs.peersServed = rs.b.routeOne(e, from, rs.matchFn, rs.planFn, rs.deliverFn, rs.recordFn, rs.peersServed)
 	}
 	rs.finish()
 }
 
 // finish pushes every staged batch — one lock acquisition and one
 // writer wakeup per session — and resets the sweep for the next burst.
+// Record runs commit first: an attached replay tailer re-delivers the
+// appended frames through the reliable lane, and appending before the
+// best-effort pushes keeps the durable log's order the canonical one.
 func (rs *routeSweep) finish() {
 	b := rs.b
+	for i, r := range rs.recList {
+		if _, err := r.log.Append(rs.recBufs[i]); err != nil {
+			b.rec.appendErrs.Inc()
+		} else {
+			r.appended.Add(uint64(len(rs.recBufs[i])))
+		}
+		clear(rs.recBufs[i])
+		rs.recBufs[i] = rs.recBufs[i][:0]
+	}
+	if len(rs.recList) > 0 {
+		clear(rs.recList)
+		rs.recList = rs.recList[:0]
+		clear(rs.recIdx)
+	}
 	for i, t := range rs.sessions {
 		items := rs.items[i]
 		if t.fwdCtr != nil {

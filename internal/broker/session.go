@@ -122,6 +122,12 @@ type session struct {
 	recvCum uint64              // highest contiguous rseq delivered
 	ahead   map[uint64]struct{} // delivered above the contiguous point
 
+	// Replay streams this session opened on the durable log plane,
+	// keyed by client-chosen stream id. replayMu also guards each
+	// stream's stopped/attached flags.
+	replayMu sync.Mutex
+	replays  map[uint64]*sessionReplay
+
 	// stageSlot is this session's staging slot in a route sweep's current
 	// burst, packed as (sweep generation << stageIdxBits | index).
 	// Generations are globally unique per burst, so a slot written by a
@@ -648,6 +654,15 @@ func (s *session) handleControl(e *event.Event) {
 		if s.isPeer && e.Headers[hdrOp] == hbPing {
 			s.queue.pushBestEffort(peerHeartbeatEvent(hbPong), nil)
 		}
+	case topicReplay:
+		switch e.Headers[hdrOp] {
+		case repStart:
+			s.startReplay(e)
+		case repStop:
+			if id, err := headerUint(e, hdrReplay); err == nil {
+				s.stopReplay(id)
+			}
+		}
 	default:
 		s.b.metrics().Counter("broker.unknown_control").Inc()
 	}
@@ -832,6 +847,16 @@ func (s *session) close() {
 		_ = s.conn.Close()
 		s.b.detach(s)
 		close(s.closedCh)
+		// Replay teardown runs on its own goroutine: close() can be
+		// reached from an attached tail delivery inside the log's append
+		// lock (reliable-window overflow), and closing the cursors needs
+		// that same lock.
+		s.replayMu.Lock()
+		active := len(s.replays)
+		s.replayMu.Unlock()
+		if active > 0 {
+			go s.teardownReplays()
+		}
 	})
 }
 

@@ -59,6 +59,19 @@ type Config struct {
 	// BrokerMeshID scopes peer links to one federation mesh; brokers
 	// link only when their mesh IDs match (empty matches anything).
 	BrokerMeshID string
+	// BrokerRecordPatterns are topic patterns the broker records to
+	// durable topic logs for replay (see internal/topiclog). Optional.
+	BrokerRecordPatterns []string
+	// BrokerRecordDir is the root directory for topic logs (empty =
+	// broker default under the OS temp dir).
+	BrokerRecordDir string
+	// BrokerRecordSegmentBytes caps one log segment's size before roll
+	// (0 = broker default).
+	BrokerRecordSegmentBytes int64
+	// BrokerRecordMaxSegments / BrokerRecordMaxBytes bound each log's
+	// retention; oldest segments are reaped past either (0 = unbounded).
+	BrokerRecordMaxSegments int
+	BrokerRecordMaxBytes    int64
 	// Domain is the SIP domain. Default "mmcs.local".
 	Domain string
 	// WebAddr is the XGSP web server's HTTP address. Default
@@ -143,13 +156,18 @@ func Start(ctx context.Context, cfg Config) (*Server, error) {
 		Communities: wsci.NewRegistry(),
 	}
 	s.Broker = broker.New(broker.Config{
-		ID:            cfg.BrokerID,
-		RouteShards:   cfg.BrokerRouteShards,
-		MaxBatchBytes: cfg.BrokerMaxBatchBytes,
-		FlushInterval: cfg.BrokerFlushInterval,
-		IngestBurst:   cfg.BrokerIngestBurst,
-		MeshID:        cfg.BrokerMeshID,
-		Metrics:       cfg.Metrics,
+		ID:                 cfg.BrokerID,
+		RouteShards:        cfg.BrokerRouteShards,
+		MaxBatchBytes:      cfg.BrokerMaxBatchBytes,
+		FlushInterval:      cfg.BrokerFlushInterval,
+		IngestBurst:        cfg.BrokerIngestBurst,
+		MeshID:             cfg.BrokerMeshID,
+		RecordPatterns:     cfg.BrokerRecordPatterns,
+		RecordDir:          cfg.BrokerRecordDir,
+		RecordSegmentBytes: cfg.BrokerRecordSegmentBytes,
+		RecordMaxSegments:  cfg.BrokerRecordMaxSegments,
+		RecordMaxBytes:     cfg.BrokerRecordMaxBytes,
+		Metrics:            cfg.Metrics,
 	})
 	for _, url := range cfg.BrokerListenURLs {
 		if _, err := s.Broker.Listen(url); err != nil {

@@ -4,7 +4,7 @@
 // master/slave determination, logical channels) tunnelled in the call
 // signalling connection, as H.323v2 fast-connect deployments did.
 //
-// Substitution note (DESIGN.md §6): real H.323 encodes messages with
+// Substitution note (DESIGN.md §7): real H.323 encodes messages with
 // ASN.1 PER. This package uses a tag-length-value binary coding with the
 // same message and field structure; the experiments never measure PER
 // bit-efficiency, and gateways translate message *semantics*.

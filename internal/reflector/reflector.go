@@ -38,7 +38,7 @@ type Config struct {
 	// the work Go actually performs, standing in for the JVM-era
 	// RTPManager overhead (synchronized buffers, object churn, GC
 	// pressure) that a 2026 Go port cannot reproduce natively. It burns
-	// time in the single dispatch thread. See DESIGN.md §6.
+	// time in the single dispatch thread. See DESIGN.md §7.
 	ProcessingCost time.Duration
 }
 

@@ -1,6 +1,7 @@
 package streaming
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -10,30 +11,41 @@ import (
 
 	"github.com/globalmmcs/globalmmcs/internal/broker"
 	"github.com/globalmmcs/globalmmcs/internal/event"
+	"github.com/globalmmcs/globalmmcs/internal/topiclog"
 )
 
 // Archiver records a session's media events to a writer and replays them
 // later with original pacing — the "conference archiving service" the
 // Admire system provides and Global-MMCS adopts.
+//
+// Archives use the broker's durable topic log record format (see
+// internal/topiclog): each event is a sequence-stamped, CRC-framed
+// record, so an archive file is interchangeable with a topic log
+// segment and a torn tail from a crashed recorder is detectable.
+// Archives written by earlier releases (4-byte length framing, no
+// checksum) are rejected with an error naming ConvertLegacy.
 type Archiver struct{}
 
-// WriteFrame writes one length-framed encoded event — the archive wire
-// format shared by Record and the public SDK's archiver.
-func WriteFrame(w io.Writer, e *event.Event) error {
-	b := event.Marshal(e)
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("streaming: writing archive frame: %w", err)
-	}
-	if _, err := w.Write(b); err != nil {
-		return fmt.Errorf("streaming: writing archive frame: %w", err)
+// ErrLegacyArchive reports an archive in the pre-topiclog format:
+// length-framed events with no sequence numbers or checksums. Convert
+// it once with ConvertLegacy.
+var ErrLegacyArchive = errors.New("streaming: legacy archive format (4-byte length framing); convert with ConvertLegacy")
+
+// WriteFrame writes one archived event as a topiclog record: the
+// encoded event is the record payload, stamped with seq and a CRC-32C.
+// Sequence numbers in one archive must be contiguous and ascending
+// from 1 — Record and ConvertLegacy maintain this; callers framing
+// events themselves must too.
+func WriteFrame(w io.Writer, seq uint64, e *event.Event) error {
+	rec := topiclog.AppendRecord(nil, seq, event.Marshal(e))
+	if _, err := w.Write(rec); err != nil {
+		return fmt.Errorf("streaming: writing archive record: %w", err)
 	}
 	return nil
 }
 
 // Record consumes events from sub until it closes or done closes,
-// writing length-framed encoded events to w. It returns the number of
+// writing sequence-stamped records to w. It returns the number of
 // events recorded.
 func (Archiver) Record(w io.Writer, sub *broker.Subscription, done <-chan struct{}) (int, error) {
 	count := 0
@@ -43,7 +55,7 @@ func (Archiver) Record(w io.Writer, sub *broker.Subscription, done <-chan struct
 			if !ok {
 				return count, nil
 			}
-			if err := WriteFrame(w, e); err != nil {
+			if err := WriteFrame(w, uint64(count+1), e); err != nil {
 				return count, err
 			}
 			count++
@@ -63,29 +75,32 @@ type Publisher interface {
 // gaps (from event timestamps) are reproduced; rewriteTopic, when
 // non-nil, maps each event's topic so a replay can feed a different
 // session. Returns events replayed.
+//
+// A truncated final record (a recorder crash mid-write) ends the
+// replay cleanly after the last complete event, matching the topic
+// log's own torn-tail recovery.
 func (Archiver) Replay(ctx context.Context, r io.Reader, pub Publisher, pace bool, rewriteTopic func(string) string) (int, error) {
+	br := bufio.NewReader(r)
+	// Probe for the legacy format: its byte 4 is the event magic; a
+	// record header's byte 4 is a high sequence byte, never 0xE5 for
+	// any realistic archive length.
+	if head, err := br.Peek(5); err == nil && head[4] == 0xE5 {
+		return 0, ErrLegacyArchive
+	}
 	count := 0
-	var hdr [4]byte
 	var prevTS int64
 	for {
 		if err := ctx.Err(); err != nil {
 			return count, err
 		}
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			if errors.Is(err, io.EOF) {
+		_, payload, err := topiclog.ReadRecord(br, 0)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 				return count, nil
 			}
-			return count, fmt.Errorf("streaming: reading archive frame: %w", err)
+			return count, fmt.Errorf("streaming: reading archive record: %w", err)
 		}
-		n := binary.BigEndian.Uint32(hdr[:])
-		if n == 0 || n > event.MaxWireLen {
-			return count, fmt.Errorf("streaming: archive frame length %d out of range", n)
-		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return count, fmt.Errorf("streaming: reading archive frame: %w", err)
-		}
-		e, err := event.Unmarshal(buf)
+		e, err := event.Unmarshal(payload)
 		if err != nil {
 			return count, fmt.Errorf("streaming: decoding archived event: %w", err)
 		}
@@ -106,6 +121,45 @@ func (Archiver) Replay(ctx context.Context, r io.Reader, pub Publisher, pace boo
 		out.Timestamp = time.Now().UnixNano()
 		if err := pub.PublishEvent(out); err != nil {
 			return count, fmt.Errorf("streaming: republishing archived event: %w", err)
+		}
+		count++
+	}
+}
+
+// ConvertLegacy rewrites a legacy length-framed archive from r as
+// topiclog records on w, assigning sequence numbers from 1. It returns
+// the number of events converted. A truncated final frame is dropped,
+// like the topic log's torn-tail recovery.
+func ConvertLegacy(r io.Reader, w io.Writer) (int, error) {
+	count := 0
+	var hdr [4]byte
+	var rec []byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return count, nil
+			}
+			return count, fmt.Errorf("streaming: reading legacy frame: %w", err)
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 || n > event.MaxWireLen {
+			return count, fmt.Errorf("streaming: legacy frame length %d out of range", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return count, nil
+			}
+			return count, fmt.Errorf("streaming: reading legacy frame: %w", err)
+		}
+		// Round-trip through the codec so a corrupt legacy frame is
+		// rejected here rather than surfacing on replay.
+		if _, err := event.Unmarshal(buf); err != nil {
+			return count, fmt.Errorf("streaming: decoding legacy frame: %w", err)
+		}
+		rec = topiclog.AppendRecord(rec[:0], uint64(count+1), buf)
+		if _, err := w.Write(rec); err != nil {
+			return count, fmt.Errorf("streaming: writing converted record: %w", err)
 		}
 		count++
 	}

@@ -19,7 +19,7 @@ import (
 )
 
 // Dynamic payload types the producer re-encodes into ("Real format" —
-// the transcode itself is simulated; see DESIGN.md §6).
+// the transcode itself is simulated; see DESIGN.md §7).
 const (
 	payloadStreamAudio = 96
 	payloadStreamVideo = 97

@@ -3,12 +3,15 @@ package streaming
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
+	"errors"
 	"testing"
 	"time"
 
 	"github.com/globalmmcs/globalmmcs/internal/broker"
 	"github.com/globalmmcs/globalmmcs/internal/event"
 	"github.com/globalmmcs/globalmmcs/internal/media"
+	"github.com/globalmmcs/globalmmcs/internal/topiclog"
 	"github.com/globalmmcs/globalmmcs/internal/transport"
 	"github.com/globalmmcs/globalmmcs/internal/xgsp"
 )
@@ -333,6 +336,110 @@ func TestArchiveRecordReplay(t *testing.T) {
 		case <-deadline:
 			t.Fatalf("observed %d/30 replayed packets", got)
 		}
+	}
+}
+
+// countingSink collects replayed events without a broker.
+type countingSink struct{ events []*event.Event }
+
+func (s *countingSink) PublishEvent(e *event.Event) error {
+	s.events = append(s.events, e)
+	return nil
+}
+
+func archiveEvent(i int) *event.Event {
+	return &event.Event{
+		Topic:     "/xgsp/session/legacy/audio",
+		Kind:      event.KindData,
+		Source:    "legacy-rec",
+		Payload:   []byte{byte(i), byte(i >> 8)},
+		Timestamp: int64(i + 1),
+	}
+}
+
+// legacyArchive builds an archive in the pre-topiclog format:
+// 4-byte big-endian length then the encoded event.
+func legacyArchive(n int) *bytes.Buffer {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	for i := 0; i < n; i++ {
+		b := event.Marshal(archiveEvent(i))
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+		buf.Write(hdr[:])
+		buf.Write(b)
+	}
+	return &buf
+}
+
+func TestArchiveRejectsLegacyFormat(t *testing.T) {
+	var arch Archiver
+	var sink countingSink
+	_, err := arch.Replay(context.Background(), legacyArchive(5), &sink, false, nil)
+	if !errors.Is(err, ErrLegacyArchive) {
+		t.Fatalf("replaying legacy archive: err = %v, want ErrLegacyArchive", err)
+	}
+	if len(sink.events) != 0 {
+		t.Fatalf("replayed %d events from rejected archive", len(sink.events))
+	}
+}
+
+func TestConvertLegacyArchive(t *testing.T) {
+	var converted bytes.Buffer
+	n, err := ConvertLegacy(legacyArchive(12), &converted)
+	if err != nil {
+		t.Fatalf("ConvertLegacy: %v", err)
+	}
+	if n != 12 {
+		t.Fatalf("converted %d events, want 12", n)
+	}
+
+	// Converted records carry contiguous sequence numbers from 1 and
+	// replay through the normal path.
+	raw := converted.Bytes()
+	for want := uint64(1); len(raw) > 0; want++ {
+		seq, _, consumed, err := topiclog.ParseRecord(raw, 0)
+		if err != nil {
+			t.Fatalf("record %d: %v", want, err)
+		}
+		if seq != want {
+			t.Fatalf("record seq = %d, want %d", seq, want)
+		}
+		raw = raw[consumed:]
+	}
+	var arch Archiver
+	var sink countingSink
+	got, err := arch.Replay(context.Background(), &converted, &sink, false, nil)
+	if err != nil {
+		t.Fatalf("replaying converted archive: %v", err)
+	}
+	if got != 12 {
+		t.Fatalf("replayed %d, want 12", got)
+	}
+	for i, e := range sink.events {
+		if want := archiveEvent(i); !bytes.Equal(e.Payload, want.Payload) {
+			t.Fatalf("event %d payload = %v, want %v", i, e.Payload, want.Payload)
+		}
+	}
+}
+
+func TestArchiveReplayTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		if err := WriteFrame(&buf, uint64(i+1), archiveEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Chop the final record mid-payload: a crashed recorder leaves
+	// exactly this shape. Replay must end cleanly after record 9.
+	torn := buf.Bytes()[:buf.Len()-3]
+	var arch Archiver
+	var sink countingSink
+	got, err := arch.Replay(context.Background(), bytes.NewReader(torn), &sink, false, nil)
+	if err != nil {
+		t.Fatalf("replaying torn archive: %v", err)
+	}
+	if got != 9 {
+		t.Fatalf("replayed %d, want 9 (torn tail dropped)", got)
 	}
 }
 

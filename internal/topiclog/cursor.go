@@ -1,0 +1,254 @@
+package topiclog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// cursorChunk is the default read size per Next call: big enough to
+// amortize the syscall over a batch of records, small enough that the
+// freshly allocated chunk (which returned payloads alias) stays cheap.
+const cursorChunk = 128 << 10
+
+// Cursor reads a log's records in order, batch at a time, and can
+// hand off to live tail delivery exactly once via AttachTail. A
+// cursor pins the segment it is reading so retention never deletes
+// the data under it. Cursors are not safe for concurrent use by
+// multiple goroutines (the owning replay pump is single-threaded);
+// Close is safe to call concurrently with Next.
+type Cursor struct {
+	l *Log
+
+	// next is the sequence the cursor wants to read next. Mutated only
+	// by the reading goroutine; read under l.mu by AttachTail (called
+	// from that same goroutine).
+	next     uint64
+	seg      *segment // pinned segment, nil when at tail; guarded by l.mu
+	f        *os.File // read handle on seg; field guarded by l.mu
+	off      int64    // byte offset into seg (-1 = locate via index); reader-owned
+	need     int      // read at least this much next time (record spans chunk)
+	closed   bool     // guarded by l.mu
+	attached bool     // guarded by l.mu
+}
+
+// NewCursor opens a cursor positioned at sequence from. from == 0 or
+// any sequence older than the earliest retained record clamps to the
+// earliest; a sequence at or past the tail positions the cursor at
+// the tail (Next returns nothing until appends catch up).
+func (l *Log) NewCursor(from uint64) *Cursor {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from == 0 || from < l.earliestLocked() {
+		from = l.earliestLocked()
+	}
+	if from > l.nextSeq {
+		from = l.nextSeq
+	}
+	c := &Cursor{l: l, next: from, off: -1}
+	if seg := l.containingLocked(from); seg != nil {
+		seg.pins++
+		c.seg = seg
+	}
+	l.cursors++
+	return c
+}
+
+// containingLocked returns the segment holding seq, or nil.
+func (l *Log) containingLocked(seq uint64) *segment {
+	for _, seg := range l.segs {
+		if seg.size == 0 {
+			continue
+		}
+		if seq >= seg.base && seq <= seg.last {
+			return seg
+		}
+	}
+	return nil
+}
+
+// Pos returns the sequence the cursor will read next. Like Next, it
+// belongs to the cursor's reading goroutine.
+func (c *Cursor) Pos() uint64 { return c.next }
+
+// Next appends up to max records to buf and returns it. An unchanged
+// buf with a nil error means the cursor is at the committed tail. If
+// retention reaped past the cursor's position while it idled at the
+// tail, the cursor skips forward to the earliest retained record.
+// Returned payloads alias a chunk allocated for this call — they stay
+// valid across later Next calls but share the chunk's lifetime.
+func (c *Cursor) Next(buf []Record, max int) ([]Record, error) {
+	if max <= 0 {
+		max = 128
+	}
+	start := len(buf)
+	for {
+		c.l.mu.Lock()
+		if c.closed || c.l.closed {
+			c.l.mu.Unlock()
+			return buf, ErrClosed
+		}
+		if c.attached {
+			c.l.mu.Unlock()
+			return buf, nil
+		}
+		if c.seg == nil {
+			if e := c.l.earliestLocked(); c.next < e {
+				c.next = e
+			}
+			seg := c.l.containingLocked(c.next)
+			if seg == nil {
+				c.l.mu.Unlock()
+				return buf, nil // at tail
+			}
+			seg.pins++
+			c.seg = seg
+			c.off = -1
+		}
+		seg := c.seg
+		committed := seg.size
+		if c.off >= 0 && c.off >= committed && c.next > seg.last {
+			// Segment fully consumed: unpin and advance. Reaping never
+			// removes a segment after a pinned one, so the successor (if
+			// sealed) is still present.
+			seg.pins--
+			c.seg = nil
+			if c.f != nil {
+				c.f.Close()
+				c.f = nil
+			}
+			c.off = -1
+			c.l.mu.Unlock()
+			continue
+		}
+		if c.off < 0 {
+			c.off = seg.locate(c.next)
+		}
+		path := seg.path
+		f := c.f
+		c.l.mu.Unlock()
+
+		if c.off >= committed {
+			return buf, nil // caught up inside the active segment
+		}
+		if f == nil {
+			nf, err := os.Open(path)
+			if err != nil {
+				return buf, fmt.Errorf("topiclog: cursor: %w", err)
+			}
+			c.l.mu.Lock()
+			if c.closed || c.l.closed {
+				c.l.mu.Unlock()
+				nf.Close()
+				return buf, ErrClosed
+			}
+			c.f = nf
+			c.l.mu.Unlock()
+			f = nf
+		}
+		want := committed - c.off
+		if want > cursorChunk {
+			want = cursorChunk
+		}
+		if need := int64(c.need); need > want && need <= committed-c.off {
+			want = need
+		}
+		c.need = 0
+		chunk := make([]byte, want)
+		n, err := f.ReadAt(chunk, c.off)
+		if n == 0 {
+			c.l.mu.Lock()
+			closed := c.closed || c.l.closed
+			c.l.mu.Unlock()
+			if closed {
+				return buf, ErrClosed
+			}
+			if err == nil {
+				err = errors.New("empty read")
+			}
+			return buf, fmt.Errorf("topiclog: cursor read: %w", err)
+		}
+		chunk = chunk[:n]
+		for len(buf)-start < max && len(chunk) > 0 {
+			seq, payload, rn, perr := ParseRecord(chunk, c.l.cfg.MaxRecordBytes)
+			if perr != nil {
+				if errors.Is(perr, ErrShort) {
+					// A record spans past this chunk; committed bytes are
+					// whole records, so size the next read to cover it.
+					if len(chunk) >= HeaderLen {
+						c.need = HeaderLen + int(binary.BigEndian.Uint32(chunk[8:12]))
+					} else {
+						c.need = HeaderLen
+					}
+					break
+				}
+				return buf, perr
+			}
+			c.off += int64(rn)
+			if seq >= c.next {
+				buf = append(buf, Record{Seq: seq, Payload: payload})
+				c.next = seq + 1
+			}
+			chunk = chunk[rn:]
+		}
+		if len(buf) > start {
+			return buf, nil
+		}
+		// Nothing yielded yet (index skip-ahead or a spanning record):
+		// keep reading.
+	}
+}
+
+// AttachTail switches the cursor from history reads to live tail
+// delivery. It succeeds only when the cursor has consumed every
+// committed record (its position equals the log's next sequence);
+// from then on every Append delivers the new records to fn
+// synchronously under the log lock, so no record is missed or
+// duplicated across the handoff. The records slice passed to fn is
+// valid only for the duration of the call. fn must not call back into
+// the log or cursor. After a successful attach, Next returns no more
+// records; Close detaches.
+func (c *Cursor) AttachTail(fn func([]Record)) bool {
+	c.l.mu.Lock()
+	defer c.l.mu.Unlock()
+	if c.closed || c.l.closed || c.attached {
+		return false
+	}
+	if c.next != c.l.nextSeq {
+		return false
+	}
+	c.l.tailers[c] = fn
+	c.attached = true
+	if c.seg != nil {
+		c.seg.pins--
+		c.seg = nil
+	}
+	if c.f != nil {
+		c.f.Close()
+		c.f = nil
+	}
+	return true
+}
+
+// Close releases the cursor: unpins its segment, closes its read
+// handle, and detaches its tailer if attached. Idempotent, and safe
+// to call concurrently with a reader blocked in Next.
+func (c *Cursor) Close() {
+	c.l.mu.Lock()
+	defer c.l.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	delete(c.l.tailers, c)
+	if c.seg != nil {
+		c.seg.pins--
+		c.seg = nil
+	}
+	if c.f != nil {
+		c.f.Close()
+		c.f = nil
+	}
+	c.l.cursors--
+}

@@ -1,0 +1,228 @@
+package topiclog
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCursorFromSequence(t *testing.T) {
+	l, err := Open(t.TempDir(), Config{SegmentMaxBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendN(t, l, 0, 300, 13)
+	got := drain(t, l, 151)
+	if len(got) != 150 {
+		t.Fatalf("read %d records from mid-log, want 150", len(got))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(151+i) || !bytes.Equal(r.Payload, payloadFor(150+i)) {
+			t.Fatalf("record %d wrong (seq %d)", i, r.Seq)
+		}
+	}
+	// From the tail: nothing until new appends arrive.
+	c := l.NewCursor(l.NextSeq())
+	defer c.Close()
+	if out, err := c.Next(nil, 16); err != nil || len(out) != 0 {
+		t.Fatalf("tail cursor returned %d records, err %v", len(out), err)
+	}
+	appendN(t, l, 300, 5, 5)
+	out, err := c.Next(nil, 16)
+	if err != nil || len(out) != 5 {
+		t.Fatalf("tail cursor after append: %d records, err %v", len(out), err)
+	}
+}
+
+// TestCursorAcrossRoll replays a log spread over many segments and
+// checks order and payload integrity across every boundary.
+func TestCursorAcrossRoll(t *testing.T) {
+	l, err := Open(t.TempDir(), Config{SegmentMaxBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendN(t, l, 0, 1000, 9)
+	if l.Stats().Segments < 10 {
+		t.Fatalf("setup: expected many segments, got %d", l.Stats().Segments)
+	}
+	got := drain(t, l, 0)
+	if len(got) != 1000 {
+		t.Fatalf("read %d records, want 1000", len(got))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) || !bytes.Equal(r.Payload, payloadFor(i)) {
+			t.Fatalf("record %d wrong across rolls", i)
+		}
+	}
+}
+
+// TestAttachTailExactlyOnce drives a cursor to the tail under a
+// concurrent appender and proves the history→tail handoff delivers
+// every record exactly once, in order.
+func TestAttachTailExactlyOnce(t *testing.T) {
+	l, err := Open(t.TempDir(), Config{SegmentMaxBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	const total = 5000
+	appendDone := make(chan struct{})
+	go func() {
+		defer close(appendDone)
+		for i := 0; i < total; i += 25 {
+			var batch [][]byte
+			for j := i; j < total && j < i+25; j++ {
+				batch = append(batch, []byte(fmt.Sprintf("%08d", j+1)))
+			}
+			if _, err := l.Append(batch); err != nil {
+				t.Errorf("append: %v", err)
+				return
+			}
+		}
+	}()
+
+	var mu sync.Mutex
+	var seqs []uint64
+	tail := func(recs []Record) {
+		mu.Lock()
+		for _, r := range recs {
+			seqs = append(seqs, r.Seq)
+		}
+		mu.Unlock()
+	}
+
+	c := l.NewCursor(0)
+	defer c.Close()
+	for attached := false; !attached; {
+		out, err := c.Next(nil, 64)
+		if err != nil {
+			t.Fatalf("next: %v", err)
+		}
+		if len(out) == 0 {
+			// At the committed tail: attempt the handoff. A concurrent
+			// append between Next and AttachTail makes it fail; loop.
+			attached = c.AttachTail(tail)
+			continue
+		}
+		mu.Lock()
+		for _, r := range out {
+			seqs = append(seqs, r.Seq)
+		}
+		mu.Unlock()
+	}
+	<-appendDone
+	// One last append after the writer is done proves live delivery.
+	if _, err := l.Append([][]byte{[]byte("final")}); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seqs) != total+1 {
+		t.Fatalf("delivered %d records, want %d", len(seqs), total+1)
+	}
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("position %d got seq %d: duplicate or gap across handoff", i, s)
+		}
+	}
+}
+
+// TestCloseDuringReplayChurn hammers concurrent Next/Close/Append/Reap
+// (run under -race in CI).
+func TestCloseDuringReplayChurn(t *testing.T) {
+	l, err := Open(t.TempDir(), Config{SegmentMaxBytes: 2048, MaxSegments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendN(t, l, 0, 200, 20)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 200
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			l.Append([][]byte{payloadFor(i)})
+			l.Reap()
+			i++
+		}
+	}()
+
+	for round := 0; round < 40; round++ {
+		var cwg sync.WaitGroup
+		for k := 0; k < 4; k++ {
+			c := l.NewCursor(0)
+			cwg.Add(2)
+			go func() {
+				defer cwg.Done()
+				var buf []Record
+				for {
+					var err error
+					buf, err = c.Next(buf[:0], 32)
+					if err != nil {
+						return // closed under us
+					}
+					if len(buf) == 0 {
+						if c.AttachTail(func([]Record) {}) {
+							return
+						}
+					}
+				}
+			}()
+			go func() {
+				defer cwg.Done()
+				time.Sleep(time.Duration(round%3) * time.Millisecond)
+				c.Close()
+			}()
+		}
+		cwg.Wait()
+	}
+	close(stop)
+	wg.Wait()
+	if got := l.Stats().ActiveCursors; got != 0 {
+		t.Fatalf("%d cursors leaked", got)
+	}
+}
+
+// TestCursorClampsAfterReap parks a cursor at the tail, reaps history
+// past it, and checks it resumes from the earliest retained record.
+func TestCursorClampsAfterReap(t *testing.T) {
+	l, err := Open(t.TempDir(), Config{SegmentMaxBytes: 1024, MaxSegments: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c := l.NewCursor(0) // tail of an empty log: pins nothing
+	if out, err := c.Next(nil, 8); err != nil || len(out) != 0 {
+		t.Fatalf("empty log cursor: %d records, err %v", len(out), err)
+	}
+	appendN(t, l, 0, 400, 10)
+	if _, err := l.Reap(); err != nil {
+		t.Fatal(err)
+	}
+	earliest := l.EarliestSeq()
+	if earliest == 1 {
+		t.Fatal("setup: nothing reaped")
+	}
+	out, err := c.Next(nil, 8)
+	if err != nil || len(out) == 0 {
+		t.Fatalf("cursor after reap: %d records, err %v", len(out), err)
+	}
+	if out[0].Seq != earliest {
+		t.Fatalf("cursor resumed at %d, want earliest %d", out[0].Seq, earliest)
+	}
+	c.Close()
+}

@@ -13,7 +13,7 @@ import (
 
 // LinkProfile describes the emulated properties of a link direction. The
 // zero value is a perfect link. Profiles substitute for the paper's 2003
-// testbed (LAN propagation, JVM-era per-send host cost); see DESIGN.md §6.
+// testbed (LAN propagation, JVM-era per-send host cost); see DESIGN.md §7.
 type LinkProfile struct {
 	// PropDelay is the fixed one-way propagation delay added to every
 	// delivery.

@@ -62,6 +62,36 @@ func WithMeshID(id string) Option {
 	return func(c *core.Config) { c.BrokerMeshID = id }
 }
 
+// WithRecording turns on the broker's durable topic log for the given
+// topic patterns: every routed event matching a pattern is appended to
+// a segmented, CRC-framed on-disk log, and late joiners can replay
+// history through Events/Subscribe with WithReplayFrom or
+// WithReplayFromEarliest before switching to live delivery. dir is the
+// log root ("" keeps the default under the OS temp dir). Patterns may
+// use the usual wildcards ("/chat/#"); replay subscriptions must name
+// a recorded pattern exactly. Repeated options accumulate patterns.
+func WithRecording(dir string, patterns ...string) Option {
+	return func(c *core.Config) {
+		if dir != "" {
+			c.BrokerRecordDir = dir
+		}
+		c.BrokerRecordPatterns = append(c.BrokerRecordPatterns, patterns...)
+	}
+}
+
+// WithRecordingRetention bounds each topic log's on-disk footprint:
+// segmentBytes caps one segment before roll (0 keeps the 4 MiB
+// default), and maxSegments/maxBytes cap a log's total retention —
+// oldest segments are reaped past either bound, except segments an
+// active replay cursor still reads (0 = unbounded).
+func WithRecordingRetention(segmentBytes int64, maxSegments int, maxBytes int64) Option {
+	return func(c *core.Config) {
+		c.BrokerRecordSegmentBytes = segmentBytes
+		c.BrokerRecordMaxSegments = maxSegments
+		c.BrokerRecordMaxBytes = maxBytes
+	}
+}
+
 // WithBrokerRouteShards sets how many independent locks the broker's
 // subscription-routing state is sharded across (rounded up to a power of
 // two; 0 keeps the default of 16). One shard degenerates to a single

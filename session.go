@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"github.com/globalmmcs/globalmmcs/internal/broker"
 	"github.com/globalmmcs/globalmmcs/internal/core"
 	"github.com/globalmmcs/globalmmcs/internal/xgsp"
 )
@@ -188,21 +189,38 @@ func (s *Session) Subscribe(ctx context.Context, kind MediaKind, opts ...StreamO
 	if !ok {
 		return nil, tag(ErrNoSuchMedia, errMediaKind(kind))
 	}
-	buffer := streamBuffer(defaultMediaBuffer, opts)
-	sub, err := s.c.BC.SubscribeContext(ctx, stream.Topic, brokerDepth(buffer))
+	sub, err := s.subscribeStream(ctx, stream.Topic, opts)
 	if err != nil {
 		return nil, wrapErr(err)
 	}
 	return newMediaSubscription(sub, s.c.Metrics, s.streamName("media."+string(kind)), opts), nil
 }
 
+// subscribeStream opens the broker subscription behind a stream,
+// switching to a replay subscription when the options ask for one.
+// Replay requires the node to record exactly the subscribed pattern
+// (see WithRecording).
+func (s *Session) subscribeStream(ctx context.Context, pattern string, opts []StreamOption) (*broker.Subscription, error) {
+	cfg := resolveStreamConfig(defaultMediaBuffer, opts)
+	if cfg.replay {
+		return s.c.BC.SubscribeReplay(ctx, pattern, cfg.replayFrom, brokerDepth(cfg.buffer))
+	}
+	return s.c.BC.SubscribeContext(ctx, pattern, brokerDepth(cfg.buffer))
+}
+
 // Events streams every raw broker event published on this session's
 // topics — media, chat and signalling alike: the paper's "every
 // modality is an event on one substrate" view, exposed for gateways,
 // archival tools and debugging. Delivery QoS is set with StreamOptions.
+//
+// With WithReplayFrom or WithReplayFromEarliest the stream first
+// delivers the session's recorded history, then live events, exactly
+// once across the handoff; the node must record exactly this session's
+// topic pattern ("/xgsp/session/<id>/#" — see WithRecording), and
+// Stream.CaughtUp signals when history is drained.
 func (s *Session) Events(ctx context.Context, opts ...StreamOption) (*Stream[Event], error) {
 	pattern := xgsp.SessionTopic(s.ID(), "#")
-	sub, err := s.c.BC.SubscribeContext(ctx, pattern, brokerDepth(streamBuffer(defaultMediaBuffer, opts)))
+	sub, err := s.subscribeStream(ctx, pattern, opts)
 	if err != nil {
 		return nil, wrapErr(err)
 	}

@@ -42,9 +42,13 @@ type StreamOption func(*streamConfig)
 type streamConfig struct {
 	buffer    int
 	policy    DropPolicy
+	policySet bool
 	conflate  bool
 	keyFn     any // func(T) any when set via WithConflationKey[T]
 	lagNotify func(dropped uint64)
+
+	replay     bool
+	replayFrom uint64
 }
 
 // WithBuffer sets the stream's delivery buffer depth (and sizes the
@@ -55,9 +59,28 @@ func WithBuffer(n int) StreamOption {
 }
 
 // WithDropPolicy selects the stream's full-buffer policy. The default
-// is DropOldest.
+// is DropOldest (Block for replay streams).
 func WithDropPolicy(p DropPolicy) StreamOption {
-	return func(c *streamConfig) { c.policy = p }
+	return func(c *streamConfig) { c.policy = p; c.policySet = true }
+}
+
+// WithReplayFromEarliest turns the subscription into a replay
+// subscription: the broker first streams the topic's recorded history
+// from the earliest retained event, then hands off to live delivery
+// exactly once — nothing is lost or duplicated across the switch. The
+// node must record the subscribed pattern (WithRecording with exactly
+// this pattern); CaughtUp on the stream signals the handoff. Replay
+// streams default to the Block policy so history is never dropped
+// client-side; an explicit WithDropPolicy overrides.
+func WithReplayFromEarliest() StreamOption {
+	return func(c *streamConfig) { c.replay = true; c.replayFrom = 0 }
+}
+
+// WithReplayFrom is WithReplayFromEarliest starting at a specific
+// recorded sequence number instead of the earliest retained one (a
+// sequence already reaped by retention clamps to the earliest).
+func WithReplayFrom(seq uint64) StreamOption {
+	return func(c *streamConfig) { c.replay = true; c.replayFrom = seq }
 }
 
 // WithConflation merges queued events that supersede each other while
@@ -188,14 +211,11 @@ func (p *pendingSet[T, K]) pop() {
 // matching type. reg/name register the per-stream drop gauge when the
 // node has a registry.
 func newStream[T any](sub *broker.Subscription, reg *metrics.Registry, name string, defaultBuffer int, decode func(*event.Event) (T, bool), builtinKey func(T) (uint64, bool), opts []StreamOption) *Stream[T] {
-	cfg := streamConfig{buffer: defaultBuffer, policy: DropOldest}
-	for _, opt := range opts {
-		if opt != nil {
-			opt(&cfg)
-		}
-	}
-	if cfg.buffer <= 0 {
-		cfg.buffer = defaultBuffer
+	cfg := resolveStreamConfig(defaultBuffer, opts)
+	if cfg.replay && !cfg.policySet {
+		// History must survive a lagging consumer: backpressure the
+		// broker's replay pump instead of dropping.
+		cfg.policy = Block
 	}
 	s := &Stream[T]{
 		sub:       sub,
@@ -264,19 +284,24 @@ func acquireGauge(reg *metrics.Registry, name string) func() {
 	}
 }
 
-// streamBuffer resolves the effective stream buffer depth for the
-// given options.
-func streamBuffer(defaultBuffer int, opts []StreamOption) int {
-	cfg := streamConfig{buffer: defaultBuffer}
+// resolveStreamConfig folds the options over the defaults.
+func resolveStreamConfig(defaultBuffer int, opts []StreamOption) streamConfig {
+	cfg := streamConfig{buffer: defaultBuffer, policy: DropOldest}
 	for _, opt := range opts {
 		if opt != nil {
 			opt(&cfg)
 		}
 	}
 	if cfg.buffer <= 0 {
-		return defaultBuffer
+		cfg.buffer = defaultBuffer
 	}
-	return cfg.buffer
+	return cfg
+}
+
+// streamBuffer resolves the effective stream buffer depth for the
+// given options.
+func streamBuffer(defaultBuffer int, opts []StreamOption) int {
+	return resolveStreamConfig(defaultBuffer, opts).buffer
 }
 
 // brokerDepth sizes the broker-side subscription channel backing a
@@ -344,6 +369,14 @@ func (s *Stream[T]) All(ctx context.Context) iter.Seq2[T, error] {
 // closed when the stream closes; Recv and Chan draw from the same
 // buffer.
 func (s *Stream[T]) Chan() <-chan T { return s.ch }
+
+// CaughtUp returns a channel that closes once a replay stream
+// (WithReplayFrom / WithReplayFromEarliest) has drained recorded
+// history and handed off to live delivery. Events may still be
+// buffered ahead of the consumer at that instant — the signal means
+// the broker-side cursor reached the log's tail. For non-replay
+// streams it returns nil (a nil channel never becomes ready).
+func (s *Stream[T]) CaughtUp() <-chan struct{} { return s.sub.CaughtUp() }
 
 // Drops reports how many events this stream discarded or conflated
 // locally because the consumer lagged. (The broker additionally sheds

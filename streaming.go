@@ -65,10 +65,11 @@ func (t *PlayerTrack) LastPayloadType() uint8 { return t.t.LastPayloadType() }
 type Archive struct{}
 
 // Record consumes packets from sub until the stream closes or ctx is
-// cancelled, writing length-framed events to w. It returns the number
-// of packets recorded. Each packet is encoded and written as it
-// arrives — nothing is retained, so recording never pins the broker's
-// receive buffers.
+// cancelled, writing sequence-stamped, CRC-framed records to w (the
+// broker's durable topic log format — see internal/topiclog). It
+// returns the number of packets recorded. Each packet is encoded and
+// written as it arrives — nothing is retained, so recording never pins
+// the broker's receive buffers.
 func (Archive) Record(ctx context.Context, w io.Writer, sub *MediaSubscription) (int, error) {
 	count := 0
 	for {
@@ -76,7 +77,7 @@ func (Archive) Record(ctx context.Context, w io.Writer, sub *MediaSubscription) 
 		if err != nil {
 			return count, nil
 		}
-		if err := streaming.WriteFrame(w, p.e); err != nil {
+		if err := streaming.WriteFrame(w, uint64(count+1), p.e); err != nil {
 			return count, err
 		}
 		count++
