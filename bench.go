@@ -255,6 +255,10 @@ type IngestOptions struct {
 	// DisablePublishBatching turns off the client-side batching
 	// Publisher the publishers use by default.
 	DisablePublishBatching bool
+	// WriterPool sets the broker's writer-pool width: 0 keeps the
+	// default (GOMAXPROCS-derived shared writer pools), negative
+	// degenerates to the legacy writer-goroutine-per-session plane.
+	WriterPool int
 }
 
 // IngestReport is the outcome of one sustained-ingest run. Fields carry
@@ -288,6 +292,16 @@ type IngestReport struct {
 	EventsPerBurst   float64 `json:"events_per_burst"`
 	EventsPerWakeup  float64 `json:"events_per_wakeup"`
 	RingOccupancyMax int     `json:"ring_occupancy_max"`
+	// GoMaxProcs is the runtime.GOMAXPROCS the run executed under;
+	// WriterPools the broker's writer-pool count (0 = the legacy
+	// per-session ablation); the pool stats report writer-pool occupancy
+	// over the window — ready-list services, events drained through the
+	// pools, and drained events per service.
+	GoMaxProcs           int     `json:"gomaxprocs"`
+	WriterPools          int     `json:"writer_pools"`
+	PoolServices         uint64  `json:"pool_services,omitempty"`
+	PoolDrained          uint64  `json:"pool_drained,omitempty"`
+	EventsPerPoolService float64 `json:"events_per_pool_service,omitempty"`
 }
 
 // RunIngest measures sustained broker ingest: the rate at which one
@@ -308,31 +322,102 @@ func RunIngest(opt IngestOptions) (*IngestReport, error) {
 		IngestBurst:            opt.IngestBurst,
 		DispatchBurst:          opt.DispatchBurst,
 		DisablePublishBatching: opt.DisablePublishBatching,
+		WriterPool:             opt.WriterPool,
 	})
 	if err != nil {
 		return nil, err
 	}
+	return ingestReport(res), nil
+}
+
+func ingestReport(res bench.IngestResult) *IngestReport {
 	return &IngestReport{
-		Mode:             res.Mode,
-		Transport:        res.Transport,
-		PubTransport:     res.PubTransport,
-		Subscribers:      res.Subscribers,
-		Publishers:       res.Publishers,
-		PayloadBytes:     res.PayloadBytes,
-		IngestBurst:      res.IngestBurst,
-		PublishBatching:  res.PublishBatching,
-		WindowSec:        res.WindowSec,
-		IngestedPerSec:   res.IngestedPerSec,
-		ArrivedPerSec:    res.ArrivedPerSec,
-		DeliveredPerSec:  res.DeliveredPerSec,
-		DispatchBurst:    res.DispatchBurst,
-		DeliveryBursts:   res.DeliveryBursts,
-		DeliveryWakeups:  res.DeliveryWakeups,
-		ClientDelivered:  res.ClientDelivered,
-		EventsPerBurst:   res.EventsPerBurst,
-		EventsPerWakeup:  res.EventsPerWakeup,
-		RingOccupancyMax: res.RingOccupancyMax,
-	}, nil
+		Mode:                 res.Mode,
+		Transport:            res.Transport,
+		PubTransport:         res.PubTransport,
+		Subscribers:          res.Subscribers,
+		Publishers:           res.Publishers,
+		PayloadBytes:         res.PayloadBytes,
+		IngestBurst:          res.IngestBurst,
+		PublishBatching:      res.PublishBatching,
+		WindowSec:            res.WindowSec,
+		IngestedPerSec:       res.IngestedPerSec,
+		ArrivedPerSec:        res.ArrivedPerSec,
+		DeliveredPerSec:      res.DeliveredPerSec,
+		DispatchBurst:        res.DispatchBurst,
+		DeliveryBursts:       res.DeliveryBursts,
+		DeliveryWakeups:      res.DeliveryWakeups,
+		ClientDelivered:      res.ClientDelivered,
+		EventsPerBurst:       res.EventsPerBurst,
+		EventsPerWakeup:      res.EventsPerWakeup,
+		RingOccupancyMax:     res.RingOccupancyMax,
+		GoMaxProcs:           res.GoMaxProcs,
+		WriterPools:          res.WriterPools,
+		PoolServices:         res.PoolServices,
+		PoolDrained:          res.PoolDrained,
+		EventsPerPoolService: res.EventsPerPoolService,
+	}
+}
+
+// IngestScalingOptions parameterises the GOMAXPROCS scaling ladder: the
+// base ingest workload rerun at each rung under the writer-pool plane
+// and the per-session-writer ablation.
+type IngestScalingOptions struct {
+	// Base is the per-cell workload (its WriterPool field is overridden
+	// per cell).
+	Base IngestOptions
+	// Procs is the GOMAXPROCS ladder; empty selects {1, 2, 4, ...,
+	// min(8, NumCPU)}.
+	Procs []int
+}
+
+// IngestScalingCell is one ladder rung: the same workload under the
+// writer-pool plane and the per-session ablation at one GOMAXPROCS.
+type IngestScalingCell struct {
+	GoMaxProcs int           `json:"gomaxprocs"`
+	WriterPool *IngestReport `json:"writer_pool"`
+	PerSession *IngestReport `json:"per_session"`
+}
+
+// IngestScalingReport is the full ladder plus the host core count.
+type IngestScalingReport struct {
+	HostCPUs int                 `json:"host_cpus"`
+	Cells    []IngestScalingCell `json:"cells"`
+}
+
+// RunIngestScaling runs the sustained-ingest workload across the
+// GOMAXPROCS ladder (restoring GOMAXPROCS afterwards), measuring the
+// writer-pool default against the writer-goroutine-per-session
+// ablation at every rung.
+func RunIngestScaling(opt IngestScalingOptions) (*IngestScalingReport, error) {
+	res, err := bench.RunIngestScaling(bench.IngestScalingConfig{
+		Base: bench.IngestConfig{
+			Mode:                   broker.Mode(opt.Base.Mode),
+			Subscribers:            opt.Base.Subscribers,
+			Publishers:             opt.Base.Publishers,
+			PayloadBytes:           opt.Base.PayloadBytes,
+			Transport:              opt.Base.Transport,
+			PubTransport:           opt.Base.PubTransport,
+			Warmup:                 opt.Base.Warmup,
+			Duration:               opt.Base.Duration,
+			IngestBurst:            opt.Base.IngestBurst,
+			DispatchBurst:          opt.Base.DispatchBurst,
+			DisablePublishBatching: opt.Base.DisablePublishBatching,
+		},
+		Procs: opt.Procs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &IngestScalingReport{HostCPUs: res.HostCPUs}
+	for _, cell := range res.Cells {
+		out.Cells = append(out.Cells, IngestScalingCell{
+			GoMaxProcs: cell.GoMaxProcs,
+			WriterPool: ingestReport(cell.WriterPool),
+			PerSession: ingestReport(cell.PerSession),
+		})
+	}
+	return out, nil
 }
 
 // MeshOptions parameterises the cross-mesh fan-out benchmark: a ring of

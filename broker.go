@@ -49,6 +49,11 @@ type BrokerConfig struct {
 	// IngestBurst bounds the per-sweep ingest burst (default 256;
 	// 1 = event-at-a-time ablation).
 	IngestBurst int
+	// WriterPoolSize sets how many shared writer pools drain session
+	// send queues (default GOMAXPROCS-derived — O(cores) writers instead
+	// of one goroutine per session; negative restores the legacy
+	// writer-goroutine-per-session plane).
+	WriterPoolSize int
 	// MeshID scopes this broker's peer links to one federation mesh:
 	// brokers link only when their mesh IDs match (empty matches
 	// anything).
@@ -96,6 +101,7 @@ func NewBrokerWithConfig(id string, mode BrokerMode, cfg BrokerConfig) *Broker {
 			MaxBatchBytes:      cfg.MaxBatchBytes,
 			FlushInterval:      cfg.FlushInterval,
 			IngestBurst:        cfg.IngestBurst,
+			WriterPoolSize:     cfg.WriterPoolSize,
 			MeshID:             cfg.MeshID,
 			MeshFlood:          cfg.MeshFlood,
 			PeerCreditWindow:   cfg.PeerCreditWindow,

@@ -31,8 +31,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -56,6 +59,8 @@ func run() error {
 		window = flag.Duration("ingest-window", 2*time.Second, "ingest: steady-state measurement window")
 		topo   = flag.String("mesh-topology", "ring", "mesh: peer-link topology (ring, star, full)")
 		short  = flag.Bool("short", false, "shrink runs for a quick (or CI) look")
+		pprofA = flag.String("pprof", "", "serve net/http/pprof on this address while the experiment runs (empty = off)")
+		cpuOut = flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 
 		replaySubs    = flag.Int("replay-subs", 16, "replay: late-joiner fan-out width")
 		replayPrefill = flag.Int("replay-prefill", 50000, "replay: recorded history the joiners drain")
@@ -66,6 +71,27 @@ func run() error {
 	flag.Parse()
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
+	}
+	if *pprofA != "" {
+		go func() {
+			log.Printf("pprof: %v", http.ListenAndServe(*pprofA, nil))
+		}()
+		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", *pprofA)
+	}
+	if *cpuOut != "" {
+		f, err := os.Create(*cpuOut)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", *cpuOut)
+		}()
 	}
 	if *short {
 		*scale = min(*scale, 0.05)
@@ -243,6 +269,35 @@ func runIngest(subs, pubs int, window time.Duration) error {
 			reports[2].DeliveredPerSec/reports[1].DeliveredPerSec)
 	}
 	out, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+
+	// GOMAXPROCS scaling ladder: the same workload per rung, writer-pool
+	// plane versus the writer-goroutine-per-session ablation (the format
+	// of BENCH_broker.json's ingest.scaling section).
+	scaling, err := globalmmcs.RunIngestScaling(globalmmcs.IngestScalingOptions{
+		Base: globalmmcs.IngestOptions{
+			Subscribers: subs,
+			Publishers:  pubs,
+			Duration:    window,
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("ingest scaling: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "=== GOMAXPROCS scaling ladder (%d host cpus) ===\n", scaling.HostCPUs)
+	for _, cell := range scaling.Cells {
+		ratio := 0.0
+		if cell.PerSession.DeliveredPerSec > 0 {
+			ratio = cell.WriterPool.DeliveredPerSec / cell.PerSession.DeliveredPerSec
+		}
+		fmt.Fprintf(os.Stderr, "GOMAXPROCS=%d  pool(%d): %12.0f delivered/s (%.1f ev/service)  per-session: %12.0f delivered/s  pool/legacy %.2fx\n",
+			cell.GoMaxProcs, cell.WriterPool.WriterPools, cell.WriterPool.DeliveredPerSec,
+			cell.WriterPool.EventsPerPoolService, cell.PerSession.DeliveredPerSec, ratio)
+	}
+	out, err = json.MarshalIndent(scaling, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os/signal"
 	"strings"
 	"syscall"
@@ -39,6 +41,8 @@ func run() error {
 		batch  = flag.Int("max-batch-bytes", 0, "per-session write batch bound (0 = default 256KiB)")
 		flush  = flag.Duration("flush-interval", 0, "batch linger once a session queue idles (0 = flush immediately)")
 		burst  = flag.Int("ingest-burst", 0, "events decoded and routed per ingest sweep (0 = default 256, 1 = event-at-a-time)")
+		wpool  = flag.Int("writer-pool", 0, "shared writer pools draining session send queues (0 = GOMAXPROCS-derived default, negative = writer goroutine per session)")
+		pprofA = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 		flood  = flag.Bool("mesh-flood", false, "flood every advertising peer link instead of routed spanning-tree forwarding")
 		credit = flag.Int("peer-credit-window", 0, "best-effort events in flight per peer link before sender-side shedding (0 = default queue-depth/2, negative = off)")
 
@@ -50,6 +54,13 @@ func run() error {
 	)
 	flag.Parse()
 
+	if *pprofA != "" {
+		go func() {
+			log.Printf("pprof: %v", http.ListenAndServe(*pprofA, nil))
+		}()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofA)
+	}
+
 	m := globalmmcs.BrokerClientServer
 	if *mode == "p2p" {
 		m = globalmmcs.BrokerPeerToPeer
@@ -60,6 +71,7 @@ func run() error {
 		MaxBatchBytes:      *batch,
 		FlushInterval:      *flush,
 		IngestBurst:        *burst,
+		WriterPoolSize:     *wpool,
 		MeshID:             *meshID,
 		MeshFlood:          *flood,
 		PeerCreditWindow:   *credit,

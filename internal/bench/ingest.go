@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -63,6 +65,11 @@ type IngestConfig struct {
 	// FlushInterval is the broker's batch linger (default 1ms, the
 	// throughput-bound operating point).
 	FlushInterval time.Duration
+	// WriterPool sets the broker's writer-pool width: 0 keeps the
+	// default (GOMAXPROCS-derived shared writer pools), negative
+	// degenerates to the legacy writer-goroutine-per-session plane — the
+	// pre-pool baseline the multi-core scaling is measured against.
+	WriterPool int
 }
 
 func (c IngestConfig) withDefaults() IngestConfig {
@@ -146,6 +153,17 @@ type IngestResult struct {
 	// RingOccupancyMax is the high-water subscription ring occupancy
 	// observed across subscribers.
 	RingOccupancyMax int `json:"ring_occupancy_max"`
+	// GoMaxProcs is the runtime.GOMAXPROCS the run executed under.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// WriterPools is the broker's writer-pool count (0 = the legacy
+	// writer-goroutine-per-session ablation).
+	WriterPools int `json:"writer_pools"`
+	// Writer-pool occupancy over the window: ready-list services
+	// performed, events drained through the pools, and the amortization
+	// ratio (drained events per service). Zero in the ablation.
+	PoolServices         uint64  `json:"pool_services,omitempty"`
+	PoolDrained          uint64  `json:"pool_drained,omitempty"`
+	EventsPerPoolService float64 `json:"events_per_pool_service,omitempty"`
 }
 
 func (r IngestResult) String() string {
@@ -173,14 +191,17 @@ func RunIngest(cfg IngestConfig) (IngestResult, error) {
 		res.PubTransport = cfg.PubTransport
 	}
 
+	res.GoMaxProcs = runtime.GOMAXPROCS(0)
 	b := broker.New(broker.Config{
-		ID:            "ingest-broker",
-		Mode:          cfg.Mode,
-		QueueDepth:    cfg.QueueDepth,
-		FlushInterval: cfg.FlushInterval,
-		IngestBurst:   cfg.IngestBurst,
+		ID:             "ingest-broker",
+		Mode:           cfg.Mode,
+		QueueDepth:     cfg.QueueDepth,
+		FlushInterval:  cfg.FlushInterval,
+		IngestBurst:    cfg.IngestBurst,
+		WriterPoolSize: cfg.WriterPool,
 	})
 	defer b.Stop()
+	res.WriterPools = len(b.WriterPoolStats())
 	if res.IngestBurst == 0 {
 		res.IngestBurst = broker.DefaultIngestBurst
 	}
@@ -301,6 +322,13 @@ func RunIngest(cfg IngestConfig) (IngestResult, error) {
 			m.Counter("broker.events_in").Value(),
 			m.Counter("broker.events_out").Value()
 	}
+	poolStats := func() (services, drained uint64) {
+		for _, st := range b.WriterPoolStats() {
+			services += st.Services
+			drained += st.Drained
+		}
+		return
+	}
 
 	time.Sleep(cfg.Warmup)
 	// The occupancy high-water is a monotonic marker: clear it so the
@@ -310,10 +338,12 @@ func RunIngest(cfg IngestConfig) (IngestResult, error) {
 	}
 	i0, a0, d0 := snapshot()
 	b0, w0, e0, _ := deliveryStats()
+	s0, dr0 := poolStats()
 	t0 := time.Now()
 	time.Sleep(cfg.Duration)
 	i1, a1, d1 := snapshot()
 	b1, w1, e1, maxOcc := deliveryStats()
+	s1, dr1 := poolStats()
 	window := time.Since(t0).Seconds()
 	close(stop)
 	pubWG.Wait()
@@ -340,5 +370,88 @@ func RunIngest(cfg IngestConfig) (IngestResult, error) {
 		res.EventsPerWakeup = float64(res.ClientDelivered) / float64(res.DeliveryWakeups)
 	}
 	res.RingOccupancyMax = maxOcc
+	res.PoolServices = s1 - s0
+	res.PoolDrained = dr1 - dr0
+	if res.PoolServices > 0 {
+		res.EventsPerPoolService = float64(res.PoolDrained) / float64(res.PoolServices)
+	}
+	return res, nil
+}
+
+// IngestScalingConfig parameterises the GOMAXPROCS scaling ladder: the
+// base ingest workload is rerun at each rung with the writer-pool plane
+// and with the legacy writer-goroutine-per-session ablation, so the
+// ladder shows both how the burst plane scales with cores and what the
+// shared pools cost (or save) against dedicated writers at every width.
+type IngestScalingConfig struct {
+	// Base is the per-cell workload. Its WriterPool field is overridden
+	// per cell.
+	Base IngestConfig
+	// Procs is the GOMAXPROCS ladder. Default {1, 2, 4, ..., min(8,
+	// NumCPU)} — on a single-core host the ladder degenerates to the one
+	// GOMAXPROCS=1 cell.
+	Procs []int
+}
+
+// IngestScalingCell is one rung of the ladder: the same workload under
+// the writer-pool plane and the per-session ablation at one GOMAXPROCS.
+type IngestScalingCell struct {
+	GoMaxProcs int          `json:"gomaxprocs"`
+	WriterPool IngestResult `json:"writer_pool"`
+	PerSession IngestResult `json:"per_session"`
+}
+
+// IngestScalingResult is the full ladder plus the host shape it ran on.
+type IngestScalingResult struct {
+	HostCPUs int                 `json:"host_cpus"`
+	Cells    []IngestScalingCell `json:"cells"`
+}
+
+// ScalingLadder returns the default GOMAXPROCS ladder {1, 2, 4, ...}
+// capped at min(8, NumCPU). A 1-core host yields just {1}.
+func ScalingLadder() []int {
+	limit := runtime.NumCPU()
+	if limit > 8 {
+		limit = 8
+	}
+	var ladder []int
+	for n := 1; n <= limit; n *= 2 {
+		ladder = append(ladder, n)
+	}
+	return ladder
+}
+
+// RunIngestScaling runs the sustained-ingest workload across the
+// GOMAXPROCS ladder, restoring the caller's GOMAXPROCS before
+// returning. Each rung measures the writer-pool default and the
+// per-session ablation back to back.
+func RunIngestScaling(cfg IngestScalingConfig) (IngestScalingResult, error) {
+	res := IngestScalingResult{HostCPUs: runtime.NumCPU()}
+	procs := cfg.Procs
+	if len(procs) == 0 {
+		procs = ScalingLadder()
+	}
+	sort.Ints(procs)
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, n := range procs {
+		if n < 1 {
+			return res, fmt.Errorf("bench: invalid GOMAXPROCS rung %d", n)
+		}
+		runtime.GOMAXPROCS(n)
+		pool := cfg.Base
+		pool.WriterPool = 0
+		rp, err := RunIngest(pool)
+		if err != nil {
+			return res, fmt.Errorf("bench: scaling GOMAXPROCS=%d writer-pool: %w", n, err)
+		}
+		abl := cfg.Base
+		abl.WriterPool = -1
+		ra, err := RunIngest(abl)
+		if err != nil {
+			return res, fmt.Errorf("bench: scaling GOMAXPROCS=%d per-session: %w", n, err)
+		}
+		res.Cells = append(res.Cells, IngestScalingCell{GoMaxProcs: n, WriterPool: rp, PerSession: ra})
+	}
 	return res, nil
 }

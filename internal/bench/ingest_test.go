@@ -92,6 +92,81 @@ func TestIngestDeliveryStats(t *testing.T) {
 	t.Log(res)
 }
 
+// TestIngestWriterPoolAblation runs the legacy writer-goroutine-per-
+// session plane (WriterPool < 0) that the multi-core writer-pool
+// speedup is measured against, and checks the pool-occupancy fields
+// stay zero there while the default plane reports them.
+func TestIngestWriterPoolAblation(t *testing.T) {
+	cfg := quickIngest()
+	cfg.WriterPool = -1
+	res, err := RunIngest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IngestedPerSec <= 0 || res.DeliveredPerSec <= 0 {
+		t.Fatalf("ingested/sec = %v delivered/sec = %v", res.IngestedPerSec, res.DeliveredPerSec)
+	}
+	if res.WriterPools != 0 || res.PoolServices != 0 {
+		t.Fatalf("per-session ablation reported pool stats: pools=%d services=%d", res.WriterPools, res.PoolServices)
+	}
+	pooled, err := RunIngest(quickIngest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pooled.WriterPools <= 0 || pooled.PoolServices == 0 || pooled.PoolDrained == 0 {
+		t.Fatalf("writer-pool plane did not report pool stats: %+v", pooled)
+	}
+	t.Log(res)
+}
+
+// TestIngestScaling runs the GOMAXPROCS scaling ladder at a single
+// explicit rung (so the test is fast and identical on any host) and
+// checks both cells of the rung — writer-pool plane and per-session
+// ablation — produced throughput.
+func TestIngestScaling(t *testing.T) {
+	res, err := RunIngestScaling(IngestScalingConfig{
+		Base:  quickIngest(),
+		Procs: []int{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HostCPUs <= 0 {
+		t.Fatalf("HostCPUs = %d", res.HostCPUs)
+	}
+	if len(res.Cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(res.Cells))
+	}
+	cell := res.Cells[0]
+	if cell.GoMaxProcs != 1 {
+		t.Fatalf("GoMaxProcs = %d, want 1", cell.GoMaxProcs)
+	}
+	if cell.WriterPool.DeliveredPerSec <= 0 || cell.PerSession.DeliveredPerSec <= 0 {
+		t.Fatalf("ladder cell did not deliver: pool=%v per-session=%v",
+			cell.WriterPool.DeliveredPerSec, cell.PerSession.DeliveredPerSec)
+	}
+	if cell.WriterPool.WriterPools != 1 {
+		t.Fatalf("pool cell writer pools = %d, want 1 at GOMAXPROCS=1", cell.WriterPool.WriterPools)
+	}
+}
+
+// TestScalingLadder checks the rung sequence doubles from one and stays
+// within the host's core budget.
+func TestScalingLadder(t *testing.T) {
+	ladder := ScalingLadder()
+	if len(ladder) == 0 || ladder[0] != 1 {
+		t.Fatalf("ladder = %v, want to start at 1", ladder)
+	}
+	for i := 1; i < len(ladder); i++ {
+		if ladder[i] != ladder[i-1]*2 {
+			t.Fatalf("ladder = %v, want doubling rungs", ladder)
+		}
+		if ladder[i] > 8 {
+			t.Fatalf("ladder = %v, rung above 8", ladder)
+		}
+	}
+}
+
 // TestIngestMem exercises the all-in-process pointer path, whose egress
 // now also batches (eventBatchSink and the batch-message pipe) when
 // burst ingest is on.

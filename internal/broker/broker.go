@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -102,6 +103,13 @@ type Config struct {
 	// batching then happens only under sustained load, costing no
 	// latency. Reliable events always flush immediately regardless.
 	FlushInterval time.Duration
+	// WriterPoolSize is the number of shared writer-pool goroutines that
+	// drain session send queues. The default (0) derives from GOMAXPROCS,
+	// giving the egress side O(cores) writers instead of one goroutine
+	// per session; negative restores the legacy writer-per-session model
+	// (the ablation knob for the scaling benchmark). Each session is
+	// bound to one pool for life, preserving per-session write ordering.
+	WriterPoolSize int
 	// IngestBurst bounds how many events a session reader decodes and
 	// routes per sweep on burst-capable conns. Within a burst, publish
 	// targets are resolved once per topic and each target session is
@@ -181,6 +189,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IngestBurst == 0 {
 		c.IngestBurst = DefaultIngestBurst
+	}
+	if c.WriterPoolSize == 0 {
+		c.WriterPoolSize = runtime.GOMAXPROCS(0)
+	}
+	if c.WriterPoolSize < 0 {
+		c.WriterPoolSize = 0 // legacy writer-per-session ablation
 	}
 	if c.IngestBurst < 1 {
 		c.IngestBurst = 1
@@ -266,6 +280,12 @@ type Broker struct {
 	// would otherwise serialize on for every event.
 	ctr brokerCounters
 
+	// pools are the shared egress writers (empty in the legacy
+	// writer-per-session ablation); poolNext round-robins session
+	// binding across them.
+	pools    []*writerPool
+	poolNext atomic.Uint64
+
 	wg   sync.WaitGroup
 	done chan struct{}
 }
@@ -328,6 +348,14 @@ func New(cfg Config) *Broker {
 	b.planFn = b.planFor
 	if len(cfg.RecordPatterns) > 0 {
 		b.rec = newRecordPlane(cfg, cfg.Metrics)
+	}
+	if cfg.WriterPoolSize > 0 {
+		b.pools = make([]*writerPool, cfg.WriterPoolSize)
+		for i := range b.pools {
+			b.pools[i] = newWriterPool(b)
+			b.wg.Add(1)
+			go b.pools[i].run()
+		}
 	}
 	b.wg.Add(1)
 	go b.housekeeping()
@@ -468,6 +496,16 @@ func (b *Broker) hasPeers() bool {
 func (b *Broker) attach(conn transport.Conn, id string, isPeer, dialed bool) (*session, error) {
 	s := newSession(b, conn, id, isPeer)
 	s.dialed = dialed
+	// Sender-blocking conns (spin-wait link emulation) keep a dedicated
+	// writer: one emulated link's host cost must not head-of-line block a
+	// pool shard's other sessions.
+	blocking := false
+	if sb, ok := conn.(transport.SendBlocker); ok {
+		blocking = sb.SendBlocks()
+	}
+	if len(b.pools) > 0 && !blocking {
+		s.bindPool(b.pools[int(b.poolNext.Add(1)-1)%len(b.pools)])
+	}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -845,7 +883,35 @@ func (b *Broker) peerList(except *session) []*session {
 // twice regardless of fan-out width — once for local sessions and once
 // (a one-byte TTL patch on a buffer copy) for peers.
 func (b *Broker) route(e *event.Event, from *session) {
-	b.routeOne(e, from, b.matchFn, b.planFn, deliverDirect, b.recordDirect, nil)
+	var st routeStats
+	b.routeOne(e, from, b.matchFn, b.planFn, deliverDirect, b.recordDirect, nil, &st)
+	st.flush(&b.ctr)
+}
+
+// routeStats accumulates the data-path counters of one routing pass.
+// The burst path keeps one per sweep and flushes it once per burst, so
+// concurrent reader goroutines touch the shared counter cache lines a
+// handful of times per burst instead of several times per event — one
+// of the global hot points that would otherwise serialize multi-core
+// ingest.
+type routeStats struct {
+	routed     uint64
+	unroutable uint64
+	duplicates uint64
+}
+
+// flush adds the accumulated deltas to the shared counters and resets.
+func (st *routeStats) flush(ctr *brokerCounters) {
+	if st.routed > 0 {
+		ctr.eventsRtd.Add(st.routed)
+	}
+	if st.unroutable > 0 {
+		ctr.unroutable.Add(st.unroutable)
+	}
+	if st.duplicates > 0 {
+		ctr.duplicates.Add(st.duplicates)
+	}
+	*st = routeStats{}
 }
 
 // deliverDirect is route's delivery strategy: hand the event to the
@@ -871,7 +937,7 @@ type planFn func(string) *topicPlan
 // append, or staged per burst). served is a reusable scratch buffer
 // for the flood's already-served peer set; the (possibly grown) buffer
 // is returned for reuse.
-func (b *Broker) routeOne(e *event.Event, from *session, match func(string) []*session, plans planFn, deliver deliverFn, rec recordFn, served []*session) []*session {
+func (b *Broker) routeOne(e *event.Event, from *session, match func(string) []*session, plans planFn, deliver deliverFn, rec recordFn, served []*session, stats *routeStats) []*session {
 	served = served[:0]
 	fromPeer := from != nil && from.isPeer
 	// Duplicate suppression arms whenever this broker is part of a mesh:
@@ -881,7 +947,7 @@ func (b *Broker) routeOne(e *event.Event, from *session, match func(string) []*s
 	// standalone broker never pays for the cache lookup.
 	if fromPeer || b.cfg.Mode == ModePeerToPeer || b.hasPeers() {
 		if b.dedup.seen(e.Key()) {
-			b.ctr.duplicates.Inc()
+			stats.duplicates++
 			if fromPeer && from.dupCtr != nil {
 				from.dupCtr.Inc()
 			}
@@ -979,9 +1045,9 @@ func (b *Broker) routeOne(e *event.Event, from *session, match func(string) []*s
 			delivered++
 		}
 	}
-	b.ctr.eventsRtd.Inc()
+	stats.routed++
 	if delivered == 0 {
-		b.ctr.unroutable.Inc()
+		stats.unroutable++
 	}
 	return served
 }
@@ -1210,6 +1276,13 @@ func (b *Broker) Stop() {
 	}
 	for _, s := range sessions {
 		s.stop()
+	}
+	// Stop the writer pools only after every session stopped: each closed
+	// queue has already deposited its final wakeup, so the pools' shutdown
+	// drain flushes whatever is still staged (reliable-flush-on-close)
+	// before exiting.
+	for _, p := range b.pools {
+		close(p.done)
 	}
 	b.wg.Wait()
 	if b.rec != nil {

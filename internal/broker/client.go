@@ -43,9 +43,11 @@ const clientRouteCacheBound = 1024
 //
 // Overflow policy mirrors the broker's send queues: best-effort events
 // displace the oldest buffered best-effort event (drops are counted and
-// never touch reliable entries); reliable events block the producer on
-// ring space, propagating backpressure exactly as the old channel send
-// did.
+// never touch reliable entries); reliable events overflow into a
+// bounded park drained back into the ring as the consumer frees space,
+// and only a full park blocks the producer — so one backpressured
+// subscription cannot stall delivery to its siblings on the same read
+// loop.
 type Subscription struct {
 	client  *Client
 	pattern string
@@ -77,6 +79,25 @@ type Subscription struct {
 	space  chan struct{}
 	// closedSig is closed exactly once when the subscription closes.
 	closedSig chan struct{}
+
+	// parked buffers the overflow of a reliable-backpressure burst so one
+	// slow subscription cannot stall the client's readLoop — and with it
+	// every sibling subscription on the connection. While parked is
+	// non-empty all new traffic for this subscription is parked behind it
+	// (arrival order is never reordered around the ring); a lazily
+	// started drainer goroutine moves parked events into the ring as the
+	// consumer frees space. The park is bounded at ring depth: past it,
+	// best-effort newcomers are shed (counted as drops) and a reliable
+	// newcomer re-engages readLoop backpressure — the last resort, now
+	// behind ring+park worth of buffering instead of ring alone.
+	parked     []*event.Event
+	parkedPeak int
+	parkedEv   atomic.Uint64
+	// parkSignal wakes the drainer when events are parked; parkSpace wakes
+	// a readLoop blocked on a full park. Both carry at most one token.
+	parkSignal chan struct{}
+	parkSpace  chan struct{}
+	drainOnce  sync.Once
 
 	// compatCh backs the C() channel view, pumped lazily from the ring.
 	compatOnce sync.Once
@@ -114,12 +135,14 @@ func (s *Subscription) CaughtUp() <-chan struct{} {
 
 func newSubscription(c *Client, pattern string, depth int) *Subscription {
 	return &Subscription{
-		client:    c,
-		pattern:   pattern,
-		ring:      make([]*event.Event, depth),
-		notify:    make(chan struct{}, 1),
-		space:     make(chan struct{}, 1),
-		closedSig: make(chan struct{}),
+		client:     c,
+		pattern:    pattern,
+		ring:       make([]*event.Event, depth),
+		notify:     make(chan struct{}, 1),
+		space:      make(chan struct{}, 1),
+		closedSig:  make(chan struct{}),
+		parkSignal: make(chan struct{}, 1),
+		parkSpace:  make(chan struct{}, 1),
 	}
 }
 
@@ -144,6 +167,10 @@ type DeliveryStats struct {
 	Events       uint64
 	MaxOccupancy int
 	Capacity     int
+	// ParkedEvents counts events that took the overflow park instead of
+	// blocking the read loop; MaxParked is the park's high-water mark.
+	ParkedEvents uint64
+	MaxParked    int
 }
 
 // ResetMaxOccupancy clears the ring's high-water occupancy marker (to
@@ -158,7 +185,7 @@ func (s *Subscription) ResetMaxOccupancy() {
 // DeliveryStats returns a snapshot of the delivery-plane counters.
 func (s *Subscription) DeliveryStats() DeliveryStats {
 	s.mu.Lock()
-	occ, capacity := s.maxOcc, len(s.ring)
+	occ, capacity, parkedPeak := s.maxOcc, len(s.ring), s.parkedPeak
 	s.mu.Unlock()
 	return DeliveryStats{
 		Bursts:       s.deliverLocks.Load(),
@@ -166,6 +193,8 @@ func (s *Subscription) DeliveryStats() DeliveryStats {
 		Events:       s.delivered.Load(),
 		MaxOccupancy: occ,
 		Capacity:     capacity,
+		ParkedEvents: s.parkedEv.Load(),
+		MaxParked:    parkedPeak,
 	}
 }
 
@@ -205,8 +234,11 @@ func (s *Subscription) Wake() <-chan struct{} { return s.notify }
 // and issues one consumer wakeup. Best-effort overflow evicts the
 // oldest buffered best-effort events in bulk (counted as drops,
 // skipping reliable entries); a reliable event arriving at a full ring
-// blocks until the consumer frees space, the subscription closes, or
-// done closes.
+// is parked rather than blocking the caller, so one backpressured
+// subscription never stalls delivery to its siblings on the same read
+// loop. Only a full park with more reliable traffic inbound blocks —
+// until the drainer frees park space, the subscription closes, or done
+// closes.
 func (s *Subscription) deliverBatch(events []*event.Event, done <-chan struct{}) {
 	for len(events) > 0 {
 		s.deliverLocks.Add(1)
@@ -215,26 +247,115 @@ func (s *Subscription) deliverBatch(events []*event.Event, done <-chan struct{})
 			s.mu.Unlock()
 			return
 		}
-		rest := s.appendLocked(events)
-		admitted := len(events) - len(rest)
+		admitted := 0
+		if len(s.parked) == 0 {
+			rest := s.appendLocked(events)
+			admitted = len(events) - len(rest)
+			events = rest
+		}
+		parkedNow := 0
+		if len(events) > 0 {
+			// Ring full behind a reliable head (or earlier traffic already
+			// parked): everything further must queue behind the park so
+			// arrival order survives.
+			rest := s.parkLocked(events)
+			parkedNow = len(events) - len(rest)
+			events = rest
+		}
 		s.mu.Unlock()
 		if admitted > 0 {
 			s.delivered.Add(uint64(admitted))
 			s.signalData()
 		}
-		events = rest
+		if parkedNow > 0 {
+			s.parkedEv.Add(uint64(parkedNow))
+			s.drainOnce.Do(func() { go s.drainParked() })
+			select {
+			case s.parkSignal <- struct{}{}:
+			default:
+			}
+		}
 		if len(events) == 0 {
 			return
 		}
-		// The head of the remainder is reliable and the ring is full:
-		// wait for the consumer — the same backpressure the per-event
-		// channel send applied — then retry the rest of the burst.
+		// The park is full and the head of the remainder is reliable:
+		// last-resort backpressure, behind ring+park worth of buffering.
 		select {
 		case <-done:
 			return
 		case <-s.closedSig:
 			return
+		case <-s.parkSpace:
+		}
+	}
+}
+
+// parkLocked appends events to the bounded park (capacity = ring
+// depth), preserving arrival order. Best-effort newcomers past the
+// bound are shed and counted as drops; the un-parked suffix is
+// returned non-empty only when its head is reliable and the park is
+// full. Callers hold s.mu.
+func (s *Subscription) parkLocked(events []*event.Event) []*event.Event {
+	bound := len(s.ring)
+	var dropped uint64
+	for i, e := range events {
+		if len(s.parked) >= bound {
+			if e.Reliable {
+				if dropped > 0 {
+					s.drops.Add(dropped)
+				}
+				return events[i:]
+			}
+			dropped++
+			continue
+		}
+		s.parked = append(s.parked, e)
+	}
+	if len(s.parked) > s.parkedPeak {
+		s.parkedPeak = len(s.parked)
+	}
+	if dropped > 0 {
+		s.drops.Add(dropped)
+	}
+	return nil
+}
+
+// drainParked is the subscription's park drainer, started lazily on
+// first overflow. It moves parked events into the ring whenever the
+// consumer frees space, waking any readLoop blocked on a full park.
+func (s *Subscription) drainParked() {
+	for {
+		select {
+		case <-s.closedSig:
+			return
+		case <-s.parkSignal:
 		case <-s.space:
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		admitted := 0
+		if len(s.parked) > 0 {
+			rest := s.appendLocked(s.parked)
+			admitted = len(s.parked) - len(rest)
+			if admitted > 0 {
+				n := copy(s.parked, rest)
+				for i := n; i < len(s.parked); i++ {
+					s.parked[i] = nil
+				}
+				s.parked = s.parked[:n]
+			}
+		}
+		s.mu.Unlock()
+		if admitted > 0 {
+			s.delivered.Add(uint64(admitted))
+			s.signalData()
+			select {
+			case s.parkSpace <- struct{}{}:
+			default:
+			}
 		}
 	}
 }

@@ -1,7 +1,9 @@
 package broker
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -210,6 +212,106 @@ func TestStageSlotClobberRecovery(t *testing.T) {
 	}
 }
 
+// TestConcurrentSweepsThroughWriterPool drives four concurrent
+// publisher bursts — each on its own reader-goroutine routeSweep — at
+// the same subscriber set through the full sweep→queue→writer-pool
+// path to real in-process conns, while a churner bumps the topic
+// shard's epoch so the sweep-private route caches keep revalidating
+// (run under -race in CI). Conservation is the oracle: concurrent
+// sweeps may clobber each other's staging slots and race the epoch
+// caches, but every staged event must be received exactly once or
+// counted as a queue drop.
+func TestConcurrentSweepsThroughWriterPool(t *testing.T) {
+	b := New(Config{ID: "conc-sweep", QueueDepth: 8192})
+	defer b.Stop()
+	if len(b.pools) == 0 {
+		t.Fatal("expected writer pools under the default config")
+	}
+
+	const subscribers = 4
+	const publishers = 4
+	const rounds = 24
+	const burst = 48
+
+	var received [subscribers]atomic.Uint64
+	for i := 0; i < subscribers; i++ {
+		brokerEnd, clientEnd := transport.Pipe("broker", fmt.Sprintf("conc-sub-%d", i))
+		defer brokerEnd.Close()
+		defer clientEnd.Close()
+		s := newSession(b, brokerEnd, fmt.Sprintf("conc-sub-%d", i), false)
+		s.bindPool(b.pools[i%len(b.pools)])
+		if err := b.router.add("/conc/t", s); err != nil {
+			t.Fatal(err)
+		}
+		go func(i int, c transport.Conn) {
+			for {
+				if _, err := c.Recv(); err != nil {
+					return
+				}
+				received[i].Add(1)
+			}
+		}(i, clientEnd)
+	}
+
+	// Epoch churn on the shared routing state throughout the run.
+	churnStop := make(chan struct{})
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		churn := newSession(b, newCaptureConn(), "conc-churn", false)
+		churn.bindPool(b.pools[0])
+		for {
+			select {
+			case <-churnStop:
+				return
+			default:
+			}
+			if err := b.router.add("/conc/churn", churn); err != nil {
+				return
+			}
+			b.router.remove("/conc/churn", churn)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sweep := b.newRouteSweep()
+			events := make([]*event.Event, burst)
+			for r := 0; r < rounds; r++ {
+				for i := range events {
+					events[i] = deliveryEvent(uint64(p+1)<<32|uint64(r*burst+i+1), "/conc/t", false)
+				}
+				sweep.routeBatch(events, nil)
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(churnStop)
+	churnWG.Wait()
+
+	const staged = subscribers * publishers * rounds * burst
+	tally := func() uint64 {
+		sum := b.ctr.queueDrops.Value()
+		for i := range received {
+			sum += received[i].Load()
+		}
+		return sum
+	}
+	waitFor(t, 10*time.Second, func() bool { return tally() == staged },
+		"concurrent sweeps lost or duplicated deliveries")
+	var drained uint64
+	for _, st := range b.WriterPoolStats() {
+		drained += st.Drained
+	}
+	if drained == 0 {
+		t.Fatal("no events drained through the writer pools")
+	}
+}
+
 // TestCoalescedAckPerBurst: a burst of rseq-tagged reliable events
 // produces exactly ONE cumulative ack on the reverse path — carrying
 // the final floor — instead of one ack per event.
@@ -303,9 +405,10 @@ func TestPerEventDispatchAblation(t *testing.T) {
 }
 
 // TestReliableNeverDroppedFromRing: best-effort overflow evicts only
-// best-effort entries; reliable events survive any flood, and a
-// reliable event arriving at a full ring blocks the producer until the
-// consumer frees space rather than dropping anything.
+// best-effort entries; reliable events survive any flood. A reliable
+// event arriving at a full ring parks (the producer keeps going), and
+// only once ring AND park are full does the producer block until the
+// consumer frees space — nothing reliable is ever dropped.
 func TestReliableNeverDroppedFromRing(t *testing.T) {
 	sub := newSubscription(nil, "/rel/t", 4)
 	done := make(chan struct{})
@@ -343,21 +446,40 @@ func TestReliableNeverDroppedFromRing(t *testing.T) {
 		t.Fatalf("conservation broken: %d received + %d dropped != 10", len(buf), sub.Drops())
 	}
 
-	// Fill the ring with reliable events, then deliver one more: the
-	// producer must block until the consumer drains, and nothing drops.
+	// Fill the ring with reliable events: the next reliable burst parks
+	// (the caller — the client readLoop — must not block while park
+	// space remains), and only a reliable event past ring+park capacity
+	// blocks the producer. Nothing drops in either regime.
 	fill := make([]*event.Event, 4)
 	for i := range fill {
 		fill[i] = deliveryEvent(uint64(100+i), "/rel/t", true)
 	}
 	sub.deliverBatch(fill, done)
+	parkFill := make([]*event.Event, 4) // park bound = ring depth = 4
+	for i := range parkFill {
+		parkFill[i] = deliveryEvent(uint64(200+i), "/rel/t", true)
+	}
+	overflowDone := make(chan struct{})
+	go func() {
+		sub.deliverBatch(parkFill, done)
+		close(overflowDone)
+	}()
+	select {
+	case <-overflowDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("reliable overflow blocked the producer while park space remained")
+	}
+	if st := sub.DeliveryStats(); st.ParkedEvents != 4 {
+		t.Fatalf("parked %d events, want 4 (stats %+v)", st.ParkedEvents, st)
+	}
 	blocked := make(chan struct{})
 	go func() {
-		sub.deliverBatch([]*event.Event{deliveryEvent(200, "/rel/t", true)}, done)
+		sub.deliverBatch([]*event.Event{deliveryEvent(300, "/rel/t", true)}, done)
 		close(blocked)
 	}()
 	select {
 	case <-blocked:
-		t.Fatal("reliable delivery did not block on a full ring")
+		t.Fatal("reliable delivery did not block on a full ring+park")
 	case <-time.After(50 * time.Millisecond):
 	}
 	drained, _ := sub.TryRecvBatch(nil, 2)
@@ -369,15 +491,33 @@ func TestReliableNeverDroppedFromRing(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("reliable delivery still blocked after space was freed")
 	}
-	rest, _ := sub.TryRecvBatch(nil, 8)
-	total := append(drained, rest...)
-	if len(total) != 5 {
-		t.Fatalf("reliable backpressure delivered %d/5 events", len(total))
+	total := drained
+	deadline := time.Now().Add(5 * time.Second)
+	for len(total) < 9 {
+		if time.Now().After(deadline) {
+			t.Fatalf("drained %d/9 backpressured events before timeout", len(total))
+		}
+		rest, ok := sub.TryRecvBatch(nil, 16)
+		if !ok {
+			t.Fatal("subscription closed while draining backpressured traffic")
+		}
+		total = append(total, rest...)
+		if len(rest) == 0 {
+			time.Sleep(time.Millisecond) // park drainer still moving events
+		}
+	}
+	if len(total) != 9 {
+		t.Fatalf("reliable backpressure delivered %d/9 events", len(total))
 	}
 	for i, e := range total {
-		want := uint64(100 + i)
-		if i == 4 {
-			want = 200
+		var want uint64
+		switch {
+		case i < 4:
+			want = uint64(100 + i)
+		case i < 8:
+			want = uint64(200 + i - 4)
+		default:
+			want = 300
 		}
 		if e.ID != want {
 			t.Fatalf("event %d has ID %d, want %d", i, e.ID, want)

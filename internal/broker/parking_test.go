@@ -1,0 +1,96 @@
+package broker
+
+import (
+	"testing"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/event"
+	"github.com/globalmmcs/globalmmcs/internal/transport"
+)
+
+// TestParkingSiblingIsolation: a subscription whose consumer has
+// stalled under reliable backpressure must not stall the client's
+// readLoop — sibling subscriptions on the same connection keep
+// receiving. The stalled subscription's overflow parks (bounded at
+// ring depth) and is delivered, in order, once its consumer resumes.
+func TestParkingSiblingIsolation(t *testing.T) {
+	const ringDepth = 4
+	const stalled = 2 * ringDepth // fills the ring, then the park
+	const siblingEvents = 100
+
+	b := New(Config{ID: "park"})
+	defer b.Stop()
+
+	sc, err := b.LocalClient("park-sub", transport.LinkProfile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	subA, err := sc.Subscribe("/iso/a", ringDepth) // consumer stalled below
+	if err != nil {
+		t.Fatal(err)
+	}
+	subB, err := sc.Subscribe("/iso/b", 256) // active sibling
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pc, err := b.LocalClient("park-pub", transport.LinkProfile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+
+	// Fill A's ring and park with reliable traffic nobody is reading.
+	for i := 0; i < stalled; i++ {
+		if err := pc.PublishReliable("/iso/a", event.KindControl, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		st := subA.DeliveryStats()
+		return st.Events+st.ParkedEvents >= stalled
+	}, "stalled subscription never buffered ring+park worth of reliable traffic")
+	if st := subA.DeliveryStats(); st.ParkedEvents == 0 {
+		t.Fatalf("expected overflow to park, stats %+v", st)
+	}
+
+	// The sibling must keep receiving while A is saturated. Before
+	// parking, A's full ring blocked the readLoop here and B starved.
+	for i := 0; i < siblingEvents; i++ {
+		if err := pc.Publish("/iso/b", event.KindRTP, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gotB := 0
+	buf := make([]*event.Event, 0, 64)
+	deadline := time.Now().Add(5 * time.Second)
+	for gotB < siblingEvents && time.Now().Before(deadline) {
+		var ok bool
+		buf, ok = subB.TryRecvBatch(buf[:0], 64)
+		gotB += len(buf)
+		clear(buf)
+		if !ok {
+			t.Fatal("sibling subscription closed unexpectedly")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if gotB != siblingEvents {
+		t.Fatalf("sibling received %d/%d events while its neighbour was backpressured", gotB, siblingEvents)
+	}
+
+	// Resume A's consumer: every stalled event arrives, in publish order.
+	var gotA []*event.Event
+	for len(gotA) < stalled {
+		batch, ok := subA.RecvBatch(nil, stalled)
+		if !ok {
+			t.Fatal("stalled subscription closed before draining")
+		}
+		gotA = append(gotA, batch...)
+	}
+	for i, e := range gotA {
+		if len(e.Payload) != 1 || e.Payload[0] != byte(i) {
+			t.Fatalf("event %d out of order: payload %v", i, e.Payload)
+		}
+	}
+}

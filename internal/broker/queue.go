@@ -86,6 +86,19 @@ type sendQueue struct {
 	// notify carries at most one wakeup token; every push and close
 	// deposits one, the single consumer drains to empty before waiting.
 	notify chan struct{}
+
+	// onSignal, when set (before the session starts; immutable after),
+	// replaces the notify-channel deposit: writer-pool mode routes the
+	// wakeup to the pool's ready list instead of a dedicated writer
+	// goroutine. It reports whether a wakeup was actually deposited
+	// (false when the consumer is already armed).
+	onSignal func() bool
+
+	// wakeups counts deposited wakeup tokens (channel sends that landed,
+	// or pool arms that won the CAS). Together with pushLocks it
+	// instruments the batching contract: one lock, one wakeup per
+	// session per burst.
+	wakeups atomic.Uint64
 }
 
 func newSendQueue(bestEffortDepth int) *sendQueue {
@@ -99,8 +112,15 @@ func newSendQueue(bestEffortDepth int) *sendQueue {
 }
 
 func (q *sendQueue) signal() {
+	if q.onSignal != nil {
+		if q.onSignal() {
+			q.wakeups.Add(1)
+		}
+		return
+	}
 	select {
 	case q.notify <- struct{}{}:
+		q.wakeups.Add(1)
 	default:
 	}
 }
@@ -337,6 +357,11 @@ func (q *sendQueue) close() {
 // pushLockCount returns how many producer-side lock acquisitions the
 // queue has seen (test instrumentation for the batching contract).
 func (q *sendQueue) pushLockCount() uint64 { return q.pushLocks.Load() }
+
+// wakeupCount returns how many consumer wakeups were actually deposited
+// (test instrumentation for the batching contract — at most one per
+// burst regardless of writer mode).
+func (q *sendQueue) wakeupCount() uint64 { return q.wakeups.Load() }
 
 // ackCoalesceCount returns how many acks were overwritten in the pending
 // slot before the writer drained them (test instrumentation).

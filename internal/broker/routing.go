@@ -163,6 +163,33 @@ func (r *router) match(t string) []*session {
 	return targets
 }
 
+// matchEpoch is match plus the validation coordinates — the owning trie
+// shard and the epoch the result is valid for — so sweep-local caches
+// can revalidate later hits with one atomic epoch load and no shared
+// lock at all. The shared cache shard is still maintained on the miss
+// path (other readers benefit from the same resolution).
+func (r *router) matchEpoch(t string) ([]*session, int, uint64) {
+	shard := r.subs.ShardFor(t)
+	if r.disableCache {
+		targets, epoch := r.subs.MatchEpochAt(shard, t, nil)
+		return targets, shard, epoch
+	}
+	c := &r.caches[shard]
+	c.mu.RLock()
+	ent, ok := c.entries[t]
+	c.mu.RUnlock()
+	if ok && ent.epoch == r.subs.EpochAt(shard) {
+		return ent.targets, shard, ent.epoch
+	}
+	targets, epoch := r.subs.MatchEpochAt(shard, t, nil)
+	c.mu.Lock()
+	if ok || len(c.entries) < r.maxPerShard {
+		c.entries[t] = routeEntry{targets: targets, epoch: epoch}
+	}
+	c.mu.Unlock()
+	return targets, shard, epoch
+}
+
 // frameSource lazily encodes one event a single time per route sweep so
 // every wire-bound session in the fan-out shares the same immutable
 // frame. A derived source (peer TTL decrement) patches the parent's
@@ -270,13 +297,21 @@ const stageIdxBits = 20
 type routeSweep struct {
 	b *Broker
 
-	// Per-burst target memo. Resolving a topic through the router costs a
-	// cache-shard RLock per call; a burst repeating one topic (a media
-	// stream) resolves it once, with a map-free fast path for the
-	// immediately preceding topic.
+	// Target memo. The map-free fast path covers the immediately
+	// preceding topic within a burst. Behind it sits cache: a persistent,
+	// sweep-private topic→targets memo validated per hit by one atomic
+	// load of the owning trie shard's epoch — so concurrent publisher
+	// bursts on different reader goroutines resolve repeating topics
+	// with zero shared-lock acquisitions, instead of all meeting on the
+	// router's cache-shard RWMutex every burst. A mutation anywhere in
+	// the shard bumps its epoch and the stale entry re-resolves through
+	// the router. topics is the per-burst fallback memo used only when
+	// the route cache is disabled (the ablation keeps its pre-PR-9
+	// resolve-once-per-burst shape).
 	lastTopic   string
 	lastTargets []*session
 	lastOK      bool
+	cache       map[string]sweepRoute
 	topics      map[string][]*session
 
 	// Per-burst mesh-plan memo, mirroring the target memo: one plan
@@ -302,6 +337,11 @@ type routeSweep struct {
 
 	peersServed []*session // per-event scratch for the p2p flood
 
+	// stats accumulates the burst's data-path counter deltas; finish()
+	// flushes them to the shared counters in one atomic add per counter
+	// per burst instead of one per event.
+	stats routeStats
+
 	// Per-recorder record staging, mirroring the per-session batches:
 	// matched events accumulate their frame bytes per recorder across
 	// the burst, and finish() commits each run in one topiclog.Append —
@@ -319,14 +359,30 @@ type routeSweep struct {
 	recordFn  recordFn
 }
 
+// sweepRoute is one sweep-local memoised match: targets valid while the
+// owning trie shard's epoch still equals epoch.
+type sweepRoute struct {
+	targets []*session
+	shard   int
+	epoch   uint64
+}
+
+// sweepRouteCacheBound caps each sweep's private route cache (cleared
+// wholesale on overflow; per-reader, so total memory is readers × bound).
+const sweepRouteCacheBound = 1024
+
 // newRouteSweep creates a sweep bound to the broker's data plane.
 func (b *Broker) newRouteSweep() *routeSweep {
 	rs := &routeSweep{
-		b:      b,
-		topics: make(map[string][]*session),
-		plans:  make(map[string]*topicPlan),
-		idx:    make(map[*session]int),
-		gen:    sweepGenCounter.Add(1),
+		b:     b,
+		plans: make(map[string]*topicPlan),
+		idx:   make(map[*session]int),
+		gen:   sweepGenCounter.Add(1),
+	}
+	if b.cfg.DisableRouteCache {
+		rs.topics = make(map[string][]*session)
+	} else {
+		rs.cache = make(map[string]sweepRoute)
 	}
 	rs.matchFn = rs.matchMemo
 	rs.planFn = rs.planMemo
@@ -353,15 +409,35 @@ func (rs *routeSweep) recordStage(r *recorder, e *event.Event, fs *frameSource) 
 	rs.recBufs[i] = append(rs.recBufs[i], fs.frame().Bytes())
 }
 
-// matchMemo resolves targets for a topic at most once per burst.
+// matchMemo resolves targets for a topic: the last-topic fast path, then
+// the sweep-private epoch-validated cache (a hit costs one atomic load,
+// no shared lock), then the router. With the route cache disabled it
+// degrades to the per-burst memo.
 func (rs *routeSweep) matchMemo(topic string) []*session {
 	if rs.lastOK && topic == rs.lastTopic {
 		return rs.lastTargets
 	}
-	targets, ok := rs.topics[topic]
-	if !ok {
-		targets = rs.b.router.match(topic)
-		rs.topics[topic] = targets
+	var targets []*session
+	if rs.cache != nil {
+		r := rs.b.router
+		if ent, ok := rs.cache[topic]; ok && ent.epoch == r.subs.EpochAt(ent.shard) {
+			targets = ent.targets
+		} else {
+			var shard int
+			var epoch uint64
+			targets, shard, epoch = r.matchEpoch(topic)
+			if len(rs.cache) >= sweepRouteCacheBound {
+				clear(rs.cache)
+			}
+			rs.cache[topic] = sweepRoute{targets: targets, shard: shard, epoch: epoch}
+		}
+	} else {
+		var ok bool
+		targets, ok = rs.topics[topic]
+		if !ok {
+			targets = rs.b.router.match(topic)
+			rs.topics[topic] = targets
+		}
 	}
 	rs.lastTopic, rs.lastTargets, rs.lastOK = topic, targets, true
 	return targets
@@ -437,7 +513,7 @@ func (rs *routeSweep) deliverStaged(t *session, e *event.Event, fs *frameSource)
 // burst.
 func (rs *routeSweep) routeBatch(events []*event.Event, from *session) {
 	for _, e := range events {
-		rs.peersServed = rs.b.routeOne(e, from, rs.matchFn, rs.planFn, rs.deliverFn, rs.recordFn, rs.peersServed)
+		rs.peersServed = rs.b.routeOne(e, from, rs.matchFn, rs.planFn, rs.deliverFn, rs.recordFn, rs.peersServed, &rs.stats)
 	}
 	rs.finish()
 }
@@ -449,6 +525,7 @@ func (rs *routeSweep) routeBatch(events []*event.Event, from *session) {
 // best-effort pushes keeps the durable log's order the canonical one.
 func (rs *routeSweep) finish() {
 	b := rs.b
+	rs.stats.flush(&b.ctr)
 	for i, r := range rs.recList {
 		if _, err := r.log.Append(rs.recBufs[i]); err != nil {
 			b.rec.appendErrs.Inc()
@@ -482,8 +559,12 @@ func (rs *routeSweep) finish() {
 	rs.sessions = rs.sessions[:0]
 	clear(rs.idx)
 	// A fresh generation invalidates every staging slot this burst wrote.
+	// The epoch-validated cache persists across bursts (that is its
+	// point); only the ablation's per-burst memo is cleared.
 	rs.gen = sweepGenCounter.Add(1)
-	clear(rs.topics)
+	if rs.topics != nil {
+		clear(rs.topics)
+	}
 	rs.lastOK = false
 	rs.lastTargets = nil
 	rs.lastTopic = ""

@@ -84,6 +84,23 @@ type session struct {
 	framed bool
 	queue  *sendQueue
 
+	// pool is the writer pool that drains this session's queue; nil runs
+	// the legacy dedicated writeLoop goroutine instead (the per-session
+	// ablation). Bound once before start; immutable after.
+	pool *writerPool
+	// scheduled is the pool-mode dirty flag: true while the session sits
+	// on (or is being appended to) its pool's ready list. Producers
+	// CAS-arm it so a burst deposits exactly one ready entry.
+	scheduled atomic.Bool
+	// sink / writerDone / lingering / lingerAt are pool-mode writer state,
+	// owned exclusively by the pool goroutine (sessions bind to one pool
+	// for life): the persistent outSink, the finalized flag set once the
+	// queue drained closed, and the flush-coalescing window bookkeeping.
+	sink       outSink
+	writerDone bool
+	lingering  bool
+	lingerAt   time.Time
+
 	// lastRecv is the unixnano of the newest inbound traffic, updated by
 	// the read loop per receive. Mesh supervisors read it for heartbeat
 	// partition detection; attach reads it to judge link freshness.
@@ -252,8 +269,24 @@ func (s *session) lastRecvTime() time.Time {
 // touchRecv records inbound traffic for freshness/heartbeat checks.
 func (s *session) touchRecv() { s.lastRecv.Store(time.Now().UnixNano()) }
 
-// start launches the reader and writer goroutines.
+// bindPool routes this session's queue wakeups to a writer pool instead
+// of a dedicated writeLoop goroutine. Must run before start (and before
+// any concurrent push can signal the queue).
+func (s *session) bindPool(p *writerPool) {
+	s.pool = p
+	p.bound.Add(1)
+	s.queue.onSignal = func() bool { return p.wake(s) }
+}
+
+// start launches the session goroutines: the reader always, plus the
+// dedicated writer only in the legacy (pool-less) mode — pool-bound
+// sessions are drained by their pool's goroutine instead.
 func (s *session) start() {
+	if s.pool != nil {
+		s.wg.Add(1)
+		go s.readLoop()
+		return
+	}
 	s.wg.Add(2)
 	go s.readLoop()
 	go s.writeLoop()
@@ -680,13 +713,27 @@ type outSink interface {
 	flush() error
 	// pending reports how many items await a flush.
 	pending() int
+	// ready reports whether the sink can absorb another drain round
+	// without blocking the caller on consumer backpressure, attempting a
+	// non-blocking partial flush first when it supports one. Pool
+	// goroutines check it per round so one clogged session never
+	// head-of-line-blocks its pool siblings; sinks without a
+	// non-blocking path always report true (their flushes block, as the
+	// legacy per-session writer's did).
+	ready() (bool, error)
+	// flushIdle empties the sink if it can do so without blocking and
+	// reports whether everything went out; sinks without a non-blocking
+	// path flush fully (blocking) and report true.
+	flushIdle() (bool, error)
 }
 
 type directSink struct{ conn transport.Conn }
 
-func (d *directSink) add(it outItem) error { return d.conn.Send(it.e) }
-func (d *directSink) flush() error         { return nil }
-func (d *directSink) pending() int         { return 0 }
+func (d *directSink) add(it outItem) error     { return d.conn.Send(it.e) }
+func (d *directSink) flush() error             { return nil }
+func (d *directSink) pending() int             { return 0 }
+func (d *directSink) ready() (bool, error)     { return true, nil }
+func (d *directSink) flushIdle() (bool, error) { return true, nil }
 
 type frameSink struct{ bw *transport.Batcher }
 
@@ -696,11 +743,19 @@ func (f *frameSink) add(it outItem) error {
 	}
 	return f.bw.AddEvent(it.e)
 }
-func (f *frameSink) flush() error { return f.bw.Flush() }
-func (f *frameSink) pending() int { return f.bw.Pending() }
+func (f *frameSink) flush() error             { return f.bw.Flush() }
+func (f *frameSink) pending() int             { return f.bw.Pending() }
+func (f *frameSink) ready() (bool, error)     { return true, nil }
+func (f *frameSink) flushIdle() (bool, error) { return true, f.bw.Flush() }
 
 type eventBatchSink struct {
-	bc  transport.EventBatchConn
+	bc transport.EventBatchConn
+	// try, when non-nil, is bc's non-blocking partial-send path. Only
+	// pool-owned sinks set it: the legacy per-session writer wants the
+	// blocking send — consumer backpressure pacing its dedicated
+	// goroutine — while a pool goroutine must never stall on one
+	// session's full pipe.
+	try transport.TryEventBatchConn
 	buf []*event.Event
 	max int
 }
@@ -708,6 +763,9 @@ type eventBatchSink struct {
 func (s *eventBatchSink) add(it outItem) error {
 	s.buf = append(s.buf, it.e)
 	if len(s.buf) >= s.max {
+		if s.try != nil {
+			return s.tryFlush()
+		}
 		return s.flush()
 	}
 	return nil
@@ -722,7 +780,49 @@ func (s *eventBatchSink) flush() error {
 	s.buf = s.buf[:0]
 	return err
 }
+
+// tryFlush sends the largest prefix of the buffer the conn can absorb
+// without blocking — nothing below a quarter-batch floor, so a slowly
+// draining consumer gets a few useful messages instead of many tiny
+// ones — keeping the rest (in order) for a later retry. A full conn is
+// not an error: the caller parks the session instead.
+func (s *eventBatchSink) tryFlush() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	n, err := s.try.TrySendEvents(s.buf, s.max/4)
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		rest := copy(s.buf, s.buf[n:])
+		clear(s.buf[rest:]) // never pin delivered events in the reused buffer
+		s.buf = s.buf[:rest]
+	}
+	return nil
+}
+
 func (s *eventBatchSink) pending() int { return len(s.buf) }
+
+func (s *eventBatchSink) ready() (bool, error) {
+	if s.try == nil || len(s.buf) < s.max {
+		return true, nil
+	}
+	if err := s.tryFlush(); err != nil {
+		return false, err
+	}
+	return len(s.buf) < s.max, nil
+}
+
+func (s *eventBatchSink) flushIdle() (bool, error) {
+	if s.try == nil {
+		return true, s.flush()
+	}
+	if err := s.tryFlush(); err != nil {
+		return false, err
+	}
+	return len(s.buf) == 0, nil
+}
 
 // newOutSink picks the aggregation strategy for this session's conn.
 // IngestBurst <= 1 (the ablation setting) also disables decoded-event
@@ -734,7 +834,13 @@ func (s *session) newOutSink() outSink {
 		return &frameSink{bw: transport.NewBatcher(fc, cfg.MaxBatchBytes)}
 	}
 	if bc, ok := s.conn.(transport.EventBatchConn); ok && cfg.IngestBurst > 1 {
-		return &eventBatchSink{bc: bc, max: cfg.IngestBurst}
+		sink := &eventBatchSink{bc: bc, max: cfg.IngestBurst}
+		if s.pool != nil {
+			if tc, ok := bc.(transport.TryEventBatchConn); ok {
+				sink.try = tc
+			}
+		}
+		return sink
 	}
 	return &directSink{conn: s.conn}
 }

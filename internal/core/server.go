@@ -49,6 +49,10 @@ type Config struct {
 	// BrokerIngestBurst bounds the broker's per-sweep ingest burst
 	// (0 = broker default; 1 = event-at-a-time ablation).
 	BrokerIngestBurst int
+	// BrokerWriterPool sets the broker's shared writer-pool width
+	// (0 = GOMAXPROCS-derived default; negative = legacy
+	// writer-goroutine-per-session plane).
+	BrokerWriterPool int
 	// BrokerListenURLs are transport URLs the broker accepts remote
 	// clients and peer brokers on (e.g. "tcp://127.0.0.1:0"). Optional.
 	BrokerListenURLs []string
@@ -161,6 +165,7 @@ func Start(ctx context.Context, cfg Config) (*Server, error) {
 		MaxBatchBytes:      cfg.BrokerMaxBatchBytes,
 		FlushInterval:      cfg.BrokerFlushInterval,
 		IngestBurst:        cfg.BrokerIngestBurst,
+		WriterPoolSize:     cfg.BrokerWriterPool,
 		MeshID:             cfg.BrokerMeshID,
 		RecordPatterns:     cfg.BrokerRecordPatterns,
 		RecordDir:          cfg.BrokerRecordDir,

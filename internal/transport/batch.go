@@ -49,6 +49,19 @@ type EventBatchConn interface {
 	SendEvents(events []*event.Event) error
 }
 
+// TryEventBatchConn is an EventBatchConn whose batch sends can also be
+// attempted without blocking: TrySendEvents transmits the largest
+// prefix the conn can absorb right now — nothing unless at least min
+// events fit — and reports how many were sent (0 with a nil error =
+// not enough room, keep and retry). Shared writer pools require this
+// on conns that otherwise block on consumer backpressure — one stalled
+// send would head-of-line-block every session the pool goroutine
+// serves.
+type TryEventBatchConn interface {
+	EventBatchConn
+	TrySendEvents(events []*event.Event, min int) (int, error)
+}
+
 // Batcher accumulates encoded event frames destined for one FrameConn
 // and flushes them with a single vectored write. It is the broker data
 // path's outbound aggregation buffer: the session writer drains its send

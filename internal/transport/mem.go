@@ -140,6 +140,23 @@ func (s *pipeSem) acquire(n int) bool {
 	return true
 }
 
+// tryAcquire claims up to n slots without waiting, returning how many
+// were claimed — 0 when the pipe is closed or fewer than floor slots
+// are free (a floor keeps callers from degenerating into many tiny
+// sends while a consumer drains slowly).
+func (s *pipeSem) tryAcquire(n, floor int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.free < max(1, floor) {
+		return 0
+	}
+	if n > s.free {
+		n = s.free
+	}
+	s.free -= n
+	return n
+}
+
 func (s *pipeSem) release(n int) {
 	s.mu.Lock()
 	s.free += n
@@ -270,6 +287,42 @@ func (c *memConn) SendEvents(events []*event.Event) error {
 		events = events[n:]
 	}
 	return nil
+}
+
+var _ TryEventBatchConn = (*memConn)(nil)
+
+// TrySendEvents transmits the largest prefix of events the pipe can
+// absorb without blocking, as one message, and returns how many were
+// sent — nothing unless at least min fit (one message per few events
+// would forfeit batching's synchronization amortization). 0 with a nil
+// error means the pipe lacks the room right now — the caller keeps the
+// batch and retries once the consumer drains. Shared writer pools use
+// this so one slow in-process consumer cannot park the pool goroutine
+// that every sibling session's egress rides on.
+func (c *memConn) TrySendEvents(events []*event.Event, min int) (int, error) {
+	if len(events) == 0 {
+		return 0, nil
+	}
+	if min > len(events) {
+		min = len(events)
+	}
+	n := c.sendSem.tryAcquire(len(events), min)
+	if n == 0 {
+		select {
+		case <-c.done.ch:
+			return 0, ErrClosed
+		default:
+			return 0, nil
+		}
+	}
+	batch := make([]*event.Event, n)
+	copy(batch, events[:n])
+	select {
+	case c.send <- memMsg{batch: batch, weight: n}:
+		return n, nil
+	case <-c.done.ch:
+		return 0, ErrClosed
+	}
 }
 
 var _ BurstConn = (*memConn)(nil)

@@ -86,6 +86,26 @@ func (l *SharedLimiter) Backlog(now time.Time) time.Duration {
 	return l.nextFree.Sub(now)
 }
 
+// SendBlocker marks conns whose Send/SendEvents deliberately block the
+// calling goroutine (spin-wait host-cost emulation). The broker keeps a
+// dedicated writer goroutine for such conns instead of binding them to a
+// shared writer pool: the emulation models a synchronous per-connection
+// device, and serializing many emulated links through one pool goroutine
+// would compound their blocking costs into head-of-line delay that no
+// real NIC exhibits.
+type SendBlocker interface {
+	// SendBlocks reports whether sends on this conn intentionally stall
+	// the sender.
+	SendBlocks() bool
+}
+
+// SendBlocks reports whether this profile charges sender-blocking cost
+// (SendCost or SyscallCost spin the sending goroutine; delay, loss and
+// bandwidth shaping ride the delay line without blocking the sender).
+func (s *shapedConn) SendBlocks() bool {
+	return s.profile.SendCost > 0 || s.profile.SyscallCost > 0
+}
+
 // zero reports whether the profile requires any shaping at all.
 func (p LinkProfile) zero() bool {
 	return p.PropDelay == 0 && p.Jitter == 0 && p.Loss == 0 && p.Bandwidth == 0 &&

@@ -47,6 +47,16 @@ func WithIngestBurst(n int) Option {
 	return func(c *core.Config) { c.BrokerIngestBurst = n }
 }
 
+// WithWriterPool sets how many shared writer pools drain the broker's
+// session send queues (0 keeps the GOMAXPROCS-derived default). The
+// pools replace the writer-goroutine-per-session model with O(cores)
+// writers, which is what lets egress scale with cores at high session
+// counts; a negative width restores the legacy per-session plane — an
+// ablation knob.
+func WithWriterPool(n int) Option {
+	return func(c *core.Config) { c.BrokerWriterPool = n }
+}
+
 // WithPeers declares peer broker URLs this node keeps supervised
 // federation-mesh links to. Each peer is dialed at start and redialed
 // with exponential backoff after drops or partitions (detected via
