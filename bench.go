@@ -704,3 +704,72 @@ func RunReplay(opt ReplayOptions) (*ReplayReport, error) {
 		CatchupLiveRps:     res.CatchupLiveRps,
 	}, nil
 }
+
+// ChurnOptions parameterises the connection-churn benchmark: a
+// reconnect-enabled subscriber on a recorded topic is repeatedly cut
+// while a paced reliable publisher keeps going, and every cycle clocks
+// the kill → caught-up round trip. Zero values run the defaults.
+type ChurnOptions struct {
+	// Cycles is how many kill/reconnect rounds to run (default 20).
+	Cycles int
+	// PublishRate is the paced reliable publish rate in events/sec the
+	// subscriber must keep up with across cuts (default 5000).
+	PublishRate int
+	// PayloadBytes sizes each event payload (default 256).
+	PayloadBytes int
+	// SessionLinger is the broker's parked-session window (default 30s).
+	SessionLinger time.Duration
+}
+
+// ChurnReport is the outcome of one churn benchmark run. The run fails
+// outright if any event is lost or duplicated across the cuts, so a
+// report always describes an exactly-once run.
+type ChurnReport struct {
+	Cycles       int `json:"cycles"`
+	PublishRate  int `json:"publish_rate"`
+	PayloadBytes int `json:"payload_bytes"`
+	// Published and Delivered match in a valid run; Duplicates and Gaps
+	// are zero.
+	Published  uint64 `json:"published"`
+	Delivered  uint64 `json:"delivered"`
+	Duplicates uint64 `json:"duplicates"`
+	Gaps       uint64 `json:"gaps"`
+	// ResumesPerSec is completed kill/reconnect cycles over the run's
+	// wall time.
+	ResumesPerSec float64 `json:"resumes_per_sec"`
+	// Catch-up latency per cycle (kill → all events published at check
+	// time delivered): median, p95 and worst case in milliseconds.
+	CatchupP50Ms float64 `json:"catchup_p50_ms"`
+	CatchupP95Ms float64 `json:"catchup_p95_ms"`
+	CatchupMaxMs float64 `json:"catchup_max_ms"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+}
+
+// RunChurn measures the resilience plane under connection churn: resume
+// handshake, reliable-window salvage and log-backed catch-up, end to
+// end, with the exactly-once contract verified inline.
+func RunChurn(opt ChurnOptions) (*ChurnReport, error) {
+	res, err := bench.RunChurn(bench.ChurnConfig{
+		Cycles:        opt.Cycles,
+		PublishRate:   opt.PublishRate,
+		PayloadBytes:  opt.PayloadBytes,
+		SessionLinger: opt.SessionLinger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ChurnReport{
+		Cycles:        res.Cycles,
+		PublishRate:   res.PublishRate,
+		PayloadBytes:  res.PayloadBytes,
+		Published:     res.Published,
+		Delivered:     res.Delivered,
+		Duplicates:    res.Duplicates,
+		Gaps:          res.Gaps,
+		ResumesPerSec: res.ResumesPerSec,
+		CatchupP50Ms:  res.CatchupP50Ms,
+		CatchupP95Ms:  res.CatchupP95Ms,
+		CatchupMaxMs:  res.CatchupMaxMs,
+		ElapsedSec:    res.ElapsedSec,
+	}, nil
+}

@@ -1,6 +1,7 @@
 package globalmmcs
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -81,6 +82,12 @@ type BrokerConfig struct {
 	// replay cursor still reads (0 = unbounded).
 	RecordMaxSegments int
 	RecordMaxBytes    int64
+	// SessionLinger retains a client session whose conn died — its
+	// subscriptions, reliable window and ack floor — for this long,
+	// awaiting a resume from a reconnecting client (see DialBroker with
+	// WithReconnect). 0 disables parking: a dead conn tears the session
+	// down immediately.
+	SessionLinger time.Duration
 }
 
 // NewBroker creates a standalone broker. mode 0 defaults to
@@ -110,6 +117,7 @@ func NewBrokerWithConfig(id string, mode BrokerMode, cfg BrokerConfig) *Broker {
 			RecordSegmentBytes: cfg.RecordSegmentBytes,
 			RecordMaxSegments:  cfg.RecordMaxSegments,
 			RecordMaxBytes:     cfg.RecordMaxBytes,
+			SessionLinger:      cfg.SessionLinger,
 			Metrics:            m.reg,
 		}),
 		metrics: m,
@@ -186,6 +194,14 @@ func (b *Broker) Mode() BrokerMode { return BrokerMode(b.b.Mode()) }
 
 // MetricsReport renders the broker's counters as text.
 func (b *Broker) MetricsReport() string { return b.metrics.Report() }
+
+// Drain gracefully winds the broker down: new connections are refused,
+// every client receives a reliable GOAWAY notice telling
+// reconnect-enabled clients to redial another broker, and the call
+// waits until each remaining client has acknowledged all reliable
+// traffic in flight — or ctx expires. Call Stop afterwards to release
+// the broker. Wired to SIGTERM in cmd/gmmcs-broker via -drain-timeout.
+func (b *Broker) Drain(ctx context.Context) error { return b.b.Drain(ctx) }
 
 // Stop shuts the broker down, tearing down supervised mesh links first.
 func (b *Broker) Stop() {

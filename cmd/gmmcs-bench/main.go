@@ -20,6 +20,10 @@
 //     fan-out, replay fan-out bandwidth for late joiners, and catch-up
 //     time for a joiner starting a lag's worth of history behind a
 //     paced live publisher.
+//   - "-exp churn": the resilience plane — a reconnect-enabled
+//     subscriber is repeatedly cut mid reliable stream and each cycle
+//     clocks kill → caught-up (resume, window salvage, log-backed
+//     catch-up), with exactly-once delivery verified inline.
 //
 // Full paper-scale runs take a few minutes (they are paced in real time
 // like the original testbed); -scale shrinks them for a quick look, and
@@ -50,7 +54,7 @@ func main() {
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "fig3", "experiment: fig3, audiocap, videocap, fanout, pubpath, ingest, mesh, replay, all")
+		exp    = flag.String("exp", "fig3", "experiment: fig3, audiocap, videocap, fanout, pubpath, ingest, mesh, replay, churn, all")
 		scale  = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper scale)")
 		outDir = flag.String("out", "bench-out", "directory for TSV series dumps")
 		subs   = flag.Int("fanout-subs", 64, "fanout/ingest: subscriber count")
@@ -67,6 +71,9 @@ func run() error {
 		catchupLag    = flag.Duration("replay-catchup-lag", 10*time.Second, "replay: how far behind the catch-up joiner starts")
 		catchupRate   = flag.Int("replay-catchup-rate", 20000, "replay: paced live publish rate the joiner must outrun (events/sec)")
 		replayTrans   = flag.String("replay-transport", "tcp", "replay: subscriber transport in every cell (tcp, mem)")
+
+		churnCycles = flag.Int("churn-cycles", 20, "churn: kill/reconnect rounds")
+		churnRate   = flag.Int("churn-rate", 5000, "churn: paced reliable publish rate (events/sec)")
 	)
 	flag.Parse()
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -102,6 +109,8 @@ func run() error {
 		*replayPrefill = min(*replayPrefill, 2000)
 		*catchupLag = min(*catchupLag, time.Second)
 		*catchupRate = min(*catchupRate, 5000)
+		*churnCycles = min(*churnCycles, 8)
+		*churnRate = min(*churnRate, 2000)
 	}
 	switch *exp {
 	case "fig3":
@@ -120,6 +129,8 @@ func run() error {
 		return runMesh(*topo, *subs, *pubs, *window)
 	case "replay":
 		return runReplay(*replaySubs, *replayPrefill, *window, *catchupLag, *catchupRate, *replayTrans)
+	case "churn":
+		return runChurn(*churnCycles, *churnRate)
 	case "all":
 		if err := runFig3(*scale, *outDir); err != nil {
 			return err
@@ -142,7 +153,10 @@ func run() error {
 		if err := runMesh(*topo, *subs, *pubs, *window); err != nil {
 			return err
 		}
-		return runReplay(*replaySubs, *replayPrefill, *window, *catchupLag, *catchupRate, *replayTrans)
+		if err := runReplay(*replaySubs, *replayPrefill, *window, *catchupLag, *catchupRate, *replayTrans); err != nil {
+			return err
+		}
+		return runChurn(*churnCycles, *churnRate)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
@@ -222,6 +236,31 @@ func runReplay(subs, prefill int, window, catchupLag time.Duration, catchupRate 
 	fmt.Fprintf(os.Stderr, "replay fan-out %12.0f ev/s (%.2fx live)\n", res.ReplayPerSec, res.ReplayVsLive)
 	fmt.Fprintf(os.Stderr, "catch-up: %d events (%.1fs of history) drained in %.2fs (%.0f ev/s) against %d ev/s live\n",
 		res.CatchupEvents, res.CatchupLagSec, res.CatchupSec, res.CatchupPerSec, res.CatchupLiveRps)
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+// runChurn measures the resilience plane under connection churn and
+// prints the report as JSON (the format of BENCH_broker.json's churn
+// section). The run itself enforces exactly-once delivery: any lost or
+// duplicated event across the cuts is an error, not a statistic.
+func runChurn(cycles, rate int) error {
+	fmt.Fprintf(os.Stderr, "=== Connection churn: %d kill/reconnect cycles against a %d ev/s reliable stream ===\n",
+		cycles, rate)
+	res, err := globalmmcs.RunChurn(globalmmcs.ChurnOptions{
+		Cycles:      cycles,
+		PublishRate: rate,
+	})
+	if err != nil {
+		return fmt.Errorf("churn: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "%.1f resumes/s   catch-up p50 %6.1f ms  p95 %6.1f ms  max %6.1f ms   %d/%d delivered (dups %d, gaps %d)\n",
+		res.ResumesPerSec, res.CatchupP50Ms, res.CatchupP95Ms, res.CatchupMaxMs,
+		res.Delivered, res.Published, res.Duplicates, res.Gaps)
 	out, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err

@@ -51,6 +51,9 @@ func run() error {
 		recordSegBytes = flag.Int64("record-segment-bytes", 0, "topic log segment size before roll (0 = default 4MiB)")
 		recordMaxSegs  = flag.Int("record-max-segments", 0, "retained segments per topic log before reaping (0 = unbounded)")
 		recordMaxBytes = flag.Int64("record-max-bytes", 0, "retained bytes per topic log before reaping (0 = unbounded)")
+
+		linger       = flag.Duration("session-linger", 0, "park dead client sessions this long awaiting a resume from a reconnecting client (0 = off)")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful drain bound on SIGTERM/SIGINT: wait this long for clients to ack in-flight reliable traffic after GOAWAY (0 = stop immediately)")
 	)
 	flag.Parse()
 
@@ -80,6 +83,7 @@ func run() error {
 		RecordSegmentBytes: *recordSegBytes,
 		RecordMaxSegments:  *recordMaxSegs,
 		RecordMaxBytes:     *recordMaxBytes,
+		SessionLinger:      *linger,
 	})
 	defer b.Stop()
 
@@ -107,14 +111,14 @@ func run() error {
 	defer stop()
 	if *stats <= 0 {
 		<-ctx.Done()
-		return nil
+		return drain(b, *drainTimeout)
 	}
 	ticker := time.NewTicker(*stats)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ctx.Done():
-			return nil
+			return drain(b, *drainTimeout)
 		case <-ticker.C:
 			fmt.Printf("sessions=%d peers=%d\n", b.SessionCount(), b.PeerCount())
 			for _, l := range b.PeerLinks() {
@@ -123,6 +127,23 @@ func run() error {
 			fmt.Print(b.MetricsReport())
 		}
 	}
+}
+
+// drain winds the broker down gracefully, bounded by the -drain-timeout
+// flag; the deferred Stop in run finishes the shutdown either way.
+func drain(b *globalmmcs.Broker, timeout time.Duration) error {
+	if timeout <= 0 {
+		return nil
+	}
+	fmt.Printf("draining (timeout %s)\n", timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := b.Drain(ctx); err != nil {
+		fmt.Printf("drain: %v\n", err)
+	} else {
+		fmt.Println("drained")
+	}
+	return nil
 }
 
 func splitList(s string) []string {

@@ -36,6 +36,8 @@ func run() error {
 		noH323    = flag.Bool("no-h323", false, "disable the H.323 servers")
 		noRTSP    = flag.Bool("no-rtsp", false, "disable the streaming server")
 		noIM      = flag.Bool("no-im", false, "disable the IM service")
+
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful drain bound on SIGTERM/SIGINT: wait this long for broker clients to ack in-flight reliable traffic after GOAWAY (0 = stop immediately)")
 	)
 	flag.Parse()
 
@@ -87,6 +89,14 @@ func run() error {
 	}
 
 	<-ctx.Done()
+	if *drainTimeout > 0 {
+		fmt.Printf("draining (timeout %s)\n", *drainTimeout)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Drain(drainCtx); err != nil {
+			fmt.Printf("drain: %v\n", err)
+		}
+	}
 	fmt.Println("shutting down")
 	return nil
 }

@@ -53,6 +53,10 @@ var (
 	ErrStreamClosed = errors.New("globalmmcs: stream closed")
 	// ErrPublisherClosed reports a Publish on a closed Publisher.
 	ErrPublisherClosed = errors.New("globalmmcs: publisher closed")
+	// ErrConnLost reports an operation that raced a broker-connection
+	// loss. Unlike ErrNotConnected it is transient: a reconnect-enabled
+	// client recovers the link and the operation can be retried.
+	ErrConnLost = errors.New("globalmmcs: broker connection lost")
 )
 
 // taggedErr pairs a public sentinel with the underlying cause so both
@@ -102,6 +106,8 @@ func wrapErr(err error) error {
 		errors.Is(err, broker.ErrFenceTimeout),
 		errors.Is(err, context.DeadlineExceeded):
 		return tag(ErrTimeout, err)
+	case errors.Is(err, broker.ErrConnLost):
+		return tag(ErrConnLost, err)
 	case errors.Is(err, xgsp.ErrClosed), errors.Is(err, broker.ErrClientClosed):
 		return tag(ErrNotConnected, err)
 	case errors.Is(err, broker.ErrPublisherClosed):

@@ -78,6 +78,13 @@ func Start(ctx context.Context, opts ...Option) (*Server, error) {
 // Stop shuts every subsystem down in dependency order. It is idempotent.
 func (s *Server) Stop() { s.core.Stop() }
 
+// Drain gracefully winds the node's broker down ahead of Stop: new
+// connections are refused, attached clients receive a reliable GOAWAY,
+// and the call waits until in-flight reliable traffic is acknowledged
+// or ctx expires. Wired to SIGTERM in cmd/gmmcs-server via
+// -drain-timeout.
+func (s *Server) Drain(ctx context.Context) error { return wrapErr(s.core.Broker.Drain(ctx)) }
+
 // WaitReady blocks until the node answers on its web listener, bounded
 // by ctx — the replacement for the startup sleeps examples used to need.
 func (s *Server) WaitReady(ctx context.Context) error {

@@ -1,0 +1,337 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/broker"
+	"github.com/globalmmcs/globalmmcs/internal/event"
+	"github.com/globalmmcs/globalmmcs/internal/transport"
+)
+
+// ChurnConfig parameterises the connection-churn benchmark: one
+// reconnect-enabled subscriber on a recorded topic is repeatedly cut
+// mid-stream while a paced publisher keeps the reliable lane busy. Each
+// cycle clocks kill → caught-up (resume handshake, window salvage and
+// log-backed catch-up included), and the whole run must deliver every
+// event exactly once — any duplicate or gap fails the benchmark.
+type ChurnConfig struct {
+	// Cycles is how many kill/reconnect rounds to run. Default 20.
+	Cycles int
+	// PublishRate is the paced reliable publish rate (events/sec) the
+	// subscriber must keep up with across cuts. Default 5000.
+	PublishRate int
+	// PayloadBytes sizes each event payload. Default 256.
+	PayloadBytes int
+	// SessionLinger is the broker's parked-session window. Default 30s
+	// (generous: a cycle's outage is a few ms of redial backoff).
+	SessionLinger time.Duration
+	// Settle is the pause between catching up and the next kill, letting
+	// the link carry a little steady-state traffic. Default 20ms.
+	Settle time.Duration
+}
+
+func (c ChurnConfig) withDefaults() ChurnConfig {
+	if c.Cycles <= 0 {
+		c.Cycles = 20
+	}
+	if c.PublishRate <= 0 {
+		c.PublishRate = 5000
+	}
+	if c.PayloadBytes <= 0 {
+		c.PayloadBytes = 256
+	}
+	if c.SessionLinger <= 0 {
+		c.SessionLinger = 30 * time.Second
+	}
+	if c.Settle <= 0 {
+		c.Settle = 20 * time.Millisecond
+	}
+	return c
+}
+
+// ChurnResult reports one churn benchmark run.
+type ChurnResult struct {
+	Cycles       int `json:"cycles"`
+	PublishRate  int `json:"publish_rate"`
+	PayloadBytes int `json:"payload_bytes"`
+	// Published / Delivered are the end-of-run totals; the run errors
+	// unless they match with zero Duplicates and zero Gaps (exactly-once
+	// across every cut).
+	Published  uint64 `json:"published"`
+	Delivered  uint64 `json:"delivered"`
+	Duplicates uint64 `json:"duplicates"`
+	Gaps       uint64 `json:"gaps"`
+	// ResumesPerSec is Cycles over the whole run's wall time — kills,
+	// redials, catch-up and settle pauses included.
+	ResumesPerSec float64 `json:"resumes_per_sec"`
+	// Catch-up latency per cycle, kill → delivered everything published
+	// at the moment of checking: median, p95 and worst case.
+	CatchupP50Ms float64 `json:"catchup_p50_ms"`
+	CatchupP95Ms float64 `json:"catchup_p95_ms"`
+	CatchupMaxMs float64 `json:"catchup_max_ms"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+}
+
+func (r ChurnResult) String() string {
+	return fmt.Sprintf("churn %d cycles at %d ev/s: %.1f resumes/s, catch-up p50 %.1f ms p95 %.1f ms max %.1f ms, %d/%d delivered (dups %d, gaps %d)",
+		r.Cycles, r.PublishRate, r.ResumesPerSec,
+		r.CatchupP50Ms, r.CatchupP95Ms, r.CatchupMaxMs,
+		r.Delivered, r.Published, r.Duplicates, r.Gaps)
+}
+
+const churnTopic = "/bench/churn/stream"
+
+// churnSeam deals the subscriber its conns: every dial gets a FaultConn
+// so the harness can cut the live link on cue.
+type churnSeam struct {
+	mu   sync.Mutex
+	b    *broker.Broker
+	conn *transport.FaultConn
+}
+
+func (s *churnSeam) dial(string) (transport.Conn, error) {
+	s.mu.Lock()
+	b := s.b
+	s.mu.Unlock()
+	if b == nil {
+		return nil, errors.New("bench: churn broker down")
+	}
+	client, server := transport.Pipe(b.ID(), "churn-sub")
+	go b.AcceptConn(server)
+	fc := transport.InjectFaults(client)
+	s.mu.Lock()
+	s.conn = fc
+	s.mu.Unlock()
+	return fc, nil
+}
+
+func (s *churnSeam) kill() {
+	s.mu.Lock()
+	fc := s.conn
+	s.mu.Unlock()
+	if fc != nil {
+		fc.Kill()
+	}
+}
+
+// churnPayload stamps the event's sequence number into a fresh payload
+// (the broker retains references: queue, salvage, log) so the
+// subscriber can verify exactly-once delivery end to end.
+func churnPayload(size int, i uint64) []byte {
+	buf := make([]byte, size)
+	copy(buf, fmt.Sprintf("%016d", i))
+	return buf
+}
+
+func churnCounter(p []byte) (uint64, error) {
+	if len(p) < 16 {
+		return 0, fmt.Errorf("short churn payload (%d bytes)", len(p))
+	}
+	var n uint64
+	_, err := fmt.Sscanf(string(p[:16]), "%d", &n)
+	return n, err
+}
+
+// RunChurn runs the connection-churn benchmark.
+func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
+	cfg = cfg.withDefaults()
+	res := ChurnResult{
+		Cycles:       cfg.Cycles,
+		PublishRate:  cfg.PublishRate,
+		PayloadBytes: cfg.PayloadBytes,
+	}
+	dir, err := os.MkdirTemp("", "gmmcs-bench-churn-")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	b := broker.New(broker.Config{
+		ID:             "churn-broker",
+		SessionLinger:  cfg.SessionLinger,
+		RecordPatterns: []string{churnTopic},
+		RecordDir:      dir,
+		FlushInterval:  time.Millisecond,
+	})
+	defer b.Stop()
+
+	seam := &churnSeam{b: b}
+	sub, err := broker.DialResilient(broker.ResilientConfig{
+		URLs:      []string{"churn://local"},
+		ID:        "churn-sub",
+		RedialMin: 5 * time.Millisecond,
+		RedialMax: 50 * time.Millisecond,
+		Dial:      seam.dial,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer sub.Close()
+	stream, err := sub.SubscribeReplay(context.Background(), churnTopic, 0, 4096)
+	if err != nil {
+		return res, err
+	}
+
+	// The drain goroutine verifies the exactly-once contract inline:
+	// every payload counter must be exactly the previous plus one.
+	var delivered, dups, gaps atomic.Uint64
+	var parseErr atomic.Value
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		var expect uint64
+		buf := make([]*event.Event, 0, 256)
+		for {
+			var ok bool
+			buf, ok = stream.RecvBatch(buf[:0], 256)
+			for _, e := range buf {
+				c, err := churnCounter(e.Payload)
+				if err != nil {
+					parseErr.Store(err)
+					return
+				}
+				switch {
+				case c == expect:
+					expect++
+					delivered.Add(1)
+				case c < expect:
+					dups.Add(1)
+				default:
+					gaps.Add(c - expect)
+					expect = c + 1
+					delivered.Add(1)
+				}
+			}
+			clear(buf)
+			if !ok {
+				return
+			}
+		}
+	}()
+
+	// The publisher paces the reliable lane from an in-process client
+	// that is never cut: only the subscriber's link churns.
+	pub, err := b.LocalClient("churn-pub", transport.LinkProfile{})
+	if err != nil {
+		return res, err
+	}
+	defer pub.Close()
+	var published atomic.Uint64
+	var pubErr atomic.Value
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		const tick = 5 * time.Millisecond
+		perTick := int(float64(cfg.PublishRate) * tick.Seconds())
+		if perTick < 1 {
+			perTick = 1
+		}
+		ticker := time.NewTicker(tick)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				for i := 0; i < perTick; i++ {
+					if err := pub.PublishReliable(churnTopic, event.KindData, churnPayload(cfg.PayloadBytes, published.Load())); err != nil {
+						pubErr.Store(err)
+						return
+					}
+					published.Add(1)
+				}
+			}
+		}
+	}()
+
+	// caughtUp: the subscriber has delivered everything published as of
+	// the check, AND the head has moved past after — so right after a
+	// kill it can only be satisfied by events that crossed a NEW conn
+	// (the head keeps moving; the past floor pins the reconnect).
+	caughtUp := func(past uint64, deadline time.Time) error {
+		for {
+			target := published.Load()
+			if target > past && delivered.Load() >= target {
+				return nil
+			}
+			if err, _ := pubErr.Load().(error); err != nil {
+				return fmt.Errorf("bench: churn publisher: %w", err)
+			}
+			if err, _ := parseErr.Load().(error); err != nil {
+				return fmt.Errorf("bench: churn subscriber: %w", err)
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("bench: churn catch-up stuck at %d/%d delivered", delivered.Load(), target)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	t0 := time.Now()
+	latencies := make([]time.Duration, 0, cfg.Cycles)
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		if err := caughtUp(0, time.Now().Add(60*time.Second)); err != nil {
+			return res, fmt.Errorf("cycle %d: %w", cycle, err)
+		}
+		time.Sleep(cfg.Settle)
+		kill := time.Now()
+		pastKill := published.Load()
+		seam.kill()
+		// Caught up again only once events published AFTER the kill have
+		// arrived, which requires the resume round trip to complete.
+		if err := caughtUp(pastKill, time.Now().Add(60*time.Second)); err != nil {
+			return res, fmt.Errorf("cycle %d after kill: %w", cycle, err)
+		}
+		latencies = append(latencies, time.Since(kill))
+	}
+	elapsed := time.Since(t0)
+
+	// Stop the publisher and drain to the final head: the run is only
+	// valid when every published event arrived exactly once.
+	close(stop)
+	wg.Wait()
+	if err, _ := pubErr.Load().(error); err != nil {
+		return res, fmt.Errorf("bench: churn publisher: %w", err)
+	}
+	final := published.Load()
+	deadline := time.Now().Add(60 * time.Second)
+	for delivered.Load() < final {
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("bench: churn final drain stuck at %d/%d", delivered.Load(), final)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	res.Published = final
+	res.Delivered = delivered.Load()
+	res.Duplicates = dups.Load()
+	res.Gaps = gaps.Load()
+	res.ElapsedSec = elapsed.Seconds()
+	if res.ElapsedSec > 0 {
+		res.ResumesPerSec = float64(cfg.Cycles) / res.ElapsedSec
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return float64(latencies[i]) / float64(time.Millisecond)
+	}
+	res.CatchupP50Ms = pct(0.50)
+	res.CatchupP95Ms = pct(0.95)
+	res.CatchupMaxMs = pct(1.0)
+	if res.Duplicates != 0 || res.Gaps != 0 || res.Delivered != res.Published {
+		return res, fmt.Errorf("bench: churn broke exactly-once: published %d delivered %d dups %d gaps %d",
+			res.Published, res.Delivered, res.Duplicates, res.Gaps)
+	}
+	return res, nil
+}

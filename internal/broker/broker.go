@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -140,6 +141,16 @@ type Config struct {
 	// active replay cursor still reads. 0 = unbounded.
 	RecordMaxSegments int
 	RecordMaxBytes    int64
+	// SessionLinger is how long a client session whose conn died is
+	// parked — subscriptions, reliable window and cumulative ack floor
+	// retained — awaiting a resume handshake from the redialing client.
+	// 0 (the default) disables parking: a dead conn tears the session
+	// down immediately, the pre-resilience behaviour.
+	SessionLinger time.Duration
+	// MaxParkedSessions bounds the parked-session table; past it the
+	// oldest park is evicted to admit a new one. Default 1024 (only
+	// meaningful when SessionLinger > 0).
+	MaxParkedSessions int
 	// Metrics receives broker counters; nil allocates a private registry.
 	Metrics *metrics.Registry
 }
@@ -198,6 +209,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IngestBurst < 1 {
 		c.IngestBurst = 1
+	}
+	if c.SessionLinger < 0 {
+		c.SessionLinger = 0
+	}
+	if c.MaxParkedSessions <= 0 {
+		c.MaxParkedSessions = 1024
 	}
 	if c.Metrics == nil {
 		c.Metrics = &metrics.Registry{}
@@ -271,6 +288,17 @@ type Broker struct {
 	// housekeeping on soft-state expiry.
 	relStash map[string]*relSalvage
 
+	// parked holds client sessions whose conns died while SessionLinger
+	// was enabled, keyed by resume token (parkedByID indexes the same
+	// parks by client id, so a fresh hello invalidates a stale park).
+	// Guarded by b.mu; expired parks are reaped at resume time and by
+	// housekeeping. draining, once set by Drain, refuses new handshakes
+	// and disables parking.
+	parked     map[string]*parkedSession
+	parkedByID map[string]string
+	draining   bool
+	tokenSeq   atomic.Uint64
+
 	// rec is the durable-log record plane (nil when RecordPatterns is
 	// empty, which keeps recording entirely off the data path).
 	rec *recordPlane
@@ -338,6 +366,8 @@ func New(cfg Config) *Broker {
 		patternRefs: make(map[string]int),
 		advApplied:  make(map[string]map[string]uint64),
 		relStash:    make(map[string]*relSalvage),
+		parked:      make(map[string]*parkedSession),
+		parkedByID:  make(map[string]string),
 		meshRoutes:  make(map[string]*patternRoute),
 		dedup:       newDedupCache(cfg.DedupCapacity),
 		ctr:         resolveCounters(cfg.Metrics),
@@ -422,8 +452,22 @@ func (b *Broker) handshake(conn transport.Conn) {
 	id := first.Headers[hdrID]
 	switch {
 	case first.Topic == topicHello && id != "":
-		if _, err := b.attach(conn, id, false, false); err != nil {
+		if first.Headers[hdrOp] == opResume {
+			if err := b.resumeHandshake(conn, id, first.Headers[hdrToken]); err != nil {
+				conn.Close()
+			}
+			return
+		}
+		s, err := b.attach(conn, id, false, false)
+		if err != nil {
 			conn.Close()
+			return
+		}
+		if s.token != "" {
+			// Linger-enabled brokers answer every hello with the token the
+			// client must present on redial. Best-effort and unsequenced:
+			// the reply must not consume a reliable rseq.
+			s.queue.pushBestEffort(welcomeEvent(opWelcome, s.token), nil)
 		}
 	case first.Topic == topicPeer && id != "":
 		modeStr := first.Headers[hdrMode]
@@ -496,6 +540,9 @@ func (b *Broker) hasPeers() bool {
 func (b *Broker) attach(conn transport.Conn, id string, isPeer, dialed bool) (*session, error) {
 	s := newSession(b, conn, id, isPeer)
 	s.dialed = dialed
+	if !isPeer && b.cfg.SessionLinger > 0 {
+		s.token = b.mintToken()
+	}
 	// Sender-blocking conns (spin-wait link emulation) keep a dedicated
 	// writer: one emulated link's host cost must not head-of-line block a
 	// pool shard's other sessions.
@@ -507,7 +554,7 @@ func (b *Broker) attach(conn transport.Conn, id string, isPeer, dialed bool) (*s
 		s.bindPool(b.pools[int(b.poolNext.Add(1)-1)%len(b.pools)])
 	}
 	b.mu.Lock()
-	if b.closed {
+	if b.closed || b.draining {
 		b.mu.Unlock()
 		return nil, ErrBrokerStopped
 	}
@@ -521,11 +568,15 @@ func (b *Broker) attach(conn transport.Conn, id string, isPeer, dialed bool) (*s
 		// old session.
 		old.close()
 		b.mu.Lock()
-		if b.closed {
+		if b.closed || b.draining {
 			b.mu.Unlock()
 			return nil, ErrBrokerStopped
 		}
 	}
+	// A fresh attach for an id orphans any park under that id (including
+	// one the supersede above just created): the client evidently started
+	// over, so the retained window would only replay stale state.
+	b.purgeParkLocked(id)
 	b.ids[id] = s
 	b.sessions[s] = struct{}{}
 	if isPeer {
@@ -609,11 +660,24 @@ type relSalvage struct {
 	when   time.Time
 }
 
-// detach removes a session after its conn closed.
+// detach removes a session after its conn closed. Client sessions that
+// hold a resume token are parked — reliable window, ack floors and
+// subscription patterns snapshotted — so a redial within SessionLinger
+// reattaches where the dead conn left off.
 func (b *Broker) detach(s *session) {
 	var salvaged []*event.Event
 	if s.isPeer {
 		salvaged = s.salvageUnacked()
+	}
+	parkable := !s.isPeer && s.token != "" && b.cfg.SessionLinger > 0
+	var park *parkedSession
+	if parkable {
+		park = &parkedSession{id: s.id, token: s.token, when: time.Now()}
+		park.salvaged = s.salvageParked()
+		park.nextRSeq, park.ackFloor = s.relSnapshot()
+		s.recvMu.Lock()
+		park.recvCum = s.recvCum
+		s.recvMu.Unlock()
 	}
 	b.mu.Lock()
 	if _, ok := b.sessions[s]; !ok {
@@ -621,6 +685,12 @@ func (b *Broker) detach(s *session) {
 		return
 	}
 	delete(b.sessions, s)
+	if park != nil && !b.closed && !b.draining && b.ids[s.id] == s {
+		for p := range s.localPatterns {
+			park.patterns = append(park.patterns, p)
+		}
+		b.parkLocked(park)
+	}
 	wasPeer := false
 	if _, wasPeer = b.peers[s]; wasPeer {
 		delete(b.peers, s)
@@ -689,6 +759,251 @@ func (b *Broker) detach(s *session) {
 		b.metrics().Gauge("broker.peer." + s.id + ".links").Set(1)
 	}
 	b.metrics().Counter("broker.sessions_detached").Inc()
+}
+
+// parkedSession is the retained state of one client session whose conn
+// died while SessionLinger was enabled: everything a resume handshake
+// needs to rebuild the session as if the disconnect never happened.
+type parkedSession struct {
+	id       string
+	token    string
+	patterns []string
+	// salvaged is the unacked reliable window at original rseqs; resume
+	// requeues it verbatim so the client's cumulative-ack dedup state
+	// stays valid across the reattach.
+	salvaged []parkedEvent
+	nextRSeq uint64
+	ackFloor uint64
+	recvCum  uint64
+	when     time.Time
+}
+
+// mintToken builds a resume token. Uniqueness within this broker's
+// lifetime is all the scheme needs; the broker id prefix keeps tokens
+// from colliding across a mesh.
+func (b *Broker) mintToken() string {
+	return fmt.Sprintf("%s.%d.%x", b.cfg.ID, b.tokenSeq.Add(1), time.Now().UnixNano())
+}
+
+// parkLocked inserts a park, evicting the oldest one past the capacity
+// bound. Callers hold b.mu.
+func (b *Broker) parkLocked(p *parkedSession) {
+	if len(b.parked) >= b.cfg.MaxParkedSessions {
+		var oldestTok string
+		var oldest *parkedSession
+		for tok, cand := range b.parked {
+			if oldest == nil || cand.when.Before(oldest.when) {
+				oldestTok, oldest = tok, cand
+			}
+		}
+		if oldest != nil {
+			delete(b.parked, oldestTok)
+			delete(b.parkedByID, oldest.id)
+		}
+	}
+	b.parked[p.token] = p
+	b.parkedByID[p.id] = p.token
+}
+
+// purgeParkLocked drops any park held under id. Callers hold b.mu.
+func (b *Broker) purgeParkLocked(id string) {
+	if tok, ok := b.parkedByID[id]; ok {
+		delete(b.parkedByID, id)
+		delete(b.parked, tok)
+	}
+}
+
+// pruneParked reaps parks whose linger window expired (resume also
+// checks expiry, so this is purely a memory bound).
+func (b *Broker) pruneParked() {
+	if b.cfg.SessionLinger <= 0 {
+		return
+	}
+	cutoff := time.Now().Add(-b.cfg.SessionLinger)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for tok, p := range b.parked {
+		if p.when.Before(cutoff) {
+			delete(b.parked, tok)
+			delete(b.parkedByID, p.id)
+		}
+	}
+}
+
+// parkedCount reports the parked-session table size (test hook).
+func (b *Broker) parkedCount() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.parked)
+}
+
+// resumeHandshake serves a hello that presented a resume token. A live
+// park under that token reattaches the conn to the retained session
+// state; anything else — unknown token, expired linger, id mismatch —
+// falls back to a fresh attach with an opRejected reply so the client
+// knows to rebuild its subscriptions from scratch.
+func (b *Broker) resumeHandshake(conn transport.Conn, id, token string) error {
+	b.mu.Lock()
+	park := b.parked[token]
+	if park == nil {
+		// The redial can outrun the dying session's teardown: the token's
+		// session is still attached (its conn dead but not yet detached,
+		// or half-dead — the client saw a cut the broker hasn't). Force
+		// the teardown now and wait for its park: close() detaches (and
+		// parks) before signalling closedCh, so the window is ready when
+		// the wait returns.
+		if live := b.ids[id]; live != nil && !live.isPeer && live.token == token {
+			b.mu.Unlock()
+			live.close()
+			select {
+			case <-live.closedCh:
+			case <-time.After(5 * time.Second):
+			}
+			b.mu.Lock()
+			park = b.parked[token]
+		}
+	}
+	switch {
+	case park == nil:
+	case park.id != id:
+		// A foreign token must not consume the real owner's park.
+		park = nil
+	case time.Since(park.when) > b.cfg.SessionLinger:
+		b.purgeParkLocked(park.id)
+		park = nil
+	default:
+		b.purgeParkLocked(park.id)
+	}
+	b.mu.Unlock()
+	if park == nil {
+		s, err := b.attach(conn, id, false, false)
+		if err != nil {
+			return err
+		}
+		s.queue.pushBestEffort(welcomeEvent(opRejected, s.token), nil)
+		return nil
+	}
+	return b.attachResumed(conn, park)
+}
+
+// attachResumed registers a new conn against a consumed park: the
+// reliable sequence space and ack floors are seeded before the session
+// starts, the salvaged window is requeued at its original rseqs, and
+// only then are the parked patterns re-registered — so fresh publishes
+// cannot outrun the replayed backlog on the reliable lane.
+func (b *Broker) attachResumed(conn transport.Conn, park *parkedSession) error {
+	s := newSession(b, conn, park.id, false)
+	// The token is STABLE across resumes: it identifies the session
+	// lineage, not the conn. Rotating it here would open a window — the
+	// opResumed welcome drains behind the salvaged reliable backlog, so
+	// a client whose new conn dies before the welcome arrives would
+	// redial with a token the broker no longer honours, silently
+	// downgrading the resume to a fresh attach and losing the window.
+	s.token = park.token
+	s.seedReliable(park.nextRSeq, park.ackFloor, park.recvCum)
+	blocking := false
+	if sb, ok := conn.(transport.SendBlocker); ok {
+		blocking = sb.SendBlocks()
+	}
+	if len(b.pools) > 0 && !blocking {
+		s.bindPool(b.pools[int(b.poolNext.Add(1)-1)%len(b.pools)])
+	}
+	b.mu.Lock()
+	if b.closed || b.draining {
+		b.mu.Unlock()
+		return ErrBrokerStopped
+	}
+	if old, exists := b.ids[park.id]; exists {
+		b.mu.Unlock()
+		// Double-resume race: the newest conn wins, superseding whichever
+		// session (fresh or resumed) currently holds the id.
+		old.close()
+		b.mu.Lock()
+		if b.closed || b.draining {
+			b.mu.Unlock()
+			return ErrBrokerStopped
+		}
+	}
+	// The supersede above may have re-parked the loser; that park is
+	// stale the moment this resume succeeds.
+	b.purgeParkLocked(park.id)
+	b.ids[park.id] = s
+	b.sessions[s] = struct{}{}
+	b.mu.Unlock()
+	for _, pe := range park.salvaged {
+		s.sendReliableAt(pe.e, pe.rseq)
+	}
+	for _, p := range park.patterns {
+		_ = b.subscribe(s, p)
+	}
+	s.start()
+	s.queue.pushBestEffort(welcomeEvent(opResumed, s.token), nil)
+	b.metrics().Counter("broker.sessions_attached").Inc()
+	b.metrics().Counter("broker.sessions_resumed").Inc()
+	return nil
+}
+
+// Drain gracefully winds the broker down for a restart or removal: it
+// stops accepting new conns, drops parked sessions, tells every client
+// to redial elsewhere (a reliable GOAWAY control event), and waits until
+// each remaining client session's reliable window is fully acknowledged
+// — or ctx expires. Clients that never ack are disconnected by the
+// retransmit limit, so the wait terminates. The caller still calls Stop
+// afterwards to tear down sessions and goroutines.
+func (b *Broker) Drain(ctx context.Context) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrBrokerStopped
+	}
+	already := b.draining
+	b.draining = true
+	listeners := b.listeners
+	b.listeners = nil
+	b.parked = make(map[string]*parkedSession)
+	b.parkedByID = make(map[string]string)
+	clients := make([]*session, 0, len(b.sessions))
+	for s := range b.sessions {
+		if !s.isPeer {
+			clients = append(clients, s)
+		}
+	}
+	b.mu.Unlock()
+	for _, l := range listeners {
+		l.Close()
+	}
+	if !already {
+		for _, s := range clients {
+			s.sendReliable(goawayEvent())
+		}
+	}
+	ticker := time.NewTicker(20 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		if b.clientWindowsFlushed() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-b.done:
+			return ErrBrokerStopped
+		case <-ticker.C:
+		}
+	}
+}
+
+// clientWindowsFlushed reports whether every attached client session's
+// reliable window is empty (all sent reliable events acknowledged).
+func (b *Broker) clientWindowsFlushed() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for s := range b.sessions {
+		if !s.isPeer && s.unackedLen() > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // subscribe registers a client pattern and advertises the 0→1 edge.
@@ -1174,6 +1489,7 @@ func (b *Broker) housekeeping() {
 			}
 			b.pruneStaleAdvertisements()
 			b.pruneRelStash()
+			b.pruneParked()
 			// One dedup generation per refresh tick: sources idle for
 			// three ticks (matching the advertisement soft-state horizon)
 			// free their 1 KiB windows.

@@ -18,6 +18,40 @@ import (
 // ErrClientClosed is returned by operations on a closed Client.
 var ErrClientClosed = errors.New("broker: client closed")
 
+// ErrConnLost is returned when the client's conn to the broker is down:
+// the send raced a conn failure, or (for resilient clients) a redial is
+// in progress and the operation could not be buffered. Unlike
+// ErrClientClosed it is transient — a resilient client recovers.
+var ErrConnLost = errors.New("broker: connection lost")
+
+// ConnState describes a client's link to the broker.
+type ConnState int32
+
+// Connection states. Enums start at 1 so the zero value is invalid.
+const (
+	// StateConnected: the conn is up and traffic flows.
+	StateConnected ConnState = iota + 1
+	// StateReconnecting: the conn died and a resilient client's redial
+	// loop is working to replace it. Plain clients never enter it.
+	StateReconnecting
+	// StateClosed: the client is closed for good.
+	StateClosed
+)
+
+// String implements fmt.Stringer.
+func (s ConnState) String() string {
+	switch s {
+	case StateConnected:
+		return "connected"
+	case StateReconnecting:
+		return "reconnecting"
+	case StateClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("connstate(%d)", int32(s))
+	}
+}
+
 // ErrFenceTimeout is returned when the broker does not acknowledge a
 // control request within the fence window.
 var ErrFenceTimeout = errors.New("broker: control fence timed out")
@@ -116,10 +150,18 @@ type Subscription struct {
 }
 
 // replayState tracks a replay subscription's broker-side stream.
+// pattern/from parameterise the original start request and lastSeq
+// tracks the newest delivered record, so a reconnect can restart the
+// stream from exactly where delivery left off (broker-side replay
+// cursors do not survive a session loss, parked or not) and duplicate
+// records straddling the restart are filtered by sequence.
 type replayState struct {
-	id   uint64
-	live chan struct{}
-	once sync.Once
+	id      uint64
+	pattern string
+	from    uint64
+	lastSeq atomic.Uint64
+	live    chan struct{}
+	once    sync.Once
 }
 
 // CaughtUp returns a channel closed when a replay subscription has
@@ -594,8 +636,26 @@ func (s *Subscription) closeRing() {
 // Client is the publish/subscribe endpoint used by every Global-MMCS
 // component that talks to the broker network.
 type Client struct {
-	id   string
-	conn transport.Conn
+	id string
+
+	// connMu guards the live conn, its loss channel and the resume
+	// token. conn is nil only for resilient clients between redials;
+	// lostCh is closed when the conn it was installed with dies (and
+	// replaced wholesale at the next install, so a captured copy always
+	// refers to one particular conn's lifetime).
+	connMu sync.RWMutex
+	conn   transport.Conn
+	lostCh chan struct{}
+	token  string
+
+	// res is the resilience plane (nil for plain clients): redial
+	// config, the supervisor kick channel and the outage publish buffer.
+	res *resilientState
+	// connState holds the current ConnState for lock-free reads.
+	connState atomic.Int32
+	// hsCh, when armed (under connMu), receives the op of the next
+	// hello reply — the resume handshake completion signal.
+	hsCh chan string
 
 	mu     sync.Mutex
 	closed bool
@@ -611,7 +671,15 @@ type Client struct {
 	// Dispatch state owned by the readLoop goroutine: a per-epoch target
 	// cache (no lock on hit — the trie walk under mu happens once per
 	// topic per epoch), a last-topic memo that skips even the map for
-	// single-stream traffic, and the per-burst staging slots.
+	// single-stream traffic, and the per-burst staging slots. rlConn is
+	// the conn the current read loop serves (reverse-path acks must go
+	// out on the conn the traffic arrived on, never a replacement);
+	// rlGoaway defers the goaway-triggered close until after the burst's
+	// ack is flushed. Only one read loop runs at a time: a resilient
+	// client starts the next one strictly after the previous one's exit
+	// handshake, so these need no lock.
+	rlConn      transport.Conn
+	rlGoaway    bool
 	routeCache  map[string][]*Subscription
 	cacheEpoch  uint64
 	lastTopic   string
@@ -673,9 +741,19 @@ func Attach(conn transport.Conn, id string) (*Client, error) {
 		conn.Close()
 		return nil, fmt.Errorf("broker: hello: %w", err)
 	}
+	c := newClient(id, conn)
+	c.setState(StateConnected)
+	c.wg.Add(1)
+	go c.readLoop(conn)
+	return c, nil
+}
+
+// newClient builds a Client around an established, hello'd conn.
+func newClient(id string, conn transport.Conn) *Client {
 	c := &Client{
 		id:         id,
 		conn:       conn,
+		lostCh:     make(chan struct{}),
 		subs:       topic.NewTrie[*Subscription](),
 		subSet:     make(map[*Subscription]struct{}),
 		routeCache: make(map[string][]*Subscription),
@@ -687,9 +765,73 @@ func Attach(conn transport.Conn, id string) (*Client, error) {
 		stageGen:   1,
 	}
 	c.dispatchBurst.Store(clientRecvBurst)
-	c.wg.Add(1)
-	go c.readLoop()
-	return c, nil
+	return c
+}
+
+// ConnState reports the client's link state. Plain clients only ever
+// move Connected → Closed; resilient clients cycle through
+// Reconnecting while their redial loop works.
+func (c *Client) ConnState() ConnState { return ConnState(c.connState.Load()) }
+
+// setState records a link-state transition and fires the resilient
+// OnState hook on edges.
+func (c *Client) setState(st ConnState) {
+	if ConnState(c.connState.Swap(int32(st))) == st {
+		return
+	}
+	if c.res != nil && c.res.cfg.OnState != nil {
+		c.res.cfg.OnState(st)
+	}
+}
+
+// currentConn snapshots the live conn and its loss channel. The conn is
+// nil while a resilient client is between redials; the channel is
+// always non-nil and closes when that particular conn dies.
+func (c *Client) currentConn() (transport.Conn, <-chan struct{}) {
+	c.connMu.RLock()
+	defer c.connMu.RUnlock()
+	return c.conn, c.lostCh
+}
+
+// send puts one event on the live conn. Every client→broker send
+// outside the read loop goes through here (or sendData), so a dead conn
+// surfaces uniformly as ErrConnLost — or ErrClientClosed once the
+// client is closed for good.
+func (c *Client) send(e *event.Event) error {
+	conn, _ := c.currentConn()
+	if conn == nil {
+		return ErrConnLost
+	}
+	if err := conn.Send(e); err != nil {
+		if c.closedFlag.Load() {
+			return ErrClientClosed
+		}
+		return fmt.Errorf("%w: %v", ErrConnLost, err)
+	}
+	return nil
+}
+
+// sendData is send for data-plane publishes: while a resilient client
+// is between conns the event is buffered (up to the configured bound)
+// and flushed after the reconnect instead of failing.
+func (c *Client) sendData(e *event.Event) error {
+	conn, _ := c.currentConn()
+	if conn == nil {
+		if c.res != nil && c.res.buffer(e) {
+			return nil
+		}
+		return ErrConnLost
+	}
+	if err := conn.Send(e); err != nil {
+		if c.closedFlag.Load() {
+			return ErrClientClosed
+		}
+		if c.res != nil && c.res.buffer(e) {
+			return nil
+		}
+		return fmt.Errorf("%w: %v", ErrConnLost, err)
+	}
+	return nil
 }
 
 // SetDispatchBurst selects the client's delivery dispatch mode: n <= 1
@@ -715,7 +857,7 @@ func (b *Broker) LocalClient(id string, profile transport.LinkProfile) (*Client,
 	clientEnd, serverEnd := transport.Pipe("mem:"+b.cfg.ID, "mem:"+id)
 	shaped := transport.Shape(serverEnd, profile)
 	b.mu.Lock()
-	if b.closed {
+	if b.closed || b.draining {
 		b.mu.Unlock()
 		clientEnd.Close()
 		shaped.Close()
@@ -773,7 +915,7 @@ func (c *Client) SubscribeContext(ctx context.Context, pattern string, depth int
 	c.routeEpoch.Add(1)
 	c.mu.Unlock()
 
-	if err := c.conn.Send(subEvent(pattern, BestEffort)); err != nil {
+	if err := c.send(subEvent(pattern, BestEffort)); err != nil {
 		c.dropSub(sub)
 		return nil, fmt.Errorf("broker: sending subscribe: %w", err)
 	}
@@ -809,7 +951,7 @@ func (c *Client) SubscribeReplay(ctx context.Context, pattern string, from uint6
 	}
 	id := c.nextToken.Add(1)
 	sub := newSubscription(c, pattern, depth)
-	sub.replay = &replayState{id: id, live: make(chan struct{})}
+	sub.replay = &replayState{id: id, pattern: pattern, from: from, live: make(chan struct{})}
 	wait := make(chan error, 1)
 	c.mu.Lock()
 	if c.closed {
@@ -830,7 +972,8 @@ func (c *Client) SubscribeReplay(ctx context.Context, pattern string, from uint6
 		c.mu.Unlock()
 		sub.closeRing()
 	}
-	if err := c.conn.Send(replayStartEvent(pattern, from, id)); err != nil {
+	_, lost := c.currentConn()
+	if err := c.send(replayStartEvent(pattern, from, id)); err != nil {
 		cleanup()
 		return nil, fmt.Errorf("broker: sending replay start: %w", err)
 	}
@@ -845,14 +988,17 @@ func (c *Client) SubscribeReplay(ctx context.Context, pattern string, from uint6
 		}
 	case <-ctx.Done():
 		cleanup()
-		_ = c.conn.Send(replayStopEvent(id))
+		_ = c.send(replayStopEvent(id))
 		return nil, ctx.Err()
+	case <-lost:
+		cleanup()
+		return nil, ErrConnLost
 	case <-c.done:
 		cleanup()
 		return nil, ErrClientClosed
 	case <-time.After(subscribeTimeout):
 		cleanup()
-		_ = c.conn.Send(replayStopEvent(id))
+		_ = c.send(replayStopEvent(id))
 		return nil, ErrFenceTimeout
 	}
 	return sub, nil
@@ -875,7 +1021,7 @@ func (c *Client) revokePattern(pattern string) {
 	if stillUsed || closed {
 		return
 	}
-	_ = c.conn.Send(unsubEvent(pattern))
+	_ = c.send(unsubEvent(pattern))
 }
 
 // Unsubscribe cancels a subscription and closes its delivery ring.
@@ -896,7 +1042,7 @@ func (c *Client) Unsubscribe(sub *Subscription) error {
 		if closed {
 			return nil
 		}
-		if err := c.conn.Send(replayStopEvent(sub.replay.id)); err != nil {
+		if err := c.send(replayStopEvent(sub.replay.id)); err != nil {
 			return fmt.Errorf("broker: sending replay stop: %w", err)
 		}
 		return nil
@@ -917,7 +1063,7 @@ func (c *Client) Unsubscribe(sub *Subscription) error {
 	if closed || stillUsed {
 		return nil
 	}
-	if err := c.conn.Send(unsubEvent(sub.pattern)); err != nil {
+	if err := c.send(unsubEvent(sub.pattern)); err != nil {
 		return fmt.Errorf("broker: sending unsubscribe: %w", err)
 	}
 	return c.fence(context.Background())
@@ -952,7 +1098,8 @@ func (c *Client) fence(ctx context.Context) error {
 	}()
 	ping := event.New(topicPing, event.KindControl, nil)
 	ping.Headers = map[string]string{hdrSeq: token}
-	if err := c.conn.Send(ping); err != nil {
+	_, lost := c.currentConn()
+	if err := c.send(ping); err != nil {
 		return fmt.Errorf("broker: sending ping: %w", err)
 	}
 	select {
@@ -960,6 +1107,9 @@ func (c *Client) fence(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	case <-lost:
+		// The conn carrying the ping died; its echo will never arrive.
+		return ErrConnLost
 	case <-c.done:
 		return ErrClientClosed
 	case <-time.After(subscribeTimeout):
@@ -986,7 +1136,7 @@ func (c *Client) PublishEvent(e *event.Event) error {
 	if err := c.stamp(e); err != nil {
 		return err
 	}
-	if err := c.conn.Send(e); err != nil {
+	if err := c.sendData(e); err != nil {
 		return fmt.Errorf("broker: publish: %w", err)
 	}
 	return nil
@@ -1017,17 +1167,22 @@ func (c *Client) stamp(e *event.Event) error {
 // burst receive.
 const clientRecvBurst = 256
 
-func (c *Client) readLoop() {
+func (c *Client) readLoop(conn transport.Conn) {
 	defer c.wg.Done()
-	defer c.teardown()
-	bc, canBurst := c.conn.(transport.BurstConn)
+	defer c.connDone(conn)
+	c.rlConn = conn
+	bc, canBurst := conn.(transport.BurstConn)
 	if !canBurst {
 		for {
-			e, err := c.conn.Recv()
+			e, err := conn.Recv()
 			if err != nil {
 				return
 			}
 			c.handleInbound(e)
+			if c.rlGoaway {
+				c.rlGoaway = false
+				conn.Close()
+			}
 		}
 	}
 	// Burst receive: one wakeup and one conn operation per batch the
@@ -1047,9 +1202,49 @@ func (c *Client) readLoop() {
 			}
 		}
 		clear(events) // never pin delivered events in the reused buffer
+		if c.rlGoaway {
+			// Deferred from the goaway handler: the burst's cumulative ack
+			// went out first, so the draining broker sees its window flush
+			// instead of waiting out the retransmit limit.
+			c.rlGoaway = false
+			conn.Close()
+		}
 		if err != nil {
 			return
 		}
+	}
+}
+
+// connDone is the tail of every read loop: the conn is dead. A plain
+// client (or one whose Close already ran) tears down; a resilient one
+// marks the link lost — subscriptions and dedup state intact — and
+// kicks the redial supervisor.
+func (c *Client) connDone(conn transport.Conn) {
+	conn.Close()
+	select {
+	case <-c.done:
+		c.teardown()
+		return
+	default:
+	}
+	if c.res == nil {
+		c.teardown()
+		return
+	}
+	c.connMu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+		// The closed channel keeps serving currentConn callers until the
+		// next install replaces it, so waits against the dead conn fail
+		// fast. A handshake waiting on hsCh unblocks via the same close.
+		close(c.lostCh)
+		c.hsCh = nil
+	}
+	c.connMu.Unlock()
+	c.setState(StateReconnecting)
+	select {
+	case c.res.kick <- struct{}{}:
+	default:
 	}
 }
 
@@ -1063,7 +1258,7 @@ func (c *Client) handleInbound(e *event.Event) {
 		}
 		cum, fresh := c.acceptReliable(rseq)
 		c.acksSent.Add(1)
-		_ = c.conn.Send(ackEvent(cum))
+		_ = c.rlConn.Send(ackEvent(cum))
 		if !fresh {
 			return
 		}
@@ -1111,12 +1306,13 @@ func (c *Client) processBurst(events []*event.Event) {
 	c.flushStaged()
 	if ackDue {
 		c.acksSent.Add(1)
-		_ = c.conn.Send(ackEvent(ackCum))
+		_ = c.rlConn.Send(ackEvent(ackCum))
 	}
 }
 
 // handleControl applies one control event: the ping echo that releases
-// control fences, replay lifecycle replies, and replay data envelopes.
+// control fences, hello replies (resume tokens), drain notices, replay
+// lifecycle replies, and replay data envelopes.
 func (c *Client) handleControl(e *event.Event) {
 	switch e.Topic {
 	case topicPing:
@@ -1129,11 +1325,50 @@ func (c *Client) handleControl(e *event.Event) {
 			default:
 			}
 		}
+	case topicHello:
+		c.handleWelcome(e)
+	case topicGoaway:
+		c.handleGoaway()
 	case topicReplay:
 		c.handleReplayReply(e)
 	case topicReplayData:
 		c.handleReplayData(e)
 	}
+}
+
+// handleWelcome applies the broker's hello reply: store the (re)minted
+// resume token and complete any pending resume handshake with the op.
+func (c *Client) handleWelcome(e *event.Event) {
+	c.connMu.Lock()
+	if tok := e.Headers[hdrToken]; tok != "" {
+		c.token = tok
+	}
+	hs := c.hsCh
+	c.hsCh = nil
+	c.connMu.Unlock()
+	if hs != nil {
+		select {
+		case hs <- e.Headers[hdrOp]:
+		default:
+		}
+	}
+}
+
+// handleGoaway reacts to a broker drain notice: rotate to the next
+// configured URL, forget the resume token (the draining broker dropped
+// its parks, and no other broker honours it), and schedule the conn
+// close for after the burst's ack flush so the drain observes this
+// client as caught up. Plain clients just ack and stay until the broker
+// stops.
+func (c *Client) handleGoaway() {
+	if c.res == nil {
+		return
+	}
+	c.connMu.Lock()
+	c.token = ""
+	c.connMu.Unlock()
+	c.res.advanceURL()
+	c.rlGoaway = true
 }
 
 // handleReplayReply applies a replay lifecycle transition: ok/err
@@ -1212,14 +1447,23 @@ func (c *Client) handleReplayData(e *event.Event) {
 	payload := e.Payload
 	var events []*event.Event
 	for len(payload) > 0 {
-		_, rec, n, perr := topiclog.ParseRecord(payload, 0)
+		seq, rec, n, perr := topiclog.ParseRecord(payload, 0)
 		if perr != nil {
 			break
 		}
 		payload = payload[n:]
+		if sub.replay != nil && seq <= sub.replay.lastSeq.Load() {
+			// Already delivered before a reconnect restarted the stream:
+			// the log sequence is the exactly-once dedup key across the
+			// old stream's salvaged tail and the restarted cursor.
+			continue
+		}
 		ev, uerr := event.Unmarshal(rec)
 		if uerr != nil {
 			continue
+		}
+		if sub.replay != nil {
+			sub.replay.lastSeq.Store(seq)
 		}
 		// Replay delivery is reliable end to end regardless of the
 		// event's original class: the broker never sheds the stream, and
@@ -1333,6 +1577,7 @@ func (c *Client) acceptReliable(rseq uint64) (cum uint64, fresh bool) {
 func (c *Client) teardown() {
 	c.once.Do(func() { close(c.done) })
 	c.closedFlag.Store(true)
+	c.setState(StateClosed)
 	c.mu.Lock()
 	c.closed = true
 	subs := make([]*Subscription, 0, len(c.subSet))
@@ -1357,7 +1602,11 @@ func (c *Client) teardown() {
 // would deadlock the wait below.
 func (c *Client) Close() error {
 	c.once.Do(func() { close(c.done) })
-	err := c.conn.Close()
+	conn, _ := c.currentConn()
+	var err error
+	if conn != nil {
+		err = conn.Close()
+	}
 	c.wg.Wait()
 	return err
 }

@@ -37,6 +37,7 @@ const (
 
 	topicReplay     = "/_nb/replay"  // durable-log replay control (start/stop/ok/err/live)
 	topicReplayData = "/_nb/repdata" // durable-log replay data envelope
+	topicGoaway     = "/_nb/goaway"  // broker drain notice: redial another broker
 )
 
 // Control headers.
@@ -54,6 +55,7 @@ const (
 	hdrReplay  = "replay"  // replay stream id (client-chosen token)
 	hdrFrom    = "from"    // replay start sequence ("0" = from earliest)
 	hdrError   = "error"   // human-readable error detail on replay replies
+	hdrToken   = "token"   // session resume token (hello/welcome exchange)
 )
 
 // Profile selects the delivery guarantees of a subscription.
@@ -98,6 +100,51 @@ func isControlTopic(t string) bool {
 func helloEvent(id string) *event.Event {
 	e := event.New(topicHello, event.KindControl, nil)
 	e.Headers = map[string]string{hdrID: id}
+	return e
+}
+
+// Resume handshake operations carried in hdrOp on topicHello events. A
+// plain hello (no op) opens a fresh session; a redialing client sends
+// opResume with the token minted at its previous attach. The broker
+// answers every hello on a linger-enabled broker: opWelcome (fresh
+// session, token minted), opResumed (parked session reattached, new
+// token minted), or opRejected (token unknown/expired — the conn was
+// attached as a fresh session and the client must resubscribe from
+// scratch). Replies ride the best-effort lane unsequenced: they must
+// not consume a reliable rseq, which belongs to the resumed window.
+const (
+	opResume   = "resume"
+	opWelcome  = "welcome"
+	opResumed  = "resumed"
+	opRejected = "rejected"
+)
+
+// resumeHelloEvent is the redial form of the client hello, presenting
+// the resume token of a (hopefully still parked) previous session.
+func resumeHelloEvent(id, token string) *event.Event {
+	e := event.New(topicHello, event.KindControl, nil)
+	e.Headers = map[string]string{hdrID: id, hdrOp: opResume, hdrToken: token}
+	return e
+}
+
+// welcomeEvent is the broker's hello reply: op is opWelcome, opResumed
+// or opRejected, and token (possibly empty when session linger is
+// disabled) is what the client must present on its next redial.
+func welcomeEvent(op, token string) *event.Event {
+	e := event.New(topicHello, event.KindControl, nil)
+	e.Headers = map[string]string{hdrOp: op}
+	if token != "" {
+		e.Headers[hdrToken] = token
+	}
+	return e
+}
+
+// goawayEvent is the drain notice: the broker stops accepting and asks
+// resilient clients to redial another broker. It rides the reliable
+// lane so a draining broker retransmits it until acknowledged.
+func goawayEvent() *event.Event {
+	e := event.New(topicGoaway, event.KindControl, nil)
+	e.Reliable = true
 	return e
 }
 

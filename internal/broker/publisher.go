@@ -57,8 +57,14 @@ func (c *Client) Publisher(cfg PublisherConfig) *Publisher {
 	if p.flushInterval <= 0 {
 		p.flushInterval = DefaultPublishFlushInterval
 	}
-	if cfg.Batching {
-		if fc, ok := c.conn.(transport.FrameConn); ok {
+	// Resilient clients swap conns under the publisher's feet, and a
+	// Batcher binds to one FrameConn for life — fall back to per-event
+	// sends, which route through the reconnect-aware send path.
+	if cfg.Batching && c.res == nil {
+		c.connMu.RLock()
+		conn := c.conn
+		c.connMu.RUnlock()
+		if fc, ok := conn.(transport.FrameConn); ok {
 			p.bw = transport.NewBatcher(fc, cfg.MaxBatchBytes)
 		}
 	}
@@ -85,7 +91,7 @@ func (p *Publisher) Publish(e *event.Event) error {
 		if closed {
 			return ErrPublisherClosed
 		}
-		if err := p.c.conn.Send(e); err != nil {
+		if err := p.c.sendData(e); err != nil {
 			return fmt.Errorf("broker: publish: %w", err)
 		}
 		return nil

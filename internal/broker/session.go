@@ -76,6 +76,10 @@ type session struct {
 	conn   transport.Conn
 	id     string
 	isPeer bool
+	// token is the resume token minted for client sessions when session
+	// linger is enabled (empty otherwise). Immutable after attach; a
+	// dying session parks under it so a redialing client can reattach.
+	token string
 	// dialed marks a peer session this broker established (vs accepted) —
 	// the tie-break input for duplicate-link resolution.
 	dialed bool
@@ -365,6 +369,29 @@ func (s *session) sendReliableFrom(e *event.Event, fs *frameSource) {
 	s.queue.pushItem(entry.item())
 }
 
+// sendReliableAt re-sends a parked reliable event under its ORIGINAL
+// rseq on a resumed session. The successor session's counters were
+// seeded from the park (nextRSeq covers every salvaged rseq), so the
+// entry slots back into the window exactly where it was: the client's
+// cumulative dedup then delivers each salvaged event at most once even
+// when the ack for the first delivery was lost in the disconnect.
+// Callers replay in ascending rseq order before the session starts.
+func (s *session) sendReliableAt(e *event.Event, rseq uint64) {
+	s.relMu.Lock()
+	var entry *relEntry
+	if s.framed {
+		entry = &relEntry{frame: event.NewFrameWithRSeqSlot(e).WithRSeq(rseq), lastSend: time.Now(), attempts: 1}
+	} else {
+		c := e.Clone()
+		c.RSeq = rseq
+		entry = &relEntry{e: c, lastSend: time.Now(), attempts: 1}
+	}
+	s.unacked[rseq] = entry
+	s.relOrder.push(rseq)
+	s.relMu.Unlock()
+	s.queue.pushItem(entry.item())
+}
+
 // handleAck applies a cumulative acknowledgement. Cost is proportional
 // to the number of newly acknowledged events, not the window size: every
 // rseq between the previous floor and cum is deleted directly.
@@ -466,6 +493,66 @@ func (s *session) salvageUnacked() []*event.Event {
 		out = append(out, stripRSeq(e))
 	}
 	return out
+}
+
+// parkedEvent is one salvaged reliable event awaiting resume replay,
+// keeping its original per-hop sequence so the successor session can
+// re-send it under the same rseq (exactly-once across the reconnect).
+type parkedEvent struct {
+	rseq uint64
+	e    *event.Event
+}
+
+// salvageParked extracts the session's unacknowledged reliable window
+// for parking: rseq-ordered, decoded from frames, tags stripped from
+// the stored events (the rseq travels alongside instead). Unlike
+// salvageUnacked this preserves the original sequence numbers — a
+// resumed session replays into the SAME numbering space, which is what
+// lets the client's cumulative dedup absorb redeliveries.
+func (s *session) salvageParked() []parkedEvent {
+	s.relMu.Lock()
+	defer s.relMu.Unlock()
+	if len(s.unacked) == 0 {
+		return nil
+	}
+	rseqs := make([]uint64, 0, len(s.unacked))
+	for r := range s.unacked {
+		rseqs = append(rseqs, r)
+	}
+	sort.Slice(rseqs, func(i, j int) bool { return rseqs[i] < rseqs[j] })
+	out := make([]parkedEvent, 0, len(rseqs))
+	for _, r := range rseqs {
+		ent := s.unacked[r]
+		e := ent.e
+		if e == nil && ent.frame != nil {
+			dec, err := ent.frame.Decode()
+			if err != nil {
+				continue
+			}
+			e = dec
+		}
+		if e == nil {
+			continue
+		}
+		out = append(out, parkedEvent{rseq: r, e: stripRSeq(e)})
+	}
+	return out
+}
+
+// relSnapshot reads the reliable sender counters for parking.
+func (s *session) relSnapshot() (nextRSeq, ackFloor uint64) {
+	s.relMu.Lock()
+	defer s.relMu.Unlock()
+	return s.nextRSeq, s.ackFloor
+}
+
+// seedReliable initialises a resumed session's reliable counters from
+// its predecessor's park. Must run before the session starts (no
+// concurrent senders yet).
+func (s *session) seedReliable(nextRSeq, ackFloor, recvCum uint64) {
+	s.nextRSeq = nextRSeq
+	s.ackFloor = ackFloor
+	s.recvCum = recvCum
 }
 
 // acceptReliable performs receiver-side dedup for an rseq-tagged event.

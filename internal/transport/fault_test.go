@@ -1,0 +1,164 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/globalmmcs/globalmmcs/internal/event"
+)
+
+// drainPipe collects everything the peer conn receives until it closes.
+func drainPipe(peer Conn) <-chan []*event.Event {
+	out := make(chan []*event.Event, 1)
+	go func() {
+		var got []*event.Event
+		for {
+			e, err := peer.Recv()
+			if err != nil {
+				out <- got
+				return
+			}
+			got = append(got, e)
+		}
+	}()
+	return out
+}
+
+func faultSend(t *testing.T, c Conn, b byte) {
+	t.Helper()
+	if err := c.Send(event.New("/f/t", event.KindData, []byte{b})); err != nil {
+		t.Fatalf("send %d: %v", b, err)
+	}
+}
+
+func TestFaultDropBurst(t *testing.T) {
+	a, peer := Pipe("a", "b")
+	fc := InjectFaults(a, Fault{After: 2, Drop: 3})
+	got := drainPipe(peer)
+	for i := range 10 {
+		faultSend(t, fc, byte(i))
+	}
+	fc.Close()
+	events := <-got
+	if len(events) != 7 {
+		t.Fatalf("got %d events, want 7 (3 dropped)", len(events))
+	}
+	// The burst loses exactly sends 2,3,4 — the surviving payloads are
+	// deterministic, not just the count.
+	want := []byte{0, 1, 5, 6, 7, 8, 9}
+	for i, e := range events {
+		if e.Payload[0] != want[i] {
+			t.Fatalf("event %d: payload %d, want %d", i, e.Payload[0], want[i])
+		}
+	}
+	if fc.Dropped() != 3 {
+		t.Fatalf("Dropped() = %d, want 3", fc.Dropped())
+	}
+}
+
+func TestFaultCut(t *testing.T) {
+	a, peer := Pipe("a", "b")
+	fc := InjectFaults(a, Fault{After: 1, Cut: true})
+	got := drainPipe(peer)
+	faultSend(t, fc, 0)
+	if err := fc.Send(event.New("/f/t", event.KindData, []byte{1})); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after cut: %v, want ErrClosed", err)
+	}
+	if !fc.Killed() {
+		t.Fatal("Killed() = false after scheduled cut")
+	}
+	// The peer observes the close: its receive loop ends.
+	if events := <-got; len(events) != 1 {
+		t.Fatalf("peer got %d events, want 1", len(events))
+	}
+	// Later sends stay dead.
+	if err := fc.Send(event.New("/f/t", event.KindData, nil)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after kill: %v, want ErrClosed", err)
+	}
+}
+
+func TestFaultStall(t *testing.T) {
+	a, peer := Pipe("a", "b")
+	const stall = 60 * time.Millisecond
+	fc := InjectFaults(a, Fault{Stall: stall})
+	if !fc.SendBlocks() {
+		t.Fatal("SendBlocks() = false with a pending stall")
+	}
+	got := drainPipe(peer)
+	start := time.Now()
+	faultSend(t, fc, 0)
+	if d := time.Since(start); d < stall {
+		t.Fatalf("stalled send took %v, want >= %v", d, stall)
+	}
+	if fc.SendBlocks() {
+		t.Fatal("SendBlocks() = true after the stall was consumed")
+	}
+	start = time.Now()
+	faultSend(t, fc, 1)
+	if d := time.Since(start); d >= stall {
+		t.Fatalf("post-stall send took %v, want fast", d)
+	}
+	fc.Close()
+	if events := <-got; len(events) != 2 {
+		t.Fatalf("peer got %d events, want 2", len(events))
+	}
+}
+
+func TestFaultScheduleComposes(t *testing.T) {
+	a, peer := Pipe("a", "b")
+	fc := InjectFaults(a,
+		Fault{After: 2, Drop: 1},
+		Fault{After: 1, Cut: true},
+	)
+	got := drainPipe(peer)
+	// 2 clean, 1 dropped, 1 clean, then the cut.
+	for i := range 4 {
+		faultSend(t, fc, byte(i))
+	}
+	if err := fc.Send(event.New("/f/t", event.KindData, []byte{9})); !errors.Is(err, ErrClosed) {
+		t.Fatalf("5th send: %v, want ErrClosed (cut)", err)
+	}
+	events := <-got
+	want := []byte{0, 1, 3}
+	if len(events) != len(want) {
+		t.Fatalf("peer got %d events, want %d", len(events), len(want))
+	}
+	for i, e := range events {
+		if e.Payload[0] != want[i] {
+			t.Fatalf("event %d: payload %d, want %d", i, e.Payload[0], want[i])
+		}
+	}
+}
+
+func TestFaultKillOutOfBand(t *testing.T) {
+	a, peer := Pipe("a", "b")
+	fc := InjectFaults(a) // no schedule: Kill is choreography-driven
+	got := drainPipe(peer)
+	faultSend(t, fc, 0)
+	fc.Kill()
+	fc.Kill() // idempotent
+	if err := fc.Send(event.New("/f/t", event.KindData, nil)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after Kill: %v, want ErrClosed", err)
+	}
+	if events := <-got; len(events) != 1 {
+		t.Fatalf("peer got %d events, want 1", len(events))
+	}
+}
+
+func TestFaultRecvPassthrough(t *testing.T) {
+	a, peer := Pipe("a", "b")
+	fc := InjectFaults(a, Fault{After: 0, Drop: 100})
+	// The schedule only shapes the send path: receives pass through.
+	if err := peer.Send(event.New("/f/r", event.KindData, []byte{42})); err != nil {
+		t.Fatal(err)
+	}
+	e, err := fc.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Payload[0] != 42 {
+		t.Fatalf("recv payload %d, want 42", e.Payload[0])
+	}
+	fc.Close()
+}
